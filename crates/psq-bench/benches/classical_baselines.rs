@@ -1,0 +1,66 @@
+//! Criterion bench for the classical baselines of Section 1.1: the cost of a
+//! classical partial search (which probes θ(N) addresses) next to the
+//! quantum strategies (which apply θ(√N) kernels over the register).  The
+//! wall-clock gap on the simulator is not the physical speedup, but the
+//! *query counters* recorded during the same runs are exactly the paper's
+//! comparison; the bench keeps both honest.
+
+// The criterion_group!/criterion_main! macros expand to undocumented
+// functions; the workspace-level missing_docs lint does not apply to them.
+#![allow(missing_docs)]
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psq_classical::{full_search, partial_search};
+use psq_sim::oracle::{Database, Partition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_classical_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classical/full_random_scan");
+    for exp in [10u32, 14, 16] {
+        let n = 1u64 << exp;
+        group.bench_with_input(BenchmarkId::from_parameter(format!("2^{exp}")), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| {
+                let db = Database::new(n, n / 2);
+                black_box(full_search::random_scan(&db, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_classical_partial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classical/partial_random_scan");
+    for k in [2u64, 8, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let n = 1u64 << 14;
+            let partition = Partition::new(n, k);
+            let mut rng = StdRng::seed_from_u64(6);
+            b.iter(|| {
+                let db = Database::new(n, n / 3);
+                black_box(partial_search::randomized_partial(&db, &partition, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_deterministic_partial(c: &mut Criterion) {
+    c.bench_function("classical/partial_deterministic_2^14_K=8", |b| {
+        let n = 1u64 << 14;
+        let partition = Partition::new(n, 8);
+        b.iter(|| {
+            let db = Database::new(n, n - 1);
+            black_box(partial_search::deterministic_partial(&db, &partition))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_classical_full,
+    bench_classical_partial,
+    bench_deterministic_partial
+);
+criterion_main!(benches);

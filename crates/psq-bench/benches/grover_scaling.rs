@@ -1,0 +1,47 @@
+//! Criterion bench for the simulators running plain Grover search.
+//!
+//! Measures (a) the cost of a single full-search run on the state-vector
+//! simulator as the register grows — this is where the chunked parallel
+//! kernels of `psq-parallel` earn their keep — and (b) the cost of the same
+//! search on the reduced simulator, which is independent of `N` per
+//! iteration and only grows with the `O(√N)` iteration count.
+
+// The criterion_group!/criterion_main! macros expand to undocumented
+// functions; the workspace-level missing_docs lint does not apply to them.
+#![allow(missing_docs)]
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psq_grover::standard;
+use psq_sim::oracle::Database;
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grover/statevector_full_search");
+    group.sample_size(10);
+    for exp in [12u32, 16, 18, 20] {
+        let n = 1u64 << exp;
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("2^{exp}")), &n, |b, &n| {
+            let db = Database::new(n, n / 3);
+            let iters = psq_math::angle::optimal_grover_iterations(n as f64);
+            b.iter(|| {
+                db.reset_queries();
+                black_box(standard::final_state(&db, iters).probability((n / 3) as usize))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduced(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grover/reduced_full_search");
+    for exp in [20u32, 30, 40, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("2^{exp}")), &exp, |b, &exp| {
+            let n = (1u64 << exp) as f64;
+            b.iter(|| black_box(standard::search_reduced_optimal(black_box(n))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_statevector, bench_reduced);
+criterion_main!(benches);

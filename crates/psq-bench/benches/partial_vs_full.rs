@@ -1,0 +1,72 @@
+//! Criterion bench comparing the three search strategies the paper discusses
+//! — full Grover search, naive block elimination, and the GRK partial-search
+//! algorithm — on the state-vector simulator.
+//!
+//! Wall-clock time here is a proxy for the query count (every strategy's
+//! inner loop is one oracle application plus one diffusion over the same
+//! register), so the ordering of the curves mirrors the paper's query
+//! ordering: GRK < naive < full, with the gap growing as K falls.
+
+// The criterion_group!/criterion_main! macros expand to undocumented
+// functions; the workspace-level missing_docs lint does not apply to them.
+#![allow(missing_docs)]
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psq_partial::{algorithm::PartialSearch, baseline};
+use psq_sim::oracle::{Database, Partition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: u64 = 1 << 16;
+
+fn bench_full_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategies/full_grover");
+    group.sample_size(10);
+    group.bench_function("N=2^16", |b| {
+        let db = Database::new(N, 777);
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            db.reset_queries();
+            black_box(psq_grover::standard::search_statevector_optimal(&db, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+fn bench_partial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategies/grk_partial");
+    group.sample_size(10);
+    for k in [2u64, 8, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let db = Database::new(N, 777);
+            let partition = Partition::new(N, k);
+            let search = PartialSearch::new();
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                db.reset_queries();
+                black_box(search.run_statevector(&db, &partition, &mut rng).outcome)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategies/naive_block_elimination");
+    group.sample_size(10);
+    for k in [2u64, 8, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let db = Database::new(N, 777);
+            let partition = Partition::new(N, k);
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                db.reset_queries();
+                black_box(baseline::naive_partial_search_excluding(&db, &partition, k - 1, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_search, bench_partial, bench_naive);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for the Table-1 generator: how long the "computer
+//! program" (the ε optimiser) takes per block count, and for the whole
+//! table.  This is the computation behind the paper's Section-3.1 table.
+
+// The criterion_group!/criterion_main! macros expand to undocumented
+// functions; the workspace-level missing_docs lint does not apply to them.
+#![allow(missing_docs)]
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psq_partial::optimizer;
+
+fn bench_single_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/optimal_epsilon");
+    for k in [2u64, 8, 32, 1024, 1 << 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| optimizer::optimal_epsilon(black_box(k as f64)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_whole_table(c: &mut Criterion) {
+    c.bench_function("table1/full_table", |b| {
+        b.iter(|| {
+            let rows = optimizer::table1();
+            black_box(rows.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_single_k, bench_whole_table);
+criterion_main!(benches);

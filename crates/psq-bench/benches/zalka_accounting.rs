@@ -1,0 +1,46 @@
+//! Criterion bench for the Appendix-B machinery: the cost of the full
+//! hybrid-argument audit (`O(N²·T²)` amplitude work) as the database grows,
+//! and of its individual lemma evaluations.  This bounds how far the numeric
+//! verification of Theorem 3 can be pushed.
+
+// The criterion_group!/criterion_main! macros expand to undocumented
+// functions; the workspace-level missing_docs lint does not apply to them.
+#![allow(missing_docs)]
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psq_bounds::{hybrid::HybridAccounting, lemmas};
+
+fn bench_full_audit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("appendixB/full_audit");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let t = psq_math::angle::optimal_grover_iterations(n as f64) as usize;
+            b.iter(|| black_box(HybridAccounting::evaluate(black_box(n), t).implied_lower_bound))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lemma1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("appendixB/lemma1_sum");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let t = psq_math::angle::optimal_grover_iterations(n as f64) as usize;
+            b.iter(|| black_box(lemmas::lemma1_sum(black_box(n), t)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hybrid_state(c: &mut Criterion) {
+    c.bench_function("appendixB/hybrid_state_N=256", |b| {
+        let n = 256usize;
+        let t = psq_math::angle::optimal_grover_iterations(n as f64) as usize;
+        b.iter(|| black_box(lemmas::hybrid_state(n, 17, t, t / 2)))
+    });
+}
+
+criterion_group!(benches, bench_full_audit, bench_lemma1, bench_hybrid_state);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation: how much each ingredient of the ε choice matters.
+//!
+//! Four strategies for picking the Step-1 truncation are compared on the same
+//! instances: the table-1 optimum, the paper's large-K reference `ε = 1/√K`,
+//! a deliberately naive `ε = 0` (i.e. run full Grover then per-block cleanup
+//! — effectively no partial-search structure), and the finite-N tuned plan.
+//! For each, the realised query coefficient and the exact error probability
+//! are reported, quantifying (a) how much the optimiser buys over the
+//! closed-form choice and (b) what the tuned plan's few extra queries buy in
+//! error.
+//!
+//! Run with `cargo run --release -p psq-bench --bin ablation_epsilon`.
+
+use psq_bench::{fmt_f, fmt_sci, Table};
+use psq_partial::algorithm::{EpsilonChoice, PartialSearch};
+
+fn main() {
+    let n = (1u64 << 30) as f64;
+    let strategies: [(&str, EpsilonChoice); 4] = [
+        ("optimal epsilon (table 1)", EpsilonChoice::Optimal),
+        ("paper epsilon = 1/sqrt(K)", EpsilonChoice::PaperLargeK),
+        ("no truncation (epsilon = 0)", EpsilonChoice::Fixed(0.0)),
+        ("tuned for finite N", EpsilonChoice::TunedForN),
+    ];
+
+    let mut table = Table::new(
+        "Ablation: epsilon strategy vs realised cost and error (N = 2^30)",
+        &["K", "strategy", "queries", "coefficient", "error probability"],
+    );
+    for &k in &[4u64, 16, 64, 256] {
+        for &(name, choice) in strategies.iter() {
+            let search = PartialSearch { epsilon: choice, record_trace: false };
+            let run = search.run_reduced(n, k as f64);
+            table.push_row(vec![
+                k.to_string(),
+                name.to_string(),
+                run.queries.to_string(),
+                fmt_f(run.queries as f64 / n.sqrt(), 4),
+                fmt_sci(1.0 - run.success_probability),
+            ]);
+        }
+    }
+    table.print();
+    println!("Reading the table: the optimiser beats epsilon = 1/sqrt(K) by a fraction of a");
+    println!("percent of sqrt(N) (the paper's 0.42 vs our 0.436 constant), and epsilon = 0");
+    println!("degrades to full-search cost — the savings really do come from stopping Step 1");
+    println!("early.  At N = 2^30 every strategy's error is already ~1e-10; the tuned plan's");
+    println!("advantage shows up on small databases (N <~ 10^3), where it buys ~100x in error");
+    println!("for a handful of extra queries (see psq-partial's plan::tuned tests).");
+}

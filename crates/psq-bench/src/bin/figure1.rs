@@ -1,0 +1,67 @@
+//! Regenerates Figure 1: partial quantum search in a database of twelve items.
+//!
+//! Prints the amplitude histogram after each of the five stages (A)–(E), in
+//! units of `1/√12` so the numbers match the figure labels directly, and the
+//! two headline claims: two queries, target block identified with probability
+//! 1, target item with probability 3/4.
+//!
+//! Run with `cargo run --release -p psq-bench --bin figure1`.
+
+use psq_bench::{fmt_f, Table};
+use psq_partial::example12;
+
+fn main() {
+    let target = 7; // any of the twelve addresses gives the same histogram
+    let result = example12::run(target);
+    let inv = 1.0 / 12f64.sqrt();
+
+    let mut table = Table::new(
+        "Figure 1 (Section 1.3): amplitudes in units of 1/sqrt(12)",
+        &["stage", "target", "rest of target block", "non-target blocks"],
+    );
+    let predicted = example12::predicted_amplitudes_in_units_of_inv_sqrt12();
+    for (i, (label, summary)) in result.trace.stages().iter().enumerate() {
+        table.push_row(vec![
+            label.clone(),
+            format!(
+                "{} (paper {})",
+                fmt_f(summary.amp_target / inv, 2),
+                fmt_f(predicted[i].0, 0)
+            ),
+            format!(
+                "{} (paper {})",
+                fmt_f(summary.amp_target_block / inv, 2),
+                fmt_f(predicted[i].1, 0)
+            ),
+            format!(
+                "{} (paper {})",
+                fmt_f(summary.amp_nontarget / inv, 2),
+                fmt_f(predicted[i].2, 0)
+            ),
+        ]);
+    }
+    table.print();
+
+    println!("queries used:                      {} (paper: 2)", result.queries);
+    println!(
+        "P(correct block):                  {} (paper: 1)",
+        fmt_f(result.block_probability, 6)
+    );
+    println!(
+        "P(target item):                    {} (paper: 3/4 = 0.75)",
+        fmt_f(result.target_probability, 6)
+    );
+    println!(
+        "queries for exact full search:     {} (paper: at least 3)",
+        example12::exact_full_search_queries()
+    );
+
+    // ASCII histogram of the final state, mirroring the figure's last panel.
+    println!("\nfinal amplitudes (x = target block, . = other blocks):");
+    for x in 0..example12::EXAMPLE_N {
+        let amp = result.final_state.amplitude(x as usize).re;
+        let bar_len = (amp / inv * 8.0).round().max(0.0) as usize;
+        let marker = if x / 4 == target / 4 { 'x' } else { '.' };
+        println!("  addr {x:2} {marker} | {}", "#".repeat(bar_len));
+    }
+}

@@ -1,0 +1,50 @@
+//! Regenerates Figure 3: the Step-1 geometry.
+//!
+//! Figure 3 shows the state vector after Step 1 sitting at angle `θ` from the
+//! target, having rotated from `|ψ0⟩` through `(π/4)(1 − ε)√N` iterations.
+//! This binary sweeps ε and reports, for each value, the predicted angle
+//! `(π/2)·ε` and the angle actually measured on the reduced simulator after
+//! the truncated schedule, together with the target/rest amplitudes of the
+//! paper's `|ψ1⟩` decomposition.
+//!
+//! Run with `cargo run --release -p psq-bench --bin figure3`.
+
+use psq_bench::{fmt_f, Table};
+use psq_grover::iteration::Schedule;
+use psq_sim::reduced::ReducedState;
+
+fn main() {
+    let n = (1u64 << 20) as f64;
+    let mut table = Table::new(
+        "Figure 3 (Section 3.1): angle to the target after Step 1, N = 2^20",
+        &[
+            "epsilon",
+            "l1 iterations",
+            "angle predicted (pi/2 * eps)",
+            "angle measured",
+            "target amplitude cos(theta)",
+            "rest amplitude * sqrt(N) ~ sin(theta)",
+        ],
+    );
+
+    for &eps in &[0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
+        let schedule = Schedule::truncated(n, eps);
+        let mut state = ReducedState::uniform(n, 2.0);
+        state.grover_iterations(schedule.iterations);
+        let measured_angle = state.amp_target().acos();
+        table.push_row(vec![
+            fmt_f(eps, 2),
+            schedule.iterations.to_string(),
+            fmt_f(std::f64::consts::FRAC_PI_2 * eps, 4),
+            fmt_f(measured_angle, 4),
+            fmt_f(state.amp_target(), 4),
+            fmt_f(state.amp_nontarget() * n.sqrt(), 4),
+        ]);
+    }
+    table.print();
+    println!(
+        "Each iteration advances the state by 2*arcsin(1/sqrt(N)) = {:.6} rad;",
+        2.0 * psq_math::angle::grover_angle(n)
+    );
+    println!("stopping epsilon*(pi/4)*sqrt(N) iterations early leaves the angle (pi/2)*epsilon shown above.");
+}

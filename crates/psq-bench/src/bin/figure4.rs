@@ -1,0 +1,49 @@
+//! Regenerates Figure 4: the Step-2 in-block rotation angles θ1 and θ2.
+//!
+//! Figure 4 shows the state of the target block rotating from its post-Step-1
+//! position (angle θ1 from the in-block target) *past* the target to −θ2,
+//! where θ2 is fixed by the Step-3 zeroing condition.  This binary tabulates
+//! θ1, θ2 and the resulting Step-2 iteration count for the paper's range of
+//! block counts, both from the asymptotic model and from the finite-N plan.
+//!
+//! Run with `cargo run --release -p psq-bench --bin figure4`.
+
+use psq_bench::{fmt_f, Table};
+use psq_partial::{model::Model, optimizer, plan::SearchPlan};
+
+fn main() {
+    let n = (1u64 << 30) as f64;
+    let mut table = Table::new(
+        "Figure 4 (Section 3.1): in-block angles at the optimal epsilon, N = 2^30",
+        &[
+            "K",
+            "epsilon*",
+            "theta1 (model)",
+            "theta2 (model)",
+            "theta1 (plan)",
+            "theta2 (plan)",
+            "l2 iterations",
+            "l2 / sqrt(N/K)",
+        ],
+    );
+
+    for &k in &[2u64, 3, 4, 5, 8, 16, 32, 64, 128] {
+        let kf = k as f64;
+        let choice = optimizer::optimal_epsilon(kf);
+        let point = Model::new(kf).at(choice.epsilon);
+        let plan = SearchPlan::new(n, kf, choice.epsilon);
+        table.push_row(vec![
+            k.to_string(),
+            fmt_f(choice.epsilon, 3),
+            fmt_f(point.theta1, 4),
+            fmt_f(point.theta2, 4),
+            fmt_f(plan.theta1, 4),
+            fmt_f(plan.theta2, 4),
+            plan.l2.to_string(),
+            fmt_f(plan.l2 as f64 / (n / kf).sqrt(), 4),
+        ]);
+    }
+    table.print();
+    println!("The in-block rotation traverses theta1 + theta2 at 2*arcsin(sqrt(K/N)) per iteration,");
+    println!("so l2 ~ (theta1 + theta2)/2 * sqrt(N/K), the paper's expression for the Step-2 cost.");
+}

@@ -1,0 +1,52 @@
+//! Verifies Theorem 1 (the upper bound) end to end.
+//!
+//! For a sweep of block counts the binary runs the partial-search algorithm
+//! on the reduced simulator at several astronomically large `N`, reporting
+//! the realised query coefficient, the savings constant `c_K` (which Theorem
+//! 1 promises is at least `0.42/√K` for large `K`), and the success
+//! probability (promised `1 − O(1/√N)`).
+//!
+//! Run with `cargo run --release -p psq-bench --bin theorem1`.
+
+use psq_bench::{fmt_f, fmt_pow2, fmt_sci, Table};
+use psq_partial::{algorithm::PartialSearch, model::Model};
+
+fn main() {
+    let mut table = Table::new(
+        "Theorem 1: realised cost and success of the partial-search algorithm",
+        &[
+            "K",
+            "N",
+            "queries",
+            "coefficient",
+            "c_K",
+            "0.42/sqrt(K)",
+            "1 - success",
+            "1/sqrt(N)",
+        ],
+    );
+
+    for &k in &[4u64, 16, 64, 256, 1024] {
+        for &exp in &[20u32, 30, 40] {
+            let n = (1u64 << exp) as f64;
+            let run = PartialSearch::new().run_reduced(n, k as f64);
+            let coefficient = run.queries as f64 / n.sqrt();
+            let ck = Model::savings_constant(coefficient);
+            table.push_row(vec![
+                k.to_string(),
+                fmt_pow2(exp),
+                run.queries.to_string(),
+                fmt_f(coefficient, 4),
+                fmt_f(ck, 4),
+                fmt_f(0.42 / (k as f64).sqrt(), 4),
+                fmt_sci(1.0 - run.success_probability),
+                fmt_sci(1.0 / n.sqrt()),
+            ]);
+        }
+    }
+    table.print();
+    println!("Theorem 1 claims c_K >= 0.42/sqrt(K) for large K and error O(1/sqrt(N));");
+    println!("every row above should satisfy both (the error is in fact O(1/N) because the");
+    println!("plan is computed with exact finite-N trigonometry rather than the paper's");
+    println!("first-order approximations).");
+}

@@ -1,0 +1,53 @@
+//! Verifies Theorem 3 / Appendix B: Zalka's bound with small error.
+//!
+//! Runs the full hybrid-argument accounting (Lemmas 1–3 and the triangle-
+//! inequality chain) on simulated Grover runs of several sizes and iteration
+//! budgets, reporting every quantity in the chain, the implied lower bound on
+//! the query count, and the closed-form Theorem-3 value.
+//!
+//! Run with `cargo run --release -p psq-bench --bin zalka_bound`.
+
+use psq_bench::{fmt_f, Table};
+use psq_bounds::{hybrid::HybridAccounting, zalka};
+
+fn main() {
+    let mut table = Table::new(
+        "Theorem 3 / Appendix B: hybrid-argument audit of simulated Grover runs",
+        &[
+            "N",
+            "T (run)",
+            "error eps",
+            "Lemma-1 sum",
+            "hybrid path",
+            "Lemma-2 budget",
+            "implied T >=",
+            "Theorem-3 bound",
+            "chain holds",
+        ],
+    );
+
+    for &n in &[64usize, 100, 144, 256] {
+        let optimal = psq_math::angle::optimal_grover_iterations(n as f64) as usize;
+        for &t in &[optimal / 2, optimal] {
+            let t = t.max(1);
+            let audit = HybridAccounting::evaluate(n, t);
+            let theorem = zalka::zalka_lower_bound(n as f64, audit.worst_error);
+            table.push_row(vec![
+                n.to_string(),
+                t.to_string(),
+                fmt_f(audit.worst_error, 4),
+                fmt_f(audit.lemma1_sum, 2),
+                fmt_f(audit.hybrid_path_total, 2),
+                fmt_f(audit.lemma2_budget_total, 2),
+                fmt_f(audit.implied_lower_bound, 2),
+                fmt_f(theorem, 2),
+                audit.chain_holds(1e-9).to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!("Reading the table: Lemma-2 budget >= hybrid path >= Lemma-1 sum (the chain),");
+    println!("and dividing the Lemma-1 requirement by the per-query cap 2*sqrt(N)(1+O(1/N))");
+    println!("gives the implied bound, which for the optimal run nearly equals T itself —");
+    println!("the numeric content of 'Grover's algorithm is optimal even with small error'.");
+}

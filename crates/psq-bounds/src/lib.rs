@@ -1,0 +1,28 @@
+//! Lower-bound machinery: how much easier partial search *cannot* be.
+//!
+//! The paper's second half shows the algorithm of Section 3 is essentially
+//! optimal.  Three ingredients, each a module here:
+//!
+//! * [`zalka`] — Theorem 3: Zalka's `(π/4)√N` optimality bound for full
+//!   search, extended to algorithms that err with probability `ε`
+//!   (`T ≥ (π/4)√N(1 − O(√ε + N^{-1/4}))`).
+//! * [`lemmas`] — Appendix B's Lemmas 1–3 evaluated numerically on simulated
+//!   hybrid runs (oracle calls progressively replaced by the identity), so
+//!   each inequality can be checked and its tightness measured.
+//! * [`hybrid`] — the assembled chain of inequalities, which turns a
+//!   simulated run into an *implied* lower bound on its own query count.
+//! * [`theorem2`] — the reduction from full search to repeated partial
+//!   search and the resulting bound `α_K ≥ (π/4)(1 − 1/√K)`, plus the
+//!   error-accumulation bookkeeping for the small-error case.
+
+pub mod hybrid;
+pub mod lemmas;
+pub mod theorem2;
+pub mod zalka;
+
+pub use hybrid::HybridAccounting;
+pub use theorem2::{
+    partial_search_lower_bound_coefficient, partial_search_lower_bound_queries,
+    reduction_series_factor, reduction_total_queries,
+};
+pub use zalka::{exact_search_lower_bound, zalka_lower_bound};

@@ -1,0 +1,125 @@
+//! Theorem 3: Zalka's optimality bound for algorithms with small error.
+//!
+//! Appendix B states: any quantum database-search algorithm that makes `T`
+//! queries on a size-`N` database (`N ≥ 100`) and answers correctly with
+//! probability at least `1 − ε ≥ 0.9` satisfies
+//!
+//! ```text
+//!   T ≥ (π/4)·√N·(1 − O(√ε + N^{-1/4})).
+//! ```
+//!
+//! The closed forms here expose the bound (with the implicit constant made
+//! explicit and settable), and the assembly step of the proof — dividing
+//! Lemma 1's angular budget by Lemma 3's per-query cap — so the numeric
+//! verification in [`crate::hybrid`] can report an *implied* lower bound for
+//! a concrete simulated run and compare it with the queries that run really
+//! used.
+
+use std::f64::consts::FRAC_PI_4;
+
+/// The domain restrictions Theorem 3 states: `N ≥ 100` and `ε ≤ 0.1`.
+pub fn theorem3_applies(n: f64, epsilon: f64) -> bool {
+    n >= 100.0 && (0.0..=0.1).contains(&epsilon)
+}
+
+/// The deficit term `√ε + N^{-1/4}` appearing in Theorem 3 and Lemma 1.
+pub fn deficit(n: f64, epsilon: f64) -> f64 {
+    epsilon.sqrt() + n.powf(-0.25)
+}
+
+/// Zalka's bound with the implicit constant of the `O(·)` set to `c`:
+/// `(π/4)·√N·(1 − c·(√ε + N^{-1/4}))`, clamped at zero.
+pub fn zalka_bound_with_constant(n: f64, epsilon: f64, c: f64) -> f64 {
+    (FRAC_PI_4 * n.sqrt() * (1.0 - c * deficit(n, epsilon))).max(0.0)
+}
+
+/// Zalka's bound in its normal form (`c = 1`).
+pub fn zalka_lower_bound(n: f64, epsilon: f64) -> f64 {
+    zalka_bound_with_constant(n, epsilon, 1.0)
+}
+
+/// The exact-algorithm (`ε = 0`) limit of the bound as `N → ∞`:
+/// `(π/4)√N`, i.e. Grover's algorithm is optimal, the fact Theorem 2 invokes
+/// for its zero-error reduction.
+pub fn exact_search_lower_bound(n: f64) -> f64 {
+    FRAC_PI_4 * n.sqrt()
+}
+
+/// The final assembly step of the Appendix-B proof: given the total angular
+/// budget `Σ_y θ(φ_T, φ^y_T)` (Lemma 1) and the largest per-query angular
+/// spend `max_i Σ_y 2·arcsin√p_{i,y}` (Lemma 2 + Lemma 3), any run must have
+/// used at least `budget / per_query` queries.
+pub fn implied_query_lower_bound(angular_budget: f64, per_query_cap: f64) -> f64 {
+    assert!(per_query_cap > 0.0, "per-query angular cap must be positive");
+    angular_budget / per_query_cap
+}
+
+/// How far above (or below, if negative) Grover's actual iteration count sits
+/// relative to the `ε`-aware bound, in queries.
+pub fn grover_margin(n: f64) -> f64 {
+    let t = psq_math::angle::optimal_grover_iterations(n) as f64;
+    let eps = 1.0 - psq_math::angle::grover_success_probability(
+        n,
+        psq_math::angle::optimal_grover_iterations(n),
+    );
+    t - zalka_lower_bound(n, eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psq_math::approx::assert_close;
+
+    #[test]
+    fn bound_tends_to_pi_over_4_sqrt_n() {
+        let n = 1e16;
+        assert_close(
+            zalka_lower_bound(n, 0.0) / exact_search_lower_bound(n),
+            1.0,
+            1e-3,
+        );
+    }
+
+    #[test]
+    fn bound_degrades_gracefully_with_error() {
+        let n = 1e8;
+        let strict = zalka_lower_bound(n, 0.0);
+        let lax = zalka_lower_bound(n, 0.01);
+        let very_lax = zalka_lower_bound(n, 0.09);
+        assert!(strict > lax);
+        assert!(lax > very_lax);
+        assert!(very_lax > 0.5 * strict, "even 9% error only costs a constant factor");
+    }
+
+    #[test]
+    fn grover_respects_its_own_lower_bound_at_every_size() {
+        for exp in 7..40u32 {
+            let n = (1u64 << exp) as f64;
+            assert!(
+                grover_margin(n) >= -1.0,
+                "N = 2^{exp}: margin {}",
+                grover_margin(n)
+            );
+        }
+    }
+
+    #[test]
+    fn applicability_domain_matches_the_theorem_statement() {
+        assert!(theorem3_applies(100.0, 0.1));
+        assert!(theorem3_applies(1e6, 0.0));
+        assert!(!theorem3_applies(99.0, 0.0));
+        assert!(!theorem3_applies(1e6, 0.2));
+    }
+
+    #[test]
+    fn implied_bound_is_a_simple_quotient() {
+        assert_close(implied_query_lower_bound(100.0, 4.0), 25.0, 1e-12);
+    }
+
+    #[test]
+    fn deficit_combines_error_and_dimension_terms() {
+        let n = 10_000.0;
+        assert_close(deficit(n, 0.04), 0.2 + 0.1, 1e-12);
+        assert!(deficit(1e12, 0.0) < 1e-2);
+    }
+}

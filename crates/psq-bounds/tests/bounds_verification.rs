@@ -1,0 +1,98 @@
+//! Cross-module verification that the lower bounds, the upper bounds and the
+//! simulators tell one consistent story.
+
+use proptest::prelude::*;
+use psq_bounds::{hybrid::HybridAccounting, lemmas, theorem2, zalka};
+use psq_partial::optimizer;
+
+#[test]
+fn upper_and_lower_bounds_bracket_every_tabulated_k() {
+    // Theorem 1 and Theorem 2 together:  (π/4)(1 − 1/√K) ≤ α_K ≤ (π/4)(1 − c_K)
+    // with c_K ≥ 0.42/√K for large K.
+    for &k in &optimizer::PAPER_TABLE_KS {
+        let kf = k as f64;
+        let lower = theorem2::partial_search_lower_bound_coefficient(kf);
+        let upper = optimizer::optimal_epsilon(kf).coefficient;
+        assert!(lower <= upper, "K = {k}");
+        assert!(upper <= std::f64::consts::FRAC_PI_4, "K = {k}");
+    }
+}
+
+#[test]
+fn a_partial_search_cheaper_than_theorem_2_would_break_zalka() {
+    // Instantiate the contradiction the proof is built on: pretend a partial
+    // search existed at 90% of the Theorem-2 bound and push it through the
+    // reduction — the implied full-search cost drops below (π/4)√N, which
+    // Theorem 3 forbids.
+    for &k in &[2.0, 4.0, 16.0, 256.0] {
+        let too_cheap = 0.9 * theorem2::partial_search_lower_bound_coefficient(k);
+        let implied_full = theorem2::reduction_total_queries(too_cheap, 1.0, k);
+        assert!(
+            implied_full < std::f64::consts::FRAC_PI_4,
+            "K = {k}: the hypothetical algorithm does not yield a contradiction"
+        );
+    }
+}
+
+#[test]
+fn the_hybrid_audit_proves_grovers_optimality_numerically() {
+    // Appendix B end to end on a real run: the audit's implied bound comes
+    // out within a few percent of the queries Grover actually spends.
+    for n in [64usize, 100, 144] {
+        let t = psq_math::angle::optimal_grover_iterations(n as f64) as usize;
+        let audit = HybridAccounting::evaluate(n, t);
+        assert!(audit.chain_holds(1e-9), "N = {n}");
+        assert!(audit.tightness() > 0.9, "N = {n}: tightness {}", audit.tightness());
+    }
+}
+
+#[test]
+fn zalka_bound_is_vacuous_for_large_error_but_not_for_small() {
+    let n = 1e6;
+    assert!(zalka::zalka_lower_bound(n, 0.09) > 0.5 * zalka::exact_search_lower_bound(n));
+    // With ε of order 1 the √ε term swallows the bound entirely — which is
+    // why the theorem restricts to ε ≤ 0.1.
+    assert_eq!(zalka::zalka_lower_bound(n, 1.0), 0.0);
+    assert!(!zalka::theorem3_applies(n, 1.0));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_lemma2_and_lemma3_hold_for_arbitrary_small_instances(
+        n in 8usize..80,
+        t in 1usize..6,
+        y_frac in 0.0f64..1.0,
+    ) {
+        let y = ((n - 1) as f64 * y_frac).round() as usize;
+        for (actual, bound) in lemmas::lemma2_pairs(n, y, t) {
+            prop_assert!(actual <= bound + 1e-12);
+        }
+        for i in 0..t {
+            prop_assert!(lemmas::lemma3_sum(n, i) <= lemmas::lemma3_bound(n));
+        }
+    }
+
+    #[test]
+    fn prop_the_whole_chain_holds_for_any_iteration_budget(
+        n in 16usize..72,
+        t_frac in 0.1f64..1.5,
+    ) {
+        // Including budgets beyond the optimum (overshooting runs).
+        let optimal = psq_math::angle::optimal_grover_iterations(n as f64) as f64;
+        let t = ((optimal * t_frac).round() as usize).max(1);
+        let audit = HybridAccounting::evaluate(n, t);
+        prop_assert!(audit.chain_holds(1e-9));
+        prop_assert!(audit.implied_lower_bound <= t as f64 + 1e-9);
+    }
+
+    #[test]
+    fn prop_reduction_bound_is_monotone_in_k(k in 2.0f64..10_000.0) {
+        let here = theorem2::partial_search_lower_bound_coefficient(k);
+        let further = theorem2::partial_search_lower_bound_coefficient(k * 2.0);
+        prop_assert!(further > here);
+        prop_assert!(here < std::f64::consts::FRAC_PI_4);
+        prop_assert!(here >= 0.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! The Appendix-A lower-bound argument, executable.
+//!
+//! Appendix A proves that no zero-error randomized algorithm for classical
+//! partial search beats `N/2·(1 − 1/K²)` expected queries, by the standard
+//! distributional (Yao) argument: fix the uniform distribution over targets
+//! and show every *deterministic* zero-error algorithm pays at least that
+//! much on average.
+//!
+//! The key structural fact is that a deterministic zero-error algorithm is
+//! completely described by the probe sequence `ℓ1, ℓ2, …` it follows while
+//! every answer is 0 (as the appendix notes), together with the only sound
+//! stopping rule: stop when the target has been found or when every address
+//! not yet probed lies in a single block.  This module makes that object a
+//! value — [`ProbeOrder`] — so the bound can be *checked* against arbitrary
+//! strategies rather than merely stated.
+
+use psq_sim::oracle::Partition;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A deterministic zero-error partial-search strategy: the order in which it
+/// would probe addresses if it never found the target.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProbeOrder {
+    order: Vec<u64>,
+    partition: Partition,
+}
+
+/// The exact average behaviour of a [`ProbeOrder`] under a uniformly random
+/// target.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StrategyCost {
+    /// Number of probes the strategy makes before it is entitled to stop with
+    /// every answer 0 (the `S` of the analysis).
+    pub probes_before_stop: u64,
+    /// Exact expected number of probes over a uniformly random target.
+    pub average_queries: f64,
+    /// Worst-case number of probes over all targets.
+    pub worst_case_queries: u64,
+}
+
+impl ProbeOrder {
+    /// Wraps an explicit probe order.
+    ///
+    /// # Panics
+    /// Panics if the order is not a permutation of the address space.
+    pub fn new(partition: Partition, order: Vec<u64>) -> Self {
+        let n = partition.size();
+        assert_eq!(order.len() as u64, n, "probe order must cover the whole address space");
+        let mut seen = vec![false; n as usize];
+        for &x in &order {
+            assert!(x < n, "probe address {x} out of range");
+            assert!(!seen[x as usize], "probe address {x} repeated");
+            seen[x as usize] = true;
+        }
+        Self { order, partition }
+    }
+
+    /// The canonical optimal strategy: probe blocks `0, …, K−2` in address
+    /// order and leave the last block unprobed (the strategy implemented by
+    /// [`crate::partial_search::deterministic_partial`]).
+    pub fn block_by_block(partition: Partition) -> Self {
+        let order = (0..partition.size())
+            .filter(|&x| partition.block_of(x) != partition.blocks() - 1)
+            .chain((0..partition.size()).filter(|&x| partition.block_of(x) == partition.blocks() - 1))
+            .collect();
+        Self::new(partition, order)
+    }
+
+    /// A uniformly random probe order (used by the tests to search for
+    /// counterexamples to the bound).
+    pub fn random<R: Rng + ?Sized>(partition: Partition, rng: &mut R) -> Self {
+        let mut order: Vec<u64> = (0..partition.size()).collect();
+        order.shuffle(rng);
+        Self::new(partition, order)
+    }
+
+    /// A deliberately wasteful strategy that interleaves the blocks, so the
+    /// unprobed remainder spans several blocks until the very end.
+    pub fn round_robin(partition: Partition) -> Self {
+        let k = partition.blocks();
+        let b = partition.block_size();
+        let mut order = Vec::with_capacity(partition.size() as usize);
+        for offset in 0..b {
+            for block in 0..k {
+                order.push(block * b + offset);
+            }
+        }
+        Self::new(partition, order)
+    }
+
+    /// The probe order.
+    pub fn order(&self) -> &[u64] {
+        &self.order
+    }
+
+    /// The partition this strategy answers questions about.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The number of probes after which the set of unprobed addresses first
+    /// fits inside a single block (the earliest point at which a zero-error
+    /// algorithm may stop without having found the target).
+    pub fn probes_before_stop(&self) -> u64 {
+        let k = self.partition.blocks();
+        let mut remaining_per_block = vec![self.partition.block_size(); k as usize];
+        let mut blocks_with_remaining = k;
+        for (i, &x) in self.order.iter().enumerate() {
+            if blocks_with_remaining <= 1 {
+                return i as u64;
+            }
+            let b = self.partition.block_of(x) as usize;
+            remaining_per_block[b] -= 1;
+            if remaining_per_block[b] == 0 {
+                blocks_with_remaining -= 1;
+            }
+        }
+        // The order is a permutation, so by the time it is exhausted at most
+        // one block can still have unprobed addresses.
+        self.partition.size()
+    }
+
+    /// Exact average and worst-case cost over a uniformly random target,
+    /// assuming the optimal stopping rule.
+    pub fn cost(&self) -> StrategyCost {
+        let n = self.partition.size();
+        let s = self.probes_before_stop();
+        // A target probed at position i (1-based, i ≤ s) costs i queries; any
+        // other target costs s queries (all answers 0, then stop).
+        let sum_found: u64 = (1..=s).sum();
+        let average = (sum_found as f64 + (n - s) as f64 * s as f64) / n as f64;
+        StrategyCost {
+            probes_before_stop: s,
+            average_queries: average,
+            worst_case_queries: s,
+        }
+    }
+
+    /// Runs the strategy against a concrete target and returns
+    /// `(reported_block, queries)`; used to check the cost model against an
+    /// actual execution.
+    pub fn execute(&self, target: u64) -> (u64, u64) {
+        let s = self.probes_before_stop();
+        for (i, &x) in self.order.iter().enumerate().take(s as usize) {
+            if x == target {
+                return (self.partition.block_of(x), (i + 1) as u64);
+            }
+        }
+        // All s probes failed: the unprobed remainder lies in one block.
+        let reported = self
+            .order
+            .iter()
+            .skip(s as usize)
+            .map(|&x| self.partition.block_of(x))
+            .next()
+            .expect("a zero-error strategy always leaves at least one address unprobed");
+        (reported, s)
+    }
+}
+
+/// The distributional lower bound itself: the minimum average cost any
+/// deterministic zero-error strategy can achieve, which is the cost of any
+/// strategy with the minimal stop point `S = N − N/K`.
+pub fn minimum_average_cost(partition: &Partition) -> f64 {
+    let n = partition.size() as f64;
+    let k = partition.blocks() as f64;
+    crate::analysis::appendix_a_lower_bound(n, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psq_math::approx::assert_close;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn block_by_block_achieves_the_bound_exactly() {
+        for &(n, k) in &[(12u64, 3u64), (24, 4), (64, 8), (60, 5)] {
+            let p = Partition::new(n, k);
+            let strategy = ProbeOrder::block_by_block(p);
+            let cost = strategy.cost();
+            assert_eq!(cost.probes_before_stop, n - n / k);
+            assert_close(cost.average_queries, minimum_average_cost(&p), 1e-12);
+        }
+    }
+
+    #[test]
+    fn no_random_strategy_beats_the_bound() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for &(n, k) in &[(12u64, 3u64), (32, 4), (40, 8)] {
+            let p = Partition::new(n, k);
+            let bound = minimum_average_cost(&p);
+            for _ in 0..200 {
+                let strategy = ProbeOrder::random(p, &mut rng);
+                assert!(
+                    strategy.cost().average_queries >= bound - 1e-12,
+                    "a random strategy beat the Appendix-A bound"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_is_strictly_worse_than_block_by_block() {
+        let p = Partition::new(48, 4);
+        let good = ProbeOrder::block_by_block(p).cost();
+        let bad = ProbeOrder::round_robin(p).cost();
+        assert!(bad.average_queries > good.average_queries);
+        // Interleaving forces probing until only one address of the last
+        // block remains uncovered... in fact until K−1 addresses remain in
+        // distinct blocks is impossible; it stops when N − 1 of one block's
+        // addresses would remain, i.e. very late.
+        assert!(bad.probes_before_stop > good.probes_before_stop);
+    }
+
+    #[test]
+    fn execution_matches_the_cost_model() {
+        let p = Partition::new(24, 3);
+        let strategy = ProbeOrder::block_by_block(p);
+        let s = strategy.probes_before_stop();
+        let mut total = 0u64;
+        for target in 0..24u64 {
+            let (block, queries) = strategy.execute(target);
+            assert_eq!(block, p.block_of(target), "strategy must be zero-error");
+            assert!(queries <= s);
+            total += queries;
+        }
+        assert_close(total as f64 / 24.0, strategy.cost().average_queries, 1e-12);
+    }
+
+    #[test]
+    fn random_strategies_are_also_zero_error() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = Partition::new(20, 4);
+        for _ in 0..50 {
+            let strategy = ProbeOrder::random(p, &mut rng);
+            for target in 0..20u64 {
+                let (block, _) = strategy.execute(target);
+                assert_eq!(block, p.block_of(target));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn repeated_probe_addresses_are_rejected() {
+        let p = Partition::new(4, 2);
+        ProbeOrder::new(p, vec![0, 1, 1, 3]);
+    }
+
+    #[test]
+    fn probes_before_stop_for_round_robin_is_nearly_n() {
+        // Round-robin leaves every block partially unprobed until the final
+        // sweep, so it can stop only K−1 probes before the end.
+        let p = Partition::new(40, 4);
+        let s = ProbeOrder::round_robin(p).probes_before_stop();
+        assert_eq!(s, 40 - 4 + 3);
+    }
+}

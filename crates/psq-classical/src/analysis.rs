@@ -1,0 +1,164 @@
+//! Closed-form expected-query analysis of classical search (Section 1.1 and
+//! Appendix A).
+//!
+//! Every formula comes in two flavours: the *exact* discrete expectation of
+//! the concrete algorithm implemented in this crate, and the *asymptotic*
+//! expression quoted by the paper.  Tests pin the two to each other and the
+//! Monte-Carlo runs in [`crate::partial_search`] pin the algorithms to the
+//! exact forms.
+
+/// Exact expected queries of randomized zero-error full search (probe a random
+/// permutation, infer the last address): `((N−1)(N+2))/(2N)`.
+pub fn randomized_full_expected_queries(n: f64) -> f64 {
+    assert!(n >= 1.0);
+    ((n - 1.0) * (n + 2.0)) / (2.0 * n)
+}
+
+/// The paper's asymptotic form of the same quantity: `N/2`.
+pub fn randomized_full_expected_queries_asymptotic(n: f64) -> f64 {
+    n / 2.0
+}
+
+/// Exact expected queries of the randomized partial-search algorithm
+/// (exclude a uniformly random block, probe the other `M = N − N/K`
+/// addresses in random order, infer on exhaustion):
+///
+/// `(1 − 1/K)·(M + 1)/2 + (1/K)·M`.
+pub fn randomized_partial_expected_queries(n: f64, k: f64) -> f64 {
+    assert!(k >= 1.0 && n >= k);
+    let m = n - n / k;
+    (1.0 - 1.0 / k) * (m + 1.0) / 2.0 + (1.0 / k) * m
+}
+
+/// The paper's asymptotic form: `N/2 · (1 − 1/K²)`.
+pub fn randomized_partial_expected_queries_asymptotic(n: f64, k: f64) -> f64 {
+    (n / 2.0) * (1.0 - 1.0 / (k * k))
+}
+
+/// Worst-case queries of the deterministic zero-error partial-search
+/// algorithm: `N(1 − 1/K)` (probe everything outside one block).
+pub fn deterministic_partial_worst_case(n: f64, k: f64) -> f64 {
+    n * (1.0 - 1.0 / k)
+}
+
+/// Queries the deterministic partial algorithm *saves* compared with any
+/// deterministic algorithm that solves full search with certainty (which
+/// needs `N − 1` probes in the worst case): approximately `N/K`.
+pub fn deterministic_partial_savings(n: f64, k: f64) -> f64 {
+    (n - 1.0) - deterministic_partial_worst_case(n, k)
+}
+
+/// Appendix A's lower bound on the expected probes of any zero-error
+/// randomized partial-search algorithm, in the exact discrete form
+/// `(M(M+1)/2 + (N − M)·M)/N` with `M = N − N/K`.
+///
+/// Derivation (mirroring the appendix): a deterministic zero-error algorithm
+/// is equivalent to a probe permutation plus the stopping rule "stop when the
+/// target is found or when the unprobed addresses all lie in one block".  If
+/// it probes `S` addresses before it could stop, a uniformly random target
+/// costs `(Σ_{i≤S} i + (N − S)·S)/N` on average, which is increasing in `S`;
+/// the smallest feasible `S` is `M`, giving the bound.  Averaging over the
+/// algorithm's randomness cannot help (Yao / linearity of expectation).
+pub fn appendix_a_lower_bound(n: f64, k: f64) -> f64 {
+    assert!(k >= 1.0 && n >= k);
+    let m = n - n / k;
+    (m * (m + 1.0) / 2.0 + (n - m) * m) / n
+}
+
+/// The asymptotic statement of the Appendix-A bound: `N/2·(1 − 1/K²)`.
+pub fn appendix_a_lower_bound_asymptotic(n: f64, k: f64) -> f64 {
+    randomized_partial_expected_queries_asymptotic(n, k)
+}
+
+/// The average cost of the deterministic strategy that probes according to an
+/// arbitrary permutation and stops when the target is found or only one block
+/// remains uncovered.
+///
+/// `probes_before_stop` is the number `S` of addresses the permutation visits
+/// before the unprobed remainder first fits inside a single block.
+pub fn average_cost_for_stop_point(n: f64, probes_before_stop: f64) -> f64 {
+    let s = probes_before_stop;
+    assert!(s >= 0.0 && s <= n);
+    (s * (s + 1.0) / 2.0 + (n - s) * s) / n
+}
+
+/// Relative saving of classical partial search over classical full search:
+/// `1 − (expected partial / expected full)`, asymptotically `1/K²`.
+pub fn classical_partial_relative_saving(k: f64) -> f64 {
+    1.0 / (k * k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psq_math::approx::assert_close;
+
+    #[test]
+    fn exact_forms_converge_to_asymptotic_forms() {
+        let n = 1e8;
+        for &k in &[2.0, 3.0, 4.0, 8.0, 32.0] {
+            let exact = randomized_partial_expected_queries(n, k);
+            let asym = randomized_partial_expected_queries_asymptotic(n, k);
+            assert!((exact / asym - 1.0).abs() < 1e-6, "k = {k}");
+        }
+        assert!(
+            (randomized_full_expected_queries(n) / randomized_full_expected_queries_asymptotic(n)
+                - 1.0)
+                .abs()
+                < 1e-6
+        );
+    }
+
+    #[test]
+    fn partial_search_saves_exactly_the_paper_fraction() {
+        let n = 1e9;
+        for &k in &[2.0, 5.0, 10.0] {
+            let full = randomized_full_expected_queries_asymptotic(n);
+            let partial = randomized_partial_expected_queries_asymptotic(n, k);
+            assert_close((full - partial) / full, classical_partial_relative_saving(k), 1e-12);
+        }
+    }
+
+    #[test]
+    fn lower_bound_equals_algorithm_cost() {
+        // The randomized algorithm meets the Appendix-A bound exactly (in the
+        // exact discrete form), i.e. it is optimal.
+        for &(n, k) in &[(12.0, 3.0), (64.0, 4.0), (1024.0, 32.0)] {
+            assert_close(
+                randomized_partial_expected_queries(n, k),
+                appendix_a_lower_bound(n, k),
+                1e-9,
+            );
+        }
+    }
+
+    #[test]
+    fn average_cost_is_increasing_in_stop_point() {
+        let n = 100.0;
+        let mut prev = 0.0;
+        for s in 1..=100 {
+            let cost = average_cost_for_stop_point(n, s as f64);
+            assert!(cost > prev);
+            prev = cost;
+        }
+        // S = N recovers the full-search expectation over a uniform target
+        // when no inference is allowed: (N+1)/2.
+        assert_close(average_cost_for_stop_point(n, n), (n + 1.0) / 2.0, 1e-12);
+    }
+
+    #[test]
+    fn k_equals_one_degenerates_to_zero_cost_problem() {
+        // With a single block there is nothing to learn; the bound is 0.
+        assert_close(appendix_a_lower_bound(16.0, 1.0), 0.0, 1e-12);
+        assert_close(randomized_partial_expected_queries(16.0, 1.0), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn deterministic_savings_are_about_n_over_k() {
+        let n = 1e6;
+        for &k in &[2.0, 4.0, 100.0] {
+            let savings = deterministic_partial_savings(n, k);
+            assert!((savings - n / k).abs() <= 1.0, "k = {k}");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Classical full database search.
+//!
+//! Section 1.1 of the paper states the classical facts the quantum results
+//! are measured against: with a single marked item among `N`, a randomized
+//! classical algorithm that makes no errors needs `N/2` queries on average to
+//! locate it exactly, and this is tight.  These runners execute against the
+//! same instrumented [`Database`] as the quantum algorithms, so the query
+//! accounting is directly comparable.
+
+use psq_sim::oracle::{Database, FullSearchOutcome};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Deterministic linear scan: probe addresses `0, 1, 2, …` until the marked
+/// item is found.
+///
+/// When the first `N − 1` probes have all failed the last address is inferred
+/// without a query (the algorithm still makes no errors), so the worst case
+/// is `N − 1` queries.
+pub fn deterministic_scan(db: &Database) -> FullSearchOutcome {
+    let span = db.counter().span();
+    let n = db.size();
+    for x in 0..n {
+        if x == n - 1 {
+            // All other addresses are unmarked, so the last one must be it.
+            return FullSearchOutcome {
+                reported_target: x,
+                true_target: db.target(),
+                queries: span.elapsed(),
+            };
+        }
+        if db.query(x) {
+            return FullSearchOutcome {
+                reported_target: x,
+                true_target: db.target(),
+                queries: span.elapsed(),
+            };
+        }
+    }
+    unreachable!("the loop always returns before exhausting the address space");
+}
+
+/// Randomized scan: probe the addresses in a uniformly random order until the
+/// marked item is found (inferring the final address for free, as above).
+///
+/// Expected queries over a worst-case target: [`expected_queries_random_scan`].
+pub fn random_scan<R: Rng + ?Sized>(db: &Database, rng: &mut R) -> FullSearchOutcome {
+    let span = db.counter().span();
+    let n = db.size();
+    let mut order: Vec<u64> = (0..n).collect();
+    order.shuffle(rng);
+    for (probed, &x) in order.iter().enumerate() {
+        if probed as u64 == n - 1 {
+            return FullSearchOutcome {
+                reported_target: x,
+                true_target: db.target(),
+                queries: span.elapsed(),
+            };
+        }
+        if db.query(x) {
+            return FullSearchOutcome {
+                reported_target: x,
+                true_target: db.target(),
+                queries: span.elapsed(),
+            };
+        }
+    }
+    unreachable!("the loop always returns before exhausting the address space");
+}
+
+/// Exact expected query count of [`random_scan`] for any fixed target:
+/// `((N−1)(N+2)) / (2N)`.
+///
+/// The target lands at a uniformly random position `i ∈ {1, …, N}` of the
+/// probe order and costs `min(i, N−1)` queries, so the expectation is
+/// `(Σ_{i=1}^{N−1} i + (N−1)) / N`.
+pub fn expected_queries_random_scan(n: f64) -> f64 {
+    assert!(n >= 1.0);
+    ((n - 1.0) * (n + 2.0)) / (2.0 * n)
+}
+
+/// The textbook asymptotic statement of the same quantity: `N/2`.
+pub fn expected_queries_asymptotic(n: f64) -> f64 {
+    n / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psq_math::approx::assert_close;
+    use psq_math::stats::RunningStats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_scan_is_always_correct() {
+        for target in 0..16u64 {
+            let db = Database::new(16, target);
+            let outcome = deterministic_scan(&db);
+            assert!(outcome.is_correct());
+            // Target at address t costs t + 1 probes, except the last address
+            // which is inferred after the 15 preceding probes all fail.
+            assert_eq!(outcome.queries, (target + 1).min(15));
+        }
+    }
+
+    #[test]
+    fn random_scan_is_always_correct_and_never_exceeds_n_minus_1() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..50u64 {
+            let db = Database::new(40, trial % 40);
+            let outcome = random_scan(&db, &mut rng);
+            assert!(outcome.is_correct());
+            assert!(outcome.queries <= 39);
+        }
+    }
+
+    #[test]
+    fn random_scan_average_matches_closed_form() {
+        let n = 64u64;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut stats = RunningStats::new();
+        for trial in 0..4000u64 {
+            let db = Database::new(n, trial % n);
+            stats.push(random_scan(&db, &mut rng).queries as f64);
+        }
+        let expected = expected_queries_random_scan(n as f64);
+        // 4000 trials of a distribution with std-dev ≈ N/√12 ≈ 18.5.
+        assert!((stats.mean() - expected).abs() < 1.5, "mean {} vs {expected}", stats.mean());
+    }
+
+    #[test]
+    fn closed_form_tends_to_n_over_2() {
+        assert_close(
+            expected_queries_random_scan(1e6) / expected_queries_asymptotic(1e6),
+            1.0,
+            1e-5,
+        );
+        // Small-N exactness: N = 2 costs exactly 1 query in every case? No —
+        // with probability 1/2 the first probe hits the target (1 query) and
+        // with probability 1/2 it misses and the answer is inferred (1 query).
+        assert_close(expected_queries_random_scan(2.0), 1.0, 1e-12);
+    }
+}

@@ -1,0 +1,32 @@
+//! Classical database search baselines (Section 1.1 and Appendix A).
+//!
+//! The paper opens by fixing the classical landscape: full search of an
+//! unsorted `N`-item database with a unique marked item takes `N/2` expected
+//! queries for zero-error randomized algorithms, and asking only for the
+//! block (out of `K` equal blocks) that contains the item saves merely a
+//! `1/K²` fraction.  This crate makes those statements executable:
+//!
+//! * [`full_search`] — deterministic and randomized zero-error full search
+//!   against the instrumented [`psq_sim::oracle::Database`];
+//! * [`partial_search`] — the deterministic (`N(1 − 1/K)` worst case) and
+//!   randomized (`N/2·(1 − 1/K²)` expected) partial-search algorithms, plus
+//!   the classical analogue of the paper's recursive reduction;
+//! * [`analysis`] — the exact and asymptotic closed forms for all of the
+//!   above;
+//! * [`adversary`] — Appendix A's distributional lower bound as a checkable
+//!   object: any probe strategy can be costed exactly and compared to the
+//!   bound.
+
+pub mod adversary;
+pub mod analysis;
+pub mod full_search;
+pub mod partial_search;
+
+pub use adversary::{minimum_average_cost, ProbeOrder, StrategyCost};
+pub use analysis::{
+    appendix_a_lower_bound, appendix_a_lower_bound_asymptotic, deterministic_partial_worst_case,
+    randomized_full_expected_queries, randomized_partial_expected_queries,
+    randomized_partial_expected_queries_asymptotic,
+};
+pub use full_search::{deterministic_scan, random_scan};
+pub use partial_search::{deterministic_partial, full_search_via_partial, randomized_partial};

@@ -1,0 +1,211 @@
+//! Classical partial search (Section 1.1).
+//!
+//! The problem: the address space is split into `K` equal blocks and only the
+//! block containing the marked item is wanted.  The paper's classical
+//! observations, reproduced here as runnable algorithms:
+//!
+//! * a *deterministic* zero-error algorithm can leave one block unprobed and
+//!   infer the answer, for a worst case of `N(1 − 1/K)` queries;
+//! * the *randomized* version (exclude a random block, probe the rest in
+//!   random order) makes `N/2·(1 − 1/K²)` queries on average — a saving over
+//!   full search that vanishes like `1/K²`;
+//! * no zero-error randomized algorithm can do better (Appendix A; see
+//!   [`crate::adversary`]).
+
+use psq_sim::oracle::{Database, PartialSearchOutcome, Partition};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Deterministic partial search: probe every address outside the *last* block
+/// in increasing order; stop as soon as the marked item is found, and if it
+/// never is, report the unprobed block.
+///
+/// Zero error; worst case `N − N/K` queries.
+pub fn deterministic_partial(db: &Database, partition: &Partition) -> PartialSearchOutcome {
+    assert_eq!(db.size(), partition.size(), "database/partition size mismatch");
+    partial_with_excluded_block::<rand::rngs::ThreadRng>(db, partition, partition.blocks() - 1, None)
+}
+
+/// Randomized partial search: exclude a uniformly random block and probe the
+/// remaining addresses in a uniformly random order.
+///
+/// Zero error; expected queries `N/2·(1 − 1/K²)` (see
+/// [`crate::analysis::randomized_partial_expected_queries`]).
+pub fn randomized_partial<R: Rng + ?Sized>(
+    db: &Database,
+    partition: &Partition,
+    rng: &mut R,
+) -> PartialSearchOutcome {
+    assert_eq!(db.size(), partition.size(), "database/partition size mismatch");
+    let excluded = rng.gen_range(0..partition.blocks());
+    partial_with_excluded_block(db, partition, excluded, Some(rng))
+}
+
+/// Shared engine: probes every address outside `excluded` (in random order if
+/// an `rng` is supplied, in increasing order otherwise) until the marked item
+/// turns up; reports the excluded block if it never does.
+fn partial_with_excluded_block<R: Rng + ?Sized>(
+    db: &Database,
+    partition: &Partition,
+    excluded: u64,
+    rng: Option<&mut R>,
+) -> PartialSearchOutcome {
+    let span = db.counter().span();
+    let mut order: Vec<u64> = (0..db.size())
+        .filter(|&x| partition.block_of(x) != excluded)
+        .collect();
+    if let Some(rng) = rng {
+        order.shuffle(rng);
+    }
+    let true_block = partition.block_of(db.target());
+    for &x in &order {
+        if db.query(x) {
+            return PartialSearchOutcome {
+                reported_block: partition.block_of(x),
+                true_block,
+                queries: span.elapsed(),
+            };
+        }
+    }
+    // Every probed address was unmarked, so the target lies in the excluded
+    // block; no further query is needed.
+    PartialSearchOutcome {
+        reported_block: excluded,
+        true_block,
+        queries: span.elapsed(),
+    }
+}
+
+/// Full classical search implemented on top of repeated partial searches —
+/// the classical analogue of the reduction in Section 4 of the paper.
+///
+/// At every level the address range is split into `k_per_level` blocks, the
+/// target block is identified by [`deterministic_partial`] on the restricted
+/// range, and the search recurses into that block until a single address
+/// remains.  Used by tests to sanity-check the reduction's bookkeeping in a
+/// setting where the arithmetic is elementary.
+pub fn full_search_via_partial(db: &Database, k_per_level: u64) -> (u64, u64) {
+    assert!(k_per_level >= 2, "need at least two blocks per level");
+    let span = db.counter().span();
+    let mut lo = 0u64;
+    let mut len = db.size();
+    while len > 1 {
+        // Choose the largest divisor of `len` that is ≤ k_per_level so the
+        // partition stays equal-sized at every level.
+        let k = (2..=k_per_level.min(len)).rev().find(|k| len % k == 0).unwrap_or(len);
+        let block_len = len / k;
+        // Probe all blocks but the last within the current range.
+        let mut found = None;
+        'outer: for block in 0..k - 1 {
+            for x in (lo + block * block_len)..(lo + (block + 1) * block_len) {
+                if db.query(x) {
+                    found = Some(block);
+                    break 'outer;
+                }
+            }
+        }
+        let block = found.unwrap_or(k - 1);
+        lo += block * block_len;
+        len = block_len;
+    }
+    (lo, span.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psq_math::stats::RunningStats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_partial_is_always_correct() {
+        let partition = Partition::new(24, 3);
+        for target in 0..24u64 {
+            let db = Database::new(24, target);
+            let outcome = deterministic_partial(&db, &partition);
+            assert!(outcome.is_correct());
+            assert!(outcome.queries <= 16, "worst case is N(1 - 1/K) = 16");
+        }
+    }
+
+    #[test]
+    fn deterministic_partial_hits_the_worst_case_only_for_the_last_block() {
+        let partition = Partition::new(24, 3);
+        // Target in the excluded (last) block: all 16 probes fail.
+        let db = Database::new(24, 20);
+        assert_eq!(deterministic_partial(&db, &partition).queries, 16);
+        // Target probed first: one query.
+        let db = Database::new(24, 0);
+        assert_eq!(deterministic_partial(&db, &partition).queries, 1);
+    }
+
+    #[test]
+    fn randomized_partial_is_always_correct() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let partition = Partition::new(32, 4);
+        for trial in 0..100u64 {
+            let db = Database::new(32, trial % 32);
+            let outcome = randomized_partial(&db, &partition, &mut rng);
+            assert!(outcome.is_correct());
+            assert!(outcome.queries <= 24);
+        }
+    }
+
+    #[test]
+    fn randomized_partial_average_matches_appendix_a() {
+        let n = 64u64;
+        let k = 4u64;
+        let partition = Partition::new(n, k);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut stats = RunningStats::new();
+        for trial in 0..6000u64 {
+            let db = Database::new(n, trial % n);
+            stats.push(randomized_partial(&db, &partition, &mut rng).queries as f64);
+        }
+        let expected = crate::analysis::randomized_partial_expected_queries(n as f64, k as f64);
+        assert!(
+            (stats.mean() - expected).abs() < 1.0,
+            "mean {} vs expected {expected}",
+            stats.mean()
+        );
+    }
+
+    #[test]
+    fn full_search_via_partial_finds_the_target() {
+        for target in [0u64, 17, 40, 63] {
+            let db = Database::new(64, target);
+            let (found, queries) = full_search_via_partial(&db, 4);
+            assert_eq!(found, target);
+            assert!(queries <= 63);
+        }
+    }
+
+    #[test]
+    fn partial_search_beats_full_search_on_average_but_barely() {
+        // The expected saving N/(2K²) is tiny compared with the per-run
+        // standard deviation (~N/√12), so compare each Monte-Carlo mean with
+        // its closed form instead of the two noisy means with each other.
+        let n = 128u64;
+        let k = 8u64;
+        let partition = Partition::new(n, k);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut partial = RunningStats::new();
+        let mut full = RunningStats::new();
+        for trial in 0..4000u64 {
+            let db = Database::new(n, trial % n);
+            partial.push(randomized_partial(&db, &partition, &mut rng).queries as f64);
+            let db = Database::new(n, trial % n);
+            full.push(crate::full_search::random_scan(&db, &mut rng).queries as f64);
+        }
+        let partial_exact =
+            crate::analysis::randomized_partial_expected_queries(n as f64, k as f64);
+        let full_exact = crate::analysis::randomized_full_expected_queries(n as f64);
+        assert!((partial.mean() - partial_exact).abs() < 3.0);
+        assert!((full.mean() - full_exact).abs() < 3.0);
+        // Partial search really is cheaper, but only by ~ N/(2K²) ≈ 1 query
+        // out of ~64.
+        assert!(partial_exact < full_exact);
+        assert!(full_exact - partial_exact < 2.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Cross-module and property-based tests for the classical baselines.
+
+use proptest::prelude::*;
+use psq_classical::{adversary::ProbeOrder, analysis, full_search, partial_search};
+use psq_math::stats::RunningStats;
+use psq_sim::oracle::{Database, Partition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn every_implemented_strategy_respects_the_appendix_a_bound() {
+    // The bound is on the average over a uniform target; check it for the
+    // deterministic algorithm by exact enumeration of all targets.
+    for &(n, k) in &[(12u64, 3u64), (24, 2), (64, 8), (100, 5)] {
+        let partition = Partition::new(n, k);
+        let mut total = 0u64;
+        for target in 0..n {
+            let db = Database::new(n, target);
+            let outcome = partial_search::deterministic_partial(&db, &partition);
+            assert!(outcome.is_correct());
+            total += outcome.queries;
+        }
+        let average = total as f64 / n as f64;
+        let bound = analysis::appendix_a_lower_bound(n as f64, k as f64);
+        assert!(average >= bound - 1e-9);
+        // The deterministic block-by-block strategy is in fact optimal.
+        assert!((average - bound).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn randomized_partial_tracks_the_exact_expectation_not_just_the_asymptotic_one() {
+    let n = 48u64;
+    let k = 3u64;
+    let partition = Partition::new(n, k);
+    let mut rng = StdRng::seed_from_u64(19);
+    let mut stats = RunningStats::new();
+    for trial in 0..8000u64 {
+        let db = Database::new(n, trial % n);
+        stats.push(partial_search::randomized_partial(&db, &partition, &mut rng).queries as f64);
+    }
+    let exact = analysis::randomized_partial_expected_queries(n as f64, k as f64);
+    let (lo, hi) = stats.confidence_interval(4.0);
+    assert!(lo <= exact && exact <= hi, "exact {exact} outside [{lo}, {hi}]");
+}
+
+#[test]
+fn classical_full_search_is_quadratically_slower_than_grover_theory() {
+    // Not a statement about this crate alone, but the comparison the paper's
+    // introduction sets up: N/2 versus (π/4)√N.
+    let n = 1u64 << 16;
+    let classical = analysis::randomized_full_expected_queries(n as f64);
+    let quantum = std::f64::consts::FRAC_PI_4 * (n as f64).sqrt();
+    assert!(classical / quantum > 100.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_deterministic_partial_is_zero_error_and_within_worst_case(
+        block_size in 1u64..12,
+        k in 2u64..8,
+        target_frac in 0.0f64..1.0,
+    ) {
+        let n = block_size * k;
+        let target = (((n - 1) as f64) * target_frac).round() as u64;
+        let partition = Partition::new(n, k);
+        let db = Database::new(n, target);
+        let outcome = partial_search::deterministic_partial(&db, &partition);
+        prop_assert!(outcome.is_correct());
+        prop_assert!(outcome.queries as f64
+            <= analysis::deterministic_partial_worst_case(n as f64, k as f64));
+    }
+
+    #[test]
+    fn prop_full_search_via_partial_always_finds_target(
+        n in 2u64..200,
+        target_frac in 0.0f64..1.0,
+        k in 2u64..6,
+    ) {
+        let target = (((n - 1) as f64) * target_frac).round() as u64;
+        let db = Database::new(n, target);
+        let (found, queries) = partial_search::full_search_via_partial(&db, k);
+        prop_assert_eq!(found, target);
+        prop_assert!(queries <= n);
+    }
+
+    #[test]
+    fn prop_probe_orders_never_beat_the_bound(
+        block_size in 1u64..8,
+        k in 2u64..6,
+        seed in 0u64..1_000,
+    ) {
+        let n = block_size * k;
+        let partition = Partition::new(n, k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let strategy = ProbeOrder::random(partition, &mut rng);
+        let bound = analysis::appendix_a_lower_bound(n as f64, k as f64);
+        prop_assert!(strategy.cost().average_queries >= bound - 1e-9);
+    }
+
+    #[test]
+    fn prop_deterministic_scan_cost_equals_target_position(
+        n in 2u64..300,
+        target_frac in 0.0f64..1.0,
+    ) {
+        let target = (((n - 1) as f64) * target_frac).round() as u64;
+        let db = Database::new(n, target);
+        let outcome = full_search::deterministic_scan(&db);
+        prop_assert!(outcome.is_correct());
+        prop_assert_eq!(outcome.queries, (target + 1).min(n - 1));
+    }
+}

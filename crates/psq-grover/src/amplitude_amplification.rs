@@ -1,0 +1,293 @@
+//! Generalised amplitude amplification.
+//!
+//! Section 2 of the paper frames both its Step 1 (global amplification) and
+//! its Step 2 (per-block amplification) as "judicious combinations of
+//! amplitude amplification steps".  This module provides the general
+//! machinery those steps specialise: reflections about an arbitrary marked
+//! *set* of addresses and about an arbitrary reference state, and the
+//! composite amplification loop with its multi-target iteration theory.
+
+use crate::theory;
+use psq_sim::oracle::Database;
+use psq_sim::query_counter::QueryCounter;
+use psq_sim::statevector::StateVector;
+use rand::Rng;
+
+/// A set of marked addresses with its own instrumented query counter.
+///
+/// [`Database`] models the paper's promise of a *unique* marked item; the
+/// generalised amplification machinery (and the multi-target sanity checks in
+/// the test suite) need the `m ≥ 1` generalisation.
+#[derive(Clone, Debug)]
+pub struct MarkedSet {
+    n: usize,
+    marked: Vec<usize>,
+    counter: QueryCounter,
+}
+
+impl MarkedSet {
+    /// Creates a marked set over a database of `n` items.
+    ///
+    /// # Panics
+    /// Panics if the set is empty or any index is out of range.
+    pub fn new(n: usize, mut marked: Vec<usize>) -> Self {
+        assert!(!marked.is_empty(), "marked set must be non-empty");
+        marked.sort_unstable();
+        marked.dedup();
+        assert!(*marked.last().expect("non-empty") < n, "marked index out of range");
+        Self {
+            n,
+            marked,
+            counter: QueryCounter::new(),
+        }
+    }
+
+    /// Wraps the unique marked item of a [`Database`] (sharing *its* counter
+    /// is not possible, so a fresh counter is used; callers who need the
+    /// database's own accounting should drive the database directly).
+    pub fn from_database(db: &Database) -> Self {
+        Self::new(db.size() as usize, vec![db.target() as usize])
+    }
+
+    /// Database size `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of marked items `m`.
+    pub fn marked_count(&self) -> usize {
+        self.marked.len()
+    }
+
+    /// The marked indices, sorted.
+    pub fn marked(&self) -> &[usize] {
+        &self.marked
+    }
+
+    /// Whether `x` is marked (no query charged; this is ground truth used by
+    /// experiment drivers for scoring).
+    pub fn contains(&self, x: usize) -> bool {
+        self.marked.binary_search(&x).is_ok()
+    }
+
+    /// Classical point query, charged as one oracle query.
+    pub fn query(&self, x: usize) -> bool {
+        self.counter.increment();
+        self.contains(x)
+    }
+
+    /// Total queries charged (classical plus quantum).
+    pub fn queries(&self) -> u64 {
+        self.counter.total()
+    }
+
+    /// Resets the counter.
+    pub fn reset_queries(&self) {
+        self.counter.reset();
+    }
+
+    /// Applies the oracle reflection `I − 2 Σ_{x marked} |x⟩⟨x|`, charging one
+    /// query.
+    pub fn reflect(&self, state: &mut StateVector) {
+        assert_eq!(state.len(), self.n, "state dimension must match the marked set");
+        self.counter.increment();
+        for &x in &self.marked {
+            state.phase_flip_unchecked(x);
+        }
+    }
+
+    /// Probability that a measurement of `state` yields a marked item.
+    pub fn success_probability(&self, state: &StateVector) -> f64 {
+        self.marked.iter().map(|&x| state.probability(x)).sum()
+    }
+}
+
+/// Reflects `state` about an arbitrary reference state:
+/// `|ψ⟩ ↦ 2⟨χ|ψ⟩|χ⟩ − |ψ⟩`.
+///
+/// With `χ = |ψ0⟩` this is the global diffusion; the partial-search Step 2
+/// uses the block-wise analogue.
+pub fn reflect_about_state(state: &mut StateVector, reference: &StateVector) {
+    assert_eq!(state.len(), reference.len(), "dimension mismatch");
+    let overlap = reference.inner_product(state);
+    let twice = overlap * 2.0;
+    // Capturing the reference by shared borrow keeps the kernel allocation
+    // free; amplitudes are read per index inside the parallel chunks.
+    state.for_each_amplitude(|i, z| {
+        *z = twice * reference.amplitude(i) - *z;
+    });
+}
+
+/// One generalised amplitude-amplification iteration: oracle reflection over
+/// the marked set followed by reflection about the initial state.
+pub fn amplification_iteration(state: &mut StateVector, marked: &MarkedSet, initial: &StateVector) {
+    marked.reflect(state);
+    reflect_about_state(state, initial);
+}
+
+/// Runs `iterations` amplification steps starting from `initial`.
+pub fn amplify(marked: &MarkedSet, initial: &StateVector, iterations: u64) -> StateVector {
+    let mut state = initial.clone();
+    for _ in 0..iterations {
+        amplification_iteration(&mut state, marked, initial);
+    }
+    state
+}
+
+/// Searches for *any* marked item starting from the uniform superposition,
+/// using the optimal multi-target iteration count, then measures.
+///
+/// Returns the sampled index and the number of queries charged.
+pub fn search_any_marked<R: Rng + ?Sized>(marked: &MarkedSet, rng: &mut R) -> (usize, u64) {
+    let span = marked.counter.span();
+    let iterations = theory::optimal_iterations_multi(marked.n as f64, marked.marked_count() as f64);
+    let initial = StateVector::uniform(marked.n);
+    let state = amplify(marked, &initial, iterations);
+    let index = psq_sim::measure::sample_index(&state, rng);
+    (index, span.elapsed())
+}
+
+/// The amplitude of the (normalised) marked component after `iterations`
+/// amplification steps, predicted by the rotation picture.
+pub fn predicted_marked_probability(n: f64, m: f64, iterations: u64) -> f64 {
+    theory::success_probability_multi(n, m, iterations)
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+/// Amplitudes `(marked component, unmarked component)` used by the rotation
+/// decomposition of amplitude amplification.
+pub struct TwoDimDecomposition {
+    /// Norm of the projection onto the marked subspace.
+    pub marked_norm: f64,
+    /// Norm of the projection onto the unmarked subspace.
+    pub unmarked_norm: f64,
+}
+
+/// Projects a state onto the marked/unmarked decomposition.
+pub fn decompose(state: &StateVector, marked: &MarkedSet) -> TwoDimDecomposition {
+    let marked_prob = marked.success_probability(state);
+    TwoDimDecomposition {
+        marked_norm: marked_prob.sqrt(),
+        unmarked_norm: (1.0 - marked_prob).max(0.0).sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psq_math::approx::assert_close;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_marked_reduces_to_standard_grover() {
+        let n = 256usize;
+        let marked = MarkedSet::new(n, vec![17]);
+        let initial = StateVector::uniform(n);
+        let iters = theory::optimal_iterations_multi(n as f64, 1.0);
+        let state = amplify(&marked, &initial, iters);
+        assert_close(
+            state.probability(17),
+            theory::success_probability(n as f64, iters),
+            1e-10,
+        );
+        assert_eq!(marked.queries(), iters);
+    }
+
+    #[test]
+    fn multi_marked_amplification_matches_theory() {
+        let n = 1024usize;
+        let marked = MarkedSet::new(n, vec![3, 77, 500, 1023]);
+        let initial = StateVector::uniform(n);
+        for iters in [1u64, 4, 8] {
+            let state = amplify(&marked, &initial, iters);
+            assert_close(
+                marked.success_probability(&state),
+                predicted_marked_probability(n as f64, 4.0, iters),
+                1e-9,
+            );
+        }
+    }
+
+    #[test]
+    fn search_any_marked_finds_a_marked_item() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let marked = MarkedSet::new(4096, vec![1, 2000, 4000]);
+        for _ in 0..5 {
+            let (found, queries) = search_any_marked(&marked, &mut rng);
+            assert!(marked.contains(found));
+            assert!(queries > 0);
+        }
+    }
+
+    #[test]
+    fn reflect_about_uniform_equals_invert_about_mean() {
+        let db = Database::new(64, 9);
+        let mut a = StateVector::uniform(64);
+        let mut b = StateVector::uniform(64);
+        a.apply_oracle_phase_flip(&db);
+        b.apply_oracle_phase_flip(&db);
+        a.invert_about_mean();
+        let uniform = StateVector::uniform(64);
+        reflect_about_state(&mut b, &uniform);
+        for i in 0..64 {
+            assert!((a.amplitude(i) - b.amplitude(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reflect_about_state_is_an_involution() {
+        let reference = StateVector::uniform(32);
+        let db = Database::new(32, 4);
+        let mut state = StateVector::uniform(32);
+        state.grover_iteration(&db);
+        let original = state.clone();
+        reflect_about_state(&mut state, &reference);
+        reflect_about_state(&mut state, &reference);
+        for i in 0..32 {
+            assert!((state.amplitude(i) - original.amplitude(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn decomposition_norms_are_pythagorean() {
+        let marked = MarkedSet::new(128, vec![0, 1, 2, 3]);
+        let initial = StateVector::uniform(128);
+        let state = amplify(&marked, &initial, 3);
+        let d = decompose(&state, &marked);
+        assert_close(d.marked_norm.powi(2) + d.unmarked_norm.powi(2), 1.0, 1e-10);
+    }
+
+    #[test]
+    fn marked_set_deduplicates_and_sorts() {
+        let m = MarkedSet::new(16, vec![5, 3, 5, 3, 9]);
+        assert_eq!(m.marked(), &[3, 5, 9]);
+        assert_eq!(m.marked_count(), 3);
+        assert!(m.contains(9));
+        assert!(!m.contains(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_marked_set_is_rejected() {
+        MarkedSet::new(8, vec![]);
+    }
+
+    #[test]
+    fn classical_queries_are_charged() {
+        let m = MarkedSet::new(8, vec![2]);
+        assert!(!m.query(1));
+        assert!(m.query(2));
+        assert_eq!(m.queries(), 2);
+        m.reset_queries();
+        assert_eq!(m.queries(), 0);
+    }
+
+    #[test]
+    fn from_database_marks_the_target() {
+        let db = Database::new(32, 30);
+        let m = MarkedSet::from_database(&db);
+        assert_eq!(m.marked(), &[30]);
+        assert_eq!(m.n(), 32);
+    }
+}

@@ -1,0 +1,201 @@
+//! Sure-success (zero-failure) Grover search.
+//!
+//! The paper repeatedly appeals to the fact that the `O(1/N)` failure
+//! probability of textbook Grover search can be removed entirely "by
+//! modifying the last iteration slightly so that the state vector does not
+//! overshoot its target" (Section 2.1, citing Long and Brassard et al.).
+//! This module implements that modification as *phase matching*: every
+//! iteration uses the generalised operators
+//!
+//! ```text
+//!   R_t(φ) = I + (e^{iφ} − 1)|t⟩⟨t|        (oracle phase rotation)
+//!   D(φ)   = I + (e^{iφ} − 1)|ψ0⟩⟨ψ0|      (diffusion phase rotation)
+//! ```
+//!
+//! with a common phase `φ ≤ π` chosen so that after a fixed number of
+//! iterations the success probability is exactly 1.  Rather than trusting a
+//! remembered closed form, [`matched_phase`] finds `φ` numerically on the
+//! exact two-dimensional reduced model and the tests verify the resulting
+//! probability is 1 to machine precision on the full simulator.
+
+use psq_math::angle::grover_angle;
+use psq_math::complex::Complex64;
+use psq_sim::measure;
+use psq_sim::oracle::{Database, FullSearchOutcome};
+use psq_sim::statevector::StateVector;
+use rand::Rng;
+
+/// A fully-resolved sure-success plan: how many generalised iterations to
+/// run and with what phase.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExactPlan {
+    /// Database size `N`.
+    pub n: f64,
+    /// Number of generalised Grover iterations.
+    pub iterations: u64,
+    /// The matched phase `φ` used by both `R_t(φ)` and `D(φ)`.
+    pub phase: f64,
+    /// Predicted failure probability (should be ≤ ~1e-12).
+    pub predicted_failure: f64,
+}
+
+/// Evolves the exact two-dimensional model `(a_t, a_rest)` under `iters`
+/// generalised iterations with phase `phi` and returns the success
+/// probability `|a_t|²`.
+///
+/// The state stays in the span of the target and the uniform superposition of
+/// the non-targets, so this is exact for every `N`.
+pub fn success_probability_2d(n: f64, iters: u64, phi: f64) -> f64 {
+    let theta = grover_angle(n);
+    let (s, c) = (theta.sin(), theta.cos());
+    // |ψ0⟩ in the {|t⟩, |rest⟩} basis.
+    let psi0 = (Complex64::from_real(s), Complex64::from_real(c));
+    let mut state = psi0;
+    let rot = Complex64::cis(phi) - Complex64::ONE;
+    for _ in 0..iters {
+        // R_t(φ)
+        state.0 = state.0 * Complex64::cis(phi);
+        // D(φ): ψ += (e^{iφ} − 1)·⟨ψ0|ψ⟩·|ψ0⟩
+        let overlap = psi0.0.conj() * state.0 + psi0.1.conj() * state.1;
+        state.0 += rot * overlap * psi0.0;
+        state.1 += rot * overlap * psi0.1;
+    }
+    state.0.norm_sqr()
+}
+
+/// Finds the matched phase for a given iteration budget, returning the phase
+/// and the residual failure probability at that phase.
+pub fn matched_phase(n: f64, iterations: u64) -> (f64, f64) {
+    let objective = |phi: f64| 1.0 - success_probability_2d(n, iterations, phi);
+    // The failure probability is smooth in φ; a coarse grid locates the basin
+    // containing the zero and a golden-section refinement polishes it.
+    let min = psq_math::optimize::minimize(objective, 1e-6, std::f64::consts::PI, 512, 1e-13);
+    (min.x, min.value.max(0.0))
+}
+
+/// Builds the sure-success plan for a database of `n` items.
+///
+/// Starts from one more iteration than the standard optimum (phase matching
+/// slows each iteration down slightly, so the optimum count can be
+/// insufficient) and adds iterations until the matched phase drives the
+/// failure probability below `1e-10`.
+pub fn plan(n: f64) -> ExactPlan {
+    let base = psq_math::angle::optimal_grover_iterations(n) + 1;
+    for extra in 0..4 {
+        let iterations = base + extra;
+        let (phase, failure) = matched_phase(n, iterations);
+        if failure < 1e-10 {
+            return ExactPlan {
+                n,
+                iterations,
+                phase,
+                predicted_failure: failure,
+            };
+        }
+    }
+    unreachable!("phase matching must succeed within optimal + 4 iterations (N = {n})");
+}
+
+/// Runs the sure-success algorithm on the full state-vector simulator and
+/// measures.
+///
+/// The measurement is distributed exactly on the target (up to floating-point
+/// round-off), so the returned outcome is always correct; the number of
+/// queries is `plan(N).iterations`, a constant more than `(π/4)√N`.
+pub fn search_exact_statevector<R: Rng + ?Sized>(db: &Database, rng: &mut R) -> FullSearchOutcome {
+    let p = plan(db.size() as f64);
+    let span = db.counter().span();
+    let psi = exact_final_state(db, &p);
+    let reported = measure::sample_index(&psi, rng) as u64;
+    FullSearchOutcome {
+        reported_target: reported,
+        true_target: db.target(),
+        queries: span.elapsed(),
+    }
+}
+
+/// The final state of the sure-success run (all probability on the target).
+pub fn exact_final_state(db: &Database, plan: &ExactPlan) -> StateVector {
+    let mut psi = StateVector::uniform(db.size() as usize);
+    for _ in 0..plan.iterations {
+        psi.apply_oracle_phase_rotation(db, plan.phase);
+        psi.invert_about_mean_with_phase(plan.phase);
+    }
+    psi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psq_math::approx::assert_close;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn phase_pi_recovers_standard_grover() {
+        for &n in &[16.0, 100.0, 4096.0] {
+            let j = psq_math::angle::optimal_grover_iterations(n);
+            assert_close(
+                success_probability_2d(n, j, std::f64::consts::PI),
+                crate::theory::success_probability(n, j),
+                1e-12,
+            );
+        }
+    }
+
+    #[test]
+    fn matched_phase_reaches_probability_one_on_model() {
+        for &n in &[12.0, 100.0, 1000.0, 1e6, 1e9] {
+            let p = plan(n);
+            assert!(
+                p.predicted_failure < 1e-10,
+                "failure {} too large for N = {n}",
+                p.predicted_failure
+            );
+            assert!(p.phase > 0.0 && p.phase <= std::f64::consts::PI);
+        }
+    }
+
+    #[test]
+    fn matched_phase_is_below_pi_for_generic_sizes() {
+        // For sizes where (π/4)√N is not close to an integer the matched
+        // phase is strictly interior.
+        let p = plan(1000.0);
+        assert!(p.phase < std::f64::consts::PI - 1e-3);
+    }
+
+    #[test]
+    fn exact_search_concentrates_all_probability_on_target() {
+        for &(n, t) in &[(12u64, 7u64), (64, 0), (100, 99), (257, 41)] {
+            let db = Database::new(n, t);
+            let p = plan(n as f64);
+            let psi = exact_final_state(&db, &p);
+            assert!(
+                psi.probability(t as usize) > 1.0 - 1e-9,
+                "N = {n}: probability {}",
+                psi.probability(t as usize)
+            );
+            assert_eq!(db.queries(), p.iterations);
+        }
+    }
+
+    #[test]
+    fn exact_search_outcome_is_always_correct() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..25u64 {
+            let db = Database::new(200, (trial * 37) % 200);
+            let outcome = search_exact_statevector(&db, &mut rng);
+            assert!(outcome.is_correct());
+        }
+    }
+
+    #[test]
+    fn exact_search_costs_only_constantly_more_queries() {
+        for &n in &[256.0, 4096.0, 65536.0] {
+            let p = plan(n);
+            let standard = psq_math::angle::optimal_grover_iterations(n);
+            assert!(p.iterations >= standard);
+            assert!(p.iterations <= standard + 4);
+        }
+    }
+}

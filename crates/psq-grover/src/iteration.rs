@@ -1,0 +1,157 @@
+//! Iteration-count scheduling.
+//!
+//! Choosing *how many times* to apply the Grover operator is the entire game
+//! in this paper: full search applies it `(π/4)√N` times, the partial-search
+//! algorithm deliberately stops `θ(√(N/K))` iterations short in Step 1 and
+//! then spends a smaller number of per-block iterations in Step 2.  This
+//! module centralises those choices so the algorithm crates and the query
+//! model agree on rounding.
+
+use crate::theory;
+use psq_math::angle::{grover_angle, optimal_grover_iterations};
+
+/// A fully-resolved iteration schedule for a standard Grover run, together
+/// with the state geometry it is predicted to produce.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Schedule {
+    /// Database size `N`.
+    pub n: f64,
+    /// Number of Grover iterations to perform.
+    pub iterations: u64,
+    /// Predicted success probability after `iterations`.
+    pub success_probability: f64,
+    /// Predicted amplitude of the target state.
+    pub target_amplitude: f64,
+    /// Predicted amplitude of each non-target state.
+    pub rest_amplitude: f64,
+    /// Predicted angle of the state from the target (the paper's `θ`).
+    pub angle_from_target: f64,
+}
+
+impl Schedule {
+    /// Builds the schedule for an explicit iteration count.
+    pub fn with_iterations(n: f64, iterations: u64) -> Self {
+        Self {
+            n,
+            iterations,
+            success_probability: theory::success_probability(n, iterations),
+            target_amplitude: theory::target_amplitude_after(n, iterations),
+            rest_amplitude: theory::rest_amplitude_after(n, iterations),
+            angle_from_target: theory::angle_from_target_after(n, iterations),
+        }
+    }
+
+    /// The optimal schedule `j* = round(π/(4θ) − 1/2)`.
+    pub fn optimal(n: f64) -> Self {
+        Self::with_iterations(n, optimal_grover_iterations(n))
+    }
+
+    /// The paper's truncated Step-1 schedule
+    /// `ℓ1(ε) = ⌊(π/4)(1 − ε)√N⌋`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ ε ≤ 1`.
+    pub fn truncated(n: f64, epsilon: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must lie in [0, 1], got {epsilon}");
+        let iters = (std::f64::consts::FRAC_PI_4 * (1.0 - epsilon) * n.sqrt()).floor() as u64;
+        Self::with_iterations(n, iters)
+    }
+
+    /// The smallest iteration count whose predicted success probability
+    /// reaches `p`, or `None` if even the optimal count falls short.
+    pub fn for_probability(n: f64, p: f64) -> Option<Self> {
+        assert!((0.0..=1.0).contains(&p), "probability must lie in [0, 1]");
+        let max = optimal_grover_iterations(n);
+        for j in 0..=max {
+            if theory::success_probability(n, j) >= p {
+                return Some(Self::with_iterations(n, j));
+            }
+        }
+        None
+    }
+}
+
+/// Number of iterations needed to rotate the state by `angle` radians towards
+/// the target (each iteration advances by `2θ` with `sin θ = 1/√n`), rounded
+/// to the nearest integer.
+pub fn iterations_for_rotation(n: f64, angle: f64) -> u64 {
+    assert!(angle >= 0.0, "rotation angle must be non-negative");
+    let theta = grover_angle(n);
+    (angle / (2.0 * theta)).round().max(0.0) as u64
+}
+
+/// The paper's Step-1 iteration count `ℓ1(ε) = ⌊(π/4)(1 − ε)√N⌋` as a bare
+/// integer.
+pub fn truncated_iterations(n: f64, epsilon: f64) -> u64 {
+    Schedule::truncated(n, epsilon).iterations
+}
+
+/// Queries *saved* by stopping Step 1 at parameter `ε` instead of running the
+/// full optimal schedule.
+pub fn savings_versus_full(n: f64, epsilon: f64) -> u64 {
+    let full = optimal_grover_iterations(n);
+    let truncated = truncated_iterations(n, epsilon);
+    full.saturating_sub(truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psq_math::approx::assert_close;
+
+    #[test]
+    fn optimal_schedule_matches_angle_module() {
+        let s = Schedule::optimal((1u64 << 20) as f64);
+        assert_eq!(s.iterations, optimal_grover_iterations((1u64 << 20) as f64));
+        assert!(s.success_probability > 0.999_99);
+        assert!(s.angle_from_target.abs() < 2.0 * grover_angle((1 << 20) as f64));
+    }
+
+    #[test]
+    fn truncated_schedule_stops_short() {
+        let n = (1u64 << 20) as f64;
+        let eps = 0.25;
+        let s = Schedule::truncated(n, eps);
+        let full = Schedule::optimal(n);
+        assert!(s.iterations < full.iterations);
+        // Remaining angle is about (π/2)·ε.
+        assert_close(s.angle_from_target, std::f64::consts::FRAC_PI_2 * eps, 0.01);
+        assert_eq!(
+            savings_versus_full(n, eps),
+            full.iterations - s.iterations
+        );
+    }
+
+    #[test]
+    fn epsilon_zero_recovers_full_search_up_to_rounding() {
+        let n = (1u64 << 16) as f64;
+        let s = Schedule::truncated(n, 0.0);
+        let full = Schedule::optimal(n);
+        assert!(full.iterations.abs_diff(s.iterations) <= 1);
+    }
+
+    #[test]
+    fn for_probability_finds_minimal_count() {
+        let n = 4096.0;
+        let s = Schedule::for_probability(n, 0.5).expect("reachable");
+        assert!(s.success_probability >= 0.5);
+        if s.iterations > 0 {
+            assert!(theory::success_probability(n, s.iterations - 1) < 0.5);
+        }
+        assert!(Schedule::for_probability(n, 1.0).is_none() || n == 4.0);
+    }
+
+    #[test]
+    fn rotation_iteration_count_round_trips() {
+        let n = 1e8;
+        let theta = grover_angle(n);
+        let j = iterations_for_rotation(n, 100.0 * 2.0 * theta);
+        assert_eq!(j, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must lie in [0, 1]")]
+    fn rejects_out_of_range_epsilon() {
+        Schedule::truncated(1024.0, 1.5);
+    }
+}

@@ -1,0 +1,34 @@
+//! Standard quantum database search (Grover's algorithm) and its variants.
+//!
+//! This crate implements the baseline against which the paper's partial
+//! search algorithm is measured, in five layers:
+//!
+//! * [`theory`] — closed-form facts: the `(π/4)√N` query count, exact success
+//!   probabilities, multi-target generalisations, and the overshoot behaviour
+//!   that partial search exploits.
+//! * [`iteration`] — iteration-count scheduling, including the paper's
+//!   truncated Step-1 schedule `ℓ1(ε) = (π/4)(1 − ε)√N`.
+//! * [`standard`] — runnable searches on the state-vector and reduced
+//!   simulators: bounded-error, zero-error (Las Vegas verified), and exact
+//!   final-state extraction for the figures and lower bounds.
+//! * [`exact`] — the sure-success variant via phase matching (Long), used to
+//!   justify the paper's "can be modified to return the correct answer with
+//!   certainty".
+//! * [`amplitude_amplification`] — the generalised machinery (marked sets,
+//!   reflections about arbitrary states) that both the global Step 1 and the
+//!   per-block Step 2 of partial search specialise.
+
+pub mod amplitude_amplification;
+pub mod exact;
+pub mod iteration;
+pub mod standard;
+pub mod theory;
+
+pub use amplitude_amplification::{amplify, reflect_about_state, MarkedSet};
+pub use exact::{plan as exact_plan, search_exact_statevector, ExactPlan};
+pub use iteration::Schedule;
+pub use standard::{
+    final_state, search_reduced, search_reduced_optimal, search_statevector,
+    search_statevector_optimal, search_verified, ReducedSearchReport,
+};
+pub use theory::{full_search_queries, success_probability, QUERY_COEFFICIENT};

@@ -1,0 +1,211 @@
+//! Standard Grover database search, executed on the simulators.
+//!
+//! Three runners are provided:
+//!
+//! * [`search_statevector`] — the textbook algorithm on the full state-vector
+//!   simulator: prepare `|ψ0⟩`, iterate `A = I_0·I_t`, measure.  Bounded
+//!   error `O(1/N)`.
+//! * [`search_verified`] — the zero-error (Las Vegas) wrapper: measure, spend
+//!   one classical query verifying the outcome, repeat on failure.  Never
+//!   returns a wrong address.
+//! * [`search_reduced`] — the same dynamics on the block-symmetric reduced
+//!   simulator, for databases far too large to materialise; returns the exact
+//!   success probability instead of a sampled outcome.
+
+use crate::iteration::Schedule;
+use psq_sim::measure;
+use psq_sim::oracle::{Database, FullSearchOutcome};
+use psq_sim::reduced::ReducedState;
+use psq_sim::statevector::StateVector;
+use rand::Rng;
+
+/// Outcome of a run on the reduced simulator, where the full probability
+/// distribution is known exactly rather than sampled.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReducedSearchReport {
+    /// Database size `N`.
+    pub n: f64,
+    /// Iterations performed.
+    pub iterations: u64,
+    /// Oracle queries charged (equals `iterations` for standard search).
+    pub queries: u64,
+    /// Probability that a measurement would return the target.
+    pub success_probability: f64,
+}
+
+/// Runs `iterations` standard Grover iterations on the state-vector simulator
+/// and measures once.
+///
+/// The returned outcome records the sampled address, the true target, and the
+/// exact number of oracle queries charged.
+pub fn search_statevector<R: Rng + ?Sized>(
+    db: &Database,
+    iterations: u64,
+    rng: &mut R,
+) -> FullSearchOutcome {
+    let n = db.size() as usize;
+    let span = db.counter().span();
+    let mut psi = StateVector::uniform(n);
+    for _ in 0..iterations {
+        psi.grover_iteration(db);
+    }
+    let reported = measure::sample_index(&psi, rng) as u64;
+    FullSearchOutcome {
+        reported_target: reported,
+        true_target: db.target(),
+        queries: span.elapsed(),
+    }
+}
+
+/// Runs the optimal number of iterations and measures once.
+pub fn search_statevector_optimal<R: Rng + ?Sized>(db: &Database, rng: &mut R) -> FullSearchOutcome {
+    let schedule = Schedule::optimal(db.size() as f64);
+    search_statevector(db, schedule.iterations, rng)
+}
+
+/// The final state (not a sample) after `iterations` Grover iterations; used
+/// by the figures and by the lower-bound machinery, which need amplitudes
+/// rather than measurement outcomes.
+pub fn final_state(db: &Database, iterations: u64) -> StateVector {
+    let mut psi = StateVector::uniform(db.size() as usize);
+    for _ in 0..iterations {
+        psi.grover_iteration(db);
+    }
+    psi
+}
+
+/// Zero-error (Las Vegas) search: run optimal Grover, measure, verify the
+/// measured address with one classical query, and repeat the whole procedure
+/// until verification succeeds.
+///
+/// The returned address is always correct; the price is that the query count
+/// is a random variable with expectation
+/// [`crate::theory::verified_search_expected_queries`].
+///
+/// # Panics
+/// Panics if verification has not succeeded after `max_attempts` rounds
+/// (with the default schedule the failure probability per round is `O(1/N)`,
+/// so this fires only on a simulator bug).
+pub fn search_verified<R: Rng + ?Sized>(
+    db: &Database,
+    max_attempts: u32,
+    rng: &mut R,
+) -> FullSearchOutcome {
+    let span = db.counter().span();
+    let schedule = Schedule::optimal(db.size() as f64);
+    for _ in 0..max_attempts {
+        let mut psi = StateVector::uniform(db.size() as usize);
+        for _ in 0..schedule.iterations {
+            psi.grover_iteration(db);
+        }
+        let candidate = measure::sample_index(&psi, rng) as u64;
+        // One classical query to check the candidate; only a verified address
+        // is ever reported, so the algorithm never errs.
+        if db.query(candidate) {
+            return FullSearchOutcome {
+                reported_target: candidate,
+                true_target: db.target(),
+                queries: span.elapsed(),
+            };
+        }
+    }
+    panic!("verified Grover search failed {max_attempts} consecutive attempts; this indicates a simulator bug");
+}
+
+/// Runs `iterations` Grover iterations on the reduced simulator.
+pub fn search_reduced(n: f64, iterations: u64) -> ReducedSearchReport {
+    let mut state = ReducedState::uniform(n, 1.0);
+    state.grover_iterations(iterations);
+    ReducedSearchReport {
+        n,
+        iterations,
+        queries: state.queries(),
+        success_probability: state.target_probability(),
+    }
+}
+
+/// Runs the optimal number of iterations on the reduced simulator.
+pub fn search_reduced_optimal(n: f64) -> ReducedSearchReport {
+    search_reduced(n, Schedule::optimal(n).iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory;
+    use psq_math::approx::assert_close;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn optimal_search_finds_the_target() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(n, t) in &[(64u64, 17u64), (256, 0), (1024, 1023)] {
+            let db = Database::new(n, t);
+            let outcome = search_statevector_optimal(&db, &mut rng);
+            assert!(outcome.is_correct(), "failed for N = {n}");
+            assert_eq!(outcome.queries, Schedule::optimal(n as f64).iterations);
+        }
+    }
+
+    #[test]
+    fn query_count_equals_iterations() {
+        let db = Database::new(128, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let outcome = search_statevector(&db, 7, &mut rng);
+        assert_eq!(outcome.queries, 7);
+    }
+
+    #[test]
+    fn verified_search_is_never_wrong_and_counts_verification() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for trial in 0..20 {
+            let db = Database::new(256, (trial * 13) % 256);
+            let outcome = search_verified(&db, 16, &mut rng);
+            assert!(outcome.is_correct());
+            // At least the quantum iterations plus one verification query.
+            let per_round = Schedule::optimal(256.0).iterations + 1;
+            assert!(outcome.queries >= per_round);
+            assert_eq!(outcome.queries % per_round, 0);
+        }
+    }
+
+    #[test]
+    fn reduced_and_statevector_agree_on_success_probability() {
+        let n = 512u64;
+        let iters = 9;
+        let db = Database::new(n, 100);
+        let psi = final_state(&db, iters);
+        let reduced = search_reduced(n as f64, iters);
+        assert_close(
+            psi.probability(100),
+            reduced.success_probability,
+            1e-10,
+        );
+        assert_close(
+            reduced.success_probability,
+            theory::success_probability(n as f64, iters),
+            1e-10,
+        );
+    }
+
+    #[test]
+    fn reduced_search_scales_to_enormous_databases() {
+        let report = search_reduced_optimal(1e18);
+        assert!(report.success_probability > 1.0 - 1e-9);
+        // (π/4)·√1e18 ≈ 7.85e8 queries.
+        assert!((report.queries as f64 - theory::full_search_queries(1e18)).abs() < 2.0);
+    }
+
+    #[test]
+    fn zero_iterations_is_a_uniform_guess() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let db = Database::new(4096, 7);
+        let outcome = search_statevector(&db, 0, &mut rng);
+        assert_eq!(outcome.queries, 0);
+        // Almost surely wrong: probability of a lucky guess is 1/4096.
+        let _ = outcome.is_correct();
+        let reduced = search_reduced(4096.0, 0);
+        assert_close(reduced.success_probability, 1.0 / 4096.0, 1e-12);
+    }
+}

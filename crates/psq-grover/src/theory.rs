@@ -1,0 +1,164 @@
+//! Closed-form query-complexity facts for standard Grover search.
+//!
+//! These are the quantities Section 2.1 of the paper takes as known: the
+//! rotation-angle picture of amplitude amplification, the optimal iteration
+//! count `≈ (π/4)√N`, and the exact success probability after any number of
+//! iterations.  The algorithm crates use them to *predict* what the
+//! simulators should produce, and the tests close the loop by asserting that
+//! prediction and simulation agree.
+
+use psq_math::angle::{grover_angle, grover_angle_multi};
+
+/// The coefficient of `√N` in the optimal full-search query count: `π/4`.
+pub const QUERY_COEFFICIENT: f64 = std::f64::consts::FRAC_PI_4;
+
+/// Queries used by optimal Grover search on a size-`n` database, as the
+/// asymptotic expression `(π/4)√n`.
+pub fn full_search_queries(n: f64) -> f64 {
+    QUERY_COEFFICIENT * n.sqrt()
+}
+
+/// Amplitude of the target state after `iters` standard Grover iterations on
+/// a size-`n` database with one marked item: `sin((2·iters + 1)·θ)` where
+/// `sin θ = 1/√n`.
+pub fn target_amplitude_after(n: f64, iters: u64) -> f64 {
+    let theta = grover_angle(n);
+    ((2 * iters + 1) as f64 * theta).sin()
+}
+
+/// Amplitude of each *non-target* state after `iters` iterations:
+/// `cos((2·iters + 1)·θ) / √(n − 1)`.
+pub fn rest_amplitude_after(n: f64, iters: u64) -> f64 {
+    let theta = grover_angle(n);
+    ((2 * iters + 1) as f64 * theta).cos() / (n - 1.0).sqrt()
+}
+
+/// Success probability after `iters` iterations (single marked item).
+pub fn success_probability(n: f64, iters: u64) -> f64 {
+    target_amplitude_after(n, iters).powi(2)
+}
+
+/// Success probability after `iters` iterations when `m` of the `n` items are
+/// marked: `sin²((2·iters + 1)·θ_m)` with `sin θ_m = √(m/n)`.
+pub fn success_probability_multi(n: f64, m: f64, iters: u64) -> f64 {
+    let theta = grover_angle_multi(n, m);
+    ((2 * iters + 1) as f64 * theta).sin().powi(2)
+}
+
+/// Optimal iteration count for `m` marked items out of `n`:
+/// `round(π/(4θ_m) − 1/2)`.
+pub fn optimal_iterations_multi(n: f64, m: f64) -> u64 {
+    let theta = grover_angle_multi(n, m);
+    assert!(theta > 0.0, "need at least one marked item");
+    ((std::f64::consts::FRAC_PI_2 / (2.0 * theta)) - 0.5)
+        .round()
+        .max(0.0) as u64
+}
+
+/// The angle (measured from the *target*) of the state after `iters`
+/// iterations: `π/2 − (2·iters + 1)·θ`.
+///
+/// The paper's Step-1 analysis writes the post-Step-1 state as
+/// `cos(θ)|t⟩ + (sin(θ)/√N)Σ|x⟩`; this function returns that `θ` for a given
+/// iteration count.  Negative values mean the rotation has overshot the
+/// target — the drift the paper calls "crucial for our general partial search
+/// algorithm".
+pub fn angle_from_target_after(n: f64, iters: u64) -> f64 {
+    let theta = grover_angle(n);
+    std::f64::consts::FRAC_PI_2 - (2 * iters + 1) as f64 * theta
+}
+
+/// Expected oracle queries of the "run optimal Grover, measure, verify with
+/// one classical query, repeat on failure" zero-error (Las Vegas) procedure.
+///
+/// Each attempt costs `j* + 1` queries and succeeds with probability
+/// `p* = sin²((2j*+1)θ) = 1 − O(1/N)`, so the expectation is
+/// `(j* + 1)/p*`.
+pub fn verified_search_expected_queries(n: f64) -> f64 {
+    let j = psq_math::angle::optimal_grover_iterations(n);
+    let p = success_probability(n, j);
+    (j as f64 + 1.0) / p
+}
+
+/// Success probability of the classical strategy that simply probes `q`
+/// uniformly random distinct locations of a size-`n` database.
+pub fn classical_success_probability(n: f64, q: f64) -> f64 {
+    (q / n).clamp(0.0, 1.0)
+}
+
+/// The quadratic advantage factor: classical expected queries `n/2` divided
+/// by quantum queries `(π/4)√n`.
+pub fn quantum_speedup(n: f64) -> f64 {
+    (n / 2.0) / full_search_queries(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psq_math::approx::assert_close;
+
+    #[test]
+    fn n4_single_iteration_is_exact() {
+        assert_close(success_probability(4.0, 1), 1.0, 1e-12);
+        assert_close(target_amplitude_after(4.0, 1), 1.0, 1e-12);
+        assert_close(rest_amplitude_after(4.0, 1).abs(), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn optimal_iterations_give_near_certain_success() {
+        for &n in &[64.0, 1024.0, 1e6, 1e12] {
+            let j = psq_math::angle::optimal_grover_iterations(n);
+            assert!(success_probability(n, j) > 1.0 - 2.0 / n);
+        }
+    }
+
+    #[test]
+    fn query_coefficient_matches_iteration_count() {
+        let n = 1e10;
+        let j = psq_math::angle::optimal_grover_iterations(n) as f64;
+        assert!((j - full_search_queries(n)).abs() < 1.0);
+    }
+
+    #[test]
+    fn overshoot_reduces_success_probability() {
+        let n = 4096.0;
+        let j = psq_math::angle::optimal_grover_iterations(n);
+        let p_opt = success_probability(n, j);
+        let p_over = success_probability(n, j + 8);
+        assert!(p_over < p_opt);
+        assert!(angle_from_target_after(n, j + 8) < 0.0);
+        assert!(angle_from_target_after(n, j / 2) > 0.0);
+    }
+
+    #[test]
+    fn multi_marked_reduces_iteration_count() {
+        let n = 1 << 20;
+        let one = optimal_iterations_multi(n as f64, 1.0);
+        let four = optimal_iterations_multi(n as f64, 4.0);
+        // With m marked items the count shrinks by ~√m.
+        assert!((four as f64 - one as f64 / 2.0).abs() < 2.0);
+        assert!(success_probability_multi(n as f64, 4.0, four) > 0.999);
+    }
+
+    #[test]
+    fn verified_search_costs_barely_more_than_plain_grover() {
+        let n = 1e8;
+        let expected = verified_search_expected_queries(n);
+        let plain = full_search_queries(n);
+        assert!(expected >= plain * 0.99);
+        assert!(expected <= plain + 3.0);
+    }
+
+    #[test]
+    fn speedup_grows_like_sqrt_n() {
+        let s1 = quantum_speedup(1e6);
+        let s2 = quantum_speedup(4e6);
+        assert_close(s2 / s1, 2.0, 1e-9);
+    }
+
+    #[test]
+    fn classical_probability_is_linear_and_clamped() {
+        assert_close(classical_success_probability(100.0, 25.0), 0.25, 1e-15);
+        assert_close(classical_success_probability(100.0, 200.0), 1.0, 1e-15);
+    }
+}

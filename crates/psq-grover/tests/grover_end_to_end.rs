@@ -1,0 +1,108 @@
+//! End-to-end and property-based tests for the Grover crate.
+//!
+//! These cross the module boundaries inside `psq-grover`: schedules drive the
+//! simulators, the simulators are checked against the closed-form theory, and
+//! proptest sweeps database sizes and targets.
+
+use proptest::prelude::*;
+use psq_grover::{exact, iteration::Schedule, standard, theory};
+use psq_sim::oracle::Database;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn statevector_matches_theory_across_iteration_counts() {
+    let n = 300u64;
+    let db = Database::new(n, 123);
+    for iters in [0u64, 1, 3, 7, 11, 13] {
+        db.reset_queries();
+        let psi = standard::final_state(&db, iters);
+        let predicted = theory::success_probability(n as f64, iters);
+        assert!(
+            (psi.probability(123) - predicted).abs() < 1e-9,
+            "iters = {iters}"
+        );
+        assert_eq!(db.queries(), iters);
+    }
+}
+
+#[test]
+fn verified_and_exact_search_are_both_zero_error() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    for n in [60u64, 144, 500] {
+        let db = Database::new(n, n / 3);
+        let verified = standard::search_verified(&db, 8, &mut rng);
+        assert!(verified.is_correct());
+
+        let db2 = Database::new(n, n - 1);
+        let exact = exact::search_exact_statevector(&db2, &mut rng);
+        assert!(exact.is_correct());
+        // The sure-success variant uses only constantly more queries than the
+        // plain optimal schedule.
+        let optimal = Schedule::optimal(n as f64).iterations;
+        assert!(exact.queries <= optimal + 5);
+    }
+}
+
+#[test]
+fn truncated_schedule_leaves_the_paper_claimed_angle() {
+    // Step 1 of partial search stops ε·(π/4)√N iterations short; the angle
+    // left to the target should then be ≈ (π/2)·ε.
+    let n = (1u64 << 18) as f64;
+    for &eps in &[0.05, 0.1, 0.3, 0.5, 0.8] {
+        let s = Schedule::truncated(n, eps);
+        let expected = std::f64::consts::FRAC_PI_2 * eps;
+        assert!(
+            (s.angle_from_target - expected).abs() < 0.02,
+            "eps = {eps}: angle {} vs expected {expected}",
+            s.angle_from_target
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_final_state_stays_normalised_and_real(
+        n in 8u64..400,
+        target_frac in 0.0f64..1.0,
+        iters in 0u64..20,
+    ) {
+        let target = ((n as f64 - 1.0) * target_frac).round() as u64;
+        let db = Database::new(n, target);
+        let psi = standard::final_state(&db, iters);
+        prop_assert!((psi.norm_sqr() - 1.0).abs() < 1e-9);
+        prop_assert!(psi.max_imaginary_part() < 1e-12);
+        prop_assert!((psi.probability(target as usize)
+            - theory::success_probability(n as f64, iters)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn prop_reduced_simulator_matches_closed_form(
+        exponent in 3u32..40,
+        iters in 0u64..50,
+    ) {
+        let n = (1u64 << exponent) as f64;
+        let report = standard::search_reduced(n, iters);
+        prop_assert!((report.success_probability
+            - theory::success_probability(n, iters)).abs() < 1e-9);
+        prop_assert_eq!(report.queries, iters);
+    }
+
+    #[test]
+    fn prop_optimal_schedule_is_near_pi_over_4_sqrt_n(exponent in 4u32..50) {
+        let n = (1u64 << exponent) as f64;
+        let s = Schedule::optimal(n);
+        let ideal = theory::full_search_queries(n);
+        prop_assert!((s.iterations as f64 - ideal).abs() <= 1.0);
+        prop_assert!(s.success_probability > 1.0 - 4.0 / n);
+    }
+
+    #[test]
+    fn prop_exact_plan_always_reaches_certainty(n in 8u64..3000) {
+        let p = exact::plan(n as f64);
+        prop_assert!(p.predicted_failure < 1e-10);
+        prop_assert!(p.iterations <= Schedule::optimal(n as f64).iterations + 5);
+    }
+}

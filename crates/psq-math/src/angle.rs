@@ -1,0 +1,176 @@
+//! Angle utilities for quantum-state geometry.
+//!
+//! Both the algorithm analysis (Section 3.1) and Zalka's lower-bound argument
+//! (Appendix B) reason about *angles* between state vectors:
+//!
+//! * the Grover rotation angle `θ` with `sin θ = 1/√N`, advanced by `2θ` per
+//!   iteration;
+//! * the angular metric `θ(φ, φ') = arccos |⟨φ|φ'⟩|`, which takes values in
+//!   `[0, π/2]` and satisfies the triangle inequality (used in the hybrid
+//!   argument of Appendix B).
+
+use crate::approx::{safe_acos, safe_asin};
+use crate::complex::Complex64;
+use crate::vec_ops;
+
+/// The Grover rotation half-angle for a database of `n` items with a single
+/// marked item: `θ = arcsin(1/√n)`.
+///
+/// One Grover iteration rotates the state vector by `2θ` towards the target
+/// within the two-dimensional invariant subspace.
+#[inline]
+pub fn grover_angle(n: f64) -> f64 {
+    assert!(n >= 1.0, "grover_angle: database size must be >= 1");
+    safe_asin(1.0 / n.sqrt())
+}
+
+/// The Grover rotation half-angle when `m` of `n` items are marked:
+/// `θ = arcsin(√(m/n))`.
+#[inline]
+pub fn grover_angle_multi(n: f64, m: f64) -> f64 {
+    assert!(n >= 1.0 && m >= 0.0 && m <= n, "invalid marked count m = {m} for n = {n}");
+    safe_asin((m / n).sqrt())
+}
+
+/// Number of Grover iterations that maximises the success probability for a
+/// single marked item: `round(π / (4θ) - 1/2)` with `θ = arcsin(1/√n)`.
+#[inline]
+pub fn optimal_grover_iterations(n: f64) -> u64 {
+    let theta = grover_angle(n);
+    ((std::f64::consts::FRAC_PI_2 / (2.0 * theta)) - 0.5).round().max(0.0) as u64
+}
+
+/// Success probability of standard Grover search after `iters` iterations on
+/// a size-`n` database with a single marked item: `sin²((2·iters + 1)·θ)`.
+#[inline]
+pub fn grover_success_probability(n: f64, iters: u64) -> f64 {
+    let theta = grover_angle(n);
+    let angle = (2 * iters + 1) as f64 * theta;
+    angle.sin().powi(2)
+}
+
+/// The angular distance `θ(u, v) = arccos |⟨u|v⟩|` between two unit vectors
+/// with complex entries.
+///
+/// Values lie in `[0, π/2]`.  This is the metric used throughout Appendix B.
+pub fn angular_distance(u: &[Complex64], v: &[Complex64]) -> f64 {
+    assert_eq!(u.len(), v.len(), "angular_distance: dimension mismatch");
+    let ip = vec_ops::inner_product(u, v);
+    safe_acos(ip.abs())
+}
+
+/// The angular distance between two *real* unit vectors given as `f64` slices.
+pub fn angular_distance_real(u: &[f64], v: &[f64]) -> f64 {
+    assert_eq!(u.len(), v.len(), "angular_distance_real: dimension mismatch");
+    let ip: f64 = u.iter().zip(v).map(|(a, b)| a * b).sum();
+    safe_acos(ip.abs())
+}
+
+/// Checks the triangle inequality `θ(a, c) ≤ θ(a, b) + θ(b, c)` for three
+/// unit vectors, returning the slack `θ(a,b) + θ(b,c) − θ(a,c)` (≥ 0 up to
+/// round-off).
+///
+/// Appendix B's proof chains this inequality across the hybrid states
+/// `φ^{y,i}_T`; the numeric verification in `psq-bounds` uses this helper.
+pub fn triangle_slack(a: &[Complex64], b: &[Complex64], c: &[Complex64]) -> f64 {
+    angular_distance(a, b) + angular_distance(b, c) - angular_distance(a, c)
+}
+
+/// Normalises an angle into `[0, 2π)`.
+#[inline]
+pub fn wrap_angle(theta: f64) -> f64 {
+    theta.rem_euclid(2.0 * std::f64::consts::PI)
+}
+
+/// Converts between an amplitude on the target and the rotation angle:
+/// if the state is `cos(φ)|t⟩ + sin(φ)|rest⟩`, returns `φ = arccos(amp)`.
+#[inline]
+pub fn angle_from_target_amplitude(amp: f64) -> f64 {
+    safe_acos(amp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    #[test]
+    fn grover_angle_small_n() {
+        // N = 4: θ = arcsin(1/2) = π/6; a single iteration reaches the target
+        // exactly: sin²(3θ) = sin²(π/2) = 1.
+        let theta = grover_angle(4.0);
+        assert!((theta - PI / 6.0).abs() < 1e-12);
+        assert_eq!(optimal_grover_iterations(4.0), 1);
+        assert!((grover_success_probability(4.0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grover_iterations_scale_like_pi_over_4_sqrt_n() {
+        for &n in &[1u64 << 10, 1 << 16, 1 << 20] {
+            let nf = n as f64;
+            let iters = optimal_grover_iterations(nf) as f64;
+            let expected = FRAC_PI_4 * nf.sqrt();
+            assert!(
+                (iters - expected).abs() <= 1.0,
+                "iterations {iters} should be within 1 of (π/4)√N = {expected}"
+            );
+            assert!(grover_success_probability(nf, iters as u64) > 1.0 - 2.0 / nf);
+        }
+    }
+
+    #[test]
+    fn multi_marked_angle() {
+        // m = n/4 marked: θ = arcsin(1/2) = π/6.
+        assert!((grover_angle_multi(16.0, 4.0) - PI / 6.0).abs() < 1e-12);
+        // All marked: θ = π/2.
+        assert!((grover_angle_multi(8.0, 8.0) - FRAC_PI_2).abs() < 1e-12);
+        // None marked: θ = 0.
+        assert_eq!(grover_angle_multi(8.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn angular_distance_orthogonal_and_parallel() {
+        let e0 = [Complex64::ONE, Complex64::ZERO];
+        let e1 = [Complex64::ZERO, Complex64::ONE];
+        assert!((angular_distance(&e0, &e1) - FRAC_PI_2).abs() < 1e-12);
+        assert!(angular_distance(&e0, &e0) < 1e-12);
+        // Global phase is ignored: |⟨u|iu⟩| = 1.
+        let i_e0 = [Complex64::I, Complex64::ZERO];
+        assert!(angular_distance(&e0, &i_e0) < 1e-7);
+    }
+
+    #[test]
+    fn angular_distance_real_matches_complex() {
+        let u = [0.6, 0.8];
+        let v = [1.0, 0.0];
+        let uc = [Complex64::from_real(0.6), Complex64::from_real(0.8)];
+        let vc = [Complex64::ONE, Complex64::ZERO];
+        assert!((angular_distance_real(&u, &v) - angular_distance(&uc, &vc)).abs() < 1e-12);
+        assert!((angular_distance_real(&u, &v) - 0.8f64.asin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let a = [Complex64::ONE, Complex64::ZERO, Complex64::ZERO];
+        let b = [
+            Complex64::from_real(1.0 / 2f64.sqrt()),
+            Complex64::from_real(1.0 / 2f64.sqrt()),
+            Complex64::ZERO,
+        ];
+        let c = [Complex64::ZERO, Complex64::ONE, Complex64::ZERO];
+        assert!(triangle_slack(&a, &b, &c) >= -1e-12);
+    }
+
+    #[test]
+    fn wrapping() {
+        assert!((wrap_angle(2.5 * PI) - 0.5 * PI).abs() < 1e-12);
+        assert!((wrap_angle(-FRAC_PI_2) - 1.5 * PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn target_amplitude_angle_roundtrip() {
+        for amp in [0.0, 0.3, 0.9, 1.0] {
+            assert!((angle_from_target_amplitude(amp).cos() - amp).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Tolerance-based floating-point comparison helpers.
+//!
+//! The paper works extensively with quantities that agree only up to
+//! `O(1/√N)` corrections (the "∼" relation of Section 3.1).  These helpers
+//! centralise how the rest of the workspace expresses "equal up to an
+//! absolute/relative tolerance" and "equal up to the paper's asymptotic
+//! correction", so every test states its tolerance the same way.
+
+/// Returns `true` if `a` and `b` differ by at most `tol` in absolute value.
+#[inline]
+pub fn approx_eq_abs(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Returns `true` if `a` and `b` agree to a relative tolerance `rel`
+/// (with an absolute floor of `rel` for values near zero).
+#[inline]
+pub fn approx_eq_rel(a: f64, b: f64, rel: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= rel * scale
+}
+
+/// Returns `true` if `a` and `b` agree up to the paper's asymptotic
+/// correction `c / √N`.
+///
+/// Section 3.1 ("Remark about approximations") defines `LHS ∼ RHS` to mean
+/// the two sides differ by a quantity that vanishes like `O(1/√N)`.  Tests of
+/// asymptotic statements call this with an explicit constant `c`.
+#[inline]
+pub fn approx_eq_asymptotic(a: f64, b: f64, c: f64, n: f64) -> bool {
+    (a - b).abs() <= c / n.sqrt()
+}
+
+/// Asserts absolute closeness with a helpful message.
+///
+/// Prefer this over `assert!(approx_eq_abs(..))` in tests: failures print the
+/// actual difference.
+#[track_caller]
+pub fn assert_close(a: f64, b: f64, tol: f64) {
+    assert!(
+        approx_eq_abs(a, b, tol),
+        "values not within tolerance: {a} vs {b} (|diff| = {}, tol = {tol})",
+        (a - b).abs()
+    );
+}
+
+/// Asserts that every pair of corresponding entries in two slices is within
+/// `tol`.
+#[track_caller]
+pub fn assert_slices_close(a: &[f64], b: &[f64], tol: f64) {
+    assert_eq!(a.len(), b.len(), "slice lengths differ: {} vs {}", a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            approx_eq_abs(*x, *y, tol),
+            "slices differ at index {i}: {x} vs {y} (tol = {tol})"
+        );
+    }
+}
+
+/// Clamps a floating-point value into `[lo, hi]`.
+///
+/// Used when feeding nearly-out-of-range values (e.g. `1 + 1e-16`) into
+/// `asin`/`acos`, which would otherwise return NaN.
+#[inline]
+pub fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
+    x.max(lo).min(hi)
+}
+
+/// `asin` that tolerates arguments marginally outside `[-1, 1]` due to
+/// floating-point round-off.
+#[inline]
+pub fn safe_asin(x: f64) -> f64 {
+    clamp(x, -1.0, 1.0).asin()
+}
+
+/// `acos` that tolerates arguments marginally outside `[-1, 1]` due to
+/// floating-point round-off.
+#[inline]
+pub fn safe_acos(x: f64) -> f64 {
+    clamp(x, -1.0, 1.0).acos()
+}
+
+/// `sqrt` that treats tiny negative round-off as zero.
+#[inline]
+pub fn safe_sqrt(x: f64) -> f64 {
+    if x < 0.0 {
+        debug_assert!(x > -1e-9, "safe_sqrt called on significantly negative value {x}");
+        0.0
+    } else {
+        x.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_comparison() {
+        assert!(approx_eq_abs(1.0, 1.0 + 1e-12, 1e-10));
+        assert!(!approx_eq_abs(1.0, 1.1, 1e-10));
+    }
+
+    #[test]
+    fn relative_comparison_scales_with_magnitude() {
+        assert!(approx_eq_rel(1e9, 1e9 + 10.0, 1e-7));
+        assert!(!approx_eq_rel(1.0, 1.1, 1e-7));
+        // Near zero the floor of max(...,1.0) makes this behave absolutely.
+        assert!(approx_eq_rel(0.0, 1e-9, 1e-7));
+    }
+
+    #[test]
+    fn asymptotic_comparison_follows_one_over_sqrt_n() {
+        // difference 0.01 is fine for N = 100 with c = 0.2 (0.2/10 = 0.02)...
+        assert!(approx_eq_asymptotic(0.50, 0.51, 0.2, 100.0));
+        // ...but not for N = 10_000 (0.2/100 = 0.002).
+        assert!(!approx_eq_asymptotic(0.50, 0.51, 0.2, 10_000.0));
+    }
+
+    #[test]
+    fn assert_close_passes_within_tolerance() {
+        assert_close(std::f64::consts::PI, 3.14159265, 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "values not within tolerance")]
+    fn assert_close_panics_outside_tolerance() {
+        assert_close(1.0, 2.0, 1e-3);
+    }
+
+    #[test]
+    fn slice_comparison() {
+        assert_slices_close(&[1.0, 2.0], &[1.0 + 1e-12, 2.0 - 1e-12], 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "slices differ at index 1")]
+    fn slice_comparison_reports_index() {
+        assert_slices_close(&[1.0, 2.0], &[1.0, 2.5], 1e-9);
+    }
+
+    #[test]
+    fn safe_trig_clamps_roundoff() {
+        assert!((safe_asin(1.0 + 1e-15) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((safe_acos(-1.0 - 1e-15) - std::f64::consts::PI).abs() < 1e-12);
+        assert_eq!(safe_sqrt(-1e-14), 0.0);
+        assert!((safe_sqrt(4.0) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn clamp_behaviour() {
+        assert_eq!(clamp(5.0, 0.0, 1.0), 1.0);
+        assert_eq!(clamp(-5.0, 0.0, 1.0), 0.0);
+        assert_eq!(clamp(0.5, 0.0, 1.0), 0.5);
+    }
+}

@@ -1,0 +1,168 @@
+//! Bit/address utilities for the `[N] = {0,1}^n` address space.
+//!
+//! The paper identifies database addresses with `n`-bit strings and defines a
+//! *block* as the set of addresses sharing their first `k` bits (Section 2.2).
+//! These helpers convert between flat addresses `x ∈ [N]`, block indices
+//! `y ∈ [K]`, and within-block offsets `z ∈ [N/K]`, for both the power-of-two
+//! case (`K = 2^k`) and the general "K equal blocks" case (e.g. the N = 12,
+//! K = 3 example of Figure 1).
+
+/// Returns `true` if `x` is a power of two (and non-zero).
+#[inline]
+pub fn is_power_of_two(x: u64) -> bool {
+    x != 0 && (x & (x - 1)) == 0
+}
+
+/// Base-2 logarithm of a power of two.
+///
+/// # Panics
+/// Panics if `x` is not a power of two.
+#[inline]
+pub fn log2_exact(x: u64) -> u32 {
+    assert!(is_power_of_two(x), "log2_exact: {x} is not a power of two");
+    x.trailing_zeros()
+}
+
+/// Number of bits needed to address `n` items (`⌈log2 n⌉`), with `n ≥ 1`.
+#[inline]
+pub fn address_bits(n: u64) -> u32 {
+    assert!(n >= 1, "address_bits: need at least one item");
+    64 - (n - 1).leading_zeros()
+}
+
+/// Splits a flat address into `(block, offset)` for a database of `n` items
+/// partitioned into `k` equal blocks.
+///
+/// The block of address `x` is `x / (n/k)` and the offset is `x % (n/k)`;
+/// when `n` and `k` are powers of two this is exactly "first `log2 k` bits /
+/// remaining bits" as in the paper.
+///
+/// # Panics
+/// Panics unless `k` divides `n` and `x < n`.
+#[inline]
+pub fn split_address(x: u64, n: u64, k: u64) -> (u64, u64) {
+    assert!(k >= 1 && n >= 1 && n % k == 0, "k = {k} must divide n = {n}");
+    assert!(x < n, "address {x} out of range for database of size {n}");
+    let block_size = n / k;
+    (x / block_size, x % block_size)
+}
+
+/// Inverse of [`split_address`]: reassembles a flat address from a block
+/// index and a within-block offset.
+///
+/// # Panics
+/// Panics unless the pair is in range.
+#[inline]
+pub fn join_address(block: u64, offset: u64, n: u64, k: u64) -> u64 {
+    assert!(k >= 1 && n >= 1 && n % k == 0, "k = {k} must divide n = {n}");
+    let block_size = n / k;
+    assert!(block < k, "block {block} out of range for k = {k}");
+    assert!(offset < block_size, "offset {offset} out of range for block size {block_size}");
+    block * block_size + offset
+}
+
+/// Extracts the first (most significant) `k_bits` of an `n_bits`-bit address.
+///
+/// This is the quantity the partial search problem asks for when
+/// `K = 2^k_bits`: "determine the first k bits of the address x".
+#[inline]
+pub fn first_bits(x: u64, n_bits: u32, k_bits: u32) -> u64 {
+    assert!(k_bits <= n_bits, "k_bits = {k_bits} exceeds n_bits = {n_bits}");
+    assert!(n_bits <= 63, "addresses above 2^63 are not supported");
+    assert!(x < (1u64 << n_bits), "address {x} out of range for {n_bits} bits");
+    x >> (n_bits - k_bits)
+}
+
+/// Iterator over all addresses in a given block.
+///
+/// Yields `block * (n/k) .. (block + 1) * (n/k)`.
+pub fn block_addresses(block: u64, n: u64, k: u64) -> std::ops::Range<u64> {
+    assert!(k >= 1 && n % k == 0 && block < k);
+    let block_size = n / k;
+    (block * block_size)..((block + 1) * block_size)
+}
+
+/// The size of each block when `[n]` is split into `k` equal blocks.
+#[inline]
+pub fn block_size(n: u64, k: u64) -> u64 {
+    assert!(k >= 1 && n % k == 0, "k = {k} must divide n = {n}");
+    n / k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_of_two_detection() {
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(2));
+        assert!(is_power_of_two(1 << 40));
+        assert!(!is_power_of_two(0));
+        assert!(!is_power_of_two(12));
+    }
+
+    #[test]
+    fn exact_log2() {
+        assert_eq!(log2_exact(1), 0);
+        assert_eq!(log2_exact(8), 3);
+        assert_eq!(log2_exact(1 << 40), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn log2_rejects_non_powers() {
+        log2_exact(12);
+    }
+
+    #[test]
+    fn address_bit_counts() {
+        assert_eq!(address_bits(1), 0);
+        assert_eq!(address_bits(2), 1);
+        assert_eq!(address_bits(12), 4);
+        assert_eq!(address_bits(16), 4);
+        assert_eq!(address_bits(17), 5);
+    }
+
+    #[test]
+    fn split_and_join_round_trip() {
+        let n = 12;
+        let k = 3;
+        for x in 0..n {
+            let (b, z) = split_address(x, n, k);
+            assert!(b < k && z < n / k);
+            assert_eq!(join_address(b, z, n, k), x);
+        }
+    }
+
+    #[test]
+    fn split_matches_first_bits_for_powers_of_two() {
+        let n_bits = 10;
+        let k_bits = 3;
+        let n = 1u64 << n_bits;
+        let k = 1u64 << k_bits;
+        for x in [0u64, 1, 5, 511, 512, 1000, n - 1] {
+            let (b, _) = split_address(x, n, k);
+            assert_eq!(b, first_bits(x, n_bits, k_bits));
+        }
+    }
+
+    #[test]
+    fn block_address_ranges() {
+        let r = block_addresses(2, 12, 3);
+        assert_eq!(r.collect::<Vec<_>>(), vec![8, 9, 10, 11]);
+        assert_eq!(block_size(12, 3), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn split_rejects_non_dividing_k() {
+        split_address(0, 10, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn join_rejects_out_of_range_offset() {
+        join_address(0, 4, 12, 3);
+    }
+}

@@ -1,0 +1,466 @@
+//! Complex arithmetic over `f64`.
+//!
+//! The simulator in this workspace keeps every amplitude as a [`Complex64`].
+//! We implement the type ourselves (rather than pulling in `num-complex`) so
+//! the whole numerical substrate stays auditable and dependency-free; only the
+//! operations actually needed by the search algorithms are provided, but those
+//! are provided completely (arithmetic, conjugation, polar form, `exp`,
+//! powers, comparisons with tolerance).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// The layout is `repr(C)` (real part first) so a slice of `Complex64` can be
+/// reinterpreted by chunked parallel kernels without padding surprises.
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates a purely imaginary complex number.
+    #[inline]
+    pub const fn from_imag(im: f64) -> Self {
+        Self { re: 0.0, im }
+    }
+
+    /// Creates a complex number from polar coordinates `r * e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// Returns `e^{iθ}`, a unit-modulus phase.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared modulus `|z|^2 = re^2 + im^2`.
+    ///
+    /// This is the probability weight of an amplitude, so it is the single
+    /// hottest scalar operation in the simulator.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Polar decomposition `(|z|, arg z)`.
+    #[inline]
+    pub fn to_polar(self) -> (f64, f64) {
+        (self.abs(), self.arg())
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns a non-finite result if `z == 0`, mirroring `f64` division.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Self {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Raises the number to an integer power by repeated squaring.
+    pub fn powi(self, mut n: i32) -> Self {
+        if n == 0 {
+            return Self::ONE;
+        }
+        let invert = n < 0;
+        if invert {
+            n = -n;
+        }
+        let mut base = self;
+        let mut acc = Self::ONE;
+        let mut e = n as u32;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            e >>= 1;
+        }
+        if invert {
+            acc.inv()
+        } else {
+            acc
+        }
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// Fused multiply-add: `self + a * b`.
+    ///
+    /// Written out explicitly so the compiler can keep everything in
+    /// registers inside the diffusion kernels.
+    #[inline]
+    pub fn mul_add(self, a: Complex64, b: Complex64) -> Self {
+        Self {
+            re: self.re + a.re * b.re - a.im * b.im,
+            im: self.im + a.re * b.im + a.im * b.re,
+        }
+    }
+
+    /// Returns `true` when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Returns `true` if the imaginary part is at most `tol` in magnitude.
+    ///
+    /// The partial-search algorithm keeps the state real throughout; tests use
+    /// this to assert that invariant.
+    #[inline]
+    pub fn is_real_within(self, tol: f64) -> bool {
+        self.im.abs() <= tol
+    }
+
+    /// Approximate equality with an absolute tolerance applied per component.
+    #[inline]
+    pub fn approx_eq(self, other: Complex64, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Self::from_real(re)
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.inv()
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |acc, z| acc + z)
+    }
+}
+
+impl<'a> Sum<&'a Complex64> for Complex64 {
+    fn sum<I: Iterator<Item = &'a Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |acc, z| acc + *z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let z = Complex64::new(3.0, -4.0);
+        assert_eq!(z.re, 3.0);
+        assert_eq!(z.im, -4.0);
+        assert_eq!(Complex64::from_real(2.5), Complex64::new(2.5, 0.0));
+        assert_eq!(Complex64::from_imag(2.5), Complex64::new(0.0, 2.5));
+        assert_eq!(Complex64::from(1.5), Complex64::new(1.5, 0.0));
+    }
+
+    #[test]
+    fn modulus_and_argument() {
+        let z = Complex64::new(3.0, 4.0);
+        assert!((z.abs() - 5.0).abs() < TOL);
+        assert!((z.norm_sqr() - 25.0).abs() < TOL);
+        let (r, th) = z.to_polar();
+        assert!((r - 5.0).abs() < TOL);
+        assert!((Complex64::from_polar(r, th) - z).abs() < TOL);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-0.5, 3.0);
+        assert!((a + b - b - a).abs() < TOL);
+        assert!(((a * b) / b - a).abs() < TOL);
+        assert!((a * Complex64::ONE - a).abs() < TOL);
+        assert!((a + Complex64::ZERO - a).abs() < TOL);
+        assert!((-a + a).abs() < TOL);
+    }
+
+    #[test]
+    fn conjugation_and_inverse() {
+        let z = Complex64::new(2.0, -7.0);
+        assert_eq!(z.conj().conj(), z);
+        assert!((z * z.conj() - Complex64::from_real(z.norm_sqr())).abs() < TOL);
+        assert!((z * z.inv() - Complex64::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn i_squares_to_minus_one() {
+        assert!((Complex64::I * Complex64::I + Complex64::ONE).abs() < TOL);
+    }
+
+    #[test]
+    fn cis_is_unit_modulus() {
+        for k in 0..32 {
+            let theta = k as f64 * 0.41;
+            let z = Complex64::cis(theta);
+            assert!((z.abs() - 1.0).abs() < TOL);
+            assert!((z.arg() - theta.rem_euclid(2.0 * std::f64::consts::PI))
+                .abs()
+                .min(
+                    (z.arg() + 2.0 * std::f64::consts::PI
+                        - theta.rem_euclid(2.0 * std::f64::consts::PI))
+                    .abs()
+                )
+                < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exp_matches_euler() {
+        let z = Complex64::new(0.3, 1.2);
+        let e = z.exp();
+        let expected = Complex64::from_polar(0.3f64.exp(), 1.2);
+        assert!((e - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integer_powers() {
+        let z = Complex64::new(1.1, -0.4);
+        let mut by_mul = Complex64::ONE;
+        for _ in 0..7 {
+            by_mul *= z;
+        }
+        assert!((z.powi(7) - by_mul).abs() < 1e-10);
+        assert!((z.powi(0) - Complex64::ONE).abs() < TOL);
+        assert!((z.powi(-3) - z.powi(3).inv()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mul_add_matches_expanded_form() {
+        let acc = Complex64::new(0.25, -0.5);
+        let a = Complex64::new(1.5, 2.0);
+        let b = Complex64::new(-0.75, 0.1);
+        assert!((acc.mul_add(a, b) - (acc + a * b)).abs() < TOL);
+    }
+
+    #[test]
+    fn scaling_by_reals() {
+        let z = Complex64::new(2.0, -3.0);
+        assert_eq!(z * 2.0, Complex64::new(4.0, -6.0));
+        assert_eq!(2.0 * z, Complex64::new(4.0, -6.0));
+        assert_eq!(z / 2.0, Complex64::new(1.0, -1.5));
+        assert_eq!(z.scale(0.0), Complex64::ZERO);
+    }
+
+    #[test]
+    fn sum_over_iterators() {
+        let zs = [
+            Complex64::new(1.0, 1.0),
+            Complex64::new(2.0, -1.0),
+            Complex64::new(-3.0, 0.5),
+        ];
+        let s: Complex64 = zs.iter().sum();
+        assert!((s - Complex64::new(0.0, 0.5)).abs() < TOL);
+        let s2: Complex64 = zs.into_iter().sum();
+        assert!((s2 - Complex64::new(0.0, 0.5)).abs() < TOL);
+    }
+
+    #[test]
+    fn realness_predicate() {
+        assert!(Complex64::new(1.0, 1e-15).is_real_within(1e-12));
+        assert!(!Complex64::new(1.0, 1e-3).is_real_within(1e-12));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Complex64::new(1.0, 2.0).is_finite());
+        assert!(!Complex64::new(f64::NAN, 2.0).is_finite());
+        assert!(!Complex64::new(1.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Complex64::new(1.0, 1.0);
+        let b = Complex64::new(1.0 + 1e-13, 1.0 - 1e-13);
+        assert!(a.approx_eq(b, 1e-12));
+        assert!(!a.approx_eq(b, 1e-14));
+    }
+}

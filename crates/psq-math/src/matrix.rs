@@ -1,0 +1,281 @@
+//! Small dense complex matrices.
+//!
+//! The reduced (block-symmetric) simulator evolves a state of dimension ≤ 3,
+//! and the lower-bound verification builds explicit 2×2 / 3×3 rotation
+//! matrices for the invariant subspaces.  A small row-major dense matrix type
+//! is all that is needed; it is not meant for large-N state vectors (those
+//! never materialise a matrix — the diffusion operators are applied as
+//! streaming kernels).
+
+use crate::complex::Complex64;
+
+/// A dense, row-major complex matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major slice of real values.
+    pub fn from_real_rows(rows: usize, cols: usize, values: &[f64]) -> Self {
+        assert_eq!(values.len(), rows * cols, "wrong number of entries");
+        Self {
+            rows,
+            cols,
+            data: values.iter().map(|&x| Complex64::from_real(x)).collect(),
+        }
+    }
+
+    /// Creates a matrix from a row-major vector of complex values.
+    pub fn from_rows(rows: usize, cols: usize, values: Vec<Complex64>) -> Self {
+        assert_eq!(values.len(), rows * cols, "wrong number of entries");
+        Self { rows, cols, data: values }
+    }
+
+    /// The 2×2 rotation matrix by angle `theta` (real entries).
+    ///
+    /// This is the matrix of one Grover iteration restricted to the
+    /// `span{|t⟩, |t^⊥⟩}` invariant plane, with `theta = 2·arcsin(1/√N)`.
+    pub fn rotation2(theta: f64) -> Self {
+        Self::from_real_rows(
+            2,
+            2,
+            &[theta.cos(), -theta.sin(), theta.sin(), theta.cos()],
+        )
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the underlying row-major data.
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Matrix–vector product `A·v`.
+    pub fn mul_vec(&self, v: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(v.len(), self.cols, "mul_vec: dimension mismatch");
+        let mut out = vec![Complex64::ZERO; self.rows];
+        for (i, out_i) in out.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let mut acc = Complex64::ZERO;
+            for (a, x) in row.iter().zip(v.iter()) {
+                acc = acc.mul_add(*a, *x);
+            }
+            *out_i = acc;
+        }
+        out
+    }
+
+    /// Matrix–matrix product `self · rhs`.
+    pub fn mul_mat(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "mul_mat: dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == Complex64::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] = out[(i, j)].mul_add(a, rhs[(k, j)]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose `A†`.
+    pub fn dagger(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if `A†A = I` to within `tol` (entrywise).
+    ///
+    /// Every operator the simulator applies must pass this check; the gate
+    /// constructors in `psq-sim` assert it in debug builds.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let product = self.dagger().mul_mat(self);
+        let identity = Matrix::identity(self.rows);
+        product
+            .data
+            .iter()
+            .zip(identity.data.iter())
+            .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Entrywise maximum absolute difference between two matrices.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Raises a square matrix to a non-negative integer power by repeated
+    /// squaring (used to jump the reduced simulator forward many iterations).
+    pub fn pow(&self, mut e: u64) -> Matrix {
+        assert_eq!(self.rows, self.cols, "pow: matrix must be square");
+        let mut result = Matrix::identity(self.rows);
+        let mut base = self.clone();
+        while e > 0 {
+            if e & 1 == 1 {
+                result = result.mul_mat(&base);
+            }
+            base = base.mul_mat(&base);
+            e >>= 1;
+        }
+        result
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = Complex64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_3;
+
+    #[test]
+    fn identity_acts_trivially() {
+        let id = Matrix::identity(3);
+        let v = vec![
+            Complex64::new(1.0, 2.0),
+            Complex64::new(-1.0, 0.5),
+            Complex64::new(0.0, -3.0),
+        ];
+        let w = id.mul_vec(&v);
+        for (a, b) in w.iter().zip(v.iter()) {
+            assert!((*a - *b).abs() < 1e-15);
+        }
+        assert!(id.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn rotation_matrices_are_unitary_and_compose() {
+        let r1 = Matrix::rotation2(0.3);
+        let r2 = Matrix::rotation2(0.5);
+        assert!(r1.is_unitary(1e-12));
+        let composed = r1.mul_mat(&r2);
+        let direct = Matrix::rotation2(0.8);
+        assert!(composed.max_abs_diff(&direct) < 1e-12);
+    }
+
+    #[test]
+    fn rotation_power_matches_angle_multiplication() {
+        let r = Matrix::rotation2(FRAC_PI_3 / 7.0);
+        let r10 = r.pow(10);
+        let direct = Matrix::rotation2(10.0 * FRAC_PI_3 / 7.0);
+        assert!(r10.max_abs_diff(&direct) < 1e-10);
+        assert!(r10.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn dagger_of_rotation_is_inverse() {
+        let r = Matrix::rotation2(1.234);
+        let should_be_identity = r.dagger().mul_mat(&r);
+        assert!(should_be_identity.max_abs_diff(&Matrix::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn non_square_is_not_unitary() {
+        let m = Matrix::zeros(2, 3);
+        assert!(!m.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn mat_mul_against_hand_computation() {
+        let a = Matrix::from_real_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_real_rows(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        let c = a.mul_mat(&b);
+        let expected = Matrix::from_real_rows(2, 2, &[19.0, 22.0, 43.0, 50.0]);
+        assert!(c.max_abs_diff(&expected) < 1e-12);
+    }
+
+    #[test]
+    fn frobenius_norm_of_identity() {
+        assert!((Matrix::identity(4).frobenius_norm() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pow_zero_is_identity() {
+        let r = Matrix::rotation2(0.7);
+        assert!(r.pow(0).max_abs_diff(&Matrix::identity(2)) < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_vec_rejects_wrong_dimension() {
+        Matrix::identity(2).mul_vec(&[Complex64::ONE; 3]);
+    }
+
+    #[test]
+    fn complex_entries_round_trip() {
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 1)] = Complex64::I;
+        assert_eq!(m[(0, 1)], Complex64::I);
+        assert_eq!(m.as_slice()[1], Complex64::I);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+    }
+}

@@ -1,0 +1,205 @@
+//! One-dimensional minimisation.
+//!
+//! Section 3.1 of the paper chooses the free parameter `ε` of the
+//! partial-search algorithm so that the total query count
+//! `ℓ1(ε) + ℓ2(ε)` is minimised; the paper's Table of optimum coefficients
+//! was "obtained by using a computer program".  This module is that computer
+//! program: a robust golden-section search over a bracketing interval plus a
+//! coarse grid scan used to find the bracket.
+
+/// Result of a one-dimensional minimisation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Minimum {
+    /// Location of the minimum.
+    pub x: f64,
+    /// Function value at the minimum.
+    pub value: f64,
+    /// Number of function evaluations consumed.
+    pub evaluations: usize,
+}
+
+/// Minimises `f` on `[lo, hi]` by golden-section search.
+///
+/// The function is assumed unimodal on the interval (the query-count model is:
+/// it decreases from ε = 0, reaches a single optimum, and then increases as
+/// the Step-2 cost dominates).  The search stops when the interval is shorter
+/// than `tol`.
+pub fn golden_section_min<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+) -> Minimum {
+    assert!(lo < hi, "golden_section_min: empty interval [{lo}, {hi}]");
+    assert!(tol > 0.0, "tolerance must be positive");
+    // 1/φ where φ is the golden ratio.
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+
+    let mut a = lo;
+    let mut b = hi;
+    let mut evals = 0usize;
+
+    let mut c = b - (b - a) * INV_PHI;
+    let mut d = a + (b - a) * INV_PHI;
+    let mut fc = f(c);
+    let mut fd = f(d);
+    evals += 2;
+
+    while (b - a) > tol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - (b - a) * INV_PHI;
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + (b - a) * INV_PHI;
+            fd = f(d);
+        }
+        evals += 1;
+    }
+
+    let x = 0.5 * (a + b);
+    let value = f(x);
+    evals += 1;
+    Minimum { x, value, evaluations: evals }
+}
+
+/// Evaluates `f` on a uniform grid of `points + 1` samples of `[lo, hi]` and
+/// returns the best sample.  Used to bracket the optimum before refining with
+/// [`golden_section_min`], and as a sanity check that the model is unimodal.
+pub fn grid_min<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, points: usize) -> Minimum {
+    assert!(points >= 1, "grid_min needs at least one interval");
+    assert!(lo <= hi, "grid_min: invalid interval");
+    let mut best = Minimum { x: lo, value: f(lo), evaluations: 1 };
+    for i in 1..=points {
+        let x = lo + (hi - lo) * i as f64 / points as f64;
+        let v = f(x);
+        best.evaluations += 1;
+        if v < best.value {
+            best.x = x;
+            best.value = v;
+        }
+    }
+    best
+}
+
+/// Two-stage minimisation: a coarse grid scan to locate the basin, then a
+/// golden-section refinement inside the bracketing grid cells.
+///
+/// This is the routine the Table-1 generator calls for every `K`.
+pub fn minimize<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, grid_points: usize, tol: f64) -> Minimum {
+    let coarse = grid_min(&mut f, lo, hi, grid_points);
+    let cell = (hi - lo) / grid_points as f64;
+    let refine_lo = (coarse.x - cell).max(lo);
+    let refine_hi = (coarse.x + cell).min(hi);
+    let mut fine = golden_section_min(&mut f, refine_lo, refine_hi, tol);
+    fine.evaluations += coarse.evaluations;
+    // Guard against a grid minimum that the refinement failed to improve on
+    // (possible if the function is extremely flat).
+    if coarse.value < fine.value {
+        Minimum {
+            x: coarse.x,
+            value: coarse.value,
+            evaluations: fine.evaluations,
+        }
+    } else {
+        fine
+    }
+}
+
+/// Finds a root of a monotone function by bisection.
+///
+/// Used by the exact-Grover construction to solve for the phase angles that
+/// make the final rotation land exactly on the target.
+pub fn bisect_root<F: FnMut(f64) -> f64>(mut f: F, mut lo: f64, mut hi: f64, tol: f64) -> f64 {
+    assert!(lo < hi, "bisect_root: empty interval");
+    let flo = f(lo);
+    let fhi = f(hi);
+    assert!(
+        flo == 0.0 || fhi == 0.0 || (flo < 0.0) != (fhi < 0.0),
+        "bisect_root: function must change sign over the interval (f({lo}) = {flo}, f({hi}) = {fhi})"
+    );
+    if flo == 0.0 {
+        return lo;
+    }
+    if fhi == 0.0 {
+        return hi;
+    }
+    let lo_negative = flo < 0.0;
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        let fm = f(mid);
+        if fm == 0.0 {
+            return mid;
+        }
+        if (fm < 0.0) == lo_negative {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_section_finds_parabola_minimum() {
+        let m = golden_section_min(|x| (x - 1.7).powi(2) + 3.0, -10.0, 10.0, 1e-10);
+        assert!((m.x - 1.7).abs() < 1e-7);
+        assert!((m.value - 3.0).abs() < 1e-12);
+        assert!(m.evaluations > 10);
+    }
+
+    #[test]
+    fn golden_section_handles_minimum_at_boundary() {
+        let m = golden_section_min(|x| x, 0.0, 1.0, 1e-9);
+        assert!(m.x < 1e-6);
+    }
+
+    #[test]
+    fn grid_min_samples_endpoints() {
+        let m = grid_min(|x| (x - 2.0).abs(), 0.0, 2.0, 4);
+        assert_eq!(m.x, 2.0);
+        assert_eq!(m.value, 0.0);
+        assert_eq!(m.evaluations, 5);
+    }
+
+    #[test]
+    fn two_stage_minimize_beats_coarse_grid() {
+        let target = 0.237_1;
+        let m = minimize(|x| (x - target).powi(2), 0.0, 1.0, 10, 1e-10);
+        assert!((m.x - target).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimize_on_nonsmooth_function() {
+        // |sin| has a kink at the minimum; golden section still converges.
+        let m = minimize(|x: f64| x.sin().abs(), 2.0, 4.0, 20, 1e-10);
+        assert!((m.x - std::f64::consts::PI).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bisection_finds_sqrt2() {
+        let root = bisect_root(|x| x * x - 2.0, 0.0, 2.0, 1e-12);
+        assert!((root - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisection_with_decreasing_function() {
+        let root = bisect_root(|x| 1.0 - x, 0.0, 5.0, 1e-12);
+        assert!((root - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "change sign")]
+    fn bisection_requires_sign_change() {
+        bisect_root(|x| x * x + 1.0, -1.0, 1.0, 1e-9);
+    }
+}

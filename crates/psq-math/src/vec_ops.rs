@@ -1,0 +1,272 @@
+//! Dense-vector operations on amplitude slices.
+//!
+//! These are the serial kernels; `psq-parallel` provides chunked
+//! multi-threaded wrappers and `psq-sim` composes them into the Grover
+//! diffusion operators.  Keeping them here lets the reduced simulator, the
+//! state-vector simulator and the lower-bound code share one implementation.
+
+use crate::complex::Complex64;
+
+/// Inner product `⟨u|v⟩ = Σ conj(u_i)·v_i`.
+pub fn inner_product(u: &[Complex64], v: &[Complex64]) -> Complex64 {
+    assert_eq!(u.len(), v.len(), "inner_product: dimension mismatch");
+    let mut acc = Complex64::ZERO;
+    for (a, b) in u.iter().zip(v.iter()) {
+        acc = acc.mul_add(a.conj(), *b);
+    }
+    acc
+}
+
+/// Squared Euclidean norm `Σ |u_i|²` (total probability of a state vector).
+pub fn norm_sqr(u: &[Complex64]) -> f64 {
+    u.iter().map(|z| z.norm_sqr()).sum()
+}
+
+/// Euclidean norm.
+pub fn norm(u: &[Complex64]) -> f64 {
+    norm_sqr(u).sqrt()
+}
+
+/// Euclidean distance `‖u − v‖`.
+pub fn distance(u: &[Complex64], v: &[Complex64]) -> f64 {
+    assert_eq!(u.len(), v.len(), "distance: dimension mismatch");
+    u.iter()
+        .zip(v.iter())
+        .map(|(a, b)| (*a - *b).norm_sqr())
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Normalises `u` to unit norm in place.  Returns the original norm.
+///
+/// # Panics
+/// Panics if the vector has (numerically) zero norm.
+pub fn normalize(u: &mut [Complex64]) -> f64 {
+    let n = norm(u);
+    assert!(n > 1e-300, "cannot normalise a zero vector");
+    let inv = 1.0 / n;
+    for z in u.iter_mut() {
+        *z = z.scale(inv);
+    }
+    n
+}
+
+/// Sum of all amplitudes `Σ u_i` (not the norm — the plain sum used by
+/// inversion-about-average).
+pub fn amplitude_sum(u: &[Complex64]) -> Complex64 {
+    u.iter().copied().sum()
+}
+
+/// Mean amplitude `Σ u_i / len`.
+pub fn amplitude_mean(u: &[Complex64]) -> Complex64 {
+    assert!(!u.is_empty(), "amplitude_mean of empty slice");
+    amplitude_sum(u) / u.len() as f64
+}
+
+/// In-place inversion about the average: `u_i ← 2·mean − u_i`.
+///
+/// This is the Grover diffusion operator `I0 = 2|ψ0⟩⟨ψ0| − I` restricted to
+/// the uniform superposition subspace, written directly on the amplitude
+/// array.  The per-block operator `I_{0,[N/K]}` of the paper is this same
+/// kernel applied to each contiguous block.
+pub fn invert_about_average(u: &mut [Complex64]) {
+    if u.is_empty() {
+        return;
+    }
+    let mean = amplitude_mean(u);
+    let twice_mean = mean * 2.0;
+    for z in u.iter_mut() {
+        *z = twice_mean - *z;
+    }
+}
+
+/// In-place inversion about a *supplied* average: `u_i ← 2·avg − u_i`.
+///
+/// Step 3 of the partial-search algorithm performs an inversion about the
+/// average *of the non-target states only* (the target has been "moved out"
+/// by the ancilla), so the caller computes the average over the relevant
+/// subset and passes it in.
+pub fn invert_about_value(u: &mut [Complex64], avg: Complex64) {
+    let twice = avg * 2.0;
+    for z in u.iter_mut() {
+        *z = twice - *z;
+    }
+}
+
+/// Scales every amplitude by a real factor in place.
+pub fn scale(u: &mut [Complex64], k: f64) {
+    for z in u.iter_mut() {
+        *z = z.scale(k);
+    }
+}
+
+/// `axpy`: `y_i ← y_i + a·x_i`.
+pub fn axpy(a: Complex64, x: &[Complex64], y: &mut [Complex64]) {
+    assert_eq!(x.len(), y.len(), "axpy: dimension mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi = yi.mul_add(a, *xi);
+    }
+}
+
+/// Returns the probability mass `Σ_{i ∈ range} |u_i|²` carried by an index
+/// range (e.g. one block of the database).
+pub fn probability_of_range(u: &[Complex64], range: std::ops::Range<usize>) -> f64 {
+    u[range].iter().map(|z| z.norm_sqr()).sum()
+}
+
+/// Index of the amplitude with the largest modulus (ties resolved to the
+/// first maximum).  Useful for reading off the most likely measurement
+/// outcome in tests.
+pub fn argmax_probability(u: &[Complex64]) -> usize {
+    assert!(!u.is_empty(), "argmax_probability of empty slice");
+    let mut best = 0usize;
+    let mut best_p = f64::NEG_INFINITY;
+    for (i, z) in u.iter().enumerate() {
+        let p = z.norm_sqr();
+        if p > best_p {
+            best_p = p;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Largest imaginary-part magnitude over the vector.  The partial-search
+/// algorithm keeps all amplitudes real; tests assert this stays at round-off
+/// level.
+pub fn max_imaginary_part(u: &[Complex64]) -> f64 {
+    u.iter().map(|z| z.im.abs()).fold(0.0, f64::max)
+}
+
+/// Extracts the real parts into a fresh `Vec<f64>` (used by the figure
+/// generators to print amplitude histograms).
+pub fn real_parts(u: &[Complex64]) -> Vec<f64> {
+    u.iter().map(|z| z.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::assert_close;
+
+    fn uniform(n: usize) -> Vec<Complex64> {
+        vec![Complex64::from_real(1.0 / (n as f64).sqrt()); n]
+    }
+
+    #[test]
+    fn inner_product_is_conjugate_linear_in_first_argument() {
+        let u = [Complex64::new(1.0, 2.0), Complex64::new(0.0, -1.0)];
+        let v = [Complex64::new(0.5, 0.5), Complex64::new(2.0, 0.0)];
+        let uv = inner_product(&u, &v);
+        let vu = inner_product(&v, &u);
+        assert!((uv - vu.conj()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norms_of_uniform_state() {
+        let u = uniform(64);
+        assert_close(norm_sqr(&u), 1.0, 1e-12);
+        assert_close(norm(&u), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn normalisation() {
+        let mut u = vec![Complex64::new(3.0, 0.0), Complex64::new(0.0, 4.0)];
+        let original = normalize(&mut u);
+        assert_close(original, 5.0, 1e-12);
+        assert_close(norm(&u), 1.0, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn normalising_zero_vector_panics() {
+        let mut u = vec![Complex64::ZERO; 4];
+        normalize(&mut u);
+    }
+
+    #[test]
+    fn inversion_about_average_preserves_norm_and_mean() {
+        let mut u: Vec<Complex64> = (0..16)
+            .map(|i| Complex64::from_real((i as f64 + 1.0) / 20.0))
+            .collect();
+        normalize(&mut u);
+        let norm_before = norm(&u);
+        let mean_before = amplitude_mean(&u);
+        invert_about_average(&mut u);
+        assert_close(norm(&u), norm_before, 1e-12);
+        // I0 fixes the uniform direction, so the mean is unchanged.
+        assert!((amplitude_mean(&u) - mean_before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inversion_is_an_involution() {
+        let mut u: Vec<Complex64> = (0..8).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+        let original = u.clone();
+        invert_about_average(&mut u);
+        invert_about_average(&mut u);
+        for (a, b) in u.iter().zip(original.iter()) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn grover_iteration_by_hand_on_n4() {
+        // One Grover iteration on N = 4 finds the target exactly:
+        // start uniform, flip target sign, invert about average → target amp 1.
+        let mut u = uniform(4);
+        let target = 2usize;
+        u[target] = -u[target];
+        invert_about_average(&mut u);
+        assert_close(u[target].re, 1.0, 1e-12);
+        for (i, z) in u.iter().enumerate() {
+            if i != target {
+                assert!(z.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn invert_about_supplied_value() {
+        let mut u = vec![Complex64::from_real(1.0), Complex64::from_real(3.0)];
+        invert_about_value(&mut u, Complex64::from_real(2.0));
+        assert_close(u[0].re, 3.0, 1e-12);
+        assert_close(u[1].re, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let x = vec![Complex64::ONE; 4];
+        let mut y = vec![Complex64::from_real(2.0); 4];
+        axpy(Complex64::from_real(-2.0), &x, &mut y);
+        assert!(y.iter().all(|z| z.abs() < 1e-12));
+        let mut w = vec![Complex64::new(1.0, -1.0); 3];
+        scale(&mut w, 0.5);
+        assert!(w.iter().all(|z| (*z - Complex64::new(0.5, -0.5)).abs() < 1e-12));
+    }
+
+    #[test]
+    fn range_probability_and_argmax() {
+        let mut u = uniform(8);
+        u[5] = Complex64::from_real(0.9);
+        normalize(&mut u);
+        assert_eq!(argmax_probability(&u), 5);
+        let total: f64 = probability_of_range(&u, 0..8);
+        assert_close(total, 1.0, 1e-12);
+        assert!(probability_of_range(&u, 4..8) > probability_of_range(&u, 0..4));
+    }
+
+    #[test]
+    fn distance_and_imaginary_tracking() {
+        let u = uniform(4);
+        let v = uniform(4);
+        assert_close(distance(&u, &v), 0.0, 1e-12);
+        let w = [
+            Complex64::new(0.0, 0.1),
+            Complex64::new(0.0, -0.3),
+            Complex64::ZERO,
+            Complex64::ZERO,
+        ];
+        assert_close(max_imaginary_part(&w), 0.3, 1e-12);
+        assert_eq!(real_parts(&w), vec![0.0, 0.0, 0.0, 0.0]);
+    }
+}

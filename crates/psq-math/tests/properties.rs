@@ -1,0 +1,214 @@
+//! Property-based tests for the numerical substrate.
+//!
+//! These exercise algebraic invariants (field axioms up to round-off,
+//! unitarity, norm preservation, metric axioms) over randomly generated
+//! inputs, complementing the example-based unit tests inside each module.
+
+use proptest::prelude::*;
+use psq_math::angle::{angular_distance, triangle_slack};
+use psq_math::approx::{safe_acos, safe_asin};
+use psq_math::bits::{join_address, split_address};
+use psq_math::complex::Complex64;
+use psq_math::matrix::Matrix;
+use psq_math::optimize::{golden_section_min, minimize};
+use psq_math::stats::RunningStats;
+use psq_math::vec_ops;
+
+/// Strategy producing "reasonable" finite floats.
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop::num::f64::NORMAL.prop_map(|x| x % 1e6)
+}
+
+fn complex() -> impl Strategy<Value = Complex64> {
+    (finite_f64(), finite_f64()).prop_map(|(re, im)| Complex64::new(re, im))
+}
+
+/// A random state vector of dimension 2..=64, normalised to unit norm.
+fn unit_vector() -> impl Strategy<Value = Vec<Complex64>> {
+    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 2..64).prop_filter_map(
+        "vector must have nonzero norm",
+        |pairs| {
+            let mut v: Vec<Complex64> = pairs.iter().map(|&(re, im)| Complex64::new(re, im)).collect();
+            let n = vec_ops::norm(&v);
+            if n < 1e-6 {
+                return None;
+            }
+            vec_ops::scale(&mut v, 1.0 / n);
+            Some(v)
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn complex_multiplication_commutes(a in complex(), b in complex()) {
+        let ab = a * b;
+        let ba = b * a;
+        prop_assert!((ab - ba).abs() <= 1e-9 * (1.0 + ab.abs()));
+    }
+
+    #[test]
+    fn complex_multiplication_distributes(a in complex(), b in complex(), c in complex()) {
+        let lhs = a * (b + c);
+        let rhs = a * b + a * c;
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn conjugation_is_multiplicative(a in complex(), b in complex()) {
+        let lhs = (a * b).conj();
+        let rhs = a.conj() * b.conj();
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn modulus_is_multiplicative(a in complex(), b in complex()) {
+        let lhs = (a * b).abs();
+        let rhs = a.abs() * b.abs();
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn polar_round_trip(r in 0.0f64..1e3, theta in -3.1f64..3.1) {
+        let z = Complex64::from_polar(r, theta);
+        prop_assert!((z.abs() - r).abs() < 1e-9 * (1.0 + r));
+        if r > 1e-6 {
+            let (r2, t2) = z.to_polar();
+            prop_assert!((r2 - r).abs() < 1e-9 * (1.0 + r));
+            prop_assert!((t2 - theta).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inversion_about_average_preserves_norm(mut v in unit_vector()) {
+        let before = vec_ops::norm(&v);
+        vec_ops::invert_about_average(&mut v);
+        let after = vec_ops::norm(&v);
+        prop_assert!((before - after).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inversion_about_average_is_involution(v in unit_vector()) {
+        let mut w = v.clone();
+        vec_ops::invert_about_average(&mut w);
+        vec_ops::invert_about_average(&mut w);
+        prop_assert!(vec_ops::distance(&v, &w) < 1e-9);
+    }
+
+    #[test]
+    fn cauchy_schwarz(u in unit_vector(), v in unit_vector()) {
+        if u.len() == v.len() {
+            let ip = vec_ops::inner_product(&u, &v).abs();
+            prop_assert!(ip <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn angular_distance_is_symmetric_and_bounded(u in unit_vector(), v in unit_vector()) {
+        if u.len() == v.len() {
+            let duv = angular_distance(&u, &v);
+            let dvu = angular_distance(&v, &u);
+            prop_assert!((duv - dvu).abs() < 1e-9);
+            prop_assert!((0.0..=std::f64::consts::FRAC_PI_2 + 1e-9).contains(&duv));
+            prop_assert!(angular_distance(&u, &u) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn angular_triangle_inequality(dim in 2usize..16,
+                                   seeds in prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 3 * 16)) {
+        // Build three unit vectors of the same dimension from the seed pool.
+        let mut vectors = Vec::new();
+        for which in 0..3 {
+            let mut v: Vec<Complex64> = (0..dim)
+                .map(|i| {
+                    let (re, im) = seeds[which * 16 + i];
+                    Complex64::new(re, im)
+                })
+                .collect();
+            let n = vec_ops::norm(&v);
+            prop_assume!(n > 1e-6);
+            vec_ops::scale(&mut v, 1.0 / n);
+            vectors.push(v);
+        }
+        prop_assert!(triangle_slack(&vectors[0], &vectors[1], &vectors[2]) >= -1e-9);
+    }
+
+    #[test]
+    fn rotation_matrices_are_unitary(theta in -10.0f64..10.0) {
+        prop_assert!(Matrix::rotation2(theta).is_unitary(1e-9));
+    }
+
+    #[test]
+    fn rotation_power_is_angle_addition(theta in -0.5f64..0.5, e in 0u64..64) {
+        let direct = Matrix::rotation2(theta * e as f64);
+        let powered = Matrix::rotation2(theta).pow(e);
+        prop_assert!(powered.max_abs_diff(&direct) < 1e-7);
+    }
+
+    #[test]
+    fn matrix_vector_preserves_norm_for_unitaries(theta in -3.0f64..3.0, a in -1.0f64..1.0, b in -1.0f64..1.0) {
+        prop_assume!(a.abs() + b.abs() > 1e-6);
+        let mut v = vec![Complex64::from_real(a), Complex64::from_real(b)];
+        let n = vec_ops::norm(&v);
+        vec_ops::scale(&mut v, 1.0 / n);
+        let w = Matrix::rotation2(theta).mul_vec(&v);
+        prop_assert!((vec_ops::norm(&w) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn address_split_join_round_trip(block_size in 1u64..64, k in 1u64..64, x_seed in 0u64..u64::MAX) {
+        let n = block_size * k;
+        let x = x_seed % n;
+        let (b, z) = split_address(x, n, k);
+        prop_assert!(b < k);
+        prop_assert!(z < block_size);
+        prop_assert_eq!(join_address(b, z, n, k), x);
+    }
+
+    #[test]
+    fn safe_trig_never_nan(x in -2.0f64..2.0) {
+        prop_assert!(!safe_asin(x).is_nan());
+        prop_assert!(!safe_acos(x).is_nan());
+    }
+
+    #[test]
+    fn golden_section_finds_quadratic_minimum(center in -5.0f64..5.0, offset in 0.1f64..10.0) {
+        let m = golden_section_min(|x| (x - center).powi(2) + offset, -20.0, 20.0, 1e-9);
+        prop_assert!((m.x - center).abs() < 1e-5);
+        prop_assert!((m.value - offset).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minimize_never_exceeds_endpoint_values(center in -1.0f64..1.0) {
+        let f = |x: f64| (x - center).powi(2);
+        let m = minimize(f, -2.0, 2.0, 16, 1e-9);
+        prop_assert!(m.value <= f(-2.0) + 1e-12);
+        prop_assert!(m.value <= f(2.0) + 1e-12);
+    }
+
+    #[test]
+    fn running_stats_mean_is_bounded_by_extrema(xs in prop::collection::vec(-1e3f64..1e3, 1..200)) {
+        let mut s = RunningStats::new();
+        s.extend(xs.iter().copied());
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.variance() >= 0.0);
+    }
+
+    #[test]
+    fn running_stats_merge_is_associative_enough(xs in prop::collection::vec(-1e3f64..1e3, 2..100),
+                                                 split in 1usize..99) {
+        let split = split.min(xs.len() - 1);
+        let mut whole = RunningStats::new();
+        whole.extend(xs.iter().copied());
+        let mut a = RunningStats::new();
+        a.extend(xs[..split].iter().copied());
+        let mut b = RunningStats::new();
+        b.extend(xs[split..].iter().copied());
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-4 * (1.0 + whole.variance()));
+    }
+}

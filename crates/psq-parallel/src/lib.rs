@@ -1,0 +1,32 @@
+//! Lightweight data-parallel primitives for the partial-quantum-search
+//! workspace.
+//!
+//! The state-vector simulator in `psq-sim` applies streaming kernels (sign
+//! flips, inversion about the average, probability sums) over amplitude
+//! arrays of up to `2^22` entries; the experiment harness runs thousands of
+//! independent Monte-Carlo trials.  This crate provides exactly the
+//! parallelism those two workloads need and nothing more:
+//!
+//! * [`scope`] — fork-join chunked kernels over slices built on
+//!   `std::thread::scope` (no `'static` bounds, deterministic reduction
+//!   order);
+//! * [`pool`] — a persistent [`pool::WorkerPool`] fed over crossbeam channels
+//!   for many small independent jobs;
+//! * [`chunks`] — the shared chunk-sizing policy.
+//!
+//! The design follows the HPC guidance used for this reproduction: prefer
+//! simple data-parallel structure with data-race freedom enforced by the
+//! borrow checker (disjoint `split_at_mut` chunks), keep reductions
+//! deterministic, and let callers opt into explicit thread budgets for
+//! benchmarking.
+
+pub mod chunks;
+pub mod pool;
+pub mod scope;
+
+pub use chunks::{chunk_ranges, chunk_ranges_aligned, num_threads, DEFAULT_MIN_CHUNK};
+pub use pool::WorkerPool;
+pub use scope::{
+    par_chunks_aligned_mut, par_chunks_mut, par_chunks_mut_with, par_for_each_indexed,
+    par_map_reduce, par_map_reduce_with, par_sum_by, par_tasks,
+};

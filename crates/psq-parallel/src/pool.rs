@@ -1,0 +1,184 @@
+//! A small persistent worker pool.
+//!
+//! The fork-join kernels in [`crate::scope`] spawn fresh scoped threads per
+//! call, which is the right trade-off for long-running state-vector sweeps.
+//! Monte-Carlo experiment drivers, however, submit very many small
+//! independent jobs (one per random target), where per-call thread spawning
+//! would dominate.  `WorkerPool` keeps a fixed set of workers alive and feeds
+//! them jobs over a crossbeam channel; results come back tagged with their
+//! submission index so callers can reassemble ordered output.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing boxed jobs.
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|worker_index| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("psq-worker-{worker_index}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let guard = receiver.lock();
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Creates a pool sized to the machine's available parallelism.
+    pub fn with_default_threads() -> Self {
+        Self::new(crate::chunks::num_threads())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a fire-and-forget job.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.sender
+            .as_ref()
+            .expect("pool already shut down")
+            .send(Box::new(job))
+            .expect("worker pool channel closed unexpectedly");
+    }
+
+    /// Runs `jobs` on the pool and returns their results in submission order.
+    ///
+    /// Blocks until every job has completed.
+    pub fn map<A, F>(&self, jobs: Vec<F>) -> Vec<A>
+    where
+        A: Send + 'static,
+        F: FnOnce() -> A + Send + 'static,
+    {
+        let (result_tx, result_rx) = unbounded::<(usize, A)>();
+        let expected = jobs.len();
+        for (index, job) in jobs.into_iter().enumerate() {
+            let tx = result_tx.clone();
+            self.execute(move || {
+                let value = job();
+                // The receiver outlives the loop below, so this send only
+                // fails if the caller's receiver was dropped early, which
+                // cannot happen within this function.
+                let _ = tx.send((index, value));
+            });
+        }
+        drop(result_tx);
+        let mut results: Vec<Option<A>> = Vec::new();
+        results.resize_with(expected, || None);
+        for _ in 0..expected {
+            let (index, value) = result_rx
+                .recv()
+                .expect("a worker terminated without reporting a result");
+            results[index] = Some(value);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("all job indices must be filled"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel makes every worker's recv() fail and exit.
+        self.sender.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn pool_runs_every_job() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // join all workers
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let pool = WorkerPool::new(3);
+        let jobs: Vec<_> = (0..50).map(|i| move || i * 2).collect();
+        let results = pool.map(jobs);
+        assert_eq!(results, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_with_heterogeneous_durations() {
+        let pool = WorkerPool::new(4);
+        let jobs: Vec<_> = (0..20)
+            .map(|i| {
+                move || {
+                    if i % 4 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    i
+                }
+            })
+            .collect();
+        assert_eq!(pool.map(jobs), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_thread_request_still_gets_one_worker() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.map(vec![|| 7]), vec![7]);
+    }
+
+    #[test]
+    fn default_sized_pool_matches_chunk_policy() {
+        let pool = WorkerPool::with_default_threads();
+        assert_eq!(pool.threads(), crate::chunks::num_threads());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_map_calls() {
+        let pool = WorkerPool::new(2);
+        for round in 0..5 {
+            let jobs: Vec<_> = (0..10).map(|i| move || i + round).collect();
+            assert_eq!(pool.map(jobs), (0..10).map(|i| i + round).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Fork-join data-parallel kernels over slices.
+//!
+//! These are thin wrappers around `std::thread::scope`: each call splits the
+//! slice into contiguous chunks (policy in [`crate::chunks`]), runs the
+//! worker closure on every chunk from its own thread, and joins before
+//! returning.  Because the scope guarantees the threads finish before the
+//! borrow ends, no `'static` bounds or `Arc`s are needed and the kernels
+//! compose naturally with the simulator's borrowed state vectors.
+//!
+//! The API mirrors the small subset of `rayon` this workspace needs
+//! (`for_each` over chunks, indexed `for_each`, and `map_reduce`), keeping
+//! the dependency footprint to the standard library.
+
+use crate::chunks::{chunk_ranges, split_mut_with_offsets, DEFAULT_MIN_CHUNK};
+
+/// Applies `f` to disjoint mutable chunks of `data` in parallel.
+///
+/// `f` receives the starting index of the chunk and the chunk itself.  Falls
+/// back to a single serial call when the problem is too small to benefit from
+/// threads.
+pub fn par_chunks_mut<T, F>(data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    par_chunks_mut_with(data, crate::chunks::num_threads(), DEFAULT_MIN_CHUNK, f);
+}
+
+/// As [`par_chunks_mut`] but with an explicit thread budget and minimum chunk
+/// size (used by tests and by benchmarks that sweep thread counts).
+pub fn par_chunks_mut_with<T, F>(data: &mut [T], max_threads: usize, min_chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    let chunks = split_mut_with_offsets(data, max_threads, min_chunk);
+    if chunks.len() == 1 {
+        for (offset, chunk) in chunks {
+            f(offset, chunk);
+        }
+        return;
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (offset, chunk) in chunks {
+            scope.spawn(move || f(offset, chunk));
+        }
+    });
+}
+
+/// Applies `f` to disjoint mutable chunks of `data` whose boundaries are
+/// multiples of `alignment` (e.g. the database block size), in parallel.
+///
+/// `data.len()` must be a multiple of `alignment`.
+pub fn par_chunks_aligned_mut<T, F>(data: &mut [T], alignment: usize, min_chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    let ranges = crate::chunks::chunk_ranges_aligned(
+        data.len(),
+        crate::chunks::num_threads(),
+        min_chunk,
+        alignment,
+    );
+    if ranges.len() == 1 {
+        f(0, data);
+        return;
+    }
+    // Materialise the disjoint sub-slices up front so each spawned thread
+    // borrows only its own chunk.
+    let mut chunks: Vec<(usize, &mut [T])> = Vec::with_capacity(ranges.len());
+    let mut rest = data;
+    let mut consumed = 0usize;
+    for (start, end) in ranges {
+        debug_assert_eq!(start, consumed);
+        let (head, tail) = rest.split_at_mut(end - start);
+        chunks.push((start, head));
+        rest = tail;
+        consumed = end;
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (offset, chunk) in chunks {
+            scope.spawn(move || f(offset, chunk));
+        }
+    });
+}
+
+/// Applies `f(index, &mut element)` to every element of `data` in parallel.
+pub fn par_for_each_indexed<T, F>(data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    par_chunks_mut(data, |offset, chunk| {
+        for (i, x) in chunk.iter_mut().enumerate() {
+            f(offset + i, x);
+        }
+    });
+}
+
+/// Parallel map-reduce over immutable chunks.
+///
+/// Each chunk is mapped to an accumulator with `map(offset, chunk)` and the
+/// per-chunk accumulators are folded with `reduce`.  `identity` seeds the
+/// fold.  The reduction order is deterministic (chunks are combined in index
+/// order), so floating-point results are reproducible run-to-run for a fixed
+/// thread budget.
+pub fn par_map_reduce<T, A, M, R>(data: &[T], identity: A, map: M, reduce: R) -> A
+where
+    T: Sync,
+    A: Send,
+    M: Fn(usize, &[T]) -> A + Sync,
+    R: Fn(A, A) -> A,
+{
+    par_map_reduce_with(
+        data,
+        crate::chunks::num_threads(),
+        DEFAULT_MIN_CHUNK,
+        identity,
+        map,
+        reduce,
+    )
+}
+
+/// As [`par_map_reduce`] with an explicit thread budget and chunk size.
+pub fn par_map_reduce_with<T, A, M, R>(
+    data: &[T],
+    max_threads: usize,
+    min_chunk: usize,
+    identity: A,
+    map: M,
+    reduce: R,
+) -> A
+where
+    T: Sync,
+    A: Send,
+    M: Fn(usize, &[T]) -> A + Sync,
+    R: Fn(A, A) -> A,
+{
+    let ranges = chunk_ranges(data.len(), max_threads, min_chunk);
+    if ranges.len() <= 1 {
+        return ranges
+            .into_iter()
+            .fold(identity, |acc, (start, end)| reduce(acc, map(start, &data[start..end])));
+    }
+    let map = &map;
+    let partials: Vec<A> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(start, end)| scope.spawn(move || map(start, &data[start..end])))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel map worker panicked"))
+            .collect()
+    });
+    partials.into_iter().fold(identity, reduce)
+}
+
+/// Parallel sum of `f64` values produced per element.
+pub fn par_sum_by<T, F>(data: &[T], f: F) -> f64
+where
+    T: Sync,
+    F: Fn(&T) -> f64 + Sync,
+{
+    par_map_reduce(
+        data,
+        0.0f64,
+        |_, chunk| chunk.iter().map(&f).sum::<f64>(),
+        |a, b| a + b,
+    )
+}
+
+/// Runs `tasks` independent closures in parallel and collects their results
+/// in task order.
+///
+/// Used for embarrassingly-parallel experiment sweeps (one task per `K` or
+/// per random seed).  Not intended for very large task counts; each task gets
+/// its own thread within a scope, batched to at most `num_threads` live
+/// threads at a time.
+pub fn par_tasks<A, F>(tasks: Vec<F>) -> Vec<A>
+where
+    A: Send,
+    F: FnOnce() -> A + Send,
+{
+    let threads = crate::chunks::num_threads();
+    let mut results: Vec<Option<A>> = Vec::new();
+    results.resize_with(tasks.len(), || None);
+    let mut remaining: Vec<(usize, F)> = tasks.into_iter().enumerate().collect();
+    while !remaining.is_empty() {
+        let batch: Vec<(usize, F)> = remaining
+            .drain(..remaining.len().min(threads))
+            .collect();
+        let batch_results: Vec<(usize, A)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = batch
+                .into_iter()
+                .map(|(idx, task)| scope.spawn(move || (idx, task())))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel task panicked"))
+                .collect()
+        });
+        for (idx, value) in batch_results {
+            results[idx] = Some(value);
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every task index must have produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_mutation_touches_every_element_once() {
+        let mut data = vec![1u64; 100_000];
+        par_chunks_mut_with(&mut data, 8, 1024, |offset, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x += (offset + i) as u64;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &x)| x == 1 + i as u64));
+    }
+
+    #[test]
+    fn indexed_for_each_matches_serial() {
+        let mut parallel = vec![0.0f64; 50_000];
+        let mut serial = vec![0.0f64; 50_000];
+        par_for_each_indexed(&mut parallel, |i, x| *x = (i as f64).sqrt());
+        for (i, x) in serial.iter_mut().enumerate() {
+            *x = (i as f64).sqrt();
+        }
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn map_reduce_sums_correctly() {
+        let data: Vec<u64> = (0..200_000).collect();
+        let total = par_map_reduce_with(
+            &data,
+            8,
+            1024,
+            0u64,
+            |_, chunk| chunk.iter().sum::<u64>(),
+            |a, b| a + b,
+        );
+        assert_eq!(total, 200_000 * 199_999 / 2);
+    }
+
+    #[test]
+    fn map_reduce_on_empty_slice_returns_identity() {
+        let data: Vec<u64> = Vec::new();
+        let total = par_map_reduce(&data, 42u64, |_, chunk| chunk.iter().sum::<u64>(), |a, b| a + b);
+        assert_eq!(total, 42);
+    }
+
+    #[test]
+    fn small_inputs_take_the_serial_path() {
+        let mut data = vec![0u8; 10];
+        par_chunks_mut(&mut data, |offset, chunk| {
+            assert_eq!(offset, 0);
+            assert_eq!(chunk.len(), 10);
+            chunk.fill(7);
+        });
+        assert!(data.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn par_sum_matches_serial_sum() {
+        let data: Vec<f64> = (0..100_000).map(|i| (i as f64) * 1e-3).collect();
+        let parallel = par_sum_by(&data, |x| x * x);
+        let serial: f64 = data.iter().map(|x| x * x).sum();
+        assert!((parallel - serial).abs() < 1e-6 * serial.abs().max(1.0));
+    }
+
+    #[test]
+    fn tasks_preserve_order() {
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..100usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let results = par_tasks(tasks);
+        assert_eq!(results.len(), 100);
+        assert!(results.iter().enumerate().all(|(i, &r)| r == i * i));
+    }
+
+    #[test]
+    fn tasks_with_uneven_durations_still_collect_all_results() {
+        let tasks: Vec<_> = (0..16u32)
+            .map(|i| {
+                move || {
+                    if i % 3 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    i
+                }
+            })
+            .collect();
+        let results: Vec<u32> = par_tasks(tasks);
+        assert_eq!(results, (0..16u32).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn thread_budget_of_one_is_fully_serial() {
+        let mut data = vec![0u32; 20_000];
+        par_chunks_mut_with(&mut data, 1, 1, |offset, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = (offset + i) as u32;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i as u32));
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests: every parallel primitive must agree with its serial
+//! counterpart regardless of chunking and thread budget.
+
+use proptest::prelude::*;
+use psq_parallel::{par_chunks_mut_with, par_map_reduce_with, par_tasks, WorkerPool};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parallel_increment_equals_serial(len in 0usize..20_000,
+                                        threads in 1usize..9,
+                                        min_chunk in 1usize..5000) {
+        let mut parallel: Vec<u64> = (0..len as u64).collect();
+        let mut serial = parallel.clone();
+        par_chunks_mut_with(&mut parallel, threads, min_chunk, |offset, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = x.wrapping_mul(3).wrapping_add((offset + i) as u64);
+            }
+        });
+        for (i, x) in serial.iter_mut().enumerate() {
+            *x = x.wrapping_mul(3).wrapping_add(i as u64);
+        }
+        prop_assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn parallel_reduce_equals_serial(len in 0usize..20_000,
+                                     threads in 1usize..9,
+                                     min_chunk in 1usize..5000) {
+        let data: Vec<u64> = (0..len as u64).map(|i| i.wrapping_mul(2654435761)).collect();
+        let parallel = par_map_reduce_with(
+            &data,
+            threads,
+            min_chunk,
+            0u64,
+            |_, chunk| chunk.iter().fold(0u64, |a, b| a.wrapping_add(*b)),
+            |a, b| a.wrapping_add(b),
+        );
+        let serial = data.iter().fold(0u64, |a, b| a.wrapping_add(*b));
+        prop_assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn float_reduction_is_deterministic_for_fixed_layout(len in 1usize..10_000) {
+        let data: Vec<f64> = (0..len).map(|i| (i as f64).sin()).collect();
+        let run = || {
+            par_map_reduce_with(
+                &data,
+                4,
+                256,
+                0.0f64,
+                |_, chunk| chunk.iter().sum::<f64>(),
+                |a, b| a + b,
+            )
+        };
+        // Same chunk layout => bitwise-identical result, run after run.
+        prop_assert_eq!(run().to_bits(), run().to_bits());
+    }
+
+    #[test]
+    fn pool_map_matches_direct_evaluation(inputs in prop::collection::vec(0u64..1_000_000, 0..200)) {
+        let pool = WorkerPool::new(4);
+        let jobs: Vec<_> = inputs
+            .iter()
+            .map(|&x| move || x.wrapping_mul(x).wrapping_add(1))
+            .collect();
+        let results = pool.map(jobs);
+        let expected: Vec<u64> = inputs.iter().map(|&x| x.wrapping_mul(x).wrapping_add(1)).collect();
+        prop_assert_eq!(results, expected);
+    }
+
+    #[test]
+    fn par_tasks_matches_direct_evaluation(inputs in prop::collection::vec(-1_000i64..1_000, 0..64)) {
+        let tasks: Vec<_> = inputs.iter().map(|&x| move || x * 7 - 3).collect();
+        let results = par_tasks(tasks);
+        let expected: Vec<i64> = inputs.iter().map(|&x| x * 7 - 3).collect();
+        prop_assert_eq!(results, expected);
+    }
+}

@@ -1,0 +1,177 @@
+//! The twelve-item worked example of Section 1.3 (Figure 1).
+//!
+//! A database of `N = 12` items split into `K = 3` blocks of four.  The paper
+//! shows that **two** queries suffice to learn the block with certainty
+//! (whereas finding the item itself with certainty needs at least three):
+//!
+//! * (A) start in the uniform superposition (all amplitudes `1/√12`);
+//! * (B) invert the amplitude of the target state (query 1);
+//! * (C) invert about the average *within each block*;
+//! * (D) invert the amplitude of the target state again (query 2);
+//! * (E) invert about the *global* average.
+//!
+//! Afterwards every state outside the target block has amplitude exactly 0,
+//! the target state has amplitude `3/√12`, and the other states of the target
+//! block have `1/√12`: the block is read off with probability 1 and the item
+//! itself with probability `(3/√12)² = 3/4`.
+//!
+//! This module replays exactly that five-stage sequence on the full
+//! state-vector simulator and exposes the predicted amplitudes so the tests
+//! (and the Figure-1 regenerator in `psq-bench`) can assert every number the
+//! paper's figure displays.
+
+use psq_sim::oracle::{Database, Partition};
+use psq_sim::statevector::StateVector;
+use psq_sim::trace::StageTrace;
+
+/// Database size of the worked example.
+pub const EXAMPLE_N: u64 = 12;
+/// Number of blocks of the worked example.
+pub const EXAMPLE_K: u64 = 3;
+
+/// The five stage labels, in order, matching Figure 1.
+pub const STAGE_LABELS: [&str; 5] = [
+    "(A) uniform superposition",
+    "(B) target amplitude inverted",
+    "(C) inversion about per-block average",
+    "(D) target amplitude inverted again",
+    "(E) inversion about global average",
+];
+
+/// The result of replaying Figure 1.
+#[derive(Clone, Debug)]
+pub struct Example12 {
+    /// The final state after stage (E).
+    pub final_state: StateVector,
+    /// Amplitude snapshots after each of the five stages.
+    pub trace: StageTrace,
+    /// Oracle queries consumed (the paper's claim: exactly 2).
+    pub queries: u64,
+    /// Probability that a block measurement identifies the target block
+    /// (the paper's claim: exactly 1).
+    pub block_probability: f64,
+    /// Probability that a full measurement returns the target itself
+    /// (the paper's claim: 3/4).
+    pub target_probability: f64,
+}
+
+/// Predicted amplitudes `(target, other target-block states, non-target
+/// blocks)` after each stage, in units of `1/√12`, exactly as printed in
+/// Figure 1.
+pub fn predicted_amplitudes_in_units_of_inv_sqrt12() -> [(f64, f64, f64); 5] {
+    [
+        (1.0, 1.0, 1.0),   // (A)
+        (-1.0, 1.0, 1.0),  // (B)
+        (2.0, 0.0, 1.0),   // (C)
+        (-2.0, 0.0, 1.0),  // (D)
+        (3.0, 1.0, 0.0),   // (E)
+    ]
+}
+
+/// Replays the Figure-1 sequence for the given target address (any of the
+/// twelve).
+///
+/// # Panics
+/// Panics if `target ≥ 12`.
+pub fn run(target: u64) -> Example12 {
+    assert!(target < EXAMPLE_N, "the example has twelve items; target {target} out of range");
+    let db = Database::new(EXAMPLE_N, target);
+    let partition = Partition::new(EXAMPLE_N, EXAMPLE_K);
+    let mut trace = StageTrace::new();
+
+    // (A)
+    let mut psi = StateVector::uniform(EXAMPLE_N as usize);
+    trace.record_state(STAGE_LABELS[0], &psi, &db, &partition);
+
+    // (B) — query 1
+    psi.apply_oracle_phase_flip(&db);
+    trace.record_state(STAGE_LABELS[1], &psi, &db, &partition);
+
+    // (C)
+    psi.invert_about_mean_per_block(&partition);
+    trace.record_state(STAGE_LABELS[2], &psi, &db, &partition);
+
+    // (D) — query 2
+    psi.apply_oracle_phase_flip(&db);
+    trace.record_state(STAGE_LABELS[3], &psi, &db, &partition);
+
+    // (E)
+    psi.invert_about_mean();
+    trace.record_state(STAGE_LABELS[4], &psi, &db, &partition);
+
+    let target_block = partition.block_of(target);
+    let block_probability = psi.block_probability(&partition, target_block);
+    let target_probability = psi.probability(target as usize);
+    Example12 {
+        final_state: psi,
+        trace,
+        queries: db.queries(),
+        block_probability,
+        target_probability,
+    }
+}
+
+/// The number of queries any *exact* full search of twelve items must make
+/// (the paper: "to find the target with certainty, we would need at least
+/// three (quantum) queries"), from the exact-Grover plan.
+pub fn exact_full_search_queries() -> u64 {
+    psq_grover::exact::plan(EXAMPLE_N as f64).iterations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psq_math::approx::assert_close;
+
+    #[test]
+    fn two_queries_identify_the_block_with_certainty() {
+        for target in 0..EXAMPLE_N {
+            let result = run(target);
+            assert_eq!(result.queries, 2, "the example uses exactly two queries");
+            assert_close(result.block_probability, 1.0, 1e-12);
+            assert_close(result.target_probability, 0.75, 1e-12);
+        }
+    }
+
+    #[test]
+    fn every_stage_matches_the_figure() {
+        let inv = 1.0 / 12f64.sqrt();
+        let predicted = predicted_amplitudes_in_units_of_inv_sqrt12();
+        let result = run(7); // target in block 1
+        assert_eq!(result.trace.len(), 5);
+        for (stage, (label, summary)) in result.trace.stages().iter().enumerate() {
+            let (t, tb, nb) = predicted[stage];
+            assert_eq!(label, STAGE_LABELS[stage]);
+            assert_close(summary.amp_target, t * inv, 1e-12);
+            assert_close(summary.amp_target_block, tb * inv, 1e-12);
+            assert_close(summary.amp_nontarget, nb * inv, 1e-12);
+        }
+    }
+
+    #[test]
+    fn final_state_is_supported_only_on_the_target_block() {
+        let result = run(10);
+        let partition = Partition::new(EXAMPLE_N, EXAMPLE_K);
+        for x in 0..EXAMPLE_N {
+            let amp = result.final_state.amplitude(x as usize);
+            if partition.block_of(x) == partition.block_of(10) {
+                assert!(amp.abs() > 0.2);
+            } else {
+                assert!(amp.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn full_search_with_certainty_needs_at_least_three_queries() {
+        assert!(exact_full_search_queries() >= 3);
+        // ... so learning only the block genuinely is cheaper here.
+        assert!(run(0).queries < exact_full_search_queries());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_target() {
+        run(12);
+    }
+}

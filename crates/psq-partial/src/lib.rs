@@ -1,0 +1,44 @@
+//! Partial quantum search — the paper's core contribution.
+//!
+//! *Is partial quantum search of a database any easier?* (Grover &
+//! Radhakrishnan, SPAA 2005) asks for only the first `k` bits of the marked
+//! item's address — equivalently, for the block (out of `K = 2^k` equal
+//! blocks) that contains it — and answers: yes, by a `θ(1/√K)` fraction of
+//! the `(π/4)√N` full-search cost, and no more than that.
+//!
+//! This crate implements the constructive half of that answer and everything
+//! it is compared against:
+//!
+//! * [`model`] — the asymptotic query-count model of Section 3.1 (`θ`, `α_yt`,
+//!   `θ1`, `θ2`, and the total coefficient as a function of `ε`);
+//! * [`optimizer`] — the "computer program" that minimises the model over `ε`
+//!   and regenerates the paper's table of coefficients;
+//! * [`plan`] — finite-`N` discretisation: integer `ℓ1`, `ℓ2`, predicted
+//!   amplitudes and success probability, plus a tuned variant that makes the
+//!   discretisation error negligible on small databases;
+//! * [`algorithm`] — the three-step algorithm itself, runnable on the full
+//!   state-vector simulator and on the block-symmetric reduced simulator;
+//! * [`baseline`] — the naive block-elimination baseline of Section 1.2
+//!   (savings of only `O(1/K)`);
+//! * [`recursive`] — full search from repeated partial search, the reduction
+//!   behind Theorem 2's lower bound;
+//! * [`example12`] — the twelve-item, three-block worked example of Figure 1,
+//!   stage by stage;
+//! * [`robustness`] — an extension beyond the paper: how the algorithm
+//!   degrades when oracle calls silently fail.
+
+pub mod algorithm;
+pub mod baseline;
+pub mod example12;
+pub mod model;
+pub mod optimizer;
+pub mod plan;
+pub mod recursive;
+pub mod robustness;
+
+pub use algorithm::{EpsilonChoice, PartialRun, PartialSearch, ReducedPartialRun};
+pub use baseline::{naive_coefficient, naive_partial_search, naive_queries};
+pub use model::{full_search_coefficient, Model, ModelPoint};
+pub use optimizer::{optimal_epsilon, table1, EpsilonOptimum, TableRow};
+pub use plan::SearchPlan;
+pub use recursive::{reduction_query_model, RecursiveOutcome, RecursiveSearch};

@@ -1,0 +1,281 @@
+//! The closed-form query-count model of Section 3.1.
+//!
+//! The partial-search algorithm has one free parameter `ε` controlling how
+//! early Step 1 stops.  For the asymptotic regime (`N → ∞`, `K` fixed) the
+//! paper derives:
+//!
+//! ```text
+//!   θ      = (π/2)·ε                         (angle left to the target after Step 1)
+//!   α_yt   = √(1 − ((K−1)/K)·sin²θ)          (norm of the target-block projection)
+//!   θ1     = arcsin( sinθ / (α_yt √K) )      (in-block angle to traverse down to |z_t⟩)
+//!   θ2     = arcsin( (K−2)·sinθ / (2 α_yt √K) )   (overshoot past |z_t⟩)
+//!   queries/√N = (π/4)(1−ε) + (θ1 + θ2)/(2√K)     (+ one O(1) query for Step 3)
+//! ```
+//!
+//! [`Model`] evaluates these quantities and their validity domain;
+//! [`crate::optimizer`] minimises the total over `ε` to regenerate the
+//! paper's table of coefficients.
+
+use psq_math::approx::safe_asin;
+
+/// The asymptotic (large-`N`) query model for a fixed block count `K`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Model {
+    k: f64,
+}
+
+/// All intermediate quantities of the model at a particular `ε`, exposed so
+/// figures and tests can inspect the geometry rather than just the final
+/// count.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModelPoint {
+    /// The free parameter `ε`.
+    pub epsilon: f64,
+    /// Angle `θ = (π/2)ε` left between the state and the target after Step 1.
+    pub theta: f64,
+    /// Norm `α_yt` of the projection of the post-Step-1 state onto the target
+    /// block.
+    pub alpha_target_block: f64,
+    /// In-block angle `θ1` from the post-Step-1 in-block state to the target.
+    pub theta1: f64,
+    /// In-block overshoot angle `θ2` required by the Step-3 zeroing condition.
+    pub theta2: f64,
+    /// Coefficient of `√N` spent in Step 1: `(π/4)(1 − ε)`.
+    pub step1_coefficient: f64,
+    /// Coefficient of `√N` spent in Step 2: `(θ1 + θ2)/(2√K)`.
+    pub step2_coefficient: f64,
+    /// Total coefficient of `√N` (Step 3's single query is `o(√N)` and not
+    /// included).
+    pub total_coefficient: f64,
+    /// Whether both `arcsin` arguments were in `[0, 1]`; when `false` the
+    /// other fields are meaningless and the point must not be used.
+    pub valid: bool,
+}
+
+impl Model {
+    /// Creates the model for `k ≥ 2` blocks.
+    ///
+    /// # Panics
+    /// Panics if `k < 2` (with a single block there is nothing to search
+    /// for).
+    pub fn new(k: f64) -> Self {
+        assert!(k >= 2.0, "partial search needs at least two blocks, got k = {k}");
+        Self { k }
+    }
+
+    /// Number of blocks `K`.
+    pub fn k(&self) -> f64 {
+        self.k
+    }
+
+    /// The angle left to the target after Step 1 stops `ε·(π/4)√N`
+    /// iterations short: `θ = (π/2)·ε`.
+    pub fn theta(&self, epsilon: f64) -> f64 {
+        std::f64::consts::FRAC_PI_2 * epsilon
+    }
+
+    /// The paper's `α_yt`: the norm of the projection of the post-Step-1
+    /// state onto the target block, `√(1 − ((K−1)/K)·sin²θ)`.
+    pub fn alpha_target_block(&self, epsilon: f64) -> f64 {
+        let s = self.theta(epsilon).sin();
+        (1.0 - (self.k - 1.0) / self.k * s * s).max(0.0).sqrt()
+    }
+
+    /// Evaluates every model quantity at `ε`.
+    pub fn at(&self, epsilon: f64) -> ModelPoint {
+        assert!(
+            (0.0..=1.0).contains(&epsilon),
+            "epsilon must lie in [0, 1], got {epsilon}"
+        );
+        let k = self.k;
+        let theta = self.theta(epsilon);
+        let sin_theta = theta.sin();
+        let alpha = self.alpha_target_block(epsilon);
+
+        let arg1 = sin_theta / (alpha * k.sqrt());
+        let arg2 = (k - 2.0) * sin_theta / (2.0 * alpha * k.sqrt());
+        let valid = alpha > 0.0 && arg1 <= 1.0 + 1e-12 && arg2 <= 1.0 + 1e-12;
+
+        let theta1 = safe_asin(arg1.min(1.0));
+        let theta2 = safe_asin(arg2.min(1.0));
+        let step1 = std::f64::consts::FRAC_PI_4 * (1.0 - epsilon);
+        let step2 = (theta1 + theta2) / (2.0 * k.sqrt());
+        ModelPoint {
+            epsilon,
+            theta,
+            alpha_target_block: alpha,
+            theta1,
+            theta2,
+            step1_coefficient: step1,
+            step2_coefficient: step2,
+            total_coefficient: step1 + step2,
+            valid,
+        }
+    }
+
+    /// The total query coefficient at `ε`, or a large penalty value when the
+    /// model is outside its validity domain (used by the optimiser, which
+    /// needs a total function).
+    pub fn total_coefficient_or_penalty(&self, epsilon: f64) -> f64 {
+        let p = self.at(epsilon);
+        if p.valid {
+            p.total_coefficient
+        } else {
+            // Strictly worse than running full search, so the optimiser never
+            // settles here.
+            2.0
+        }
+    }
+
+    /// The paper's large-`K` reference choice `ε = 1/√K`.
+    pub fn paper_epsilon(&self) -> f64 {
+        1.0 / self.k.sqrt()
+    }
+
+    /// The paper's closed-form large-`K` estimate of the total coefficient at
+    /// `ε = 1/√K`:
+    /// `(π/4)·[1 − (1 − (2/π)·arcsin(π/4))/√K + O(1/K)]`.
+    pub fn large_k_estimate(&self) -> f64 {
+        let c = 1.0 - (2.0 / std::f64::consts::PI) * safe_asin(std::f64::consts::FRAC_PI_4);
+        std::f64::consts::FRAC_PI_4 * (1.0 - c / self.k.sqrt())
+    }
+
+    /// The constant `0.42…` in the paper's statement `c_K ≥ 0.42/√K`:
+    /// `1 − (2/π)·arcsin(π/4)`.
+    pub fn large_k_constant() -> f64 {
+        1.0 - (2.0 / std::f64::consts::PI) * safe_asin(std::f64::consts::FRAC_PI_4)
+    }
+
+    /// Converts a total coefficient into the paper's savings constant `c_K`
+    /// defined by `queries = (π/4)(1 − c_K)√N`.
+    pub fn savings_constant(total_coefficient: f64) -> f64 {
+        1.0 - total_coefficient / std::f64::consts::FRAC_PI_4
+    }
+
+    /// The lower-bound coefficient of Theorem 2: `(π/4)(1 − 1/√K)`.
+    pub fn lower_bound_coefficient(&self) -> f64 {
+        std::f64::consts::FRAC_PI_4 * (1.0 - 1.0 / self.k.sqrt())
+    }
+
+    /// The naive block-elimination baseline of Section 1.2:
+    /// `(π/4)·√((K−1)/K)`, i.e. savings of only `O(1/K)`.
+    pub fn naive_baseline_coefficient(&self) -> f64 {
+        std::f64::consts::FRAC_PI_4 * ((self.k - 1.0) / self.k).sqrt()
+    }
+}
+
+/// The coefficient of `√N` for plain full search: `π/4 ≈ 0.785`, the first
+/// row of the paper's table.
+pub fn full_search_coefficient() -> f64 {
+    std::f64::consts::FRAC_PI_4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psq_math::approx::assert_close;
+
+    #[test]
+    fn epsilon_zero_recovers_full_search() {
+        for &k in &[2.0, 8.0, 1024.0] {
+            let m = Model::new(k);
+            let p = m.at(0.0);
+            assert!(p.valid);
+            assert_close(p.total_coefficient, full_search_coefficient(), 1e-12);
+            assert_close(p.theta1, 0.0, 1e-12);
+            assert_close(p.theta2, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn derivative_at_zero_is_negative_for_all_k() {
+        // The paper argues the derivative of ℓ1 + ℓ2 w.r.t. ε is negative at
+        // ε = 0, so some ε > 0 always beats full search.
+        for &k in &[2.0, 3.0, 4.0, 16.0, 256.0] {
+            let m = Model::new(k);
+            let h = 1e-4;
+            let slope = (m.at(h).total_coefficient - m.at(0.0).total_coefficient) / h;
+            assert!(slope < 0.0, "k = {k}: slope {slope}");
+        }
+    }
+
+    #[test]
+    fn k2_has_no_overshoot_angle() {
+        // With two blocks, K − 2 = 0 and θ2 vanishes identically.
+        let m = Model::new(2.0);
+        for &eps in &[0.1, 0.5, 0.9] {
+            assert_close(m.at(eps).theta2, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_epsilon_point_matches_large_k_estimate() {
+        // For large K the model at ε = 1/√K approaches the paper's closed
+        // form (π/4)(1 − 0.4244/√K).
+        for &k in &[64.0, 256.0, 4096.0] {
+            let m = Model::new(k);
+            let p = m.at(m.paper_epsilon());
+            assert!(p.valid);
+            let estimate = m.large_k_estimate();
+            assert!(
+                (p.total_coefficient - estimate).abs() < 0.6 / k,
+                "k = {k}: model {} vs estimate {estimate}",
+                p.total_coefficient
+            );
+        }
+    }
+
+    #[test]
+    fn large_k_constant_is_the_paper_0_42() {
+        let c = Model::large_k_constant();
+        assert!(c > 0.42 && c < 0.43, "constant {c}");
+    }
+
+    #[test]
+    fn savings_constant_round_trips() {
+        let coeff = std::f64::consts::FRAC_PI_4 * (1.0 - 0.3);
+        assert_close(Model::savings_constant(coeff), 0.3, 1e-12);
+    }
+
+    #[test]
+    fn lower_bound_matches_paper_table() {
+        for &(k, expected) in &[
+            (2.0, 0.23),
+            (3.0, 0.332),
+            (4.0, 0.393),
+            (5.0, 0.434),
+            (8.0, 0.508),
+            (32.0, 0.647),
+        ] {
+            let coeff = Model::new(k).lower_bound_coefficient();
+            assert!((coeff - expected).abs() < 5e-3, "k = {k}: {coeff} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn invalid_region_is_flagged_not_propagated() {
+        // For moderate K and ε close to 1 the θ2 argument exceeds 1; the
+        // model must say so rather than return NaN.
+        let m = Model::new(64.0);
+        let p = m.at(0.95);
+        assert!(!p.valid);
+        assert!(m.total_coefficient_or_penalty(0.95) > 1.0);
+        assert!(p.theta2.is_finite());
+    }
+
+    #[test]
+    fn naive_baseline_saves_only_one_over_2k() {
+        for &k in &[4.0, 16.0, 128.0] {
+            let m = Model::new(k);
+            let naive = m.naive_baseline_coefficient();
+            let expected = std::f64::consts::FRAC_PI_4 * (1.0 - 1.0 / (2.0 * k));
+            assert!((naive - expected).abs() < 0.05 / k, "k = {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two blocks")]
+    fn rejects_single_block() {
+        Model::new(1.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Finite-`N` execution plans for the partial-search algorithm.
+//!
+//! [`crate::model`] works in the asymptotic regime where iteration counts are
+//! real numbers.  An actual run needs integers: `ℓ1` global iterations, `ℓ2`
+//! per-block iterations, and one Step-3 query.  [`SearchPlan`] performs that
+//! discretisation *using only `N`, `K` and `ε`* (never the target), predicts
+//! the amplitudes the simulators should produce at every stage, and is what
+//! [`crate::algorithm`] executes.
+//!
+//! All the trigonometry here is exact for finite `N` (no `√(N−1) ≈ √N`
+//! simplifications), which is what lets the integration tests assert
+//! simulator-versus-plan agreement to `1e-9` even for `N` as small as 12.
+
+use psq_math::angle::grover_angle;
+use serde::{Deserialize, Serialize};
+
+/// A fully-resolved plan for one partial-search run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SearchPlan {
+    /// Database size `N`.
+    pub n: f64,
+    /// Number of blocks `K`.
+    pub k: f64,
+    /// The Step-1 truncation parameter `ε`.
+    pub epsilon: f64,
+    /// Global Grover iterations performed in Step 1.
+    pub l1: u64,
+    /// Per-block Grover iterations performed in Step 2.
+    pub l2: u64,
+    /// Total oracle queries: `ℓ1 + ℓ2 + 1` (Step 3 costs one query).
+    pub total_queries: u64,
+    /// Predicted amplitude of the target state after Step 1.
+    pub target_amp_after_step1: f64,
+    /// Predicted amplitude of every non-target state after Step 1.
+    pub rest_amp_after_step1: f64,
+    /// Predicted norm of the target-block projection after Step 1 (the
+    /// paper's `α_yt`); Step 2 preserves it.
+    pub alpha_target_block: f64,
+    /// In-block angle from the target after Step 1 (the paper's `θ1`).
+    pub theta1: f64,
+    /// Desired in-block overshoot angle (the paper's `θ2`), from the exact
+    /// finite-`N` Step-3 zeroing condition.
+    pub theta2: f64,
+    /// Predicted amplitude of the target state after Step 2.
+    pub target_amp_after_step2: f64,
+    /// Predicted amplitude of each non-target state in the target block
+    /// after Step 2 (negative once the in-block rotation has passed the
+    /// target).
+    pub block_rest_amp_after_step2: f64,
+    /// Predicted amplitude of each non-target-block state after Step 3
+    /// (ideally 0; the discretisation of `ℓ2` leaves a residue of order
+    /// `1/N`).
+    pub nontarget_amp_after_step3: f64,
+    /// Predicted probability that the final measurement lands in the target
+    /// block.
+    pub predicted_success_probability: f64,
+}
+
+impl SearchPlan {
+    /// Builds the plan for a database of `n` items in `k` equal blocks with
+    /// Step-1 truncation `ε`.
+    ///
+    /// # Panics
+    /// Panics unless `k ≥ 2`, `k` divides `n` (up to floating point; integral
+    /// inputs are expected), `n/k ≥ 2` and `ε ∈ [0, 1]`.
+    pub fn new(n: f64, k: f64, epsilon: f64) -> Self {
+        assert!(k >= 2.0, "partial search needs at least two blocks");
+        assert!(n >= 2.0 * k, "blocks must contain at least two items (n = {n}, k = {k})");
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must lie in [0, 1]");
+
+        let block = n / k;
+        let theta_g = grover_angle(n); // global rotation half-angle
+        let theta_b = grover_angle(block); // in-block rotation half-angle
+
+        // ---- Step 1: ℓ1 = ⌊(π/4)(1 − ε)√N⌋ global iterations -------------
+        let l1 = (std::f64::consts::FRAC_PI_4 * (1.0 - epsilon) * n.sqrt()).floor() as u64;
+        let phase1 = (2 * l1 + 1) as f64 * theta_g;
+        let target_amp = phase1.sin();
+        let rest_amp = phase1.cos() / (n - 1.0).sqrt();
+
+        // ---- Step 2 geometry ----------------------------------------------
+        // Projection of the state onto the target block: the target plus
+        // (N/K − 1) non-target in-block states, all at `rest_amp`.
+        let alpha = (target_amp * target_amp + (block - 1.0) * rest_amp * rest_amp).sqrt();
+        // In-block angle from the target after Step 1 (signed: a negative
+        // value means Step 1 overshot the target, which can happen only for
+        // ε ≈ 0 where Step 2 then has nothing to do).
+        let theta1 = (rest_amp * (block - 1.0).sqrt()).atan2(target_amp);
+
+        // Step-3 zeroing condition (exact, finite N): after Step 2 let the
+        // non-target in-block amplitude be c.  Step 3 reflects every
+        // non-target amplitude about their mean
+        //   μ = ((N/K − 1)·c + (N − N/K)·rest) / (N − 1)
+        // and the non-target-block amplitude becomes 2μ − rest; demanding
+        // that this vanish gives the desired c, hence the overshoot angle θ2.
+        let desired_block_rest = rest_amp * (block - (n + 1.0) / 2.0) / (block - 1.0);
+        let desired_sin = (desired_block_rest * (block - 1.0).sqrt() / alpha).clamp(-1.0, 1.0);
+        // Angle measured from the target, negative because the state must end
+        // up on the far side of the target.
+        let desired_angle = psq_math::approx::safe_asin(desired_sin);
+        let theta2 = -desired_angle;
+
+        // Each per-block iteration advances the in-block angle towards (and
+        // past) the target by 2·θ_b.
+        let l2 = ((theta1 + theta2) / (2.0 * theta_b)).round().max(0.0) as u64;
+
+        // ---- Predicted post-Step-2 amplitudes ------------------------------
+        let final_angle = theta1 - 2.0 * l2 as f64 * theta_b;
+        let target_amp2 = alpha * final_angle.cos();
+        let block_rest_amp2 = alpha * final_angle.sin() / (block - 1.0).sqrt();
+
+        // ---- Predicted post-Step-3 amplitudes ------------------------------
+        let mean_nontarget =
+            ((block - 1.0) * block_rest_amp2 + (n - block) * rest_amp) / (n - 1.0);
+        let nontarget_after3 = 2.0 * mean_nontarget - rest_amp;
+        let predicted_success = 1.0 - (n - block) * nontarget_after3 * nontarget_after3;
+
+        Self {
+            n,
+            k,
+            epsilon,
+            l1,
+            l2,
+            total_queries: l1 + l2 + 1,
+            target_amp_after_step1: target_amp,
+            rest_amp_after_step1: rest_amp,
+            alpha_target_block: alpha,
+            theta1,
+            theta2,
+            target_amp_after_step2: target_amp2,
+            block_rest_amp_after_step2: block_rest_amp2,
+            nontarget_amp_after_step3: nontarget_after3,
+            predicted_success_probability: predicted_success,
+        }
+    }
+
+    /// Builds the plan with the asymptotically optimal `ε` for this `K`
+    /// (computed by [`crate::optimizer::optimal_epsilon`]).
+    pub fn with_optimal_epsilon(n: f64, k: f64) -> Self {
+        let eps = crate::optimizer::optimal_epsilon(k).epsilon;
+        Self::new(n, k, eps)
+    }
+
+    /// Builds a plan fine-tuned for a *finite* `N`.
+    ///
+    /// The asymptotic optimum ignores discretisation: with integer `ℓ2` the
+    /// in-block rotation generally misses the Step-3 zeroing condition by up
+    /// to one half-step, which costs `O(1/N)` success probability — visible
+    /// for small databases (`N ≲ 10³`).  Because shifting `ℓ1` by one changes
+    /// the in-block starting angle by `≈ 2/√N` while the rotation grid has
+    /// period `2√(K/N)`, a handful of neighbouring `ℓ1` values always
+    /// contains one whose final angle lands almost exactly on the zeroing
+    /// condition.  This constructor scans `ℓ1 ∈ [base − 8, base + 8]` and
+    /// picks the plan minimising `queries + N·(error probability)`, trading
+    /// at most a few queries for an error that is negligible at every size.
+    pub fn tuned(n: f64, k: f64) -> Self {
+        let base_eps = crate::optimizer::optimal_epsilon(k).epsilon;
+        let base = Self::new(n, k, base_eps);
+        let full = psq_math::angle::optimal_grover_iterations(n);
+        let lo = base.l1.saturating_sub(8);
+        let hi = (base.l1 + 8).min(full);
+        let mut best = base;
+        let mut best_score = f64::INFINITY;
+        for l1 in lo..=hi {
+            // An ε that floors back to exactly this ℓ1.
+            let eps = 1.0 - (l1 as f64 + 0.5) / (std::f64::consts::FRAC_PI_4 * n.sqrt());
+            if !(0.0..=1.0).contains(&eps) {
+                continue;
+            }
+            let candidate = Self::new(n, k, eps);
+            debug_assert_eq!(candidate.l1, l1);
+            let score =
+                candidate.total_queries as f64 + candidate.predicted_error_probability() * n;
+            if score < best_score {
+                best_score = score;
+                best = candidate;
+            }
+        }
+        best
+    }
+
+    /// Block size `N/K`.
+    pub fn block_size(&self) -> f64 {
+        self.n / self.k
+    }
+
+    /// The savings over full Grover search, in queries:
+    /// `⌈(π/4)√N⌉ − (ℓ1 + ℓ2 + 1)` (clamped at zero).
+    pub fn savings_versus_full_search(&self) -> i64 {
+        let full = psq_math::angle::optimal_grover_iterations(self.n) as i64;
+        full - self.total_queries as i64
+    }
+
+    /// The coefficient of `√N` this plan realises: `(ℓ1 + ℓ2 + 1)/√N`.
+    pub fn realized_coefficient(&self) -> f64 {
+        self.total_queries as f64 / self.n.sqrt()
+    }
+
+    /// Residual probability of reporting a wrong block (the paper's
+    /// `O(1/√N)` error term): `1 −` [`SearchPlan::predicted_success_probability`].
+    pub fn predicted_error_probability(&self) -> f64 {
+        (1.0 - self.predicted_success_probability).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psq_math::approx::assert_close;
+
+    #[test]
+    fn plan_is_target_independent_and_deterministic() {
+        let a = SearchPlan::new(4096.0, 8.0, 0.35);
+        let b = SearchPlan::new(4096.0, 8.0, 0.35);
+        assert_eq!(a, b);
+        assert_eq!(a.total_queries, a.l1 + a.l2 + 1);
+    }
+
+    #[test]
+    fn epsilon_zero_degenerates_to_full_search_plus_overhead() {
+        // With ε = 0 Step 1 already finishes the search; Step 2 has nothing
+        // left to rotate and the plan spends ≈ (π/4)√N queries.
+        let plan = SearchPlan::new((1u64 << 16) as f64, 4.0, 0.0);
+        assert!(plan.l2 <= 1);
+        let full = psq_math::angle::optimal_grover_iterations((1u64 << 16) as f64);
+        assert!(plan.l1.abs_diff(full) <= 1);
+        assert!(plan.predicted_success_probability > 0.999);
+    }
+
+    #[test]
+    fn moderate_epsilon_saves_theta_sqrt_n_over_k_queries() {
+        let n = (1u64 << 20) as f64;
+        let k = 16.0;
+        let plan = SearchPlan::with_optimal_epsilon(n, k);
+        let savings = plan.savings_versus_full_search();
+        // Theorem 1: savings ≈ c_K·(π/4)√N ≥ 0.42/√K · (π/4)√N.
+        let promised = 0.42 / k.sqrt() * std::f64::consts::FRAC_PI_4 * n.sqrt();
+        assert!(
+            savings as f64 >= promised * 0.9,
+            "savings {savings} below promised {promised}"
+        );
+        assert!(plan.predicted_success_probability > 1.0 - 20.0 / n.sqrt());
+    }
+
+    #[test]
+    fn predicted_success_is_high_across_sizes_and_block_counts() {
+        for &exponent in &[10u32, 14, 18] {
+            for &k in &[2.0, 4.0, 8.0, 32.0] {
+                let n = (1u64 << exponent) as f64;
+                let plan = SearchPlan::with_optimal_epsilon(n, k);
+                assert!(
+                    plan.predicted_error_probability() < 25.0 / n.sqrt(),
+                    "n = {n}, k = {k}: error {}",
+                    plan.predicted_error_probability()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn realized_coefficient_tracks_the_asymptotic_model() {
+        let k = 8.0;
+        let eps = crate::optimizer::optimal_epsilon(k).epsilon;
+        let asymptotic = crate::model::Model::new(k).at(eps).total_coefficient;
+        let plan = SearchPlan::new((1u64 << 30) as f64, k, eps);
+        assert_close(plan.realized_coefficient(), asymptotic, 1e-3);
+    }
+
+    #[test]
+    fn figure1_dimensions_are_accepted() {
+        // N = 12, K = 3 — the worked example; just check the plan machinery
+        // tolerates the smallest interesting instance.
+        let plan = SearchPlan::new(12.0, 3.0, 0.6);
+        assert!(plan.total_queries >= 1);
+        assert!(plan.predicted_success_probability <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let plan = SearchPlan::new(1024.0, 4.0, 0.4);
+        let json = serde_json::to_string(&plan).expect("serialise");
+        let back: SearchPlan = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two blocks")]
+    fn rejects_degenerate_block_count() {
+        SearchPlan::new(64.0, 1.0, 0.5);
+    }
+}

@@ -1,0 +1,215 @@
+//! Robustness of partial search to oracle faults (an extension beyond the
+//! paper).
+//!
+//! The paper's model assumes every oracle call works.  A natural question for
+//! anyone implementing the algorithm is how gracefully it degrades when calls
+//! occasionally fail — the query-model analogue of gate noise.  This module
+//! injects the simplest such fault: each oracle application *silently does
+//! nothing* with probability `p` (it is still charged, as the algorithm
+//! cannot tell).  Because a skipped reflection leaves the state unchanged,
+//! the rotation simply falls behind schedule, and the measured success
+//! probability quantifies how much of Theorem 1's guarantee survives.
+//!
+//! Full Grover search under the same fault model is provided for comparison:
+//! partial search is *more* robust per query simply because it makes fewer of
+//! them, which the sweep in `psq-bench --bin ablation_robustness` shows.
+
+use crate::algorithm::PartialSearch;
+use crate::plan::SearchPlan;
+use psq_sim::oracle::{Database, Partition};
+use psq_sim::statevector::StateVector;
+use rand::Rng;
+
+/// Outcome of one faulty-oracle run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultyRun {
+    /// The plan that was executed.
+    pub plan: SearchPlan,
+    /// Oracle calls charged (identical to the fault-free count: faults are
+    /// silent).
+    pub queries: u64,
+    /// Oracle calls that actually failed.
+    pub faults: u64,
+    /// Probability that the final block measurement is correct.
+    pub success_probability: f64,
+}
+
+/// Runs the three-step partial-search algorithm where every oracle reflection
+/// independently fails (acts as the identity) with probability
+/// `fault_probability`.  The diffusion operators are assumed perfect — they
+/// are oracle-independent bookkeeping in the query model.
+pub fn partial_search_with_faulty_oracle<R: Rng + ?Sized>(
+    db: &Database,
+    partition: &Partition,
+    fault_probability: f64,
+    rng: &mut R,
+) -> FaultyRun {
+    assert!((0.0..=1.0).contains(&fault_probability), "fault probability must be in [0, 1]");
+    assert_eq!(db.size(), partition.size(), "database/partition mismatch");
+    let n = db.size() as f64;
+    let k = partition.blocks() as f64;
+    let plan = PartialSearch::new().plan(n, k);
+    let span = db.counter().span();
+    let mut faults = 0u64;
+
+    let mut flip = |psi: &mut StateVector, rng: &mut R| {
+        if rng.gen_bool(fault_probability) {
+            // The call is made (and charged) but has no effect.
+            db.charge_quantum_queries(1);
+            faults += 1;
+        } else {
+            psi.apply_oracle_phase_flip(db);
+        }
+    };
+
+    let mut psi = StateVector::uniform(db.size() as usize);
+    for _ in 0..plan.l1 {
+        flip(&mut psi, rng);
+        psi.invert_about_mean();
+    }
+    for _ in 0..plan.l2 {
+        flip(&mut psi, rng);
+        psi.invert_about_mean_per_block(partition);
+    }
+    // Step 3's marking operation: if it fails, the reflection hits the target
+    // amplitude too (the ancilla was never flipped), i.e. a plain global
+    // inversion about the mean.
+    if rng.gen_bool(fault_probability) {
+        db.charge_quantum_queries(1);
+        faults += 1;
+        psi.invert_about_mean();
+    } else {
+        psi.invert_about_mean_excluding_target(db);
+    }
+
+    let true_block = partition.block_of(db.target());
+    FaultyRun {
+        plan,
+        queries: span.elapsed(),
+        faults,
+        success_probability: psi.block_probability(partition, true_block),
+    }
+}
+
+/// Full Grover search under the same fault model; returns the probability of
+/// measuring the target after the optimal (fault-free) schedule.
+pub fn full_search_with_faulty_oracle<R: Rng + ?Sized>(
+    db: &Database,
+    fault_probability: f64,
+    rng: &mut R,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&fault_probability));
+    let iters = psq_math::angle::optimal_grover_iterations(db.size() as f64);
+    let mut psi = StateVector::uniform(db.size() as usize);
+    for _ in 0..iters {
+        if rng.gen_bool(fault_probability) {
+            db.charge_quantum_queries(1);
+        } else {
+            psi.apply_oracle_phase_flip(db);
+        }
+        psi.invert_about_mean();
+    }
+    psi.probability(db.target() as usize)
+}
+
+/// Average success probability of faulty-oracle partial search over
+/// `trials` independent runs (targets fixed, faults random).
+pub fn mean_success_under_faults<R: Rng + ?Sized>(
+    n: u64,
+    k: u64,
+    fault_probability: f64,
+    trials: u32,
+    rng: &mut R,
+) -> f64 {
+    let partition = Partition::new(n, k);
+    let mut total = 0.0;
+    for t in 0..trials {
+        let db = Database::new(n, (u64::from(t) * 7919) % n);
+        total += partial_search_with_faulty_oracle(&db, &partition, fault_probability, rng)
+            .success_probability;
+    }
+    total / f64::from(trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_fault_probability_reproduces_the_clean_run() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 1u64 << 10;
+        let db = Database::new(n, 123);
+        let partition = Partition::new(n, 4);
+        let faulty = partial_search_with_faulty_oracle(&db, &partition, 0.0, &mut rng);
+        assert_eq!(faulty.faults, 0);
+        db.reset_queries();
+        let clean = PartialSearch::new().run_statevector(&db, &partition, &mut rng);
+        assert_eq!(faulty.queries, clean.outcome.queries);
+        assert!((faulty.success_probability - clean.success_probability).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_count_is_unchanged_by_faults() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 1u64 << 10;
+        let db = Database::new(n, 500);
+        let partition = Partition::new(n, 8);
+        let run = partial_search_with_faulty_oracle(&db, &partition, 0.3, &mut rng);
+        assert_eq!(run.queries, run.plan.total_queries);
+        assert!(run.faults > 0, "with p = 0.3 over ~30 calls some fault is near-certain");
+    }
+
+    #[test]
+    fn success_degrades_monotonically_on_average() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 1u64 << 10;
+        let k = 4u64;
+        let clean = mean_success_under_faults(n, k, 0.0, 6, &mut rng);
+        let mild = mean_success_under_faults(n, k, 0.05, 12, &mut rng);
+        let harsh = mean_success_under_faults(n, k, 0.5, 12, &mut rng);
+        assert!(clean > 0.99);
+        assert!(mild < clean + 1e-12);
+        assert!(harsh < mild, "50% fault rate must hurt more than 5% ({harsh} vs {mild})");
+        // Even the harsh regime beats blind guessing (1/K).
+        assert!(harsh > 1.0 / k as f64);
+    }
+
+    #[test]
+    fn total_fault_rate_reduces_to_guessing() {
+        // With every oracle call failing the state never moves off uniform;
+        // Step 3 then just redistributes the uniform state, and the block
+        // measurement is a uniform guess.
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 1u64 << 10;
+        let k = 8u64;
+        let db = Database::new(n, 9);
+        let partition = Partition::new(n, k);
+        let run = partial_search_with_faulty_oracle(&db, &partition, 1.0, &mut rng);
+        assert!((run.success_probability - 1.0 / k as f64).abs() < 1e-9);
+        assert_eq!(run.faults, run.plan.total_queries);
+    }
+
+    #[test]
+    fn full_search_is_hit_harder_than_partial_search_by_the_same_fault_rate() {
+        // Not a theorem — just the empirical observation the ablation makes
+        // quantitative: fewer queries means fewer chances to be derailed.
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 1u64 << 12;
+        let p = 0.02;
+        let mut full_total = 0.0;
+        let mut partial_total = 0.0;
+        let trials = 10;
+        for t in 0..trials {
+            let db = Database::new(n, (t * 331) % n);
+            full_total += full_search_with_faulty_oracle(&db, p, &mut rng);
+            let db = Database::new(n, (t * 331) % n);
+            let partition = Partition::new(n, 16);
+            partial_total +=
+                partial_search_with_faulty_oracle(&db, &partition, p, &mut rng).success_probability;
+        }
+        assert!(partial_total / trials as f64 > full_total / trials as f64 - 0.05);
+    }
+}

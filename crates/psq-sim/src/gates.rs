@@ -1,0 +1,324 @@
+//! Qubit-level gates and circuits.
+//!
+//! The streaming kernels in [`crate::statevector`] apply the Grover operators
+//! directly as reflections, which is how the query-count analysis treats
+//! them.  This module provides the circuit-level view used in Section 2.1 of
+//! the paper (and in Nielsen & Chuang's presentation): an `n`-qubit register,
+//! single-qubit gates, controlled phases, and the decomposition of the
+//! diffusion operator as `H^{⊗n} · (2|0⟩⟨0| − I) · H^{⊗n}`.
+//!
+//! Tests verify that the circuit construction reproduces the reflection
+//! kernels exactly, which is the correctness argument for charging one query
+//! per oracle application in the kernel form.
+
+use crate::statevector::StateVector;
+use psq_math::complex::Complex64;
+use psq_math::matrix::Matrix;
+
+/// A register of `n` qubits whose joint state is a [`StateVector`] of
+/// dimension `2^n`.
+///
+/// Qubit 0 is the **most significant** address bit, matching the paper's
+/// convention that the first `k` bits of an address name its block.
+#[derive(Clone, Debug)]
+pub struct QubitRegister {
+    qubits: u32,
+    state: StateVector,
+}
+
+impl QubitRegister {
+    /// Creates the register in the all-zeros state `|0…0⟩`.
+    pub fn zeros(qubits: u32) -> Self {
+        assert!(qubits >= 1 && qubits <= 26, "supported register sizes are 1..=26 qubits");
+        Self {
+            qubits,
+            state: StateVector::basis(1usize << qubits, 0),
+        }
+    }
+
+    /// Creates the register in the uniform superposition.
+    pub fn uniform(qubits: u32) -> Self {
+        assert!(qubits >= 1 && qubits <= 26, "supported register sizes are 1..=26 qubits");
+        Self {
+            qubits,
+            state: StateVector::uniform(1usize << qubits),
+        }
+    }
+
+    /// Wraps an existing state vector (its dimension must be a power of two).
+    pub fn from_state(state: StateVector) -> Self {
+        let n = state.len();
+        assert!(n.is_power_of_two(), "register dimension must be a power of two");
+        Self {
+            qubits: n.trailing_zeros(),
+            state,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn qubits(&self) -> u32 {
+        self.qubits
+    }
+
+    /// The underlying state vector.
+    pub fn state(&self) -> &StateVector {
+        &self.state
+    }
+
+    /// Consumes the register and returns the state vector.
+    pub fn into_state(self) -> StateVector {
+        self.state
+    }
+
+    /// Applies a single-qubit gate (a 2×2 unitary) to qubit `q`.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not 2×2 or not unitary, or `q` is out of
+    /// range.
+    pub fn apply_single_qubit(&mut self, q: u32, gate: &Matrix) {
+        assert!(q < self.qubits, "qubit index {q} out of range");
+        assert_eq!(gate.rows(), 2, "single-qubit gate must be 2x2");
+        assert_eq!(gate.cols(), 2, "single-qubit gate must be 2x2");
+        debug_assert!(gate.is_unitary(1e-9), "gate must be unitary");
+        let n = self.state.len();
+        // Bit position counted from the most-significant address bit.
+        let shift = self.qubits - 1 - q;
+        let stride = 1usize << shift;
+        let g00 = gate[(0, 0)];
+        let g01 = gate[(0, 1)];
+        let g10 = gate[(1, 0)];
+        let g11 = gate[(1, 1)];
+
+        // Work on an owned copy of the amplitudes: pairs (i, i+stride) mix.
+        let mut amps = self.state.amplitudes().to_vec();
+        let mut i = 0usize;
+        while i < n {
+            if (i >> shift) & 1 == 0 {
+                let j = i + stride;
+                let a = amps[i];
+                let b = amps[j];
+                amps[i] = g00 * a + g01 * b;
+                amps[j] = g10 * a + g11 * b;
+            }
+            i += 1;
+        }
+        self.state = StateVector::from_amplitudes(amps);
+    }
+
+    /// Applies the Hadamard gate to qubit `q`.
+    pub fn hadamard(&mut self, q: u32) {
+        let h = hadamard_matrix();
+        self.apply_single_qubit(q, &h);
+    }
+
+    /// Applies Hadamard to every qubit (the `H^{⊗n}` wall used to prepare and
+    /// unprepare the uniform superposition).
+    pub fn hadamard_all(&mut self) {
+        for q in 0..self.qubits {
+            self.hadamard(q);
+        }
+    }
+
+    /// Multiplies the amplitude of a single basis state by a phase.
+    pub fn phase_on_basis_state(&mut self, index: usize, phase: Complex64) {
+        debug_assert!((phase.abs() - 1.0).abs() < 1e-9, "phase must have unit modulus");
+        let mut amps = self.state.amplitudes().to_vec();
+        amps[index] = amps[index] * phase;
+        self.state = StateVector::from_amplitudes(amps);
+    }
+
+    /// The reflection `2|0…0⟩⟨0…0| − I` (phase flip on every basis state
+    /// except all-zeros), used inside the circuit form of the diffusion
+    /// operator.
+    pub fn reflect_about_zero(&mut self) {
+        let mut amps = self.state.amplitudes().to_vec();
+        for a in amps.iter_mut().skip(1) {
+            *a = -*a;
+        }
+        self.state = StateVector::from_amplitudes(amps);
+    }
+
+    /// The Grover diffusion operator built as a circuit:
+    /// `H^{⊗n} · (2|0⟩⟨0| − I) · H^{⊗n}`.
+    ///
+    /// Equivalent to [`StateVector::invert_about_mean`]; the equivalence is
+    /// asserted by tests.
+    pub fn diffusion_via_circuit(&mut self) {
+        self.hadamard_all();
+        self.reflect_about_zero();
+        self.hadamard_all();
+    }
+
+    /// Applies Hadamard to each of the `low` least-significant address
+    /// qubits — the "offset" register `z` of the partial-search problem,
+    /// leaving the "block" register `y` (the first `k` qubits) untouched.
+    pub fn hadamard_low_qubits(&mut self, low: u32) {
+        assert!(low <= self.qubits, "cannot address {low} low qubits of a {}-qubit register", self.qubits);
+        for q in self.qubits - low..self.qubits {
+            self.hadamard(q);
+        }
+    }
+
+    /// The reflection `I_{[K]} ⊗ (2|0…0⟩⟨0…0| − I)` acting on the `low`
+    /// least-significant qubits: every basis state whose offset bits are not
+    /// all zero has its sign flipped.
+    pub fn reflect_about_zero_low_qubits(&mut self, low: u32) {
+        assert!(low <= self.qubits, "cannot address {low} low qubits of a {}-qubit register", self.qubits);
+        let mask = (1usize << low) - 1;
+        let mut amps = self.state.amplitudes().to_vec();
+        for (i, a) in amps.iter_mut().enumerate() {
+            if i & mask != 0 {
+                *a = -*a;
+            }
+        }
+        self.state = StateVector::from_amplitudes(amps);
+    }
+
+    /// The per-block diffusion `I_{[K]} ⊗ I_{0,[N/K]}` of Section 2.2 built
+    /// as a circuit: Hadamard walls and a reflection about zero on the offset
+    /// register only.
+    ///
+    /// Equivalent to [`StateVector::invert_about_mean_per_block`] for
+    /// power-of-two block sizes; `crate::circuit` asserts the equivalence.
+    pub fn block_diffusion_via_circuit(&mut self, block_qubits: u32) {
+        self.hadamard_low_qubits(block_qubits);
+        self.reflect_about_zero_low_qubits(block_qubits);
+        self.hadamard_low_qubits(block_qubits);
+    }
+}
+
+/// The 2×2 Hadamard matrix.
+pub fn hadamard_matrix() -> Matrix {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    Matrix::from_real_rows(2, 2, &[s, s, s, -s])
+}
+
+/// The 2×2 Pauli-X (NOT) matrix.
+pub fn pauli_x_matrix() -> Matrix {
+    Matrix::from_real_rows(2, 2, &[0.0, 1.0, 1.0, 0.0])
+}
+
+/// The 2×2 Pauli-Z matrix.
+pub fn pauli_z_matrix() -> Matrix {
+    Matrix::from_real_rows(2, 2, &[1.0, 0.0, 0.0, -1.0])
+}
+
+/// The single-qubit phase gate `diag(1, e^{iφ})`.
+pub fn phase_matrix(phi: f64) -> Matrix {
+    Matrix::from_rows(
+        2,
+        2,
+        vec![
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::cis(phi),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psq_math::approx::assert_close;
+
+    #[test]
+    fn hadamard_wall_prepares_uniform_superposition() {
+        let mut reg = QubitRegister::zeros(4);
+        reg.hadamard_all();
+        let uniform = StateVector::uniform(16);
+        assert_close(reg.state().fidelity(&uniform), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn hadamard_is_self_inverse() {
+        let mut reg = QubitRegister::uniform(3);
+        reg.phase_on_basis_state(5, Complex64::from_real(-1.0));
+        let before = reg.state().clone();
+        reg.hadamard(1);
+        reg.hadamard(1);
+        assert_close(reg.state().fidelity(&before), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn diffusion_circuit_matches_inversion_about_mean() {
+        let mut reg = QubitRegister::uniform(5);
+        // Perturb the state so the diffusion acts non-trivially.
+        reg.phase_on_basis_state(7, Complex64::from_real(-1.0));
+        reg.phase_on_basis_state(20, Complex64::from_real(-1.0));
+
+        let mut kernel_state = reg.state().clone();
+        kernel_state.invert_about_mean();
+
+        reg.diffusion_via_circuit();
+        assert_close(reg.state().fidelity(&kernel_state), 1.0, 1e-10);
+        // And amplitudes agree entrywise, not just up to phase.
+        for i in 0..32 {
+            assert!((reg.state().amplitude(i) - kernel_state.amplitude(i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn grover_via_circuit_matches_kernel_grover() {
+        use crate::oracle::Database;
+        let n_qubits = 6;
+        let n = 1usize << n_qubits;
+        let target = 37usize;
+        let db = Database::new(n as u64, target as u64);
+
+        let mut kernel = StateVector::uniform(n);
+        let mut circuit = QubitRegister::uniform(n_qubits as u32);
+
+        for _ in 0..3 {
+            kernel.grover_iteration(&db);
+            // Oracle: phase flip on the target basis state...
+            circuit.phase_on_basis_state(target, Complex64::from_real(-1.0));
+            // ...then the diffusion circuit.
+            circuit.diffusion_via_circuit();
+        }
+        for i in 0..n {
+            assert!((kernel.amplitude(i) - circuit.state().amplitude(i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pauli_gates_are_unitary_and_do_what_they_say() {
+        assert!(pauli_x_matrix().is_unitary(1e-12));
+        assert!(pauli_z_matrix().is_unitary(1e-12));
+        assert!(hadamard_matrix().is_unitary(1e-12));
+        assert!(phase_matrix(0.7).is_unitary(1e-12));
+
+        // X on the most significant qubit maps |00⟩ -> |10⟩ (index 0 -> 2).
+        let mut reg = QubitRegister::zeros(2);
+        reg.apply_single_qubit(0, &pauli_x_matrix());
+        assert_close(reg.state().probability(2), 1.0, 1e-12);
+
+        // Z flips the phase of the |1⟩ component of qubit 1.
+        let mut reg = QubitRegister::uniform(2);
+        reg.apply_single_qubit(1, &pauli_z_matrix());
+        assert_close(reg.state().amplitude(0).re, 0.5, 1e-12);
+        assert_close(reg.state().amplitude(1).re, -0.5, 1e-12);
+    }
+
+    #[test]
+    fn register_round_trip_through_state_vector() {
+        let reg = QubitRegister::uniform(3);
+        assert_eq!(reg.qubits(), 3);
+        let state = reg.clone().into_state();
+        let reg2 = QubitRegister::from_state(state);
+        assert_eq!(reg2.qubits(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn from_state_rejects_non_power_of_two_dimensions() {
+        QubitRegister::from_state(StateVector::uniform(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gate_on_missing_qubit_panics() {
+        let mut reg = QubitRegister::zeros(2);
+        reg.hadamard(2);
+    }
+}

@@ -1,0 +1,202 @@
+//! Measurement of the address register.
+//!
+//! The partial-search algorithm ends with a standard-basis measurement of the
+//! address register; only the first `k` bits (the block index) of the outcome
+//! are used.  This module provides sampling of full outcomes and of block
+//! outcomes, plus deterministic "read off the distribution" helpers used by
+//! tests and by the figure generators.
+
+use crate::oracle::Partition;
+use crate::statevector::StateVector;
+use rand::Rng;
+
+/// Samples a standard-basis measurement outcome from the state.
+///
+/// The state is not collapsed (callers that need post-measurement states use
+/// [`collapse`]).  Sampling uses the inverse-CDF walk over the probability
+/// vector, which is exact up to floating-point rounding; any residual
+/// probability deficit (at most ~1e-12 for normalised states) is assigned to
+/// the last basis state.
+pub fn sample_index<R: Rng + ?Sized>(state: &StateVector, rng: &mut R) -> usize {
+    let u: f64 = rng.gen::<f64>();
+    let mut acc = 0.0f64;
+    let n = state.len();
+    for i in 0..n {
+        acc += state.probability(i);
+        if u < acc {
+            return i;
+        }
+    }
+    n - 1
+}
+
+/// Samples which block of the partition a measurement of the state falls in.
+pub fn sample_block<R: Rng + ?Sized>(
+    state: &StateVector,
+    partition: &Partition,
+    rng: &mut R,
+) -> u64 {
+    let index = sample_index(state, rng) as u64;
+    partition.block_of(index)
+}
+
+/// The most probable block (deterministic readout used when the algorithm
+/// guarantees essentially all probability mass sits in one block).
+pub fn most_likely_block(state: &StateVector, partition: &Partition) -> u64 {
+    let mut best_block = 0u64;
+    let mut best_p = f64::NEG_INFINITY;
+    for b in partition.block_indices() {
+        let p = state.block_probability(partition, b);
+        if p > best_p {
+            best_p = p;
+            best_block = b;
+        }
+    }
+    best_block
+}
+
+/// Collapses the state onto basis state `index` (after observing it) and
+/// returns the probability with which that outcome would have occurred.
+pub fn collapse(state: &mut StateVector, index: usize) -> f64 {
+    let p = state.probability(index);
+    assert!(p > 0.0, "cannot collapse onto a zero-probability outcome");
+    let n = state.len();
+    let mut amps = vec![psq_math::Complex64::ZERO; n];
+    amps[index] = psq_math::Complex64::ONE;
+    *state = StateVector::from_amplitudes(amps);
+    p
+}
+
+/// Collapses the state onto a block of the partition (a partial measurement
+/// of the first `k` bits), renormalising the surviving amplitudes.  Returns
+/// the probability of that block.
+pub fn collapse_to_block(state: &mut StateVector, partition: &Partition, block: u64) -> f64 {
+    let p = state.block_probability(partition, block);
+    assert!(p > 1e-300, "cannot collapse onto a zero-probability block");
+    let range = partition.block_range(block);
+    let (start, end) = (range.start as usize, range.end as usize);
+    let scale = 1.0 / p.sqrt();
+    state.for_each_amplitude(|i, z| {
+        if i >= start && i < end {
+            *z = z.scale(scale);
+        } else {
+            *z = psq_math::Complex64::ZERO;
+        }
+    });
+    p
+}
+
+/// Estimates the empirical distribution over blocks by repeated sampling.
+///
+/// Returns a vector of per-block frequencies summing to 1.  Used by the
+/// Monte-Carlo validation of the success-probability claims.
+pub fn empirical_block_distribution<R: Rng + ?Sized>(
+    state: &StateVector,
+    partition: &Partition,
+    samples: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert!(samples > 0, "need at least one sample");
+    let mut counts = vec![0u64; partition.blocks() as usize];
+    for _ in 0..samples {
+        let b = sample_block(state, partition, rng) as usize;
+        counts[b] += 1;
+    }
+    counts
+        .into_iter()
+        .map(|c| c as f64 / samples as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Database;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampling_a_basis_state_is_deterministic() {
+        let state = StateVector::basis(16, 9);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert_eq!(sample_index(&state, &mut rng), 9);
+        }
+    }
+
+    #[test]
+    fn sampling_respects_probabilities() {
+        // 3/4 of the mass on index 0, 1/4 on index 1.
+        let mut state = StateVector::from_real_amplitudes(&[0.75f64.sqrt(), 0.25f64.sqrt()]);
+        state.normalize();
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 20_000;
+        let hits = (0..trials).filter(|_| sample_index(&state, &mut rng) == 0).count();
+        let frequency = hits as f64 / trials as f64;
+        assert!(
+            (frequency - 0.75).abs() < 0.02,
+            "empirical frequency {frequency} too far from 0.75"
+        );
+    }
+
+    #[test]
+    fn block_sampling_and_most_likely_block() {
+        let partition = Partition::new(12, 3);
+        // All probability in block 1.
+        let mut amps = vec![0.0; 12];
+        for a in amps.iter_mut().take(8).skip(4) {
+            *a = 0.5;
+        }
+        let state = StateVector::from_real_amplitudes(&amps);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(sample_block(&state, &partition, &mut rng), 1);
+        assert_eq!(most_likely_block(&state, &partition), 1);
+    }
+
+    #[test]
+    fn collapse_produces_basis_state() {
+        let mut state = StateVector::uniform(8);
+        let p = collapse(&mut state, 3);
+        assert!((p - 0.125).abs() < 1e-12);
+        assert!((state.probability(3) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn collapse_to_block_renormalises() {
+        let partition = Partition::new(8, 2);
+        let db = Database::new(8, 6);
+        let mut state = StateVector::uniform(8);
+        state.grover_iteration(&db);
+        let p_block = state.block_probability(&partition, 1);
+        let mut collapsed = state.clone();
+        let p = collapse_to_block(&mut collapsed, &partition, 1);
+        assert!((p - p_block).abs() < 1e-12);
+        assert!(collapsed.is_normalized(1e-12));
+        assert!((collapsed.block_probability(&partition, 1) - 1.0).abs() < 1e-12);
+        // Relative amplitudes inside the surviving block are preserved.
+        let ratio_before = state.amplitude(6).re / state.amplitude(5).re;
+        let ratio_after = collapsed.amplitude(6).re / collapsed.amplitude(5).re;
+        assert!((ratio_before - ratio_after).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_distribution_matches_exact_distribution() {
+        let partition = Partition::new(8, 4);
+        let db = Database::new(8, 5);
+        let mut state = StateVector::uniform(8);
+        state.grover_iteration(&db);
+        let exact = state.block_distribution(&partition);
+        let mut rng = StdRng::seed_from_u64(11);
+        let empirical = empirical_block_distribution(&state, &partition, 40_000, &mut rng);
+        for (e, x) in empirical.iter().zip(exact.iter()) {
+            assert!((e - x).abs() < 0.02, "empirical {e} vs exact {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-probability")]
+    fn collapsing_onto_impossible_outcome_panics() {
+        let mut state = StateVector::basis(4, 0);
+        collapse(&mut state, 3);
+    }
+}

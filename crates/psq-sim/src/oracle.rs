@@ -1,0 +1,299 @@
+//! The database oracle.
+//!
+//! Section 2.1 models the database as a function `f : [N] → {0,1}` with a
+//! unique marked address `t` (the *target*), supplied to quantum algorithms
+//! as the unitary `T_f : |x⟩|b⟩ ↦ |x⟩|b ⊕ f(x)⟩` and to classical algorithms
+//! as a plain point query.  [`Database`] is that function; both interfaces
+//! charge every use to the same [`QueryCounter`].
+//!
+//! The partial-search problem additionally fixes a partition of `[N]` into
+//! `K` equal blocks; [`Partition`] carries that structure (the oracle itself
+//! is oblivious to it, exactly as in the paper).
+
+use crate::query_counter::QueryCounter;
+use psq_math::bits;
+use rand::Rng;
+
+/// A searchable database with a single marked item.
+#[derive(Clone, Debug)]
+pub struct Database {
+    size: u64,
+    target: u64,
+    counter: QueryCounter,
+}
+
+impl Database {
+    /// Creates a database of `size` items whose unique marked item is
+    /// `target`.
+    ///
+    /// # Panics
+    /// Panics if `target >= size` or `size == 0`.
+    pub fn new(size: u64, target: u64) -> Self {
+        assert!(size > 0, "database must contain at least one item");
+        assert!(target < size, "target {target} out of range for size {size}");
+        Self {
+            size,
+            target,
+            counter: QueryCounter::new(),
+        }
+    }
+
+    /// Creates a database whose target is drawn uniformly at random.
+    pub fn with_random_target<R: Rng + ?Sized>(size: u64, rng: &mut R) -> Self {
+        assert!(size > 0, "database must contain at least one item");
+        let target = rng.gen_range(0..size);
+        Self::new(size, target)
+    }
+
+    /// Number of items `N`.
+    #[inline]
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Classical point query `f(x)`, charged as one oracle query.
+    #[inline]
+    pub fn query(&self, x: u64) -> bool {
+        debug_assert!(x < self.size, "query address {x} out of range");
+        self.counter.increment();
+        x == self.target
+    }
+
+    /// The marked address.
+    ///
+    /// This is *ground truth* for verification and for constructing the
+    /// oracle unitary inside the simulator; it is **not** an oracle query and
+    /// is never used by the algorithms to decide anything (they only call
+    /// [`Database::query`] / the quantum oracle application).
+    #[inline]
+    pub fn target(&self) -> u64 {
+        self.target
+    }
+
+    /// Handle onto the shared query counter.
+    pub fn counter(&self) -> &QueryCounter {
+        &self.counter
+    }
+
+    /// Total queries charged so far (classical probes plus quantum oracle
+    /// applications).
+    pub fn queries(&self) -> u64 {
+        self.counter.total()
+    }
+
+    /// Resets the query counter (the target is unchanged).
+    pub fn reset_queries(&self) {
+        self.counter.reset();
+    }
+
+    /// Records `n` quantum oracle applications.
+    ///
+    /// The state-vector simulator calls this whenever it applies the oracle
+    /// transformation `I_t` (or the bit-flip form `T_f`) to a state; one
+    /// application of the unitary is one query, as in the query model used by
+    /// the paper and by Zalka's lower bound.
+    #[inline]
+    pub fn charge_quantum_queries(&self, n: u64) {
+        self.counter.add(n);
+    }
+}
+
+/// A partition of the address space `[N]` into `K` equal blocks.
+///
+/// For `N = 2^n`, `K = 2^k` this is exactly "group addresses by their first
+/// `k` bits"; the type also supports non-power-of-two cases such as the
+/// twelve-item, three-block example of Figure 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Partition {
+    size: u64,
+    blocks: u64,
+}
+
+impl Partition {
+    /// Creates the partition of `[size]` into `blocks` equal blocks.
+    ///
+    /// # Panics
+    /// Panics unless `blocks` divides `size` and both are positive.
+    pub fn new(size: u64, blocks: u64) -> Self {
+        assert!(size > 0 && blocks > 0, "partition dimensions must be positive");
+        assert!(
+            size % blocks == 0,
+            "number of blocks {blocks} must divide database size {size}"
+        );
+        Self { size, blocks }
+    }
+
+    /// Database size `N`.
+    #[inline]
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Number of blocks `K`.
+    #[inline]
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Items per block `N / K`.
+    #[inline]
+    pub fn block_size(&self) -> u64 {
+        self.size / self.blocks
+    }
+
+    /// The block containing address `x`.
+    #[inline]
+    pub fn block_of(&self, x: u64) -> u64 {
+        bits::split_address(x, self.size, self.blocks).0
+    }
+
+    /// The offset of `x` inside its block.
+    #[inline]
+    pub fn offset_of(&self, x: u64) -> u64 {
+        bits::split_address(x, self.size, self.blocks).1
+    }
+
+    /// The address range of a block.
+    pub fn block_range(&self, block: u64) -> std::ops::Range<u64> {
+        bits::block_addresses(block, self.size, self.blocks)
+    }
+
+    /// Iterator over all block indices.
+    pub fn block_indices(&self) -> std::ops::Range<u64> {
+        0..self.blocks
+    }
+
+    /// When `N` and `K` are powers of two, the number of address bits asked
+    /// for by the partial-search problem (`k = log2 K`); `None` otherwise.
+    pub fn bits_requested(&self) -> Option<u32> {
+        if bits::is_power_of_two(self.blocks) {
+            Some(bits::log2_exact(self.blocks))
+        } else {
+            None
+        }
+    }
+}
+
+/// The answer to a partial-search instance, paired with the ground truth so
+/// experiment drivers can score correctness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartialSearchOutcome {
+    /// The block reported by the algorithm.
+    pub reported_block: u64,
+    /// The block that actually contains the target.
+    pub true_block: u64,
+    /// Oracle queries consumed.
+    pub queries: u64,
+}
+
+impl PartialSearchOutcome {
+    /// Whether the reported block is correct.
+    pub fn is_correct(&self) -> bool {
+        self.reported_block == self.true_block
+    }
+}
+
+/// The answer to a full-search instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FullSearchOutcome {
+    /// The address reported by the algorithm.
+    pub reported_target: u64,
+    /// The true marked address.
+    pub true_target: u64,
+    /// Oracle queries consumed.
+    pub queries: u64,
+}
+
+impl FullSearchOutcome {
+    /// Whether the reported address is correct.
+    pub fn is_correct(&self) -> bool {
+        self.reported_target == self.true_target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn classical_queries_are_counted() {
+        let db = Database::new(16, 5);
+        assert!(!db.query(0));
+        assert!(db.query(5));
+        assert!(!db.query(15));
+        assert_eq!(db.queries(), 3);
+        db.reset_queries();
+        assert_eq!(db.queries(), 0);
+    }
+
+    #[test]
+    fn quantum_charges_accumulate_on_same_counter() {
+        let db = Database::new(16, 5);
+        db.query(1);
+        db.charge_quantum_queries(10);
+        assert_eq!(db.queries(), 11);
+    }
+
+    #[test]
+    fn random_target_is_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let db = Database::with_random_target(12, &mut rng);
+            assert!(db.target() < 12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_target() {
+        Database::new(8, 8);
+    }
+
+    #[test]
+    fn partition_block_arithmetic() {
+        let p = Partition::new(12, 3);
+        assert_eq!(p.block_size(), 4);
+        assert_eq!(p.block_of(0), 0);
+        assert_eq!(p.block_of(7), 1);
+        assert_eq!(p.block_of(11), 2);
+        assert_eq!(p.offset_of(7), 3);
+        assert_eq!(p.block_range(1).collect::<Vec<_>>(), vec![4, 5, 6, 7]);
+        assert_eq!(p.bits_requested(), None);
+        assert_eq!(p.block_indices().count(), 3);
+    }
+
+    #[test]
+    fn power_of_two_partition_exposes_bit_count() {
+        let p = Partition::new(1 << 10, 1 << 3);
+        assert_eq!(p.bits_requested(), Some(3));
+        assert_eq!(p.block_size(), 128);
+        // Block index equals the first three bits of the address.
+        for x in [0u64, 127, 128, 511, 1000, 1023] {
+            assert_eq!(p.block_of(x), x >> 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn partition_requires_equal_blocks() {
+        Partition::new(10, 3);
+    }
+
+    #[test]
+    fn outcome_scoring() {
+        let partial = PartialSearchOutcome {
+            reported_block: 2,
+            true_block: 2,
+            queries: 10,
+        };
+        assert!(partial.is_correct());
+        let full = FullSearchOutcome {
+            reported_target: 3,
+            true_target: 4,
+            queries: 2,
+        };
+        assert!(!full.is_correct());
+    }
+}

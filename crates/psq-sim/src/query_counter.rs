@@ -1,0 +1,131 @@
+//! Query accounting.
+//!
+//! Every result in the paper is a statement about the number of *oracle
+//! queries* an algorithm makes.  To keep that accounting honest, the oracle
+//! types in [`crate::oracle`] increment a shared [`QueryCounter`] on every
+//! classical probe and every application of the quantum oracle
+//! transformation; algorithms never report self-declared counts, the
+//! experiment harness always reads the counter.
+//!
+//! The counter is an atomic so that Monte-Carlo drivers can share one oracle
+//! across worker threads, and cheap enough (one relaxed fetch-add) that it
+//! never perturbs benchmark timings measurably.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared, thread-safe query counter.
+///
+/// Cloning the counter produces a handle onto the *same* underlying count.
+#[derive(Clone, Debug, Default)]
+pub struct QueryCounter {
+    count: Arc<AtomicU64>,
+}
+
+impl QueryCounter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` queries.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a single query.
+    #[inline]
+    pub fn increment(&self) {
+        self.add(1);
+    }
+
+    /// Total queries recorded so far.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Resets the count to zero (e.g. between experiment repetitions).
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+    }
+
+    /// Returns a guard that captures the current total; calling
+    /// [`QuerySpan::elapsed`] later yields the queries made since.
+    pub fn span(&self) -> QuerySpan {
+        QuerySpan {
+            counter: self.clone(),
+            start: self.total(),
+        }
+    }
+}
+
+/// Captures a starting point on a [`QueryCounter`] so a caller can measure
+/// the queries consumed by one phase of an algorithm (e.g. Step 1 vs Step 2
+/// of partial search).
+#[derive(Clone, Debug)]
+pub struct QuerySpan {
+    counter: QueryCounter,
+    start: u64,
+}
+
+impl QuerySpan {
+    /// Queries recorded since this span was created.
+    pub fn elapsed(&self) -> u64 {
+        self.counter.total().saturating_sub(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_reset() {
+        let c = QueryCounter::new();
+        assert_eq!(c.total(), 0);
+        c.increment();
+        c.add(4);
+        assert_eq!(c.total(), 5);
+        c.reset();
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_same_count() {
+        let a = QueryCounter::new();
+        let b = a.clone();
+        a.increment();
+        b.add(2);
+        assert_eq!(a.total(), 3);
+        assert_eq!(b.total(), 3);
+    }
+
+    #[test]
+    fn spans_measure_increments_in_between() {
+        let c = QueryCounter::new();
+        c.add(10);
+        let span = c.span();
+        assert_eq!(span.elapsed(), 0);
+        c.add(7);
+        assert_eq!(span.elapsed(), 7);
+        assert_eq!(c.total(), 17);
+    }
+
+    #[test]
+    fn counter_is_thread_safe() {
+        let c = QueryCounter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let handle = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        handle.increment();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.total(), 8000);
+    }
+}

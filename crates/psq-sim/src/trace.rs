@@ -1,0 +1,211 @@
+//! Stage traces: labelled amplitude snapshots taken as an algorithm runs.
+//!
+//! Figure 1 of the paper shows the amplitudes of a twelve-item database at
+//! five labelled stages (A)–(E); Figures 3–5 show the geometry of the state
+//! before and after each step of the general algorithm.  The algorithms in
+//! `psq-partial` record an [`AmplitudeSummary`] after each step into a
+//! [`StageTrace`], and the figure generators in `psq-bench` print those
+//! traces.  Both the full state-vector simulator and the reduced simulator
+//! can produce summaries, so traces are available at any database size.
+
+use crate::oracle::{Database, Partition};
+use crate::reduced::ReducedState;
+use crate::statevector::StateVector;
+
+/// A compact description of a block-symmetric amplitude configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AmplitudeSummary {
+    /// Amplitude of the target state.
+    pub amp_target: f64,
+    /// Mean amplitude of the non-target states inside the target block.
+    pub amp_target_block: f64,
+    /// Mean amplitude of the states in the non-target blocks.
+    pub amp_nontarget: f64,
+    /// Probability of measuring the target item exactly.
+    pub p_target: f64,
+    /// Probability of measuring some item of the target block.
+    pub p_target_block: f64,
+    /// Oracle queries charged so far.
+    pub queries: u64,
+}
+
+impl AmplitudeSummary {
+    /// Builds a summary from a full state vector.
+    pub fn from_state_vector(state: &StateVector, db: &Database, partition: &Partition) -> Self {
+        let target = db.target();
+        let target_block = partition.block_of(target);
+        let range = partition.block_range(target_block);
+        let block_len = (range.end - range.start) as f64;
+
+        let mut sum_tb = 0.0f64;
+        for x in range.start..range.end {
+            if x != target {
+                sum_tb += state.amplitude(x as usize).re;
+            }
+        }
+        let amp_target_block = if block_len > 1.0 {
+            sum_tb / (block_len - 1.0)
+        } else {
+            0.0
+        };
+
+        let n = partition.size() as f64;
+        let mut sum_nb = 0.0f64;
+        for b in partition.block_indices() {
+            if b == target_block {
+                continue;
+            }
+            let r = partition.block_range(b);
+            for x in r {
+                sum_nb += state.amplitude(x as usize).re;
+            }
+        }
+        let nontarget_count = n - block_len;
+        let amp_nontarget = if nontarget_count > 0.0 {
+            sum_nb / nontarget_count
+        } else {
+            0.0
+        };
+
+        Self {
+            amp_target: state.amplitude(target as usize).re,
+            amp_target_block,
+            amp_nontarget,
+            p_target: state.probability(target as usize),
+            p_target_block: state.block_probability(partition, target_block),
+            queries: db.queries(),
+        }
+    }
+
+    /// Builds a summary from a reduced simulator state.
+    pub fn from_reduced(state: &ReducedState) -> Self {
+        Self {
+            amp_target: state.amp_target(),
+            amp_target_block: state.amp_target_block(),
+            amp_nontarget: state.amp_nontarget(),
+            p_target: state.target_probability(),
+            p_target_block: state.target_block_probability(),
+            queries: state.queries(),
+        }
+    }
+}
+
+/// A labelled sequence of amplitude snapshots.
+#[derive(Clone, Debug, Default)]
+pub struct StageTrace {
+    stages: Vec<(String, AmplitudeSummary)>,
+}
+
+impl StageTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a snapshot under a label such as `"after step 1"`.
+    pub fn record(&mut self, label: impl Into<String>, summary: AmplitudeSummary) {
+        self.stages.push((label.into(), summary));
+    }
+
+    /// Records a snapshot of a full state vector.
+    pub fn record_state(
+        &mut self,
+        label: impl Into<String>,
+        state: &StateVector,
+        db: &Database,
+        partition: &Partition,
+    ) {
+        self.record(label, AmplitudeSummary::from_state_vector(state, db, partition));
+    }
+
+    /// Records a snapshot of a reduced state.
+    pub fn record_reduced(&mut self, label: impl Into<String>, state: &ReducedState) {
+        self.record(label, AmplitudeSummary::from_reduced(state));
+    }
+
+    /// The recorded stages in order.
+    pub fn stages(&self) -> &[(String, AmplitudeSummary)] {
+        &self.stages
+    }
+
+    /// Number of recorded stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Looks up a stage by its label.
+    pub fn get(&self, label: &str) -> Option<&AmplitudeSummary> {
+        self.stages
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, summary)| summary)
+    }
+
+    /// The last recorded stage.
+    pub fn last(&self) -> Option<&AmplitudeSummary> {
+        self.stages.last().map(|(_, s)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psq_math::approx::assert_close;
+
+    #[test]
+    fn summary_of_uniform_state() {
+        let db = Database::new(12, 5);
+        let partition = Partition::new(12, 3);
+        let state = StateVector::uniform(12);
+        let s = AmplitudeSummary::from_state_vector(&state, &db, &partition);
+        let amp = 1.0 / 12f64.sqrt();
+        assert_close(s.amp_target, amp, 1e-12);
+        assert_close(s.amp_target_block, amp, 1e-12);
+        assert_close(s.amp_nontarget, amp, 1e-12);
+        assert_close(s.p_target, 1.0 / 12.0, 1e-12);
+        assert_close(s.p_target_block, 1.0 / 3.0, 1e-12);
+        assert_eq!(s.queries, 0);
+    }
+
+    #[test]
+    fn full_and_reduced_summaries_agree() {
+        let db = Database::new(32, 20);
+        let partition = Partition::new(32, 4);
+        let mut full = StateVector::uniform(32);
+        let mut reduced = ReducedState::uniform(32.0, 4.0);
+        for _ in 0..3 {
+            full.grover_iteration(&db);
+            reduced.grover_iteration();
+        }
+        let a = AmplitudeSummary::from_state_vector(&full, &db, &partition);
+        let b = AmplitudeSummary::from_reduced(&reduced);
+        assert_close(a.amp_target, b.amp_target, 1e-9);
+        assert_close(a.amp_target_block, b.amp_target_block, 1e-9);
+        assert_close(a.amp_nontarget, b.amp_nontarget, 1e-9);
+        assert_close(a.p_target_block, b.p_target_block, 1e-9);
+        assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    fn trace_records_and_looks_up_stages() {
+        let mut trace = StageTrace::new();
+        assert!(trace.is_empty());
+        let db = Database::new(12, 0);
+        let partition = Partition::new(12, 3);
+        let state = StateVector::uniform(12);
+        trace.record_state("A", &state, &db, &partition);
+        let reduced = ReducedState::uniform(12.0, 3.0);
+        trace.record_reduced("B", &reduced);
+        assert_eq!(trace.len(), 2);
+        assert!(!trace.is_empty());
+        assert!(trace.get("A").is_some());
+        assert!(trace.get("missing").is_none());
+        assert_close(trace.last().unwrap().p_target_block, 1.0 / 3.0, 1e-12);
+        assert_eq!(trace.stages()[0].0, "A");
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests of the simulator's physical invariants: unitarity of
+//! every operator, conservation and normalisation of measurement
+//! distributions, equivalence of the gate-level and kernel-level
+//! constructions, and consistency between the two simulators.
+
+use proptest::prelude::*;
+use psq_sim::circuit;
+use psq_sim::gates::QubitRegister;
+use psq_sim::measure;
+use psq_sim::oracle::{Database, Partition};
+use psq_sim::reduced::ReducedState;
+use psq_sim::statevector::StateVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_all_reflections_preserve_the_norm(
+        n in 4u64..600,
+        target_frac in 0.0f64..1.0,
+        global_iters in 0u32..6,
+        phase in 0.1f64..3.1,
+    ) {
+        let target = ((n - 1) as f64 * target_frac).round() as u64;
+        let db = Database::new(n, target);
+        let mut psi = StateVector::uniform(n as usize);
+        for _ in 0..global_iters {
+            psi.grover_iteration(&db);
+        }
+        psi.apply_oracle_phase_rotation(&db, phase);
+        psi.invert_about_mean_with_phase(phase);
+        psi.invert_about_mean_excluding_target(&db);
+        prop_assert!((psi.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prop_block_operations_never_move_probability_between_blocks(
+        block_exp in 1u32..5,
+        k_exp in 1u32..4,
+        iters in 1u32..6,
+        target_frac in 0.0f64..1.0,
+    ) {
+        let k = 1u64 << k_exp;
+        let n = k << block_exp;
+        let target = ((n - 1) as f64 * target_frac).round() as u64;
+        let db = Database::new(n, target);
+        let partition = Partition::new(n, k);
+        let mut psi = StateVector::uniform(n as usize);
+        // Put the state somewhere generic first.
+        psi.grover_iteration(&db);
+        let before = psi.block_distribution(&partition);
+        for _ in 0..iters {
+            // The per-block diffusion alone is block-local...
+            psi.invert_about_mean_per_block(&partition);
+        }
+        let after = psi.block_distribution(&partition);
+        for (a, b) in before.iter().zip(after.iter()) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn prop_measurement_distributions_are_normalised_and_match_amplitudes(
+        n in 2u64..300,
+        target_frac in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let target = ((n - 1) as f64 * target_frac).round() as u64;
+        let db = Database::new(n, target);
+        let mut psi = StateVector::uniform(n as usize);
+        psi.grover_iteration(&db);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let index = measure::sample_index(&psi, &mut rng);
+        prop_assert!(index < n as usize);
+        // Collapsing returns the pre-measurement probability of that index.
+        let mut copy = psi.clone();
+        let p = measure::collapse(&mut copy, index);
+        prop_assert!((p - psi.probability(index)).abs() < 1e-12);
+        prop_assert!((copy.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prop_gate_and_kernel_grover_agree(
+        qubits in 2u32..9,
+        target_frac in 0.0f64..1.0,
+        iters in 1u32..5,
+    ) {
+        let n = 1u64 << qubits;
+        let target = ((n - 1) as f64 * target_frac).round() as u64;
+        let db_kernel = Database::new(n, target);
+        let db_circuit = Database::new(n, target);
+        let mut kernel = StateVector::uniform(n as usize);
+        let mut register = QubitRegister::uniform(qubits);
+        for _ in 0..iters {
+            kernel.grover_iteration(&db_kernel);
+            circuit::grover_iteration_via_circuit(&mut register, &db_circuit);
+        }
+        prop_assert_eq!(db_kernel.queries(), db_circuit.queries());
+        for x in 0..n as usize {
+            prop_assert!((kernel.amplitude(x) - register.state().amplitude(x)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn prop_reduced_and_statevector_agree_on_arbitrary_operator_sequences(
+        block_exp in 1u32..5,
+        k_exp in 1u32..4,
+        schedule in proptest::collection::vec(0u8..3, 1..10),
+        target_frac in 0.0f64..1.0,
+    ) {
+        let k = 1u64 << k_exp;
+        let n = k << block_exp;
+        let target = ((n - 1) as f64 * target_frac).round() as u64;
+        let db = Database::new(n, target);
+        let partition = Partition::new(n, k);
+        let mut full = StateVector::uniform(n as usize);
+        let mut reduced = ReducedState::uniform(n as f64, k as f64);
+        for op in schedule {
+            match op {
+                0 => {
+                    full.grover_iteration(&db);
+                    reduced.grover_iteration();
+                }
+                1 => {
+                    full.block_grover_iteration(&db, &partition);
+                    reduced.block_grover_iteration();
+                }
+                _ => {
+                    full.invert_about_mean_excluding_target(&db);
+                    reduced.diffusion_excluding_target();
+                }
+            }
+        }
+        let recovered = ReducedState::from_state_vector(&full, &db, &partition, 1e-9);
+        prop_assert!(recovered.is_some(), "state must remain block-symmetric");
+        let recovered = recovered.expect("checked above");
+        prop_assert!((recovered.amp_target() - reduced.amp_target()).abs() < 1e-9);
+        prop_assert!((recovered.amp_target_block() - reduced.amp_target_block()).abs() < 1e-9);
+        prop_assert!((recovered.amp_nontarget() - reduced.amp_nontarget()).abs() < 1e-9);
+        prop_assert_eq!(db.queries(), reduced.queries());
+    }
+
+    #[test]
+    fn prop_step3_circuit_distribution_is_a_probability_distribution(
+        qubits in 3u32..9,
+        k_exp in 1u32..3,
+        target_frac in 0.0f64..1.0,
+        l1 in 0u32..6,
+    ) {
+        let n = 1u64 << qubits;
+        let k = 1u64 << k_exp;
+        let target = ((n - 1) as f64 * target_frac).round() as u64;
+        let db = Database::new(n, target);
+        let partition = Partition::new(n, k);
+        let mut psi = StateVector::uniform(n as usize);
+        for _ in 0..l1 {
+            psi.grover_iteration(&db);
+        }
+        let step3 = circuit::Step3Circuit::apply(&psi, &db);
+        let dist = step3.address_distribution();
+        prop_assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(dist.iter().all(|&p| p >= -1e-15));
+        let block_sum: f64 = partition
+            .block_indices()
+            .map(|b| step3.block_probability(&partition, b))
+            .sum();
+        prop_assert!((block_sum - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,61 @@
+//! How the free parameter ε trades Step-1 work against Step-2 work.
+//!
+//! Step 1 runs (π/4)(1 − ε)√N global iterations; Step 2 pays back
+//! (θ1 + θ2)/(2√K)·√N per-block iterations.  Sweeping ε shows the
+//! U-shaped total the paper minimises "using a computer program", and this
+//! example reruns each choice on the reduced simulator to confirm the model.
+//!
+//! ```bash
+//! cargo run --release --example epsilon_tuning
+//! ```
+
+use partial_quantum_search::partial::{optimal_epsilon, Model, PartialSearch};
+use partial_quantum_search::prelude::EpsilonChoice;
+
+fn main() {
+    let k = 8.0;
+    let n = (1u64 << 30) as f64;
+    let model = Model::new(k);
+
+    println!("K = {k}, N = 2^30: query coefficient as a function of epsilon\n");
+    println!("epsilon   step1     step2     total     executed   success");
+    for i in 0..=20 {
+        let eps = i as f64 * 0.05;
+        let point = model.at(eps);
+        if !point.valid {
+            println!("{eps:7.2}   (outside the model's validity domain: the Step-2 rotation cannot reach the zeroing condition)");
+            continue;
+        }
+        let run = PartialSearch::with_epsilon(eps).run_reduced(n, k);
+        let executed = run.queries as f64 / n.sqrt();
+        let bar = "#".repeat((point.total_coefficient * 40.0) as usize);
+        println!(
+            "{eps:7.2}   {:.4}    {:.4}    {:.4}    {:.4}     {:.6}  {bar}",
+            point.step1_coefficient,
+            point.step2_coefficient,
+            point.total_coefficient,
+            executed,
+            run.success_probability,
+        );
+    }
+
+    let best = optimal_epsilon(k);
+    println!();
+    println!(
+        "optimum: epsilon = {:.4} giving {:.4}·sqrt(N) queries (paper's table: 0.664 for K = 8)",
+        best.epsilon, best.coefficient
+    );
+    println!(
+        "paper's large-K reference choice epsilon = 1/sqrt(K) = {:.4} gives {:.4}·sqrt(N)",
+        1.0 / k.sqrt(),
+        model.at(1.0 / k.sqrt()).total_coefficient
+    );
+
+    // The tuned-for-N plan trades a few queries for a negligible error.
+    let tuned = PartialSearch { epsilon: EpsilonChoice::TunedForN, record_trace: false }.plan(n, k);
+    println!(
+        "tuned finite-N plan: {} queries, predicted error {:.2e}",
+        tuned.total_queries,
+        tuned.predicted_error_probability()
+    );
+}

@@ -1,0 +1,74 @@
+//! Success-probability and query-count analysis across database sizes.
+//!
+//! Theorem 1 claims the algorithm errs with probability O(1/√N); this example
+//! measures the exact error on the reduced simulator across sizes, samples
+//! measurements on the state-vector simulator to confirm the sampled
+//! behaviour matches the exact amplitudes, and compares every strategy's
+//! query bill on the same instance.
+//!
+//! ```bash
+//! cargo run --release --example error_analysis
+//! ```
+
+use partial_quantum_search::classical::analysis;
+use partial_quantum_search::partial::{baseline, PartialSearch};
+use partial_quantum_search::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let k = 8u64;
+
+    println!("exact error probability of the GRK algorithm (reduced simulator), K = {k}:\n");
+    println!("      N        queries    1 - P(correct block)    paper bound O(1/sqrt(N))");
+    for exp in [10u32, 14, 18, 22, 26, 30, 40, 50] {
+        let n = (1u64 << exp) as f64;
+        let run = PartialSearch::new().run_reduced(n, k as f64);
+        println!(
+            "   2^{exp:<4} {:>10}    {:.3e}               {:.3e}",
+            run.queries,
+            1.0 - run.success_probability,
+            1.0 / n.sqrt()
+        );
+    }
+
+    // Sampled measurements agree with the exact amplitudes.
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 1u64 << 12;
+    let partition = Partition::new(n, k);
+    let trials: u64 = 400;
+    let mut correct = 0u64;
+    for t in 0..trials {
+        let db = Database::new(n, (t * 997) % n);
+        let run = PartialSearch::new().run_statevector(&db, &partition, &mut rng);
+        if run.outcome.is_correct() {
+            correct += 1;
+        }
+    }
+    println!();
+    println!(
+        "sampled runs at N = 2^12: {correct}/{trials} correct blocks ({}%)",
+        100.0 * correct as f64 / trials as f64
+    );
+
+    // Query bill of every strategy on one instance.
+    let db = Database::new(n, 1000);
+    println!();
+    println!("query bill on one N = 2^12, K = {k} instance:");
+    println!(
+        "  classical randomized partial search : {:>6.0} expected probes",
+        analysis::randomized_partial_expected_queries(n as f64, k as f64)
+    );
+    let naive = baseline::naive_partial_search(&db, &partition, &mut rng);
+    println!("  naive quantum block elimination     : {:>6} queries", naive.queries);
+    db.reset_queries();
+    let grk = PartialSearch::new().run_statevector(&db, &partition, &mut rng);
+    println!("  GRK partial search                  : {:>6} queries", grk.outcome.queries);
+    db.reset_queries();
+    let full = partial_quantum_search::grover::search_statevector_optimal(&db, &mut rng);
+    println!("  full Grover search                  : {:>6} queries", full.queries);
+    println!(
+        "  Theorem-2 lower bound               : {:>6.0} queries",
+        partial_quantum_search::bounds::partial_search_lower_bound_queries(n as f64, k as f64)
+    );
+}

@@ -1,0 +1,122 @@
+//! Workspace-level end-to-end tests exercised through the facade crate:
+//! the full pipeline from oracle to answer, across both simulators and all
+//! strategies, the way a downstream user would drive it.
+
+use partial_quantum_search::prelude::*;
+use partial_quantum_search::{classical, grover, partial};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn quickstart_snippet_from_the_readme_works() {
+    let db = Database::new(1 << 12, 1234);
+    let partition = Partition::new(1 << 12, 8);
+    let mut rng = StdRng::seed_from_u64(1);
+    let run = PartialSearch::new().run_statevector(&db, &partition, &mut rng);
+    assert!(run.outcome.is_correct());
+    assert!(run.outcome.queries < 50);
+    assert!(run.success_probability > 0.999);
+}
+
+#[test]
+fn every_strategy_answers_the_same_instance_consistently() {
+    let n = 1u64 << 12;
+    let k = 8u64;
+    let target = 3210;
+    let mut rng = StdRng::seed_from_u64(5);
+    let partition = Partition::new(n, k);
+    let true_block = partition.block_of(target);
+
+    // Classical deterministic.
+    let db = Database::new(n, target);
+    let classical_det = classical::deterministic_partial(&db, &partition);
+    assert_eq!(classical_det.reported_block, true_block);
+
+    // Classical randomized.
+    let db = Database::new(n, target);
+    let classical_rand = classical::randomized_partial(&db, &partition, &mut rng);
+    assert_eq!(classical_rand.reported_block, true_block);
+
+    // Naive quantum block elimination.
+    let db = Database::new(n, target);
+    let naive = partial::naive_partial_search(&db, &partition, &mut rng);
+    assert_eq!(naive.reported_block, true_block);
+
+    // GRK partial search.
+    let db = Database::new(n, target);
+    let grk = PartialSearch::new().run_statevector(&db, &partition, &mut rng);
+    assert_eq!(grk.outcome.reported_block, true_block);
+
+    // Full quantum search (answers more than was asked).
+    let db = Database::new(n, target);
+    let full = grover::search_verified(&db, 8, &mut rng);
+    assert_eq!(full.reported_target, target);
+
+    // Query ordering: GRK < naive < full quantum << classical.
+    assert!(grk.outcome.queries < naive.queries);
+    assert!(naive.queries <= full.queries + 2);
+    assert!(full.queries < classical_rand.queries);
+}
+
+#[test]
+fn the_paper_headline_numbers_hold_through_the_facade() {
+    // Theorem 1 + Table 1, driven entirely through re-exports.
+    let table = partial::table1();
+    assert_eq!(table.len(), 7);
+    for row in &table[1..] {
+        assert!(row.lower < row.upper);
+    }
+    // K = 2 upper bound 0.555, K = 32 upper bound 0.725.
+    assert!((table[1].upper - 0.555).abs() < 2e-3);
+    assert!((table[6].upper - 0.725).abs() < 2e-3);
+
+    // Theorem 2 through the bounds crate.
+    let lb = partial_quantum_search::bounds::partial_search_lower_bound_coefficient(32.0);
+    assert!((lb - 0.647).abs() < 1e-3);
+}
+
+#[test]
+fn query_accounting_is_identical_across_simulators_and_plans() {
+    for &(exp, k) in &[(10u32, 2u64), (12, 8), (14, 16)] {
+        let n = 1u64 << exp;
+        let mut rng = StdRng::seed_from_u64(exp as u64);
+        let db = Database::new(n, n - 7);
+        let partition = Partition::new(n, k);
+        let search = PartialSearch::new();
+
+        let plan = search.plan(n as f64, k as f64);
+        let sv = search.run_statevector(&db, &partition, &mut rng);
+        let red = search.run_reduced(n as f64, k as f64);
+
+        assert_eq!(plan.total_queries, sv.outcome.queries);
+        assert_eq!(plan.total_queries, red.queries);
+        assert!((sv.success_probability - red.success_probability).abs() < 1e-9);
+        assert!((red.success_probability - plan.predicted_success_probability).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn partial_search_never_reports_an_empty_or_out_of_range_block() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for &k in &[2u64, 3, 4, 6, 12] {
+        let n = 1200u64; // divisible by all the ks above
+        let db = Database::new(n, 777);
+        let partition = Partition::new(n, k);
+        let run = PartialSearch::tuned().run_statevector(&db, &partition, &mut rng);
+        assert!(run.outcome.reported_block < k);
+        assert!(run.outcome.is_correct());
+    }
+}
+
+#[test]
+fn sure_success_grover_and_the_recursion_compose() {
+    // Use the sure-success full search to verify what the recursion found.
+    let mut rng = StdRng::seed_from_u64(31);
+    let n = 1u64 << 12;
+    let db = Database::new(n, 2024);
+    let recursion = RecursiveSearch::new(n, 4).run(&db, &mut rng);
+    db.reset_queries();
+    let exact = grover::search_exact_statevector(&db, &mut rng);
+    assert_eq!(recursion.outcome.reported_target, exact.reported_target);
+    assert_eq!(exact.reported_target, 2024);
+}

@@ -19,13 +19,17 @@ fn bench_classical_full(c: &mut Criterion) {
     let mut group = c.benchmark_group("classical/full_random_scan");
     for exp in [10u32, 14, 16] {
         let n = 1u64 << exp;
-        group.bench_with_input(BenchmarkId::from_parameter(format!("2^{exp}")), &n, |b, &n| {
-            let mut rng = StdRng::seed_from_u64(5);
-            b.iter(|| {
-                let db = Database::new(n, n / 2);
-                black_box(full_search::random_scan(&db, &mut rng))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^{exp}")),
+            &n,
+            |b, &n| {
+                let mut rng = StdRng::seed_from_u64(5);
+                b.iter(|| {
+                    let db = Database::new(n, n / 2);
+                    black_box(full_search::random_scan(&db, &mut rng))
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -39,7 +43,9 @@ fn bench_classical_partial(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(6);
             b.iter(|| {
                 let db = Database::new(n, n / 3);
-                black_box(partial_search::randomized_partial(&db, &partition, &mut rng))
+                black_box(partial_search::randomized_partial(
+                    &db, &partition, &mut rng,
+                ))
             })
         });
     }

@@ -1,0 +1,85 @@
+//! Criterion bench for the `psq-engine` serving path.
+//!
+//! Measures end-to-end jobs/sec for (a) single-backend batches — isolating
+//! each backend's cost — and (b) the mixed batch the engine is designed to
+//! serve, where the planner fans heterogeneous jobs across every backend
+//! through the worker pool.
+
+// The criterion_group!/criterion_main! macros expand to undocumented
+// functions; the workspace-level missing_docs lint does not apply to them.
+#![allow(missing_docs)]
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psq_engine::{generate_mixed_batch, BackendHint, Engine, EngineConfig, SearchJob};
+
+/// A uniform batch: every job on the same backend at a size that backend is
+/// comfortable with.
+fn uniform_batch(hint: BackendHint, count: u64) -> Vec<SearchJob> {
+    (0..count)
+        .map(|id| {
+            let (n, k) = match hint {
+                BackendHint::Reduced => (1u64 << (20 + id % 12), 1u64 << (1 + id % 5)),
+                BackendHint::StateVector => (1u64 << (8 + id % 4), 4),
+                BackendHint::Circuit => (1u64 << (6 + id % 3), 2),
+                _ => (1024 + 4 * (id % 512), 4),
+            };
+            SearchJob::new(id, n, k, (id * 2654435761) % n).with_backend(hint)
+        })
+        .collect()
+}
+
+fn bench_single_backend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/uniform_batch");
+    group.sample_size(10);
+    for (label, hint, count) in [
+        ("reduced", BackendHint::Reduced, 256u64),
+        ("statevector", BackendHint::StateVector, 64),
+        ("circuit", BackendHint::Circuit, 32),
+        ("classical_randomized", BackendHint::ClassicalRandomized, 64),
+    ] {
+        let jobs = uniform_batch(hint, count);
+        let engine = Engine::new(EngineConfig::default());
+        group.throughput(Throughput::Elements(count));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &jobs, |b, jobs| {
+            b.iter(|| black_box(engine.run_batch(jobs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mixed_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/mixed_batch");
+    group.sample_size(10);
+    for count in [128usize, 512] {
+        let jobs = generate_mixed_batch(count, 42);
+        let engine = Engine::new(EngineConfig::default());
+        group.throughput(Throughput::Elements(count as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(count), &jobs, |b, jobs| {
+            b.iter(|| black_box(engine.run_batch(jobs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/plan_cache");
+    // Same (N, K, ε) shape across the batch: after the first job the
+    // schedule comes from the cache, so this isolates cache-hit overhead.
+    let jobs: Vec<SearchJob> = (0..256u64)
+        .map(|id| SearchJob::new(id, 1 << 30, 16, id * 7919).with_backend(BackendHint::Reduced))
+        .collect();
+    let engine = Engine::new(EngineConfig::default());
+    group.throughput(Throughput::Elements(jobs.len() as u64));
+    group.bench_with_input(BenchmarkId::from_parameter("hot"), &jobs, |b, jobs| {
+        b.iter(|| black_box(engine.run_batch(jobs)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_backend,
+    bench_mixed_batch,
+    bench_plan_cache
+);
+criterion_main!(benches);

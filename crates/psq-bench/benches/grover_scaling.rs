@@ -20,14 +20,18 @@ fn bench_statevector(c: &mut Criterion) {
     for exp in [12u32, 16, 18, 20] {
         let n = 1u64 << exp;
         group.throughput(Throughput::Elements(n));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("2^{exp}")), &n, |b, &n| {
-            let db = Database::new(n, n / 3);
-            let iters = psq_math::angle::optimal_grover_iterations(n as f64);
-            b.iter(|| {
-                db.reset_queries();
-                black_box(standard::final_state(&db, iters).probability((n / 3) as usize))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^{exp}")),
+            &n,
+            |b, &n| {
+                let db = Database::new(n, n / 3);
+                let iters = psq_math::angle::optimal_grover_iterations(n as f64);
+                b.iter(|| {
+                    db.reset_queries();
+                    black_box(standard::final_state(&db, iters).probability((n / 3) as usize))
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -35,10 +39,14 @@ fn bench_statevector(c: &mut Criterion) {
 fn bench_reduced(c: &mut Criterion) {
     let mut group = c.benchmark_group("grover/reduced_full_search");
     for exp in [20u32, 30, 40, 50] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("2^{exp}")), &exp, |b, &exp| {
-            let n = (1u64 << exp) as f64;
-            b.iter(|| black_box(standard::search_reduced_optimal(black_box(n))))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^{exp}")),
+            &exp,
+            |b, &exp| {
+                let n = (1u64 << exp) as f64;
+                b.iter(|| black_box(standard::search_reduced_optimal(black_box(n))))
+            },
+        );
     }
     group.finish();
 }

@@ -27,7 +27,9 @@ fn bench_full_search(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(1);
         b.iter(|| {
             db.reset_queries();
-            black_box(psq_grover::standard::search_statevector_optimal(&db, &mut rng))
+            black_box(psq_grover::standard::search_statevector_optimal(
+                &db, &mut rng,
+            ))
         })
     });
     group.finish();
@@ -61,7 +63,12 @@ fn bench_naive(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(3);
             b.iter(|| {
                 db.reset_queries();
-                black_box(baseline::naive_partial_search_excluding(&db, &partition, k - 1, &mut rng))
+                black_box(baseline::naive_partial_search_excluding(
+                    &db,
+                    &partition,
+                    k - 1,
+                    &mut rng,
+                ))
             })
         });
     }

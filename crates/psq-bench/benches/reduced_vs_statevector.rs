@@ -20,16 +20,24 @@ fn bench_statevector_partial(c: &mut Criterion) {
     group.sample_size(10);
     for exp in [12u32, 16, 20] {
         let n = 1u64 << exp;
-        group.bench_with_input(BenchmarkId::from_parameter(format!("2^{exp}")), &n, |b, &n| {
-            let db = Database::new(n, n - 1);
-            let partition = Partition::new(n, 8);
-            let search = PartialSearch::new();
-            let mut rng = StdRng::seed_from_u64(9);
-            b.iter(|| {
-                db.reset_queries();
-                black_box(search.run_statevector(&db, &partition, &mut rng).success_probability)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^{exp}")),
+            &n,
+            |b, &n| {
+                let db = Database::new(n, n - 1);
+                let partition = Partition::new(n, 8);
+                let search = PartialSearch::new();
+                let mut rng = StdRng::seed_from_u64(9);
+                b.iter(|| {
+                    db.reset_queries();
+                    black_box(
+                        search
+                            .run_statevector(&db, &partition, &mut rng)
+                            .success_probability,
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -37,11 +45,15 @@ fn bench_statevector_partial(c: &mut Criterion) {
 fn bench_reduced_partial(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulators/reduced_partial_search");
     for exp in [20u32, 30, 40, 50, 60] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("2^{exp}")), &exp, |b, &exp| {
-            let n = (1u64 << exp.min(62)) as f64;
-            let search = PartialSearch::new();
-            b.iter(|| black_box(search.run_reduced(black_box(n), 8.0).success_probability))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^{exp}")),
+            &exp,
+            |b, &exp| {
+                let n = (1u64 << exp.min(62)) as f64;
+                let search = PartialSearch::new();
+                b.iter(|| black_box(search.run_reduced(black_box(n), 8.0).success_probability))
+            },
+        );
     }
     group.finish();
 }

@@ -25,11 +25,20 @@ fn main() {
 
     let mut table = Table::new(
         "Ablation: epsilon strategy vs realised cost and error (N = 2^30)",
-        &["K", "strategy", "queries", "coefficient", "error probability"],
+        &[
+            "K",
+            "strategy",
+            "queries",
+            "coefficient",
+            "error probability",
+        ],
     );
     for &k in &[4u64, 16, 64, 256] {
         for &(name, choice) in strategies.iter() {
-            let search = PartialSearch { epsilon: choice, record_trace: false };
+            let search = PartialSearch {
+                epsilon: choice,
+                record_trace: false,
+            };
             let run = search.run_reduced(n, k as f64);
             table.push_row(vec![
                 k.to_string(),

@@ -17,7 +17,12 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 1 (Section 1.3): amplitudes in units of 1/sqrt(12)",
-        &["stage", "target", "rest of target block", "non-target blocks"],
+        &[
+            "stage",
+            "target",
+            "rest of target block",
+            "non-target blocks",
+        ],
     );
     let predicted = example12::predicted_amplitudes_in_units_of_inv_sqrt12();
     for (i, (label, summary)) in result.trace.stages().iter().enumerate() {
@@ -42,7 +47,10 @@ fn main() {
     }
     table.print();
 
-    println!("queries used:                      {} (paper: 2)", result.queries);
+    println!(
+        "queries used:                      {} (paper: 2)",
+        result.queries
+    );
     println!(
         "P(correct block):                  {} (paper: 1)",
         fmt_f(result.block_probability, 6)

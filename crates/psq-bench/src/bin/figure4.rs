@@ -44,6 +44,10 @@ fn main() {
         ]);
     }
     table.print();
-    println!("The in-block rotation traverses theta1 + theta2 at 2*arcsin(sqrt(K/N)) per iteration,");
-    println!("so l2 ~ (theta1 + theta2)/2 * sqrt(N/K), the paper's expression for the Step-2 cost.");
+    println!(
+        "The in-block rotation traverses theta1 + theta2 at 2*arcsin(sqrt(K/N)) per iteration,"
+    );
+    println!(
+        "so l2 ~ (theta1 + theta2)/2 * sqrt(N/K), the paper's expression for the Step-2 cost."
+    );
 }

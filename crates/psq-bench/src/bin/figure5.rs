@@ -32,8 +32,8 @@ fn main() {
         // The reduced summary exposes per-state amplitudes; reconstruct the
         // mean over all non-target states for the dotted line of the figure.
         let block = n / k;
-        let mean_nontarget = ((block - 1.0) * s.amp_target_block + (n - block) * s.amp_nontarget)
-            / (n - 1.0);
+        let mean_nontarget =
+            ((block - 1.0) * s.amp_target_block + (n - block) * s.amp_nontarget) / (n - 1.0);
         table.push_row(vec![
             label.clone(),
             fmt_f(s.amp_target, 6),
@@ -49,9 +49,8 @@ fn main() {
         .get("after step 2 (per-block amplification)")
         .expect("stage recorded");
     let block = n / k;
-    let mean_nontarget = ((block - 1.0) * after2.amp_target_block
-        + (n - block) * after2.amp_nontarget)
-        / (n - 1.0);
+    let mean_nontarget =
+        ((block - 1.0) * after2.amp_target_block + (n - block) * after2.amp_nontarget) / (n - 1.0);
     println!(
         "half-amplitude condition: mean non-target amplitude / non-target amplitude = {} (paper: 1/2)",
         fmt_f(mean_nontarget / after2.amp_nontarget, 4)
@@ -61,5 +60,8 @@ fn main() {
         fmt_f(1.0 - run.success_probability, 8),
         fmt_f(run.success_probability, 8)
     );
-    println!("total queries: {} = l1 {} + l2 {} + 1", run.queries, run.plan.l1, run.plan.l2);
+    println!(
+        "total queries: {} = l1 {} + l2 {} + 1",
+        run.queries, run.plan.l1, run.plan.l2
+    );
 }

@@ -29,19 +29,35 @@ fn main() {
             i.to_string(),
             level.size.to_string(),
             level.queries.to_string(),
-            if level.brute_force { "brute force".into() } else { "partial search".to_string() },
+            if level.brute_force {
+                "brute force".into()
+            } else {
+                "partial search".to_string()
+            },
         ]);
     }
     table.print();
 
     let coefficient = optimizer::optimal_epsilon(k as f64).coefficient;
     let model = recursive::reduction_query_model(n as f64, k as f64, coefficient);
-    println!("found target:        {} (true {})", report.outcome.reported_target, report.outcome.true_target);
+    println!(
+        "found target:        {} (true {})",
+        report.outcome.reported_target, report.outcome.true_target
+    );
     println!("total queries:       {}", report.outcome.queries);
-    println!("geometric series:    {} = {:.3} * sqrt(N) * sqrt(K)/(sqrt(K)-1)", fmt_f(model, 1), coefficient);
-    println!("full Grover search:  {} queries", psq_math::angle::optimal_grover_iterations(n as f64));
+    println!(
+        "geometric series:    {} = {:.3} * sqrt(N) * sqrt(K)/(sqrt(K)-1)",
+        fmt_f(model, 1),
+        coefficient
+    );
+    println!(
+        "full Grover search:  {} queries",
+        psq_math::angle::optimal_grover_iterations(n as f64)
+    );
     println!("classical search:    ~{} queries", n / 2);
     println!();
     println!("Theorem 2 reads this table backwards: because the total can never beat Zalka's");
-    println!("(pi/4)sqrt(N), the per-level coefficient alpha_K must be at least (pi/4)(1 - 1/sqrt(K)).");
+    println!(
+        "(pi/4)sqrt(N), the per-level coefficient alpha_K must be at least (pi/4)(1 - 1/sqrt(K))."
+    );
 }

@@ -32,7 +32,12 @@ fn main() {
 
     // The simulated recursion uses a concrete power-of-K database size so
     // every level has equal blocks.
-    for &(k, n) in &[(2u64, 1u64 << 16), (4, 1 << 16), (8, 1 << 15), (16, 1 << 16)] {
+    for &(k, n) in &[
+        (2u64, 1u64 << 16),
+        (4, 1 << 16),
+        (8, 1 << 15),
+        (16, 1 << 16),
+    ] {
         let kf = k as f64;
         let lower = theorem2::partial_search_lower_bound_coefficient(kf);
         let upper = optimizer::optimal_epsilon(kf).coefficient;
@@ -42,7 +47,9 @@ fn main() {
         let db = Database::new(n, n / 3);
         let report = RecursiveSearch::new(n, k).run(&db, &mut rng);
         if !report.outcome.is_correct() {
-            eprintln!("warning: the K = {k} recursion missed the target (per-level error accumulated)");
+            eprintln!(
+                "warning: the K = {k} recursion missed the target (per-level error accumulated)"
+            );
         }
         let simulated_cost = report.outcome.queries as f64 / (n as f64).sqrt();
 
@@ -57,7 +64,10 @@ fn main() {
         ]);
     }
     table.print();
-    println!("Consistency: upper * factor >= pi/4 = {:.3} for every K (positive slack),", std::f64::consts::FRAC_PI_4);
+    println!(
+        "Consistency: upper * factor >= pi/4 = {:.3} for every K (positive slack),",
+        std::f64::consts::FRAC_PI_4
+    );
     println!("which is exactly Theorem 2's argument run forwards: a cheaper partial search");
     println!("would let the reduction undercut Zalka's bound for full search.");
 }

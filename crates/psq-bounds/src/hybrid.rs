@@ -61,8 +61,7 @@ impl HybridAccounting {
             let mut previous = lemmas::hybrid_state(n, y, t, 0);
             for i in 1..=t {
                 let current = lemmas::hybrid_state(n, y, t, i);
-                hybrid_path_total +=
-                    angular_distance(previous.amplitudes(), current.amplitudes());
+                hybrid_path_total += angular_distance(previous.amplitudes(), current.amplitudes());
                 previous = current;
             }
             for (_, bound) in lemmas::lemma2_pairs(n, y, t) {
@@ -78,7 +77,11 @@ impl HybridAccounting {
                     .sum()
             })
             .collect();
-        let max_per_query = per_query_spend.iter().copied().fold(0.0f64, f64::max).max(1e-300);
+        let max_per_query = per_query_spend
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max)
+            .max(1e-300);
         let implied_lower_bound = zalka::implied_query_lower_bound(lemma1_sum, max_per_query);
 
         Self {

@@ -110,7 +110,10 @@ pub fn lemma3_sum(n: usize, i: usize) -> f64 {
 /// Lemma 3 for an arbitrary probability vector (the lemma is a statement
 /// about *any* distribution, proved via concavity of `arcsin √x`).
 pub fn lemma3_sum_of(probabilities: &[f64]) -> f64 {
-    probabilities.iter().map(|&p| safe_asin(p.max(0.0).sqrt())).sum()
+    probabilities
+        .iter()
+        .map(|&p| safe_asin(p.max(0.0).sqrt()))
+        .sum()
 }
 
 /// Lemma 3's right-hand side: `√N·(1 + O(1/N))`, with the implicit constant

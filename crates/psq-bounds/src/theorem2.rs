@@ -109,11 +109,7 @@ mod tests {
         // α_K·√K/(√K−1) = π/4 exactly at the bound.
         for &k in &[2.0, 5.0, 32.0, 1000.0] {
             let alpha = partial_search_lower_bound_coefficient(k);
-            assert_close(
-                reduction_total_queries(alpha, 1.0, k),
-                FRAC_PI_4,
-                1e-12,
-            );
+            assert_close(reduction_total_queries(alpha, 1.0, k), FRAC_PI_4, 1e-12);
             assert_close(consistency_slack(alpha, k), 0.0, 1e-12);
         }
     }
@@ -170,6 +166,9 @@ mod tests {
         let err_30 = accumulated_error(1e30, 2.0, per_call_error_budget(1e30));
         let err_60 = accumulated_error(1e60, 2.0, per_call_error_budget(1e60));
         assert!(err_30 < 0.3, "accumulated error {err_30}");
-        assert!(err_60 < err_30 / 10.0, "error should vanish as N grows: {err_60}");
+        assert!(
+            err_60 < err_30 / 10.0,
+            "error should vanish as N grows: {err_60}"
+        );
     }
 }

@@ -50,7 +50,10 @@ pub fn exact_search_lower_bound(n: f64) -> f64 {
 /// spend `max_i Σ_y 2·arcsin√p_{i,y}` (Lemma 2 + Lemma 3), any run must have
 /// used at least `budget / per_query` queries.
 pub fn implied_query_lower_bound(angular_budget: f64, per_query_cap: f64) -> f64 {
-    assert!(per_query_cap > 0.0, "per-query angular cap must be positive");
+    assert!(
+        per_query_cap > 0.0,
+        "per-query angular cap must be positive"
+    );
     angular_budget / per_query_cap
 }
 
@@ -58,10 +61,11 @@ pub fn implied_query_lower_bound(angular_budget: f64, per_query_cap: f64) -> f64
 /// relative to the `ε`-aware bound, in queries.
 pub fn grover_margin(n: f64) -> f64 {
     let t = psq_math::angle::optimal_grover_iterations(n) as f64;
-    let eps = 1.0 - psq_math::angle::grover_success_probability(
-        n,
-        psq_math::angle::optimal_grover_iterations(n),
-    );
+    let eps = 1.0
+        - psq_math::angle::grover_success_probability(
+            n,
+            psq_math::angle::optimal_grover_iterations(n),
+        );
     t - zalka_lower_bound(n, eps)
 }
 
@@ -88,7 +92,10 @@ mod tests {
         let very_lax = zalka_lower_bound(n, 0.09);
         assert!(strict > lax);
         assert!(lax > very_lax);
-        assert!(very_lax > 0.5 * strict, "even 9% error only costs a constant factor");
+        assert!(
+            very_lax > 0.5 * strict,
+            "even 9% error only costs a constant factor"
+        );
     }
 
     #[test]

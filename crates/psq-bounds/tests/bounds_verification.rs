@@ -42,7 +42,11 @@ fn the_hybrid_audit_proves_grovers_optimality_numerically() {
         let t = psq_math::angle::optimal_grover_iterations(n as f64) as usize;
         let audit = HybridAccounting::evaluate(n, t);
         assert!(audit.chain_holds(1e-9), "N = {n}");
-        assert!(audit.tightness() > 0.9, "N = {n}: tightness {}", audit.tightness());
+        assert!(
+            audit.tightness() > 0.9,
+            "N = {n}: tightness {}",
+            audit.tightness()
+        );
     }
 }
 

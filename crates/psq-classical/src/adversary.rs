@@ -46,7 +46,11 @@ impl ProbeOrder {
     /// Panics if the order is not a permutation of the address space.
     pub fn new(partition: Partition, order: Vec<u64>) -> Self {
         let n = partition.size();
-        assert_eq!(order.len() as u64, n, "probe order must cover the whole address space");
+        assert_eq!(
+            order.len() as u64,
+            n,
+            "probe order must cover the whole address space"
+        );
         let mut seen = vec![false; n as usize];
         for &x in &order {
             assert!(x < n, "probe address {x} out of range");
@@ -62,7 +66,9 @@ impl ProbeOrder {
     pub fn block_by_block(partition: Partition) -> Self {
         let order = (0..partition.size())
             .filter(|&x| partition.block_of(x) != partition.blocks() - 1)
-            .chain((0..partition.size()).filter(|&x| partition.block_of(x) == partition.blocks() - 1))
+            .chain(
+                (0..partition.size()).filter(|&x| partition.block_of(x) == partition.blocks() - 1),
+            )
             .collect();
         Self::new(partition, order)
     }

@@ -115,7 +115,11 @@ mod tests {
         for &k in &[2.0, 5.0, 10.0] {
             let full = randomized_full_expected_queries_asymptotic(n);
             let partial = randomized_partial_expected_queries_asymptotic(n, k);
-            assert_close((full - partial) / full, classical_partial_relative_saving(k), 1e-12);
+            assert_close(
+                (full - partial) / full,
+                classical_partial_relative_saving(k),
+                1e-12,
+            );
         }
     }
 

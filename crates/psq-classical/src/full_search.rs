@@ -126,7 +126,11 @@ mod tests {
         }
         let expected = expected_queries_random_scan(n as f64);
         // 4000 trials of a distribution with std-dev ≈ N/√12 ≈ 18.5.
-        assert!((stats.mean() - expected).abs() < 1.5, "mean {} vs {expected}", stats.mean());
+        assert!(
+            (stats.mean() - expected).abs() < 1.5,
+            "mean {} vs {expected}",
+            stats.mean()
+        );
     }
 
     #[test]

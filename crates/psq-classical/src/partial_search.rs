@@ -22,8 +22,17 @@ use rand::Rng;
 ///
 /// Zero error; worst case `N − N/K` queries.
 pub fn deterministic_partial(db: &Database, partition: &Partition) -> PartialSearchOutcome {
-    assert_eq!(db.size(), partition.size(), "database/partition size mismatch");
-    partial_with_excluded_block::<rand::rngs::ThreadRng>(db, partition, partition.blocks() - 1, None)
+    assert_eq!(
+        db.size(),
+        partition.size(),
+        "database/partition size mismatch"
+    );
+    partial_with_excluded_block::<rand::rngs::ThreadRng>(
+        db,
+        partition,
+        partition.blocks() - 1,
+        None,
+    )
 }
 
 /// Randomized partial search: exclude a uniformly random block and probe the
@@ -36,7 +45,11 @@ pub fn randomized_partial<R: Rng + ?Sized>(
     partition: &Partition,
     rng: &mut R,
 ) -> PartialSearchOutcome {
-    assert_eq!(db.size(), partition.size(), "database/partition size mismatch");
+    assert_eq!(
+        db.size(),
+        partition.size(),
+        "database/partition size mismatch"
+    );
     let excluded = rng.gen_range(0..partition.blocks());
     partial_with_excluded_block(db, partition, excluded, Some(rng))
 }
@@ -92,7 +105,10 @@ pub fn full_search_via_partial(db: &Database, k_per_level: u64) -> (u64, u64) {
     while len > 1 {
         // Choose the largest divisor of `len` that is ≤ k_per_level so the
         // partition stays equal-sized at every level.
-        let k = (2..=k_per_level.min(len)).rev().find(|k| len % k == 0).unwrap_or(len);
+        let k = (2..=k_per_level.min(len))
+            .rev()
+            .find(|k| len.is_multiple_of(*k))
+            .unwrap_or(len);
         let block_len = len / k;
         // Probe all blocks but the last within the current range.
         let mut found = None;

@@ -41,7 +41,10 @@ fn randomized_partial_tracks_the_exact_expectation_not_just_the_asymptotic_one()
     }
     let exact = analysis::randomized_partial_expected_queries(n as f64, k as f64);
     let (lo, hi) = stats.confidence_interval(4.0);
-    assert!(lo <= exact && exact <= hi, "exact {exact} outside [{lo}, {hi}]");
+    assert!(
+        lo <= exact && exact <= hi,
+        "exact {exact} outside [{lo}, {hi}]"
+    );
 }
 
 #[test]

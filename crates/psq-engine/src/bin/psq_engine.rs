@@ -1,0 +1,184 @@
+//! `psq-engine` — the workspace's serving surface as a JSON pipe.
+//!
+//! ```text
+//! psq-engine [OPTIONS] [JOBS.json]      read a job batch (file or stdin)
+//! psq-engine --gen N [--seed S]         emit a mixed demo batch instead
+//!
+//! Options:
+//!   --threads N     worker threads (default: machine parallelism)
+//!   --pretty        indent the output JSON
+//!   --metrics-only  omit per-job results, print only batch metrics
+//!   --explain       per-job cost-model table on stderr before running
+//! ```
+//!
+//! Input: a JSON array of jobs, or an object `{"jobs": [...]}`.
+//! Output: `{"results": [...], "rejected": [...], "metrics": {...}}`.
+
+use psq_engine::{Engine, EngineConfig, SearchJob};
+use std::io::Read;
+use std::process::ExitCode;
+
+struct Options {
+    path: Option<String>,
+    threads: Option<usize>,
+    pretty: bool,
+    metrics_only: bool,
+    explain: bool,
+    gen_count: Option<usize>,
+    gen_seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: psq-engine [--threads N] [--pretty] [--metrics-only] [--explain] [JOBS.json]\n\
+         \x20      psq-engine --gen N [--seed S] [--pretty]\n\
+         reads a JSON job batch (file, or stdin when no path / `-`) and emits JSON results;\n\
+         --gen emits a deterministic mixed demo batch instead of running one"
+    );
+    std::process::exit(2)
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        path: None,
+        threads: None,
+        pretty: false,
+        metrics_only: false,
+        explain: false,
+        gen_count: None,
+        gen_seed: 1,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                options.threads = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--gen" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                options.gen_count = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                options.gen_seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--pretty" => options.pretty = true,
+            "--metrics-only" => options.metrics_only = true,
+            "--explain" => options.explain = true,
+            "--help" | "-h" => usage(),
+            "-" => options.path = None,
+            path if !path.starts_with("--") && options.path.is_none() => {
+                options.path = Some(path.to_string())
+            }
+            _ => usage(),
+        }
+    }
+    options
+}
+
+fn read_jobs(path: Option<&str>) -> Result<Vec<SearchJob>, String> {
+    let text = match path {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?
+        }
+        None => {
+            let mut buffer = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buffer)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buffer
+        }
+    };
+    // Accept a bare array or an object wrapping it under "jobs".
+    let value = serde_json::parse_value(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let array = match (&value, value.as_object().and_then(|o| o.get("jobs"))) {
+        (serde_json::Value::Array(_), _) => &value,
+        (_, Some(jobs)) => jobs,
+        _ => return Err("expected a JSON array of jobs or {\"jobs\": [...]}".to_string()),
+    };
+    serde::Deserialize::deserialize(array).map_err(|e| format!("invalid job batch: {e}"))
+}
+
+fn main() -> ExitCode {
+    let options = parse_options();
+
+    if let Some(count) = options.gen_count {
+        let jobs = psq_engine::generate_mixed_batch(count, options.gen_seed);
+        let json = if options.pretty {
+            serde_json::to_string_pretty(&jobs)
+        } else {
+            serde_json::to_string(&jobs)
+        };
+        println!("{}", json.expect("jobs serialise"));
+        return ExitCode::SUCCESS;
+    }
+
+    let jobs = match read_jobs(options.path.as_deref()) {
+        Ok(jobs) => jobs,
+        Err(message) => {
+            eprintln!("psq-engine: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let engine = Engine::new(EngineConfig {
+        threads: options.threads,
+    });
+
+    if options.explain {
+        for job in &jobs {
+            eprintln!(
+                "job {} (n = {}, k = {}, err ≤ {}):",
+                job.id, job.n, job.k, job.error_target
+            );
+            match engine.planner().explain(job) {
+                Ok(estimates) => {
+                    for est in estimates {
+                        eprintln!(
+                            "  {:<24} ops {:>12.3e}  feasible {}  meets-error {}",
+                            est.backend.label(),
+                            est.ops,
+                            est.feasible,
+                            est.meets_error_target
+                        );
+                    }
+                }
+                Err(reason) => eprintln!("  rejected: {reason}"),
+            }
+        }
+    }
+
+    let report = engine.run_batch(&jobs);
+
+    let json = if options.metrics_only {
+        if options.pretty {
+            serde_json::to_string_pretty(&report.metrics)
+        } else {
+            serde_json::to_string(&report.metrics)
+        }
+    } else if options.pretty {
+        serde_json::to_string_pretty(&report)
+    } else {
+        serde_json::to_string(&report)
+    };
+    println!("{}", json.expect("report serialises"));
+
+    eprintln!(
+        "psq-engine: {} job(s) on {} thread(s) in {:.3} s — {:.1} jobs/s, \
+         {} rejected, {} backend(s), cache {}/{} hit/miss",
+        report.metrics.jobs,
+        engine.threads(),
+        report.metrics.wall_time_s,
+        report.metrics.throughput_jobs_per_s,
+        report.metrics.rejected,
+        report.metrics.backend_jobs.backends_used(),
+        report.metrics.plan_cache.hits,
+        report.metrics.plan_cache.misses,
+    );
+
+    if report.results.is_empty() && !report.rejected.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,222 @@
+//! Batch execution over the worker pool.
+//!
+//! The [`Engine`] owns a persistent `psq_parallel::WorkerPool` and a shared
+//! [`Planner`] (with its memoised plan cache). [`Engine::run_batch`]
+//! validates and plans every job, fans the accepted ones out over the pool,
+//! and aggregates results into [`BatchMetrics`]. Ordering and determinism:
+//!
+//! * results come back in job-submission order regardless of which worker
+//!   ran what (`WorkerPool::map` reassembles by submission index);
+//! * each job's randomness comes from its own seed, so a batch's results —
+//!   wall times aside — are bit-identical run to run, across thread counts,
+//!   and identical to executing each job alone.
+
+use crate::backends;
+use crate::metrics::BatchMetrics;
+use crate::planner::{ExecutionPlan, Planner};
+use crate::spec::{RejectedJob, SearchJob, SearchResult};
+use psq_parallel::WorkerPool;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Engine construction options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineConfig {
+    /// Worker threads; `None` sizes the pool to the machine.
+    pub threads: Option<usize>,
+}
+
+/// A fully executed batch: per-job results, rejects, and aggregate metrics.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Results in job-submission order.
+    pub results: Vec<SearchResult>,
+    /// Jobs that failed validation or planning, with reasons.
+    pub rejected: Vec<RejectedJob>,
+    /// Aggregate statistics.
+    pub metrics: BatchMetrics,
+}
+
+/// The batched, multi-backend partial-search execution engine.
+pub struct Engine {
+    planner: Arc<Planner>,
+    pool: WorkerPool,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new(EngineConfig::default())
+    }
+}
+
+impl Engine {
+    /// Builds an engine with its own planner and worker pool.
+    pub fn new(config: EngineConfig) -> Self {
+        let pool = match config.threads {
+            Some(threads) => WorkerPool::new(threads),
+            None => WorkerPool::with_default_threads(),
+        };
+        Self {
+            planner: Arc::new(Planner::new()),
+            pool,
+        }
+    }
+
+    /// The shared planner (schedule cache statistics live here).
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// Worker threads serving this engine.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Executes one job synchronously on the calling thread (the single-job
+    /// serving path; also what each pool worker runs per batched job).
+    pub fn run_job(&self, job: &SearchJob) -> Result<SearchResult, String> {
+        run_one(&self.planner, job)
+    }
+
+    /// Executes a batch: plans every job, fans the accepted ones out over
+    /// the pool, and aggregates metrics.
+    pub fn run_batch(&self, jobs: &[SearchJob]) -> BatchReport {
+        let started = Instant::now();
+        // Plan on the submitting thread: planning is cheap (cache-memoised),
+        // failing fast keeps rejects out of the pool, and handing the
+        // resolved plan to the worker keeps the plan-cache lock off the
+        // execution hot path.
+        let mut rejected = Vec::new();
+        let mut accepted: Vec<(SearchJob, ExecutionPlan)> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            match self.planner.plan(job) {
+                Ok(plan) => accepted.push((*job, plan)),
+                Err(reason) => rejected.push(RejectedJob {
+                    job_id: job.id,
+                    reason,
+                }),
+            }
+        }
+        let tasks: Vec<_> = accepted
+            .into_iter()
+            .map(|(job, plan)| move || execute_planned(&job, &plan))
+            .collect();
+        let results = self.pool.map(tasks);
+        let wall_time_s = started.elapsed().as_secs_f64();
+        let metrics = BatchMetrics::aggregate(
+            &results,
+            rejected.len() as u64,
+            wall_time_s,
+            self.planner.cache().stats(),
+        );
+        BatchReport {
+            results,
+            rejected,
+            metrics,
+        }
+    }
+}
+
+/// Plans and executes one job, stamping its wall time.
+fn run_one(planner: &Planner, job: &SearchJob) -> Result<SearchResult, String> {
+    let plan = planner.plan(job)?;
+    Ok(execute_planned(job, &plan))
+}
+
+/// Executes an already-planned job, stamping its wall time.
+fn execute_planned(job: &SearchJob, plan: &ExecutionPlan) -> SearchResult {
+    let started = Instant::now();
+    let mut result = backends::execute(job, plan);
+    result.wall_time_us = started.elapsed().as_secs_f64() * 1e6;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{generate_mixed_batch, BackendHint};
+
+    #[test]
+    fn batch_results_come_back_in_submission_order() {
+        let engine = Engine::new(EngineConfig { threads: Some(4) });
+        let jobs: Vec<SearchJob> = (0..40)
+            .map(|id| SearchJob::new(id, 1 << 10, 4, (id * 37) % (1 << 10)))
+            .collect();
+        let report = engine.run_batch(&jobs);
+        assert_eq!(report.results.len(), 40);
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(r.job_id, i as u64);
+        }
+        assert!(report.rejected.is_empty());
+    }
+
+    #[test]
+    fn batch_matches_single_job_execution_bit_for_bit() {
+        let engine = Engine::new(EngineConfig { threads: Some(8) });
+        let jobs = generate_mixed_batch(24, 7);
+        let report = engine.run_batch(&jobs);
+        let solo = Engine::new(EngineConfig { threads: Some(1) });
+        for (job, batched) in jobs.iter().zip(&report.results) {
+            let alone = solo.run_job(job).expect("runs alone");
+            assert_eq!(
+                batched.deterministic_fields(),
+                alone.deterministic_fields(),
+                "job {} diverged between batch and solo execution",
+                job.id
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_jobs_are_rejected_not_fatal() {
+        let engine = Engine::default();
+        let mut jobs = vec![SearchJob::new(0, 1 << 10, 4, 5)];
+        jobs.push(SearchJob::new(1, 10, 7, 5)); // k does not divide n
+        jobs.push(SearchJob::new(2, 1 << 10, 4, 1 << 11)); // target outside
+        jobs.push(SearchJob::new(3, 96, 4, 5).with_backend(BackendHint::Circuit)); // not pow2
+        let report = engine.run_batch(&jobs);
+        assert_eq!(report.results.len(), 1);
+        assert_eq!(report.rejected.len(), 3);
+        assert_eq!(report.metrics.jobs, 1);
+        assert_eq!(report.metrics.rejected, 3);
+        assert_eq!(
+            report.rejected.iter().map(|r| r.job_id).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn metrics_reflect_the_batch() {
+        let engine = Engine::default();
+        let jobs = generate_mixed_batch(32, 3);
+        let report = engine.run_batch(&jobs);
+        let m = &report.metrics;
+        assert_eq!(m.jobs, 32);
+        assert_eq!(m.backend_jobs.total(), 32);
+        assert!(
+            m.backend_jobs.backends_used() >= 4,
+            "mixed batch spans backends"
+        );
+        assert!(m.throughput_jobs_per_s > 0.0);
+        assert!(m.total_queries > 0);
+        assert!(m.latency_us_max >= m.latency_us_p50);
+        assert!(
+            m.jobs_correct >= 30,
+            "partial search should almost never miss"
+        );
+        // Mixed batches repeat (n, k, ε) shapes: the cache must be hitting.
+        assert!(m.plan_cache.hits > 0);
+        assert_eq!(m.plan_cache.entries, m.plan_cache.misses);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let engine = Engine::default();
+        let jobs = generate_mixed_batch(8, 11);
+        let report = engine.run_batch(&jobs);
+        let json = serde_json::to_string_pretty(&report).expect("serialise");
+        let back: BatchReport = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(report, back);
+    }
+}

@@ -1,0 +1,38 @@
+//! Batched, multi-backend partial-search execution engine.
+//!
+//! The rest of the workspace reproduces Grover & Radhakrishnan's partial
+//! search as a library: simulators (`psq-sim`), the three-step algorithm
+//! (`psq-partial`), classical baselines (`psq-classical`) and bounds
+//! (`psq-bounds`). This crate turns that library into a *serving surface*:
+//!
+//! * [`spec`] — serialisable [`SearchJob`]/[`SearchResult`] wire types, plus
+//!   a deterministic mixed-batch generator for load tests;
+//! * [`planner`] — a cost model that picks the cheapest backend honouring
+//!   each job's error target (block-symmetric reduced simulator, full state
+//!   vector, gate-level circuit, or the classical zero-error scans), with a
+//!   memoised `(N, K, ε) → (ℓ1, ℓ2)` schedule cache shared across workers;
+//! * [`backends`] — bit-reproducible single-job runners for each backend;
+//! * [`executor`] — the [`Engine`]: batch fan-out over
+//!   `psq_parallel::WorkerPool` with per-job seeding and submission-order
+//!   results;
+//! * [`metrics`] — throughput/latency/accuracy aggregation per batch.
+//!
+//! The `psq-engine` binary wraps [`Engine`] in a JSON-in/JSON-out pipe:
+//!
+//! ```text
+//! psq-engine --gen 100 > jobs.json   # make a mixed demo batch
+//! psq-engine jobs.json               # run it, results + metrics on stdout
+//! ```
+
+pub mod backends;
+pub mod executor;
+pub mod metrics;
+pub mod planner;
+pub mod spec;
+
+pub use executor::{BatchReport, Engine, EngineConfig};
+pub use metrics::{BackendTally, BatchMetrics};
+pub use planner::{
+    CostEstimate, CostModel, ExecutionPlan, PlanCache, PlanCacheStats, PlannedSchedule, Planner,
+};
+pub use spec::{generate_mixed_batch, Backend, BackendHint, RejectedJob, SearchJob, SearchResult};

@@ -1,0 +1,212 @@
+//! Batch-level aggregation: throughput, latency percentiles, accuracy and
+//! per-backend tallies, all serialisable for the engine's JSON output.
+
+use crate::planner::PlanCacheStats;
+use crate::spec::{Backend, SearchResult};
+use serde::{Deserialize, Serialize};
+
+/// Jobs executed per backend.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BackendTally {
+    /// Jobs on the reduced simulator.
+    pub reduced: u64,
+    /// Jobs on the state-vector simulator.
+    pub statevector: u64,
+    /// Jobs on the gate-level circuit path.
+    pub circuit: u64,
+    /// Jobs on the deterministic classical scan.
+    pub classical_deterministic: u64,
+    /// Jobs on the randomized classical scan.
+    pub classical_randomized: u64,
+}
+
+impl BackendTally {
+    /// Increments the count for `backend`.
+    pub fn record(&mut self, backend: Backend) {
+        match backend {
+            Backend::Reduced => self.reduced += 1,
+            Backend::StateVector => self.statevector += 1,
+            Backend::Circuit => self.circuit += 1,
+            Backend::ClassicalDeterministic => self.classical_deterministic += 1,
+            Backend::ClassicalRandomized => self.classical_randomized += 1,
+        }
+    }
+
+    /// Total jobs tallied.
+    pub fn total(&self) -> u64 {
+        self.reduced
+            + self.statevector
+            + self.circuit
+            + self.classical_deterministic
+            + self.classical_randomized
+    }
+
+    /// How many distinct backends saw at least one job.
+    pub fn backends_used(&self) -> u32 {
+        [
+            self.reduced,
+            self.statevector,
+            self.circuit,
+            self.classical_deterministic,
+            self.classical_randomized,
+        ]
+        .iter()
+        .filter(|&&c| c > 0)
+        .count() as u32
+    }
+}
+
+/// Aggregated statistics for one executed batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchMetrics {
+    /// Jobs executed successfully.
+    pub jobs: u64,
+    /// Jobs rejected before execution (validation or planning failure).
+    pub rejected: u64,
+    /// End-to-end batch wall time in seconds (submission to last result).
+    pub wall_time_s: f64,
+    /// Jobs per second of batch wall time.
+    pub throughput_jobs_per_s: f64,
+    /// Search trials across all jobs.
+    pub total_trials: u64,
+    /// Oracle queries charged across all jobs.
+    pub total_queries: u64,
+    /// Jobs whose majority answer was the true block.
+    pub jobs_correct: u64,
+    /// Mean of the per-job success estimates.
+    pub mean_success_estimate: f64,
+    /// Median per-job latency in microseconds.
+    pub latency_us_p50: f64,
+    /// 90th-percentile per-job latency in microseconds.
+    pub latency_us_p90: f64,
+    /// 99th-percentile per-job latency in microseconds.
+    pub latency_us_p99: f64,
+    /// Slowest per-job latency in microseconds.
+    pub latency_us_max: f64,
+    /// Jobs per backend.
+    pub backend_jobs: BackendTally,
+    /// Plan-cache behaviour during the batch.
+    pub plan_cache: PlanCacheStats,
+}
+
+/// Nearest-rank percentile of an unsorted latency sample (`q` in `[0, 1]`).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+impl BatchMetrics {
+    /// Aggregates `results` (plus rejection and cache counters) into batch
+    /// metrics.
+    pub fn aggregate(
+        results: &[SearchResult],
+        rejected: u64,
+        wall_time_s: f64,
+        plan_cache: PlanCacheStats,
+    ) -> Self {
+        let mut tally = BackendTally::default();
+        let mut total_queries = 0u64;
+        let mut total_trials = 0u64;
+        let mut jobs_correct = 0u64;
+        let mut success_sum = 0.0;
+        let mut latencies: Vec<f64> = Vec::with_capacity(results.len());
+        for r in results {
+            tally.record(r.backend);
+            total_queries += r.queries;
+            total_trials += u64::from(r.trials);
+            jobs_correct += u64::from(r.correct);
+            success_sum += r.success_estimate;
+            latencies.push(r.wall_time_us);
+        }
+        latencies.sort_by(f64::total_cmp);
+        let jobs = results.len() as u64;
+        Self {
+            jobs,
+            rejected,
+            wall_time_s,
+            throughput_jobs_per_s: if wall_time_s > 0.0 {
+                jobs as f64 / wall_time_s
+            } else {
+                0.0
+            },
+            total_trials,
+            total_queries,
+            jobs_correct,
+            mean_success_estimate: if jobs > 0 {
+                success_sum / jobs as f64
+            } else {
+                0.0
+            },
+            latency_us_p50: percentile(&latencies, 0.50),
+            latency_us_p90: percentile(&latencies, 0.90),
+            latency_us_p99: percentile(&latencies, 0.99),
+            latency_us_max: latencies.last().copied().unwrap_or(0.0),
+            backend_jobs: tally,
+            plan_cache,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(backend: Backend, queries: u64, correct: bool, wall: f64) -> SearchResult {
+        SearchResult {
+            job_id: 0,
+            backend,
+            block_found: 0,
+            true_block: if correct { 0 } else { 1 },
+            correct,
+            queries,
+            success_estimate: if correct { 1.0 } else { 0.0 },
+            trials: 2,
+            trials_correct: 2 * u32::from(correct),
+            wall_time_us: wall,
+        }
+    }
+
+    #[test]
+    fn aggregation_counts_and_percentiles() {
+        let results: Vec<SearchResult> = (1..=100)
+            .map(|i| result(Backend::Reduced, 10, i % 10 != 0, i as f64))
+            .collect();
+        let m = BatchMetrics::aggregate(&results, 3, 2.0, PlanCacheStats::default());
+        assert_eq!(m.jobs, 100);
+        assert_eq!(m.rejected, 3);
+        assert_eq!(m.total_queries, 1000);
+        assert_eq!(m.total_trials, 200);
+        assert_eq!(m.jobs_correct, 90);
+        assert_eq!(m.throughput_jobs_per_s, 50.0);
+        assert_eq!(m.latency_us_p50, 50.0);
+        assert_eq!(m.latency_us_p90, 90.0);
+        assert_eq!(m.latency_us_p99, 99.0);
+        assert_eq!(m.latency_us_max, 100.0);
+        assert_eq!(m.backend_jobs.reduced, 100);
+        assert_eq!(m.backend_jobs.backends_used(), 1);
+    }
+
+    #[test]
+    fn empty_batch_is_all_zeros() {
+        let m = BatchMetrics::aggregate(&[], 0, 0.0, PlanCacheStats::default());
+        assert_eq!(m.jobs, 0);
+        assert_eq!(m.throughput_jobs_per_s, 0.0);
+        assert_eq!(m.latency_us_p50, 0.0);
+    }
+
+    #[test]
+    fn tally_round_trips_through_json() {
+        let mut tally = BackendTally::default();
+        tally.record(Backend::Circuit);
+        tally.record(Backend::Circuit);
+        tally.record(Backend::ClassicalRandomized);
+        let json = serde_json::to_string(&tally).unwrap();
+        let back: BackendTally = serde_json::from_str(&json).unwrap();
+        assert_eq!(tally, back);
+        assert_eq!(back.total(), 3);
+        assert_eq!(back.backends_used(), 2);
+    }
+}

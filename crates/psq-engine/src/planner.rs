@@ -1,0 +1,405 @@
+//! Backend selection and schedule memoisation.
+//!
+//! Planning splits cleanly in two:
+//!
+//! 1. **Schedule** — the discretised `(ℓ1, ℓ2)` iteration counts of the
+//!    three-step algorithm. These depend only on `(N, K, error_target)` and
+//!    are expensive enough to be worth memoising (the tuned variant scans a
+//!    window of `ℓ1` candidates): the [`PlanCache`] stores one
+//!    [`PlannedSchedule`] per discretised key and is shared by every worker
+//!    in the executor.
+//! 2. **Backend** — which execution substrate honours the job's error target
+//!    most cheaply. The [`CostModel`] scores each backend in abstract kernel
+//!    operations; [`Planner::plan`] resolves a [`BackendHint`] (checking
+//!    feasibility) or, for `Auto`, picks the cheapest feasible backend whose
+//!    guaranteed error meets the target.
+
+use crate::spec::{Backend, BackendHint, SearchJob};
+use parking_lot::Mutex;
+use psq_math::bits;
+use psq_partial::SearchPlan;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Largest database the full state-vector simulator will materialise
+/// (`2^22` amplitudes ≈ 64 MiB).
+pub const MAX_STATEVECTOR_N: u64 = 1 << 22;
+
+/// Largest register the gate-by-gate circuit path will simulate.
+pub const MAX_CIRCUIT_N: u64 = 1 << 14;
+
+/// A memoised schedule for one `(N, K, error_target)` key.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlannedSchedule {
+    /// The discretised plan (`ℓ1`, `ℓ2`, predicted amplitudes).
+    pub plan: SearchPlan,
+    /// Whether the finite-`N` tuned search was needed to approach the error
+    /// target (the asymptotically optimal `ε` plan is tried first).
+    pub tuned: bool,
+    /// Whether the plan's predicted error actually meets the target
+    /// (quantum schedules cannot beat their `O(1/√N)` residual, so a
+    /// stricter target forces a classical backend).
+    pub meets_error_target: bool,
+}
+
+/// Cache statistics, exposed through batch metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that computed and inserted a fresh schedule.
+    pub misses: u64,
+    /// Distinct schedules currently stored.
+    pub entries: u64,
+}
+
+/// Memoised `(N, K, error_target) → PlannedSchedule` map, safe to share
+/// across executor workers.
+#[derive(Default)]
+pub struct PlanCache {
+    map: Mutex<HashMap<(u64, u64, u64), PlannedSchedule>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the schedule for `(n, k, error_target)`, computing and
+    /// memoising it on first use.
+    pub fn schedule(&self, n: u64, k: u64, error_target: f64) -> PlannedSchedule {
+        let key = (n, k, error_target.to_bits());
+        if let Some(hit) = self.map.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *hit;
+        }
+        // Computed outside the lock: schedules for distinct keys can build
+        // concurrently, and a racing duplicate insert is harmless (the
+        // computation is deterministic).
+        let schedule = compute_schedule(n as f64, k as f64, error_target);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().insert(key, schedule);
+        schedule
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().len() as u64,
+        }
+    }
+}
+
+/// Builds the `(ℓ1, ℓ2)` schedule for the key, preferring the asymptotically
+/// optimal `ε` and falling back to the finite-`N` tuned plan when the
+/// optimum's discretisation residue exceeds the error target.
+fn compute_schedule(n: f64, k: f64, error_target: f64) -> PlannedSchedule {
+    let optimal = SearchPlan::with_optimal_epsilon(n, k);
+    if optimal.predicted_error_probability() <= error_target {
+        return PlannedSchedule {
+            plan: optimal,
+            tuned: false,
+            meets_error_target: true,
+        };
+    }
+    let tuned = SearchPlan::tuned(n, k);
+    let meets = tuned.predicted_error_probability() <= error_target;
+    if !meets && optimal.predicted_error_probability() <= tuned.predicted_error_probability() {
+        // Neither meets the target; keep the cheaper/better of the two.
+        return PlannedSchedule {
+            plan: optimal,
+            tuned: false,
+            meets_error_target: false,
+        };
+    }
+    PlannedSchedule {
+        plan: tuned,
+        tuned: true,
+        meets_error_target: meets,
+    }
+}
+
+/// One backend's score for a job.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostEstimate {
+    /// The backend being scored.
+    pub backend: Backend,
+    /// Abstract kernel operations for the whole job (all trials).
+    pub ops: f64,
+    /// Whether the backend can run this job at all (dimension and memory
+    /// constraints).
+    pub feasible: bool,
+    /// Whether the backend's guaranteed error meets the job's target.
+    pub meets_error_target: bool,
+}
+
+/// The engine's cost model: scores every backend for a job in abstract
+/// kernel operations so `Auto` can pick the cheapest faithful one.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CostModel;
+
+impl CostModel {
+    /// Scores `backend` for a job of shape `(n, k, trials)` running
+    /// `schedule`.
+    pub fn estimate(
+        &self,
+        backend: Backend,
+        n: u64,
+        k: u64,
+        trials: u32,
+        schedule: &PlannedSchedule,
+    ) -> CostEstimate {
+        let nf = n as f64;
+        let kf = k as f64;
+        let t = trials as f64;
+        let queries = schedule.plan.total_queries as f64;
+        let pow2 = bits::is_power_of_two(n) && bits::is_power_of_two(k);
+        let (ops, feasible, meets) = match backend {
+            // Three amplitudes per iteration: O(queries).
+            Backend::Reduced => (queries * t, true, schedule.meets_error_target),
+            // Each iteration streams the full amplitude array.
+            Backend::StateVector => (
+                queries * nf * t,
+                n <= MAX_STATEVECTOR_N,
+                schedule.meets_error_target,
+            ),
+            // Hadamard walls cost an extra log2(N) pass per iteration.
+            Backend::Circuit => (
+                queries * nf * nf.log2().max(1.0) * t,
+                pow2 && n <= MAX_CIRCUIT_N,
+                schedule.meets_error_target,
+            ),
+            // Worst-case probe count; zero error by construction.
+            Backend::ClassicalDeterministic => (nf * (1.0 - 1.0 / kf) * t, true, true),
+            // Expected probe count; zero error by construction.
+            Backend::ClassicalRandomized => (nf / 2.0 * (1.0 - 1.0 / (kf * kf)) * t, true, true),
+        };
+        CostEstimate {
+            backend,
+            ops,
+            feasible,
+            meets_error_target: meets,
+        }
+    }
+}
+
+/// A fully resolved execution plan for one job.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExecutionPlan {
+    /// The backend the executor will run.
+    pub backend: Backend,
+    /// The memoised schedule (meaningful for quantum backends; classical
+    /// backends ignore it).
+    pub schedule: PlannedSchedule,
+    /// The cost model's score for the chosen backend.
+    pub estimated_ops: f64,
+}
+
+/// Resolves jobs to execution plans through the shared [`PlanCache`].
+#[derive(Default)]
+pub struct Planner {
+    cache: PlanCache,
+    cost_model: CostModel,
+}
+
+impl Planner {
+    /// A planner with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared schedule cache (for statistics).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Scores every backend for `job` (the `Auto` candidate list, in the
+    /// order considered). Exposed for tests and the binary's `--explain`.
+    ///
+    /// Validates the job first: schedule construction asserts its inputs,
+    /// so an unvalidated malformed job would panic rather than err.
+    pub fn explain(&self, job: &SearchJob) -> Result<Vec<CostEstimate>, String> {
+        job.validate()?;
+        let schedule = self.cache.schedule(job.n, job.k, job.error_target);
+        Ok(Backend::ALL
+            .iter()
+            .map(|&b| {
+                self.cost_model
+                    .estimate(b, job.n, job.k, job.trials, &schedule)
+            })
+            .collect())
+    }
+
+    /// Resolves `job` to an execution plan, or explains why it cannot run.
+    pub fn plan(&self, job: &SearchJob) -> Result<ExecutionPlan, String> {
+        job.validate()?;
+        let schedule = self.cache.schedule(job.n, job.k, job.error_target);
+        let resolve = |backend: Backend| -> Result<ExecutionPlan, String> {
+            let est = self
+                .cost_model
+                .estimate(backend, job.n, job.k, job.trials, &schedule);
+            if !est.feasible {
+                return Err(format!(
+                    "job {}: backend {:?} cannot run n = {}, k = {} \
+                     (dimension or memory constraint)",
+                    job.id, backend, job.n, job.k
+                ));
+            }
+            Ok(ExecutionPlan {
+                backend,
+                schedule,
+                estimated_ops: est.ops,
+            })
+        };
+        match job.backend {
+            BackendHint::Reduced => resolve(Backend::Reduced),
+            BackendHint::StateVector => resolve(Backend::StateVector),
+            BackendHint::Circuit => resolve(Backend::Circuit),
+            BackendHint::ClassicalDeterministic => resolve(Backend::ClassicalDeterministic),
+            BackendHint::ClassicalRandomized => resolve(Backend::ClassicalRandomized),
+            BackendHint::Auto => {
+                let best = Backend::ALL
+                    .iter()
+                    .map(|&b| {
+                        self.cost_model
+                            .estimate(b, job.n, job.k, job.trials, &schedule)
+                    })
+                    .filter(|e| e.feasible && e.meets_error_target)
+                    .min_by(|a, b| a.ops.total_cmp(&b.ops));
+                match best {
+                    Some(est) => Ok(ExecutionPlan {
+                        backend: est.backend,
+                        schedule,
+                        estimated_ops: est.ops,
+                    }),
+                    // Always reachable: the classical backends are feasible
+                    // for every valid job and have zero error.
+                    None => Err(format!(
+                        "job {}: no backend meets error target {}",
+                        job.id, job.error_target
+                    )),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SearchJob;
+
+    #[test]
+    fn auto_prefers_reduced_for_routine_error_budgets() {
+        let planner = Planner::new();
+        let job = SearchJob::new(0, 1 << 20, 8, 12345);
+        let plan = planner.plan(&job).expect("plans");
+        assert_eq!(plan.backend, Backend::Reduced);
+        assert!(plan.schedule.meets_error_target);
+    }
+
+    #[test]
+    fn auto_falls_back_to_classical_for_zero_error() {
+        let planner = Planner::new();
+        let job = SearchJob::new(0, 4096, 4, 7).with_error_target(0.0);
+        let plan = planner.plan(&job).expect("plans");
+        assert_eq!(plan.backend, Backend::ClassicalRandomized);
+    }
+
+    #[test]
+    fn classical_randomized_beats_deterministic_in_the_model() {
+        let planner = Planner::new();
+        let job = SearchJob::new(0, 4096, 4, 7).with_error_target(0.0);
+        let costs = planner.explain(&job).expect("valid job");
+        let det = costs
+            .iter()
+            .find(|e| e.backend == Backend::ClassicalDeterministic)
+            .unwrap();
+        let rnd = costs
+            .iter()
+            .find(|e| e.backend == Backend::ClassicalRandomized)
+            .unwrap();
+        assert!(rnd.ops < det.ops);
+    }
+
+    #[test]
+    fn hints_are_honoured_and_infeasible_hints_rejected() {
+        let planner = Planner::new();
+        let sv = SearchJob::new(0, 1 << 10, 4, 7).with_backend(BackendHint::StateVector);
+        assert_eq!(planner.plan(&sv).unwrap().backend, Backend::StateVector);
+        // The circuit path needs power-of-two dimensions...
+        let not_pow2 = SearchJob::new(0, 96, 4, 7).with_backend(BackendHint::Circuit);
+        assert!(planner.plan(&not_pow2).is_err());
+        // ...and bounded size; the state vector is memory-capped too.
+        let huge_circuit =
+            SearchJob::new(0, MAX_CIRCUIT_N * 2, 4, 7).with_backend(BackendHint::Circuit);
+        assert!(planner.plan(&huge_circuit).is_err());
+        let huge_sv =
+            SearchJob::new(0, MAX_STATEVECTOR_N * 2, 4, 7).with_backend(BackendHint::StateVector);
+        assert!(planner.plan(&huge_sv).is_err());
+        // The reduced simulator takes anything.
+        let huge_reduced = SearchJob::new(0, 1 << 40, 64, 7).with_backend(BackendHint::Reduced);
+        assert_eq!(
+            planner.plan(&huge_reduced).unwrap().backend,
+            Backend::Reduced
+        );
+    }
+
+    #[test]
+    fn explain_rejects_malformed_jobs_instead_of_panicking() {
+        let planner = Planner::new();
+        // k = 1 would trip SearchPlan's assertions if it reached schedule
+        // construction (this was a reproducible panic in `--explain`).
+        assert!(planner.explain(&SearchJob::new(0, 64, 1, 0)).is_err());
+        assert!(planner.explain(&SearchJob::new(0, 6, 4, 0)).is_err());
+        assert!(planner.explain(&SearchJob::new(0, 64, 4, 0)).is_ok());
+    }
+
+    #[test]
+    fn cache_hits_on_repeated_keys_and_misses_on_fresh_ones() {
+        let planner = Planner::new();
+        let job = SearchJob::new(0, 1 << 16, 8, 3);
+        planner.plan(&job).unwrap();
+        let after_first = planner.cache().stats();
+        assert_eq!(after_first.misses, 1);
+        assert_eq!(after_first.entries, 1);
+        // Same (n, k, error_target): hit, even with different target/seed.
+        planner.plan(&SearchJob::new(1, 1 << 16, 8, 999)).unwrap();
+        let after_second = planner.cache().stats();
+        assert_eq!(after_second.misses, 1);
+        assert_eq!(after_second.hits, after_first.hits + 1);
+        // Different K: miss.
+        planner.plan(&SearchJob::new(2, 1 << 16, 4, 3)).unwrap();
+        assert_eq!(planner.cache().stats().misses, 2);
+    }
+
+    #[test]
+    fn cached_schedule_is_identical_to_a_fresh_computation() {
+        let planner = Planner::new();
+        let job = SearchJob::new(0, 1 << 18, 16, 5);
+        let first = planner.plan(&job).unwrap();
+        let second = planner.plan(&job).unwrap();
+        assert_eq!(first, second);
+        let fresh = Planner::new().plan(&job).unwrap();
+        assert_eq!(first, fresh);
+    }
+
+    #[test]
+    fn schedule_prefers_untuned_when_it_meets_the_target() {
+        // Generous target: the asymptotically optimal plan suffices.
+        let generous = compute_schedule((1u64 << 20) as f64, 8.0, 0.05);
+        assert!(!generous.tuned);
+        assert!(generous.meets_error_target);
+        // Tight (but reachable) target on a small database: tuning kicks in
+        // (at N = 2^11, K = 2 the optimal-ε plan leaves ~2.6e-4 error while
+        // the tuned plan reaches ~7e-8 at the same query count).
+        let tight = compute_schedule(2048.0, 2.0, 1e-6);
+        assert!(tight.tuned);
+        assert!(tight.meets_error_target);
+    }
+}

@@ -1,0 +1,384 @@
+//! Serializable job and result specifications — the engine's wire format.
+//!
+//! A [`SearchJob`] describes one partial-search request the way a client
+//! would pose it: database size `N`, block count `K`, an acceptable
+//! probability of reporting a wrong block (`error_target`), how many trials
+//! to run, a seed making the whole execution reproducible, and an optional
+//! backend hint. A [`SearchResult`] is what the engine sends back: the block
+//! it found, the exact query count charged by the instrumented oracle, a
+//! success estimate, and the wall time the job took inside the executor.
+
+use serde::{Deserialize, Serialize};
+
+/// Which execution backend a job *asks* for. [`BackendHint::Auto`] delegates
+/// the choice to the planner's cost model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackendHint {
+    /// Let the planner pick the cheapest faithful backend.
+    Auto,
+    /// The block-symmetric reduced simulator (`psq-sim::reduced`).
+    Reduced,
+    /// The full state-vector simulator.
+    StateVector,
+    /// The gate-level circuit path (`psq-sim::circuit`).
+    Circuit,
+    /// Classical deterministic block-exclusion scan (zero error).
+    ClassicalDeterministic,
+    /// Classical randomized block-exclusion scan (zero error).
+    ClassicalRandomized,
+}
+
+/// The backend a job actually *ran on* (the planner's resolution of the
+/// hint).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Backend {
+    /// Block-symmetric reduced simulator: `O(√N)` work for any `N`.
+    Reduced,
+    /// Full state-vector simulator: `O(√N · N)` work, exact amplitudes.
+    StateVector,
+    /// Gate-level circuit path: like the state vector with a gate-by-gate
+    /// constant factor; requires power-of-two dimensions.
+    Circuit,
+    /// Deterministic classical scan: zero error, `N(1 − 1/K)` worst case.
+    ClassicalDeterministic,
+    /// Randomized classical scan: zero error, `N/2·(1 − 1/K²)` expected.
+    ClassicalRandomized,
+}
+
+impl Backend {
+    /// All backends, in the order the planner considers them.
+    pub const ALL: [Backend; 5] = [
+        Backend::Reduced,
+        Backend::StateVector,
+        Backend::Circuit,
+        Backend::ClassicalDeterministic,
+        Backend::ClassicalRandomized,
+    ];
+
+    /// Stable lower-case label used in metrics tallies.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Reduced => "reduced",
+            Backend::StateVector => "statevector",
+            Backend::Circuit => "circuit",
+            Backend::ClassicalDeterministic => "classical_deterministic",
+            Backend::ClassicalRandomized => "classical_randomized",
+        }
+    }
+}
+
+/// One partial-search request.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SearchJob {
+    /// Client-chosen identifier, echoed in the result.
+    pub id: u64,
+    /// Database size `N` (items).
+    pub n: u64,
+    /// Number of equal blocks `K`; the answer is the block index.
+    pub k: u64,
+    /// Address of the marked item (defines the oracle; never read by the
+    /// planner — plans depend only on `(N, K, error_target)`).
+    pub target: u64,
+    /// Acceptable probability of reporting a wrong block. Quantum schedules
+    /// carry an `O(1/√N)` residual; a target below that forces a classical
+    /// (zero-error) backend under [`BackendHint::Auto`].
+    pub error_target: f64,
+    /// Independent repetitions of the search (all charged to the result).
+    pub trials: u32,
+    /// Seed for every random choice the job makes; two runs of the same job
+    /// are bit-identical.
+    pub seed: u64,
+    /// Requested backend.
+    pub backend: BackendHint,
+}
+
+impl SearchJob {
+    /// A minimal valid job with one trial, `Auto` backend and the paper's
+    /// `O(1/√N)`-scale error budget.
+    pub fn new(id: u64, n: u64, k: u64, target: u64) -> Self {
+        Self {
+            id,
+            n,
+            k,
+            target,
+            error_target: (50.0 / (n as f64).sqrt()).min(1.0),
+            trials: 1,
+            seed: id.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+            backend: BackendHint::Auto,
+        }
+    }
+
+    /// Sets the backend hint.
+    pub fn with_backend(mut self, backend: BackendHint) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the error target.
+    pub fn with_error_target(mut self, error_target: f64) -> Self {
+        self.error_target = error_target;
+        self
+    }
+
+    /// Sets the trial count.
+    pub fn with_trials(mut self, trials: u32) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Checks the structural invariants every backend relies on.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k < 2 {
+            return Err(format!(
+                "job {}: k must be at least 2, got {}",
+                self.id, self.k
+            ));
+        }
+        if self.n < 2 * self.k {
+            return Err(format!(
+                "job {}: blocks must hold at least two items (n = {}, k = {})",
+                self.id, self.n, self.k
+            ));
+        }
+        if !self.n.is_multiple_of(self.k) {
+            return Err(format!(
+                "job {}: k must divide n (n = {}, k = {})",
+                self.id, self.n, self.k
+            ));
+        }
+        if self.target >= self.n {
+            return Err(format!(
+                "job {}: target {} outside the database [0, {})",
+                self.id, self.target, self.n
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.error_target) {
+            return Err(format!(
+                "job {}: error_target must lie in [0, 1], got {}",
+                self.id, self.error_target
+            ));
+        }
+        if self.trials == 0 {
+            return Err(format!("job {}: trials must be at least 1", self.id));
+        }
+        Ok(())
+    }
+}
+
+/// One completed search.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// The job's identifier.
+    pub job_id: u64,
+    /// Backend the planner resolved and the executor ran.
+    pub backend: Backend,
+    /// The block the engine reports (majority vote over trials; ties go to
+    /// the lowest block index).
+    pub block_found: u64,
+    /// The block that actually contains the marked item.
+    pub true_block: u64,
+    /// Whether `block_found == true_block`.
+    pub correct: bool,
+    /// Oracle queries charged across all trials.
+    pub queries: u64,
+    /// Estimated probability that one trial reports the right block:
+    /// exact final-state probability on quantum backends, empirical
+    /// frequency on classical ones.
+    pub success_estimate: f64,
+    /// Trials executed.
+    pub trials: u32,
+    /// Trials whose reported block was correct.
+    pub trials_correct: u32,
+    /// Wall time this job spent executing, in microseconds. The only
+    /// non-deterministic field; everything else is a pure function of the
+    /// job spec.
+    pub wall_time_us: f64,
+}
+
+impl SearchResult {
+    /// The deterministic portion of the result (everything but wall time),
+    /// as a tuple suitable for equality assertions in tests.
+    pub fn deterministic_fields(&self) -> (u64, Backend, u64, u64, bool, u64, f64, u32, u32) {
+        (
+            self.job_id,
+            self.backend,
+            self.block_found,
+            self.true_block,
+            self.correct,
+            self.queries,
+            self.success_estimate,
+            self.trials,
+            self.trials_correct,
+        )
+    }
+}
+
+/// A job the engine refused to run, and why.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RejectedJob {
+    /// The job's identifier.
+    pub job_id: u64,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+/// Deterministically generates a mixed batch exercising every backend.
+///
+/// Jobs cycle through backend hints (including `Auto` at several error
+/// targets) with sizes appropriate to each backend: huge databases for the
+/// reduced simulator, power-of-two mid-size ones for the state-vector and
+/// circuit paths, small ones for the classical scans.
+pub fn generate_mixed_batch(count: usize, seed: u64) -> Vec<SearchJob> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut jobs = Vec::with_capacity(count);
+    for id in 0..count as u64 {
+        let job = match id % 8 {
+            // Reduced: sizes far beyond any state vector.
+            0 => {
+                let exp = rng.gen_range(20u32..40);
+                let k = 1u64 << rng.gen_range(1u32..7);
+                let n = 1u64 << exp;
+                SearchJob::new(id, n, k, rng.gen_range(0..n)).with_backend(BackendHint::Reduced)
+            }
+            // State vector: exact amplitudes at simulable sizes.
+            1 => {
+                let exp = rng.gen_range(8u32..13);
+                let n = 1u64 << exp;
+                let k = 1u64 << rng.gen_range(1u32..4);
+                SearchJob::new(id, n, k, rng.gen_range(0..n)).with_backend(BackendHint::StateVector)
+            }
+            // Circuit: gate-by-gate, keep the register small.
+            2 => {
+                let exp = rng.gen_range(6u32..10);
+                let n = 1u64 << exp;
+                let k = 1u64 << rng.gen_range(1u32..3);
+                SearchJob::new(id, n, k, rng.gen_range(0..n)).with_backend(BackendHint::Circuit)
+            }
+            // Classical scans at honest classical sizes (n a multiple of 8
+            // so every k choice divides it).
+            3 => {
+                let n = rng.gen_range(32u64..1024) * 8;
+                let k = [2u64, 4, 8][rng.gen_range(0..3usize)];
+                SearchJob::new(id, n, k, rng.gen_range(0..n))
+                    .with_backend(BackendHint::ClassicalDeterministic)
+            }
+            4 => {
+                let n = rng.gen_range(32u64..1024) * 8;
+                let k = [2u64, 4, 8][rng.gen_range(0..3usize)];
+                SearchJob::new(id, n, k, rng.gen_range(0..n))
+                    .with_backend(BackendHint::ClassicalRandomized)
+            }
+            // Auto with a routine error budget → planner picks the reduced
+            // simulator.
+            5 | 6 => {
+                let exp = rng.gen_range(16u32..34);
+                let n = 1u64 << exp;
+                let k = 1u64 << rng.gen_range(1u32..6);
+                SearchJob::new(id, n, k, rng.gen_range(0..n))
+            }
+            // Auto demanding zero error → planner must go classical.
+            _ => {
+                let n = rng.gen_range(32u64..512) * 4;
+                let k = [2u64, 4][rng.gen_range(0..2usize)];
+                SearchJob::new(id, n, k, rng.gen_range(0..n)).with_error_target(0.0)
+            }
+        };
+        jobs.push(job.with_trials(rng.gen_range(1u32..4)).with_seed(rng.gen()));
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_round_trips_through_json() {
+        let job = SearchJob::new(7, 4096, 8, 1234)
+            .with_backend(BackendHint::StateVector)
+            .with_trials(3);
+        let json = serde_json::to_string(&job).expect("serialise");
+        let back: SearchJob = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(job, back);
+    }
+
+    #[test]
+    fn result_round_trips_through_json() {
+        let result = SearchResult {
+            job_id: 9,
+            backend: Backend::Circuit,
+            block_found: 3,
+            true_block: 3,
+            correct: true,
+            queries: 41,
+            success_estimate: 0.9991,
+            trials: 2,
+            trials_correct: 2,
+            wall_time_us: 12.5,
+        };
+        let json = serde_json::to_string(&result).expect("serialise");
+        let back: SearchResult = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(result, back);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_jobs() {
+        assert!(SearchJob::new(0, 64, 1, 0).validate().is_err(), "k < 2");
+        assert!(
+            SearchJob::new(0, 6, 4, 0).validate().is_err(),
+            "blocks too small"
+        );
+        assert!(
+            SearchJob::new(0, 65, 4, 0).validate().is_err(),
+            "k must divide n"
+        );
+        assert!(
+            SearchJob::new(0, 64, 4, 64).validate().is_err(),
+            "target outside"
+        );
+        assert!(
+            SearchJob::new(0, 64, 4, 0)
+                .with_trials(0)
+                .validate()
+                .is_err(),
+            "zero trials"
+        );
+        assert!(
+            SearchJob::new(0, 64, 4, 0)
+                .with_error_target(1.5)
+                .validate()
+                .is_err(),
+            "error target out of range"
+        );
+        assert!(SearchJob::new(0, 64, 4, 63).validate().is_ok());
+    }
+
+    #[test]
+    fn mixed_batch_is_deterministic_and_valid() {
+        let a = generate_mixed_batch(64, 42);
+        let b = generate_mixed_batch(64, 42);
+        assert_eq!(a, b);
+        for job in &a {
+            job.validate().expect("generated jobs are valid");
+        }
+        // The cycle guarantees every hint appears.
+        for hint in [
+            BackendHint::Reduced,
+            BackendHint::StateVector,
+            BackendHint::Circuit,
+            BackendHint::ClassicalDeterministic,
+            BackendHint::ClassicalRandomized,
+            BackendHint::Auto,
+        ] {
+            assert!(a.iter().any(|j| j.backend == hint), "missing {hint:?}");
+        }
+    }
+}

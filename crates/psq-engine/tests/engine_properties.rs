@@ -1,0 +1,106 @@
+//! Property tests for the engine against direct algorithm invocation.
+//!
+//! The engine must be a *transparent* serving layer: for any job, the
+//! planner-selected quantum backend has to report exactly the block, query
+//! count and success probability that calling `psq_partial::PartialSearch`
+//! directly (with the schedule's ε and the job's seed) would produce.
+
+use proptest::prelude::*;
+use psq_engine::{BackendHint, Engine, EngineConfig, Planner, SearchJob};
+use psq_partial::PartialSearch;
+use psq_sim::oracle::{Database, Partition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `(n, k, target, seed)` over a grid of valid power-of-two shapes.
+fn job_shape() -> impl Strategy<Value = (u64, u64, u64, u64)> {
+    (7u32..12, 1u32..4, 0u64..1 << 20, 0u64..u64::MAX / 2).prop_filter_map(
+        "k must leave at least two items per block",
+        |(n_exp, k_exp, target, seed)| {
+            let n = 1u64 << n_exp;
+            let k = 1u64 << k_exp;
+            if n < 2 * k {
+                return None;
+            }
+            Some((n, k, target % n, seed))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn statevector_backend_matches_direct_invocation((n, k, target, seed) in job_shape()) {
+        let engine = Engine::new(EngineConfig { threads: Some(2) });
+        let job = SearchJob::new(0, n, k, target)
+            .with_backend(BackendHint::StateVector)
+            .with_seed(seed);
+        let served = engine.run_job(&job).expect("job plans");
+
+        // Direct invocation: same ε (from the engine's own schedule), same
+        // seed, no engine in the loop.
+        let plan = Planner::new().plan(&job).expect("plans");
+        let db = Database::new(n, target);
+        let partition = Partition::new(n, k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let direct = PartialSearch::with_epsilon(plan.schedule.plan.epsilon)
+            .run_statevector(&db, &partition, &mut rng);
+
+        prop_assert_eq!(served.block_found, direct.outcome.reported_block);
+        prop_assert_eq!(served.true_block, direct.outcome.true_block);
+        prop_assert_eq!(served.queries, direct.outcome.queries);
+        prop_assert_eq!(served.success_estimate, direct.success_probability);
+    }
+
+    #[test]
+    fn reduced_backend_matches_direct_invocation((n, k, _target, seed) in job_shape()) {
+        let engine = Engine::new(EngineConfig { threads: Some(2) });
+        let job = SearchJob::new(0, n, k, _target)
+            .with_backend(BackendHint::Reduced)
+            .with_seed(seed);
+        let served = engine.run_job(&job).expect("job plans");
+
+        let plan = Planner::new().plan(&job).expect("plans");
+        let direct = PartialSearch::with_epsilon(plan.schedule.plan.epsilon)
+            .run_reduced(n as f64, k as f64);
+
+        prop_assert_eq!(served.queries, direct.queries);
+        prop_assert_eq!(served.success_estimate, direct.success_probability);
+    }
+
+    #[test]
+    fn auto_backend_queries_match_the_published_schedule((n, k, target, seed) in job_shape()) {
+        // Whatever backend Auto picks, the query count per trial must equal
+        // the memoised schedule's ℓ1 + ℓ2 + 1 when it picks quantum.
+        let engine = Engine::new(EngineConfig { threads: Some(2) });
+        let job = SearchJob::new(0, n, k, target).with_seed(seed);
+        let plan = engine.planner().plan(&job).expect("plans");
+        let served = engine.run_job(&job).expect("runs");
+        if matches!(
+            served.backend,
+            psq_engine::Backend::Reduced
+                | psq_engine::Backend::StateVector
+                | psq_engine::Backend::Circuit
+        ) {
+            prop_assert_eq!(served.queries, plan.schedule.plan.total_queries);
+        }
+        prop_assert!(served.success_estimate >= 0.0 && served.success_estimate <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn plans_are_cached_deterministically((n, k, target, _seed) in job_shape(), err in 0.001f64..0.2) {
+        let job = SearchJob::new(0, n, k, target).with_error_target(err);
+        let planner = Planner::new();
+        let first = planner.plan(&job).expect("plans");
+        let second = planner.plan(&job).expect("plans again");
+        // Same spec → identical plan, and the second lookup was a hit.
+        prop_assert_eq!(first, second);
+        let stats = planner.cache().stats();
+        prop_assert_eq!(stats.misses, 1);
+        prop_assert!(stats.hits >= 1);
+        // A fresh planner computes the identical schedule from scratch.
+        let fresh = Planner::new().plan(&job).expect("fresh plan");
+        prop_assert_eq!(first, fresh);
+    }
+}

@@ -34,7 +34,10 @@ impl MarkedSet {
         assert!(!marked.is_empty(), "marked set must be non-empty");
         marked.sort_unstable();
         marked.dedup();
-        assert!(*marked.last().expect("non-empty") < n, "marked index out of range");
+        assert!(
+            *marked.last().expect("non-empty") < n,
+            "marked index out of range"
+        );
         Self {
             n,
             marked,
@@ -89,7 +92,11 @@ impl MarkedSet {
     /// Applies the oracle reflection `I − 2 Σ_{x marked} |x⟩⟨x|`, charging one
     /// query.
     pub fn reflect(&self, state: &mut StateVector) {
-        assert_eq!(state.len(), self.n, "state dimension must match the marked set");
+        assert_eq!(
+            state.len(),
+            self.n,
+            "state dimension must match the marked set"
+        );
         self.counter.increment();
         for &x in &self.marked {
             state.phase_flip_unchecked(x);
@@ -140,7 +147,8 @@ pub fn amplify(marked: &MarkedSet, initial: &StateVector, iterations: u64) -> St
 /// Returns the sampled index and the number of queries charged.
 pub fn search_any_marked<R: Rng + ?Sized>(marked: &MarkedSet, rng: &mut R) -> (usize, u64) {
     let span = marked.counter.span();
-    let iterations = theory::optimal_iterations_multi(marked.n as f64, marked.marked_count() as f64);
+    let iterations =
+        theory::optimal_iterations_multi(marked.n as f64, marked.marked_count() as f64);
     let initial = StateVector::uniform(marked.n);
     let state = amplify(marked, &initial, iterations);
     let index = psq_sim::measure::sample_index(&state, rng);

@@ -54,7 +54,7 @@ pub fn success_probability_2d(n: f64, iters: u64, phi: f64) -> f64 {
     let rot = Complex64::cis(phi) - Complex64::ONE;
     for _ in 0..iters {
         // R_t(φ)
-        state.0 = state.0 * Complex64::cis(phi);
+        state.0 *= Complex64::cis(phi);
         // D(φ): ψ += (e^{iφ} − 1)·⟨ψ0|ψ⟩·|ψ0⟩
         let overlap = psi0.0.conj() * state.0 + psi0.1.conj() * state.1;
         state.0 += rot * overlap * psi0.0;

@@ -52,7 +52,10 @@ impl Schedule {
     /// # Panics
     /// Panics unless `0 ≤ ε ≤ 1`.
     pub fn truncated(n: f64, epsilon: f64) -> Self {
-        assert!((0.0..=1.0).contains(&epsilon), "epsilon must lie in [0, 1], got {epsilon}");
+        assert!(
+            (0.0..=1.0).contains(&epsilon),
+            "epsilon must lie in [0, 1], got {epsilon}"
+        );
         let iters = (std::f64::consts::FRAC_PI_4 * (1.0 - epsilon) * n.sqrt()).floor() as u64;
         Self::with_iterations(n, iters)
     }
@@ -116,10 +119,7 @@ mod tests {
         assert!(s.iterations < full.iterations);
         // Remaining angle is about (π/2)·ε.
         assert_close(s.angle_from_target, std::f64::consts::FRAC_PI_2 * eps, 0.01);
-        assert_eq!(
-            savings_versus_full(n, eps),
-            full.iterations - s.iterations
-        );
+        assert_eq!(savings_versus_full(n, eps), full.iterations - s.iterations);
     }
 
     #[test]

@@ -58,7 +58,10 @@ pub fn search_statevector<R: Rng + ?Sized>(
 }
 
 /// Runs the optimal number of iterations and measures once.
-pub fn search_statevector_optimal<R: Rng + ?Sized>(db: &Database, rng: &mut R) -> FullSearchOutcome {
+pub fn search_statevector_optimal<R: Rng + ?Sized>(
+    db: &Database,
+    rng: &mut R,
+) -> FullSearchOutcome {
     let schedule = Schedule::optimal(db.size() as f64);
     search_statevector(db, schedule.iterations, rng)
 }
@@ -177,11 +180,7 @@ mod tests {
         let db = Database::new(n, 100);
         let psi = final_state(&db, iters);
         let reduced = search_reduced(n as f64, iters);
-        assert_close(
-            psi.probability(100),
-            reduced.success_probability,
-            1e-10,
-        );
+        assert_close(psi.probability(100), reduced.success_probability, 1e-10);
         assert_close(
             reduced.success_probability,
             theory::success_probability(n as f64, iters),

@@ -28,7 +28,10 @@ pub fn grover_angle(n: f64) -> f64 {
 /// `θ = arcsin(√(m/n))`.
 #[inline]
 pub fn grover_angle_multi(n: f64, m: f64) -> f64 {
-    assert!(n >= 1.0 && m >= 0.0 && m <= n, "invalid marked count m = {m} for n = {n}");
+    assert!(
+        n >= 1.0 && m >= 0.0 && m <= n,
+        "invalid marked count m = {m} for n = {n}"
+    );
     safe_asin((m / n).sqrt())
 }
 
@@ -37,7 +40,9 @@ pub fn grover_angle_multi(n: f64, m: f64) -> f64 {
 #[inline]
 pub fn optimal_grover_iterations(n: f64) -> u64 {
     let theta = grover_angle(n);
-    ((std::f64::consts::FRAC_PI_2 / (2.0 * theta)) - 0.5).round().max(0.0) as u64
+    ((std::f64::consts::FRAC_PI_2 / (2.0 * theta)) - 0.5)
+        .round()
+        .max(0.0) as u64
 }
 
 /// Success probability of standard Grover search after `iters` iterations on
@@ -61,7 +66,11 @@ pub fn angular_distance(u: &[Complex64], v: &[Complex64]) -> f64 {
 
 /// The angular distance between two *real* unit vectors given as `f64` slices.
 pub fn angular_distance_real(u: &[f64], v: &[f64]) -> f64 {
-    assert_eq!(u.len(), v.len(), "angular_distance_real: dimension mismatch");
+    assert_eq!(
+        u.len(),
+        v.len(),
+        "angular_distance_real: dimension mismatch"
+    );
     let ip: f64 = u.iter().zip(v).map(|(a, b)| a * b).sum();
     safe_acos(ip.abs())
 }

@@ -48,7 +48,13 @@ pub fn assert_close(a: f64, b: f64, tol: f64) {
 /// `tol`.
 #[track_caller]
 pub fn assert_slices_close(a: &[f64], b: &[f64], tol: f64) {
-    assert_eq!(a.len(), b.len(), "slice lengths differ: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "slice lengths differ: {} vs {}",
+        a.len(),
+        b.len()
+    );
     for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
         assert!(
             approx_eq_abs(*x, *y, tol),
@@ -84,7 +90,10 @@ pub fn safe_acos(x: f64) -> f64 {
 #[inline]
 pub fn safe_sqrt(x: f64) -> f64 {
     if x < 0.0 {
-        debug_assert!(x > -1e-9, "safe_sqrt called on significantly negative value {x}");
+        debug_assert!(
+            x > -1e-9,
+            "safe_sqrt called on significantly negative value {x}"
+        );
         0.0
     } else {
         x.sqrt()
@@ -119,7 +128,9 @@ mod tests {
 
     #[test]
     fn assert_close_passes_within_tolerance() {
-        assert_close(std::f64::consts::PI, 3.14159265, 1e-7);
+        #[allow(clippy::approx_constant)]
+        let truncated_pi = 3.14159265;
+        assert_close(std::f64::consts::PI, truncated_pi, 1e-7);
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub fn address_bits(n: u64) -> u32 {
 /// Panics unless `k` divides `n` and `x < n`.
 #[inline]
 pub fn split_address(x: u64, n: u64, k: u64) -> (u64, u64) {
-    assert!(k >= 1 && n >= 1 && n % k == 0, "k = {k} must divide n = {n}");
+    assert!(
+        k >= 1 && n >= 1 && n.is_multiple_of(k),
+        "k = {k} must divide n = {n}"
+    );
     assert!(x < n, "address {x} out of range for database of size {n}");
     let block_size = n / k;
     (x / block_size, x % block_size)
@@ -54,10 +57,16 @@ pub fn split_address(x: u64, n: u64, k: u64) -> (u64, u64) {
 /// Panics unless the pair is in range.
 #[inline]
 pub fn join_address(block: u64, offset: u64, n: u64, k: u64) -> u64 {
-    assert!(k >= 1 && n >= 1 && n % k == 0, "k = {k} must divide n = {n}");
+    assert!(
+        k >= 1 && n >= 1 && n.is_multiple_of(k),
+        "k = {k} must divide n = {n}"
+    );
     let block_size = n / k;
     assert!(block < k, "block {block} out of range for k = {k}");
-    assert!(offset < block_size, "offset {offset} out of range for block size {block_size}");
+    assert!(
+        offset < block_size,
+        "offset {offset} out of range for block size {block_size}"
+    );
     block * block_size + offset
 }
 
@@ -67,9 +76,15 @@ pub fn join_address(block: u64, offset: u64, n: u64, k: u64) -> u64 {
 /// `K = 2^k_bits`: "determine the first k bits of the address x".
 #[inline]
 pub fn first_bits(x: u64, n_bits: u32, k_bits: u32) -> u64 {
-    assert!(k_bits <= n_bits, "k_bits = {k_bits} exceeds n_bits = {n_bits}");
+    assert!(
+        k_bits <= n_bits,
+        "k_bits = {k_bits} exceeds n_bits = {n_bits}"
+    );
     assert!(n_bits <= 63, "addresses above 2^63 are not supported");
-    assert!(x < (1u64 << n_bits), "address {x} out of range for {n_bits} bits");
+    assert!(
+        x < (1u64 << n_bits),
+        "address {x} out of range for {n_bits} bits"
+    );
     x >> (n_bits - k_bits)
 }
 
@@ -77,7 +92,7 @@ pub fn first_bits(x: u64, n_bits: u32, k_bits: u32) -> u64 {
 ///
 /// Yields `block * (n/k) .. (block + 1) * (n/k)`.
 pub fn block_addresses(block: u64, n: u64, k: u64) -> std::ops::Range<u64> {
-    assert!(k >= 1 && n % k == 0 && block < k);
+    assert!(k >= 1 && n.is_multiple_of(k) && block < k);
     let block_size = n / k;
     (block * block_size)..((block + 1) * block_size)
 }
@@ -85,7 +100,7 @@ pub fn block_addresses(block: u64, n: u64, k: u64) -> std::ops::Range<u64> {
 /// The size of each block when `[n]` is split into `k` equal blocks.
 #[inline]
 pub fn block_size(n: u64, k: u64) -> u64 {
-    assert!(k >= 1 && n % k == 0, "k = {k} must divide n = {n}");
+    assert!(k >= 1 && n.is_multiple_of(k), "k = {k} must divide n = {n}");
     n / k
 }
 

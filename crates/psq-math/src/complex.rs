@@ -280,6 +280,8 @@ impl Mul<Complex64> for f64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    // Division by a complex number *is* multiplication by its inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.inv()
     }
@@ -376,14 +378,16 @@ mod tests {
             let theta = k as f64 * 0.41;
             let z = Complex64::cis(theta);
             assert!((z.abs() - 1.0).abs() < TOL);
-            assert!((z.arg() - theta.rem_euclid(2.0 * std::f64::consts::PI))
-                .abs()
-                .min(
-                    (z.arg() + 2.0 * std::f64::consts::PI
-                        - theta.rem_euclid(2.0 * std::f64::consts::PI))
+            assert!(
+                (z.arg() - theta.rem_euclid(2.0 * std::f64::consts::PI))
                     .abs()
-                )
-                < 1e-9);
+                    .min(
+                        (z.arg() + 2.0 * std::f64::consts::PI
+                            - theta.rem_euclid(2.0 * std::f64::consts::PI))
+                        .abs()
+                    )
+                    < 1e-9
+            );
         }
     }
 

@@ -50,7 +50,11 @@ impl Matrix {
     /// Creates a matrix from a row-major vector of complex values.
     pub fn from_rows(rows: usize, cols: usize, values: Vec<Complex64>) -> Self {
         assert_eq!(values.len(), rows * cols, "wrong number of entries");
-        Self { rows, cols, data: values }
+        Self {
+            rows,
+            cols,
+            data: values,
+        }
     }
 
     /// The 2×2 rotation matrix by angle `theta` (real entries).
@@ -58,11 +62,7 @@ impl Matrix {
     /// This is the matrix of one Grover iteration restricted to the
     /// `span{|t⟩, |t^⊥⟩}` invariant plane, with `theta = 2·arcsin(1/√N)`.
     pub fn rotation2(theta: f64) -> Self {
-        Self::from_real_rows(
-            2,
-            2,
-            &[theta.cos(), -theta.sin(), theta.sin(), theta.cos()],
-        )
+        Self::from_real_rows(2, 2, &[theta.cos(), -theta.sin(), theta.sin(), theta.cos()])
     }
 
     /// Number of rows.

@@ -24,12 +24,7 @@ pub struct Minimum {
 /// it decreases from ε = 0, reaches a single optimum, and then increases as
 /// the Step-2 cost dominates).  The search stops when the interval is shorter
 /// than `tol`.
-pub fn golden_section_min<F: FnMut(f64) -> f64>(
-    mut f: F,
-    lo: f64,
-    hi: f64,
-    tol: f64,
-) -> Minimum {
+pub fn golden_section_min<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, tol: f64) -> Minimum {
     assert!(lo < hi, "golden_section_min: empty interval [{lo}, {hi}]");
     assert!(tol > 0.0, "tolerance must be positive");
     // 1/φ where φ is the golden ratio.
@@ -65,7 +60,11 @@ pub fn golden_section_min<F: FnMut(f64) -> f64>(
     let x = 0.5 * (a + b);
     let value = f(x);
     evals += 1;
-    Minimum { x, value, evaluations: evals }
+    Minimum {
+        x,
+        value,
+        evaluations: evals,
+    }
 }
 
 /// Evaluates `f` on a uniform grid of `points + 1` samples of `[lo, hi]` and
@@ -74,7 +73,11 @@ pub fn golden_section_min<F: FnMut(f64) -> f64>(
 pub fn grid_min<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, points: usize) -> Minimum {
     assert!(points >= 1, "grid_min needs at least one interval");
     assert!(lo <= hi, "grid_min: invalid interval");
-    let mut best = Minimum { x: lo, value: f(lo), evaluations: 1 };
+    let mut best = Minimum {
+        x: lo,
+        value: f(lo),
+        evaluations: 1,
+    };
     for i in 1..=points {
         let x = lo + (hi - lo) * i as f64 / points as f64;
         let v = f(x);
@@ -91,7 +94,13 @@ pub fn grid_min<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, points: usize)
 /// golden-section refinement inside the bracketing grid cells.
 ///
 /// This is the routine the Table-1 generator calls for every `K`.
-pub fn minimize<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, grid_points: usize, tol: f64) -> Minimum {
+pub fn minimize<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    grid_points: usize,
+    tol: f64,
+) -> Minimum {
     let coarse = grid_min(&mut f, lo, hi, grid_points);
     let cell = (hi - lo) / grid_points as f64;
     let refine_lo = (coarse.x - cell).max(lo);

@@ -200,7 +200,9 @@ mod tests {
 
     #[test]
     fn inversion_is_an_involution() {
-        let mut u: Vec<Complex64> = (0..8).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+        let mut u: Vec<Complex64> = (0..8)
+            .map(|i| Complex64::new(i as f64, -(i as f64)))
+            .collect();
         let original = u.clone();
         invert_about_average(&mut u);
         invert_about_average(&mut u);
@@ -241,7 +243,9 @@ mod tests {
         assert!(y.iter().all(|z| z.abs() < 1e-12));
         let mut w = vec![Complex64::new(1.0, -1.0); 3];
         scale(&mut w, 0.5);
-        assert!(w.iter().all(|z| (*z - Complex64::new(0.5, -0.5)).abs() < 1e-12));
+        assert!(w
+            .iter()
+            .all(|z| (*z - Complex64::new(0.5, -0.5)).abs() < 1e-12));
     }
 
     #[test]

@@ -28,7 +28,10 @@ fn unit_vector() -> impl Strategy<Value = Vec<Complex64>> {
     prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 2..64).prop_filter_map(
         "vector must have nonzero norm",
         |pairs| {
-            let mut v: Vec<Complex64> = pairs.iter().map(|&(re, im)| Complex64::new(re, im)).collect();
+            let mut v: Vec<Complex64> = pairs
+                .iter()
+                .map(|&(re, im)| Complex64::new(re, im))
+                .collect();
             let n = vec_ops::norm(&v);
             if n < 1e-6 {
                 return None;

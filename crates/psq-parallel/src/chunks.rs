@@ -66,7 +66,7 @@ pub fn chunk_ranges_aligned(
 ) -> Vec<(usize, usize)> {
     assert!(alignment >= 1, "alignment must be at least 1");
     assert!(
-        len % alignment == 0,
+        len.is_multiple_of(alignment),
         "length {len} must be a multiple of the alignment {alignment}"
     );
     if len == 0 {
@@ -89,11 +89,11 @@ pub fn chunk_ranges_aligned(
 
 /// Splits a mutable slice into the chunks described by [`chunk_ranges`],
 /// returning the sub-slices together with their starting offsets.
-pub fn split_mut_with_offsets<'a, T>(
-    data: &'a mut [T],
+pub fn split_mut_with_offsets<T>(
+    data: &mut [T],
     max_threads: usize,
     min_chunk: usize,
-) -> Vec<(usize, &'a mut [T])> {
+) -> Vec<(usize, &mut [T])> {
     let ranges = chunk_ranges(data.len(), max_threads, min_chunk);
     let mut out = Vec::with_capacity(ranges.len());
     let mut rest = data;
@@ -153,7 +153,12 @@ mod tests {
 
     #[test]
     fn aligned_chunks_respect_alignment() {
-        for (len, align) in [(12usize, 4usize), (1 << 16, 128), (4096 * 6, 4096), (64, 64)] {
+        for (len, align) in [
+            (12usize, 4usize),
+            (1 << 16, 128),
+            (4096 * 6, 4096),
+            (64, 64),
+        ] {
             for threads in [1usize, 3, 8] {
                 let ranges = chunk_ranges_aligned(len, threads, 1000, align);
                 assert_eq!(ranges.first().unwrap().0, 0);

@@ -178,7 +178,10 @@ mod tests {
         let pool = WorkerPool::new(2);
         for round in 0..5 {
             let jobs: Vec<_> = (0..10).map(|i| move || i + round).collect();
-            assert_eq!(pool.map(jobs), (0..10).map(|i| i + round).collect::<Vec<_>>());
+            assert_eq!(
+                pool.map(jobs),
+                (0..10).map(|i| i + round).collect::<Vec<_>>()
+            );
         }
     }
 }

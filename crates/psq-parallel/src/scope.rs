@@ -147,9 +147,9 @@ where
 {
     let ranges = chunk_ranges(data.len(), max_threads, min_chunk);
     if ranges.len() <= 1 {
-        return ranges
-            .into_iter()
-            .fold(identity, |acc, (start, end)| reduce(acc, map(start, &data[start..end])));
+        return ranges.into_iter().fold(identity, |acc, (start, end)| {
+            reduce(acc, map(start, &data[start..end]))
+        });
     }
     let map = &map;
     let partials: Vec<A> = std::thread::scope(|scope| {
@@ -196,9 +196,7 @@ where
     results.resize_with(tasks.len(), || None);
     let mut remaining: Vec<(usize, F)> = tasks.into_iter().enumerate().collect();
     while !remaining.is_empty() {
-        let batch: Vec<(usize, F)> = remaining
-            .drain(..remaining.len().min(threads))
-            .collect();
+        let batch: Vec<(usize, F)> = remaining.drain(..remaining.len().min(threads)).collect();
         let batch_results: Vec<(usize, A)> = std::thread::scope(|scope| {
             let handles: Vec<_> = batch
                 .into_iter()
@@ -262,7 +260,12 @@ mod tests {
     #[test]
     fn map_reduce_on_empty_slice_returns_identity() {
         let data: Vec<u64> = Vec::new();
-        let total = par_map_reduce(&data, 42u64, |_, chunk| chunk.iter().sum::<u64>(), |a, b| a + b);
+        let total = par_map_reduce(
+            &data,
+            42u64,
+            |_, chunk| chunk.iter().sum::<u64>(),
+            |a, b| a + b,
+        );
         assert_eq!(total, 42);
     }
 

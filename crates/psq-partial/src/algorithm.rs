@@ -155,7 +155,11 @@ impl PartialSearch {
         partition: &Partition,
         rng: &mut R,
     ) -> PartialRun {
-        assert_eq!(db.size(), partition.size(), "database/partition size mismatch");
+        assert_eq!(
+            db.size(),
+            partition.size(),
+            "database/partition size mismatch"
+        );
         let n = db.size() as f64;
         let k = partition.blocks() as f64;
         let plan = self.plan(n, k);
@@ -180,7 +184,12 @@ impl PartialSearch {
             psi.block_grover_iteration(db, partition);
         }
         if let Some(t) = trace.as_mut() {
-            t.record_state("after step 2 (per-block amplification)", &psi, db, partition);
+            t.record_state(
+                "after step 2 (per-block amplification)",
+                &psi,
+                db,
+                partition,
+            );
         }
 
         // Step 3: one query to mark the target out, then invert the

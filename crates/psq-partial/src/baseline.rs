@@ -65,7 +65,11 @@ pub fn naive_partial_search_excluding<R: Rng + ?Sized>(
     excluded: u64,
     rng: &mut R,
 ) -> PartialSearchOutcome {
-    assert_eq!(db.size(), partition.size(), "database/partition size mismatch");
+    assert_eq!(
+        db.size(),
+        partition.size(),
+        "database/partition size mismatch"
+    );
     assert!(excluded < partition.blocks(), "excluded block out of range");
     let span = db.counter().span();
     let true_block = partition.block_of(db.target());

@@ -60,11 +60,11 @@ pub struct Example12 {
 /// Figure 1.
 pub fn predicted_amplitudes_in_units_of_inv_sqrt12() -> [(f64, f64, f64); 5] {
     [
-        (1.0, 1.0, 1.0),   // (A)
-        (-1.0, 1.0, 1.0),  // (B)
-        (2.0, 0.0, 1.0),   // (C)
-        (-2.0, 0.0, 1.0),  // (D)
-        (3.0, 1.0, 0.0),   // (E)
+        (1.0, 1.0, 1.0),  // (A)
+        (-1.0, 1.0, 1.0), // (B)
+        (2.0, 0.0, 1.0),  // (C)
+        (-2.0, 0.0, 1.0), // (D)
+        (3.0, 1.0, 0.0),  // (E)
     ]
 }
 
@@ -74,7 +74,10 @@ pub fn predicted_amplitudes_in_units_of_inv_sqrt12() -> [(f64, f64, f64); 5] {
 /// # Panics
 /// Panics if `target ≥ 12`.
 pub fn run(target: u64) -> Example12 {
-    assert!(target < EXAMPLE_N, "the example has twelve items; target {target} out of range");
+    assert!(
+        target < EXAMPLE_N,
+        "the example has twelve items; target {target} out of range"
+    );
     let db = Database::new(EXAMPLE_N, target);
     let partition = Partition::new(EXAMPLE_N, EXAMPLE_K);
     let mut trace = StageTrace::new();

@@ -59,7 +59,10 @@ impl Model {
     /// Panics if `k < 2` (with a single block there is nothing to search
     /// for).
     pub fn new(k: f64) -> Self {
-        assert!(k >= 2.0, "partial search needs at least two blocks, got k = {k}");
+        assert!(
+            k >= 2.0,
+            "partial search needs at least two blocks, got k = {k}"
+        );
         Self { k }
     }
 
@@ -248,7 +251,10 @@ mod tests {
             (32.0, 0.647),
         ] {
             let coeff = Model::new(k).lower_bound_coefficient();
-            assert!((coeff - expected).abs() < 5e-3, "k = {k}: {coeff} vs {expected}");
+            assert!(
+                (coeff - expected).abs() < 5e-3,
+                "k = {k}: {coeff} vs {expected}"
+            );
         }
     }
 

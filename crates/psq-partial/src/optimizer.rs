@@ -144,7 +144,10 @@ mod tests {
         for k in [2u64, 3, 6, 10, 17, 64, 200, 1000] {
             let row = table_row(k);
             assert!(row.lower < row.upper, "K = {k}");
-            assert!(row.upper < crate::model::full_search_coefficient(), "K = {k}");
+            assert!(
+                row.upper < crate::model::full_search_coefficient(),
+                "K = {k}"
+            );
         }
     }
 

@@ -65,7 +65,10 @@ impl SearchPlan {
     /// inputs are expected), `n/k ≥ 2` and `ε ∈ [0, 1]`.
     pub fn new(n: f64, k: f64, epsilon: f64) -> Self {
         assert!(k >= 2.0, "partial search needs at least two blocks");
-        assert!(n >= 2.0 * k, "blocks must contain at least two items (n = {n}, k = {k})");
+        assert!(
+            n >= 2.0 * k,
+            "blocks must contain at least two items (n = {n}, k = {k})"
+        );
         assert!((0.0..=1.0).contains(&epsilon), "epsilon must lie in [0, 1]");
 
         let block = n / k;
@@ -110,8 +113,7 @@ impl SearchPlan {
         let block_rest_amp2 = alpha * final_angle.sin() / (block - 1.0).sqrt();
 
         // ---- Predicted post-Step-3 amplitudes ------------------------------
-        let mean_nontarget =
-            ((block - 1.0) * block_rest_amp2 + (n - block) * rest_amp) / (n - 1.0);
+        let mean_nontarget = ((block - 1.0) * block_rest_amp2 + (n - block) * rest_amp) / (n - 1.0);
         let nontarget_after3 = 2.0 * mean_nontarget - rest_amp;
         let predicted_success = 1.0 - (n - block) * nontarget_after3 * nontarget_after3;
 

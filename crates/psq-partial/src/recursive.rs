@@ -81,7 +81,7 @@ impl RecursiveSearch {
         let mut lo = 0u64;
         let mut len = db.size();
 
-        while len > self.brute_force_cutoff && len % self.k == 0 && len / self.k >= 2 {
+        while len > self.brute_force_cutoff && len.is_multiple_of(self.k) && len / self.k >= 2 {
             let level_span = db.counter().span();
             // Partial search on the restricted database.  Addresses are
             // re-indexed to 0..len; the sub-database forwards its queries to

@@ -9,7 +9,10 @@
 use proptest::prelude::*;
 use psq_partial::{
     algorithm::{EpsilonChoice, PartialSearch},
-    baseline, model::Model, optimizer, plan::SearchPlan,
+    baseline,
+    model::Model,
+    optimizer,
+    plan::SearchPlan,
 };
 use psq_sim::oracle::{Database, Partition};
 use rand::rngs::StdRng;
@@ -46,7 +49,10 @@ fn savings_constant_times_sqrt_k_exceeds_the_paper_constant() {
             scaled >= paper_constant - 1e-3,
             "K = {k}: scaled {scaled} below the paper constant {paper_constant}"
         );
-        assert!(scaled < paper_constant + 0.02, "K = {k}: scaled {scaled} too large");
+        assert!(
+            scaled < paper_constant + 0.02,
+            "K = {k}: scaled {scaled} too large"
+        );
         scaled_values.push(scaled);
     }
     // The scaled constant has converged: the last three values agree to 1e-3.

@@ -48,7 +48,11 @@ pub fn block_iteration_via_circuit(
     db: &Database,
     partition: &Partition,
 ) {
-    assert_eq!(1u64 << register.qubits(), db.size(), "register/database mismatch");
+    assert_eq!(
+        1u64 << register.qubits(),
+        db.size(),
+        "register/database mismatch"
+    );
     assert_eq!(db.size(), partition.size(), "database/partition mismatch");
     let block_qubits = bits::log2_exact(partition.block_size());
     db.charge_quantum_queries(1);
@@ -112,19 +116,25 @@ impl Step3Circuit {
 
     /// The full address-register measurement distribution.
     pub fn address_distribution(&self) -> Vec<f64> {
-        (0..self.branch_b0.len()).map(|x| self.address_probability(x)).collect()
+        (0..self.branch_b0.len())
+            .map(|x| self.address_probability(x))
+            .collect()
     }
 
     /// Probability that the measurement lands in `block` of the partition.
     pub fn block_probability(&self, partition: &Partition, block: u64) -> f64 {
         let r = partition.block_range(block);
-        (r.start as usize..r.end as usize).map(|x| self.address_probability(x)).sum()
+        (r.start as usize..r.end as usize)
+            .map(|x| self.address_probability(x))
+            .sum()
     }
 
     /// Total probability (should be 1: the construction is unitary on the
     /// joint space).
     pub fn total_probability(&self) -> f64 {
-        (0..self.branch_b0.len()).map(|x| self.address_probability(x)).sum()
+        (0..self.branch_b0.len())
+            .map(|x| self.address_probability(x))
+            .sum()
     }
 }
 
@@ -195,14 +205,18 @@ mod tests {
         let mut reg = QubitRegister::from_state(StateVector::basis(64, 42));
         reg.hadamard_low_qubits(4);
         let partition = Partition::new(64, 4); // 2 block bits, 4 offset bits
-        // All probability stays in block 0b10 = 2.
+                                               // All probability stays in block 0b10 = 2.
         let mut in_block = 0.0;
         for x in 0..64usize {
             let p = reg.state().probability(x);
             if partition.block_of(x as u64) == 2 {
                 in_block += p;
             } else {
-                assert!(p < 1e-20, "leaked into block {}", partition.block_of(x as u64));
+                assert!(
+                    p < 1e-20,
+                    "leaked into block {}",
+                    partition.block_of(x as u64)
+                );
             }
         }
         assert_close(in_block, 1.0, 1e-12);

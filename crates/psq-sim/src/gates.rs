@@ -29,7 +29,10 @@ pub struct QubitRegister {
 impl QubitRegister {
     /// Creates the register in the all-zeros state `|0…0⟩`.
     pub fn zeros(qubits: u32) -> Self {
-        assert!(qubits >= 1 && qubits <= 26, "supported register sizes are 1..=26 qubits");
+        assert!(
+            (1..=26).contains(&qubits),
+            "supported register sizes are 1..=26 qubits"
+        );
         Self {
             qubits,
             state: StateVector::basis(1usize << qubits, 0),
@@ -38,7 +41,10 @@ impl QubitRegister {
 
     /// Creates the register in the uniform superposition.
     pub fn uniform(qubits: u32) -> Self {
-        assert!(qubits >= 1 && qubits <= 26, "supported register sizes are 1..=26 qubits");
+        assert!(
+            (1..=26).contains(&qubits),
+            "supported register sizes are 1..=26 qubits"
+        );
         Self {
             qubits,
             state: StateVector::uniform(1usize << qubits),
@@ -48,7 +54,10 @@ impl QubitRegister {
     /// Wraps an existing state vector (its dimension must be a power of two).
     pub fn from_state(state: StateVector) -> Self {
         let n = state.len();
-        assert!(n.is_power_of_two(), "register dimension must be a power of two");
+        assert!(
+            n.is_power_of_two(),
+            "register dimension must be a power of two"
+        );
         Self {
             qubits: n.trailing_zeros(),
             state,
@@ -121,9 +130,12 @@ impl QubitRegister {
 
     /// Multiplies the amplitude of a single basis state by a phase.
     pub fn phase_on_basis_state(&mut self, index: usize, phase: Complex64) {
-        debug_assert!((phase.abs() - 1.0).abs() < 1e-9, "phase must have unit modulus");
+        debug_assert!(
+            (phase.abs() - 1.0).abs() < 1e-9,
+            "phase must have unit modulus"
+        );
         let mut amps = self.state.amplitudes().to_vec();
-        amps[index] = amps[index] * phase;
+        amps[index] *= phase;
         self.state = StateVector::from_amplitudes(amps);
     }
 
@@ -153,7 +165,11 @@ impl QubitRegister {
     /// qubits — the "offset" register `z` of the partial-search problem,
     /// leaving the "block" register `y` (the first `k` qubits) untouched.
     pub fn hadamard_low_qubits(&mut self, low: u32) {
-        assert!(low <= self.qubits, "cannot address {low} low qubits of a {}-qubit register", self.qubits);
+        assert!(
+            low <= self.qubits,
+            "cannot address {low} low qubits of a {}-qubit register",
+            self.qubits
+        );
         for q in self.qubits - low..self.qubits {
             self.hadamard(q);
         }
@@ -163,7 +179,11 @@ impl QubitRegister {
     /// least-significant qubits: every basis state whose offset bits are not
     /// all zero has its sign flipped.
     pub fn reflect_about_zero_low_qubits(&mut self, low: u32) {
-        assert!(low <= self.qubits, "cannot address {low} low qubits of a {}-qubit register", self.qubits);
+        assert!(
+            low <= self.qubits,
+            "cannot address {low} low qubits of a {}-qubit register",
+            self.qubits
+        );
         let mask = (1usize << low) - 1;
         let mut amps = self.state.amplitudes().to_vec();
         for (i, a) in amps.iter_mut().enumerate() {

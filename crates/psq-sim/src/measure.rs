@@ -131,7 +131,9 @@ mod tests {
         state.normalize();
         let mut rng = StdRng::seed_from_u64(42);
         let trials = 20_000;
-        let hits = (0..trials).filter(|_| sample_index(&state, &mut rng) == 0).count();
+        let hits = (0..trials)
+            .filter(|_| sample_index(&state, &mut rng) == 0)
+            .count();
         let frequency = hits as f64 / trials as f64;
         assert!(
             (frequency - 0.75).abs() < 0.02,

@@ -30,7 +30,10 @@ impl Database {
     /// Panics if `target >= size` or `size == 0`.
     pub fn new(size: u64, target: u64) -> Self {
         assert!(size > 0, "database must contain at least one item");
-        assert!(target < size, "target {target} out of range for size {size}");
+        assert!(
+            target < size,
+            "target {target} out of range for size {size}"
+        );
         Self {
             size,
             target,
@@ -115,9 +118,12 @@ impl Partition {
     /// # Panics
     /// Panics unless `blocks` divides `size` and both are positive.
     pub fn new(size: u64, blocks: u64) -> Self {
-        assert!(size > 0 && blocks > 0, "partition dimensions must be positive");
         assert!(
-            size % blocks == 0,
+            size > 0 && blocks > 0,
+            "partition dimensions must be positive"
+        );
+        assert!(
+            size.is_multiple_of(blocks),
             "number of blocks {blocks} must divide database size {size}"
         );
         Self { size, blocks }

@@ -46,7 +46,10 @@ impl ReducedState {
     /// The uniform superposition over a database of `n` items in `k` blocks.
     pub fn uniform(n: f64, k: f64) -> Self {
         assert!(n >= 2.0, "database must have at least two items");
-        assert!(k >= 1.0 && k <= n, "block count {k} out of range for n = {n}");
+        assert!(
+            k >= 1.0 && k <= n,
+            "block count {k} out of range for n = {n}"
+        );
         let amp = 1.0 / n.sqrt();
         Self {
             n,
@@ -213,15 +216,19 @@ impl ReducedState {
     /// Panics if `n`/`k` are not integral or do not match the partition.
     pub fn to_state_vector(&self, db: &Database, partition: &Partition) -> StateVector {
         assert_eq!(self.n, partition.size() as f64, "partition size mismatch");
-        assert_eq!(self.k, partition.blocks() as f64, "partition block-count mismatch");
+        assert_eq!(
+            self.k,
+            partition.blocks() as f64,
+            "partition block-count mismatch"
+        );
         assert_eq!(db.size(), partition.size(), "database/partition mismatch");
         let n = partition.size() as usize;
         let target = db.target() as usize;
         let target_block = partition.block_of(db.target());
         let range = partition.block_range(target_block);
         let mut amps = vec![Complex64::from_real(self.amp_nontarget); n];
-        for i in range.start as usize..range.end as usize {
-            amps[i] = Complex64::from_real(self.amp_target_block);
+        for amp in &mut amps[range.start as usize..range.end as usize] {
+            *amp = Complex64::from_real(self.amp_target_block);
         }
         amps[target] = Complex64::from_real(self.amp_target);
         StateVector::from_amplitudes(amps)
@@ -409,7 +416,11 @@ mod tests {
             let from_full = ReducedState::from_state_vector(&full, &db, &partition, 1e-9)
                 .expect("full-simulator state should stay block-symmetric");
             assert_close(from_full.amp_target(), reduced.amp_target(), 1e-9);
-            assert_close(from_full.amp_target_block(), reduced.amp_target_block(), 1e-9);
+            assert_close(
+                from_full.amp_target_block(),
+                reduced.amp_target_block(),
+                1e-9,
+            );
             assert_close(from_full.amp_nontarget(), reduced.amp_nontarget(), 1e-9);
         }
         assert_eq!(db.queries(), reduced.queries());

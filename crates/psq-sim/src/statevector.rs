@@ -42,7 +42,10 @@ impl StateVector {
 
     /// The computational basis state `|index⟩`.
     pub fn basis(n: usize, index: usize) -> Self {
-        assert!(index < n, "basis index {index} out of range for dimension {n}");
+        assert!(
+            index < n,
+            "basis index {index} out of range for dimension {n}"
+        );
         let mut amps = vec![Complex64::ZERO; n];
         amps[index] = Complex64::ONE;
         Self { amps }
@@ -50,7 +53,10 @@ impl StateVector {
 
     /// Builds a state from explicit amplitudes (normalised by the caller).
     pub fn from_amplitudes(amps: Vec<Complex64>) -> Self {
-        assert!(!amps.is_empty(), "state vector needs at least one basis state");
+        assert!(
+            !amps.is_empty(),
+            "state vector needs at least one basis state"
+        );
         Self { amps }
     }
 
@@ -187,7 +193,11 @@ impl StateVector {
     /// amplitude amplification: the `T_f` bit-flip oracle applied to an
     /// ancilla prepared in `|−⟩` acts as a phase flip on the marked address.
     pub fn apply_oracle_phase_flip(&mut self, db: &Database) {
-        assert_eq!(db.size() as usize, self.len(), "database size must match state dimension");
+        assert_eq!(
+            db.size() as usize,
+            self.len(),
+            "database size must match state dimension"
+        );
         db.charge_quantum_queries(1);
         let t = db.target() as usize;
         self.amps[t] = -self.amps[t];
@@ -209,10 +219,14 @@ impl StateVector {
     /// phase with a matched angle `φ < π` so that the final rotation lands
     /// exactly on the target; `psq-grover::exact` drives this operator.
     pub fn apply_oracle_phase_rotation(&mut self, db: &Database, phi: f64) {
-        assert_eq!(db.size() as usize, self.len(), "database size must match state dimension");
+        assert_eq!(
+            db.size() as usize,
+            self.len(),
+            "database size must match state dimension"
+        );
         db.charge_quantum_queries(1);
         let t = db.target() as usize;
-        self.amps[t] = self.amps[t] * Complex64::cis(phi);
+        self.amps[t] *= Complex64::cis(phi);
     }
 
     /// Generalised diffusion `D(φ) = I + (e^{iφ} − 1)|ψ0⟩⟨ψ0|`, the phase
@@ -226,7 +240,7 @@ impl StateVector {
         // (e^{iφ} − 1)·⟨ψ0|ψ⟩·(1/√N) to every amplitude.
         let overlap = self.amplitude_sum() / n.sqrt();
         let delta = (Complex64::cis(phi) - Complex64::ONE) * overlap / n.sqrt();
-        self.for_each_amplitude(|_, z| *z = *z + delta);
+        self.for_each_amplitude(|_, z| *z += delta);
     }
 
     // ------------------------------------------------------------------
@@ -288,7 +302,11 @@ impl StateVector {
     /// statistics — the algorithm's output — are the same.  Charges one
     /// query, as in the paper.
     pub fn invert_about_mean_excluding_target(&mut self, db: &Database) {
-        assert_eq!(db.size() as usize, self.len(), "database size must match state dimension");
+        assert_eq!(
+            db.size() as usize,
+            self.len(),
+            "database size must match state dimension"
+        );
         // The marking operation M queries the oracle once.
         db.charge_quantum_queries(1);
         let t = db.target() as usize;

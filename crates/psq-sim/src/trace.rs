@@ -115,7 +115,10 @@ impl StageTrace {
         db: &Database,
         partition: &Partition,
     ) {
-        self.record(label, AmplitudeSummary::from_state_vector(state, db, partition));
+        self.record(
+            label,
+            AmplitudeSummary::from_state_vector(state, db, partition),
+        );
     }
 
     /// Records a snapshot of a reduced state.

@@ -1,0 +1,81 @@
+//! Serving a mixed workload through the execution engine.
+//!
+//! Builds a batch that deliberately spans every backend — huge databases for
+//! the reduced simulator, mid-size power-of-two ones for the state-vector
+//! and circuit paths, small ones for the classical scans, plus `Auto` jobs
+//! the planner routes itself — runs it on the worker pool, and prints the
+//! per-backend routing and batch metrics.
+//!
+//! Run with `cargo run --release --example engine_batch`.
+
+use partial_quantum_search::engine::generate_mixed_batch;
+use partial_quantum_search::prelude::*;
+
+fn main() {
+    let jobs = generate_mixed_batch(200, 2026);
+    let engine = Engine::new(EngineConfig::default());
+    println!(
+        "dispatching {} jobs across {} worker threads...\n",
+        jobs.len(),
+        engine.threads()
+    );
+    let report = engine.run_batch(&jobs);
+
+    // Routing: where did the planner send the work?
+    let tally = report.metrics.backend_jobs;
+    println!("backend routing:");
+    println!("  reduced                  {:>4}", tally.reduced);
+    println!("  statevector              {:>4}", tally.statevector);
+    println!("  circuit                  {:>4}", tally.circuit);
+    println!(
+        "  classical deterministic  {:>4}",
+        tally.classical_deterministic
+    );
+    println!(
+        "  classical randomized     {:>4}",
+        tally.classical_randomized
+    );
+
+    // A few individual results, including the largest database served.
+    let biggest = jobs.iter().max_by_key(|j| j.n).expect("batch is non-empty");
+    let biggest_result = report
+        .results
+        .iter()
+        .find(|r| r.job_id == biggest.id)
+        .expect("every accepted job has a result");
+    println!(
+        "\nlargest database: N = 2^{} served by {:?} in {:.1} µs \
+         ({} queries, success {:.6})",
+        (biggest.n as f64).log2().round() as u32,
+        biggest_result.backend,
+        biggest_result.wall_time_us,
+        biggest_result.queries,
+        biggest_result.success_estimate,
+    );
+
+    let m = &report.metrics;
+    println!("\nbatch metrics:");
+    println!("  jobs / rejected      {} / {}", m.jobs, m.rejected);
+    println!("  correct              {}", m.jobs_correct);
+    println!("  wall time            {:.3} s", m.wall_time_s);
+    println!(
+        "  throughput           {:.0} jobs/s",
+        m.throughput_jobs_per_s
+    );
+    println!("  total oracle queries {}", m.total_queries);
+    println!(
+        "  latency p50/p90/p99  {:.1} / {:.1} / {:.1} µs",
+        m.latency_us_p50, m.latency_us_p90, m.latency_us_p99
+    );
+    println!(
+        "  plan cache           {} hits / {} misses ({} schedules)",
+        m.plan_cache.hits, m.plan_cache.misses, m.plan_cache.entries
+    );
+
+    assert_eq!(m.jobs, 200, "every generated job is accepted");
+    assert!(m.jobs_correct >= 198, "partial search almost never misses");
+    assert!(
+        tally.backends_used() == 5,
+        "the mix exercises every backend"
+    );
+}

@@ -52,7 +52,11 @@ fn main() {
     );
 
     // The tuned-for-N plan trades a few queries for a negligible error.
-    let tuned = PartialSearch { epsilon: EpsilonChoice::TunedForN, record_trace: false }.plan(n, k);
+    let tuned = PartialSearch {
+        epsilon: EpsilonChoice::TunedForN,
+        record_trace: false,
+    }
+    .plan(n, k);
     println!(
         "tuned finite-N plan: {} queries, predicted error {:.2e}",
         tuned.total_queries,

@@ -60,13 +60,22 @@ fn main() {
         analysis::randomized_partial_expected_queries(n as f64, k as f64)
     );
     let naive = baseline::naive_partial_search(&db, &partition, &mut rng);
-    println!("  naive quantum block elimination     : {:>6} queries", naive.queries);
+    println!(
+        "  naive quantum block elimination     : {:>6} queries",
+        naive.queries
+    );
     db.reset_queries();
     let grk = PartialSearch::new().run_statevector(&db, &partition, &mut rng);
-    println!("  GRK partial search                  : {:>6} queries", grk.outcome.queries);
+    println!(
+        "  GRK partial search                  : {:>6} queries",
+        grk.outcome.queries
+    );
     db.reset_queries();
     let full = partial_quantum_search::grover::search_statevector_optimal(&db, &mut rng);
-    println!("  full Grover search                  : {:>6} queries", full.queries);
+    println!(
+        "  full Grover search                  : {:>6} queries",
+        full.queries
+    );
     println!(
         "  Theorem-2 lower bound               : {:>6.0} queries",
         partial_quantum_search::bounds::partial_search_lower_bound_queries(n as f64, k as f64)

@@ -41,8 +41,7 @@ fn main() {
         partial_quantum_search::classical::randomized_partial(&db, &quartiles, &mut rng);
     println!(
         "classical partial search  : {:>6} record lookups -> {}",
-        classical.queries,
-        QUARTILES[classical.reported_block as usize]
+        classical.queries, QUARTILES[classical.reported_block as usize]
     );
     db.reset_queries();
 
@@ -60,8 +59,7 @@ fn main() {
     let partial = PartialSearch::new().run_statevector(&db, &quartiles, &mut rng);
     println!(
         "quantum partial search    : {:>6} oracle queries -> {}",
-        partial.outcome.queries,
-        QUARTILES[partial.outcome.reported_block as usize]
+        partial.outcome.queries, QUARTILES[partial.outcome.reported_block as usize]
     );
 
     assert!(partial.outcome.is_correct());

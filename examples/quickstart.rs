@@ -22,7 +22,10 @@ fn main() {
 
     // --- Full Grover search: the baseline ---------------------------------
     let full = partial_quantum_search::grover::search_statevector_optimal(&db, &mut rng);
-    println!("full Grover search      : found address {:6} in {:4} queries", full.reported_target, full.queries);
+    println!(
+        "full Grover search      : found address {:6} in {:4} queries",
+        full.reported_target, full.queries
+    );
     db.reset_queries();
 
     // --- Partial search: the paper's algorithm ----------------------------

@@ -23,17 +23,26 @@ fn main() {
 
     let report = RecursiveSearch::new(n, k).run(&db, &mut rng);
 
-    println!("locating one item out of {n} using only 'which block?' questions (K = {k} per level)\n");
+    println!(
+        "locating one item out of {n} using only 'which block?' questions (K = {k} per level)\n"
+    );
     for (i, level) in report.levels.iter().enumerate() {
         println!(
             "  level {i}: sub-database of {:>6} items, {:>4} queries ({})",
             level.size,
             level.queries,
-            if level.brute_force { "classical brute force" } else { "quantum partial search" }
+            if level.brute_force {
+                "classical brute force"
+            } else {
+                "quantum partial search"
+            }
         );
     }
     println!();
-    println!("reported address : {} (true {})", report.outcome.reported_target, report.outcome.true_target);
+    println!(
+        "reported address : {} (true {})",
+        report.outcome.reported_target, report.outcome.true_target
+    );
     println!("total queries    : {}", report.outcome.queries);
 
     let coefficient = optimal_epsilon(k as f64).coefficient;

@@ -28,8 +28,14 @@ fn main() {
 
     println!();
     println!("oracle queries used          : {}", result.queries);
-    println!("P(report the correct block)  : {:.6}", result.block_probability);
-    println!("P(measure the item itself)   : {:.6}", result.target_probability);
+    println!(
+        "P(report the correct block)  : {:.6}",
+        result.block_probability
+    );
+    println!(
+        "P(measure the item itself)   : {:.6}",
+        result.target_probability
+    );
     println!(
         "queries to find the item with certainty (sure-success Grover): {}",
         example12::exact_full_search_queries()

@@ -30,6 +30,7 @@
 //! | [`classical`] | classical full/partial search and the Appendix-A bound (`psq-classical`) |
 //! | [`partial`] | the GRK partial-search algorithm, its query model, optimiser, baselines (`psq-partial`) |
 //! | [`bounds`] | Theorem 2, Theorem 3 and the Appendix-B hybrid-argument audit (`psq-bounds`) |
+//! | [`engine`] | batched multi-backend execution engine: job specs, cost-model planner with a memoised plan cache, worker-pool executor, metrics (`psq-engine`) |
 //!
 //! ## Quickstart
 //!
@@ -59,6 +60,7 @@
 
 pub use psq_bounds as bounds;
 pub use psq_classical as classical;
+pub use psq_engine as engine;
 pub use psq_grover as grover;
 pub use psq_math as math;
 pub use psq_parallel as parallel;
@@ -68,6 +70,10 @@ pub use psq_sim as sim;
 /// The most commonly used types, re-exported flat for convenient `use
 /// partial_quantum_search::prelude::*`.
 pub mod prelude {
+    pub use psq_engine::{
+        Backend, BackendHint, BatchMetrics, BatchReport, Engine, EngineConfig, SearchJob,
+        SearchResult,
+    };
     pub use psq_grover::{ExactPlan, MarkedSet, Schedule};
     pub use psq_partial::{
         EpsilonChoice, Model, PartialRun, PartialSearch, RecursiveSearch, SearchPlan,

@@ -1,0 +1,87 @@
+//! End-to-end serving test: a JSON batch of 100+ mixed jobs goes through the
+//! facade's engine exactly as the `psq-engine` binary would process it —
+//! serialise, parse back, execute on the pool, re-serialise — and the
+//! results must span every backend, be overwhelmingly correct, and be
+//! bit-identical (wall times aside) to a second run and to per-job direct
+//! execution.
+
+use partial_quantum_search::engine::generate_mixed_batch;
+use partial_quantum_search::prelude::*;
+
+#[test]
+fn json_batch_of_mixed_jobs_serves_end_to_end() {
+    // 120 jobs through the wire format, like `psq-engine --gen 120 | psq-engine -`.
+    let jobs = generate_mixed_batch(120, 99);
+    let wire = serde_json::to_string(&jobs).expect("jobs serialise");
+    let parsed: Vec<SearchJob> = serde_json::from_str(&wire).expect("jobs parse back");
+    assert_eq!(jobs, parsed, "wire format round-trips the batch");
+
+    let engine = Engine::new(EngineConfig::default());
+    let report = engine.run_batch(&parsed);
+
+    assert_eq!(report.results.len(), 120, "every job produces a result");
+    assert!(report.rejected.is_empty());
+    assert_eq!(
+        report.metrics.backend_jobs.backends_used(),
+        5,
+        "mix spans all backends"
+    );
+    assert!(
+        report.metrics.jobs_correct >= 118,
+        "partial search almost never misses (got {}/120)",
+        report.metrics.jobs_correct
+    );
+    assert!(report.metrics.throughput_jobs_per_s > 0.0);
+    assert!(
+        report.metrics.plan_cache.hits > 0,
+        "repeated shapes hit the cache"
+    );
+
+    // The report itself is servable JSON.
+    let out = serde_json::to_string_pretty(&report).expect("report serialises");
+    let back: BatchReport = serde_json::from_str(&out).expect("report parses back");
+    assert_eq!(report, back);
+}
+
+#[test]
+fn batch_execution_is_reproducible_and_matches_single_job_runs() {
+    let jobs = generate_mixed_batch(100, 31);
+    let first = Engine::new(EngineConfig { threads: Some(8) }).run_batch(&jobs);
+    let second = Engine::new(EngineConfig { threads: Some(3) }).run_batch(&jobs);
+    let solo_engine = Engine::new(EngineConfig { threads: Some(1) });
+    for ((job, a), b) in jobs.iter().zip(&first.results).zip(&second.results) {
+        assert_eq!(
+            a.deterministic_fields(),
+            b.deterministic_fields(),
+            "job {} diverged across thread counts",
+            job.id
+        );
+        let solo = solo_engine.run_job(job).expect("job runs alone");
+        assert_eq!(
+            a.deterministic_fields(),
+            solo.deterministic_fields(),
+            "job {} diverged between batch and direct execution",
+            job.id
+        );
+    }
+}
+
+#[test]
+fn zero_error_jobs_route_classical_and_never_miss() {
+    let jobs: Vec<SearchJob> = (0..32)
+        .map(|id| SearchJob::new(id, 512, 4, (id * 97) % 512).with_error_target(0.0))
+        .collect();
+    let report = Engine::new(EngineConfig::default()).run_batch(&jobs);
+    assert_eq!(report.results.len(), 32);
+    for r in &report.results {
+        assert!(
+            matches!(
+                r.backend,
+                Backend::ClassicalDeterministic | Backend::ClassicalRandomized
+            ),
+            "zero-error job must route to a classical backend, got {:?}",
+            r.backend
+        );
+        assert!(r.correct, "classical block-exclusion search is zero-error");
+    }
+}

@@ -1,8 +1,8 @@
 //! One test per *quantitative claim* in the paper, so `cargo test` doubles as
 //! a reproduction checklist.  Each test's name cites the claim it checks.
 
-use partial_quantum_search::{bounds, classical, grover, partial};
 use partial_quantum_search::prelude::*;
+use partial_quantum_search::{bounds, classical, grover, partial};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -97,7 +97,10 @@ fn claim_theorem_2_lower_bound() {
         assert!(lower <= upper, "k = {k}");
         // And the reduction equality the proof rests on:
         let total = bounds::reduction_total_queries(lower, 1.0, k);
-        assert!((total - std::f64::consts::FRAC_PI_4).abs() < 1e-12, "k = {k}");
+        assert!(
+            (total - std::f64::consts::FRAC_PI_4).abs() < 1e-12,
+            "k = {k}"
+        );
     }
 }
 

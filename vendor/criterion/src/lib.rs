@@ -1,0 +1,274 @@
+//! Vendored, API-compatible subset of `criterion`.
+//!
+//! The build environment has no network access, so the workspace ships the
+//! slice of the Criterion API its benches use: `Criterion`,
+//! `benchmark_group` with `sample_size`/`throughput`/`bench_with_input`/
+//! `bench_function`/`finish`, `Bencher::iter`, `BenchmarkId`, `Throughput`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model (simpler than upstream, same shape of output): each
+//! benchmark is warmed up, then timed over enough iterations to fill a small
+//! measurement window; mean time per iteration (and throughput, when
+//! declared) is printed to stdout.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported like criterion's.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus an optional parameter string.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with an explicit function name and parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only the parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Target measurement window per benchmark.
+    measurement_window: Duration,
+    /// Default sample size (iterations are auto-scaled inside the window).
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_window: Duration::from_millis(400),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let window = self.measurement_window;
+        let samples = self.sample_size;
+        run_benchmark(name, None, window, samples, f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares per-iteration throughput for derived reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let window = self.criterion.measurement_window;
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(&label, self.throughput, window, samples, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a plain closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        let window = self.criterion.measurement_window;
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(&label, self.throughput, window, samples, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; groups report eagerly).
+    pub fn finish(&mut self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    throughput: Option<Throughput>,
+    window: Duration,
+    samples: usize,
+    mut f: F,
+) {
+    // Calibration: start at one iteration and grow until a sample costs
+    // enough to time reliably.
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(1) || iters >= 1 << 24 {
+            break b.elapsed.as_secs_f64() / iters as f64;
+        }
+        iters *= 4;
+    };
+    // Size iterations so `samples` samples roughly fill the window.
+    let per_sample =
+        (window.as_secs_f64() / samples.max(1) as f64 / per_iter.max(1e-9)).clamp(1.0, 1e8) as u64;
+    let mut total = Duration::ZERO;
+    let mut total_iters: u64 = 0;
+    let mut best = f64::INFINITY;
+    for _ in 0..samples.max(1) {
+        let mut b = Bencher {
+            iters: per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += per_sample;
+        best = best.min(b.elapsed.as_secs_f64() / per_sample as f64);
+    }
+    let mean = total.as_secs_f64() / total_iters.max(1) as f64;
+    let mut line = format!(
+        "{label:<60} time: [{} mean, {} best]",
+        format_seconds(mean),
+        format_seconds(best)
+    );
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let rate = count as f64 / mean;
+        line.push_str(&format!("  thrpt: {rate:.3e} {unit}/s"));
+    }
+    println!("{line}");
+}
+
+fn format_seconds(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.2} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_and_scales() {
+        let mut c = Criterion {
+            measurement_window: Duration::from_millis(10),
+            sample_size: 3,
+        };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).map(black_box).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 12).to_string(), "f/12");
+        assert_eq!(BenchmarkId::from_parameter("K=8").to_string(), "K=8");
+    }
+}

@@ -1,0 +1,154 @@
+//! Vendored, API-compatible subset of `crossbeam`.
+//!
+//! The build environment has no network access, so the workspace ships the
+//! slice of `crossbeam` it uses: unbounded MPMC-ish channels. Senders clone
+//! freely; receivers are shared behind locks by the callers (the worker pool
+//! wraps its receiver in `Arc<Mutex<_>>`), so the std MPSC channel underneath
+//! provides the needed semantics. Receivers here are additionally clonable by
+//! multiplexing over a shared std receiver.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    /// Receiving half of an unbounded channel (clonable: clones share the
+    /// underlying queue, each message is delivered to exactly one receiver).
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    impl<T: Send> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing only if every receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let guard = self
+                .inner
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            guard.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive; `None` when the queue is currently empty or
+        /// disconnected.
+        pub fn try_recv(&self) -> Option<T> {
+            let guard = self
+                .inner
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            guard.try_recv().ok()
+        }
+
+        /// Iterates over messages until every sender is dropped.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.recv().ok())
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_within_single_consumer() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let got: Vec<_> = rx.iter().collect();
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn cloned_receivers_partition_the_stream() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+                if let Ok(v2) = rx2.recv() {
+                    got.push(v2);
+                }
+            }
+            got.sort_unstable();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn recv_fails_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

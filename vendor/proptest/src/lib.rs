@@ -1,0 +1,518 @@
+//! Vendored, API-compatible subset of `proptest`.
+//!
+//! The build environment has no network access, so the workspace ships the
+//! slice of proptest it uses: the [`strategy::Strategy`] trait with
+//! `prop_map` / `prop_filter` / `prop_filter_map`, range and tuple
+//! strategies, `prop::collection::vec`, `prop::num::f64::NORMAL`, the
+//! [`proptest!`] macro (with `#![proptest_config]`), and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream, deliberate for this offline subset:
+//! * no shrinking — a failing case panics with the generated inputs
+//!   debug-printed, which is enough to reproduce (generation is seeded
+//!   deterministically per test function);
+//! * rejection sampling is bounded (a filter that rejects everything fails
+//!   the test with a clear message instead of hanging).
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+pub mod test_runner {
+    //! Test-case configuration and outcomes.
+
+    /// How many cases to run, and how many rejects to tolerate.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+        /// Upper bound on filter rejections before the test errors out.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                max_global_rejects: cases.saturating_mul(256).max(4096),
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self::with_cases(96)
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` — try another input.
+        Reject(String),
+        /// An assertion failed — the whole test fails.
+        Fail(String),
+    }
+
+    /// Result type the generated test body returns.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    ///
+    /// `generate` returns `None` when the candidate was rejected by a
+    /// filter; the runner retries with fresh randomness (bounded).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: std::fmt::Debug;
+
+        /// Draws one candidate value.
+        fn generate(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values satisfying `keep`.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: impl Into<String>,
+            keep: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                keep,
+                whence: whence.into(),
+            }
+        }
+
+        /// Maps through `f`, rejecting values where `f` returns `None`.
+        fn prop_filter_map<O: std::fmt::Debug, F: Fn(Self::Value) -> Option<O>>(
+            self,
+            whence: impl Into<String>,
+            f: F,
+        ) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FilterMap {
+                inner: self,
+                f,
+                whence: whence.into(),
+            }
+        }
+
+        /// Generates a value from `self`, then a strategy from it, then a
+        /// value from that strategy.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Strategy yielding a fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> Option<O> {
+            self.inner.generate(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        keep: F,
+        #[allow(dead_code)]
+        whence: String,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            self.inner.generate(rng).filter(|v| (self.keep)(v))
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        inner: S,
+        f: F,
+        #[allow(dead_code)]
+        whence: String,
+    }
+
+    impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> Option<O> {
+            self.inner.generate(rng).and_then(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StdRng) -> Option<S2::Value> {
+            let mid = self.inner.generate(rng)?;
+            (self.f)(mid).generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                    Some(rng.gen_range(self.clone()))
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                    Some(rng.gen_range(self.clone()))
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                    Some(($(self.$idx.generate(rng)?,)+))
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F2.5)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: a range or an exact size.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element` and whose
+    /// length comes from `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric strategies.
+
+    pub mod f64 {
+        //! `f64`-specific strategies.
+
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Normal (IEEE sense: finite, non-zero, non-subnormal) doubles of
+        /// either sign, drawn from random bit patterns.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Normal;
+
+        /// Strategy instance for normal doubles.
+        pub const NORMAL: Normal = Normal;
+
+        impl Strategy for Normal {
+            type Value = f64;
+            fn generate(&self, rng: &mut StdRng) -> Option<f64> {
+                for _ in 0..64 {
+                    let x = f64::from_bits(rng.gen::<u64>());
+                    if x.is_normal() {
+                        return Some(x);
+                    }
+                }
+                // Astronomically unlikely; treat as a reject.
+                None
+            }
+        }
+    }
+}
+
+/// Umbrella module mirroring proptest's `prop::` paths.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::num;
+}
+
+pub mod prelude {
+    //! Everything a test file needs.
+
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) { ... } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_functions! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_functions! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_functions {
+    (config = ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                // Deterministic seed, distinct per test function name.
+                let __seed = {
+                    let name = concat!(module_path!(), "::", stringify!($name));
+                    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                    for b in name.bytes() {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x1000_0000_01b3);
+                    }
+                    h
+                };
+                let mut __rng =
+                    <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(__seed);
+                let __strategy = ($($strat,)*);
+                let mut __passed: u32 = 0;
+                let mut __rejected: u32 = 0;
+                while __passed < __config.cases {
+                    let __inputs = match $crate::strategy::Strategy::generate(&__strategy, &mut __rng) {
+                        Some(v) => v,
+                        None => {
+                            __rejected += 1;
+                            assert!(
+                                __rejected <= __config.max_global_rejects,
+                                "proptest {}: too many generator rejections ({})",
+                                stringify!($name), __rejected
+                            );
+                            continue;
+                        }
+                    };
+                    let __printable = format!("{:?}", __inputs);
+                    let ($($arg,)*) = __inputs;
+                    let __outcome: $crate::test_runner::TestCaseResult = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __passed += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            __rejected += 1;
+                            assert!(
+                                __rejected <= __config.max_global_rejects,
+                                "proptest {}: too many prop_assume rejections ({})",
+                                stringify!($name), __rejected
+                            );
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed after {} passing case(s): {}\ninputs: {}",
+                                stringify!($name), __passed, msg, __printable
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -1.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn map_and_filter_compose(v in prop::collection::vec(0u32..100, 1..8)) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn assume_rejects_and_retries(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn normal_floats_are_normal(x in prop::num::f64::NORMAL.prop_map(|x| x % 1e6)) {
+            prop_assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let strat = (0u64..1000, 0.0f64..1.0);
+        let mut a = rand::rngs::StdRng::seed_from_u64(1);
+        let mut b = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..32 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

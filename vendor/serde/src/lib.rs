@@ -1,0 +1,468 @@
+//! Vendored, API-compatible subset of `serde`.
+//!
+//! The build environment has no network access, so the workspace ships a
+//! self-contained serialisation layer under the `serde` name: a JSON-shaped
+//! [`Value`] tree, [`Serialize`]/[`Deserialize`] traits that convert to and
+//! from it, and `#[derive(Serialize, Deserialize)]` macros (from the sibling
+//! `serde_derive` crate) for structs with named fields and fieldless enums —
+//! exactly the shapes this workspace serialises. The `serde_json` vendor
+//! crate supplies the text format on top.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An ordered map of string keys to [`Value`]s (insertion order preserved,
+/// so serialised structs keep their field order).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `value` under `key`, replacing any previous entry.
+    pub fn insert(&mut self, key: String, value: Value) {
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// A JSON number, keeping 64-bit integers exact (a plain `f64` would
+/// corrupt seeds and ids above 2^53).
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A double.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as a double (lossy above 2^53).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(x) => x as f64,
+            Number::NegInt(x) => x as f64,
+            Number::Float(x) => x,
+        }
+    }
+
+    /// The value as a `u64`, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(x) => Some(x),
+            Number::NegInt(x) => u64::try_from(x).ok(),
+            Number::Float(x) if x.fract() == 0.0 && (0.0..=u64::MAX as f64).contains(&x) => {
+                Some(x as u64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is one exactly.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(x) => i64::try_from(x).ok(),
+            Number::NegInt(x) => Some(x),
+            Number::Float(x)
+                if x.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&x) =>
+            {
+                Some(x as i64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// Numeric equality: `2`, `2.0` and `PosInt(2)` are the same number.
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_u64(), other.as_u64()) {
+            (Some(a), Some(b)) => return a == b,
+            (None, None) => {}
+            _ => {
+                // One side is an exact u64 and the other is not: equal only
+                // if both are exact i64s (negative range) or equal floats.
+            }
+        }
+        if let (Some(a), Some(b)) = (self.as_i64(), other.as_i64()) {
+            return a == b;
+        }
+        self.as_f64() == other.as_f64()
+    }
+}
+
+impl From<u64> for Number {
+    fn from(x: u64) -> Self {
+        Number::PosInt(x)
+    }
+}
+
+impl From<i64> for Number {
+    fn from(x: i64) -> Self {
+        if x >= 0 {
+            Number::PosInt(x as u64)
+        } else {
+            Number::NegInt(x)
+        }
+    }
+}
+
+impl From<f64> for Number {
+    fn from(x: f64) -> Self {
+        Number::Float(x)
+    }
+}
+
+/// A JSON-shaped value tree — the interchange format between [`Serialize`]
+/// and the text codecs in `serde_json`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object.
+    Object(Map),
+}
+
+impl Value {
+    /// The object map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The number as a double, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(x.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(x) => x.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact `i64`, if it is one.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(x) => x.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Serialisation/deserialisation error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// Wraps this error with the field it occurred in.
+    pub fn in_field(self, field: &str) -> Self {
+        Self {
+            message: format!("field `{field}`: {}", self.message),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitive impls ------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let x = value
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(concat!("expected unsigned integer for ", stringify!($t))))?;
+                <$t>::try_from(x).map_err(|_| {
+                    Error::custom(format!(concat!("number {} out of range for ", stringify!($t)), x))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_sint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::from(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let x = value
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(concat!("expected integer for ", stringify!($t))))?;
+                <$t>::try_from(x).map_err(|_| {
+                    Error::custom(format!(concat!("number {} out of range for ", stringify!($t)), x))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_sint!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::custom("expected number for f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .map(|x| x as f32)
+            .ok_or_else(|| Error::custom("expected number for f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::custom("expected boolean"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_insertion_order_and_replaces() {
+        let mut m = Map::new();
+        m.insert("b".into(), Value::Number(Number::from(1.0)));
+        m.insert("a".into(), Value::Number(Number::from(2.0)));
+        m.insert("b".into(), Value::Number(Number::from(3.0)));
+        let keys: Vec<_> = m.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec!["b".to_string(), "a".to_string()]);
+        assert_eq!(m.get("b"), Some(&Value::Number(Number::from(3.0))));
+    }
+
+    #[test]
+    fn option_round_trips_through_null() {
+        let none: Option<f64> = None;
+        assert_eq!(none.serialize(), Value::Null);
+        assert_eq!(Option::<f64>::deserialize(&Value::Null), Ok(None));
+        assert_eq!(
+            Option::<f64>::deserialize(&Value::Number(Number::from(2.5))),
+            Ok(Some(2.5))
+        );
+    }
+
+    #[test]
+    fn integers_reject_fractions() {
+        assert!(u64::deserialize(&Value::Number(Number::from(1.5))).is_err());
+        assert_eq!(u64::deserialize(&Value::Number(Number::from(7.0))), Ok(7));
+    }
+}

@@ -1,0 +1,261 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! Implemented without `syn`/`quote` (the build environment has no network
+//! access): the input token stream is walked by hand. Two shapes are
+//! supported — the only shapes this workspace derives on:
+//!
+//! * structs with named fields (`struct S { a: T, .. }`), serialised as JSON
+//!   objects keyed by field name;
+//! * fieldless enums (`enum E { A, B, .. }`), serialised as the variant name
+//!   string.
+//!
+//! Generics, tuple structs and payload-carrying enum variants are rejected
+//! with a compile error naming this file, so a future session extending the
+//! workspace knows exactly where to add support.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derive input turned out to be.
+enum Shape {
+    /// `struct Name { fields }` — field names in declaration order.
+    Struct { name: String, fields: Vec<String> },
+    /// `enum Name { Variants }` — unit variant names in declaration order.
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Walks the item, skipping attributes/visibility/doc comments, and returns
+/// its shape. Panics (→ compile error) on unsupported items.
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut trees = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match trees.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                trees.next();
+                trees.next(); // the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                trees.next();
+                if let Some(TokenTree::Group(g)) = trees.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        trees.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match trees.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match trees.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    let body = loop {
+        match trees.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => panic!(
+                "serde_derive (vendored): generic types are not supported; \
+                 extend vendor/serde_derive/src/lib.rs if you need them"
+            ),
+            Some(_) => continue,
+            None => panic!("serde_derive: expected a braced body on `{name}`"),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Shape::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Shape::Enum {
+            name,
+            variants: parse_unit_variants(body),
+        },
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Extracts field names from the body of a named-field struct.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut trees = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match trees.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    trees.next();
+                    trees.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    trees.next();
+                    if let Some(TokenTree::Group(g)) = trees.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            trees.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match trees.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match trees.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde_derive: expected `:` after field `{field}` \
+                 (tuple structs are not supported), got {other:?}"
+            ),
+        }
+        fields.push(field);
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tree in trees.by_ref() {
+            match tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Extracts variant names from the body of a fieldless enum.
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut trees = body.into_iter().peekable();
+    loop {
+        loop {
+            match trees.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    trees.next();
+                    trees.next();
+                }
+                _ => break,
+            }
+        }
+        let variant = match trees.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        match trees.peek() {
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive (vendored): enum variant `{variant}` carries data; \
+                 only fieldless enums are supported — extend \
+                 vendor/serde_derive/src/lib.rs if you need more"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde_derive (vendored): explicit discriminants are not supported")
+            }
+            _ => {}
+        }
+        variants.push(variant);
+        // Consume the trailing comma, if any.
+        if let Some(TokenTree::Punct(p)) = trees.peek() {
+            if p.as_char() == ',' {
+                trees.next();
+            }
+        }
+    }
+    variants
+}
+
+/// `#[derive(Serialize)]` for named-field structs and fieldless enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__map.insert({f:?}.to_string(), \
+                         ::serde::Serialize::serialize(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         let mut __map = ::serde::Map::new();\n\
+                         {inserts}\
+                         ::serde::Value::Object(__map)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::String(match self {{\n{arms}}}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated impl parses")
+}
+
+/// `#[derive(Deserialize)]` for named-field structs and fieldless enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let builds: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\
+                             __obj.get({f:?}).unwrap_or(&::serde::Value::Null))\
+                             .map_err(|e| e.in_field({f:?}))?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __obj = __value.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\
+                                 concat!(\"expected object for \", {name:?})))?;\n\
+                         ::std::result::Result::Ok({name} {{\n{builds}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __s = __value.as_str().ok_or_else(|| \
+                             ::serde::Error::custom(\
+                                 concat!(\"expected string for \", {name:?})))?;\n\
+                         match __s {{\n{arms}\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(concat!(\"unknown \", {name:?}, \" variant `{{}}`\"), other))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated impl parses")
+}

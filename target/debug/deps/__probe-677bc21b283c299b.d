@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/__probe-677bc21b283c299b.d: crates/psq-bench/src/bin/__probe.rs
+
+/root/repo/target/debug/deps/__probe-677bc21b283c299b: crates/psq-bench/src/bin/__probe.rs
+
+crates/psq-bench/src/bin/__probe.rs:

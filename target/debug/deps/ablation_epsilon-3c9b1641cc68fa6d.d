@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_epsilon-3c9b1641cc68fa6d.d: crates/psq-bench/src/bin/ablation_epsilon.rs
+
+/root/repo/target/debug/deps/ablation_epsilon-3c9b1641cc68fa6d: crates/psq-bench/src/bin/ablation_epsilon.rs
+
+crates/psq-bench/src/bin/ablation_epsilon.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_epsilon-9589cba17aa16120.d: crates/psq-bench/src/bin/ablation_epsilon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_epsilon-9589cba17aa16120.rmeta: crates/psq-bench/src/bin/ablation_epsilon.rs Cargo.toml
+
+crates/psq-bench/src/bin/ablation_epsilon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

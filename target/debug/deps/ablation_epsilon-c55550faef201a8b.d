@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_epsilon-c55550faef201a8b.d: crates/psq-bench/src/bin/ablation_epsilon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_epsilon-c55550faef201a8b.rmeta: crates/psq-bench/src/bin/ablation_epsilon.rs Cargo.toml
+
+crates/psq-bench/src/bin/ablation_epsilon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

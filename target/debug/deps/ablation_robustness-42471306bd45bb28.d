@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_robustness-42471306bd45bb28.d: crates/psq-bench/src/bin/ablation_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_robustness-42471306bd45bb28.rmeta: crates/psq-bench/src/bin/ablation_robustness.rs Cargo.toml
+
+crates/psq-bench/src/bin/ablation_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

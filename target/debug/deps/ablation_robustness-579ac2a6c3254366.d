@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_robustness-579ac2a6c3254366.d: crates/psq-bench/src/bin/ablation_robustness.rs
+
+/root/repo/target/debug/deps/ablation_robustness-579ac2a6c3254366: crates/psq-bench/src/bin/ablation_robustness.rs
+
+crates/psq-bench/src/bin/ablation_robustness.rs:

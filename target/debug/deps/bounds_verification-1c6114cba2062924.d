@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bounds_verification-1c6114cba2062924.d: crates/psq-bounds/tests/bounds_verification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbounds_verification-1c6114cba2062924.rmeta: crates/psq-bounds/tests/bounds_verification.rs Cargo.toml
+
+crates/psq-bounds/tests/bounds_verification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

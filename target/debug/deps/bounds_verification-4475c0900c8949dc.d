@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bounds_verification-4475c0900c8949dc.d: crates/psq-bounds/tests/bounds_verification.rs
+
+/root/repo/target/debug/deps/bounds_verification-4475c0900c8949dc: crates/psq-bounds/tests/bounds_verification.rs
+
+crates/psq-bounds/tests/bounds_verification.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/classical_baselines-0e67273c05860b58.d: crates/psq-bench/benches/classical_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclassical_baselines-0e67273c05860b58.rmeta: crates/psq-bench/benches/classical_baselines.rs Cargo.toml
+
+crates/psq-bench/benches/classical_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

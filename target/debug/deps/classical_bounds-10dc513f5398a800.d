@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/classical_bounds-10dc513f5398a800.d: crates/psq-classical/tests/classical_bounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclassical_bounds-10dc513f5398a800.rmeta: crates/psq-classical/tests/classical_bounds.rs Cargo.toml
+
+crates/psq-classical/tests/classical_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/classical_bounds-a31f0ea1ae27c51e.d: crates/psq-classical/tests/classical_bounds.rs
+
+/root/repo/target/debug/deps/classical_bounds-a31f0ea1ae27c51e: crates/psq-classical/tests/classical_bounds.rs
+
+crates/psq-classical/tests/classical_bounds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/classical_table-133d4af5e8066bca.d: crates/psq-bench/src/bin/classical_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclassical_table-133d4af5e8066bca.rmeta: crates/psq-bench/src/bin/classical_table.rs Cargo.toml
+
+crates/psq-bench/src/bin/classical_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

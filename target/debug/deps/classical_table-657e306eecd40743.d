@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/classical_table-657e306eecd40743.d: crates/psq-bench/src/bin/classical_table.rs
+
+/root/repo/target/debug/deps/classical_table-657e306eecd40743: crates/psq-bench/src/bin/classical_table.rs
+
+crates/psq-bench/src/bin/classical_table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/classical_table-919be168838570f7.d: crates/psq-bench/src/bin/classical_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclassical_table-919be168838570f7.rmeta: crates/psq-bench/src/bin/classical_table.rs Cargo.toml
+
+crates/psq-bench/src/bin/classical_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

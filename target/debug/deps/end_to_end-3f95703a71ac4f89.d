@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3f95703a71ac4f89.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3f95703a71ac4f89: tests/end_to_end.rs
+
+tests/end_to_end.rs:

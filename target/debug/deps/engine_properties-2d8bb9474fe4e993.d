@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_properties-2d8bb9474fe4e993.d: crates/psq-engine/tests/engine_properties.rs
+
+/root/repo/target/debug/deps/engine_properties-2d8bb9474fe4e993: crates/psq-engine/tests/engine_properties.rs
+
+crates/psq-engine/tests/engine_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_properties-6586eabfff42eefa.d: crates/psq-engine/tests/engine_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_properties-6586eabfff42eefa.rmeta: crates/psq-engine/tests/engine_properties.rs Cargo.toml
+
+crates/psq-engine/tests/engine_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

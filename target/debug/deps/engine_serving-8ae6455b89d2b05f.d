@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_serving-8ae6455b89d2b05f.d: tests/engine_serving.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_serving-8ae6455b89d2b05f.rmeta: tests/engine_serving.rs Cargo.toml
+
+tests/engine_serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_serving-ddc74e05fe6cc18c.d: tests/engine_serving.rs
+
+/root/repo/target/debug/deps/engine_serving-ddc74e05fe6cc18c: tests/engine_serving.rs
+
+tests/engine_serving.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_throughput-8bc64219fe80c167.d: crates/psq-bench/benches/engine_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_throughput-8bc64219fe80c167.rmeta: crates/psq-bench/benches/engine_throughput.rs Cargo.toml
+
+crates/psq-bench/benches/engine_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-16ac0fb33a13e67a.d: crates/psq-bench/src/bin/figure1.rs
+
+/root/repo/target/debug/deps/figure1-16ac0fb33a13e67a: crates/psq-bench/src/bin/figure1.rs
+
+crates/psq-bench/src/bin/figure1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure1-e9a5b01051bb5f4d.d: crates/psq-bench/src/bin/figure1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure1-e9a5b01051bb5f4d.rmeta: crates/psq-bench/src/bin/figure1.rs Cargo.toml
+
+crates/psq-bench/src/bin/figure1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

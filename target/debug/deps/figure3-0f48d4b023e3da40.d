@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure3-0f48d4b023e3da40.d: crates/psq-bench/src/bin/figure3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure3-0f48d4b023e3da40.rmeta: crates/psq-bench/src/bin/figure3.rs Cargo.toml
+
+crates/psq-bench/src/bin/figure3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-f7dc995acc3f6ff2.d: crates/psq-bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-f7dc995acc3f6ff2: crates/psq-bench/src/bin/figure3.rs
+
+crates/psq-bench/src/bin/figure3.rs:

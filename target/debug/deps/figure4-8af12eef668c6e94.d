@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-8af12eef668c6e94.d: crates/psq-bench/src/bin/figure4.rs
+
+/root/repo/target/debug/deps/figure4-8af12eef668c6e94: crates/psq-bench/src/bin/figure4.rs
+
+crates/psq-bench/src/bin/figure4.rs:

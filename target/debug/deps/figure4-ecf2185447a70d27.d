@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure4-ecf2185447a70d27.d: crates/psq-bench/src/bin/figure4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure4-ecf2185447a70d27.rmeta: crates/psq-bench/src/bin/figure4.rs Cargo.toml
+
+crates/psq-bench/src/bin/figure4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure5-549096f1719115de.d: crates/psq-bench/src/bin/figure5.rs
+
+/root/repo/target/debug/deps/figure5-549096f1719115de: crates/psq-bench/src/bin/figure5.rs
+
+crates/psq-bench/src/bin/figure5.rs:

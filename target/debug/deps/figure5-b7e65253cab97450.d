@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure5-b7e65253cab97450.d: crates/psq-bench/src/bin/figure5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure5-b7e65253cab97450.rmeta: crates/psq-bench/src/bin/figure5.rs Cargo.toml
+
+crates/psq-bench/src/bin/figure5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grover_end_to_end-39fdb0da474c47e2.d: crates/psq-grover/tests/grover_end_to_end.rs
+
+/root/repo/target/debug/deps/grover_end_to_end-39fdb0da474c47e2: crates/psq-grover/tests/grover_end_to_end.rs
+
+crates/psq-grover/tests/grover_end_to_end.rs:

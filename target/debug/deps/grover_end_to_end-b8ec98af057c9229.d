@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grover_end_to_end-b8ec98af057c9229.d: crates/psq-grover/tests/grover_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrover_end_to_end-b8ec98af057c9229.rmeta: crates/psq-grover/tests/grover_end_to_end.rs Cargo.toml
+
+crates/psq-grover/tests/grover_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grover_scaling-08d92ea892b83c2f.d: crates/psq-bench/benches/grover_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrover_scaling-08d92ea892b83c2f.rmeta: crates/psq-bench/benches/grover_scaling.rs Cargo.toml
+
+crates/psq-bench/benches/grover_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

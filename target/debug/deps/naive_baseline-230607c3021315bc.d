@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/naive_baseline-230607c3021315bc.d: crates/psq-bench/src/bin/naive_baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnaive_baseline-230607c3021315bc.rmeta: crates/psq-bench/src/bin/naive_baseline.rs Cargo.toml
+
+crates/psq-bench/src/bin/naive_baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

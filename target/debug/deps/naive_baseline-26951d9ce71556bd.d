@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/naive_baseline-26951d9ce71556bd.d: crates/psq-bench/src/bin/naive_baseline.rs
+
+/root/repo/target/debug/deps/naive_baseline-26951d9ce71556bd: crates/psq-bench/src/bin/naive_baseline.rs
+
+crates/psq-bench/src/bin/naive_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-4bea6923890d4d16.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-4bea6923890d4d16: tests/paper_claims.rs
+
+tests/paper_claims.rs:

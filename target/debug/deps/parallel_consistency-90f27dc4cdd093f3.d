@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_consistency-90f27dc4cdd093f3.d: crates/psq-parallel/tests/parallel_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_consistency-90f27dc4cdd093f3.rmeta: crates/psq-parallel/tests/parallel_consistency.rs Cargo.toml
+
+crates/psq-parallel/tests/parallel_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

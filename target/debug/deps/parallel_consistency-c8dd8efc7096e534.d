@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_consistency-c8dd8efc7096e534.d: crates/psq-parallel/tests/parallel_consistency.rs
+
+/root/repo/target/debug/deps/parallel_consistency-c8dd8efc7096e534: crates/psq-parallel/tests/parallel_consistency.rs
+
+crates/psq-parallel/tests/parallel_consistency.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/partial_quantum_search-0e95df98e52fe40b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpartial_quantum_search-0e95df98e52fe40b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpartial_quantum_search-0e95df98e52fe40b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/partial_quantum_search-76fdd665fc73322b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpartial_quantum_search-76fdd665fc73322b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

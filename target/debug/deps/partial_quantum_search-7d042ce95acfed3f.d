@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/partial_quantum_search-7d042ce95acfed3f.d: src/lib.rs
+
+/root/repo/target/debug/deps/partial_quantum_search-7d042ce95acfed3f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/partial_search_properties-a2a356d03e52bfb9.d: crates/psq-partial/tests/partial_search_properties.rs
+
+/root/repo/target/debug/deps/partial_search_properties-a2a356d03e52bfb9: crates/psq-partial/tests/partial_search_properties.rs
+
+crates/psq-partial/tests/partial_search_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/partial_search_properties-c7f57b95988bf3b2.d: crates/psq-partial/tests/partial_search_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpartial_search_properties-c7f57b95988bf3b2.rmeta: crates/psq-partial/tests/partial_search_properties.rs Cargo.toml
+
+crates/psq-partial/tests/partial_search_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

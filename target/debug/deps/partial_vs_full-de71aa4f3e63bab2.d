@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/partial_vs_full-de71aa4f3e63bab2.d: crates/psq-bench/benches/partial_vs_full.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpartial_vs_full-de71aa4f3e63bab2.rmeta: crates/psq-bench/benches/partial_vs_full.rs Cargo.toml
+
+crates/psq-bench/benches/partial_vs_full.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

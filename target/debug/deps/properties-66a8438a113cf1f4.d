@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-66a8438a113cf1f4.d: crates/psq-math/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-66a8438a113cf1f4.rmeta: crates/psq-math/tests/properties.rs Cargo.toml
+
+crates/psq-math/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

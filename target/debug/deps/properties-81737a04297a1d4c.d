@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-81737a04297a1d4c.d: crates/psq-math/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-81737a04297a1d4c: crates/psq-math/tests/properties.rs
+
+crates/psq-math/tests/properties.rs:

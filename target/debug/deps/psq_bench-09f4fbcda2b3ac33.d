@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/psq_bench-09f4fbcda2b3ac33.d: crates/psq-bench/src/lib.rs
+
+/root/repo/target/debug/deps/psq_bench-09f4fbcda2b3ac33: crates/psq-bench/src/lib.rs
+
+crates/psq-bench/src/lib.rs:

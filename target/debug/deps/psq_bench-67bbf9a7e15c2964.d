@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/psq_bench-67bbf9a7e15c2964.d: crates/psq-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpsq_bench-67bbf9a7e15c2964.rlib: crates/psq-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpsq_bench-67bbf9a7e15c2964.rmeta: crates/psq-bench/src/lib.rs
+
+crates/psq-bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/psq_bench-d076e6cbbc636682.d: crates/psq-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpsq_bench-d076e6cbbc636682.rmeta: crates/psq-bench/src/lib.rs Cargo.toml
+
+crates/psq-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

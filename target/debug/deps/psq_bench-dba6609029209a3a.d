@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/psq_bench-dba6609029209a3a.d: crates/psq-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpsq_bench-dba6609029209a3a.rmeta: crates/psq-bench/src/lib.rs Cargo.toml
+
+crates/psq-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/psq_bounds-6c38803f5184565c.d: crates/psq-bounds/src/lib.rs crates/psq-bounds/src/hybrid.rs crates/psq-bounds/src/lemmas.rs crates/psq-bounds/src/theorem2.rs crates/psq-bounds/src/zalka.rs
+
+/root/repo/target/debug/deps/psq_bounds-6c38803f5184565c: crates/psq-bounds/src/lib.rs crates/psq-bounds/src/hybrid.rs crates/psq-bounds/src/lemmas.rs crates/psq-bounds/src/theorem2.rs crates/psq-bounds/src/zalka.rs
+
+crates/psq-bounds/src/lib.rs:
+crates/psq-bounds/src/hybrid.rs:
+crates/psq-bounds/src/lemmas.rs:
+crates/psq-bounds/src/theorem2.rs:
+crates/psq-bounds/src/zalka.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/psq_bounds-87eee1610f98c599.d: crates/psq-bounds/src/lib.rs crates/psq-bounds/src/hybrid.rs crates/psq-bounds/src/lemmas.rs crates/psq-bounds/src/theorem2.rs crates/psq-bounds/src/zalka.rs
+
+/root/repo/target/debug/deps/libpsq_bounds-87eee1610f98c599.rlib: crates/psq-bounds/src/lib.rs crates/psq-bounds/src/hybrid.rs crates/psq-bounds/src/lemmas.rs crates/psq-bounds/src/theorem2.rs crates/psq-bounds/src/zalka.rs
+
+/root/repo/target/debug/deps/libpsq_bounds-87eee1610f98c599.rmeta: crates/psq-bounds/src/lib.rs crates/psq-bounds/src/hybrid.rs crates/psq-bounds/src/lemmas.rs crates/psq-bounds/src/theorem2.rs crates/psq-bounds/src/zalka.rs
+
+crates/psq-bounds/src/lib.rs:
+crates/psq-bounds/src/hybrid.rs:
+crates/psq-bounds/src/lemmas.rs:
+crates/psq-bounds/src/theorem2.rs:
+crates/psq-bounds/src/zalka.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/psq_bounds-bd42b1fe62b7e221.d: crates/psq-bounds/src/lib.rs crates/psq-bounds/src/hybrid.rs crates/psq-bounds/src/lemmas.rs crates/psq-bounds/src/theorem2.rs crates/psq-bounds/src/zalka.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpsq_bounds-bd42b1fe62b7e221.rmeta: crates/psq-bounds/src/lib.rs crates/psq-bounds/src/hybrid.rs crates/psq-bounds/src/lemmas.rs crates/psq-bounds/src/theorem2.rs crates/psq-bounds/src/zalka.rs Cargo.toml
+
+crates/psq-bounds/src/lib.rs:
+crates/psq-bounds/src/hybrid.rs:
+crates/psq-bounds/src/lemmas.rs:
+crates/psq-bounds/src/theorem2.rs:
+crates/psq-bounds/src/zalka.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/psq_classical-18186942c0429d64.d: crates/psq-classical/src/lib.rs crates/psq-classical/src/adversary.rs crates/psq-classical/src/analysis.rs crates/psq-classical/src/full_search.rs crates/psq-classical/src/partial_search.rs
+
+/root/repo/target/debug/deps/psq_classical-18186942c0429d64: crates/psq-classical/src/lib.rs crates/psq-classical/src/adversary.rs crates/psq-classical/src/analysis.rs crates/psq-classical/src/full_search.rs crates/psq-classical/src/partial_search.rs
+
+crates/psq-classical/src/lib.rs:
+crates/psq-classical/src/adversary.rs:
+crates/psq-classical/src/analysis.rs:
+crates/psq-classical/src/full_search.rs:
+crates/psq-classical/src/partial_search.rs:

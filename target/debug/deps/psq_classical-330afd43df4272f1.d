@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/psq_classical-330afd43df4272f1.d: crates/psq-classical/src/lib.rs crates/psq-classical/src/adversary.rs crates/psq-classical/src/analysis.rs crates/psq-classical/src/full_search.rs crates/psq-classical/src/partial_search.rs
+
+/root/repo/target/debug/deps/libpsq_classical-330afd43df4272f1.rlib: crates/psq-classical/src/lib.rs crates/psq-classical/src/adversary.rs crates/psq-classical/src/analysis.rs crates/psq-classical/src/full_search.rs crates/psq-classical/src/partial_search.rs
+
+/root/repo/target/debug/deps/libpsq_classical-330afd43df4272f1.rmeta: crates/psq-classical/src/lib.rs crates/psq-classical/src/adversary.rs crates/psq-classical/src/analysis.rs crates/psq-classical/src/full_search.rs crates/psq-classical/src/partial_search.rs
+
+crates/psq-classical/src/lib.rs:
+crates/psq-classical/src/adversary.rs:
+crates/psq-classical/src/analysis.rs:
+crates/psq-classical/src/full_search.rs:
+crates/psq-classical/src/partial_search.rs:

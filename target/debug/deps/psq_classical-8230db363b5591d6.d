@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/psq_classical-8230db363b5591d6.d: crates/psq-classical/src/lib.rs crates/psq-classical/src/adversary.rs crates/psq-classical/src/analysis.rs crates/psq-classical/src/full_search.rs crates/psq-classical/src/partial_search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpsq_classical-8230db363b5591d6.rmeta: crates/psq-classical/src/lib.rs crates/psq-classical/src/adversary.rs crates/psq-classical/src/analysis.rs crates/psq-classical/src/full_search.rs crates/psq-classical/src/partial_search.rs Cargo.toml
+
+crates/psq-classical/src/lib.rs:
+crates/psq-classical/src/adversary.rs:
+crates/psq-classical/src/analysis.rs:
+crates/psq-classical/src/full_search.rs:
+crates/psq-classical/src/partial_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

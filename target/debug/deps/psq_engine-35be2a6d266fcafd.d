@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/psq_engine-35be2a6d266fcafd.d: crates/psq-engine/src/bin/psq_engine.rs
+
+/root/repo/target/debug/deps/psq_engine-35be2a6d266fcafd: crates/psq-engine/src/bin/psq_engine.rs
+
+crates/psq-engine/src/bin/psq_engine.rs:

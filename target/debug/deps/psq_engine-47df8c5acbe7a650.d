@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/psq_engine-47df8c5acbe7a650.d: crates/psq-engine/src/bin/psq_engine.rs
+
+/root/repo/target/debug/deps/psq_engine-47df8c5acbe7a650: crates/psq-engine/src/bin/psq_engine.rs
+
+crates/psq-engine/src/bin/psq_engine.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/psq_engine-58c1d58c363d0b89.d: crates/psq-engine/src/lib.rs crates/psq-engine/src/backends.rs crates/psq-engine/src/executor.rs crates/psq-engine/src/metrics.rs crates/psq-engine/src/planner.rs crates/psq-engine/src/spec.rs
+
+/root/repo/target/debug/deps/libpsq_engine-58c1d58c363d0b89.rlib: crates/psq-engine/src/lib.rs crates/psq-engine/src/backends.rs crates/psq-engine/src/executor.rs crates/psq-engine/src/metrics.rs crates/psq-engine/src/planner.rs crates/psq-engine/src/spec.rs
+
+/root/repo/target/debug/deps/libpsq_engine-58c1d58c363d0b89.rmeta: crates/psq-engine/src/lib.rs crates/psq-engine/src/backends.rs crates/psq-engine/src/executor.rs crates/psq-engine/src/metrics.rs crates/psq-engine/src/planner.rs crates/psq-engine/src/spec.rs
+
+crates/psq-engine/src/lib.rs:
+crates/psq-engine/src/backends.rs:
+crates/psq-engine/src/executor.rs:
+crates/psq-engine/src/metrics.rs:
+crates/psq-engine/src/planner.rs:
+crates/psq-engine/src/spec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/psq_engine-75bd4eaee4a1170f.d: crates/psq-engine/src/bin/psq_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpsq_engine-75bd4eaee4a1170f.rmeta: crates/psq-engine/src/bin/psq_engine.rs Cargo.toml
+
+crates/psq-engine/src/bin/psq_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/psq_engine-b6ff28a62920c599.d: crates/psq-engine/src/lib.rs crates/psq-engine/src/backends.rs crates/psq-engine/src/executor.rs crates/psq-engine/src/metrics.rs crates/psq-engine/src/planner.rs crates/psq-engine/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpsq_engine-b6ff28a62920c599.rmeta: crates/psq-engine/src/lib.rs crates/psq-engine/src/backends.rs crates/psq-engine/src/executor.rs crates/psq-engine/src/metrics.rs crates/psq-engine/src/planner.rs crates/psq-engine/src/spec.rs Cargo.toml
+
+crates/psq-engine/src/lib.rs:
+crates/psq-engine/src/backends.rs:
+crates/psq-engine/src/executor.rs:
+crates/psq-engine/src/metrics.rs:
+crates/psq-engine/src/planner.rs:
+crates/psq-engine/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/psq_engine-e60fd8be3ccc7e1e.d: crates/psq-engine/src/lib.rs crates/psq-engine/src/backends.rs crates/psq-engine/src/executor.rs crates/psq-engine/src/metrics.rs crates/psq-engine/src/planner.rs crates/psq-engine/src/spec.rs
+
+/root/repo/target/debug/deps/psq_engine-e60fd8be3ccc7e1e: crates/psq-engine/src/lib.rs crates/psq-engine/src/backends.rs crates/psq-engine/src/executor.rs crates/psq-engine/src/metrics.rs crates/psq-engine/src/planner.rs crates/psq-engine/src/spec.rs
+
+crates/psq-engine/src/lib.rs:
+crates/psq-engine/src/backends.rs:
+crates/psq-engine/src/executor.rs:
+crates/psq-engine/src/metrics.rs:
+crates/psq-engine/src/planner.rs:
+crates/psq-engine/src/spec.rs:

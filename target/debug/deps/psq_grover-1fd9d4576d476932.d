@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/psq_grover-1fd9d4576d476932.d: crates/psq-grover/src/lib.rs crates/psq-grover/src/amplitude_amplification.rs crates/psq-grover/src/exact.rs crates/psq-grover/src/iteration.rs crates/psq-grover/src/standard.rs crates/psq-grover/src/theory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpsq_grover-1fd9d4576d476932.rmeta: crates/psq-grover/src/lib.rs crates/psq-grover/src/amplitude_amplification.rs crates/psq-grover/src/exact.rs crates/psq-grover/src/iteration.rs crates/psq-grover/src/standard.rs crates/psq-grover/src/theory.rs Cargo.toml
+
+crates/psq-grover/src/lib.rs:
+crates/psq-grover/src/amplitude_amplification.rs:
+crates/psq-grover/src/exact.rs:
+crates/psq-grover/src/iteration.rs:
+crates/psq-grover/src/standard.rs:
+crates/psq-grover/src/theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/psq_grover-3d6dd1075c4d84e4.d: crates/psq-grover/src/lib.rs crates/psq-grover/src/amplitude_amplification.rs crates/psq-grover/src/exact.rs crates/psq-grover/src/iteration.rs crates/psq-grover/src/standard.rs crates/psq-grover/src/theory.rs
+
+/root/repo/target/debug/deps/psq_grover-3d6dd1075c4d84e4: crates/psq-grover/src/lib.rs crates/psq-grover/src/amplitude_amplification.rs crates/psq-grover/src/exact.rs crates/psq-grover/src/iteration.rs crates/psq-grover/src/standard.rs crates/psq-grover/src/theory.rs
+
+crates/psq-grover/src/lib.rs:
+crates/psq-grover/src/amplitude_amplification.rs:
+crates/psq-grover/src/exact.rs:
+crates/psq-grover/src/iteration.rs:
+crates/psq-grover/src/standard.rs:
+crates/psq-grover/src/theory.rs:

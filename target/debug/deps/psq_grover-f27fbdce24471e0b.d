@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/psq_grover-f27fbdce24471e0b.d: crates/psq-grover/src/lib.rs crates/psq-grover/src/amplitude_amplification.rs crates/psq-grover/src/exact.rs crates/psq-grover/src/iteration.rs crates/psq-grover/src/standard.rs crates/psq-grover/src/theory.rs
+
+/root/repo/target/debug/deps/libpsq_grover-f27fbdce24471e0b.rlib: crates/psq-grover/src/lib.rs crates/psq-grover/src/amplitude_amplification.rs crates/psq-grover/src/exact.rs crates/psq-grover/src/iteration.rs crates/psq-grover/src/standard.rs crates/psq-grover/src/theory.rs
+
+/root/repo/target/debug/deps/libpsq_grover-f27fbdce24471e0b.rmeta: crates/psq-grover/src/lib.rs crates/psq-grover/src/amplitude_amplification.rs crates/psq-grover/src/exact.rs crates/psq-grover/src/iteration.rs crates/psq-grover/src/standard.rs crates/psq-grover/src/theory.rs
+
+crates/psq-grover/src/lib.rs:
+crates/psq-grover/src/amplitude_amplification.rs:
+crates/psq-grover/src/exact.rs:
+crates/psq-grover/src/iteration.rs:
+crates/psq-grover/src/standard.rs:
+crates/psq-grover/src/theory.rs:

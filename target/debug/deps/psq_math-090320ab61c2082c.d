@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/psq_math-090320ab61c2082c.d: crates/psq-math/src/lib.rs crates/psq-math/src/angle.rs crates/psq-math/src/approx.rs crates/psq-math/src/bits.rs crates/psq-math/src/complex.rs crates/psq-math/src/matrix.rs crates/psq-math/src/optimize.rs crates/psq-math/src/stats.rs crates/psq-math/src/vec_ops.rs
+
+/root/repo/target/debug/deps/psq_math-090320ab61c2082c: crates/psq-math/src/lib.rs crates/psq-math/src/angle.rs crates/psq-math/src/approx.rs crates/psq-math/src/bits.rs crates/psq-math/src/complex.rs crates/psq-math/src/matrix.rs crates/psq-math/src/optimize.rs crates/psq-math/src/stats.rs crates/psq-math/src/vec_ops.rs
+
+crates/psq-math/src/lib.rs:
+crates/psq-math/src/angle.rs:
+crates/psq-math/src/approx.rs:
+crates/psq-math/src/bits.rs:
+crates/psq-math/src/complex.rs:
+crates/psq-math/src/matrix.rs:
+crates/psq-math/src/optimize.rs:
+crates/psq-math/src/stats.rs:
+crates/psq-math/src/vec_ops.rs:

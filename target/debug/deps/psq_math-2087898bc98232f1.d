@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/psq_math-2087898bc98232f1.d: crates/psq-math/src/lib.rs crates/psq-math/src/angle.rs crates/psq-math/src/approx.rs crates/psq-math/src/bits.rs crates/psq-math/src/complex.rs crates/psq-math/src/matrix.rs crates/psq-math/src/optimize.rs crates/psq-math/src/stats.rs crates/psq-math/src/vec_ops.rs
+
+/root/repo/target/debug/deps/libpsq_math-2087898bc98232f1.rlib: crates/psq-math/src/lib.rs crates/psq-math/src/angle.rs crates/psq-math/src/approx.rs crates/psq-math/src/bits.rs crates/psq-math/src/complex.rs crates/psq-math/src/matrix.rs crates/psq-math/src/optimize.rs crates/psq-math/src/stats.rs crates/psq-math/src/vec_ops.rs
+
+/root/repo/target/debug/deps/libpsq_math-2087898bc98232f1.rmeta: crates/psq-math/src/lib.rs crates/psq-math/src/angle.rs crates/psq-math/src/approx.rs crates/psq-math/src/bits.rs crates/psq-math/src/complex.rs crates/psq-math/src/matrix.rs crates/psq-math/src/optimize.rs crates/psq-math/src/stats.rs crates/psq-math/src/vec_ops.rs
+
+crates/psq-math/src/lib.rs:
+crates/psq-math/src/angle.rs:
+crates/psq-math/src/approx.rs:
+crates/psq-math/src/bits.rs:
+crates/psq-math/src/complex.rs:
+crates/psq-math/src/matrix.rs:
+crates/psq-math/src/optimize.rs:
+crates/psq-math/src/stats.rs:
+crates/psq-math/src/vec_ops.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/psq_math-2b9ccc56ea0a54b7.d: crates/psq-math/src/lib.rs crates/psq-math/src/angle.rs crates/psq-math/src/approx.rs crates/psq-math/src/bits.rs crates/psq-math/src/complex.rs crates/psq-math/src/matrix.rs crates/psq-math/src/optimize.rs crates/psq-math/src/stats.rs crates/psq-math/src/vec_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpsq_math-2b9ccc56ea0a54b7.rmeta: crates/psq-math/src/lib.rs crates/psq-math/src/angle.rs crates/psq-math/src/approx.rs crates/psq-math/src/bits.rs crates/psq-math/src/complex.rs crates/psq-math/src/matrix.rs crates/psq-math/src/optimize.rs crates/psq-math/src/stats.rs crates/psq-math/src/vec_ops.rs Cargo.toml
+
+crates/psq-math/src/lib.rs:
+crates/psq-math/src/angle.rs:
+crates/psq-math/src/approx.rs:
+crates/psq-math/src/bits.rs:
+crates/psq-math/src/complex.rs:
+crates/psq-math/src/matrix.rs:
+crates/psq-math/src/optimize.rs:
+crates/psq-math/src/stats.rs:
+crates/psq-math/src/vec_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/psq_parallel-1e80fc37ae82dcbb.d: crates/psq-parallel/src/lib.rs crates/psq-parallel/src/chunks.rs crates/psq-parallel/src/pool.rs crates/psq-parallel/src/scope.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpsq_parallel-1e80fc37ae82dcbb.rmeta: crates/psq-parallel/src/lib.rs crates/psq-parallel/src/chunks.rs crates/psq-parallel/src/pool.rs crates/psq-parallel/src/scope.rs Cargo.toml
+
+crates/psq-parallel/src/lib.rs:
+crates/psq-parallel/src/chunks.rs:
+crates/psq-parallel/src/pool.rs:
+crates/psq-parallel/src/scope.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

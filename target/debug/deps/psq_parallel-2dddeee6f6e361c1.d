@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/psq_parallel-2dddeee6f6e361c1.d: crates/psq-parallel/src/lib.rs crates/psq-parallel/src/chunks.rs crates/psq-parallel/src/pool.rs crates/psq-parallel/src/scope.rs
+
+/root/repo/target/debug/deps/libpsq_parallel-2dddeee6f6e361c1.rlib: crates/psq-parallel/src/lib.rs crates/psq-parallel/src/chunks.rs crates/psq-parallel/src/pool.rs crates/psq-parallel/src/scope.rs
+
+/root/repo/target/debug/deps/libpsq_parallel-2dddeee6f6e361c1.rmeta: crates/psq-parallel/src/lib.rs crates/psq-parallel/src/chunks.rs crates/psq-parallel/src/pool.rs crates/psq-parallel/src/scope.rs
+
+crates/psq-parallel/src/lib.rs:
+crates/psq-parallel/src/chunks.rs:
+crates/psq-parallel/src/pool.rs:
+crates/psq-parallel/src/scope.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/psq_parallel-743598e6ae5a2a45.d: crates/psq-parallel/src/lib.rs crates/psq-parallel/src/chunks.rs crates/psq-parallel/src/pool.rs crates/psq-parallel/src/scope.rs
+
+/root/repo/target/debug/deps/psq_parallel-743598e6ae5a2a45: crates/psq-parallel/src/lib.rs crates/psq-parallel/src/chunks.rs crates/psq-parallel/src/pool.rs crates/psq-parallel/src/scope.rs
+
+crates/psq-parallel/src/lib.rs:
+crates/psq-parallel/src/chunks.rs:
+crates/psq-parallel/src/pool.rs:
+crates/psq-parallel/src/scope.rs:

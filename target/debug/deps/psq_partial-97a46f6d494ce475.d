@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/psq_partial-97a46f6d494ce475.d: crates/psq-partial/src/lib.rs crates/psq-partial/src/algorithm.rs crates/psq-partial/src/baseline.rs crates/psq-partial/src/example12.rs crates/psq-partial/src/model.rs crates/psq-partial/src/optimizer.rs crates/psq-partial/src/plan.rs crates/psq-partial/src/recursive.rs crates/psq-partial/src/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpsq_partial-97a46f6d494ce475.rmeta: crates/psq-partial/src/lib.rs crates/psq-partial/src/algorithm.rs crates/psq-partial/src/baseline.rs crates/psq-partial/src/example12.rs crates/psq-partial/src/model.rs crates/psq-partial/src/optimizer.rs crates/psq-partial/src/plan.rs crates/psq-partial/src/recursive.rs crates/psq-partial/src/robustness.rs Cargo.toml
+
+crates/psq-partial/src/lib.rs:
+crates/psq-partial/src/algorithm.rs:
+crates/psq-partial/src/baseline.rs:
+crates/psq-partial/src/example12.rs:
+crates/psq-partial/src/model.rs:
+crates/psq-partial/src/optimizer.rs:
+crates/psq-partial/src/plan.rs:
+crates/psq-partial/src/recursive.rs:
+crates/psq-partial/src/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

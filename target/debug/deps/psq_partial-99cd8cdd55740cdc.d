@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/psq_partial-99cd8cdd55740cdc.d: crates/psq-partial/src/lib.rs crates/psq-partial/src/algorithm.rs crates/psq-partial/src/baseline.rs crates/psq-partial/src/example12.rs crates/psq-partial/src/model.rs crates/psq-partial/src/optimizer.rs crates/psq-partial/src/plan.rs crates/psq-partial/src/recursive.rs crates/psq-partial/src/robustness.rs
+
+/root/repo/target/debug/deps/psq_partial-99cd8cdd55740cdc: crates/psq-partial/src/lib.rs crates/psq-partial/src/algorithm.rs crates/psq-partial/src/baseline.rs crates/psq-partial/src/example12.rs crates/psq-partial/src/model.rs crates/psq-partial/src/optimizer.rs crates/psq-partial/src/plan.rs crates/psq-partial/src/recursive.rs crates/psq-partial/src/robustness.rs
+
+crates/psq-partial/src/lib.rs:
+crates/psq-partial/src/algorithm.rs:
+crates/psq-partial/src/baseline.rs:
+crates/psq-partial/src/example12.rs:
+crates/psq-partial/src/model.rs:
+crates/psq-partial/src/optimizer.rs:
+crates/psq-partial/src/plan.rs:
+crates/psq-partial/src/recursive.rs:
+crates/psq-partial/src/robustness.rs:

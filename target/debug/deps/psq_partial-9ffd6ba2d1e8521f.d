@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/psq_partial-9ffd6ba2d1e8521f.d: crates/psq-partial/src/lib.rs crates/psq-partial/src/algorithm.rs crates/psq-partial/src/baseline.rs crates/psq-partial/src/example12.rs crates/psq-partial/src/model.rs crates/psq-partial/src/optimizer.rs crates/psq-partial/src/plan.rs crates/psq-partial/src/recursive.rs crates/psq-partial/src/robustness.rs
+
+/root/repo/target/debug/deps/libpsq_partial-9ffd6ba2d1e8521f.rlib: crates/psq-partial/src/lib.rs crates/psq-partial/src/algorithm.rs crates/psq-partial/src/baseline.rs crates/psq-partial/src/example12.rs crates/psq-partial/src/model.rs crates/psq-partial/src/optimizer.rs crates/psq-partial/src/plan.rs crates/psq-partial/src/recursive.rs crates/psq-partial/src/robustness.rs
+
+/root/repo/target/debug/deps/libpsq_partial-9ffd6ba2d1e8521f.rmeta: crates/psq-partial/src/lib.rs crates/psq-partial/src/algorithm.rs crates/psq-partial/src/baseline.rs crates/psq-partial/src/example12.rs crates/psq-partial/src/model.rs crates/psq-partial/src/optimizer.rs crates/psq-partial/src/plan.rs crates/psq-partial/src/recursive.rs crates/psq-partial/src/robustness.rs
+
+crates/psq-partial/src/lib.rs:
+crates/psq-partial/src/algorithm.rs:
+crates/psq-partial/src/baseline.rs:
+crates/psq-partial/src/example12.rs:
+crates/psq-partial/src/model.rs:
+crates/psq-partial/src/optimizer.rs:
+crates/psq-partial/src/plan.rs:
+crates/psq-partial/src/recursive.rs:
+crates/psq-partial/src/robustness.rs:

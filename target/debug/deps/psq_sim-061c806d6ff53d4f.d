@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/psq_sim-061c806d6ff53d4f.d: crates/psq-sim/src/lib.rs crates/psq-sim/src/circuit.rs crates/psq-sim/src/gates.rs crates/psq-sim/src/measure.rs crates/psq-sim/src/oracle.rs crates/psq-sim/src/query_counter.rs crates/psq-sim/src/reduced.rs crates/psq-sim/src/statevector.rs crates/psq-sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpsq_sim-061c806d6ff53d4f.rmeta: crates/psq-sim/src/lib.rs crates/psq-sim/src/circuit.rs crates/psq-sim/src/gates.rs crates/psq-sim/src/measure.rs crates/psq-sim/src/oracle.rs crates/psq-sim/src/query_counter.rs crates/psq-sim/src/reduced.rs crates/psq-sim/src/statevector.rs crates/psq-sim/src/trace.rs Cargo.toml
+
+crates/psq-sim/src/lib.rs:
+crates/psq-sim/src/circuit.rs:
+crates/psq-sim/src/gates.rs:
+crates/psq-sim/src/measure.rs:
+crates/psq-sim/src/oracle.rs:
+crates/psq-sim/src/query_counter.rs:
+crates/psq-sim/src/reduced.rs:
+crates/psq-sim/src/statevector.rs:
+crates/psq-sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

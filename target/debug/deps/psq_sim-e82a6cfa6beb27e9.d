@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/psq_sim-e82a6cfa6beb27e9.d: crates/psq-sim/src/lib.rs crates/psq-sim/src/circuit.rs crates/psq-sim/src/gates.rs crates/psq-sim/src/measure.rs crates/psq-sim/src/oracle.rs crates/psq-sim/src/query_counter.rs crates/psq-sim/src/reduced.rs crates/psq-sim/src/statevector.rs crates/psq-sim/src/trace.rs
+
+/root/repo/target/debug/deps/libpsq_sim-e82a6cfa6beb27e9.rlib: crates/psq-sim/src/lib.rs crates/psq-sim/src/circuit.rs crates/psq-sim/src/gates.rs crates/psq-sim/src/measure.rs crates/psq-sim/src/oracle.rs crates/psq-sim/src/query_counter.rs crates/psq-sim/src/reduced.rs crates/psq-sim/src/statevector.rs crates/psq-sim/src/trace.rs
+
+/root/repo/target/debug/deps/libpsq_sim-e82a6cfa6beb27e9.rmeta: crates/psq-sim/src/lib.rs crates/psq-sim/src/circuit.rs crates/psq-sim/src/gates.rs crates/psq-sim/src/measure.rs crates/psq-sim/src/oracle.rs crates/psq-sim/src/query_counter.rs crates/psq-sim/src/reduced.rs crates/psq-sim/src/statevector.rs crates/psq-sim/src/trace.rs
+
+crates/psq-sim/src/lib.rs:
+crates/psq-sim/src/circuit.rs:
+crates/psq-sim/src/gates.rs:
+crates/psq-sim/src/measure.rs:
+crates/psq-sim/src/oracle.rs:
+crates/psq-sim/src/query_counter.rs:
+crates/psq-sim/src/reduced.rs:
+crates/psq-sim/src/statevector.rs:
+crates/psq-sim/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/psq_sim-fe62707ecbe07861.d: crates/psq-sim/src/lib.rs crates/psq-sim/src/circuit.rs crates/psq-sim/src/gates.rs crates/psq-sim/src/measure.rs crates/psq-sim/src/oracle.rs crates/psq-sim/src/query_counter.rs crates/psq-sim/src/reduced.rs crates/psq-sim/src/statevector.rs crates/psq-sim/src/trace.rs
+
+/root/repo/target/debug/deps/psq_sim-fe62707ecbe07861: crates/psq-sim/src/lib.rs crates/psq-sim/src/circuit.rs crates/psq-sim/src/gates.rs crates/psq-sim/src/measure.rs crates/psq-sim/src/oracle.rs crates/psq-sim/src/query_counter.rs crates/psq-sim/src/reduced.rs crates/psq-sim/src/statevector.rs crates/psq-sim/src/trace.rs
+
+crates/psq-sim/src/lib.rs:
+crates/psq-sim/src/circuit.rs:
+crates/psq-sim/src/gates.rs:
+crates/psq-sim/src/measure.rs:
+crates/psq-sim/src/oracle.rs:
+crates/psq-sim/src/query_counter.rs:
+crates/psq-sim/src/reduced.rs:
+crates/psq-sim/src/statevector.rs:
+crates/psq-sim/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recursive_reduction-8e935a2e24cae151.d: crates/psq-bench/src/bin/recursive_reduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecursive_reduction-8e935a2e24cae151.rmeta: crates/psq-bench/src/bin/recursive_reduction.rs Cargo.toml
+
+crates/psq-bench/src/bin/recursive_reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

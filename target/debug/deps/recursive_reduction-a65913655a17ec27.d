@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recursive_reduction-a65913655a17ec27.d: crates/psq-bench/src/bin/recursive_reduction.rs
+
+/root/repo/target/debug/deps/recursive_reduction-a65913655a17ec27: crates/psq-bench/src/bin/recursive_reduction.rs
+
+crates/psq-bench/src/bin/recursive_reduction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reduced_vs_statevector-7da76a9e69cbae65.d: crates/psq-bench/benches/reduced_vs_statevector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreduced_vs_statevector-7da76a9e69cbae65.rmeta: crates/psq-bench/benches/reduced_vs_statevector.rs Cargo.toml
+
+crates/psq-bench/benches/reduced_vs_statevector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

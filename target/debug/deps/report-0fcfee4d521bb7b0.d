@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-0fcfee4d521bb7b0.d: crates/psq-bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-0fcfee4d521bb7b0: crates/psq-bench/src/bin/report.rs
+
+crates/psq-bench/src/bin/report.rs:

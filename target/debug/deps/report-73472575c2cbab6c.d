@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/report-73472575c2cbab6c.d: crates/psq-bench/src/bin/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport-73472575c2cbab6c.rmeta: crates/psq-bench/src/bin/report.rs Cargo.toml
+
+crates/psq-bench/src/bin/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

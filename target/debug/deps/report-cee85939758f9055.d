@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/report-cee85939758f9055.d: crates/psq-bench/src/bin/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport-cee85939758f9055.rmeta: crates/psq-bench/src/bin/report.rs Cargo.toml
+
+crates/psq-bench/src/bin/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

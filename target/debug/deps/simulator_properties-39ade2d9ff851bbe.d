@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator_properties-39ade2d9ff851bbe.d: crates/psq-sim/tests/simulator_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator_properties-39ade2d9ff851bbe.rmeta: crates/psq-sim/tests/simulator_properties.rs Cargo.toml
+
+crates/psq-sim/tests/simulator_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator_properties-5017fd3413532458.d: crates/psq-sim/tests/simulator_properties.rs
+
+/root/repo/target/debug/deps/simulator_properties-5017fd3413532458: crates/psq-sim/tests/simulator_properties.rs
+
+crates/psq-sim/tests/simulator_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-19a273eedfe36405.d: crates/psq-bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-19a273eedfe36405.rmeta: crates/psq-bench/src/bin/table1.rs Cargo.toml
+
+crates/psq-bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

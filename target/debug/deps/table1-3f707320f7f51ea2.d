@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-3f707320f7f51ea2.d: crates/psq-bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-3f707320f7f51ea2.rmeta: crates/psq-bench/src/bin/table1.rs Cargo.toml
+
+crates/psq-bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

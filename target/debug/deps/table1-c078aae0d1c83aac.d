@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-c078aae0d1c83aac.d: crates/psq-bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-c078aae0d1c83aac: crates/psq-bench/src/bin/table1.rs
+
+crates/psq-bench/src/bin/table1.rs:

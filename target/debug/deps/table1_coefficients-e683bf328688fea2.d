@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_coefficients-e683bf328688fea2.d: crates/psq-bench/benches/table1_coefficients.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_coefficients-e683bf328688fea2.rmeta: crates/psq-bench/benches/table1_coefficients.rs Cargo.toml
+
+crates/psq-bench/benches/table1_coefficients.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

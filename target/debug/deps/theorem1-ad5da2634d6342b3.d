@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorem1-ad5da2634d6342b3.d: crates/psq-bench/src/bin/theorem1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorem1-ad5da2634d6342b3.rmeta: crates/psq-bench/src/bin/theorem1.rs Cargo.toml
+
+crates/psq-bench/src/bin/theorem1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem1-f3565af7c9f11195.d: crates/psq-bench/src/bin/theorem1.rs
+
+/root/repo/target/debug/deps/theorem1-f3565af7c9f11195: crates/psq-bench/src/bin/theorem1.rs
+
+crates/psq-bench/src/bin/theorem1.rs:

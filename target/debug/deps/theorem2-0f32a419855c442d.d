@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem2-0f32a419855c442d.d: crates/psq-bench/src/bin/theorem2.rs
+
+/root/repo/target/debug/deps/theorem2-0f32a419855c442d: crates/psq-bench/src/bin/theorem2.rs
+
+crates/psq-bench/src/bin/theorem2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorem2-2affc5f86f53e448.d: crates/psq-bench/src/bin/theorem2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorem2-2affc5f86f53e448.rmeta: crates/psq-bench/src/bin/theorem2.rs Cargo.toml
+
+crates/psq-bench/src/bin/theorem2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

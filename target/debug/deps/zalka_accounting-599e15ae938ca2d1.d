@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zalka_accounting-599e15ae938ca2d1.d: crates/psq-bench/benches/zalka_accounting.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzalka_accounting-599e15ae938ca2d1.rmeta: crates/psq-bench/benches/zalka_accounting.rs Cargo.toml
+
+crates/psq-bench/benches/zalka_accounting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zalka_bound-298468804543faa2.d: crates/psq-bench/src/bin/zalka_bound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzalka_bound-298468804543faa2.rmeta: crates/psq-bench/src/bin/zalka_bound.rs Cargo.toml
+
+crates/psq-bench/src/bin/zalka_bound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zalka_bound-411f74da03d76cb8.d: crates/psq-bench/src/bin/zalka_bound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzalka_bound-411f74da03d76cb8.rmeta: crates/psq-bench/src/bin/zalka_bound.rs Cargo.toml
+
+crates/psq-bench/src/bin/zalka_bound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zalka_bound-7c62fb9d1b35fb45.d: crates/psq-bench/src/bin/zalka_bound.rs
+
+/root/repo/target/debug/deps/zalka_bound-7c62fb9d1b35fb45: crates/psq-bench/src/bin/zalka_bound.rs
+
+crates/psq-bench/src/bin/zalka_bound.rs:

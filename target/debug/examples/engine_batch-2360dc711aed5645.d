@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/engine_batch-2360dc711aed5645.d: examples/engine_batch.rs Cargo.toml
+
+/root/repo/target/debug/examples/libengine_batch-2360dc711aed5645.rmeta: examples/engine_batch.rs Cargo.toml
+
+examples/engine_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/engine_batch-af7288153bfd377c.d: examples/engine_batch.rs
+
+/root/repo/target/debug/examples/engine_batch-af7288153bfd377c: examples/engine_batch.rs
+
+examples/engine_batch.rs:

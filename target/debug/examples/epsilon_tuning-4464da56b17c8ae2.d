@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/epsilon_tuning-4464da56b17c8ae2.d: examples/epsilon_tuning.rs
+
+/root/repo/target/debug/examples/epsilon_tuning-4464da56b17c8ae2: examples/epsilon_tuning.rs
+
+examples/epsilon_tuning.rs:

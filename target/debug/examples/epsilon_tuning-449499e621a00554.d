@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/epsilon_tuning-449499e621a00554.d: examples/epsilon_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libepsilon_tuning-449499e621a00554.rmeta: examples/epsilon_tuning.rs Cargo.toml
+
+examples/epsilon_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/error_analysis-0a810a6c2d82accb.d: examples/error_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/liberror_analysis-0a810a6c2d82accb.rmeta: examples/error_analysis.rs Cargo.toml
+
+examples/error_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/error_analysis-9dc7fb1b741dc181.d: examples/error_analysis.rs
+
+/root/repo/target/debug/examples/error_analysis-9dc7fb1b741dc181: examples/error_analysis.rs
+
+examples/error_analysis.rs:

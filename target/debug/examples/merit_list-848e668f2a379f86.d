@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/merit_list-848e668f2a379f86.d: examples/merit_list.rs
+
+/root/repo/target/debug/examples/merit_list-848e668f2a379f86: examples/merit_list.rs
+
+examples/merit_list.rs:

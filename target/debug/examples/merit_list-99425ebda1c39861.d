@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/merit_list-99425ebda1c39861.d: examples/merit_list.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmerit_list-99425ebda1c39861.rmeta: examples/merit_list.rs Cargo.toml
+
+examples/merit_list.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/overshoot-34418b912d55aab5.d: examples/overshoot.rs Cargo.toml
+
+/root/repo/target/debug/examples/libovershoot-34418b912d55aab5.rmeta: examples/overshoot.rs Cargo.toml
+
+examples/overshoot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/overshoot-a9a2b17ce36d56d7.d: examples/overshoot.rs
+
+/root/repo/target/debug/examples/overshoot-a9a2b17ce36d56d7: examples/overshoot.rs
+
+examples/overshoot.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-840a4335266e8436.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-840a4335266e8436.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

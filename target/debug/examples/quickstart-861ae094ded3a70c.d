@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-861ae094ded3a70c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-861ae094ded3a70c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/recursive_search-0cdef8fb9ff7076b.d: examples/recursive_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/librecursive_search-0cdef8fb9ff7076b.rmeta: examples/recursive_search.rs Cargo.toml
+
+examples/recursive_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

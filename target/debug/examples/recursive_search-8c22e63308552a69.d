@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/recursive_search-8c22e63308552a69.d: examples/recursive_search.rs
+
+/root/repo/target/debug/examples/recursive_search-8c22e63308552a69: examples/recursive_search.rs
+
+examples/recursive_search.rs:

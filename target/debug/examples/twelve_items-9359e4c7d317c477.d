@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/twelve_items-9359e4c7d317c477.d: examples/twelve_items.rs
+
+/root/repo/target/debug/examples/twelve_items-9359e4c7d317c477: examples/twelve_items.rs
+
+examples/twelve_items.rs:

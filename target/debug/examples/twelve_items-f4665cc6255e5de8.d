@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/twelve_items-f4665cc6255e5de8.d: examples/twelve_items.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtwelve_items-f4665cc6255e5de8.rmeta: examples/twelve_items.rs Cargo.toml
+
+examples/twelve_items.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

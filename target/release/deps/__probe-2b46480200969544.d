@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/__probe-2b46480200969544.d: crates/psq-bench/src/bin/__probe.rs
+
+/root/repo/target/release/deps/__probe-2b46480200969544: crates/psq-bench/src/bin/__probe.rs
+
+crates/psq-bench/src/bin/__probe.rs:

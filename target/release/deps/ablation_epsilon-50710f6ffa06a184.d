@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_epsilon-50710f6ffa06a184.d: crates/psq-bench/src/bin/ablation_epsilon.rs
+
+/root/repo/target/release/deps/ablation_epsilon-50710f6ffa06a184: crates/psq-bench/src/bin/ablation_epsilon.rs
+
+crates/psq-bench/src/bin/ablation_epsilon.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_robustness-fe48d1ef6c991899.d: crates/psq-bench/src/bin/ablation_robustness.rs
+
+/root/repo/target/release/deps/ablation_robustness-fe48d1ef6c991899: crates/psq-bench/src/bin/ablation_robustness.rs
+
+crates/psq-bench/src/bin/ablation_robustness.rs:

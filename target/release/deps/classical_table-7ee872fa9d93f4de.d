@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/classical_table-7ee872fa9d93f4de.d: crates/psq-bench/src/bin/classical_table.rs
+
+/root/repo/target/release/deps/classical_table-7ee872fa9d93f4de: crates/psq-bench/src/bin/classical_table.rs
+
+crates/psq-bench/src/bin/classical_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_throughput-329f7cbd27db897e.d: crates/psq-bench/benches/engine_throughput.rs
+
+/root/repo/target/release/deps/engine_throughput-329f7cbd27db897e: crates/psq-bench/benches/engine_throughput.rs
+
+crates/psq-bench/benches/engine_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure1-a909c8e5965e27ff.d: crates/psq-bench/src/bin/figure1.rs
+
+/root/repo/target/release/deps/figure1-a909c8e5965e27ff: crates/psq-bench/src/bin/figure1.rs
+
+crates/psq-bench/src/bin/figure1.rs:

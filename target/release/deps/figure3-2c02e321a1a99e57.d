@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure3-2c02e321a1a99e57.d: crates/psq-bench/src/bin/figure3.rs
+
+/root/repo/target/release/deps/figure3-2c02e321a1a99e57: crates/psq-bench/src/bin/figure3.rs
+
+crates/psq-bench/src/bin/figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure4-926ca23570d2e6b4.d: crates/psq-bench/src/bin/figure4.rs
+
+/root/repo/target/release/deps/figure4-926ca23570d2e6b4: crates/psq-bench/src/bin/figure4.rs
+
+crates/psq-bench/src/bin/figure4.rs:

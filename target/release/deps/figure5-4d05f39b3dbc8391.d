@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure5-4d05f39b3dbc8391.d: crates/psq-bench/src/bin/figure5.rs
+
+/root/repo/target/release/deps/figure5-4d05f39b3dbc8391: crates/psq-bench/src/bin/figure5.rs
+
+crates/psq-bench/src/bin/figure5.rs:

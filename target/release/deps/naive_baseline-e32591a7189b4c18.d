@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/naive_baseline-e32591a7189b4c18.d: crates/psq-bench/src/bin/naive_baseline.rs
+
+/root/repo/target/release/deps/naive_baseline-e32591a7189b4c18: crates/psq-bench/src/bin/naive_baseline.rs
+
+crates/psq-bench/src/bin/naive_baseline.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/partial_quantum_search-08d09267ab8afef5.d: src/lib.rs
+
+/root/repo/target/release/deps/libpartial_quantum_search-08d09267ab8afef5.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpartial_quantum_search-08d09267ab8afef5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/psq_bench-f7de14dfabd21ad9.d: crates/psq-bench/src/lib.rs
+
+/root/repo/target/release/deps/libpsq_bench-f7de14dfabd21ad9.rlib: crates/psq-bench/src/lib.rs
+
+/root/repo/target/release/deps/libpsq_bench-f7de14dfabd21ad9.rmeta: crates/psq-bench/src/lib.rs
+
+crates/psq-bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/psq_bounds-0b7bb7c5731af2e7.d: crates/psq-bounds/src/lib.rs crates/psq-bounds/src/hybrid.rs crates/psq-bounds/src/lemmas.rs crates/psq-bounds/src/theorem2.rs crates/psq-bounds/src/zalka.rs
+
+/root/repo/target/release/deps/libpsq_bounds-0b7bb7c5731af2e7.rlib: crates/psq-bounds/src/lib.rs crates/psq-bounds/src/hybrid.rs crates/psq-bounds/src/lemmas.rs crates/psq-bounds/src/theorem2.rs crates/psq-bounds/src/zalka.rs
+
+/root/repo/target/release/deps/libpsq_bounds-0b7bb7c5731af2e7.rmeta: crates/psq-bounds/src/lib.rs crates/psq-bounds/src/hybrid.rs crates/psq-bounds/src/lemmas.rs crates/psq-bounds/src/theorem2.rs crates/psq-bounds/src/zalka.rs
+
+crates/psq-bounds/src/lib.rs:
+crates/psq-bounds/src/hybrid.rs:
+crates/psq-bounds/src/lemmas.rs:
+crates/psq-bounds/src/theorem2.rs:
+crates/psq-bounds/src/zalka.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/psq_classical-fb808eea953d0d8d.d: crates/psq-classical/src/lib.rs crates/psq-classical/src/adversary.rs crates/psq-classical/src/analysis.rs crates/psq-classical/src/full_search.rs crates/psq-classical/src/partial_search.rs
+
+/root/repo/target/release/deps/libpsq_classical-fb808eea953d0d8d.rlib: crates/psq-classical/src/lib.rs crates/psq-classical/src/adversary.rs crates/psq-classical/src/analysis.rs crates/psq-classical/src/full_search.rs crates/psq-classical/src/partial_search.rs
+
+/root/repo/target/release/deps/libpsq_classical-fb808eea953d0d8d.rmeta: crates/psq-classical/src/lib.rs crates/psq-classical/src/adversary.rs crates/psq-classical/src/analysis.rs crates/psq-classical/src/full_search.rs crates/psq-classical/src/partial_search.rs
+
+crates/psq-classical/src/lib.rs:
+crates/psq-classical/src/adversary.rs:
+crates/psq-classical/src/analysis.rs:
+crates/psq-classical/src/full_search.rs:
+crates/psq-classical/src/partial_search.rs:

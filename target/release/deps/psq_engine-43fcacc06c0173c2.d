@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/psq_engine-43fcacc06c0173c2.d: crates/psq-engine/src/lib.rs crates/psq-engine/src/backends.rs crates/psq-engine/src/executor.rs crates/psq-engine/src/metrics.rs crates/psq-engine/src/planner.rs crates/psq-engine/src/spec.rs
+
+/root/repo/target/release/deps/libpsq_engine-43fcacc06c0173c2.rlib: crates/psq-engine/src/lib.rs crates/psq-engine/src/backends.rs crates/psq-engine/src/executor.rs crates/psq-engine/src/metrics.rs crates/psq-engine/src/planner.rs crates/psq-engine/src/spec.rs
+
+/root/repo/target/release/deps/libpsq_engine-43fcacc06c0173c2.rmeta: crates/psq-engine/src/lib.rs crates/psq-engine/src/backends.rs crates/psq-engine/src/executor.rs crates/psq-engine/src/metrics.rs crates/psq-engine/src/planner.rs crates/psq-engine/src/spec.rs
+
+crates/psq-engine/src/lib.rs:
+crates/psq-engine/src/backends.rs:
+crates/psq-engine/src/executor.rs:
+crates/psq-engine/src/metrics.rs:
+crates/psq-engine/src/planner.rs:
+crates/psq-engine/src/spec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/psq_engine-9ff70bb78eaf178c.d: crates/psq-engine/src/bin/psq_engine.rs
+
+/root/repo/target/release/deps/psq_engine-9ff70bb78eaf178c: crates/psq-engine/src/bin/psq_engine.rs
+
+crates/psq-engine/src/bin/psq_engine.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/psq_grover-3615cb38afa62b6b.d: crates/psq-grover/src/lib.rs crates/psq-grover/src/amplitude_amplification.rs crates/psq-grover/src/exact.rs crates/psq-grover/src/iteration.rs crates/psq-grover/src/standard.rs crates/psq-grover/src/theory.rs
+
+/root/repo/target/release/deps/libpsq_grover-3615cb38afa62b6b.rlib: crates/psq-grover/src/lib.rs crates/psq-grover/src/amplitude_amplification.rs crates/psq-grover/src/exact.rs crates/psq-grover/src/iteration.rs crates/psq-grover/src/standard.rs crates/psq-grover/src/theory.rs
+
+/root/repo/target/release/deps/libpsq_grover-3615cb38afa62b6b.rmeta: crates/psq-grover/src/lib.rs crates/psq-grover/src/amplitude_amplification.rs crates/psq-grover/src/exact.rs crates/psq-grover/src/iteration.rs crates/psq-grover/src/standard.rs crates/psq-grover/src/theory.rs
+
+crates/psq-grover/src/lib.rs:
+crates/psq-grover/src/amplitude_amplification.rs:
+crates/psq-grover/src/exact.rs:
+crates/psq-grover/src/iteration.rs:
+crates/psq-grover/src/standard.rs:
+crates/psq-grover/src/theory.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/psq_parallel-92e440e02f6bdf7a.d: crates/psq-parallel/src/lib.rs crates/psq-parallel/src/chunks.rs crates/psq-parallel/src/pool.rs crates/psq-parallel/src/scope.rs
+
+/root/repo/target/release/deps/libpsq_parallel-92e440e02f6bdf7a.rlib: crates/psq-parallel/src/lib.rs crates/psq-parallel/src/chunks.rs crates/psq-parallel/src/pool.rs crates/psq-parallel/src/scope.rs
+
+/root/repo/target/release/deps/libpsq_parallel-92e440e02f6bdf7a.rmeta: crates/psq-parallel/src/lib.rs crates/psq-parallel/src/chunks.rs crates/psq-parallel/src/pool.rs crates/psq-parallel/src/scope.rs
+
+crates/psq-parallel/src/lib.rs:
+crates/psq-parallel/src/chunks.rs:
+crates/psq-parallel/src/pool.rs:
+crates/psq-parallel/src/scope.rs:

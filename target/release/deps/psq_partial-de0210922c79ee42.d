@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/psq_partial-de0210922c79ee42.d: crates/psq-partial/src/lib.rs crates/psq-partial/src/algorithm.rs crates/psq-partial/src/baseline.rs crates/psq-partial/src/example12.rs crates/psq-partial/src/model.rs crates/psq-partial/src/optimizer.rs crates/psq-partial/src/plan.rs crates/psq-partial/src/recursive.rs crates/psq-partial/src/robustness.rs
+
+/root/repo/target/release/deps/libpsq_partial-de0210922c79ee42.rlib: crates/psq-partial/src/lib.rs crates/psq-partial/src/algorithm.rs crates/psq-partial/src/baseline.rs crates/psq-partial/src/example12.rs crates/psq-partial/src/model.rs crates/psq-partial/src/optimizer.rs crates/psq-partial/src/plan.rs crates/psq-partial/src/recursive.rs crates/psq-partial/src/robustness.rs
+
+/root/repo/target/release/deps/libpsq_partial-de0210922c79ee42.rmeta: crates/psq-partial/src/lib.rs crates/psq-partial/src/algorithm.rs crates/psq-partial/src/baseline.rs crates/psq-partial/src/example12.rs crates/psq-partial/src/model.rs crates/psq-partial/src/optimizer.rs crates/psq-partial/src/plan.rs crates/psq-partial/src/recursive.rs crates/psq-partial/src/robustness.rs
+
+crates/psq-partial/src/lib.rs:
+crates/psq-partial/src/algorithm.rs:
+crates/psq-partial/src/baseline.rs:
+crates/psq-partial/src/example12.rs:
+crates/psq-partial/src/model.rs:
+crates/psq-partial/src/optimizer.rs:
+crates/psq-partial/src/plan.rs:
+crates/psq-partial/src/recursive.rs:
+crates/psq-partial/src/robustness.rs:

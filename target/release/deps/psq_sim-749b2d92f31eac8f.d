@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/psq_sim-749b2d92f31eac8f.d: crates/psq-sim/src/lib.rs crates/psq-sim/src/circuit.rs crates/psq-sim/src/gates.rs crates/psq-sim/src/measure.rs crates/psq-sim/src/oracle.rs crates/psq-sim/src/query_counter.rs crates/psq-sim/src/reduced.rs crates/psq-sim/src/statevector.rs crates/psq-sim/src/trace.rs
+
+/root/repo/target/release/deps/libpsq_sim-749b2d92f31eac8f.rlib: crates/psq-sim/src/lib.rs crates/psq-sim/src/circuit.rs crates/psq-sim/src/gates.rs crates/psq-sim/src/measure.rs crates/psq-sim/src/oracle.rs crates/psq-sim/src/query_counter.rs crates/psq-sim/src/reduced.rs crates/psq-sim/src/statevector.rs crates/psq-sim/src/trace.rs
+
+/root/repo/target/release/deps/libpsq_sim-749b2d92f31eac8f.rmeta: crates/psq-sim/src/lib.rs crates/psq-sim/src/circuit.rs crates/psq-sim/src/gates.rs crates/psq-sim/src/measure.rs crates/psq-sim/src/oracle.rs crates/psq-sim/src/query_counter.rs crates/psq-sim/src/reduced.rs crates/psq-sim/src/statevector.rs crates/psq-sim/src/trace.rs
+
+crates/psq-sim/src/lib.rs:
+crates/psq-sim/src/circuit.rs:
+crates/psq-sim/src/gates.rs:
+crates/psq-sim/src/measure.rs:
+crates/psq-sim/src/oracle.rs:
+crates/psq-sim/src/query_counter.rs:
+crates/psq-sim/src/reduced.rs:
+crates/psq-sim/src/statevector.rs:
+crates/psq-sim/src/trace.rs:

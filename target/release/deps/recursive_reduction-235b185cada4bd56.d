@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/recursive_reduction-235b185cada4bd56.d: crates/psq-bench/src/bin/recursive_reduction.rs
+
+/root/repo/target/release/deps/recursive_reduction-235b185cada4bd56: crates/psq-bench/src/bin/recursive_reduction.rs
+
+crates/psq-bench/src/bin/recursive_reduction.rs:

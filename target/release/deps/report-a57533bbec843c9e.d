@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-a57533bbec843c9e.d: crates/psq-bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-a57533bbec843c9e: crates/psq-bench/src/bin/report.rs
+
+crates/psq-bench/src/bin/report.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-c03748fe5041b0f0.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-c03748fe5041b0f0.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-c03748fe5041b0f0.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

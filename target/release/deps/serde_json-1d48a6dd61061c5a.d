@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-1d48a6dd61061c5a.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-1d48a6dd61061c5a.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-1d48a6dd61061c5a.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

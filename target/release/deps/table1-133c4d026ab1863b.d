@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-133c4d026ab1863b.d: crates/psq-bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-133c4d026ab1863b: crates/psq-bench/src/bin/table1.rs
+
+crates/psq-bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theorem1-005c32de15aa20cc.d: crates/psq-bench/src/bin/theorem1.rs
+
+/root/repo/target/release/deps/theorem1-005c32de15aa20cc: crates/psq-bench/src/bin/theorem1.rs
+
+crates/psq-bench/src/bin/theorem1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theorem2-1899e4b227035226.d: crates/psq-bench/src/bin/theorem2.rs
+
+/root/repo/target/release/deps/theorem2-1899e4b227035226: crates/psq-bench/src/bin/theorem2.rs
+
+crates/psq-bench/src/bin/theorem2.rs:

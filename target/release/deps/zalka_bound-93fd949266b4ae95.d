@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zalka_bound-93fd949266b4ae95.d: crates/psq-bench/src/bin/zalka_bound.rs
+
+/root/repo/target/release/deps/zalka_bound-93fd949266b4ae95: crates/psq-bench/src/bin/zalka_bound.rs
+
+crates/psq-bench/src/bin/zalka_bound.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/engine_batch-5e53b642cdc621d0.d: examples/engine_batch.rs
+
+/root/repo/target/release/examples/engine_batch-5e53b642cdc621d0: examples/engine_batch.rs
+
+examples/engine_batch.rs:

@@ -12,6 +12,18 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use psq_engine::{generate_mixed_batch, BackendHint, Engine, EngineConfig, SearchJob};
 
+/// Engines here disable the result cache: every iteration reuses the same
+/// batch, so a caching engine would serve 100% hits after warmup and the
+/// bench would measure hashmap lookups instead of execution throughput.
+/// (`record_bench` has a dedicated `warm_result_cache` scenario for that
+/// path.)
+fn cold_engine() -> Engine {
+    Engine::new(EngineConfig {
+        result_cache: false,
+        ..EngineConfig::default()
+    })
+}
+
 /// A uniform batch: every job on the same backend at a size that backend is
 /// comfortable with.
 fn uniform_batch(hint: BackendHint, count: u64) -> Vec<SearchJob> {
@@ -38,7 +50,7 @@ fn bench_single_backend(c: &mut Criterion) {
         ("classical_randomized", BackendHint::ClassicalRandomized, 64),
     ] {
         let jobs = uniform_batch(hint, count);
-        let engine = Engine::new(EngineConfig::default());
+        let engine = cold_engine();
         group.throughput(Throughput::Elements(count));
         group.bench_with_input(BenchmarkId::from_parameter(label), &jobs, |b, jobs| {
             b.iter(|| black_box(engine.run_batch(jobs)))
@@ -52,7 +64,7 @@ fn bench_mixed_batch(c: &mut Criterion) {
     group.sample_size(10);
     for count in [128usize, 512] {
         let jobs = generate_mixed_batch(count, 42);
-        let engine = Engine::new(EngineConfig::default());
+        let engine = cold_engine();
         group.throughput(Throughput::Elements(count as u64));
         group.bench_with_input(BenchmarkId::from_parameter(count), &jobs, |b, jobs| {
             b.iter(|| black_box(engine.run_batch(jobs)))
@@ -68,7 +80,7 @@ fn bench_plan_cache(c: &mut Criterion) {
     let jobs: Vec<SearchJob> = (0..256u64)
         .map(|id| SearchJob::new(id, 1 << 30, 16, id * 7919).with_backend(BackendHint::Reduced))
         .collect();
-    let engine = Engine::new(EngineConfig::default());
+    let engine = cold_engine();
     group.throughput(Throughput::Elements(jobs.len() as u64));
     group.bench_with_input(BenchmarkId::from_parameter("hot"), &jobs, |b, jobs| {
         b.iter(|| black_box(engine.run_batch(jobs)))

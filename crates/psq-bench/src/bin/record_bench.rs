@@ -1,0 +1,200 @@
+//! `record_bench` — machine-readable engine-throughput trajectory.
+//!
+//! Runs the `engine_throughput` scenarios (the same batches the Criterion
+//! bench drives) with plain wall-clock timing and writes a JSON data point
+//! to `BENCH_engine.json` at the repo root, so successive PRs accumulate a
+//! comparable before/after record without Criterion's report machinery.
+//!
+//! ```text
+//! cargo run -p psq-bench --bin record_bench --release -- [--quick] [--out PATH]
+//! ```
+//!
+//! Scenario semantics match the Criterion bench: one engine per scenario,
+//! reused across timed iterations, so the planner's schedule cache is warm
+//! after the first iteration (that is the steady state of a persistent
+//! serving process). The result cache is **disabled** for every `cold_*`
+//! scenario — each iteration honestly executes every job — and enabled only
+//! for the `warm_result_cache` scenario, which measures the hit path.
+
+use psq_engine::{generate_mixed_batch, BackendHint, Engine, EngineConfig, SearchJob};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured scenario.
+#[derive(Serialize)]
+struct Scenario {
+    /// Scenario name (stable across PRs; used for trajectory diffs).
+    name: String,
+    /// Jobs per batch.
+    jobs_per_batch: u64,
+    /// Timed iterations (after one untimed warmup).
+    iterations: u64,
+    /// Total timed wall clock, seconds.
+    total_seconds: f64,
+    /// Throughput over all timed iterations.
+    jobs_per_s: f64,
+    /// Result-cache counters at the end of the scenario (all zeros when the
+    /// cache was disabled).
+    result_cache_hits: u64,
+    result_cache_misses: u64,
+}
+
+/// The whole data point.
+#[derive(Serialize)]
+struct BenchRecord {
+    /// Benchmark family.
+    bench: String,
+    /// Worker threads the engines used.
+    threads: usize,
+    /// `quick` (CI smoke) or `full`.
+    mode: String,
+    /// Measured scenarios.
+    scenarios: Vec<Scenario>,
+}
+
+/// A uniform batch: every job on the same backend at a size that backend is
+/// comfortable with (mirrors the Criterion bench's generator).
+fn uniform_batch(hint: BackendHint, count: u64) -> Vec<SearchJob> {
+    (0..count)
+        .map(|id| {
+            let (n, k) = match hint {
+                BackendHint::Reduced => (1u64 << (20 + id % 12), 1u64 << (1 + id % 5)),
+                BackendHint::StateVector => (1u64 << (8 + id % 4), 4),
+                BackendHint::Circuit => (1u64 << (6 + id % 3), 2),
+                _ => (1024 + 4 * (id % 512), 4),
+            };
+            SearchJob::new(id, n, k, (id * 2654435761) % n).with_backend(hint)
+        })
+        .collect()
+}
+
+/// Runs one scenario: warmup once, then time whole-batch iterations until
+/// `min_seconds` of measurement or `max_iters` iterations, whichever first.
+fn run_scenario(
+    name: &str,
+    engine: &Engine,
+    jobs: &[SearchJob],
+    min_seconds: f64,
+    max_iters: u64,
+) -> Scenario {
+    let warmup = engine.run_batch(jobs);
+    assert!(
+        warmup.rejected.is_empty(),
+        "{name}: benchmark batches must be fully valid"
+    );
+    let mut iterations = 0u64;
+    let started = Instant::now();
+    while iterations < max_iters {
+        let report = engine.run_batch(jobs);
+        std::hint::black_box(&report);
+        iterations += 1;
+        if started.elapsed().as_secs_f64() >= min_seconds {
+            break;
+        }
+    }
+    let total_seconds = started.elapsed().as_secs_f64();
+    let cache = engine.result_cache_stats();
+    let scenario = Scenario {
+        name: name.to_string(),
+        jobs_per_batch: jobs.len() as u64,
+        iterations,
+        total_seconds,
+        jobs_per_s: (jobs.len() as u64 * iterations) as f64 / total_seconds,
+        result_cache_hits: cache.hits,
+        result_cache_misses: cache.misses,
+    };
+    eprintln!(
+        "{:<32} {:>5} jobs x {:>3} iters in {:>8.3} s  ->  {:>10.1} jobs/s{}",
+        scenario.name,
+        scenario.jobs_per_batch,
+        scenario.iterations,
+        scenario.total_seconds,
+        scenario.jobs_per_s,
+        if cache.hits > 0 {
+            format!("  ({} cache hits)", cache.hits)
+        } else {
+            String::new()
+        }
+    );
+    scenario
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = "BENCH_engine.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("usage: record_bench [--quick] [--out PATH] (got `{other}`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (min_seconds, max_iters) = if quick { (0.05, 2) } else { (1.0, 50) };
+    let cold = EngineConfig {
+        result_cache: false,
+        ..EngineConfig::default()
+    };
+
+    let mut scenarios = Vec::new();
+
+    // The headline number: the mixed batch the engine is designed to serve,
+    // every job honestly executed.
+    for count in [128usize, 512] {
+        let engine = Engine::new(cold);
+        let jobs = generate_mixed_batch(count, 42);
+        scenarios.push(run_scenario(
+            &format!("cold_mixed_batch/{count}"),
+            &engine,
+            &jobs,
+            min_seconds,
+            max_iters,
+        ));
+    }
+
+    // Per-backend cost isolation.
+    for (label, hint, count) in [
+        ("reduced", BackendHint::Reduced, 256u64),
+        ("statevector", BackendHint::StateVector, 64),
+        ("circuit", BackendHint::Circuit, 32),
+        ("classical_randomized", BackendHint::ClassicalRandomized, 64),
+    ] {
+        let engine = Engine::new(cold);
+        let jobs = uniform_batch(hint, count);
+        scenarios.push(run_scenario(
+            &format!("cold_uniform_batch/{label}"),
+            &engine,
+            &jobs,
+            min_seconds,
+            max_iters,
+        ));
+    }
+
+    // The result-cache hit path: identical repeated batch on a caching
+    // engine; after the warmup run every job is a hit.
+    {
+        let engine = Engine::new(EngineConfig::default());
+        let jobs = generate_mixed_batch(512, 42);
+        scenarios.push(run_scenario(
+            "warm_result_cache/512",
+            &engine,
+            &jobs,
+            min_seconds,
+            max_iters,
+        ));
+    }
+
+    let record = BenchRecord {
+        bench: "engine_throughput".to_string(),
+        // Same policy `WorkerPool::with_default_threads` sizes the engines by.
+        threads: psq_parallel::num_threads(),
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        scenarios,
+    };
+    let json = serde_json::to_string_pretty(&record).expect("record serialises");
+    std::fs::write(&out, json + "\n").expect("write bench record");
+    eprintln!("wrote {out}");
+}

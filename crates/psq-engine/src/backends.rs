@@ -16,6 +16,7 @@ use psq_partial::PartialSearch;
 use psq_sim::circuit::{block_iteration_via_circuit, grover_iteration_via_circuit, Step3Circuit};
 use psq_sim::gates::QubitRegister;
 use psq_sim::oracle::{Database, Partition};
+use psq_sim::scratch::AmplitudeScratch;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -145,16 +146,22 @@ fn run_circuit(job: &SearchJob, plan: &ExecutionPlan, rng: &mut StdRng) -> Searc
     let mut reported = Vec::with_capacity(job.trials as usize);
     let mut queries = 0u64;
     let mut success = 0.0;
-    for _ in 0..job.trials {
+    // One register and one Step-3 scratch for the whole job: gates apply in
+    // place, so a multi-trial run performs O(1) allocations total.
+    let mut register = QubitRegister::uniform(qubits);
+    let mut scratch = AmplitudeScratch::with_capacity(job.n as usize);
+    for trial in 0..job.trials {
+        if trial > 0 {
+            register.reset_uniform();
+        }
         let db = Database::new(job.n, job.target);
-        let mut register = QubitRegister::uniform(qubits);
         for _ in 0..schedule.l1 {
             grover_iteration_via_circuit(&mut register, &db);
         }
         for _ in 0..schedule.l2 {
             block_iteration_via_circuit(&mut register, &db, &partition);
         }
-        let step3 = Step3Circuit::apply(register.state(), &db);
+        let step3 = Step3Circuit::apply_with_scratch(register.state(), &db, &mut scratch);
         success = step3.block_probability(&partition, true_block);
         // Sample the address-register measurement from the circuit's exact
         // distribution (inverse-CDF walk, as in `psq_sim::measure`).
@@ -170,6 +177,7 @@ fn run_circuit(job: &SearchJob, plan: &ExecutionPlan, rng: &mut StdRng) -> Searc
         }
         reported.push(partition.block_of(address));
         queries += db.queries();
+        step3.recycle(&mut scratch);
     }
     finish(
         job,

@@ -5,7 +5,8 @@
 //! psq-engine --gen N [--seed S]         emit a mixed demo batch instead
 //!
 //! Options:
-//!   --threads N     worker threads (default: machine parallelism)
+//!   --threads N          worker threads (default: machine parallelism)
+//!   --no-result-cache    disable the memoised result cache
 //!   --pretty        indent the output JSON
 //!   --metrics-only  omit per-job results, print only batch metrics
 //!   --explain       per-job cost-model table on stderr before running
@@ -21,6 +22,7 @@ use std::process::ExitCode;
 struct Options {
     path: Option<String>,
     threads: Option<usize>,
+    result_cache: bool,
     pretty: bool,
     metrics_only: bool,
     explain: bool,
@@ -30,7 +32,7 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: psq-engine [--threads N] [--pretty] [--metrics-only] [--explain] [JOBS.json]\n\
+        "usage: psq-engine [--threads N] [--no-result-cache] [--pretty] [--metrics-only] [--explain] [JOBS.json]\n\
          \x20      psq-engine --gen N [--seed S] [--pretty]\n\
          reads a JSON job batch (file, or stdin when no path / `-`) and emits JSON results;\n\
          --gen emits a deterministic mixed demo batch instead of running one"
@@ -42,6 +44,7 @@ fn parse_options() -> Options {
     let mut options = Options {
         path: None,
         threads: None,
+        result_cache: true,
         pretty: false,
         metrics_only: false,
         explain: false,
@@ -63,6 +66,7 @@ fn parse_options() -> Options {
                 let v = args.next().unwrap_or_else(|| usage());
                 options.gen_seed = v.parse().unwrap_or_else(|_| usage());
             }
+            "--no-result-cache" => options.result_cache = false,
             "--pretty" => options.pretty = true,
             "--metrics-only" => options.metrics_only = true,
             "--explain" => options.explain = true,
@@ -124,6 +128,8 @@ fn main() -> ExitCode {
 
     let engine = Engine::new(EngineConfig {
         threads: options.threads,
+        result_cache: options.result_cache,
+        ..EngineConfig::default()
     });
 
     if options.explain {

@@ -1,0 +1,316 @@
+//! Memoised search results: the serving layer's second cache.
+//!
+//! The planner's [`crate::planner::PlanCache`] memoises *schedules* — shared
+//! by every job with the same `(N, K, ε)` shape. This module memoises whole
+//! *results*: every backend runner is a pure function of the deterministic
+//! job spec (that is the engine's reproducibility contract), so a repeated
+//! job — within a batch or across batches — can skip execution entirely.
+//!
+//! The cache key is the full deterministic input of a run:
+//! `(n, k, target-key, error_target, trials, seed, backend)`. For the
+//! reduced backend the target key is the job's *block index* rather than the
+//! exact address — the reduced dynamics and the block sampler only see the
+//! block, so any two targets in the same block produce identical results and
+//! share an entry (this is the `(n, k, target-block, seed, backend)` key of
+//! the design note, widened with the fields the other backends genuinely
+//! depend on: state-vector and circuit measurements walk the exact per-
+//! address CDF, and the classical scans' probe counts depend on the exact
+//! target position, so those backends key on the full address).
+//!
+//! Storage is sharded: `SHARD_COUNT` independent `parking_lot::RwLock`
+//! maps, picked by key hash, so concurrent workers mostly touch different
+//! locks and lookups take only a read lock. Hit/miss counters are surfaced
+//! through [`crate::metrics::BatchMetrics`].
+
+use crate::spec::{Backend, SearchJob, SearchResult};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of independently locked shards (power of two).
+const SHARD_COUNT: usize = 16;
+
+/// Default bound on stored results across all shards; see
+/// [`ResultCache::with_capacity`].
+pub const DEFAULT_RESULT_CACHE_CAPACITY: usize = 1 << 16;
+
+/// The deterministic inputs of one job execution (see module docs). Exposed
+/// crate-internally so the executor can deduplicate repeats *within* one
+/// batch before they reach the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    n: u64,
+    k: u64,
+    /// Exact target address, except on the reduced backend where it is the
+    /// target's block index (coarser, safely — see module docs).
+    target_key: u64,
+    /// Bit pattern of the job's error target (`f64::to_bits`).
+    error_bits: u64,
+    trials: u32,
+    seed: u64,
+    backend: Backend,
+}
+
+impl CacheKey {
+    pub(crate) fn new(job: &SearchJob, backend: Backend) -> Self {
+        let target_key = match backend {
+            // One entry serves every target in the block.
+            Backend::Reduced => job.target / (job.n / job.k),
+            _ => job.target,
+        };
+        Self {
+            n: job.n,
+            k: job.k,
+            target_key,
+            error_bits: job.error_target.to_bits(),
+            trials: job.trials,
+            seed: job.seed,
+            backend,
+        }
+    }
+
+    fn shard(&self) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut hasher);
+        (hasher.finish() as usize) % SHARD_COUNT
+    }
+}
+
+/// Cumulative cache statistics, exposed through batch metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ResultCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to execution.
+    pub misses: u64,
+    /// Results currently stored.
+    pub entries: u64,
+}
+
+/// Sharded memoised `deterministic job spec → SearchResult` map (see module
+/// docs). Safe to share across executor workers.
+pub struct ResultCache {
+    shards: Vec<RwLock<HashMap<CacheKey, SearchResult>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Per-shard entry bound (total capacity divided across shards).
+    shard_capacity: usize,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_RESULT_CACHE_CAPACITY)
+    }
+}
+
+impl ResultCache {
+    /// An empty cache bounded to roughly `capacity` stored results.
+    ///
+    /// The bound is enforced per shard by refusing inserts into a full
+    /// shard: repeated jobs (the workload the cache serves) re-insert the
+    /// same keys, so eviction machinery would cost more than it saves.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            shard_capacity: capacity.div_ceil(SHARD_COUNT).max(1),
+        }
+    }
+
+    /// Looks up the result a previous execution produced for this job on
+    /// `backend`. On a hit the stored result is re-stamped with the asking
+    /// job's id and a zero wall time (the serving cost of a hit is the
+    /// lookup itself); every deterministic field is returned exactly as the
+    /// original execution produced it.
+    pub fn lookup(&self, job: &SearchJob, backend: Backend) -> Option<SearchResult> {
+        self.lookup_with_key(&CacheKey::new(job, backend), job.id)
+    }
+
+    /// Key-based form of [`ResultCache::lookup`] for callers (the executor)
+    /// that already built the key for deduplication — avoids rebuilding and
+    /// re-hashing it per call.
+    pub(crate) fn lookup_with_key(&self, key: &CacheKey, job_id: u64) -> Option<SearchResult> {
+        let found = self.shards[key.shard()].read().get(key).copied();
+        match found {
+            Some(mut result) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                result.job_id = job_id;
+                result.wall_time_us = 0.0;
+                Some(result)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores the result of executing `job` on `backend`. A full shard
+    /// drops the insert; a racing duplicate insert is harmless because
+    /// execution is deterministic.
+    pub fn insert(&self, job: &SearchJob, backend: Backend, result: SearchResult) {
+        self.insert_with_key(CacheKey::new(job, backend), result);
+    }
+
+    /// Key-based form of [`ResultCache::insert`] (see
+    /// [`ResultCache::lookup_with_key`]).
+    pub(crate) fn insert_with_key(&self, key: CacheKey, result: SearchResult) {
+        let mut shard = self.shards[key.shard()].write();
+        if shard.len() < self.shard_capacity || shard.contains_key(&key) {
+            shard.insert(key, result);
+        }
+    }
+
+    /// Credits `count` extra hits: used by the executor when it serves
+    /// in-batch repeats by copying the original's result directly (the
+    /// repeat was absorbed by memoisation even though no map lookup ran).
+    pub fn record_hits(&self, count: u64) {
+        self.hits.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> ResultCacheStats {
+        ResultCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.read().len() as u64).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::BackendHint;
+
+    fn result_for(job: &SearchJob, backend: Backend) -> SearchResult {
+        SearchResult {
+            job_id: job.id,
+            backend,
+            block_found: 2,
+            true_block: 2,
+            correct: true,
+            queries: 123,
+            success_estimate: 0.99,
+            trials: job.trials,
+            trials_correct: job.trials,
+            wall_time_us: 41.5,
+        }
+    }
+
+    #[test]
+    fn lookup_returns_the_exact_cached_result_and_counts_hits() {
+        let cache = ResultCache::default();
+        let job = SearchJob::new(7, 1 << 10, 4, 100);
+        assert!(cache.lookup(&job, Backend::Reduced).is_none());
+        let stored = result_for(&job, Backend::Reduced);
+        cache.insert(&job, Backend::Reduced, stored);
+
+        // Same spec under a different job id: every deterministic field but
+        // the echoed id must come back exactly as stored.
+        let mut repeat = job;
+        repeat.id = 99;
+        let hit = cache.lookup(&repeat, Backend::Reduced).expect("cache hit");
+        assert_eq!(hit.job_id, 99);
+        assert_eq!(hit.wall_time_us, 0.0);
+        let mut expected = stored;
+        expected.job_id = 99;
+        assert_eq!(hit.deterministic_fields(), expected.deterministic_fields());
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn distinct_specs_do_not_collide() {
+        let cache = ResultCache::default();
+        let job = SearchJob::new(0, 1 << 10, 4, 100);
+        cache.insert(
+            &job,
+            Backend::StateVector,
+            result_for(&job, Backend::StateVector),
+        );
+        // Different backend, seed, trials, error target or target address:
+        // all misses.
+        assert!(cache.lookup(&job, Backend::Circuit).is_none());
+        assert!(cache
+            .lookup(&job.with_seed(job.seed ^ 1), Backend::StateVector)
+            .is_none());
+        assert!(cache
+            .lookup(&job.with_trials(2), Backend::StateVector)
+            .is_none());
+        assert!(cache
+            .lookup(&job.with_error_target(0.5), Backend::StateVector)
+            .is_none());
+        let mut moved = job;
+        moved.target = 101;
+        assert!(cache.lookup(&moved, Backend::StateVector).is_none());
+    }
+
+    #[test]
+    fn reduced_backend_shares_entries_within_a_block() {
+        let cache = ResultCache::default();
+        let job = SearchJob::new(0, 1 << 10, 4, 0).with_backend(BackendHint::Reduced);
+        cache.insert(&job, Backend::Reduced, result_for(&job, Backend::Reduced));
+        // Same block (block size 256): hit. Different block: miss.
+        let mut same_block = job;
+        same_block.target = 255;
+        assert!(cache.lookup(&same_block, Backend::Reduced).is_some());
+        let mut other_block = job;
+        other_block.target = 256;
+        assert!(cache.lookup(&other_block, Backend::Reduced).is_none());
+        // The exact-address backends never share across addresses.
+        cache.insert(
+            &job,
+            Backend::ClassicalDeterministic,
+            result_for(&job, Backend::ClassicalDeterministic),
+        );
+        let mut classical_moved = job;
+        classical_moved.target = 255;
+        assert!(cache
+            .lookup(&classical_moved, Backend::ClassicalDeterministic)
+            .is_none());
+    }
+
+    #[test]
+    fn capacity_bound_refuses_new_keys_but_allows_updates() {
+        let cache = ResultCache::with_capacity(SHARD_COUNT); // one entry per shard
+        let mut inserted = Vec::new();
+        for target in 0..64u64 {
+            let job = SearchJob::new(target, 1 << 10, 4, target);
+            cache.insert(
+                &job,
+                Backend::StateVector,
+                result_for(&job, Backend::StateVector),
+            );
+            inserted.push(job);
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= SHARD_COUNT as u64);
+        assert!(stats.entries > 0);
+        // Whatever made it in is still retrievable.
+        let retrievable = inserted
+            .iter()
+            .filter(|job| cache.lookup(job, Backend::StateVector).is_some())
+            .count() as u64;
+        assert_eq!(retrievable, stats.entries);
+    }
+
+    #[test]
+    fn stats_round_trip_through_json() {
+        let stats = ResultCacheStats {
+            hits: 5,
+            misses: 2,
+            entries: 2,
+        };
+        let json = serde_json::to_string(&stats).expect("serialise");
+        let back: ResultCacheStats = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(stats, back);
+    }
+}

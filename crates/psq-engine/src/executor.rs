@@ -1,17 +1,24 @@
 //! Batch execution over the worker pool.
 //!
-//! The [`Engine`] owns a persistent `psq_parallel::WorkerPool` and a shared
-//! [`Planner`] (with its memoised plan cache). [`Engine::run_batch`]
-//! validates and plans every job, fans the accepted ones out over the pool,
-//! and aggregates results into [`BatchMetrics`]. Ordering and determinism:
+//! The [`Engine`] owns a persistent `psq_parallel::WorkerPool` (work-
+//! stealing: per-worker deques fed from a shared injector), a shared
+//! [`Planner`] (with its memoised plan cache), and a sharded
+//! [`ResultCache`]. [`Engine::run_batch`] validates and plans every job,
+//! serves repeats straight from the result cache, fans the rest out over
+//! the pool, and aggregates results into [`BatchMetrics`]. Ordering and
+//! determinism:
 //!
 //! * results come back in job-submission order regardless of which worker
 //!   ran what (`WorkerPool::map` reassembles by submission index);
 //! * each job's randomness comes from its own seed, so a batch's results —
 //!   wall times aside — are bit-identical run to run, across thread counts,
-//!   and identical to executing each job alone.
+//!   and identical to executing each job alone;
+//! * a cache hit returns exactly the deterministic fields a cold execution
+//!   would produce (the cache key covers every input the runners read), so
+//!   caching is observable only through wall times and the hit counters.
 
 use crate::backends;
+use crate::cache::{CacheKey, ResultCache, ResultCacheStats, DEFAULT_RESULT_CACHE_CAPACITY};
 use crate::metrics::BatchMetrics;
 use crate::planner::{ExecutionPlan, Planner};
 use crate::spec::{RejectedJob, SearchJob, SearchResult};
@@ -21,10 +28,25 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Engine construction options.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
     /// Worker threads; `None` sizes the pool to the machine.
     pub threads: Option<usize>,
+    /// Whether repeated jobs are served from the result cache (on by
+    /// default; disable for honest cold-path benchmarking).
+    pub result_cache: bool,
+    /// Approximate bound on stored results when the cache is enabled.
+    pub result_cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            threads: None,
+            result_cache: true,
+            result_cache_capacity: DEFAULT_RESULT_CACHE_CAPACITY,
+        }
+    }
 }
 
 /// A fully executed batch: per-job results, rejects, and aggregate metrics.
@@ -42,6 +64,8 @@ pub struct BatchReport {
 pub struct Engine {
     planner: Arc<Planner>,
     pool: WorkerPool,
+    /// `None` when disabled through [`EngineConfig::result_cache`].
+    result_cache: Option<Arc<ResultCache>>,
 }
 
 impl Default for Engine {
@@ -51,7 +75,7 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// Builds an engine with its own planner and worker pool.
+    /// Builds an engine with its own planner, worker pool and result cache.
     pub fn new(config: EngineConfig) -> Self {
         let pool = match config.threads {
             Some(threads) => WorkerPool::new(threads),
@@ -60,6 +84,9 @@ impl Engine {
         Self {
             planner: Arc::new(Planner::new()),
             pool,
+            result_cache: config
+                .result_cache
+                .then(|| Arc::new(ResultCache::with_capacity(config.result_cache_capacity))),
         }
     }
 
@@ -73,42 +100,125 @@ impl Engine {
         self.pool.threads()
     }
 
-    /// Executes one job synchronously on the calling thread (the single-job
-    /// serving path; also what each pool worker runs per batched job).
-    pub fn run_job(&self, job: &SearchJob) -> Result<SearchResult, String> {
-        run_one(&self.planner, job)
+    /// Result-cache statistics (all zeros when the cache is disabled).
+    pub fn result_cache_stats(&self) -> ResultCacheStats {
+        self.result_cache
+            .as_ref()
+            .map(|cache| cache.stats())
+            .unwrap_or_default()
     }
 
-    /// Executes a batch: plans every job, fans the accepted ones out over
-    /// the pool, and aggregates metrics.
+    /// Executes one job synchronously on the calling thread (the single-job
+    /// serving path), going through the result cache like the batch path.
+    pub fn run_job(&self, job: &SearchJob) -> Result<SearchResult, String> {
+        let plan = self.planner.plan(job)?;
+        let key = self
+            .result_cache
+            .as_ref()
+            .map(|_| CacheKey::new(job, plan.backend));
+        if let (Some(cache), Some(key)) = (&self.result_cache, &key) {
+            if let Some(hit) = cache.lookup_with_key(key, job.id) {
+                return Ok(hit);
+            }
+        }
+        let result = execute_planned(job, &plan);
+        if let (Some(cache), Some(key)) = (&self.result_cache, key) {
+            cache.insert_with_key(key, result);
+        }
+        Ok(result)
+    }
+
+    /// Executes a batch: plans every job, serves repeats from the result
+    /// cache, fans the rest out over the pool, and aggregates metrics.
     pub fn run_batch(&self, jobs: &[SearchJob]) -> BatchReport {
         let started = Instant::now();
         // Plan on the submitting thread: planning is cheap (cache-memoised),
         // failing fast keeps rejects out of the pool, and handing the
         // resolved plan to the worker keeps the plan-cache lock off the
-        // execution hot path.
+        // execution hot path. Cache lookups also happen here — a hit costs
+        // a sharded read lock, far less than a pool round trip.
         let mut rejected = Vec::new();
-        let mut accepted: Vec<(SearchJob, ExecutionPlan)> = Vec::with_capacity(jobs.len());
+        let mut results: Vec<Option<SearchResult>> = Vec::with_capacity(jobs.len());
+        // Each pending entry carries the cache key built during planning
+        // (`None` when the cache is disabled) so insert-after-execution does
+        // not rebuild and re-hash it.
+        let mut pending: Vec<(usize, SearchJob, ExecutionPlan, Option<CacheKey>)> = Vec::new();
+        // Repeats of a job already pending in *this* batch (same cache key):
+        // executed once, then copied to every repeat's slot.
+        let mut duplicates: Vec<(usize, usize, u64)> = Vec::new();
+        let mut pending_keys: std::collections::HashMap<CacheKey, usize> =
+            std::collections::HashMap::new();
         for job in jobs {
             match self.planner.plan(job) {
-                Ok(plan) => accepted.push((*job, plan)),
+                Ok(plan) => {
+                    let slot = results.len();
+                    results.push(None);
+                    match &self.result_cache {
+                        Some(cache) => {
+                            // Repeat-of-pending is checked before the map
+                            // lookup so a repeat counts as exactly one hit
+                            // (credited when served) and never as a miss —
+                            // `misses` keeps meaning "lookups that fell
+                            // through to execution".
+                            let key = CacheKey::new(job, plan.backend);
+                            if let Some(&origin) = pending_keys.get(&key) {
+                                duplicates.push((slot, origin, job.id));
+                            } else if let Some(hit) = cache.lookup_with_key(&key, job.id) {
+                                results[slot] = Some(hit);
+                            } else {
+                                pending_keys.insert(key, slot);
+                                pending.push((slot, *job, plan, Some(key)));
+                            }
+                        }
+                        None => pending.push((slot, *job, plan, None)),
+                    }
+                }
                 Err(reason) => rejected.push(RejectedJob {
                     job_id: job.id,
                     reason,
                 }),
             }
         }
-        let tasks: Vec<_> = accepted
-            .into_iter()
-            .map(|(job, plan)| move || execute_planned(&job, &plan))
+        let slots_and_keys: Vec<(usize, Option<CacheKey>)> = pending
+            .iter()
+            .map(|(slot, _, _, key)| (*slot, *key))
             .collect();
-        let results = self.pool.map(tasks);
+        let tasks: Vec<_> = pending
+            .into_iter()
+            .map(|(_, job, plan, _)| move || execute_planned(&job, &plan))
+            .collect();
+        // `map` returns in submission order, which is exactly `slots` order.
+        for ((slot, key), result) in slots_and_keys.into_iter().zip(self.pool.map(tasks)) {
+            if let (Some(cache), Some(key)) = (&self.result_cache, key) {
+                cache.insert_with_key(key, result);
+            }
+            results[slot] = Some(result);
+        }
+        // In-batch repeats are copies of their original's result — served
+        // like cache hits (id re-stamped, wall time charged to the lookup),
+        // and counted as hits since the repeat was absorbed by memoisation.
+        if !duplicates.is_empty() {
+            if let Some(cache) = &self.result_cache {
+                cache.record_hits(duplicates.len() as u64);
+            }
+            for (slot, origin_slot, job_id) in duplicates {
+                let mut served = results[origin_slot].expect("original executed in the loop above");
+                served.job_id = job_id;
+                served.wall_time_us = 0.0;
+                results[slot] = Some(served);
+            }
+        }
         let wall_time_s = started.elapsed().as_secs_f64();
+        let results: Vec<SearchResult> = results
+            .into_iter()
+            .map(|r| r.expect("every accepted job has a result"))
+            .collect();
         let metrics = BatchMetrics::aggregate(
             &results,
             rejected.len() as u64,
             wall_time_s,
             self.planner.cache().stats(),
+            self.result_cache_stats(),
         );
         BatchReport {
             results,
@@ -116,12 +226,6 @@ impl Engine {
             metrics,
         }
     }
-}
-
-/// Plans and executes one job, stamping its wall time.
-fn run_one(planner: &Planner, job: &SearchJob) -> Result<SearchResult, String> {
-    let plan = planner.plan(job)?;
-    Ok(execute_planned(job, &plan))
 }
 
 /// Executes an already-planned job, stamping its wall time.
@@ -139,7 +243,10 @@ mod tests {
 
     #[test]
     fn batch_results_come_back_in_submission_order() {
-        let engine = Engine::new(EngineConfig { threads: Some(4) });
+        let engine = Engine::new(EngineConfig {
+            threads: Some(4),
+            ..EngineConfig::default()
+        });
         let jobs: Vec<SearchJob> = (0..40)
             .map(|id| SearchJob::new(id, 1 << 10, 4, (id * 37) % (1 << 10)))
             .collect();
@@ -153,10 +260,16 @@ mod tests {
 
     #[test]
     fn batch_matches_single_job_execution_bit_for_bit() {
-        let engine = Engine::new(EngineConfig { threads: Some(8) });
+        let engine = Engine::new(EngineConfig {
+            threads: Some(8),
+            ..EngineConfig::default()
+        });
         let jobs = generate_mixed_batch(24, 7);
         let report = engine.run_batch(&jobs);
-        let solo = Engine::new(EngineConfig { threads: Some(1) });
+        let solo = Engine::new(EngineConfig {
+            threads: Some(1),
+            ..EngineConfig::default()
+        });
         for (job, batched) in jobs.iter().zip(&report.results) {
             let alone = solo.run_job(job).expect("runs alone");
             assert_eq!(
@@ -208,6 +321,87 @@ mod tests {
         // Mixed batches repeat (n, k, ε) shapes: the cache must be hitting.
         assert!(m.plan_cache.hits > 0);
         assert_eq!(m.plan_cache.entries, m.plan_cache.misses);
+    }
+
+    #[test]
+    fn repeated_batches_are_served_from_the_result_cache() {
+        let engine = Engine::new(EngineConfig {
+            threads: Some(2),
+            ..EngineConfig::default()
+        });
+        let jobs = generate_mixed_batch(24, 5);
+        let cold = engine.run_batch(&jobs);
+        let cold_hits = cold.metrics.result_cache.hits;
+        let warm = engine.run_batch(&jobs);
+        assert!(
+            warm.metrics.result_cache.hits >= cold_hits + 24,
+            "every repeated job must hit ({} -> {})",
+            cold_hits,
+            warm.metrics.result_cache.hits
+        );
+        assert!(warm.metrics.result_cache.entries > 0);
+        for (a, b) in cold.results.iter().zip(&warm.results) {
+            assert_eq!(
+                a.deterministic_fields(),
+                b.deterministic_fields(),
+                "cached result diverged from cold execution"
+            );
+        }
+        // A cache-disabled engine produces the identical deterministic
+        // results and reports an all-zero cache.
+        let uncached = Engine::new(EngineConfig {
+            threads: Some(2),
+            result_cache: false,
+            ..EngineConfig::default()
+        });
+        let reference = uncached.run_batch(&jobs);
+        assert_eq!(reference.metrics.result_cache, ResultCacheStats::default());
+        for (a, b) in reference.results.iter().zip(&warm.results) {
+            assert_eq!(a.deterministic_fields(), b.deterministic_fields());
+        }
+    }
+
+    #[test]
+    fn duplicate_jobs_within_one_batch_execute_once() {
+        let engine = Engine::new(EngineConfig {
+            threads: Some(2),
+            ..EngineConfig::default()
+        });
+        let template = SearchJob::new(0, 1 << 12, 8, 33).with_seed(7);
+        let jobs: Vec<SearchJob> = (0..10)
+            .map(|id| {
+                let mut job = template;
+                job.id = id;
+                job
+            })
+            .collect();
+        let report = engine.run_batch(&jobs);
+        assert_eq!(report.results.len(), 10);
+        // Nine of the ten are in-batch repeats served from the cache.
+        assert_eq!(report.metrics.result_cache.hits, 9);
+        let base = report.results[0];
+        for (id, result) in report.results.iter().enumerate() {
+            assert_eq!(result.job_id, id as u64, "ids echo per submission");
+            // Everything but the echoed id matches the executed original.
+            assert_eq!(result.backend, base.backend);
+            assert_eq!(result.block_found, base.block_found);
+            assert_eq!(result.true_block, base.true_block);
+            assert_eq!(result.queries, base.queries);
+            assert_eq!(result.success_estimate, base.success_estimate);
+            assert_eq!(result.trials_correct, base.trials_correct);
+        }
+    }
+
+    #[test]
+    fn run_job_round_trips_through_the_cache() {
+        let engine = Engine::default();
+        let job = SearchJob::new(3, 1 << 16, 8, 123);
+        let first = engine.run_job(&job).expect("runs");
+        assert_eq!(engine.result_cache_stats().hits, 0);
+        let second = engine.run_job(&job).expect("runs again");
+        assert_eq!(engine.result_cache_stats().hits, 1);
+        assert_eq!(first.deterministic_fields(), second.deterministic_fields());
+        assert_eq!(second.wall_time_us, 0.0, "hits report lookup-only time");
     }
 
     #[test]

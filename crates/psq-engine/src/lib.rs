@@ -12,9 +12,11 @@
 //!   vector, gate-level circuit, or the classical zero-error scans), with a
 //!   memoised `(N, K, ε) → (ℓ1, ℓ2)` schedule cache shared across workers;
 //! * [`backends`] — bit-reproducible single-job runners for each backend;
+//! * [`cache`] — a sharded memoised result cache: repeated jobs (within a
+//!   batch or across batches) skip execution entirely;
 //! * [`executor`] — the [`Engine`]: batch fan-out over
-//!   `psq_parallel::WorkerPool` with per-job seeding and submission-order
-//!   results;
+//!   `psq_parallel::WorkerPool` (work-stealing per-worker deques) with
+//!   per-job seeding and submission-order results;
 //! * [`metrics`] — throughput/latency/accuracy aggregation per batch.
 //!
 //! The `psq-engine` binary wraps [`Engine`] in a JSON-in/JSON-out pipe:
@@ -25,11 +27,13 @@
 //! ```
 
 pub mod backends;
+pub mod cache;
 pub mod executor;
 pub mod metrics;
 pub mod planner;
 pub mod spec;
 
+pub use cache::{ResultCache, ResultCacheStats};
 pub use executor::{BatchReport, Engine, EngineConfig};
 pub use metrics::{BackendTally, BatchMetrics};
 pub use planner::{

@@ -1,6 +1,7 @@
 //! Batch-level aggregation: throughput, latency percentiles, accuracy and
 //! per-backend tallies, all serialisable for the engine's JSON output.
 
+use crate::cache::ResultCacheStats;
 use crate::planner::PlanCacheStats;
 use crate::spec::{Backend, SearchResult};
 use serde::{Deserialize, Serialize};
@@ -87,6 +88,9 @@ pub struct BatchMetrics {
     pub backend_jobs: BackendTally,
     /// Plan-cache behaviour during the batch.
     pub plan_cache: PlanCacheStats,
+    /// Result-cache behaviour (cumulative over the engine's lifetime; all
+    /// zeros when the cache is disabled).
+    pub result_cache: ResultCacheStats,
 }
 
 /// Nearest-rank percentile of an unsorted latency sample (`q` in `[0, 1]`).
@@ -106,6 +110,7 @@ impl BatchMetrics {
         rejected: u64,
         wall_time_s: f64,
         plan_cache: PlanCacheStats,
+        result_cache: ResultCacheStats,
     ) -> Self {
         let mut tally = BackendTally::default();
         let mut total_queries = 0u64;
@@ -146,6 +151,7 @@ impl BatchMetrics {
             latency_us_max: latencies.last().copied().unwrap_or(0.0),
             backend_jobs: tally,
             plan_cache,
+            result_cache,
         }
     }
 }
@@ -174,7 +180,13 @@ mod tests {
         let results: Vec<SearchResult> = (1..=100)
             .map(|i| result(Backend::Reduced, 10, i % 10 != 0, i as f64))
             .collect();
-        let m = BatchMetrics::aggregate(&results, 3, 2.0, PlanCacheStats::default());
+        let m = BatchMetrics::aggregate(
+            &results,
+            3,
+            2.0,
+            PlanCacheStats::default(),
+            ResultCacheStats::default(),
+        );
         assert_eq!(m.jobs, 100);
         assert_eq!(m.rejected, 3);
         assert_eq!(m.total_queries, 1000);
@@ -191,7 +203,13 @@ mod tests {
 
     #[test]
     fn empty_batch_is_all_zeros() {
-        let m = BatchMetrics::aggregate(&[], 0, 0.0, PlanCacheStats::default());
+        let m = BatchMetrics::aggregate(
+            &[],
+            0,
+            0.0,
+            PlanCacheStats::default(),
+            ResultCacheStats::default(),
+        );
         assert_eq!(m.jobs, 0);
         assert_eq!(m.throughput_jobs_per_s, 0.0);
         assert_eq!(m.latency_us_p50, 0.0);

@@ -32,7 +32,7 @@ proptest! {
 
     #[test]
     fn statevector_backend_matches_direct_invocation((n, k, target, seed) in job_shape()) {
-        let engine = Engine::new(EngineConfig { threads: Some(2) });
+        let engine = Engine::new(EngineConfig { threads: Some(2), ..EngineConfig::default() });
         let job = SearchJob::new(0, n, k, target)
             .with_backend(BackendHint::StateVector)
             .with_seed(seed);
@@ -55,7 +55,7 @@ proptest! {
 
     #[test]
     fn reduced_backend_matches_direct_invocation((n, k, _target, seed) in job_shape()) {
-        let engine = Engine::new(EngineConfig { threads: Some(2) });
+        let engine = Engine::new(EngineConfig { threads: Some(2), ..EngineConfig::default() });
         let job = SearchJob::new(0, n, k, _target)
             .with_backend(BackendHint::Reduced)
             .with_seed(seed);
@@ -73,7 +73,7 @@ proptest! {
     fn auto_backend_queries_match_the_published_schedule((n, k, target, seed) in job_shape()) {
         // Whatever backend Auto picks, the query count per trial must equal
         // the memoised schedule's ℓ1 + ℓ2 + 1 when it picks quantum.
-        let engine = Engine::new(EngineConfig { threads: Some(2) });
+        let engine = Engine::new(EngineConfig { threads: Some(2), ..EngineConfig::default() });
         let job = SearchJob::new(0, n, k, target).with_seed(seed);
         let plan = engine.planner().plan(&job).expect("plans");
         let served = engine.run_job(&job).expect("runs");
@@ -86,6 +86,47 @@ proptest! {
             prop_assert_eq!(served.queries, plan.schedule.plan.total_queries);
         }
         prop_assert!(served.success_estimate >= 0.0 && served.success_estimate <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn batches_are_bit_identical_across_pool_sizes(
+        count in 4usize..24,
+        batch_seed in 0u64..10_000,
+        threads in 2usize..9,
+    ) {
+        // The work-stealing scheduler must be invisible in the results: a
+        // mixed batch on an N-thread pool is bit-identical (wall times
+        // aside) to the same batch on a single worker, whatever the steal
+        // interleaving was. Caches off so every job truly executes.
+        let config = EngineConfig { result_cache: false, ..EngineConfig::default() };
+        let solo = Engine::new(EngineConfig { threads: Some(1), ..config });
+        let pooled = Engine::new(EngineConfig { threads: Some(threads), ..config });
+        let jobs = psq_engine::generate_mixed_batch(count, batch_seed);
+        let a = solo.run_batch(&jobs);
+        let b = pooled.run_batch(&jobs);
+        prop_assert_eq!(a.results.len(), b.results.len());
+        for (x, y) in a.results.iter().zip(&b.results) {
+            prop_assert_eq!(x.deterministic_fields(), y.deterministic_fields());
+        }
+    }
+
+    #[test]
+    fn cached_repeats_match_cold_execution((n, k, target, seed) in job_shape()) {
+        // The result cache must be observationally pure: a warm engine and a
+        // cold engine agree on every deterministic field.
+        let cached = Engine::new(EngineConfig { threads: Some(2), ..EngineConfig::default() });
+        let job = SearchJob::new(0, n, k, target).with_seed(seed);
+        let first = cached.run_job(&job).expect("cold run");
+        let second = cached.run_job(&job).expect("warm run");
+        prop_assert_eq!(first.deterministic_fields(), second.deterministic_fields());
+        prop_assert!(cached.result_cache_stats().hits >= 1);
+        let cold = Engine::new(EngineConfig {
+            threads: Some(2),
+            result_cache: false,
+            ..EngineConfig::default()
+        });
+        let reference = cold.run_job(&job).expect("uncached run");
+        prop_assert_eq!(first.deterministic_fields(), reference.deterministic_fields());
     }
 
     #[test]

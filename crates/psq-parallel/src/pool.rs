@@ -1,54 +1,161 @@
-//! A small persistent worker pool.
+//! A persistent work-stealing worker pool.
 //!
 //! The fork-join kernels in [`crate::scope`] spawn fresh scoped threads per
 //! call, which is the right trade-off for long-running state-vector sweeps.
-//! Monte-Carlo experiment drivers, however, submit very many small
-//! independent jobs (one per random target), where per-call thread spawning
-//! would dominate.  `WorkerPool` keeps a fixed set of workers alive and feeds
-//! them jobs over a crossbeam channel; results come back tagged with their
-//! submission index so callers can reassemble ordered output.
+//! Monte-Carlo experiment drivers and the batch engine, however, submit very
+//! many small independent jobs (one per random target), where per-call
+//! thread spawning — or a single lock-guarded shared queue — would dominate.
+//!
+//! `WorkerPool` keeps a fixed set of workers alive and schedules with the
+//! classic work-stealing structure (`crossbeam::deque`):
+//!
+//! * external submissions go to a shared [`Injector`];
+//! * each worker owns a Chase–Lev [`Worker`] deque and works it LIFO,
+//!   periodically refilling from the injector in batches;
+//! * an idle worker steals from its siblings' deques (FIFO end) before it
+//!   parks, so load imbalance self-corrects without a global lock.
+//!
+//! Scheduling order is therefore *not* deterministic — but results are:
+//! [`WorkerPool::map`] tags every job with its submission index and
+//! reassembles output in submission order, and jobs are expected to derive
+//! any randomness from their own seeds, never from placement. A job that
+//! panics is caught on the worker (the panic propagates to the caller of
+//! [`WorkerPool::map`] as a panic once the batch's results are collected, and
+//! fire-and-forget panics are swallowed); workers never die mid-service, so
+//! [`Drop`] always joins cleanly even after a panicked job.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use crossbeam::channel::unbounded;
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// A fixed-size pool of worker threads executing boxed jobs.
+/// Coordination state guarded by the sleep mutex (see `Shared::coord`).
+struct Coord {
+    /// Set once by `Drop`; workers drain every queue and exit.
+    shutdown: bool,
+}
+
+/// State shared between the pool handle and every worker thread.
+struct Shared {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    coord: Mutex<Coord>,
+    wakeup: Condvar,
+}
+
+impl Shared {
+    fn lock_coord(&self) -> MutexGuard<'_, Coord> {
+        self.coord
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Whether any queue visibly holds work. Only called on the idle path
+    /// *while holding the coord mutex*: a submitter makes its job visible
+    /// (injector push) before it takes that mutex to notify, so a worker
+    /// that sees everything empty under the lock is guaranteed to be inside
+    /// `Condvar::wait` before the wakeup for any concurrent push fires.
+    fn work_in_sight(&self) -> bool {
+        !self.injector.is_empty() || self.stealers.iter().any(|s| !s.is_empty())
+    }
+}
+
+/// A fixed-size pool of worker threads executing boxed jobs over
+/// work-stealing deques.
 pub struct WorkerPool {
-    sender: Option<Sender<Job>>,
+    shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+}
+
+/// Per-worker scheduling loop: local LIFO deque first, then an injector
+/// batch, then stealing from siblings; park only when everything is empty.
+fn worker_loop(shared: Arc<Shared>, index: usize, local: Worker<Job>) {
+    // Claim this worker's share of the injector into `local` and return one
+    // job, or steal from a sibling. `None` only after a full sweep saw every
+    // queue empty (retries are resolved inside the sweep).
+    let find_job = |local: &Worker<Job>| -> Option<Job> {
+        if let Some(job) = local.pop() {
+            return Some(job);
+        }
+        loop {
+            let mut retry = false;
+            match shared.injector.steal_batch_and_pop(local) {
+                Steal::Success(job) => return Some(job),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+            let siblings = shared.stealers.len();
+            for offset in 1..siblings {
+                match shared.stealers[(index + offset) % siblings].steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Retry => retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !retry {
+                return None;
+            }
+        }
+    };
+    loop {
+        if let Some(job) = find_job(&local) {
+            // A panicking job must not take the worker down with it: the
+            // missing result surfaces to the submitter (map's collection
+            // channel errors), and Drop can still join this thread.
+            let _ = catch_unwind(AssertUnwindSafe(job));
+            continue;
+        }
+        let coord = shared.lock_coord();
+        if coord.shutdown {
+            drop(coord);
+            // Final drain: take whatever is still queued, then exit.
+            while let Some(job) = find_job(&local) {
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            return;
+        }
+        // Checked under the coord lock — see `work_in_sight` for why this
+        // cannot miss a concurrent submission's wakeup.
+        if shared.work_in_sight() {
+            continue;
+        }
+        let _unused = shared
+            .wakeup
+            .wait(coord)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+    }
 }
 
 impl WorkerPool {
     /// Creates a pool with `threads` workers (at least one).
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
-        let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
-        let receiver = Arc::new(Mutex::new(receiver));
-        let workers = (0..threads)
-            .map(|worker_index| {
-                let receiver = Arc::clone(&receiver);
+        // Deques are created up front so every thread can hold stealers for
+        // all of its siblings; each single-owner `Worker` handle then moves
+        // into the thread it belongs to.
+        let locals: Vec<Worker<Job>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<Job>> = locals.iter().map(|w| w.stealer()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            coord: Mutex::new(Coord { shutdown: false }),
+            wakeup: Condvar::new(),
+        });
+        let workers = locals
+            .into_iter()
+            .enumerate()
+            .map(|(index, local)| {
+                let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
-                    .name(format!("psq-worker-{worker_index}"))
-                    .spawn(move || loop {
-                        let job = {
-                            let guard = receiver.lock();
-                            guard.recv()
-                        };
-                        match job {
-                            Ok(job) => job(),
-                            Err(_) => break,
-                        }
-                    })
+                    .name(format!("psq-worker-{index}"))
+                    .spawn(move || worker_loop(shared, index, local))
                     .expect("failed to spawn worker thread")
             })
             .collect();
-        Self {
-            sender: Some(sender),
-            workers,
-        }
+        Self { shared, workers }
     }
 
     /// Creates a pool sized to the machine's available parallelism.
@@ -61,18 +168,29 @@ impl WorkerPool {
         self.workers.len()
     }
 
+    /// Wakes workers for queued work. Must be called *after* the push: the
+    /// lock round trip serialises with the idle path's emptiness check, so
+    /// any worker that missed the push is already waiting when the notify
+    /// fires (see `Shared::work_in_sight`).
+    fn signal_work(&self, all: bool) {
+        drop(self.shared.lock_coord());
+        if all {
+            self.shared.wakeup.notify_all();
+        } else {
+            self.shared.wakeup.notify_one();
+        }
+    }
+
     /// Submits a fire-and-forget job.
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
-        self.sender
-            .as_ref()
-            .expect("pool already shut down")
-            .send(Box::new(job))
-            .expect("worker pool channel closed unexpectedly");
+        self.shared.injector.push(Box::new(job));
+        self.signal_work(false);
     }
 
     /// Runs `jobs` on the pool and returns their results in submission order.
     ///
-    /// Blocks until every job has completed.
+    /// Blocks until every job has completed. Panics if a job panicked (its
+    /// result can never arrive).
     pub fn map<A, F>(&self, jobs: Vec<F>) -> Vec<A>
     where
         A: Send + 'static,
@@ -80,16 +198,20 @@ impl WorkerPool {
     {
         let (result_tx, result_rx) = unbounded::<(usize, A)>();
         let expected = jobs.len();
+        // Push the whole batch before waking anyone: one wakeup for N jobs
+        // keeps small-job batches from context-switch thrash (a per-push
+        // notify makes the submitter and a worker trade the core per job).
         for (index, job) in jobs.into_iter().enumerate() {
             let tx = result_tx.clone();
-            self.execute(move || {
+            self.shared.injector.push(Box::new(move || {
                 let value = job();
                 // The receiver outlives the loop below, so this send only
                 // fails if the caller's receiver was dropped early, which
                 // cannot happen within this function.
                 let _ = tx.send((index, value));
-            });
+            }));
         }
+        self.signal_work(true);
         drop(result_tx);
         let mut results: Vec<Option<A>> = Vec::new();
         results.resize_with(expected, || None);
@@ -108,9 +230,11 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        // Closing the channel makes every worker's recv() fail and exit.
-        self.sender.take();
+        self.shared.lock_coord().shutdown = true;
+        self.shared.wakeup.notify_all();
         for worker in self.workers.drain(..) {
+            // A worker that panicked outside a job (a pool bug) reports
+            // Err here; swallowing it keeps Drop non-blocking either way.
             let _ = worker.join();
         }
     }
@@ -183,5 +307,62 @@ mod tests {
                 (0..10).map(|i| i + round).collect::<Vec<_>>()
             );
         }
+    }
+
+    #[test]
+    fn many_small_jobs_across_many_workers() {
+        // Exercises injector batching + stealing: far more jobs than workers,
+        // each tiny, so deques drain and refill constantly.
+        let pool = WorkerPool::new(8);
+        let jobs: Vec<_> = (0..5000u64).map(|i| move || i.wrapping_mul(i)).collect();
+        let expected: Vec<u64> = (0..5000u64).map(|i| i.wrapping_mul(i)).collect();
+        assert_eq!(pool.map(jobs), expected);
+    }
+
+    #[test]
+    fn drop_joins_after_a_panicked_job() {
+        // A panicking job must neither kill its worker nor leave Drop
+        // blocking on a closed-channel expectation.
+        let pool = WorkerPool::new(2);
+        let after = Arc::new(AtomicUsize::new(0));
+        pool.execute(|| panic!("job panics mid-batch"));
+        for _ in 0..10 {
+            let after = Arc::clone(&after);
+            pool.execute(move || {
+                after.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // must not hang
+        assert_eq!(after.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn pool_stays_usable_after_a_panicked_job() {
+        let pool = WorkerPool::new(2);
+        pool.execute(|| panic!("first job panics"));
+        let results = pool.map((0..20).map(|i| move || i + 1).collect::<Vec<_>>());
+        assert_eq!(results, (1..=20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_panics_when_a_job_panics_instead_of_hanging() {
+        let pool = WorkerPool::new(2);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map(
+                (0..4)
+                    .map(|i| {
+                        move || {
+                            if i == 2 {
+                                panic!("poisoned job");
+                            }
+                            i
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        }));
+        assert!(outcome.is_err(), "map must propagate the lost result");
+        // And the pool still shuts down cleanly afterwards.
+        drop(pool);
     }
 }

@@ -20,6 +20,7 @@
 
 use crate::gates::QubitRegister;
 use crate::oracle::{Database, Partition};
+use crate::scratch::AmplitudeScratch;
 use crate::statevector::StateVector;
 use psq_math::bits;
 use psq_math::complex::Complex64;
@@ -81,13 +82,28 @@ pub struct Step3Circuit {
 impl Step3Circuit {
     /// Applies operation `M` and the controlled inversion to the state
     /// produced by Steps 1–2.  Charges one query (for `M`).
+    ///
+    /// Allocates a fresh branch buffer; hot loops that apply Step 3 many
+    /// times should use [`Step3Circuit::apply_with_scratch`] instead.
     pub fn apply(state: &StateVector, db: &Database) -> Self {
+        Self::apply_with_scratch(state, db, &mut AmplitudeScratch::new())
+    }
+
+    /// Like [`Step3Circuit::apply`], but draws the `b = 0` branch buffer
+    /// from `scratch` instead of allocating. Pair with
+    /// [`Step3Circuit::recycle`] to return the buffer once the measurement
+    /// statistics have been read, making repeated trials allocation-free.
+    pub fn apply_with_scratch(
+        state: &StateVector,
+        db: &Database,
+        scratch: &mut AmplitudeScratch,
+    ) -> Self {
         assert_eq!(db.size() as usize, state.len(), "database/state mismatch");
         db.charge_quantum_queries(1);
         let target = db.target() as usize;
         // Operation M: the target component moves to the b = 1 branch.
         let branch_b1_target = state.amplitude(target);
-        let mut branch_b0: Vec<Complex64> = state.amplitudes().to_vec();
+        let mut branch_b0: Vec<Complex64> = scratch.take_copy_of(state.amplitudes());
         branch_b0[target] = Complex64::ZERO;
         // Controlled on b = 0: inversion about the average over all N slots
         // (one of which — the target — is now empty).
@@ -135,6 +151,12 @@ impl Step3Circuit {
         (0..self.branch_b0.len())
             .map(|x| self.address_probability(x))
             .sum()
+    }
+
+    /// Returns the branch buffer to `scratch` for the next
+    /// [`Step3Circuit::apply_with_scratch`] call.
+    pub fn recycle(self, scratch: &mut AmplitudeScratch) {
+        scratch.recycle(self.branch_b0);
     }
 }
 

@@ -79,6 +79,13 @@ impl QubitRegister {
         self.state
     }
 
+    /// Resets the register to the uniform superposition in place, reusing
+    /// the amplitude allocation (the between-trials reset on the engine's
+    /// circuit backend).
+    pub fn reset_uniform(&mut self) {
+        self.state.fill_uniform();
+    }
+
     /// Applies a single-qubit gate (a 2×2 unitary) to qubit `q`.
     ///
     /// # Panics
@@ -98,20 +105,21 @@ impl QubitRegister {
         let g10 = gate[(1, 0)];
         let g11 = gate[(1, 1)];
 
-        // Work on an owned copy of the amplitudes: pairs (i, i+stride) mix.
-        let mut amps = self.state.amplitudes().to_vec();
-        let mut i = 0usize;
-        while i < n {
-            if (i >> shift) & 1 == 0 {
+        // In-place butterfly: each pair (i, i+stride) mixes independently,
+        // so no scratch copy is needed — a full Grover run through the
+        // circuit path performs zero per-gate allocations.
+        let amps = self.state.amplitudes_mut();
+        let mut base = 0usize;
+        while base < n {
+            for i in base..base + stride {
                 let j = i + stride;
                 let a = amps[i];
                 let b = amps[j];
                 amps[i] = g00 * a + g01 * b;
                 amps[j] = g10 * a + g11 * b;
             }
-            i += 1;
+            base += 2 * stride;
         }
-        self.state = StateVector::from_amplitudes(amps);
     }
 
     /// Applies the Hadamard gate to qubit `q`.
@@ -123,8 +131,10 @@ impl QubitRegister {
     /// Applies Hadamard to every qubit (the `H^{⊗n}` wall used to prepare and
     /// unprepare the uniform superposition).
     pub fn hadamard_all(&mut self) {
+        // One matrix for the whole wall; per-qubit application is in place.
+        let h = hadamard_matrix();
         for q in 0..self.qubits {
-            self.hadamard(q);
+            self.apply_single_qubit(q, &h);
         }
     }
 
@@ -134,20 +144,16 @@ impl QubitRegister {
             (phase.abs() - 1.0).abs() < 1e-9,
             "phase must have unit modulus"
         );
-        let mut amps = self.state.amplitudes().to_vec();
-        amps[index] *= phase;
-        self.state = StateVector::from_amplitudes(amps);
+        self.state.amplitudes_mut()[index] *= phase;
     }
 
     /// The reflection `2|0…0⟩⟨0…0| − I` (phase flip on every basis state
     /// except all-zeros), used inside the circuit form of the diffusion
     /// operator.
     pub fn reflect_about_zero(&mut self) {
-        let mut amps = self.state.amplitudes().to_vec();
-        for a in amps.iter_mut().skip(1) {
+        for a in self.state.amplitudes_mut().iter_mut().skip(1) {
             *a = -*a;
         }
-        self.state = StateVector::from_amplitudes(amps);
     }
 
     /// The Grover diffusion operator built as a circuit:
@@ -185,13 +191,11 @@ impl QubitRegister {
             self.qubits
         );
         let mask = (1usize << low) - 1;
-        let mut amps = self.state.amplitudes().to_vec();
-        for (i, a) in amps.iter_mut().enumerate() {
+        for (i, a) in self.state.amplitudes_mut().iter_mut().enumerate() {
             if i & mask != 0 {
                 *a = -*a;
             }
         }
-        self.state = StateVector::from_amplitudes(amps);
     }
 
     /// The per-block diffusion `I_{[K]} ⊗ I_{0,[N/K]}` of Section 2.2 built

@@ -21,6 +21,8 @@
 //!   the three amplitudes `(a_t, a_tb, a_nb)` and therefore handles
 //!   arbitrarily large `N` in `O(#iterations)` time;
 //! * [`measure`] — standard-basis and block measurements;
+//! * [`scratch`] — reusable amplitude buffers that keep the simulation hot
+//!   path allocation-free across repeated trials;
 //! * [`trace`] — labelled amplitude snapshots for regenerating the paper's
 //!   figures.
 
@@ -30,11 +32,13 @@ pub mod measure;
 pub mod oracle;
 pub mod query_counter;
 pub mod reduced;
+pub mod scratch;
 pub mod statevector;
 pub mod trace;
 
 pub use oracle::{Database, FullSearchOutcome, PartialSearchOutcome, Partition};
 pub use query_counter::{QueryCounter, QuerySpan};
 pub use reduced::ReducedState;
+pub use scratch::AmplitudeScratch;
 pub use statevector::StateVector;
 pub use trace::{AmplitudeSummary, StageTrace};

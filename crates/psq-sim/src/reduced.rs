@@ -185,10 +185,41 @@ impl ReducedState {
     }
 
     /// `iters` standard Grover iterations.
+    ///
+    /// Uses the closed rotation form when the non-target amplitudes are
+    /// uniform (`a_tb == a_nb`, which holds for any run that applies global
+    /// iterations before block ones — in particular the three-step
+    /// algorithm): the state then lives in the two-dimensional span of the
+    /// target and the uniform non-target superposition, where `iters`
+    /// iterations advance the rotation angle by `2·iters·θ` with
+    /// `sin θ = 1/√N`. This makes a bulk run O(1) arithmetic instead of
+    /// O(iters), which is what lets the engine's reduced backend serve
+    /// `N = 2^40` jobs in microseconds; it is also *more* accurate than
+    /// stepping (no per-iteration round-off accumulation). Falls back to
+    /// exact stepping when the block symmetry between target and non-target
+    /// blocks is broken. Queries are charged identically either way.
     pub fn grover_iterations(&mut self, iters: u64) {
-        for _ in 0..iters {
-            self.grover_iteration();
+        if iters == 0 {
+            return;
         }
+        // Bitwise equality is the right test: the two amplitudes follow
+        // identical update formulas from identical starting values, so any
+        // divergence means a block iteration intervened.
+        if self.amp_target_block.to_bits() != self.amp_nontarget.to_bits() {
+            for _ in 0..iters {
+                self.grover_iteration();
+            }
+            return;
+        }
+        let theta = psq_math::angle::grover_angle(self.n);
+        let rest = (self.n - 1.0).sqrt() * self.amp_nontarget;
+        let radius = self.amp_target.hypot(rest);
+        let phi = self.amp_target.atan2(rest) + 2.0 * iters as f64 * theta;
+        self.amp_target = radius * phi.sin();
+        let amp_rest = radius * phi.cos() / (self.n - 1.0).sqrt();
+        self.amp_target_block = amp_rest;
+        self.amp_nontarget = amp_rest;
+        self.queries += iters;
     }
 
     /// One per-block iteration `A_[N/K] = (I_[K] ⊗ I_{0,[N/K]}) · I_t`.
@@ -199,10 +230,33 @@ impl ReducedState {
     }
 
     /// `iters` per-block Grover iterations.
+    ///
+    /// Always uses the closed rotation form: the per-block dynamics are
+    /// standard Grover on the `b = N/K` items of the target block (the
+    /// non-target blocks are uniform, hence fixed points), confined to the
+    /// two-dimensional span of the target and the in-block rest component,
+    /// with `sin θ_b = 1/√b`. O(1) arithmetic for any iteration count;
+    /// queries are charged identically to stepping.
     pub fn block_grover_iterations(&mut self, iters: u64) {
-        for _ in 0..iters {
-            self.block_grover_iteration();
+        if iters == 0 {
+            return;
         }
+        let b = self.block_size();
+        if b < 2.0 {
+            // Degenerate single-item blocks (k == n): the rotation picture
+            // has no in-block rest component; step exactly instead.
+            for _ in 0..iters {
+                self.block_grover_iteration();
+            }
+            return;
+        }
+        let theta = psq_math::angle::grover_angle(b);
+        let rest = (b - 1.0).sqrt() * self.amp_target_block;
+        let radius = self.amp_target.hypot(rest);
+        let phi = self.amp_target.atan2(rest) + 2.0 * iters as f64 * theta;
+        self.amp_target = radius * phi.sin();
+        self.amp_target_block = radius * phi.cos() / (b - 1.0).sqrt();
+        self.queries += iters;
     }
 
     // ------------------------------------------------------------------
@@ -215,6 +269,25 @@ impl ReducedState {
     /// # Panics
     /// Panics if `n`/`k` are not integral or do not match the partition.
     pub fn to_state_vector(&self, db: &Database, partition: &Partition) -> StateVector {
+        let mut out =
+            StateVector::from_amplitudes(vec![Complex64::ZERO; partition.size() as usize]);
+        self.write_state_vector_into(db, partition, &mut out);
+        out
+    }
+
+    /// Writes the corresponding full state vector into `out` in place,
+    /// reusing its allocation (the scratch-friendly form of
+    /// [`ReducedState::to_state_vector`] for repeated cross-checks).
+    ///
+    /// # Panics
+    /// Panics if `n`/`k` do not match the partition or `out` has the wrong
+    /// dimension.
+    pub fn write_state_vector_into(
+        &self,
+        db: &Database,
+        partition: &Partition,
+        out: &mut StateVector,
+    ) {
         assert_eq!(self.n, partition.size() as f64, "partition size mismatch");
         assert_eq!(
             self.k,
@@ -222,16 +295,20 @@ impl ReducedState {
             "partition block-count mismatch"
         );
         assert_eq!(db.size(), partition.size(), "database/partition mismatch");
-        let n = partition.size() as usize;
+        assert_eq!(
+            out.len(),
+            partition.size() as usize,
+            "output state dimension mismatch"
+        );
         let target = db.target() as usize;
         let target_block = partition.block_of(db.target());
         let range = partition.block_range(target_block);
-        let mut amps = vec![Complex64::from_real(self.amp_nontarget); n];
+        let amps = out.amplitudes_mut();
+        amps.fill(Complex64::from_real(self.amp_nontarget));
         for amp in &mut amps[range.start as usize..range.end as usize] {
             *amp = Complex64::from_real(self.amp_target_block);
         }
         amps[target] = Complex64::from_real(self.amp_target);
-        StateVector::from_amplitudes(amps)
     }
 
     /// Extracts the reduced description from a full state vector, verifying
@@ -380,6 +457,90 @@ mod tests {
         assert_close(recovered.amp_target(), s.amp_target(), 1e-12);
         assert_close(recovered.amp_target_block(), s.amp_target_block(), 1e-12);
         assert_close(recovered.amp_nontarget(), s.amp_nontarget(), 1e-12);
+    }
+
+    #[test]
+    fn bulk_rotation_form_matches_exact_stepping() {
+        // The closed rotation form must agree with step-by-step evolution
+        // through a full three-step schedule (global, then block, then the
+        // Step-3 inversion).
+        let (n, k) = (4096.0, 8.0);
+        let mut bulk = ReducedState::uniform(n, k);
+        let mut step = ReducedState::uniform(n, k);
+        bulk.grover_iterations(37);
+        for _ in 0..37 {
+            step.grover_iteration();
+        }
+        assert_close(bulk.amp_target(), step.amp_target(), 1e-10);
+        assert_close(bulk.amp_target_block(), step.amp_target_block(), 1e-10);
+        assert_close(bulk.amp_nontarget(), step.amp_nontarget(), 1e-10);
+        assert_eq!(bulk.queries(), step.queries());
+
+        bulk.block_grover_iterations(11);
+        for _ in 0..11 {
+            step.block_grover_iteration();
+        }
+        assert_close(bulk.amp_target(), step.amp_target(), 1e-10);
+        assert_close(bulk.amp_target_block(), step.amp_target_block(), 1e-10);
+        assert_close(bulk.amp_nontarget(), step.amp_nontarget(), 1e-10);
+        assert_eq!(bulk.queries(), step.queries());
+        assert_close(bulk.norm_sqr(), 1.0, 1e-9);
+    }
+
+    #[test]
+    fn bulk_global_iterations_fall_back_when_block_symmetry_is_broken() {
+        // After block iterations a_tb != a_nb, so the 2-D global rotation
+        // picture no longer applies; the bulk method must step exactly.
+        let (n, k) = (1024.0, 4.0);
+        let mut bulk = ReducedState::uniform(n, k);
+        let mut step = ReducedState::uniform(n, k);
+        bulk.block_grover_iterations(5);
+        for _ in 0..5 {
+            step.block_grover_iteration();
+        }
+        bulk.grover_iterations(7);
+        for _ in 0..7 {
+            step.grover_iteration();
+        }
+        assert_close(bulk.amp_target(), step.amp_target(), 1e-10);
+        assert_close(bulk.amp_target_block(), step.amp_target_block(), 1e-10);
+        assert_close(bulk.amp_nontarget(), step.amp_nontarget(), 1e-10);
+        assert_eq!(bulk.queries(), step.queries());
+    }
+
+    #[test]
+    fn zero_iterations_are_bitwise_no_ops() {
+        let mut s = ReducedState::uniform(1e9, 32.0);
+        s.grover_iterations(3);
+        let before = s;
+        s.grover_iterations(0);
+        s.block_grover_iterations(0);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn bulk_rotation_handles_astronomical_sizes_quickly() {
+        // 2^40 items: the stepped loop would take ~8·10^5 iterations; the
+        // rotation form is O(1) and must still land on the theory curve.
+        let n = (1u64 << 40) as f64;
+        let mut s = ReducedState::uniform(n, 64.0);
+        let iters = psq_math::angle::optimal_grover_iterations(n);
+        s.grover_iterations(iters);
+        assert!(s.target_probability() > 1.0 - 1e-8);
+        assert_eq!(s.queries(), iters);
+    }
+
+    #[test]
+    fn write_state_vector_into_matches_to_state_vector() {
+        let db = Database::new(24, 13);
+        let partition = Partition::new(24, 3);
+        let mut s = ReducedState::uniform(24.0, 3.0);
+        s.grover_iterations(2);
+        s.block_grover_iterations(2);
+        let fresh = s.to_state_vector(&db, &partition);
+        let mut reused = StateVector::uniform(24);
+        s.write_state_vector_into(&db, &partition, &mut reused);
+        assert_eq!(fresh, reused);
     }
 
     #[test]

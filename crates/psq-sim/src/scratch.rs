@@ -1,0 +1,97 @@
+//! Reusable amplitude scratch space for the simulation hot path.
+//!
+//! The engine's steady state runs the same operator sequence over and over
+//! (one execution per trial, many trials per job, many jobs per batch).
+//! Most operators now work fully in place (see
+//! [`crate::statevector::StateVector::amplitudes_mut`]), but a few genuinely
+//! need a second amplitude buffer — the Step-3 ancilla circuit copies the
+//! address register into a separate branch, and the reduced simulator's
+//! cross-check materialises a full state. [`AmplitudeScratch`] is the
+//! double-buffer those operators swap against: the buffer is *taken* for the
+//! duration of one application and *recycled* afterwards, so a run of any
+//! length performs O(1) allocations instead of O(iterations × gates).
+
+use psq_math::complex::Complex64;
+
+/// A recyclable amplitude buffer (see module docs).
+///
+/// Taking from an empty scratch allocates; recycling stores the buffer for
+/// the next take. The scratch never shrinks, so after the first trial at a
+/// given dimension every subsequent take is allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct AmplitudeScratch {
+    buffer: Vec<Complex64>,
+}
+
+impl AmplitudeScratch {
+    /// An empty scratch (first take allocates).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch pre-sized for dimension-`n` states.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            buffer: Vec::with_capacity(n),
+        }
+    }
+
+    /// Takes the buffer, filled with a copy of `amps` (the swap-out half of
+    /// the double buffer). The returned vector reuses the recycled
+    /// allocation when it is large enough.
+    pub fn take_copy_of(&mut self, amps: &[Complex64]) -> Vec<Complex64> {
+        let mut buffer = std::mem::take(&mut self.buffer);
+        buffer.clear();
+        buffer.extend_from_slice(amps);
+        buffer
+    }
+
+    /// Returns a buffer to the scratch (the swap-in half). Keeps whichever
+    /// of the current and returned allocations is larger.
+    pub fn recycle(&mut self, buffer: Vec<Complex64>) {
+        if buffer.capacity() > self.buffer.capacity() {
+            self.buffer = buffer;
+        }
+    }
+
+    /// Capacity of the currently held buffer, in amplitudes.
+    pub fn capacity(&self) -> usize {
+        self.buffer.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_copies_and_recycle_reuses_the_allocation() {
+        let mut scratch = AmplitudeScratch::with_capacity(8);
+        let amps = vec![Complex64::from_real(0.5); 8];
+        let taken = scratch.take_copy_of(&amps);
+        assert_eq!(taken, amps);
+        let ptr = taken.as_ptr();
+        scratch.recycle(taken);
+        let again = scratch.take_copy_of(&amps);
+        assert_eq!(again.as_ptr(), ptr, "allocation must be reused");
+        assert_eq!(again, amps);
+    }
+
+    #[test]
+    fn recycle_keeps_the_larger_buffer() {
+        let mut scratch = AmplitudeScratch::new();
+        scratch.recycle(Vec::with_capacity(16));
+        assert!(scratch.capacity() >= 16);
+        scratch.recycle(Vec::with_capacity(4));
+        assert!(scratch.capacity() >= 16, "smaller buffer must not replace");
+        scratch.recycle(Vec::with_capacity(64));
+        assert!(scratch.capacity() >= 64);
+    }
+
+    #[test]
+    fn empty_scratch_still_produces_correct_copies() {
+        let mut scratch = AmplitudeScratch::new();
+        let amps: Vec<Complex64> = (0..5).map(|i| Complex64::from_real(i as f64)).collect();
+        assert_eq!(scratch.take_copy_of(&amps), amps);
+    }
+}

@@ -83,6 +83,24 @@ impl StateVector {
         &self.amps
     }
 
+    /// Mutable view of the amplitudes, for in-place kernels.
+    ///
+    /// This is what keeps the gate-level simulation allocation-free: circuit
+    /// operators (`psq_sim::gates`) update amplitudes through this view
+    /// instead of copying the vector per gate. Callers are responsible for
+    /// preserving normalisation.
+    #[inline]
+    pub fn amplitudes_mut(&mut self) -> &mut [Complex64] {
+        &mut self.amps
+    }
+
+    /// Resets the state to the uniform superposition in place, reusing the
+    /// existing allocation (the steady-state reset between engine trials).
+    pub fn fill_uniform(&mut self) {
+        let amp = Complex64::from_real(1.0 / (self.amps.len() as f64).sqrt());
+        self.amps.fill(amp);
+    }
+
     /// The amplitude of basis state `i`.
     #[inline]
     pub fn amplitude(&self, i: usize) -> Complex64 {

@@ -46,9 +46,20 @@ fn json_batch_of_mixed_jobs_serves_end_to_end() {
 #[test]
 fn batch_execution_is_reproducible_and_matches_single_job_runs() {
     let jobs = generate_mixed_batch(100, 31);
-    let first = Engine::new(EngineConfig { threads: Some(8) }).run_batch(&jobs);
-    let second = Engine::new(EngineConfig { threads: Some(3) }).run_batch(&jobs);
-    let solo_engine = Engine::new(EngineConfig { threads: Some(1) });
+    let first = Engine::new(EngineConfig {
+        threads: Some(8),
+        ..EngineConfig::default()
+    })
+    .run_batch(&jobs);
+    let second = Engine::new(EngineConfig {
+        threads: Some(3),
+        ..EngineConfig::default()
+    })
+    .run_batch(&jobs);
+    let solo_engine = Engine::new(EngineConfig {
+        threads: Some(1),
+        ..EngineConfig::default()
+    });
     for ((job, a), b) in jobs.iter().zip(&first.results).zip(&second.results) {
         assert_eq!(
             a.deterministic_fields(),

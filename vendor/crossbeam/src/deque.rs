@@ -1,0 +1,590 @@
+//! Chase–Lev work-stealing deques, API-compatible with `crossbeam-deque`.
+//!
+//! Three types, mirroring the upstream crate's surface:
+//!
+//! * [`Worker`] — the owner's end of a deque. The owning thread pushes and
+//!   pops at the *bottom* (LIFO), which keeps the hot path free of
+//!   compare-and-swap operations and cache-friendly (recently pushed work is
+//!   still warm).
+//! * [`Stealer`] — a clonable handle other threads use to [`Stealer::steal`]
+//!   from the *top* (FIFO end) of the deque.
+//! * [`Injector`] — a shared MPMC queue for work submitted from outside the
+//!   worker threads; workers move batches from the injector into their local
+//!   deque via [`Injector::steal_batch_and_pop`].
+//!
+//! The [`Worker`]/[`Stealer`] pair implements the classic dynamic circular
+//! Chase–Lev deque (Chase & Lev, SPAA 2005; atomics placement after Lê,
+//! Pop, Cohen & Nardelli, PPoPP 2013): `top` and `bottom` indices over a
+//! power-of-two ring buffer, a single CAS on `top` to resolve races between
+//! thieves and the owner's pop of the last element, and buffer growth by
+//! reallocation. Retired buffers are kept alive until the deque itself
+//! drops, so a stealer that loaded a stale buffer pointer always reads valid
+//! memory; a stale read is discarded when its claiming CAS fails.
+//!
+//! Like the upstream implementation, a thief reads the element *before* the
+//! claiming CAS and forgets it on failure. The slot it reads from is never
+//! concurrently overwritten while its claim can still succeed (the owner
+//! only reuses a slot after `top` has advanced past it), so a torn read can
+//! only be observed by a thief whose CAS is then guaranteed to fail.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt.
+#[derive(Debug)]
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One item was stolen.
+    Success(T),
+    /// The attempt lost a race and should be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Whether this is [`Steal::Empty`].
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// Whether this is [`Steal::Retry`].
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// Whether this is [`Steal::Success`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// Extracts the stolen item, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A fixed-capacity ring of possibly-uninitialised slots. Capacity is a
+/// power of two so indices wrap with a mask.
+struct Buffer<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+}
+
+impl<T> Buffer<T> {
+    fn new(capacity: usize) -> Self {
+        debug_assert!(capacity.is_power_of_two());
+        let slots = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            slots,
+            mask: capacity - 1,
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Raw pointer to the slot for logical index `i`.
+    fn slot(&self, i: isize) -> *mut MaybeUninit<T> {
+        self.slots[(i as usize) & self.mask].get()
+    }
+
+    /// # Safety
+    /// The slot for `i` must hold an initialised element that the caller is
+    /// entitled to copy out (ownership transfer is resolved by the caller's
+    /// CAS protocol).
+    unsafe fn read(&self, i: isize) -> T {
+        (*self.slot(i)).assume_init_read()
+    }
+
+    /// # Safety
+    /// The slot for `i` must not be concurrently claimable by a thief.
+    unsafe fn write(&self, i: isize, value: T) {
+        (*self.slot(i)).write(value);
+    }
+}
+
+/// State shared by a [`Worker`] and its [`Stealer`]s.
+struct Inner<T> {
+    /// Index of the next element to steal (thieves' end).
+    top: AtomicIsize,
+    /// Index one past the last pushed element (owner's end).
+    bottom: AtomicIsize,
+    /// Current ring buffer (`Box::into_raw`).
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Buffers replaced by growth, kept alive until `Inner` drops so stale
+    /// stealer reads always hit valid memory.
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+// The protocol transfers each element to exactly one thread.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        let top = self.top.load(Ordering::Relaxed);
+        let bottom = self.bottom.load(Ordering::Relaxed);
+        let buffer = self.buffer.load(Ordering::Relaxed);
+        unsafe {
+            // Drop the elements still enqueued, then free every buffer.
+            for i in top..bottom {
+                drop((*buffer).read(i));
+            }
+            drop(Box::from_raw(buffer));
+            for retired in self
+                .retired
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .drain(..)
+            {
+                drop(Box::from_raw(retired));
+            }
+        }
+    }
+}
+
+/// The owner's end of a Chase–Lev deque. Not `Sync`: exactly one thread may
+/// push/pop; hand [`Stealer`]s to everyone else.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    /// Opts out of `Sync` (the owner API is single-threaded by contract).
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+unsafe impl<T: Send> Send for Worker<T> {}
+
+/// A handle for stealing from the top of a [`Worker`]'s deque.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+const INITIAL_CAPACITY: usize = 64;
+
+impl<T> Worker<T> {
+    /// Creates an empty deque configured as a LIFO worker (the only flavour
+    /// this subset ships; the constructor name matches upstream).
+    pub fn new_lifo() -> Self {
+        let buffer = Box::into_raw(Box::new(Buffer::new(INITIAL_CAPACITY)));
+        Self {
+            inner: Arc::new(Inner {
+                top: AtomicIsize::new(0),
+                bottom: AtomicIsize::new(0),
+                buffer: AtomicPtr::new(buffer),
+                retired: Mutex::new(Vec::new()),
+            }),
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// Creates a [`Stealer`] for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Whether the deque appeared empty at the time of the call.
+    pub fn is_empty(&self) -> bool {
+        let bottom = self.inner.bottom.load(Ordering::Relaxed);
+        let top = self.inner.top.load(Ordering::Relaxed);
+        bottom <= top
+    }
+
+    /// Number of elements at the time of the call.
+    pub fn len(&self) -> usize {
+        let bottom = self.inner.bottom.load(Ordering::Relaxed);
+        let top = self.inner.top.load(Ordering::Relaxed);
+        bottom.saturating_sub(top).max(0) as usize
+    }
+
+    /// Pushes an element onto the bottom (owner's end).
+    pub fn push(&self, value: T) {
+        let bottom = self.inner.bottom.load(Ordering::Relaxed);
+        let top = self.inner.top.load(Ordering::Acquire);
+        let mut buffer = self.inner.buffer.load(Ordering::Relaxed);
+        unsafe {
+            if bottom - top >= (*buffer).capacity() as isize {
+                buffer = self.grow(buffer, top, bottom);
+            }
+            (*buffer).write(bottom, value);
+        }
+        self.inner.bottom.store(bottom + 1, Ordering::Release);
+    }
+
+    /// Pops an element from the bottom (owner's end, LIFO).
+    pub fn pop(&self) -> Option<T> {
+        let bottom = self.inner.bottom.load(Ordering::Relaxed) - 1;
+        let buffer = self.inner.buffer.load(Ordering::Relaxed);
+        self.inner.bottom.store(bottom, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let top = self.inner.top.load(Ordering::Relaxed);
+        if top > bottom {
+            // Deque was empty; restore bottom.
+            self.inner.bottom.store(bottom + 1, Ordering::Relaxed);
+            return None;
+        }
+        let value = unsafe { (*buffer).read(bottom) };
+        if top == bottom {
+            // Last element: race the thieves for it with a CAS on top.
+            let won = self
+                .inner
+                .top
+                .compare_exchange(top, top + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.inner.bottom.store(bottom + 1, Ordering::Relaxed);
+            if !won {
+                // A thief claimed it first; it owns the element now.
+                std::mem::forget(value);
+                return None;
+            }
+        }
+        Some(value)
+    }
+
+    /// Doubles the buffer, copying the live range `[top, bottom)`. The old
+    /// buffer is retired, not freed: in-flight stealers may still read it.
+    unsafe fn grow(&self, old: *mut Buffer<T>, top: isize, bottom: isize) -> *mut Buffer<T> {
+        let new = Box::into_raw(Box::new(Buffer::<T>::new((*old).capacity() * 2)));
+        for i in top..bottom {
+            std::ptr::copy_nonoverlapping((*old).slot(i), (*new).slot(i), 1);
+        }
+        self.inner.buffer.store(new, Ordering::Release);
+        self.inner
+            .retired
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(old);
+        new
+    }
+}
+
+impl<T> Default for Worker<T> {
+    fn default() -> Self {
+        Self::new_lifo()
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Whether the deque appeared empty at the time of the call.
+    pub fn is_empty(&self) -> bool {
+        let top = self.inner.top.load(Ordering::Acquire);
+        let bottom = self.inner.bottom.load(Ordering::Acquire);
+        bottom <= top
+    }
+
+    /// Attempts to steal one element from the top (FIFO end).
+    pub fn steal(&self) -> Steal<T> {
+        let top = self.inner.top.load(Ordering::Acquire);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let bottom = self.inner.bottom.load(Ordering::Acquire);
+        if top >= bottom {
+            return Steal::Empty;
+        }
+        let buffer = self.inner.buffer.load(Ordering::Acquire);
+        let value = unsafe { (*buffer).read(top) };
+        if self
+            .inner
+            .top
+            .compare_exchange(top, top + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            // Lost the race; the copy we made is not ours to keep.
+            std::mem::forget(value);
+            return Steal::Retry;
+        }
+        Steal::Success(value)
+    }
+}
+
+/// How many injector items one [`Injector::steal_batch_and_pop`] may move
+/// into the destination worker (bounds latency for the other workers).
+const MAX_BATCH: usize = 32;
+
+/// A shared FIFO queue for submitting work from outside the worker threads.
+///
+/// The injector is the entry point of a work-stealing pool: external
+/// submitters push here, and each worker periodically grabs a batch into its
+/// local deque. This subset implements it as a lock-guarded ring (the
+/// injector is off the per-task hot path once batches land in local deques)
+/// with an atomic length for cheap emptiness probes.
+pub struct Injector<T> {
+    queue: Mutex<std::collections::VecDeque<T>>,
+    len: AtomicUsize,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Self {
+            queue: Mutex::new(std::collections::VecDeque::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, std::collections::VecDeque<T>> {
+        self.queue
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Pushes an element onto the back of the queue.
+    pub fn push(&self, value: T) {
+        let mut queue = self.lock();
+        queue.push_back(value);
+        self.len.store(queue.len(), Ordering::Release);
+    }
+
+    /// Whether the queue appeared empty at the time of the call.
+    pub fn is_empty(&self) -> bool {
+        self.len.load(Ordering::Acquire) == 0
+    }
+
+    /// Number of elements at the time of the call.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Steals one element from the front of the queue.
+    pub fn steal(&self) -> Steal<T> {
+        let mut queue = self.lock();
+        match queue.pop_front() {
+            Some(value) => {
+                self.len.store(queue.len(), Ordering::Release);
+                Steal::Success(value)
+            }
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals a batch of elements, moving all but the first into `dest`'s
+    /// local deque and returning the first. Takes at most half the queue
+    /// (rounded up) and at most [`MAX_BATCH`] elements, like upstream.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        // The batch is moved out under the lock into stack space and pushed
+        // into `dest` only after the guard drops: `Worker::push` may grow
+        // (allocate + copy), and holding the shared injector mutex through
+        // that would serialise every other worker's refill.
+        let mut batch: [Option<T>; MAX_BATCH] = [(); MAX_BATCH].map(|_| None);
+        let first = {
+            let mut queue = self.lock();
+            let available = queue.len();
+            if available == 0 {
+                return Steal::Empty;
+            }
+            let take = available.div_ceil(2).min(MAX_BATCH);
+            let first = queue.pop_front().expect("non-empty queue");
+            for slot in batch.iter_mut().take(take - 1) {
+                *slot = queue.pop_front();
+            }
+            self.len.store(queue.len(), Ordering::Release);
+            first
+        };
+        for item in batch.into_iter().flatten() {
+            // Pushed oldest-first: the LIFO owner works the batch newest-first,
+            // while thieves see the oldest items — same trade-off as upstream.
+            dest.push(item);
+        }
+        Steal::Success(first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn owner_pop_is_lifo_and_steal_is_fifo() {
+        let worker: Worker<u32> = Worker::new_lifo();
+        let stealer = worker.stealer();
+        for i in 0..4 {
+            worker.push(i);
+        }
+        assert_eq!(worker.len(), 4);
+        assert_eq!(worker.pop(), Some(3));
+        match stealer.steal() {
+            Steal::Success(v) => assert_eq!(v, 0),
+            other => panic!("expected Success(0), got {other:?}"),
+        }
+        assert_eq!(worker.pop(), Some(2));
+        assert_eq!(worker.pop(), Some(1));
+        assert_eq!(worker.pop(), None);
+        assert!(worker.is_empty());
+        assert!(stealer.steal().is_empty());
+    }
+
+    #[test]
+    fn growth_preserves_every_element() {
+        let worker: Worker<usize> = Worker::new_lifo();
+        let count = INITIAL_CAPACITY * 5;
+        for i in 0..count {
+            worker.push(i);
+        }
+        let mut got: Vec<usize> = std::iter::from_fn(|| worker.pop()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..count).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop_with_wraparound() {
+        let worker: Worker<usize> = Worker::new_lifo();
+        for round in 0..1000 {
+            worker.push(round);
+            worker.push(round + 1);
+            assert!(worker.pop().is_some());
+            assert!(worker.pop().is_some());
+            assert_eq!(worker.pop(), None);
+        }
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let injector: Injector<u32> = Injector::new();
+        for i in 0..10 {
+            injector.push(i);
+        }
+        assert_eq!(injector.len(), 10);
+        for i in 0..10 {
+            match injector.steal() {
+                Steal::Success(v) => assert_eq!(v, i),
+                other => panic!("expected Success({i}), got {other:?}"),
+            }
+        }
+        assert!(injector.is_empty());
+        assert!(injector.steal().is_empty());
+    }
+
+    #[test]
+    fn batch_steal_moves_work_into_the_local_deque() {
+        let injector: Injector<u32> = Injector::new();
+        let worker: Worker<u32> = Worker::new_lifo();
+        for i in 0..10 {
+            injector.push(i);
+        }
+        match injector.steal_batch_and_pop(&worker) {
+            Steal::Success(v) => assert_eq!(v, 0),
+            other => panic!("expected Success(0), got {other:?}"),
+        }
+        // Half of 10 = 5 taken: one returned, four in the local deque.
+        assert_eq!(worker.len(), 4);
+        assert_eq!(injector.len(), 5);
+        let mut local: Vec<u32> = std::iter::from_fn(|| worker.pop()).collect();
+        local.sort_unstable();
+        assert_eq!(local, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn concurrent_stealers_account_for_every_element() {
+        // One producer worker, several thieves; every pushed element must be
+        // consumed exactly once (sum check).
+        const PER_ROUND: u64 = 64;
+        const ROUNDS: u64 = 200;
+        let worker: Worker<u64> = Worker::new_lifo();
+        let consumed = Arc::new(AtomicU64::new(0));
+        let stolen_sum = Arc::new(AtomicU64::new(0));
+        let done = Arc::new(AtomicUsize::new(0));
+
+        let thieves: Vec<_> = (0..3)
+            .map(|_| {
+                let stealer = worker.stealer();
+                let stolen_sum = Arc::clone(&stolen_sum);
+                let consumed = Arc::clone(&consumed);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || loop {
+                    match stealer.steal() {
+                        Steal::Success(v) => {
+                            stolen_sum.fetch_add(v, Ordering::Relaxed);
+                            consumed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) == 1 {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let mut owner_sum = 0u64;
+        let mut owner_count = 0u64;
+        let mut next = 1u64;
+        for _ in 0..ROUNDS {
+            for _ in 0..PER_ROUND {
+                worker.push(next);
+                next += 1;
+            }
+            // Owner drains roughly half before producing more.
+            for _ in 0..PER_ROUND / 2 {
+                if let Some(v) = worker.pop() {
+                    owner_sum += v;
+                    owner_count += 1;
+                }
+            }
+        }
+        while let Some(v) = worker.pop() {
+            owner_sum += v;
+            owner_count += 1;
+        }
+        done.store(1, Ordering::Release);
+        for thief in thieves {
+            thief.join().expect("thief thread");
+        }
+
+        let total = ROUNDS * PER_ROUND;
+        let expected_sum = total * (total + 1) / 2;
+        assert_eq!(owner_count + consumed.load(Ordering::Relaxed), total);
+        assert_eq!(owner_sum + stolen_sum.load(Ordering::Relaxed), expected_sum);
+    }
+
+    #[test]
+    fn drop_releases_unconsumed_elements() {
+        // Elements left in the deque at drop time are dropped exactly once.
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let worker: Worker<Counted> = Worker::new_lifo();
+        for _ in 0..100 {
+            worker.push(Counted(Arc::clone(&drops)));
+        }
+        // Force a growth so a retired buffer exists too.
+        for _ in 0..INITIAL_CAPACITY {
+            worker.push(Counted(Arc::clone(&drops)));
+        }
+        let held = worker.pop().expect("non-empty");
+        drop(worker);
+        assert_eq!(drops.load(Ordering::SeqCst), 99 + INITIAL_CAPACITY);
+        drop(held);
+        assert_eq!(drops.load(Ordering::SeqCst), 100 + INITIAL_CAPACITY);
+    }
+}

@@ -1,11 +1,14 @@
 //! Vendored, API-compatible subset of `crossbeam`.
 //!
 //! The build environment has no network access, so the workspace ships the
-//! slice of `crossbeam` it uses: unbounded MPMC-ish channels. Senders clone
-//! freely; receivers are shared behind locks by the callers (the worker pool
-//! wraps its receiver in `Arc<Mutex<_>>`), so the std MPSC channel underneath
-//! provides the needed semantics. Receivers here are additionally clonable by
-//! multiplexing over a shared std receiver.
+//! slice of `crossbeam` it uses: unbounded MPMC-ish channels, plus the
+//! Chase–Lev work-stealing deques of `crossbeam-deque` (see [`deque`]) that
+//! back `psq_parallel::WorkerPool`'s per-worker queues. Senders clone
+//! freely; receivers are clonable by multiplexing over a shared
+//! lock-guarded std MPSC receiver, each message delivered to exactly one
+//! clone — the semantics `WorkerPool::map`'s result collection relies on.
+
+pub mod deque;
 
 pub mod channel {
     use std::sync::mpsc;

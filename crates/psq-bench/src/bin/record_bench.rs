@@ -119,6 +119,69 @@ fn run_scenario(
     scenario
 }
 
+/// Streams `count` mixed jobs through a `psq-serve` pipe session per timed
+/// iteration (see the call site for scenario semantics). Asserts every
+/// iteration answered every job with a result.
+fn run_serve_stream_scenario(count: usize, min_seconds: f64, max_iters: u64) -> Scenario {
+    use psq_serve::testio::SharedSink;
+    use psq_serve::{ServeConfig, Server};
+    let jobs = generate_mixed_batch(count, 42);
+    let input: String = jobs
+        .iter()
+        .map(|job| serde_json::to_string(job).expect("jobs serialise") + "\n")
+        .collect();
+    let server = Server::start(ServeConfig {
+        engine: EngineConfig {
+            result_cache: false,
+            ..EngineConfig::default()
+        },
+        ..ServeConfig::default()
+    });
+    let stream_once = |server: &Server| {
+        let sink = SharedSink::default();
+        let summary = server
+            .serve_pipe(input.as_bytes(), sink.clone())
+            .expect("pipe session");
+        assert_eq!(summary.lines_in, count as u64);
+        let answered = sink.lines().len();
+        assert_eq!(answered, count, "every job answered with one line");
+    };
+    stream_once(&server); // warmup (plan cache, like the batch scenarios)
+    let mut iterations = 0u64;
+    let started = Instant::now();
+    while iterations < max_iters {
+        stream_once(&server);
+        iterations += 1;
+        if started.elapsed().as_secs_f64() >= min_seconds {
+            break;
+        }
+    }
+    let total_seconds = started.elapsed().as_secs_f64();
+    let metrics = server.metrics();
+    let scenario = Scenario {
+        name: format!("serve_stream/{count}"),
+        jobs_per_batch: count as u64,
+        iterations,
+        total_seconds,
+        jobs_per_s: (count as u64 * iterations) as f64 / total_seconds,
+        result_cache_hits: metrics.result_cache.hits,
+        result_cache_misses: metrics.result_cache.misses,
+    };
+    eprintln!(
+        "{:<32} {:>5} jobs x {:>3} iters in {:>8.3} s  ->  {:>10.1} jobs/s  \
+         (mean batch {:.1}, p99 latency {:.0} µs)",
+        scenario.name,
+        scenario.jobs_per_batch,
+        scenario.iterations,
+        scenario.total_seconds,
+        scenario.jobs_per_s,
+        metrics.batch_jobs_mean,
+        metrics.latency_us_p99,
+    );
+    server.finish();
+    scenario
+}
+
 fn main() {
     let mut quick = false;
     let mut out = "BENCH_engine.json".to_string();
@@ -186,6 +249,13 @@ fn main() {
             max_iters,
         ));
     }
+
+    // The serving path: the same mixed 512 batch streamed line by line
+    // through a pipe session — NDJSON parse, admission, the micro-batching
+    // coalescer, engine execution and response serialisation, end to end.
+    // One persistent server (result cache off, like the cold scenarios) so
+    // the plan cache is warm after the warmup, matching batch semantics.
+    scenarios.push(run_serve_stream_scenario(512, min_seconds, max_iters));
 
     let record = BenchRecord {
         bench: "engine_throughput".to_string(),

@@ -3,26 +3,21 @@
 //! ```text
 //! psq-engine [OPTIONS] [JOBS.json]      read a job batch (file or stdin)
 //! psq-engine --gen N [--seed S]         emit a mixed demo batch instead
-//!
-//! Options:
-//!   --threads N          worker threads (default: machine parallelism)
-//!   --no-result-cache    disable the memoised result cache
-//!   --pretty        indent the output JSON
-//!   --metrics-only  omit per-job results, print only batch metrics
-//!   --explain       per-job cost-model table on stderr before running
 //! ```
 //!
 //! Input: a JSON array of jobs, or an object `{"jobs": [...]}`.
 //! Output: `{"results": [...], "rejected": [...], "metrics": {...}}`.
+//! Run `psq-engine --help` for the full flag list (shared engine flags are
+//! parsed by `psq_engine::cli`, the same module `psq-serve` uses).
 
-use psq_engine::{Engine, EngineConfig, SearchJob};
+use psq_engine::cli::{self, EngineFlags};
+use psq_engine::{Engine, SearchJob};
 use std::io::Read;
 use std::process::ExitCode;
 
 struct Options {
     path: Option<String>,
-    threads: Option<usize>,
-    result_cache: bool,
+    engine: EngineFlags,
     pretty: bool,
     metrics_only: bool,
     explain: bool,
@@ -30,21 +25,41 @@ struct Options {
     gen_seed: u64,
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: psq-engine [--threads N] [--no-result-cache] [--pretty] [--metrics-only] [--explain] [JOBS.json]\n\
+fn help() -> String {
+    format!(
+        "usage: psq-engine [OPTIONS] [JOBS.json]\n\
          \x20      psq-engine --gen N [--seed S] [--pretty]\n\
-         reads a JSON job batch (file, or stdin when no path / `-`) and emits JSON results;\n\
-         --gen emits a deterministic mixed demo batch instead of running one"
-    );
+         \n\
+         Reads a JSON job batch (file, or stdin when no path / `-`) and emits\n\
+         {{\"results\": [...], \"rejected\": [...], \"metrics\": {{...}}}} on stdout.\n\
+         With --gen, emits a deterministic mixed demo batch instead of running one.\n\
+         \n\
+         Engine options (shared with psq-serve):\n\
+         {}\n\
+         \n\
+         Batch options:\n\
+         \x20 --pretty                     indent the output JSON\n\
+         \x20 --metrics-only               omit per-job results, print only batch metrics\n\
+         \x20 --explain                    print the per-job cost-model table (every\n\
+         \x20                              backend's estimated ops, feasibility, and\n\
+         \x20                              whether it meets the error target) on stderr\n\
+         \x20                              before running the batch\n\
+         \x20 --gen N                      generate N demo jobs instead of executing\n\
+         \x20 --seed S                     seed for --gen (default 1)\n\
+         \x20 -h, --help                   this text",
+        cli::ENGINE_FLAGS_HELP
+    )
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("psq-engine: {message}\n\n{}", help());
     std::process::exit(2)
 }
 
 fn parse_options() -> Options {
     let mut options = Options {
         path: None,
-        threads: None,
-        result_cache: true,
+        engine: EngineFlags::default(),
         pretty: false,
         metrics_only: false,
         explain: false,
@@ -53,29 +68,32 @@ fn parse_options() -> Options {
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        match options.engine.accept(&arg, &mut args) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(message) => usage_error(&message),
+        }
         match arg.as_str() {
-            "--threads" => {
-                let v = args.next().unwrap_or_else(|| usage());
-                options.threads = Some(v.parse().unwrap_or_else(|_| usage()));
-            }
-            "--gen" => {
-                let v = args.next().unwrap_or_else(|| usage());
-                options.gen_count = Some(v.parse().unwrap_or_else(|_| usage()));
-            }
-            "--seed" => {
-                let v = args.next().unwrap_or_else(|| usage());
-                options.gen_seed = v.parse().unwrap_or_else(|_| usage());
-            }
-            "--no-result-cache" => options.result_cache = false,
+            "--gen" => match cli::require_value(&arg, &mut args) {
+                Ok(v) => options.gen_count = Some(v),
+                Err(message) => usage_error(&message),
+            },
+            "--seed" => match cli::require_value(&arg, &mut args) {
+                Ok(v) => options.gen_seed = v,
+                Err(message) => usage_error(&message),
+            },
             "--pretty" => options.pretty = true,
             "--metrics-only" => options.metrics_only = true,
             "--explain" => options.explain = true,
-            "--help" | "-h" => usage(),
+            "--help" | "-h" => {
+                println!("{}", help());
+                std::process::exit(0)
+            }
             "-" => options.path = None,
             path if !path.starts_with("--") && options.path.is_none() => {
                 options.path = Some(path.to_string())
             }
-            _ => usage(),
+            other => usage_error(&format!("unrecognised argument `{other}`")),
         }
     }
     options
@@ -126,11 +144,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let engine = Engine::new(EngineConfig {
-        threads: options.threads,
-        result_cache: options.result_cache,
-        ..EngineConfig::default()
-    });
+    let engine = Engine::new(options.engine.engine_config());
 
     if options.explain {
         for job in &jobs {

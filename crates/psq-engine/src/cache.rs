@@ -19,14 +19,22 @@
 //!
 //! Storage is sharded: `SHARD_COUNT` independent `parking_lot::RwLock`
 //! maps, picked by key hash, so concurrent workers mostly touch different
-//! locks and lookups take only a read lock. Hit/miss counters are surfaced
-//! through [`crate::metrics::BatchMetrics`].
+//! locks and lookups take only a read lock. Hit/miss/eviction counters are
+//! surfaced through [`crate::metrics::BatchMetrics`].
+//!
+//! Capacity is enforced per shard with a **second-chance clock**: every
+//! resident key sits in a ring, a hit flags its entry as referenced (an
+//! atomic store under the read lock), and an insert into a full shard sweeps
+//! the clock hand — clearing referenced flags as it passes — until it finds
+//! an unreferenced victim to replace. Long-lived serving processes therefore
+//! keep a warm working set instead of freezing on whatever filled the shard
+//! first (the pre-eviction behaviour was to refuse inserts when full).
 
 use crate::spec::{Backend, SearchJob, SearchResult};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Number of independently locked shards (power of two).
 const SHARD_COUNT: usize = 16;
@@ -86,14 +94,62 @@ pub struct ResultCacheStats {
     pub misses: u64,
     /// Results currently stored.
     pub entries: u64,
+    /// Resident results displaced by the second-chance clock to make room
+    /// for new ones (zero until a shard fills).
+    pub evictions: u64,
+}
+
+/// One resident result plus its second-chance referenced flag (set on hit
+/// under the shard's read lock, cleared by the sweeping clock hand).
+struct Entry {
+    result: SearchResult,
+    referenced: AtomicBool,
+}
+
+/// One lock's worth of the cache: the map plus the clock ring that orders
+/// its keys for eviction. `ring` always holds exactly `map`'s key set.
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    ring: Vec<CacheKey>,
+    hand: usize,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            ring: Vec::new(),
+            hand: 0,
+        }
+    }
+
+    /// Second-chance victim selection: advance the hand, clearing referenced
+    /// flags, until an unreferenced key comes up. Terminates within two
+    /// sweeps (the first pass clears every flag in the worst case).
+    fn evict_one(&mut self) -> CacheKey {
+        loop {
+            let candidate = self.ring[self.hand];
+            let entry = self
+                .map
+                .get(&candidate)
+                .expect("ring keys are always resident");
+            if entry.referenced.swap(false, Ordering::Relaxed) {
+                self.hand = (self.hand + 1) % self.ring.len();
+            } else {
+                self.map.remove(&candidate);
+                return candidate;
+            }
+        }
+    }
 }
 
 /// Sharded memoised `deterministic job spec → SearchResult` map (see module
 /// docs). Safe to share across executor workers.
 pub struct ResultCache {
-    shards: Vec<RwLock<HashMap<CacheKey, SearchResult>>>,
+    shards: Vec<RwLock<Shard>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     /// Per-shard entry bound (total capacity divided across shards).
     shard_capacity: usize,
 }
@@ -107,16 +163,18 @@ impl Default for ResultCache {
 impl ResultCache {
     /// An empty cache bounded to roughly `capacity` stored results.
     ///
-    /// The bound is enforced per shard by refusing inserts into a full
-    /// shard: repeated jobs (the workload the cache serves) re-insert the
-    /// same keys, so eviction machinery would cost more than it saves.
+    /// The bound is enforced per shard: once a shard is full, each insert of
+    /// a new key displaces one resident entry chosen by the second-chance
+    /// clock (recently hit entries get a pass; see module docs), so a
+    /// long-lived process keeps the warm part of its working set.
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             shards: (0..SHARD_COUNT)
-                .map(|_| RwLock::new(HashMap::new()))
+                .map(|_| RwLock::new(Shard::new()))
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             shard_capacity: capacity.div_ceil(SHARD_COUNT).max(1),
         }
     }
@@ -134,7 +192,15 @@ impl ResultCache {
     /// that already built the key for deduplication — avoids rebuilding and
     /// re-hashing it per call.
     pub(crate) fn lookup_with_key(&self, key: &CacheKey, job_id: u64) -> Option<SearchResult> {
-        let found = self.shards[key.shard()].read().get(key).copied();
+        let found = {
+            let shard = self.shards[key.shard()].read();
+            shard.map.get(key).map(|entry| {
+                // Second chance: a hit marks the entry so the next eviction
+                // sweep passes over it once.
+                entry.referenced.store(true, Ordering::Relaxed);
+                entry.result
+            })
+        };
         match found {
             Some(mut result) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -149,9 +215,10 @@ impl ResultCache {
         }
     }
 
-    /// Stores the result of executing `job` on `backend`. A full shard
-    /// drops the insert; a racing duplicate insert is harmless because
-    /// execution is deterministic.
+    /// Stores the result of executing `job` on `backend`. Inserting a new
+    /// key into a full shard evicts one resident entry (second-chance
+    /// clock); a racing duplicate insert is harmless because execution is
+    /// deterministic.
     pub fn insert(&self, job: &SearchJob, backend: Backend, result: SearchResult) {
         self.insert_with_key(CacheKey::new(job, backend), result);
     }
@@ -160,9 +227,29 @@ impl ResultCache {
     /// [`ResultCache::lookup_with_key`]).
     pub(crate) fn insert_with_key(&self, key: CacheKey, result: SearchResult) {
         let mut shard = self.shards[key.shard()].write();
-        if shard.len() < self.shard_capacity || shard.contains_key(&key) {
-            shard.insert(key, result);
+        if let Some(entry) = shard.map.get_mut(&key) {
+            entry.result = result;
+            return;
         }
+        if shard.map.len() >= self.shard_capacity {
+            let victim = shard.evict_one();
+            let hand = shard.hand;
+            shard.ring[hand] = key;
+            shard.hand = (hand + 1) % shard.ring.len();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            debug_assert!(!shard.map.contains_key(&victim));
+        } else {
+            shard.ring.push(key);
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                result,
+                // New entries start unreferenced: an entry earns its pass
+                // through a hit, not through mere insertion.
+                referenced: AtomicBool::new(false),
+            },
+        );
     }
 
     /// Credits `count` extra hits: used by the executor when it serves
@@ -177,7 +264,8 @@ impl ResultCache {
         ResultCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.shards.iter().map(|s| s.read().len() as u64).sum(),
+            entries: self.shards.iter().map(|s| s.read().map.len() as u64).sum(),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -279,7 +367,7 @@ mod tests {
     }
 
     #[test]
-    fn capacity_bound_refuses_new_keys_but_allows_updates() {
+    fn full_shards_evict_instead_of_refusing() {
         let cache = ResultCache::with_capacity(SHARD_COUNT); // one entry per shard
         let mut inserted = Vec::new();
         for target in 0..64u64 {
@@ -294,12 +382,98 @@ mod tests {
         let stats = cache.stats();
         assert!(stats.entries <= SHARD_COUNT as u64);
         assert!(stats.entries > 0);
-        // Whatever made it in is still retrievable.
+        assert_eq!(
+            stats.evictions,
+            64 - stats.entries,
+            "every insert beyond capacity displaced a resident entry"
+        );
+        // Exactly `entries` of the inserted keys remain retrievable, and the
+        // cache keeps serving new keys after churn (no freeze-on-full).
         let retrievable = inserted
             .iter()
             .filter(|job| cache.lookup(job, Backend::StateVector).is_some())
             .count() as u64;
         assert_eq!(retrievable, stats.entries);
+        let fresh = SearchJob::new(999, 1 << 10, 4, 77);
+        cache.insert(
+            &fresh,
+            Backend::StateVector,
+            result_for(&fresh, Backend::StateVector),
+        );
+        assert!(cache.lookup(&fresh, Backend::StateVector).is_some());
+    }
+
+    #[test]
+    fn second_chance_spares_recently_hit_entries() {
+        // One shard, capacity 2 per shard: keys in the same shard compete.
+        let cache = ResultCache::with_capacity(2 * SHARD_COUNT);
+        // Find three jobs whose keys land in the same shard.
+        let mut same_shard: Vec<SearchJob> = Vec::new();
+        let want_shard =
+            CacheKey::new(&SearchJob::new(0, 1 << 10, 4, 0), Backend::StateVector).shard();
+        for target in 0..1024u64 {
+            let job = SearchJob::new(target, 1 << 10, 4, target);
+            if CacheKey::new(&job, Backend::StateVector).shard() == want_shard {
+                same_shard.push(job);
+                if same_shard.len() == 3 {
+                    break;
+                }
+            }
+        }
+        assert_eq!(same_shard.len(), 3, "hash spreads over shards");
+        let (hot, cold, newcomer) = (same_shard[0], same_shard[1], same_shard[2]);
+        cache.insert(
+            &hot,
+            Backend::StateVector,
+            result_for(&hot, Backend::StateVector),
+        );
+        cache.insert(
+            &cold,
+            Backend::StateVector,
+            result_for(&cold, Backend::StateVector),
+        );
+        // Reference `hot` so the clock passes over it; `cold` stays
+        // unreferenced and must be the victim.
+        assert!(cache.lookup(&hot, Backend::StateVector).is_some());
+        cache.insert(
+            &newcomer,
+            Backend::StateVector,
+            result_for(&newcomer, Backend::StateVector),
+        );
+        assert!(
+            cache.lookup(&hot, Backend::StateVector).is_some(),
+            "recently hit entry survives the sweep"
+        );
+        assert!(
+            cache.lookup(&cold, Backend::StateVector).is_none(),
+            "unreferenced entry is the second-chance victim"
+        );
+        assert!(cache.lookup(&newcomer, Backend::StateVector).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn eviction_churn_preserves_ring_map_invariant() {
+        // Hammer a tiny cache with updates and fresh keys; entries must
+        // never exceed capacity and every surviving key must be readable.
+        let cache = ResultCache::with_capacity(SHARD_COUNT * 2);
+        for round in 0..8u64 {
+            for target in 0..96u64 {
+                let job = SearchJob::new(target, 1 << 10, 4, (round * 96 + target) % (1 << 10));
+                cache.insert(
+                    &job,
+                    Backend::StateVector,
+                    result_for(&job, Backend::StateVector),
+                );
+                // Touch half the keys to exercise the referenced bit.
+                if target % 2 == 0 {
+                    let _ = cache.lookup(&job, Backend::StateVector);
+                }
+            }
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= (SHARD_COUNT * 2) as u64);
+        assert!(stats.evictions > 0);
     }
 
     #[test]
@@ -308,6 +482,7 @@ mod tests {
             hits: 5,
             misses: 2,
             entries: 2,
+            evictions: 3,
         };
         let json = serde_json::to_string(&stats).expect("serialise");
         let back: ResultCacheStats = serde_json::from_str(&json).expect("deserialise");

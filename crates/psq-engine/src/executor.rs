@@ -228,6 +228,48 @@ impl Engine {
     }
 }
 
+/// A cloneable, thread-shareable handle to an [`Engine`].
+///
+/// The engine itself is `Sync` (planner, pool and result cache are all
+/// internally synchronised), so serving layers that fan work in from many
+/// threads — the `psq-serve` readers and its coalescer — share one engine
+/// by cloning this handle instead of threading `Arc<Engine>` everywhere.
+/// Dereferences to [`Engine`]; dropping the last clone shuts the pool down.
+#[derive(Clone)]
+pub struct EngineHandle {
+    engine: Arc<Engine>,
+}
+
+impl EngineHandle {
+    /// Builds a fresh engine behind a shareable handle.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine::new(config).into_handle()
+    }
+}
+
+impl Default for EngineHandle {
+    fn default() -> Self {
+        Self::new(EngineConfig::default())
+    }
+}
+
+impl std::ops::Deref for EngineHandle {
+    type Target = Engine;
+
+    fn deref(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+impl Engine {
+    /// Wraps this engine in a cloneable [`EngineHandle`].
+    pub fn into_handle(self) -> EngineHandle {
+        EngineHandle {
+            engine: Arc::new(self),
+        }
+    }
+}
+
 /// Executes an already-planned job, stamping its wall time.
 fn execute_planned(job: &SearchJob, plan: &ExecutionPlan) -> SearchResult {
     let started = Instant::now();
@@ -402,6 +444,33 @@ mod tests {
         assert_eq!(engine.result_cache_stats().hits, 1);
         assert_eq!(first.deterministic_fields(), second.deterministic_fields());
         assert_eq!(second.wall_time_us, 0.0, "hits report lookup-only time");
+    }
+
+    #[test]
+    fn engine_handle_shares_one_engine_across_threads() {
+        fn assert_shareable<T: Send + Sync + Clone>() {}
+        assert_shareable::<EngineHandle>();
+        let handle = EngineHandle::new(EngineConfig {
+            threads: Some(2),
+            ..EngineConfig::default()
+        });
+        let jobs = generate_mixed_batch(12, 3);
+        let reference = handle.run_batch(&jobs);
+        let submitters: Vec<_> = (0..3)
+            .map(|_| {
+                let handle = handle.clone();
+                let jobs = jobs.clone();
+                std::thread::spawn(move || handle.run_batch(&jobs))
+            })
+            .collect();
+        for submitter in submitters {
+            let report = submitter.join().expect("submitter thread");
+            for (a, b) in reference.results.iter().zip(&report.results) {
+                assert_eq!(a.deterministic_fields(), b.deterministic_fields());
+            }
+        }
+        // All submissions hit the one shared result cache.
+        assert!(handle.result_cache_stats().hits >= 36);
     }
 
     #[test]

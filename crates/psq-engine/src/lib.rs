@@ -28,13 +28,15 @@
 
 pub mod backends;
 pub mod cache;
+pub mod cli;
 pub mod executor;
 pub mod metrics;
 pub mod planner;
 pub mod spec;
 
 pub use cache::{ResultCache, ResultCacheStats};
-pub use executor::{BatchReport, Engine, EngineConfig};
+pub use cli::EngineFlags;
+pub use executor::{BatchReport, Engine, EngineConfig, EngineHandle};
 pub use metrics::{BackendTally, BatchMetrics};
 pub use planner::{
     CostEstimate, CostModel, ExecutionPlan, PlanCache, PlanCacheStats, PlannedSchedule, Planner,

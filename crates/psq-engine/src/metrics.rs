@@ -93,8 +93,9 @@ pub struct BatchMetrics {
     pub result_cache: ResultCacheStats,
 }
 
-/// Nearest-rank percentile of an unsorted latency sample (`q` in `[0, 1]`).
-fn percentile(sorted: &[f64], q: f64) -> f64 {
+/// Nearest-rank percentile of a latency sample sorted ascending (`q` in
+/// `[0, 1]`). Shared with the serving layer's end-to-end latency metrics.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }

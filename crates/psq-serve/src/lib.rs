@@ -1,0 +1,42 @@
+//! Streaming, multi-client serving layer over `psq-engine`.
+//!
+//! `psq-engine` executes one batch and exits; this crate keeps the engine
+//! alive behind a persistent server so live clients can trickle
+//! partial-search jobs in and stream results back as they complete:
+//!
+//! * [`protocol`] — the NDJSON wire format: one [`psq_engine::SearchJob`]
+//!   per line in, one tagged response line out, order-independent via
+//!   client-assigned ids; control commands for metrics and shutdown;
+//! * [`coalescer`] — the micro-batching scheduler: a dedicated thread
+//!   drains the MPSC intake under a `max_batch`/`max_delay_us` policy and
+//!   coalesces *all* clients' jobs into single engine batches, so the plan
+//!   cache, the result cache and in-batch dedup work across clients;
+//! * [`session`] — per-client state: response channel, bounded in-flight
+//!   admission control (overload answers are JSON errors, never
+//!   disconnects), lifetime counters;
+//! * [`server`] — the [`Server`]: one shared [`psq_engine::EngineHandle`],
+//!   the scheduler thread, and the two transports (stdin/stdout pipe and
+//!   multi-client `std::net` TCP), with graceful drain-on-shutdown;
+//! * [`metrics`] — [`ServeMetrics`]: queue depth, coalesced batch sizes,
+//!   per-client counters and end-to-end latency percentiles.
+//!
+//! The `psq-serve` binary wraps it all:
+//!
+//! ```text
+//! psq-serve --gen 64 | psq-serve            # pipe mode round trip
+//! psq-serve --tcp 127.0.0.1:7070           # multi-client TCP server
+//! psq-serve --selftest 256                 # gen → serve → verify, exit 0
+//! ```
+
+pub mod coalescer;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod session;
+pub mod testio;
+
+pub use coalescer::CoalescerConfig;
+pub use metrics::{ClientCounters, ServeMetrics};
+pub use protocol::{parse_request, parse_response, Command, ErrorKind, Request, Response};
+pub use server::{Client, LineOutcome, PipeSummary, ServeConfig, Server};
+pub use session::{Session, SessionRegistry};

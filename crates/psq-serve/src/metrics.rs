@@ -1,0 +1,292 @@
+//! Serving-side metrics: what the coalescer and sessions observe.
+//!
+//! [`ServeStats`] is the live, internally synchronised collector the server
+//! threads write into; [`ServeMetrics`] is the serialisable snapshot a
+//! `{"cmd":"metrics"}` request gets back. End-to-end latency is measured
+//! per job from the moment its line parsed on the reader thread to the
+//! moment its response line was handed to the client's writer, and the
+//! percentiles reuse `psq_engine::metrics::percentile` over a bounded ring
+//! of the most recent samples.
+
+use parking_lot::Mutex;
+use psq_engine::metrics::percentile;
+use psq_engine::{PlanCacheStats, ResultCacheStats};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Most recent end-to-end latency samples retained for the percentiles.
+const LATENCY_RING_CAPACITY: usize = 1 << 16;
+
+/// One client's lifetime counters, as reported in [`ServeMetrics`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClientCounters {
+    /// Server-assigned client id (stable for the connection's lifetime).
+    pub client: u64,
+    /// Jobs admitted into the intake queue.
+    pub submitted: u64,
+    /// Jobs answered with a result.
+    pub completed: u64,
+    /// Jobs answered with an error (parse / invalid / rejected).
+    pub errors: u64,
+    /// Jobs refused by admission control (in-flight bound).
+    pub overloaded: u64,
+}
+
+/// A point-in-time snapshot of the serving layer.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServeMetrics {
+    /// Jobs admitted into the intake queue over the server's lifetime.
+    pub jobs_submitted: u64,
+    /// Jobs answered with a result.
+    pub jobs_completed: u64,
+    /// Jobs answered with an error (parse / invalid / rejected / shutdown).
+    pub jobs_errored: u64,
+    /// Jobs refused by per-client admission control.
+    pub jobs_overloaded: u64,
+    /// Jobs currently queued or executing (admitted, not yet answered).
+    pub queue_depth: u64,
+    /// Engine batches the coalescer has dispatched.
+    pub batches: u64,
+    /// Mean jobs per coalesced batch.
+    pub batch_jobs_mean: f64,
+    /// Largest coalesced batch so far.
+    pub batch_jobs_max: u64,
+    /// Clients currently attached.
+    pub clients_connected: u64,
+    /// Clients attached over the server's lifetime.
+    pub clients_total: u64,
+    /// Median end-to-end latency (parse → response handoff), microseconds.
+    pub latency_us_p50: f64,
+    /// 90th-percentile end-to-end latency, microseconds.
+    pub latency_us_p90: f64,
+    /// 99th-percentile end-to-end latency, microseconds.
+    pub latency_us_p99: f64,
+    /// Slowest end-to-end latency in the retained sample window.
+    pub latency_us_max: f64,
+    /// Per-client counters for currently attached clients.
+    pub clients: Vec<ClientCounters>,
+    /// The shared engine's result-cache counters (hits span clients).
+    pub result_cache: ResultCacheStats,
+    /// The shared engine's schedule-cache counters.
+    pub plan_cache: PlanCacheStats,
+}
+
+/// Latency ring buffer: keeps the most recent `LATENCY_RING_CAPACITY`
+/// samples so long-lived servers report current, bounded-memory percentiles.
+struct LatencyRing {
+    samples: Vec<f64>,
+    next: usize,
+}
+
+/// The live collector. All methods are safe to call from any thread.
+pub struct ServeStats {
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_errored: AtomicU64,
+    jobs_overloaded: AtomicU64,
+    queue_depth: AtomicUsize,
+    batches: AtomicU64,
+    batch_jobs: AtomicU64,
+    batch_jobs_max: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        Self {
+            jobs_submitted: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_errored: AtomicU64::new(0),
+            jobs_overloaded: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            batches: AtomicU64::new(0),
+            batch_jobs: AtomicU64::new(0),
+            batch_jobs_max: AtomicU64::new(0),
+            latencies: Mutex::new(LatencyRing {
+                samples: Vec::new(),
+                next: 0,
+            }),
+        }
+    }
+}
+
+impl ServeStats {
+    /// A job was admitted into the intake queue.
+    pub fn record_submitted(&self) {
+        self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An admitted job left the queue with a result, after `latency_us`
+    /// end to end.
+    pub fn record_completed(&self, latency_us: f64) {
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.record_latency(latency_us);
+    }
+
+    /// An admitted job left the queue with an error.
+    pub fn record_admitted_error(&self) {
+        self.jobs_errored.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A request errored before admission (parse/validation failures).
+    pub fn record_rejected_at_intake(&self) {
+        self.jobs_errored.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job was refused by admission control.
+    pub fn record_overloaded(&self) {
+        self.jobs_overloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The coalescer dispatched one engine batch of `jobs` jobs.
+    pub fn record_batch(&self, jobs: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_jobs.fetch_add(jobs, Ordering::Relaxed);
+        self.batch_jobs_max.fetch_max(jobs, Ordering::Relaxed);
+    }
+
+    /// Jobs currently queued or executing.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed) as u64
+    }
+
+    fn record_latency(&self, latency_us: f64) {
+        let mut ring = self.latencies.lock();
+        if ring.samples.len() < LATENCY_RING_CAPACITY {
+            ring.samples.push(latency_us);
+        } else {
+            let slot = ring.next;
+            ring.samples[slot] = latency_us;
+        }
+        ring.next = (ring.next + 1) % LATENCY_RING_CAPACITY;
+    }
+
+    /// Builds a snapshot. `clients` carries the per-client counters and
+    /// connection tallies from the session registry; the cache stats come
+    /// from the shared engine.
+    pub fn snapshot(
+        &self,
+        clients: Vec<ClientCounters>,
+        clients_connected: u64,
+        clients_total: u64,
+        result_cache: ResultCacheStats,
+        plan_cache: PlanCacheStats,
+    ) -> ServeMetrics {
+        let mut sorted = self.latencies.lock().samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batch_jobs = self.batch_jobs.load(Ordering::Relaxed);
+        ServeMetrics {
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_errored: self.jobs_errored.load(Ordering::Relaxed),
+            jobs_overloaded: self.jobs_overloaded.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth(),
+            batches,
+            batch_jobs_mean: if batches > 0 {
+                batch_jobs as f64 / batches as f64
+            } else {
+                0.0
+            },
+            batch_jobs_max: self.batch_jobs_max.load(Ordering::Relaxed),
+            clients_connected,
+            clients_total,
+            latency_us_p50: percentile(&sorted, 0.50),
+            latency_us_p90: percentile(&sorted, 0.90),
+            latency_us_p99: percentile(&sorted, 0.99),
+            latency_us_max: sorted.last().copied().unwrap_or(0.0),
+            clients,
+            result_cache,
+            plan_cache,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_flow_into_the_snapshot() {
+        let stats = ServeStats::default();
+        for i in 0..10 {
+            stats.record_submitted();
+            stats.record_completed((i + 1) as f64 * 100.0);
+        }
+        stats.record_submitted();
+        stats.record_admitted_error();
+        stats.record_overloaded();
+        stats.record_rejected_at_intake();
+        stats.record_batch(8);
+        stats.record_batch(4);
+        let m = stats.snapshot(
+            Vec::new(),
+            1,
+            3,
+            ResultCacheStats::default(),
+            PlanCacheStats::default(),
+        );
+        assert_eq!(m.jobs_submitted, 11);
+        assert_eq!(m.jobs_completed, 10);
+        assert_eq!(m.jobs_errored, 2);
+        assert_eq!(m.jobs_overloaded, 1);
+        assert_eq!(m.queue_depth, 0);
+        assert_eq!(m.batches, 2);
+        assert_eq!(m.batch_jobs_mean, 6.0);
+        assert_eq!(m.batch_jobs_max, 8);
+        assert_eq!(m.clients_connected, 1);
+        assert_eq!(m.clients_total, 3);
+        assert_eq!(m.latency_us_p50, 500.0);
+        assert_eq!(m.latency_us_p99, 1000.0);
+        assert_eq!(m.latency_us_max, 1000.0);
+    }
+
+    #[test]
+    fn latency_ring_retains_only_recent_samples() {
+        let stats = ServeStats::default();
+        // Overfill the ring: early (slow) samples must age out.
+        for _ in 0..LATENCY_RING_CAPACITY {
+            stats.record_submitted();
+            stats.record_completed(1_000_000.0);
+        }
+        for _ in 0..LATENCY_RING_CAPACITY {
+            stats.record_submitted();
+            stats.record_completed(5.0);
+        }
+        let m = stats.snapshot(
+            Vec::new(),
+            0,
+            0,
+            ResultCacheStats::default(),
+            PlanCacheStats::default(),
+        );
+        assert_eq!(m.latency_us_max, 5.0, "old samples were overwritten");
+    }
+
+    #[test]
+    fn metrics_round_trip_through_json() {
+        let stats = ServeStats::default();
+        stats.record_submitted();
+        stats.record_completed(42.0);
+        stats.record_batch(1);
+        let m = stats.snapshot(
+            vec![ClientCounters {
+                client: 1,
+                submitted: 1,
+                completed: 1,
+                errors: 0,
+                overloaded: 0,
+            }],
+            1,
+            1,
+            ResultCacheStats::default(),
+            PlanCacheStats::default(),
+        );
+        let json = serde_json::to_string(&m).expect("serialise");
+        let back: ServeMetrics = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,372 @@
+//! The NDJSON wire protocol: one JSON value per line, order-independent.
+//!
+//! **Requests** (client → server), one per line:
+//!
+//! * a [`SearchJob`] object — every field of the engine's wire type
+//!   (`{"id":…,"n":…,"k":…,"target":…,"error_target":…,"trials":…,
+//!   "seed":…,"backend":…}`). The `id` is client-assigned and echoed on the
+//!   matching response; responses may arrive in any order, so clients
+//!   correlate by id, never by position.
+//! * a control command — `{"cmd":"metrics"}` (snapshot the serving metrics)
+//!   or `{"cmd":"shutdown"}` (drain in-flight work and stop the server).
+//!
+//! **Responses** (server → client), one per line, each tagged with a
+//! `"type"` discriminant:
+//!
+//! * `{"type":"result","result":{…SearchResult…}}` — a completed job;
+//!   `result.job_id` is the client's id.
+//! * `{"type":"error","id":<u64|null>,"kind":"…","reason":"…"}` — the job
+//!   could not run. `id` is `null` only when the line didn't parse far
+//!   enough to recover one. `kind` is one of `"parse"`, `"invalid"`
+//!   (failed [`SearchJob::validate`]), `"overload"` (per-client in-flight
+//!   bound hit — resubmit later; the connection stays open), `"rejected"`
+//!   (the engine's planner refused it), `"shutting_down"`.
+//! * `{"type":"metrics","metrics":{…ServeMetrics…}}`.
+//! * `{"type":"ack","cmd":"…"}` — a control command was accepted.
+//!
+//! The enums carry payloads, which the vendored `serde_derive` subset does
+//! not handle, so serialisation is hand-written over the `serde` value tree.
+
+use crate::metrics::ServeMetrics;
+use psq_engine::{SearchJob, SearchResult};
+use serde::{Deserialize, Error, Map, Number, Serialize, Value};
+
+/// Why a job line got an error response instead of a result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line was not valid JSON / not a recognisable request.
+    Parse,
+    /// The job failed structural validation (`SearchJob::validate`).
+    Invalid,
+    /// The client's in-flight bound was hit; resubmit later.
+    Overload,
+    /// The engine's planner refused the job (e.g. infeasible backend hint).
+    Rejected,
+    /// The server is draining and no longer accepts work.
+    ShuttingDown,
+}
+
+impl ErrorKind {
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Invalid => "invalid",
+            ErrorKind::Overload => "overload",
+            ErrorKind::Rejected => "rejected",
+            ErrorKind::ShuttingDown => "shutting_down",
+        }
+    }
+
+    fn from_label(label: &str) -> Option<Self> {
+        Some(match label {
+            "parse" => ErrorKind::Parse,
+            "invalid" => ErrorKind::Invalid,
+            "overload" => ErrorKind::Overload,
+            "rejected" => ErrorKind::Rejected,
+            "shutting_down" => ErrorKind::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+/// A control command (`{"cmd": …}` request line).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Snapshot the serving metrics back to this client.
+    Metrics,
+    /// Drain in-flight work across all clients and stop the server.
+    Shutdown,
+}
+
+impl Command {
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Command::Metrics => "metrics",
+            Command::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// A partial-search job to coalesce and execute.
+    Job(Box<SearchJob>),
+    /// A control command.
+    Command(Command),
+}
+
+/// Parses one request line. Blank lines are `Ok(None)` (skipped, so piped
+/// files may end with a newline or contain separators).
+pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
+    if line.trim().is_empty() {
+        return Ok(None);
+    }
+    let value = serde_json::parse_value(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let object = value
+        .as_object()
+        .ok_or_else(|| "expected a JSON object per line".to_string())?;
+    if let Some(cmd) = object.get("cmd") {
+        let name = cmd
+            .as_str()
+            .ok_or_else(|| "\"cmd\" must be a string".to_string())?;
+        let command = match name {
+            "metrics" => Command::Metrics,
+            "shutdown" => Command::Shutdown,
+            other => return Err(format!("unknown command `{other}`")),
+        };
+        return Ok(Some(Request::Command(command)));
+    }
+    SearchJob::deserialize(&value)
+        .map(|job| Some(Request::Job(Box::new(job))))
+        .map_err(|e| format!("invalid job: {e}"))
+}
+
+/// One response line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// A completed job (the result's `job_id` is the client's id).
+    Result(Box<SearchResult>),
+    /// A request that produced no result, and why.
+    Error {
+        /// The client-assigned job id, when one could be recovered.
+        id: Option<u64>,
+        /// Error category (stable wire labels — see [`ErrorKind::label`]).
+        kind: ErrorKind,
+        /// Human-readable detail.
+        reason: String,
+    },
+    /// A metrics snapshot (reply to `{"cmd":"metrics"}`).
+    Metrics(Box<ServeMetrics>),
+    /// Acknowledges a control command.
+    Ack {
+        /// The command's wire label.
+        cmd: String,
+    },
+}
+
+impl Response {
+    /// Serialises to one compact JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut map = Map::new();
+        match self {
+            Response::Result(result) => {
+                map.insert("type".into(), Value::String("result".into()));
+                map.insert("result".into(), result.serialize());
+            }
+            Response::Error { id, kind, reason } => {
+                map.insert("type".into(), Value::String("error".into()));
+                map.insert(
+                    "id".into(),
+                    match id {
+                        Some(id) => Value::Number(Number::PosInt(*id)),
+                        None => Value::Null,
+                    },
+                );
+                map.insert("kind".into(), Value::String(kind.label().into()));
+                map.insert("reason".into(), Value::String(reason.clone()));
+            }
+            Response::Metrics(metrics) => {
+                map.insert("type".into(), Value::String("metrics".into()));
+                map.insert("metrics".into(), metrics.serialize());
+            }
+            Response::Ack { cmd } => {
+                map.insert("type".into(), Value::String("ack".into()));
+                map.insert("cmd".into(), Value::String(cmd.clone()));
+            }
+        }
+        serde_json::to_string(&Value::Object(map)).expect("responses serialise")
+    }
+
+    /// The client-assigned job id this response answers, when it answers
+    /// one (results and id-carrying errors).
+    pub fn job_id(&self) -> Option<u64> {
+        match self {
+            Response::Result(result) => Some(result.job_id),
+            Response::Error { id, .. } => *id,
+            _ => None,
+        }
+    }
+}
+
+/// Parses one response line (the client half of the protocol; the test
+/// suites and `--selftest` consume responses through this).
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let value = serde_json::parse_value(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let object = value
+        .as_object()
+        .ok_or_else(|| "expected a JSON object per line".to_string())?;
+    let tag = object
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing \"type\" tag".to_string())?;
+    match tag {
+        "result" => {
+            let result = object
+                .get("result")
+                .ok_or_else(|| "result response without \"result\"".to_string())?;
+            SearchResult::deserialize(result)
+                .map(|r| Response::Result(Box::new(r)))
+                .map_err(|e| format!("invalid result payload: {e}"))
+        }
+        "error" => {
+            let id = match object.get("id") {
+                None | Some(Value::Null) => None,
+                Some(value) => Some(
+                    value
+                        .as_u64()
+                        .ok_or_else(|| "error \"id\" must be a u64 or null".to_string())?,
+                ),
+            };
+            let kind = object
+                .get("kind")
+                .and_then(Value::as_str)
+                .and_then(ErrorKind::from_label)
+                .ok_or_else(|| "error response with unknown \"kind\"".to_string())?;
+            let reason = object
+                .get("reason")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "error response without \"reason\"".to_string())?
+                .to_string();
+            Ok(Response::Error { id, kind, reason })
+        }
+        "metrics" => {
+            let metrics = object
+                .get("metrics")
+                .ok_or_else(|| "metrics response without \"metrics\"".to_string())?;
+            ServeMetrics::deserialize(metrics)
+                .map(|m| Response::Metrics(Box::new(m)))
+                .map_err(|e: Error| format!("invalid metrics payload: {e}"))
+        }
+        "ack" => {
+            let cmd = object
+                .get("cmd")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "ack response without \"cmd\"".to_string())?
+                .to_string();
+            Ok(Response::Ack { cmd })
+        }
+        other => Err(format!("unknown response type `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psq_engine::{Backend, BackendHint};
+
+    #[test]
+    fn job_lines_parse_to_requests() {
+        let job = SearchJob::new(7, 1 << 10, 4, 99).with_backend(BackendHint::StateVector);
+        let line = serde_json::to_string(&job).expect("job serialises");
+        match parse_request(&line).expect("parses") {
+            Some(Request::Job(parsed)) => assert_eq!(*parsed, job),
+            other => panic!("expected a job request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn command_lines_parse_and_blank_lines_skip() {
+        assert_eq!(
+            parse_request("{\"cmd\":\"metrics\"}").expect("parses"),
+            Some(Request::Command(Command::Metrics))
+        );
+        assert_eq!(
+            parse_request(" {\"cmd\": \"shutdown\"} ").expect("parses"),
+            Some(Request::Command(Command::Shutdown))
+        );
+        assert_eq!(parse_request("").expect("blank"), None);
+        assert_eq!(parse_request("   ").expect("blank"), None);
+        assert!(parse_request("{\"cmd\":\"dance\"}").is_err());
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("[1,2]").is_err());
+    }
+
+    #[test]
+    fn responses_round_trip_through_their_lines() {
+        let result = SearchResult {
+            job_id: 42,
+            backend: Backend::Reduced,
+            block_found: 1,
+            true_block: 1,
+            correct: true,
+            queries: 77,
+            success_estimate: 0.993,
+            trials: 2,
+            trials_correct: 2,
+            wall_time_us: 12.5,
+        };
+        let cases = vec![
+            Response::Result(Box::new(result)),
+            Response::Error {
+                id: Some(9),
+                kind: ErrorKind::Overload,
+                reason: "too many in-flight jobs".into(),
+            },
+            Response::Error {
+                id: None,
+                kind: ErrorKind::Parse,
+                reason: "invalid JSON: trailing characters at byte 2".into(),
+            },
+            Response::Ack {
+                cmd: "shutdown".into(),
+            },
+        ];
+        for response in cases {
+            let line = response.to_line();
+            assert!(!line.contains('\n'), "one line per response");
+            let back = parse_response(&line).expect("round trips");
+            assert_eq!(back, response);
+        }
+    }
+
+    #[test]
+    fn every_error_kind_round_trips() {
+        for kind in [
+            ErrorKind::Parse,
+            ErrorKind::Invalid,
+            ErrorKind::Overload,
+            ErrorKind::Rejected,
+            ErrorKind::ShuttingDown,
+        ] {
+            assert_eq!(ErrorKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(ErrorKind::from_label("nope"), None);
+    }
+
+    #[test]
+    fn job_id_is_recovered_from_answering_responses() {
+        let mut result = SearchResult {
+            job_id: 3,
+            backend: Backend::Reduced,
+            block_found: 0,
+            true_block: 0,
+            correct: true,
+            queries: 1,
+            success_estimate: 1.0,
+            trials: 1,
+            trials_correct: 1,
+            wall_time_us: 0.0,
+        };
+        result.job_id = 3;
+        assert_eq!(Response::Result(Box::new(result)).job_id(), Some(3));
+        assert_eq!(
+            Response::Error {
+                id: Some(8),
+                kind: ErrorKind::Invalid,
+                reason: String::new()
+            }
+            .job_id(),
+            Some(8)
+        );
+        assert_eq!(
+            Response::Ack {
+                cmd: "metrics".into()
+            }
+            .job_id(),
+            None
+        );
+    }
+}

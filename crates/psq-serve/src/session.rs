@@ -1,0 +1,218 @@
+//! Per-client session state and the registry the metrics snapshot reads.
+//!
+//! Each connected client (one TCP connection, or the single pipe client)
+//! gets a [`Session`]: its response channel, its in-flight admission
+//! counter, and its lifetime counters. The coalescer reaches a client's
+//! session through the `Arc` carried inside each queued job, never through
+//! a registry lookup, so the hot path takes no shared lock; the
+//! [`SessionRegistry`] only holds weak references for the metrics snapshot
+//! and for kicking readers loose on shutdown.
+
+use crate::metrics::ClientCounters;
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+/// One response line bound for a client's writer thread.
+pub type OutLine = String;
+
+/// A hook that unblocks the client's reader (e.g. shuts its TCP stream
+/// down) so a server-wide shutdown can reach clients that are idle.
+pub type KickHook = Box<dyn Fn() + Send + Sync>;
+
+/// Shared per-client state. The transport's reader holds one `Arc`, every
+/// queued job holds one, and the registry holds a `Weak`; the client's
+/// writer exits when its channel disconnects — i.e. exactly when the reader
+/// is done *and* every in-flight job has been answered.
+pub struct Session {
+    /// Server-assigned client id (used in metrics, not on the wire).
+    pub id: u64,
+    /// Response channel into this client's writer.
+    tx: Sender<OutLine>,
+    /// Jobs admitted but not yet answered.
+    inflight: AtomicU32,
+    /// Admission bound: `inflight` may not exceed this.
+    max_inflight: u32,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    errors: AtomicU64,
+    overloaded: AtomicU64,
+    kick: Mutex<Option<KickHook>>,
+}
+
+impl Session {
+    fn new(id: u64, tx: Sender<OutLine>, max_inflight: u32) -> Self {
+        Self {
+            id,
+            tx,
+            inflight: AtomicU32::new(0),
+            max_inflight,
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            kick: Mutex::new(None),
+        }
+    }
+
+    /// Tries to reserve an in-flight slot. `false` means the client is at
+    /// its bound and must receive an overload error instead.
+    pub fn try_admit(&self) -> bool {
+        let admitted = self
+            .inflight
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |current| {
+                (current < self.max_inflight).then_some(current + 1)
+            })
+            .is_ok();
+        if admitted {
+            self.submitted.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.overloaded.fetch_add(1, Ordering::Relaxed);
+        }
+        admitted
+    }
+
+    /// Sends a response line to this client's writer. A send failure means
+    /// the writer is gone (client disconnected mid-flight); the line is
+    /// dropped, which is the only thing left to do for a vanished peer.
+    pub fn send(&self, line: OutLine) {
+        let _ = self.tx.send(line);
+    }
+
+    /// Releases an in-flight slot with a result.
+    pub fn complete(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Releases an in-flight slot with an error.
+    pub fn fail(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Counts an error that never took a slot (parse/validation).
+    pub fn count_intake_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Installs the shutdown kick for this client's transport.
+    pub fn set_kick(&self, hook: KickHook) {
+        *self.kick.lock() = Some(hook);
+    }
+
+    /// Fires the shutdown kick, if any.
+    pub fn kick(&self) {
+        if let Some(hook) = self.kick.lock().as_ref() {
+            hook();
+        }
+    }
+
+    /// Lifetime counters for the metrics snapshot.
+    pub fn counters(&self) -> ClientCounters {
+        ClientCounters {
+            client: self.id,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Weakly tracks every attached session for metrics and shutdown.
+#[derive(Default)]
+pub struct SessionRegistry {
+    sessions: Mutex<Vec<Weak<Session>>>,
+    next_id: AtomicU64,
+    total: AtomicU64,
+}
+
+impl SessionRegistry {
+    /// Creates and registers a session around `tx`.
+    pub fn attach(&self, tx: Sender<OutLine>, max_inflight: u32) -> Arc<Session> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let session = Arc::new(Session::new(id, tx, max_inflight));
+        let mut sessions = self.sessions.lock();
+        sessions.retain(|weak| weak.strong_count() > 0);
+        sessions.push(Arc::downgrade(&session));
+        session
+    }
+
+    /// Counters of currently attached clients, plus `(connected, total)`.
+    pub fn snapshot(&self) -> (Vec<ClientCounters>, u64, u64) {
+        let mut sessions = self.sessions.lock();
+        sessions.retain(|weak| weak.strong_count() > 0);
+        let counters: Vec<ClientCounters> = sessions
+            .iter()
+            .filter_map(Weak::upgrade)
+            .map(|session| session.counters())
+            .collect();
+        let connected = counters.len() as u64;
+        (counters, connected, self.total.load(Ordering::Relaxed))
+    }
+
+    /// Fires every live session's shutdown kick.
+    pub fn kick_all(&self) {
+        let sessions = self.sessions.lock();
+        for session in sessions.iter().filter_map(Weak::upgrade) {
+            session.kick();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn admission_is_bounded_and_released() {
+        let (tx, _rx) = unbounded();
+        let registry = SessionRegistry::default();
+        let session = registry.attach(tx, 2);
+        assert!(session.try_admit());
+        assert!(session.try_admit());
+        assert!(!session.try_admit(), "third admit exceeds the bound");
+        session.complete();
+        assert!(session.try_admit(), "slot freed by completion");
+        session.fail();
+        session.complete();
+        let counters = session.counters();
+        assert_eq!(counters.submitted, 3);
+        assert_eq!(counters.completed, 2);
+        assert_eq!(counters.errors, 1);
+        assert_eq!(counters.overloaded, 1);
+    }
+
+    #[test]
+    fn registry_snapshot_tracks_live_sessions_only() {
+        let registry = SessionRegistry::default();
+        let (tx, _rx) = unbounded();
+        let keep = registry.attach(tx.clone(), 4);
+        {
+            let _dropped = registry.attach(tx, 4);
+        }
+        let (counters, connected, total) = registry.snapshot();
+        assert_eq!(connected, 1);
+        assert_eq!(total, 2);
+        assert_eq!(counters.len(), 1);
+        assert_eq!(counters[0].client, keep.id);
+    }
+
+    #[test]
+    fn kick_fires_installed_hooks() {
+        let registry = SessionRegistry::default();
+        let (tx, _rx) = unbounded();
+        let session = registry.attach(tx, 4);
+        let fired = Arc::new(AtomicU64::new(0));
+        let observed = Arc::clone(&fired);
+        session.set_kick(Box::new(move || {
+            observed.fetch_add(1, Ordering::Relaxed);
+        }));
+        registry.kick_all();
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+    }
+}

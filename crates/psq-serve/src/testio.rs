@@ -1,0 +1,46 @@
+//! In-memory `Write` sink for driving pipe sessions without a process
+//! boundary — used by the crate's tests, the binary's `--selftest`, and the
+//! bench harness's `serve_stream` scenario.
+
+use parking_lot::Mutex;
+use std::io::Write;
+use std::sync::Arc;
+
+/// A cloneable, thread-safe in-memory byte sink. Clones share the buffer,
+/// so the caller keeps one handle while the writer thread owns another.
+#[derive(Clone, Default)]
+pub struct SharedSink {
+    buffer: Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedSink {
+    /// Everything written so far, split into lines.
+    pub fn lines(&self) -> Vec<String> {
+        String::from_utf8(self.buffer.lock().clone())
+            .expect("responses are UTF-8")
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buffer.lock().len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.lock().is_empty()
+    }
+}
+
+impl Write for SharedSink {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buffer.lock().extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}

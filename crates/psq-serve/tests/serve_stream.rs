@@ -1,0 +1,341 @@
+//! Integration tests for the streaming serving layer.
+//!
+//! The server must be a *transparent* multiplexer: any interleaving of any
+//! number of clients yields, per client, exactly the tagged results that
+//! running that client's jobs through `Engine::run_batch` directly would
+//! produce (wall times aside) — and overload never loses a job silently.
+
+use proptest::prelude::*;
+use psq_engine::{Engine, EngineConfig, SearchJob, SearchResult};
+use psq_serve::protocol::{parse_response, ErrorKind, Response};
+use psq_serve::{CoalescerConfig, LineOutcome, ServeConfig, Server};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+
+/// The fields a streamed result must share with direct batch execution
+/// (everything deterministic except the client-rewritten `job_id`).
+fn comparable(result: &SearchResult) -> (u64, u64, bool, u64, f64, u32, u32) {
+    (
+        result.block_found,
+        result.true_block,
+        result.correct,
+        result.queries,
+        result.success_estimate,
+        result.trials,
+        result.trials_correct,
+    )
+}
+
+/// Reference: each client's jobs executed as one direct engine batch.
+fn reference_results(jobs: &[SearchJob]) -> Vec<SearchResult> {
+    let engine = Engine::new(EngineConfig {
+        threads: Some(1),
+        ..EngineConfig::default()
+    });
+    let report = engine.run_batch(jobs);
+    assert!(report.rejected.is_empty(), "reference jobs are valid");
+    report.results
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any interleaving of 1–4 clients' job streams through the coalescer
+    /// is bit-identical, per client, to direct batch execution.
+    #[test]
+    fn stream_results_are_bit_identical_to_batch_execution(
+        seed in 0u64..1u64 << 40,
+        clients in 1usize..5,
+        per_client in 1usize..17,
+    ) {
+        let server = Server::start(ServeConfig {
+            engine: EngineConfig { threads: Some(2), ..EngineConfig::default() },
+            coalescer: CoalescerConfig { max_batch: 8, max_delay_us: 300 },
+            ..ServeConfig::default()
+        });
+        // Client c's jobs: a deterministic mixed slice with *local* ids
+        // 0..per_client — ids deliberately collide across clients.
+        let mut streams: Vec<Vec<SearchJob>> = Vec::new();
+        for c in 0..clients {
+            let mut jobs = psq_engine::generate_mixed_batch(per_client, seed ^ (c as u64 + 1));
+            for (local, job) in jobs.iter_mut().enumerate() {
+                job.id = local as u64;
+            }
+            streams.push(jobs);
+        }
+        let attached: Vec<_> = (0..clients).map(|_| server.attach()).collect();
+        // Round-robin interleaving across clients.
+        for index in 0..per_client {
+            for ((client, _), stream) in attached.iter().zip(&streams) {
+                let line = serde_json::to_string(&stream[index]).expect("serialises");
+                prop_assert_eq!(client.submit_line(&line), LineOutcome::Continue);
+            }
+        }
+        for (c, (client, responses)) in attached.into_iter().enumerate() {
+            drop(client);
+            let mut by_id: HashMap<u64, SearchResult> = HashMap::new();
+            for line in responses.iter() {
+                match parse_response(&line).expect("well-formed response line") {
+                    Response::Result(result) => {
+                        let previous = by_id.insert(result.job_id, *result);
+                        prop_assert!(previous.is_none(), "id answered twice");
+                    }
+                    other => prop_assert!(false, "unexpected response {:?}", other),
+                }
+            }
+            prop_assert_eq!(by_id.len(), per_client, "client {} fully answered", c);
+            for (local, (job, reference)) in
+                streams[c].iter().zip(reference_results(&streams[c])).enumerate()
+            {
+                let streamed = &by_id[&job.id];
+                prop_assert_eq!(streamed.backend, reference.backend);
+                prop_assert_eq!(
+                    comparable(streamed),
+                    comparable(&reference),
+                    "client {} local job {} diverged from batch execution",
+                    c,
+                    local
+                );
+            }
+        }
+        let metrics = server.metrics();
+        prop_assert_eq!(metrics.jobs_completed, (clients * per_client) as u64);
+        prop_assert_eq!(metrics.queue_depth, 0);
+        server.finish();
+    }
+}
+
+/// Backpressure: a client over its in-flight bound gets well-formed JSON
+/// overload errors, the connection survives, and no job goes unanswered.
+#[test]
+fn overload_responses_are_well_formed_and_no_job_is_silently_dropped() {
+    let server = Server::start(ServeConfig {
+        engine: EngineConfig {
+            threads: Some(1),
+            ..EngineConfig::default()
+        },
+        // A long dwell so everything we flood lands before the first
+        // fan-out: admissions beyond the bound must overload.
+        coalescer: CoalescerConfig {
+            max_batch: 256,
+            max_delay_us: 200_000,
+        },
+        max_inflight: 4,
+    });
+    let (client, responses) = server.attach();
+    let total = 64u64;
+    for id in 0..total {
+        let job = SearchJob::new(id, 1 << 10, 4, (id * 31) % (1 << 10));
+        client.submit_line(&serde_json::to_string(&job).expect("serialises"));
+    }
+    let mut results = Vec::new();
+    let mut overloads = Vec::new();
+    for _ in 0..total {
+        let line = responses.recv().expect("every submission is answered");
+        // Well-formed JSON first: the raw line must parse as a value …
+        serde_json::parse_value(&line).expect("overload responses are valid JSON");
+        // … and as a protocol response.
+        match parse_response(&line).expect("well-formed response") {
+            Response::Result(result) => results.push(result.job_id),
+            Response::Error { id, kind, reason } => {
+                assert_eq!(kind, ErrorKind::Overload);
+                assert!(reason.contains("in flight"), "reason explains: {reason}");
+                overloads.push(id.expect("overload errors carry the job id"));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    // The first `max_inflight` jobs were admitted, the rest bounced; every
+    // id was answered exactly once one way or the other.
+    assert_eq!(results.len(), 4);
+    assert_eq!(overloads.len(), 60);
+    let mut answered: Vec<u64> = results.iter().chain(&overloads).copied().collect();
+    answered.sort_unstable();
+    assert_eq!(answered, (0..total).collect::<Vec<_>>());
+    let metrics = server.metrics();
+    assert_eq!(metrics.jobs_overloaded, 60);
+    assert_eq!(metrics.jobs_completed, 4);
+    // The connection survives overload: slots are free again, so a fresh
+    // submission is admitted and answered.
+    client.submit_line(
+        &serde_json::to_string(&SearchJob::new(999, 1 << 10, 4, 1)).expect("serialises"),
+    );
+    let line = responses.recv().expect("post-overload job answered");
+    match parse_response(&line).expect("well-formed") {
+        Response::Result(result) => assert_eq!(result.job_id, 999),
+        other => panic!("expected a result, got {other:?}"),
+    }
+    drop(client);
+    server.finish();
+}
+
+/// Two concurrent TCP clients: each receives exactly its own tagged
+/// results, bit-identical to direct batch execution of its jobs.
+#[test]
+fn tcp_two_concurrent_clients_get_exactly_their_own_results() {
+    let server = Server::start(ServeConfig {
+        engine: EngineConfig {
+            threads: Some(2),
+            ..EngineConfig::default()
+        },
+        coalescer: CoalescerConfig {
+            max_batch: 16,
+            max_delay_us: 2_000,
+        },
+        ..ServeConfig::default()
+    });
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().expect("bound address");
+
+    let per_client = 20usize;
+    // Same local ids on both clients, different job streams: results must
+    // come back tagged per connection, never crossed.
+    let make_stream = |client_seed: u64| {
+        let mut jobs = psq_engine::generate_mixed_batch(per_client, 1000 + client_seed);
+        for (local, job) in jobs.iter_mut().enumerate() {
+            job.id = local as u64;
+        }
+        jobs
+    };
+    let streams = [make_stream(1), make_stream(2)];
+    let references: Vec<Vec<SearchResult>> =
+        streams.iter().map(|jobs| reference_results(jobs)).collect();
+
+    let run_client = |jobs: &[SearchJob], shutdown_when_done: bool| {
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        for job in jobs {
+            let line = serde_json::to_string(job).expect("serialises");
+            stream
+                .write_all((line + "\n").as_bytes())
+                .expect("write job line");
+        }
+        stream.flush().expect("flush jobs");
+        let mut by_id: HashMap<u64, SearchResult> = HashMap::new();
+        while by_id.len() < jobs.len() {
+            let mut line = String::new();
+            assert!(
+                reader.read_line(&mut line).expect("read response") > 0,
+                "connection closed before every result arrived"
+            );
+            match parse_response(line.trim_end()).expect("well-formed response") {
+                Response::Result(result) => {
+                    assert!(
+                        by_id.insert(result.job_id, *result).is_none(),
+                        "id answered twice"
+                    );
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        if shutdown_when_done {
+            stream
+                .write_all(b"{\"cmd\":\"shutdown\"}\n")
+                .expect("write shutdown");
+            stream.flush().expect("flush shutdown");
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read ack");
+            match parse_response(line.trim_end()).expect("well-formed ack") {
+                Response::Ack { cmd } => assert_eq!(cmd, "shutdown"),
+                other => panic!("expected the shutdown ack, got {other:?}"),
+            }
+        }
+        by_id
+    };
+
+    std::thread::scope(|scope| {
+        let serve = scope.spawn(|| server.serve_tcp(listener));
+        let first = scope.spawn(|| run_client(&streams[0], false));
+        let second_results = run_client(&streams[1], false);
+        let first_results = first.join().expect("first client thread");
+        // Both clients fully served; now one more connection shuts the
+        // server down gracefully.
+        let mut closer = std::net::TcpStream::connect(addr).expect("connect closer");
+        closer
+            .write_all(b"{\"cmd\":\"shutdown\"}\n")
+            .expect("write shutdown");
+        closer.flush().expect("flush");
+        serve
+            .join()
+            .expect("serve thread")
+            .expect("clean serve exit");
+
+        for (client_index, results) in [first_results, second_results].iter().enumerate() {
+            assert_eq!(results.len(), per_client);
+            for (local, reference) in references[client_index].iter().enumerate() {
+                let streamed = &results[&(local as u64)];
+                assert_eq!(streamed.backend, reference.backend);
+                assert_eq!(
+                    comparable(streamed),
+                    comparable(reference),
+                    "client {client_index} local job {local} diverged or crossed clients"
+                );
+            }
+        }
+    });
+    let metrics = server.metrics();
+    assert_eq!(metrics.jobs_completed, 2 * per_client as u64);
+    assert!(metrics.clients_total >= 3);
+    assert!(metrics.batches >= 1);
+    assert!(metrics.latency_us_p99 >= metrics.latency_us_p50);
+    server.finish();
+}
+
+/// The compiled binary round-trips a pipe stream: every id answered, clean
+/// exit, and a metrics command gets a snapshot line.
+#[test]
+fn pipe_binary_round_trips_a_stream_and_exits_cleanly() {
+    use std::process::{Command, Stdio};
+    let jobs = psq_engine::generate_mixed_batch(48, 7);
+    let mut input: String = jobs
+        .iter()
+        .map(|job| serde_json::to_string(job).expect("serialises") + "\n")
+        .collect();
+    input.push_str("{\"cmd\":\"metrics\"}\n");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_psq-serve"))
+        .args(["--threads", "2", "--max-batch", "32"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn psq-serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write job stream");
+    let output = child.wait_with_output().expect("psq-serve runs");
+    assert!(
+        output.status.success(),
+        "clean exit (status {})",
+        output.status
+    );
+    let stdout = String::from_utf8(output.stdout).expect("UTF-8 output");
+    let mut ids = Vec::new();
+    let mut saw_metrics = false;
+    for line in stdout.lines() {
+        match parse_response(line).expect("well-formed output line") {
+            Response::Result(result) => ids.push(result.job_id),
+            Response::Metrics(metrics) => {
+                saw_metrics = true;
+                assert_eq!(metrics.clients_connected, 1);
+            }
+            other => panic!("unexpected output line {other:?}"),
+        }
+    }
+    ids.sort_unstable();
+    assert_eq!(ids, (0..48).collect::<Vec<_>>(), "all ids answered");
+    assert!(saw_metrics, "the metrics command was answered in-stream");
+}
+
+/// `--selftest` is the CI smoke path: it must pass end to end.
+#[test]
+fn selftest_smoke_passes() {
+    use std::process::Command;
+    let status = Command::new(env!("CARGO_BIN_EXE_psq-serve"))
+        .args(["--selftest", "32", "--threads", "2"])
+        .status()
+        .expect("spawn psq-serve");
+    assert!(status.success(), "selftest exits 0 (got {status})");
+}

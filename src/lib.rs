@@ -31,6 +31,7 @@
 //! | [`partial`] | the GRK partial-search algorithm, its query model, optimiser, baselines (`psq-partial`) |
 //! | [`bounds`] | Theorem 2, Theorem 3 and the Appendix-B hybrid-argument audit (`psq-bounds`) |
 //! | [`engine`] | batched multi-backend execution engine: job specs, cost-model planner with a memoised plan cache, worker-pool executor, metrics (`psq-engine`) |
+//! | [`serve`] | streaming multi-client serving layer: NDJSON protocol, micro-batching coalescer, pipe + TCP transports, admission control (`psq-serve`) |
 //!
 //! ## Quickstart
 //!
@@ -65,19 +66,21 @@ pub use psq_grover as grover;
 pub use psq_math as math;
 pub use psq_parallel as parallel;
 pub use psq_partial as partial;
+pub use psq_serve as serve;
 pub use psq_sim as sim;
 
 /// The most commonly used types, re-exported flat for convenient `use
 /// partial_quantum_search::prelude::*`.
 pub mod prelude {
     pub use psq_engine::{
-        Backend, BackendHint, BatchMetrics, BatchReport, Engine, EngineConfig, SearchJob,
-        SearchResult,
+        Backend, BackendHint, BatchMetrics, BatchReport, Engine, EngineConfig, EngineHandle,
+        SearchJob, SearchResult,
     };
     pub use psq_grover::{ExactPlan, MarkedSet, Schedule};
     pub use psq_partial::{
         EpsilonChoice, Model, PartialRun, PartialSearch, RecursiveSearch, SearchPlan,
     };
+    pub use psq_serve::{CoalescerConfig, ServeConfig, ServeMetrics, Server};
     pub use psq_sim::{
         Database, FullSearchOutcome, PartialSearchOutcome, Partition, QueryCounter, ReducedState,
         StateVector,

@@ -1,0 +1,67 @@
+//! Facade-level test of the streaming serving layer: the prelude exposes
+//! `Server`/`ServeConfig`, a pipe session round-trips a mixed NDJSON job
+//! stream, and the streamed results are bit-identical to running the same
+//! jobs through `Engine::run_batch` directly.
+
+use partial_quantum_search::engine::generate_mixed_batch;
+use partial_quantum_search::prelude::*;
+use partial_quantum_search::serve::protocol::{parse_response, Response};
+use partial_quantum_search::serve::testio::SharedSink;
+
+#[test]
+fn pipe_stream_through_the_facade_matches_batch_execution() {
+    let jobs = generate_mixed_batch(40, 17);
+    let input: String = jobs
+        .iter()
+        .map(|job| serde_json::to_string(job).expect("jobs serialise") + "\n")
+        .collect();
+
+    let server = Server::start(ServeConfig {
+        engine: EngineConfig {
+            threads: Some(2),
+            ..EngineConfig::default()
+        },
+        coalescer: CoalescerConfig {
+            max_batch: 16,
+            max_delay_us: 500,
+        },
+        ..ServeConfig::default()
+    });
+    let sink = SharedSink::default();
+    let summary = server
+        .serve_pipe(input.as_bytes(), sink.clone())
+        .expect("pipe session");
+    assert_eq!(summary.lines_in, 40);
+
+    let mut streamed: Vec<SearchResult> = sink
+        .lines()
+        .iter()
+        .map(|line| match parse_response(line).expect("well-formed") {
+            Response::Result(result) => *result,
+            other => panic!("expected results only, got {other:?}"),
+        })
+        .collect();
+    streamed.sort_by_key(|r| r.job_id);
+
+    let reference = Engine::new(EngineConfig {
+        threads: Some(1),
+        ..EngineConfig::default()
+    })
+    .run_batch(&jobs);
+    assert_eq!(streamed.len(), reference.results.len());
+    for (s, r) in streamed.iter().zip(&reference.results) {
+        assert_eq!(
+            s.deterministic_fields(),
+            r.deterministic_fields(),
+            "job {} diverged between stream and batch",
+            r.job_id
+        );
+    }
+
+    let metrics: ServeMetrics = server.metrics();
+    assert_eq!(metrics.jobs_completed, 40);
+    assert!(metrics.batches >= 3, "max_batch 16 forces multiple batches");
+    assert!(metrics.latency_us_p99 >= metrics.latency_us_p50);
+    assert!(metrics.latency_us_p99 > 0.0);
+    server.finish();
+}

@@ -39,6 +39,28 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait elapsed with no message delivered.
+        Timeout,
+        /// Every sender was dropped and the queue is drained.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
     impl std::fmt::Display for RecvError {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             write!(f, "receiving on an empty and disconnected channel")
@@ -84,6 +106,19 @@ pub mod channel {
                 .lock()
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
             guard.recv().map_err(|_| RecvError)
+        }
+
+        /// Blocks until a message arrives, every sender is dropped, or
+        /// `timeout` elapses — whichever happens first.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let guard = self
+                .inner
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            guard.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
 
         /// Non-blocking receive; `None` when the queue is currently empty or
@@ -152,6 +187,25 @@ pub mod channel {
             let (tx, rx) = unbounded::<u8>();
             drop(tx);
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(9).unwrap();
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(100)),
+                Ok(9)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
     }
 }

@@ -6,8 +6,18 @@
 //! comparable before/after record without Criterion's report machinery.
 //!
 //! ```text
-//! cargo run -p psq-bench --bin record_bench --release -- [--quick] [--out PATH]
+//! cargo run -p psq-bench --bin record_bench --release -- \
+//!     [--quick] [--out PATH] [--scenario SUBSTR]... \
+//!     [--baseline PATH [--max-drop FRAC]]
 //! ```
+//!
+//! `--scenario SUBSTR` (repeatable) runs only the scenarios whose name
+//! contains one of the given substrings — CI and local kernel work time
+//! just `statevector`/`circuit` instead of the whole suite. `--baseline`
+//! compares the scenarios just measured against a previously committed
+//! record (matched by name) and exits non-zero if any throughput fell more
+//! than `--max-drop` (default 0.30) below its baseline figure — the
+//! bench-regression smoke gate.
 //!
 //! Scenario semantics match the Criterion bench: one engine per scenario,
 //! reused across timed iterations, so the planner's schedule cache is warm
@@ -17,11 +27,11 @@
 //! for the `warm_result_cache` scenario, which measures the hit path.
 
 use psq_engine::{generate_mixed_batch, BackendHint, Engine, EngineConfig, SearchJob};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// One measured scenario.
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct Scenario {
     /// Scenario name (stable across PRs; used for trajectory diffs).
     name: String,
@@ -40,7 +50,7 @@ struct Scenario {
 }
 
 /// The whole data point.
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct BenchRecord {
     /// Benchmark family.
     bench: String,
@@ -182,20 +192,90 @@ fn run_serve_stream_scenario(count: usize, min_seconds: f64, max_iters: u64) -> 
     scenario
 }
 
+/// Whether a scenario name passes the `--scenario` filters (no filters:
+/// everything runs).
+fn wanted(name: &str, filters: &[String]) -> bool {
+    filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()))
+}
+
+/// Compares the measured scenarios against a committed baseline record
+/// (matched by name) and returns the regressions beyond `max_drop`.
+fn regressions_against_baseline(
+    record: &BenchRecord,
+    baseline: &BenchRecord,
+    max_drop: f64,
+) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for scenario in &record.scenarios {
+        let Some(reference) = baseline.scenarios.iter().find(|b| b.name == scenario.name) else {
+            eprintln!("baseline: no entry for {} (skipped)", scenario.name);
+            continue;
+        };
+        let floor = reference.jobs_per_s * (1.0 - max_drop);
+        if scenario.jobs_per_s < floor {
+            regressions.push(format!(
+                "{}: {:.1} jobs/s is more than {:.0}% below the baseline {:.1}",
+                scenario.name,
+                scenario.jobs_per_s,
+                max_drop * 100.0,
+                reference.jobs_per_s
+            ));
+        } else {
+            eprintln!(
+                "baseline: {} at {:.2}x of committed {:.1} jobs/s (floor {:.1})",
+                scenario.name,
+                scenario.jobs_per_s / reference.jobs_per_s,
+                reference.jobs_per_s,
+                floor
+            );
+        }
+    }
+    regressions
+}
+
 fn main() {
     let mut quick = false;
-    let mut out = "BENCH_engine.json".to_string();
+    let mut out: Option<String> = None;
+    let mut filters: Vec<String> = Vec::new();
+    let mut baseline_path: Option<String> = None;
+    let mut max_drop = 0.30f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
-            "--out" => out = args.next().expect("--out needs a path"),
+            "--out" => out = Some(args.next().expect("--out needs a path")),
+            "--scenario" => filters.push(args.next().expect("--scenario needs a substring")),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a path")),
+            "--max-drop" => {
+                max_drop = args
+                    .next()
+                    .expect("--max-drop needs a fraction")
+                    .parse()
+                    .expect("--max-drop: invalid fraction");
+                assert!(
+                    (0.0..1.0).contains(&max_drop),
+                    "--max-drop must be in [0, 1)"
+                );
+            }
             other => {
-                eprintln!("usage: record_bench [--quick] [--out PATH] (got `{other}`)");
+                eprintln!(
+                    "usage: record_bench [--quick] [--out PATH] [--scenario SUBSTR]... \
+                     [--baseline PATH [--max-drop FRAC]] (got `{other}`)"
+                );
                 std::process::exit(2);
             }
         }
     }
+    // A filtered run writes a partial record; never let it silently
+    // overwrite the committed full record at the default path.
+    let out = match out {
+        Some(path) => path,
+        None if filters.is_empty() => "BENCH_engine.json".to_string(),
+        None => {
+            eprintln!("--scenario produces a partial record: pass --out PATH explicitly");
+            std::process::exit(2);
+        }
+    };
     let (min_seconds, max_iters) = if quick { (0.05, 2) } else { (1.0, 50) };
     let cold = EngineConfig {
         result_cache: false,
@@ -207,15 +287,13 @@ fn main() {
     // The headline number: the mixed batch the engine is designed to serve,
     // every job honestly executed.
     for count in [128usize, 512] {
+        let name = format!("cold_mixed_batch/{count}");
+        if !wanted(&name, &filters) {
+            continue;
+        }
         let engine = Engine::new(cold);
         let jobs = generate_mixed_batch(count, 42);
-        scenarios.push(run_scenario(
-            &format!("cold_mixed_batch/{count}"),
-            &engine,
-            &jobs,
-            min_seconds,
-            max_iters,
-        ));
+        scenarios.push(run_scenario(&name, &engine, &jobs, min_seconds, max_iters));
     }
 
     // Per-backend cost isolation.
@@ -225,20 +303,18 @@ fn main() {
         ("circuit", BackendHint::Circuit, 32),
         ("classical_randomized", BackendHint::ClassicalRandomized, 64),
     ] {
+        let name = format!("cold_uniform_batch/{label}");
+        if !wanted(&name, &filters) {
+            continue;
+        }
         let engine = Engine::new(cold);
         let jobs = uniform_batch(hint, count);
-        scenarios.push(run_scenario(
-            &format!("cold_uniform_batch/{label}"),
-            &engine,
-            &jobs,
-            min_seconds,
-            max_iters,
-        ));
+        scenarios.push(run_scenario(&name, &engine, &jobs, min_seconds, max_iters));
     }
 
     // The result-cache hit path: identical repeated batch on a caching
     // engine; after the warmup run every job is a hit.
-    {
+    if wanted("warm_result_cache/512", &filters) {
         let engine = Engine::new(EngineConfig::default());
         let jobs = generate_mixed_batch(512, 42);
         scenarios.push(run_scenario(
@@ -255,7 +331,14 @@ fn main() {
     // coalescer, engine execution and response serialisation, end to end.
     // One persistent server (result cache off, like the cold scenarios) so
     // the plan cache is warm after the warmup, matching batch semantics.
-    scenarios.push(run_serve_stream_scenario(512, min_seconds, max_iters));
+    if wanted("serve_stream/512", &filters) {
+        scenarios.push(run_serve_stream_scenario(512, min_seconds, max_iters));
+    }
+
+    if scenarios.is_empty() {
+        eprintln!("no scenario matches the --scenario filters");
+        std::process::exit(2);
+    }
 
     let record = BenchRecord {
         bench: "engine_throughput".to_string(),
@@ -267,4 +350,19 @@ fn main() {
     let json = serde_json::to_string_pretty(&record).expect("record serialises");
     std::fs::write(&out, json + "\n").expect("write bench record");
     eprintln!("wrote {out}");
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline: BenchRecord = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+        let regressions = regressions_against_baseline(&record, &baseline, max_drop);
+        if !regressions.is_empty() {
+            for line in &regressions {
+                eprintln!("REGRESSION: {line}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("baseline check passed ({path}, max drop {max_drop})");
+    }
 }

@@ -19,7 +19,6 @@
 
 use crate::lemmas;
 use crate::zalka;
-use psq_math::angle::angular_distance;
 
 /// Every quantity of the Appendix-B chain, evaluated for a `T`-query Grover
 /// run on a size-`N` database.
@@ -61,7 +60,7 @@ impl HybridAccounting {
             let mut previous = lemmas::hybrid_state(n, y, t, 0);
             for i in 1..=t {
                 let current = lemmas::hybrid_state(n, y, t, i);
-                hybrid_path_total += angular_distance(previous.amplitudes(), current.amplitudes());
+                hybrid_path_total += previous.angular_distance(&current);
                 previous = current;
             }
             for (_, bound) in lemmas::lemma2_pairs(n, y, t) {

@@ -13,7 +13,6 @@
 //! of the all-identity run, `φ^y_t` of the real run against oracle `O_y`, and
 //! `φ^{y,i}_T` of the hybrid with `i` trailing real queries.
 
-use psq_math::angle::angular_distance;
 use psq_math::approx::safe_asin;
 use psq_sim::statevector::StateVector;
 
@@ -72,7 +71,7 @@ pub fn lemma1_sum(n: usize, t: usize) -> f64 {
     (0..n)
         .map(|y| {
             let run = oracle_run_state(n, y, t);
-            angular_distance(reference.amplitudes(), run.amplitudes())
+            reference.angular_distance(&run)
         })
         .sum()
 }
@@ -94,7 +93,7 @@ pub fn lemma2_pairs(n: usize, y: usize, t: usize) -> Vec<(f64, f64)> {
         .map(|i| {
             let before = hybrid_state(n, y, t, i - 1);
             let after = hybrid_state(n, y, t, i);
-            let actual = angular_distance(before.amplitudes(), after.amplitudes());
+            let actual = before.angular_distance(&after);
             let p = identity_run_probability(n, t - i, y);
             (actual, 2.0 * safe_asin(p.sqrt()))
         })

@@ -17,7 +17,9 @@ pub const ENGINE_FLAGS_HELP: &str = "  \
   --no-result-cache            disable the memoised result cache (repeated
                                jobs re-execute; honest cold benchmarking)
   --result-cache-capacity N    approximate bound on cached results before
-                               second-chance eviction kicks in (default 65536)";
+                               second-chance eviction kicks in (default 65536)
+  --result-cache-ttl-ms N      expire cached results N milliseconds after
+                               insertion (default: keep until evicted)";
 
 /// Engine-construction flags shared by every engine-backed binary.
 #[derive(Clone, Copy, Debug)]
@@ -28,6 +30,8 @@ pub struct EngineFlags {
     pub result_cache: bool,
     /// `--result-cache-capacity N`.
     pub result_cache_capacity: usize,
+    /// `--result-cache-ttl-ms N`; `None` keeps results until evicted.
+    pub result_cache_ttl_ms: Option<u64>,
 }
 
 impl Default for EngineFlags {
@@ -36,6 +40,7 @@ impl Default for EngineFlags {
             threads: None,
             result_cache: true,
             result_cache_capacity: DEFAULT_RESULT_CACHE_CAPACITY,
+            result_cache_ttl_ms: None,
         }
     }
 }
@@ -63,6 +68,10 @@ impl EngineFlags {
                 self.result_cache_capacity = require_value(arg, args)?;
                 Ok(true)
             }
+            "--result-cache-ttl-ms" => {
+                self.result_cache_ttl_ms = Some(require_value(arg, args)?);
+                Ok(true)
+            }
             _ => Ok(false),
         }
     }
@@ -73,6 +82,9 @@ impl EngineFlags {
             threads: self.threads,
             result_cache: self.result_cache,
             result_cache_capacity: self.result_cache_capacity,
+            result_cache_ttl: self
+                .result_cache_ttl_ms
+                .map(std::time::Duration::from_millis),
         }
     }
 }
@@ -111,15 +123,22 @@ mod tests {
             "--no-result-cache",
             "--result-cache-capacity",
             "128",
+            "--result-cache-ttl-ms",
+            "1500",
         ])
         .expect("valid flags");
         assert_eq!(flags.threads, Some(3));
         assert!(!flags.result_cache);
         assert_eq!(flags.result_cache_capacity, 128);
+        assert_eq!(flags.result_cache_ttl_ms, Some(1500));
         let config = flags.engine_config();
         assert_eq!(config.threads, Some(3));
         assert!(!config.result_cache);
         assert_eq!(config.result_cache_capacity, 128);
+        assert_eq!(
+            config.result_cache_ttl,
+            Some(std::time::Duration::from_millis(1500))
+        );
     }
 
     #[test]
@@ -127,6 +146,8 @@ mod tests {
         assert!(parse(&["--threads"]).is_err());
         assert!(parse(&["--threads", "lots"]).is_err());
         assert!(parse(&["--result-cache-capacity", "-1"]).is_err());
+        assert!(parse(&["--result-cache-ttl-ms"]).is_err());
+        assert!(parse(&["--result-cache-ttl-ms", "soon"]).is_err());
     }
 
     #[test]
@@ -147,11 +168,17 @@ mod tests {
             config.result_cache_capacity,
             reference.result_cache_capacity
         );
+        assert_eq!(config.result_cache_ttl, reference.result_cache_ttl);
     }
 
     #[test]
     fn help_text_documents_each_flag() {
-        for flag in ["--threads", "--no-result-cache", "--result-cache-capacity"] {
+        for flag in [
+            "--threads",
+            "--no-result-cache",
+            "--result-cache-capacity",
+            "--result-cache-ttl-ms",
+        ] {
             assert!(ENGINE_FLAGS_HELP.contains(flag), "help must cover {flag}");
         }
     }

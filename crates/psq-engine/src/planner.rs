@@ -22,11 +22,32 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Largest database the full state-vector simulator will materialise
-/// (`2^22` amplitudes ≈ 64 MiB).
+/// (`2^22` amplitudes ≈ 64 MiB across the two planes).
 pub const MAX_STATEVECTOR_N: u64 = 1 << 22;
 
-/// Largest register the gate-by-gate circuit path will simulate.
-pub const MAX_CIRCUIT_N: u64 = 1 << 14;
+/// Largest register the circuit path will simulate.
+///
+/// Raised from `2^14` after the fast-Walsh–Hadamard rewrite: the circuit
+/// backend's per-amplitude cost is now within a small factor of the
+/// state-vector backend's (see the calibrated weights below), so the cap is
+/// set by simulation-time sanity rather than the old per-gate sweep cost.
+pub const MAX_CIRCUIT_N: u64 = 1 << 16;
+
+/// Calibrated cost-model weights, re-measured after the structure-of-arrays
+/// / fused-sweep kernel rewrite (`BENCH_engine.json`, 1 vCPU): one fused
+/// state-vector amplitude update ≈ 0.5 ns defines the unit. A reduced-
+/// simulator iteration updates three amplitudes in closed form (≈ 0.2 ns);
+/// an FWHT butterfly costs slightly more than a fused sweep element
+/// (≈ 0.7 ns, two planes' worth of adds when the state is complex); a
+/// classical probe pays oracle-call plus RNG overhead (≈ 4 ns). Only the
+/// cross-backend ratios matter — `Auto` compares these scores.
+pub const REDUCED_ITER_WEIGHT: f64 = 0.4;
+/// See [`REDUCED_ITER_WEIGHT`].
+pub const STATEVECTOR_AMP_WEIGHT: f64 = 1.0;
+/// See [`REDUCED_ITER_WEIGHT`].
+pub const CIRCUIT_BUTTERFLY_WEIGHT: f64 = 1.4;
+/// See [`REDUCED_ITER_WEIGHT`].
+pub const CLASSICAL_PROBE_WEIGHT: f64 = 8.0;
 
 /// A memoised schedule for one `(N, K, error_target)` key.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -160,24 +181,37 @@ impl CostModel {
         let queries = schedule.plan.total_queries as f64;
         let pow2 = bits::is_power_of_two(n) && bits::is_power_of_two(k);
         let (ops, feasible, meets) = match backend {
-            // Three amplitudes per iteration: O(queries).
-            Backend::Reduced => (queries * t, true, schedule.meets_error_target),
-            // Each iteration streams the full amplitude array.
+            // Closed-form rotation update per iteration: O(queries).
+            Backend::Reduced => (
+                queries * t * REDUCED_ITER_WEIGHT,
+                true,
+                schedule.meets_error_target,
+            ),
+            // Each fused iteration is one sweep over the amplitude plane.
             Backend::StateVector => (
-                queries * nf * t,
+                queries * nf * t * STATEVECTOR_AMP_WEIGHT,
                 n <= MAX_STATEVECTOR_N,
                 schedule.meets_error_target,
             ),
-            // Hadamard walls cost an extra log2(N) pass per iteration.
+            // Two FWHT walls per iteration: log2(N) butterfly levels over
+            // the plane instead of the old n sequential per-gate sweeps.
             Backend::Circuit => (
-                queries * nf * nf.log2().max(1.0) * t,
+                queries * nf * nf.log2().max(1.0) * t * CIRCUIT_BUTTERFLY_WEIGHT,
                 pow2 && n <= MAX_CIRCUIT_N,
                 schedule.meets_error_target,
             ),
             // Worst-case probe count; zero error by construction.
-            Backend::ClassicalDeterministic => (nf * (1.0 - 1.0 / kf) * t, true, true),
+            Backend::ClassicalDeterministic => (
+                nf * (1.0 - 1.0 / kf) * t * CLASSICAL_PROBE_WEIGHT,
+                true,
+                true,
+            ),
             // Expected probe count; zero error by construction.
-            Backend::ClassicalRandomized => (nf / 2.0 * (1.0 - 1.0 / (kf * kf)) * t, true, true),
+            Backend::ClassicalRandomized => (
+                nf / 2.0 * (1.0 - 1.0 / (kf * kf)) * t * CLASSICAL_PROBE_WEIGHT,
+                true,
+                true,
+            ),
         };
         CostEstimate {
             backend,

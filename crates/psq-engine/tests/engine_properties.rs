@@ -145,3 +145,42 @@ proptest! {
         prop_assert_eq!(first, fresh);
     }
 }
+
+/// A state-vector job large enough to cross the kernels' intra-state
+/// parallel threshold (`2 × FIXED_CHUNK` amplitudes): the fixed chunk
+/// layout makes the sweeps' floating-point folds independent of any thread
+/// budget, so 1-worker and N-worker engines must return bit-identical
+/// results on the new structure-of-arrays layout.
+#[test]
+fn large_statevector_jobs_are_bit_identical_across_engine_thread_counts() {
+    let n = 1u64 << 18;
+    let job = SearchJob::new(0, n, 8, 191_919)
+        .with_backend(BackendHint::StateVector)
+        .with_seed(7);
+    let reference = Engine::new(EngineConfig {
+        threads: Some(1),
+        result_cache: false,
+        ..EngineConfig::default()
+    })
+    .run_job(&job)
+    .expect("single-threaded run");
+    for threads in [2usize, 4] {
+        let engine = Engine::new(EngineConfig {
+            threads: Some(threads),
+            result_cache: false,
+            ..EngineConfig::default()
+        });
+        let result = engine.run_job(&job).expect("multi-threaded run");
+        assert_eq!(
+            reference.deterministic_fields(),
+            result.deterministic_fields(),
+            "{threads}-thread engine diverged"
+        );
+        // Bit-level check on the success estimate, the field with full
+        // floating-point sensitivity to the sweep folds.
+        assert_eq!(
+            reference.success_estimate.to_bits(),
+            result.success_estimate.to_bits()
+        );
+    }
+}

@@ -10,6 +10,9 @@
 //! * [`complex`] — `Complex64` amplitudes.
 //! * [`vec_ops`] — serial kernels over amplitude slices (inner products,
 //!   inversion about the average, probabilities).
+//! * [`soa`] — structure-of-arrays amplitude planes ([`soa::SoaVec`]) with
+//!   fused inversion sweeps and fast Walsh–Hadamard transforms, the storage
+//!   layout of the hot simulation kernels.
 //! * [`matrix`] — small dense complex matrices for the reduced simulator and
 //!   bound verification.
 //! * [`angle`] — Grover rotation angles and the `arccos|⟨·|·⟩|` metric from
@@ -28,6 +31,7 @@ pub mod bits;
 pub mod complex;
 pub mod matrix;
 pub mod optimize;
+pub mod soa;
 pub mod stats;
 pub mod vec_ops;
 

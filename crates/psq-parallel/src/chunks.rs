@@ -15,6 +15,16 @@
 /// `Complex64`).
 pub const DEFAULT_MIN_CHUNK: usize = 4096;
 
+/// Chunk size of the **fixed-layout** kernels (`32 Ki` elements — 256 KiB
+/// per `f64` plane chunk).
+///
+/// The fused structure-of-arrays sweeps fold one accumulator per chunk in
+/// chunk-index order; making the chunk layout a pure function of the
+/// problem size (never the thread count) keeps those floating-point folds
+/// bit-identical whether the chunks run on one thread or many. See
+/// [`chunk_ranges_fixed`].
+pub const FIXED_CHUNK: usize = 1 << 15;
+
 /// Returns the number of worker threads to use for data-parallel kernels.
 ///
 /// This is `std::thread::available_parallelism()` capped at 64, falling back
@@ -42,6 +52,30 @@ pub fn chunk_ranges(len: usize, max_threads: usize, min_chunk: usize) -> Vec<(us
     let min_chunk = min_chunk.max(1);
     let by_threads = len.div_ceil(max_threads);
     let chunk = by_threads.max(min_chunk);
+    let mut ranges = Vec::with_capacity(len.div_ceil(chunk));
+    let mut start = 0usize;
+    while start < len {
+        let end = (start + chunk).min(len);
+        ranges.push((start, end));
+        start = end;
+    }
+    ranges
+}
+
+/// Computes the **fixed** chunk layout: `⌈len / chunk⌉` ranges of exactly
+/// `chunk` elements (the last possibly shorter), depending only on `len`
+/// and `chunk` — never on the thread count.
+///
+/// This is the layout behind the deterministic reductions of the fused
+/// simulation kernels: per-chunk partial results combined in range order
+/// are reproducible across thread budgets and machines because the ranges
+/// themselves never move. Callers that must not split an aligned unit (a
+/// database block) pass a `chunk` that is a multiple of the unit size.
+pub fn chunk_ranges_fixed(len: usize, chunk: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunk = chunk.max(1);
     let mut ranges = Vec::with_capacity(len.div_ceil(chunk));
     let mut start = 0usize;
     while start < len {

@@ -24,9 +24,13 @@ pub mod chunks;
 pub mod pool;
 pub mod scope;
 
-pub use chunks::{chunk_ranges, chunk_ranges_aligned, num_threads, DEFAULT_MIN_CHUNK};
+pub use chunks::{
+    chunk_ranges, chunk_ranges_aligned, chunk_ranges_fixed, num_threads, DEFAULT_MIN_CHUNK,
+    FIXED_CHUNK,
+};
 pub use pool::WorkerPool;
 pub use scope::{
-    par_chunks_aligned_mut, par_chunks_mut, par_chunks_mut_with, par_for_each_indexed,
-    par_map_reduce, par_map_reduce_with, par_sum_by, par_tasks,
+    par_chunks_aligned_mut, par_chunks_fixed, par_chunks_fixed_with, par_chunks_mut,
+    par_chunks_mut_with, par_for_each_indexed, par_map_chunks_fixed, par_map_reduce,
+    par_map_reduce_with, par_sum_by, par_tasks, par_zip_chunks_fixed,
 };

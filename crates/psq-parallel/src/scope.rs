@@ -93,6 +93,190 @@ where
     });
 }
 
+/// Runs `f` over the **fixed** chunk layout of `data` (see
+/// [`crate::chunks::chunk_ranges_fixed`]) and returns the per-chunk results
+/// in chunk order, using the machine thread budget.
+///
+/// Because the chunk boundaries depend only on `data.len()` and `chunk`,
+/// and the results come back in chunk-index order, a caller that folds the
+/// returned accumulators gets a **bit-identical** floating-point result on
+/// one thread or many — the reproducibility contract of the fused
+/// simulation sweeps.
+pub fn par_chunks_fixed<T, A, F>(data: &mut [T], chunk: usize, f: F) -> Vec<A>
+where
+    T: Send,
+    A: Send,
+    F: Fn(usize, &mut [T]) -> A + Sync,
+{
+    par_chunks_fixed_with(data, chunk, crate::chunks::num_threads(), f)
+}
+
+/// As [`par_chunks_fixed`] with an explicit thread budget. The budget
+/// affects only *where* chunks execute, never the chunk layout or the
+/// result order, so any two budgets produce identical output.
+pub fn par_chunks_fixed_with<T, A, F>(data: &mut [T], chunk: usize, threads: usize, f: F) -> Vec<A>
+where
+    T: Send,
+    A: Send,
+    F: Fn(usize, &mut [T]) -> A + Sync,
+{
+    let ranges = crate::chunks::chunk_ranges_fixed(data.len(), chunk);
+    // Materialise disjoint (offset, chunk) slices in layout order.
+    let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(ranges.len());
+    let mut rest = data;
+    for &(start, end) in &ranges {
+        let (head, tail) = rest.split_at_mut(end - start);
+        parts.push((start, head));
+        rest = tail;
+    }
+    let threads = threads.max(1).min(parts.len().max(1));
+    if threads <= 1 || parts.len() <= 1 {
+        return parts.into_iter().map(|(offset, s)| f(offset, s)).collect();
+    }
+    // Round-robin chunk ownership: worker w takes chunks w, w+T, w+2T, …
+    // Each worker returns (chunk index, result) pairs; reassembly by index
+    // restores layout order regardless of the interleaving.
+    let mut owned: Vec<Vec<(usize, usize, &mut [T])>> = (0..threads).map(|_| Vec::new()).collect();
+    for (idx, (offset, slice)) in parts.into_iter().enumerate() {
+        owned[idx % threads].push((idx, offset, slice));
+    }
+    let f = &f;
+    let mut results: Vec<Option<A>> = Vec::new();
+    results.resize_with(ranges.len(), || None);
+    let produced: Vec<Vec<(usize, A)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = owned
+            .into_iter()
+            .map(|list| {
+                scope.spawn(move || {
+                    list.into_iter()
+                        .map(|(idx, offset, slice)| (idx, f(offset, slice)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fixed-chunk worker panicked"))
+            .collect()
+    });
+    for (idx, value) in produced.into_iter().flatten() {
+        results[idx] = Some(value);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every chunk produced a result"))
+        .collect()
+}
+
+/// Read-only companion of [`par_chunks_fixed`]: maps `f` over the fixed
+/// chunk layout of an immutable slice and returns per-chunk results in
+/// chunk order (same determinism contract).
+pub fn par_map_chunks_fixed<T, A, F>(data: &[T], chunk: usize, f: F) -> Vec<A>
+where
+    T: Sync,
+    A: Send,
+    F: Fn(usize, &[T]) -> A + Sync,
+{
+    let ranges = crate::chunks::chunk_ranges_fixed(data.len(), chunk);
+    let threads = crate::chunks::num_threads().min(ranges.len().max(1));
+    if threads <= 1 || ranges.len() <= 1 {
+        return ranges
+            .into_iter()
+            .map(|(start, end)| f(start, &data[start..end]))
+            .collect();
+    }
+    let f = &f;
+    let mut results: Vec<Option<A>> = Vec::new();
+    results.resize_with(ranges.len(), || None);
+    let produced: Vec<Vec<(usize, A)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let ranges = &ranges;
+                scope.spawn(move || {
+                    ranges
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(threads)
+                        .map(|(idx, &(start, end))| (idx, f(start, &data[start..end])))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fixed-chunk reader panicked"))
+            .collect()
+    });
+    for (idx, value) in produced.into_iter().flatten() {
+        results[idx] = Some(value);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every chunk produced a result"))
+        .collect()
+}
+
+/// Zipped-pair variant of [`par_chunks_fixed`]: runs `f` over matching
+/// fixed-layout chunks of two equal-length slices (the real and imaginary
+/// planes of one state), returning per-chunk results in chunk order.
+pub fn par_zip_chunks_fixed<T, A, F>(a: &mut [T], b: &mut [T], chunk: usize, f: F) -> Vec<A>
+where
+    T: Send,
+    A: Send,
+    F: Fn(usize, &mut [T], &mut [T]) -> A + Sync,
+{
+    assert_eq!(a.len(), b.len(), "zipped planes must have equal length");
+    let ranges = crate::chunks::chunk_ranges_fixed(a.len(), chunk);
+    let mut parts: Vec<(usize, &mut [T], &mut [T])> = Vec::with_capacity(ranges.len());
+    let (mut rest_a, mut rest_b) = (a, b);
+    for &(start, end) in &ranges {
+        let (head_a, tail_a) = rest_a.split_at_mut(end - start);
+        let (head_b, tail_b) = rest_b.split_at_mut(end - start);
+        parts.push((start, head_a, head_b));
+        rest_a = tail_a;
+        rest_b = tail_b;
+    }
+    let threads = crate::chunks::num_threads().min(parts.len().max(1));
+    if threads <= 1 || parts.len() <= 1 {
+        return parts
+            .into_iter()
+            .map(|(offset, ca, cb)| f(offset, ca, cb))
+            .collect();
+    }
+    type OwnedChunks<'a, T> = Vec<(usize, usize, &'a mut [T], &'a mut [T])>;
+    let mut owned: Vec<OwnedChunks<T>> = (0..threads).map(|_| Vec::new()).collect();
+    for (idx, (offset, ca, cb)) in parts.into_iter().enumerate() {
+        owned[idx % threads].push((idx, offset, ca, cb));
+    }
+    let f = &f;
+    let mut results: Vec<Option<A>> = Vec::new();
+    results.resize_with(ranges.len(), || None);
+    let produced: Vec<Vec<(usize, A)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = owned
+            .into_iter()
+            .map(|list| {
+                scope.spawn(move || {
+                    list.into_iter()
+                        .map(|(idx, offset, ca, cb)| (idx, f(offset, ca, cb)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("zipped fixed-chunk worker panicked"))
+            .collect()
+    });
+    for (idx, value) in produced.into_iter().flatten() {
+        results[idx] = Some(value);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every chunk produced a result"))
+        .collect()
+}
+
 /// Applies `f(index, &mut element)` to every element of `data` in parallel.
 pub fn par_for_each_indexed<T, F>(data: &mut [T], f: F)
 where

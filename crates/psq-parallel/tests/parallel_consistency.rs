@@ -2,10 +2,74 @@
 //! counterpart regardless of chunking and thread budget.
 
 use proptest::prelude::*;
-use psq_parallel::{par_chunks_mut_with, par_map_reduce_with, par_tasks, WorkerPool};
+use psq_parallel::{
+    chunk_ranges_fixed, par_chunks_fixed_with, par_chunks_mut_with, par_map_reduce_with, par_tasks,
+    WorkerPool,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fixed chunk layout is a pure function of `(len, chunk)`: the
+    /// thread budget must change neither the written data nor any per-chunk
+    /// floating-point accumulator, bit for bit. This is the reproducibility
+    /// contract the fused simulation sweeps build on.
+    #[test]
+    fn fixed_chunk_sweeps_are_bit_identical_across_thread_budgets(
+        len in 1usize..30_000,
+        chunk in 1usize..8_192,
+        shift in -1.0f64..1.0,
+    ) {
+        let base: Vec<f64> = (0..len).map(|i| ((i * 2654435761) % 1000) as f64 / 999.0).collect();
+        let mut reference_data = base.clone();
+        let reference_sums = par_chunks_fixed_with(&mut reference_data, chunk, 1, |_, c| {
+            let mut acc = 0.0f64;
+            for x in c.iter_mut() {
+                *x = shift - *x;
+                acc += *x;
+            }
+            acc
+        });
+        prop_assert_eq!(reference_sums.len(), chunk_ranges_fixed(len, chunk).len());
+        for threads in [2usize, 3, 8] {
+            let mut data = base.clone();
+            let sums = par_chunks_fixed_with(&mut data, chunk, threads, |_, c| {
+                let mut acc = 0.0f64;
+                for x in c.iter_mut() {
+                    *x = shift - *x;
+                    acc += *x;
+                }
+                acc
+            });
+            // Bit-identity, not approximate equality: same chunks, same
+            // per-chunk serial order, same fold order.
+            prop_assert_eq!(&data, &reference_data, "data diverged at {} threads", threads);
+            prop_assert_eq!(&sums, &reference_sums, "sums diverged at {} threads", threads);
+        }
+    }
+
+    /// The fixed layout covers the slice exactly once, in order, and never
+    /// depends on anything but `(len, chunk)`.
+    #[test]
+    fn fixed_chunk_layout_is_a_partition_of_the_range(
+        len in 0usize..50_000,
+        chunk in 1usize..9_000,
+    ) {
+        let ranges = chunk_ranges_fixed(len, chunk);
+        if len == 0 {
+            prop_assert!(ranges.is_empty());
+        } else {
+            prop_assert_eq!(ranges.first().unwrap().0, 0);
+            prop_assert_eq!(ranges.last().unwrap().1, len);
+            for w in ranges.windows(2) {
+                prop_assert_eq!(w[0].1, w[1].0);
+            }
+            for &(start, end) in &ranges {
+                prop_assert!(end - start <= chunk);
+                prop_assert!(end > start);
+            }
+        }
+    }
 
     #[test]
     fn parallel_increment_equals_serial(len in 0usize..20_000,

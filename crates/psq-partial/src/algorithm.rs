@@ -171,18 +171,15 @@ impl PartialSearch {
             t.record_state("initial uniform superposition", &psi, db, partition);
         }
 
-        // Step 1: ℓ1 global Grover iterations.
-        for _ in 0..plan.l1 {
-            psi.grover_iteration(db);
-        }
+        // Step 1: ℓ1 global Grover iterations (fused: one sweep per
+        // iteration, see `StateVector::grover_iterations`).
+        psi.grover_iterations(db, plan.l1);
         if let Some(t) = trace.as_mut() {
             t.record_state("after step 1 (global amplification)", &psi, db, partition);
         }
 
-        // Step 2: ℓ2 per-block Grover iterations.
-        for _ in 0..plan.l2 {
-            psi.block_grover_iteration(db, partition);
-        }
+        // Step 2: ℓ2 per-block Grover iterations (fused likewise).
+        psi.block_grover_iterations(db, partition, plan.l2);
         if let Some(t) = trace.as_mut() {
             t.record_state(
                 "after step 2 (per-block amplification)",

@@ -15,6 +15,11 @@
 //!   tracked on the joint (address ⊗ ancilla) space, with the final
 //!   address-register measurement distribution exposed.
 //!
+//! The `b = 0` branch is held as structure-of-arrays planes (the same layout
+//! as [`StateVector`]); its controlled inversion runs as one fused sweep per
+//! plane, and the imaginary plane is skipped entirely while the input state
+//! is known to be real (the partial-search dynamics always are).
+//!
 //! Everything here requires power-of-two dimensions (it is a circuit);
 //! the kernels in [`StateVector`] have no such restriction.
 
@@ -24,6 +29,7 @@ use crate::scratch::AmplitudeScratch;
 use crate::statevector::StateVector;
 use psq_math::bits;
 use psq_math::complex::Complex64;
+use psq_math::soa::{self, SoaVec};
 
 /// One standard Grover iteration built from gates.  Charges one query.
 ///
@@ -71,8 +77,12 @@ pub fn block_iteration_via_circuit(
 /// represented as the pair of address-register branches.
 #[derive(Clone, Debug)]
 pub struct Step3Circuit {
-    /// The `b = 0` branch of the address register (target slot empty after M).
-    branch_b0: Vec<Complex64>,
+    /// The `b = 0` branch of the address register (target slot empty after
+    /// M), as structure-of-arrays planes.
+    branch_b0: SoaVec,
+    /// Whether the branch's imaginary plane is identically zero (inherited
+    /// from the input state; lets the probability reads skip the plane).
+    branch_real_only: bool,
     /// The `b = 1` branch: only the target address is populated.
     branch_b1_target: Complex64,
     /// The target address.
@@ -103,18 +113,23 @@ impl Step3Circuit {
         let target = db.target() as usize;
         // Operation M: the target component moves to the b = 1 branch.
         let branch_b1_target = state.amplitude(target);
-        let mut branch_b0: Vec<Complex64> = scratch.take_copy_of(state.amplitudes());
-        branch_b0[target] = Complex64::ZERO;
+        let branch_real_only = state.is_real_only();
+        let mut branch_b0 = scratch.take_copy_of(state);
+        branch_b0.re[target] = 0.0;
+        branch_b0.im[target] = 0.0;
         // Controlled on b = 0: inversion about the average over all N slots
-        // (one of which — the target — is now empty).
+        // (one of which — the target — is now empty), one fused sweep per
+        // active plane.
         let n = branch_b0.len() as f64;
-        let mean: Complex64 = branch_b0.iter().copied().sum::<Complex64>() / n;
-        let twice = mean * 2.0;
-        for a in branch_b0.iter_mut() {
-            *a = twice - *a;
+        let two_mean_re = 2.0 * soa::sum(&branch_b0.re) / n;
+        soa::invert_resum(&mut branch_b0.re, two_mean_re);
+        if !branch_real_only {
+            let two_mean_im = 2.0 * soa::sum(&branch_b0.im) / n;
+            soa::invert_resum(&mut branch_b0.im, two_mean_im);
         }
         Self {
             branch_b0,
+            branch_real_only,
             branch_b1_target,
             target,
         }
@@ -123,7 +138,11 @@ impl Step3Circuit {
     /// Probability that measuring the address register yields `x` (summing
     /// over the unobserved ancilla).
     pub fn address_probability(&self, x: usize) -> f64 {
-        let mut p = self.branch_b0[x].norm_sqr();
+        let mut p = if self.branch_real_only {
+            self.branch_b0.re[x] * self.branch_b0.re[x]
+        } else {
+            self.branch_b0.norm_sqr_at(x)
+        };
         if x == self.target {
             p += self.branch_b1_target.norm_sqr();
         }
@@ -221,9 +240,6 @@ mod tests {
     fn hadamard_low_qubits_only_touches_the_offset_register() {
         // Starting from a basis state, Hadamards on the offset register must
         // leave the block bits deterministic.
-        let mut reg = QubitRegister::zeros(6);
-        // Prepare |y z⟩ = |10 1010⟩ → index 42? 6 qubits: index 0b101010 = 42.
-        reg.phase_on_basis_state(0, Complex64::ONE); // no-op, keeps API exercised
         let mut reg = QubitRegister::from_state(StateVector::basis(64, 42));
         reg.hadamard_low_qubits(4);
         let partition = Partition::new(64, 4); // 2 block bits, 4 offset bits
@@ -293,6 +309,35 @@ mod tests {
                 (a - b).abs() < 5e-3,
                 "block {block}: circuit {a} vs kernel {b}"
             );
+        }
+    }
+
+    #[test]
+    fn step3_on_a_complex_state_uses_both_planes() {
+        // Rotate the state into the complex plane first: the branch must
+        // carry the imaginary components through the controlled inversion.
+        let n = 64u64;
+        let db = Database::new(n, 5);
+        let mut psi = StateVector::uniform(n as usize);
+        psi.apply_oracle_phase_rotation(&db, 1.3);
+        psi.invert_about_mean_with_phase(1.3);
+        assert!(!psi.is_real_only());
+        let circuit = Step3Circuit::apply(&psi, &db);
+        assert_close(circuit.total_probability(), 1.0, 1e-10);
+        // Reference: the same construction in complex vector arithmetic.
+        let mut branch = psi.to_amplitudes();
+        let b1 = branch[5];
+        branch[5] = Complex64::ZERO;
+        let mean = branch.iter().copied().sum::<Complex64>() / n as f64;
+        for a in branch.iter_mut() {
+            *a = mean * 2.0 - *a;
+        }
+        for (x, amp) in branch.iter().enumerate() {
+            let mut expected = amp.norm_sqr();
+            if x == 5 {
+                expected += b1.norm_sqr();
+            }
+            assert_close(circuit.address_probability(x), expected, 1e-12);
         }
     }
 

@@ -7,6 +7,17 @@
 //! single-qubit gates, controlled phases, and the decomposition of the
 //! diffusion operator as `H^{⊗n} · (2|0⟩⟨0| − I) · H^{⊗n}`.
 //!
+//! The Hadamard walls are the circuit backend's hot path, and they are
+//! **not** applied as `n` sequential single-qubit butterfly sweeps any more:
+//! [`QubitRegister::hadamard_all`] and
+//! [`QubitRegister::hadamard_low_qubits`] route through the in-place radix-2
+//! fast Walsh–Hadamard transform of [`psq_math::soa`], one pass with the
+//! `1/√N` normalisation folded into its final butterfly level, applied per
+//! amplitude plane (and to the real plane only while the state is known to
+//! be real).  The per-gate path ([`QubitRegister::apply_single_qubit`]) is
+//! kept for arbitrary 2×2 unitaries and as the reference the equivalence
+//! tests pin the transform against.
+//!
 //! Tests verify that the circuit construction reproduces the reflection
 //! kernels exactly, which is the correctness argument for charging one query
 //! per oracle application in the kernel form.
@@ -14,6 +25,7 @@
 use crate::statevector::StateVector;
 use psq_math::complex::Complex64;
 use psq_math::matrix::Matrix;
+use psq_math::soa;
 
 /// A register of `n` qubits whose joint state is a [`StateVector`] of
 /// dimension `2^n`.
@@ -80,13 +92,18 @@ impl QubitRegister {
     }
 
     /// Resets the register to the uniform superposition in place, reusing
-    /// the amplitude allocation (the between-trials reset on the engine's
+    /// the amplitude allocations (the between-trials reset on the engine's
     /// circuit backend).
     pub fn reset_uniform(&mut self) {
         self.state.fill_uniform();
     }
 
     /// Applies a single-qubit gate (a 2×2 unitary) to qubit `q`.
+    ///
+    /// This is the general per-gate reference path: butterflies over both
+    /// amplitude planes, with the imaginary plane skipped when the state is
+    /// known real and the gate is real.  Hadamard walls go through the fast
+    /// Walsh–Hadamard transform instead (see the module docs).
     ///
     /// # Panics
     /// Panics if the matrix is not 2×2 or not unitary, or `q` is out of
@@ -96,29 +113,22 @@ impl QubitRegister {
         assert_eq!(gate.rows(), 2, "single-qubit gate must be 2x2");
         assert_eq!(gate.cols(), 2, "single-qubit gate must be 2x2");
         debug_assert!(gate.is_unitary(1e-9), "gate must be unitary");
-        let n = self.state.len();
         // Bit position counted from the most-significant address bit.
-        let shift = self.qubits - 1 - q;
-        let stride = 1usize << shift;
-        let g00 = gate[(0, 0)];
-        let g01 = gate[(0, 1)];
-        let g10 = gate[(1, 0)];
-        let g11 = gate[(1, 1)];
-
-        // In-place butterfly: each pair (i, i+stride) mixes independently,
-        // so no scratch copy is needed — a full Grover run through the
-        // circuit path performs zero per-gate allocations.
-        let amps = self.state.amplitudes_mut();
-        let mut base = 0usize;
-        while base < n {
-            for i in base..base + stride {
-                let j = i + stride;
-                let a = amps[i];
-                let b = amps[j];
-                amps[i] = g00 * a + g01 * b;
-                amps[j] = g10 * a + g11 * b;
+        let stride = 1usize << (self.qubits - 1 - q);
+        let g = [gate[(0, 0)], gate[(0, 1)], gate[(1, 0)], gate[(1, 1)]];
+        let gate_is_real = g.iter().all(|z| z.im == 0.0);
+        let real_only = self.state.is_real_only();
+        let (re, im) = self.state.planes_mut_raw();
+        if gate_is_real {
+            // Real gate: the planes never mix; sweep each active plane with
+            // scalar butterflies.
+            real_butterflies(re, stride, g[0].re, g[1].re, g[2].re, g[3].re);
+            if !real_only {
+                real_butterflies(im, stride, g[0].re, g[1].re, g[2].re, g[3].re);
             }
-            base += 2 * stride;
+        } else {
+            complex_butterflies(re, im, stride, &g);
+            self.state.set_real_only(false);
         }
     }
 
@@ -129,12 +139,14 @@ impl QubitRegister {
     }
 
     /// Applies Hadamard to every qubit (the `H^{⊗n}` wall used to prepare and
-    /// unprepare the uniform superposition).
+    /// unprepare the uniform superposition) as one in-place fast
+    /// Walsh–Hadamard transform per active plane, normalisation folded in.
     pub fn hadamard_all(&mut self) {
-        // One matrix for the whole wall; per-qubit application is in place.
-        let h = hadamard_matrix();
-        for q in 0..self.qubits {
-            self.apply_single_qubit(q, &h);
+        let real_only = self.state.is_real_only();
+        let (re, im) = self.state.planes_mut_raw();
+        soa::fwht_normalized(re);
+        if !real_only {
+            soa::fwht_normalized(im);
         }
     }
 
@@ -144,15 +156,19 @@ impl QubitRegister {
             (phase.abs() - 1.0).abs() < 1e-9,
             "phase must have unit modulus"
         );
-        self.state.amplitudes_mut()[index] *= phase;
+        let rotated = self.state.amplitude(index) * phase;
+        self.state.set_amplitude(index, rotated);
     }
 
     /// The reflection `2|0…0⟩⟨0…0| − I` (phase flip on every basis state
     /// except all-zeros), used inside the circuit form of the diffusion
     /// operator.
     pub fn reflect_about_zero(&mut self) {
-        for a in self.state.amplitudes_mut().iter_mut().skip(1) {
-            *a = -*a;
+        let real_only = self.state.is_real_only();
+        let (re, im) = self.state.planes_mut_raw();
+        soa::negate(&mut re[1..]);
+        if !real_only {
+            soa::negate(&mut im[1..]);
         }
     }
 
@@ -170,14 +186,19 @@ impl QubitRegister {
     /// Applies Hadamard to each of the `low` least-significant address
     /// qubits — the "offset" register `z` of the partial-search problem,
     /// leaving the "block" register `y` (the first `k` qubits) untouched.
+    /// One blocked fast Walsh–Hadamard transform per active plane.
     pub fn hadamard_low_qubits(&mut self, low: u32) {
         assert!(
             low <= self.qubits,
             "cannot address {low} low qubits of a {}-qubit register",
             self.qubits
         );
-        for q in self.qubits - low..self.qubits {
-            self.hadamard(q);
+        let block = 1usize << low;
+        let real_only = self.state.is_real_only();
+        let (re, im) = self.state.planes_mut_raw();
+        soa::fwht_blocks_normalized(re, block);
+        if !real_only {
+            soa::fwht_blocks_normalized(im, block);
         }
     }
 
@@ -190,10 +211,15 @@ impl QubitRegister {
             "cannot address {low} low qubits of a {}-qubit register",
             self.qubits
         );
-        let mask = (1usize << low) - 1;
-        for (i, a) in self.state.amplitudes_mut().iter_mut().enumerate() {
-            if i & mask != 0 {
-                *a = -*a;
+        let block = 1usize << low;
+        let real_only = self.state.is_real_only();
+        let (re, im) = self.state.planes_mut_raw();
+        for chunk in re.chunks_exact_mut(block) {
+            soa::negate(&mut chunk[1..]);
+        }
+        if !real_only {
+            for chunk in im.chunks_exact_mut(block) {
+                soa::negate(&mut chunk[1..]);
             }
         }
     }
@@ -208,6 +234,43 @@ impl QubitRegister {
         self.hadamard_low_qubits(block_qubits);
         self.reflect_about_zero_low_qubits(block_qubits);
         self.hadamard_low_qubits(block_qubits);
+    }
+}
+
+/// In-place butterflies of a **real** 2×2 gate over one plane: each pair
+/// `(i, i + stride)` maps through `[[g00, g01], [g10, g11]]` independently.
+fn real_butterflies(plane: &mut [f64], stride: usize, g00: f64, g01: f64, g10: f64, g11: f64) {
+    let n = plane.len();
+    let mut base = 0usize;
+    while base < n {
+        let (lo, hi) = plane[base..base + 2 * stride].split_at_mut(stride);
+        for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+            let x = *a;
+            let y = *b;
+            *a = g00 * x + g01 * y;
+            *b = g10 * x + g11 * y;
+        }
+        base += 2 * stride;
+    }
+}
+
+/// In-place butterflies of a general complex 2×2 gate over both planes.
+fn complex_butterflies(re: &mut [f64], im: &mut [f64], stride: usize, g: &[Complex64; 4]) {
+    let n = re.len();
+    let mut base = 0usize;
+    while base < n {
+        for i in base..base + stride {
+            let j = i + stride;
+            let a = Complex64::new(re[i], im[i]);
+            let b = Complex64::new(re[j], im[j]);
+            let na = g[0] * a + g[1] * b;
+            let nb = g[2] * a + g[3] * b;
+            re[i] = na.re;
+            im[i] = na.im;
+            re[j] = nb.re;
+            im[j] = nb.im;
+        }
+        base += 2 * stride;
     }
 }
 
@@ -262,6 +325,57 @@ mod tests {
         reg.hadamard(1);
         reg.hadamard(1);
         assert_close(reg.state().fidelity(&before), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn fwht_wall_matches_per_qubit_hadamard_sweeps() {
+        // The transform replaces n sequential single-qubit sweeps; both
+        // paths must produce the same wall, including on complex states.
+        for qubits in [1u32, 3, 5, 7] {
+            let n = 1usize << qubits;
+            let mut amps: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+                .collect();
+            psq_math::vec_ops::normalize(&mut amps);
+            let mut fast = QubitRegister::from_state(StateVector::from_amplitudes(amps.clone()));
+            let mut slow = QubitRegister::from_state(StateVector::from_amplitudes(amps));
+            fast.hadamard_all();
+            let h = hadamard_matrix();
+            for q in 0..qubits {
+                slow.apply_single_qubit(q, &h);
+            }
+            for x in 0..n {
+                assert!(
+                    (fast.state().amplitude(x) - slow.state().amplitude(x)).abs() < 1e-12,
+                    "qubits {qubits}, index {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_fwht_matches_per_qubit_low_sweeps() {
+        let qubits = 6u32;
+        let n = 1usize << qubits;
+        for low in [0u32, 1, 3, 6] {
+            let mut amps: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new(((i * 13 % 7) as f64) / 7.0, ((i * 5 % 11) as f64) / 11.0))
+                .collect();
+            psq_math::vec_ops::normalize(&mut amps);
+            let mut fast = QubitRegister::from_state(StateVector::from_amplitudes(amps.clone()));
+            let mut slow = QubitRegister::from_state(StateVector::from_amplitudes(amps));
+            fast.hadamard_low_qubits(low);
+            let h = hadamard_matrix();
+            for q in qubits - low..qubits {
+                slow.apply_single_qubit(q, &h);
+            }
+            for x in 0..n {
+                assert!(
+                    (fast.state().amplitude(x) - slow.state().amplitude(x)).abs() < 1e-12,
+                    "low {low}, index {x}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -322,6 +436,21 @@ mod tests {
         reg.apply_single_qubit(1, &pauli_z_matrix());
         assert_close(reg.state().amplitude(0).re, 0.5, 1e-12);
         assert_close(reg.state().amplitude(1).re, -0.5, 1e-12);
+    }
+
+    #[test]
+    fn complex_gates_mix_the_planes_correctly() {
+        // A phase gate makes the state complex; a second application must
+        // still match the matrix algebra done by hand.
+        let mut reg = QubitRegister::uniform(2);
+        let p = phase_matrix(0.9);
+        reg.apply_single_qubit(1, &p);
+        assert!(!reg.state().is_real_only());
+        reg.apply_single_qubit(1, &p);
+        let expected = Complex64::cis(1.8) * Complex64::from_real(0.5);
+        assert!((reg.state().amplitude(1) - expected).abs() < 1e-12);
+        assert!((reg.state().amplitude(0) - Complex64::from_real(0.5)).abs() < 1e-12);
+        assert_close(reg.state().norm_sqr(), 1.0, 1e-12);
     }
 
     #[test]

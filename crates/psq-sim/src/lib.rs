@@ -25,6 +25,28 @@
 //!   path allocation-free across repeated trials;
 //! * [`trace`] — labelled amplitude snapshots for regenerating the paper's
 //!   figures.
+//!
+//! # Amplitude layout and fused sweeps
+//!
+//! Amplitudes are stored **structure-of-arrays**: two separate `f64` planes
+//! (real and imaginary, [`psq_math::soa::SoaVec`]) instead of one
+//! `Vec<Complex64>`. Every operator the partial-search algorithm uses has
+//! real coefficients, so the planes evolve independently, each kernel is a
+//! straight-line vectorizable sweep over a `&[f64]`, and a conservative
+//! known-real flag lets the imaginary plane be skipped entirely (the
+//! partial-search dynamics never leave the real subspace, halving memory
+//! traffic). On top of the layout, iteration runs are **fused**: each
+//! Grover/per-block iteration applies the oracle flip plus the inversion
+//! about the mean in a single sweep per plane that also accumulates the
+//! (block) sums the next iteration needs —
+//! [`statevector::StateVector::grover_iterations`] and
+//! [`statevector::StateVector::block_grover_iterations`] cost `ℓ + 1`
+//! passes for `ℓ` iterations instead of `2ℓ`. The circuit backend's
+//! Hadamard walls run as one in-place radix-2 fast Walsh–Hadamard transform
+//! per plane with the `1/√N` normalisation folded into the final butterfly
+//! level, replacing `n` sequential single-qubit sweeps. Unfused
+//! single-iteration and per-gate paths are kept as the reference the
+//! property tests pin the fused kernels against (≤ 1e-12).
 
 pub mod circuit;
 pub mod gates;

@@ -60,10 +60,7 @@ pub fn most_likely_block(state: &StateVector, partition: &Partition) -> u64 {
 pub fn collapse(state: &mut StateVector, index: usize) -> f64 {
     let p = state.probability(index);
     assert!(p > 0.0, "cannot collapse onto a zero-probability outcome");
-    let n = state.len();
-    let mut amps = vec![psq_math::Complex64::ZERO; n];
-    amps[index] = psq_math::Complex64::ONE;
-    *state = StateVector::from_amplitudes(amps);
+    *state = StateVector::basis(state.len(), index);
     p
 }
 

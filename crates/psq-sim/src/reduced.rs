@@ -303,12 +303,14 @@ impl ReducedState {
         let target = db.target() as usize;
         let target_block = partition.block_of(db.target());
         let range = partition.block_range(target_block);
-        let amps = out.amplitudes_mut();
-        amps.fill(Complex64::from_real(self.amp_nontarget));
-        for amp in &mut amps[range.start as usize..range.end as usize] {
-            *amp = Complex64::from_real(self.amp_target_block);
-        }
-        amps[target] = Complex64::from_real(self.amp_target);
+        // The reduced dynamics are real; write the planes directly and keep
+        // the state's known-real fast path.
+        let (re, im) = out.planes_mut_raw();
+        re.fill(self.amp_nontarget);
+        re[range.start as usize..range.end as usize].fill(self.amp_target_block);
+        re[target] = self.amp_target;
+        im.fill(0.0);
+        out.set_real_only(true);
     }
 
     /// Extracts the reduced description from a full state vector, verifying

@@ -2,25 +2,26 @@
 //!
 //! The engine's steady state runs the same operator sequence over and over
 //! (one execution per trial, many trials per job, many jobs per batch).
-//! Most operators now work fully in place (see
-//! [`crate::statevector::StateVector::amplitudes_mut`]), but a few genuinely
-//! need a second amplitude buffer — the Step-3 ancilla circuit copies the
-//! address register into a separate branch, and the reduced simulator's
+//! Most operators work fully in place on the state's amplitude planes, but a
+//! few genuinely need a second buffer — the Step-3 ancilla circuit copies
+//! the address register into a separate branch, and the reduced simulator's
 //! cross-check materialises a full state. [`AmplitudeScratch`] is the
-//! double-buffer those operators swap against: the buffer is *taken* for the
+//! double-buffer those operators swap against: the buffer (a pair of
+//! structure-of-arrays planes, [`psq_math::soa::SoaVec`]) is *taken* for the
 //! duration of one application and *recycled* afterwards, so a run of any
 //! length performs O(1) allocations instead of O(iterations × gates).
 
-use psq_math::complex::Complex64;
+use crate::statevector::StateVector;
+use psq_math::soa::SoaVec;
 
-/// A recyclable amplitude buffer (see module docs).
+/// A recyclable plane buffer (see module docs).
 ///
-/// Taking from an empty scratch allocates; recycling stores the buffer for
+/// Taking from an empty scratch allocates; recycling stores the planes for
 /// the next take. The scratch never shrinks, so after the first trial at a
 /// given dimension every subsequent take is allocation-free.
 #[derive(Clone, Debug, Default)]
 pub struct AmplitudeScratch {
-    buffer: Vec<Complex64>,
+    buffer: SoaVec,
 }
 
 impl AmplitudeScratch {
@@ -32,31 +33,34 @@ impl AmplitudeScratch {
     /// A scratch pre-sized for dimension-`n` states.
     pub fn with_capacity(n: usize) -> Self {
         Self {
-            buffer: Vec::with_capacity(n),
+            buffer: SoaVec {
+                re: Vec::with_capacity(n),
+                im: Vec::with_capacity(n),
+            },
         }
     }
 
-    /// Takes the buffer, filled with a copy of `amps` (the swap-out half of
-    /// the double buffer). The returned vector reuses the recycled
-    /// allocation when it is large enough.
-    pub fn take_copy_of(&mut self, amps: &[Complex64]) -> Vec<Complex64> {
+    /// Takes the buffer, filled with a copy of `state`'s planes (the
+    /// swap-out half of the double buffer). The returned planes reuse the
+    /// recycled allocations when they are large enough.
+    pub fn take_copy_of(&mut self, state: &StateVector) -> SoaVec {
         let mut buffer = std::mem::take(&mut self.buffer);
-        buffer.clear();
-        buffer.extend_from_slice(amps);
+        let (re, im) = state.planes();
+        buffer.copy_from_planes(re, im);
         buffer
     }
 
     /// Returns a buffer to the scratch (the swap-in half). Keeps whichever
     /// of the current and returned allocations is larger.
-    pub fn recycle(&mut self, buffer: Vec<Complex64>) {
-        if buffer.capacity() > self.buffer.capacity() {
+    pub fn recycle(&mut self, buffer: SoaVec) {
+        if buffer.re.capacity() > self.buffer.re.capacity() {
             self.buffer = buffer;
         }
     }
 
     /// Capacity of the currently held buffer, in amplitudes.
     pub fn capacity(&self) -> usize {
-        self.buffer.capacity()
+        self.buffer.re.capacity()
     }
 }
 
@@ -67,31 +71,43 @@ mod tests {
     #[test]
     fn take_copies_and_recycle_reuses_the_allocation() {
         let mut scratch = AmplitudeScratch::with_capacity(8);
-        let amps = vec![Complex64::from_real(0.5); 8];
-        let taken = scratch.take_copy_of(&amps);
-        assert_eq!(taken, amps);
-        let ptr = taken.as_ptr();
+        let state = StateVector::uniform(8);
+        let taken = scratch.take_copy_of(&state);
+        assert_eq!(taken.re, state.planes().0);
+        assert_eq!(taken.im, state.planes().1);
+        let ptr = taken.re.as_ptr();
         scratch.recycle(taken);
-        let again = scratch.take_copy_of(&amps);
-        assert_eq!(again.as_ptr(), ptr, "allocation must be reused");
-        assert_eq!(again, amps);
+        let again = scratch.take_copy_of(&state);
+        assert_eq!(again.re.as_ptr(), ptr, "allocation must be reused");
+        assert_eq!(again.re, state.planes().0);
     }
 
     #[test]
     fn recycle_keeps_the_larger_buffer() {
         let mut scratch = AmplitudeScratch::new();
-        scratch.recycle(Vec::with_capacity(16));
+        scratch.recycle(SoaVec {
+            re: Vec::with_capacity(16),
+            im: Vec::with_capacity(16),
+        });
         assert!(scratch.capacity() >= 16);
-        scratch.recycle(Vec::with_capacity(4));
+        scratch.recycle(SoaVec {
+            re: Vec::with_capacity(4),
+            im: Vec::with_capacity(4),
+        });
         assert!(scratch.capacity() >= 16, "smaller buffer must not replace");
-        scratch.recycle(Vec::with_capacity(64));
+        scratch.recycle(SoaVec {
+            re: Vec::with_capacity(64),
+            im: Vec::with_capacity(64),
+        });
         assert!(scratch.capacity() >= 64);
     }
 
     #[test]
     fn empty_scratch_still_produces_correct_copies() {
         let mut scratch = AmplitudeScratch::new();
-        let amps: Vec<Complex64> = (0..5).map(|i| Complex64::from_real(i as f64)).collect();
-        assert_eq!(scratch.take_copy_of(&amps), amps);
+        let state = StateVector::from_real_amplitudes(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        let copy = scratch.take_copy_of(&state);
+        assert_eq!(copy.re, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(copy.im, vec![0.0; 5]);
     }
 }

@@ -1,7 +1,8 @@
-//! Full complex state-vector simulation.
+//! Full complex state-vector simulation on structure-of-arrays planes.
 //!
-//! A [`StateVector`] holds one amplitude per database address and applies the
-//! operators the paper uses as streaming kernels:
+//! A [`StateVector`] holds one amplitude per database address, stored as two
+//! separate `f64` planes (real and imaginary — [`psq_math::soa::SoaVec`]),
+//! and applies the operators the paper uses as streaming kernels:
 //!
 //! * the oracle reflection `I_t = I − 2|t⟩⟨t|` (one query per application),
 //! * the global diffusion `I_0 = 2|ψ0⟩⟨ψ0| − I`,
@@ -10,34 +11,65 @@
 //!   (an ancilla-controlled `I_0`, which costs one more query for the
 //!   marking operation `M`).
 //!
-//! Kernels switch to the chunked parallel implementations from
-//! `psq-parallel` once the vector is large enough for threading to pay off.
-//! For databases too large to materialise (the asymptotic table entries) use
-//! [`crate::reduced::ReducedState`], which evolves the same dynamics exactly
-//! in a three-dimensional symmetric subspace.
+//! Every one of those operators has **real** coefficients, so the two planes
+//! evolve independently; when the state is known to be real (tracked by a
+//! conservative `real_only` flag — the partial-search dynamics never leave
+//! the real subspace) the imaginary plane is skipped entirely. On top of the
+//! layout, the bulk runners [`StateVector::grover_iterations`] and
+//! [`StateVector::block_grover_iterations`] **fuse** each iteration's oracle
+//! flip and inversion about the mean into a single sweep per plane: the
+//! sweep applies `x ← 2·mean − x` while accumulating the (block) sums the
+//! *next* iteration's mean needs, so `ℓ` iterations cost `ℓ + 1` passes
+//! instead of `2ℓ`. The single-iteration methods remain as the unfused
+//! reference path; property tests pin the two within `1e-12`.
+//!
+//! Kernels switch to deterministic fixed-chunk parallel dispatch
+//! (`psq_parallel::par_chunks_fixed`) once the vector is large enough for
+//! threading to pay off; the chunk layout depends only on the problem size,
+//! so results are bit-identical across thread counts. For databases too
+//! large to materialise use [`crate::reduced::ReducedState`], which evolves
+//! the same dynamics exactly in a three-dimensional symmetric subspace.
 
 use crate::oracle::{Database, Partition};
 use psq_math::complex::Complex64;
-use psq_math::vec_ops;
-use psq_parallel::{par_chunks_mut, par_map_reduce};
+use psq_math::soa::{self, SoaVec};
+use psq_parallel::{par_chunks_fixed, par_map_chunks_fixed, par_zip_chunks_fixed, FIXED_CHUNK};
 
-/// Problem sizes below this threshold always use the serial kernels; the
-/// constant matches `psq_parallel::DEFAULT_MIN_CHUNK` doubled so that tiny
-/// states never pay scoped-thread overhead.
-const PARALLEL_THRESHOLD: usize = 2 * psq_parallel::DEFAULT_MIN_CHUNK;
+/// Problem sizes below this threshold always use the serial kernels: one
+/// fixed-layout chunk per plane is not worth a thread round-trip.
+const PARALLEL_THRESHOLD: usize = 2 * FIXED_CHUNK;
 
 /// A pure quantum state over the database address register.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct StateVector {
-    amps: Vec<Complex64>,
+    planes: SoaVec,
+    /// `true` only when the imaginary plane is **known** to be identically
+    /// zero (and it then really is all zeros in memory); `false` means
+    /// unknown. Real-coefficient kernels preserve the flag and skip the
+    /// imaginary plane when it is set; anything that can introduce an
+    /// imaginary component clears it.
+    real_only: bool,
+}
+
+impl PartialEq for StateVector {
+    fn eq(&self, other: &Self) -> bool {
+        // The flag is a conservative optimisation hint, not state.
+        self.planes == other.planes
+    }
 }
 
 impl StateVector {
     /// The uniform superposition `|ψ0⟩ = (1/√N) Σ_x |x⟩` over `n` addresses.
     pub fn uniform(n: usize) -> Self {
         assert!(n > 0, "state vector needs at least one basis state");
-        let amp = Complex64::from_real(1.0 / (n as f64).sqrt());
-        Self { amps: vec![amp; n] }
+        let amp = 1.0 / (n as f64).sqrt();
+        Self {
+            planes: SoaVec {
+                re: vec![amp; n],
+                im: vec![0.0; n],
+            },
+            real_only: true,
+        }
     }
 
     /// The computational basis state `|index⟩`.
@@ -46,9 +78,12 @@ impl StateVector {
             index < n,
             "basis index {index} out of range for dimension {n}"
         );
-        let mut amps = vec![Complex64::ZERO; n];
-        amps[index] = Complex64::ONE;
-        Self { amps }
+        let mut planes = SoaVec::zeros(n);
+        planes.re[index] = 1.0;
+        Self {
+            planes,
+            real_only: true,
+        }
     }
 
     /// Builds a state from explicit amplitudes (normalised by the caller).
@@ -57,18 +92,30 @@ impl StateVector {
             !amps.is_empty(),
             "state vector needs at least one basis state"
         );
-        Self { amps }
+        let planes = SoaVec::from_complex(&amps);
+        let real_only = planes.im.iter().all(|&x| x == 0.0);
+        Self { planes, real_only }
     }
 
     /// Builds a state from real amplitudes.
     pub fn from_real_amplitudes(reals: &[f64]) -> Self {
-        Self::from_amplitudes(reals.iter().map(|&x| Complex64::from_real(x)).collect())
+        assert!(
+            !reals.is_empty(),
+            "state vector needs at least one basis state"
+        );
+        Self {
+            planes: SoaVec {
+                re: reals.to_vec(),
+                im: vec![0.0; reals.len()],
+            },
+            real_only: true,
+        }
     }
 
     /// Dimension `N`.
     #[inline]
     pub fn len(&self) -> usize {
-        self.amps.len()
+        self.planes.len()
     }
 
     /// Always `false`: a state vector has at least one amplitude.
@@ -77,47 +124,82 @@ impl StateVector {
         false
     }
 
-    /// Immutable view of the amplitudes.
+    /// The separate real and imaginary planes (the storage layout).
     #[inline]
-    pub fn amplitudes(&self) -> &[Complex64] {
-        &self.amps
+    pub fn planes(&self) -> (&[f64], &[f64]) {
+        (&self.planes.re, &self.planes.im)
     }
 
-    /// Mutable view of the amplitudes, for in-place kernels.
+    /// Mutable access to both planes, for in-place kernels.
     ///
-    /// This is what keeps the gate-level simulation allocation-free: circuit
-    /// operators (`psq_sim::gates`) update amplitudes through this view
-    /// instead of copying the vector per gate. Callers are responsible for
-    /// preserving normalisation.
+    /// Clears the known-real flag: the caller may write anything. Crate
+    /// internals that provably preserve realness use the raw accessors and
+    /// manage the flag themselves.
     #[inline]
-    pub fn amplitudes_mut(&mut self) -> &mut [Complex64] {
-        &mut self.amps
+    pub fn planes_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        self.real_only = false;
+        (&mut self.planes.re, &mut self.planes.im)
+    }
+
+    /// Flag-preserving plane access for kernels in this crate that manage
+    /// [`StateVector::real_only`] themselves.
+    #[inline]
+    pub(crate) fn planes_mut_raw(&mut self) -> (&mut [f64], &mut [f64]) {
+        (&mut self.planes.re, &mut self.planes.im)
+    }
+
+    /// Whether the imaginary plane is known to be identically zero (the
+    /// partial-search dynamics keep it so; kernels then touch half the
+    /// memory).
+    #[inline]
+    pub fn is_real_only(&self) -> bool {
+        self.real_only
+    }
+
+    #[inline]
+    pub(crate) fn set_real_only(&mut self, flag: bool) {
+        self.real_only = flag;
+    }
+
+    /// Materialises the array-of-structs amplitude vector (allocates; for
+    /// interop and tests, not hot paths).
+    pub fn to_amplitudes(&self) -> Vec<Complex64> {
+        self.planes.to_complex()
     }
 
     /// Resets the state to the uniform superposition in place, reusing the
-    /// existing allocation (the steady-state reset between engine trials).
+    /// existing allocations (the steady-state reset between engine trials).
     pub fn fill_uniform(&mut self) {
-        let amp = Complex64::from_real(1.0 / (self.amps.len() as f64).sqrt());
-        self.amps.fill(amp);
+        let amp = 1.0 / (self.len() as f64).sqrt();
+        self.planes.re.fill(amp);
+        if !self.real_only {
+            self.planes.im.fill(0.0);
+            self.real_only = true;
+        }
     }
 
     /// The amplitude of basis state `i`.
     #[inline]
     pub fn amplitude(&self, i: usize) -> Complex64 {
-        self.amps[i]
+        self.planes.get(i)
+    }
+
+    /// Overwrites the amplitude of basis state `i`.
+    #[inline]
+    pub fn set_amplitude(&mut self, i: usize, z: Complex64) {
+        self.planes.set(i, z);
+        if z.im != 0.0 {
+            self.real_only = false;
+        }
     }
 
     /// Squared norm (total probability).
     pub fn norm_sqr(&self) -> f64 {
-        if self.len() >= PARALLEL_THRESHOLD {
-            par_map_reduce(
-                &self.amps,
-                0.0f64,
-                |_, chunk| chunk.iter().map(|z| z.norm_sqr()).sum::<f64>(),
-                |a, b| a + b,
-            )
+        let re = self.fold_plane_sum(&self.planes.re, soa::sum_sqr);
+        if self.real_only {
+            re
         } else {
-            vec_ops::norm_sqr(&self.amps)
+            re + self.fold_plane_sum(&self.planes.im, soa::sum_sqr)
         }
     }
 
@@ -131,19 +213,31 @@ impl StateVector {
         let norm = self.norm_sqr().sqrt();
         assert!(norm > 1e-300, "cannot normalise the zero state");
         let inv = 1.0 / norm;
-        self.for_each_amplitude(|_, z| *z = z.scale(inv));
+        soa::scale(&mut self.planes.re, inv);
+        if !self.real_only {
+            soa::scale(&mut self.planes.im, inv);
+        }
         norm
     }
 
     /// Measurement probability of basis state `i`.
     #[inline]
     pub fn probability(&self, i: usize) -> f64 {
-        self.amps[i].norm_sqr()
+        if self.real_only {
+            self.planes.re[i] * self.planes.re[i]
+        } else {
+            self.planes.norm_sqr_at(i)
+        }
     }
 
     /// Probability that a measurement lands in the half-open address range.
     pub fn probability_of_range(&self, range: std::ops::Range<usize>) -> f64 {
-        vec_ops::probability_of_range(&self.amps, range)
+        let re = soa::sum_sqr(&self.planes.re[range.clone()]);
+        if self.real_only {
+            re
+        } else {
+            re + soa::sum_sqr(&self.planes.im[range])
+        }
     }
 
     /// Probability that a measurement lands in `block` of the partition.
@@ -166,14 +260,25 @@ impl StateVector {
     }
 
     /// Largest imaginary component in the state (the partial-search dynamics
-    /// keep this at round-off level; tests assert it).
+    /// keep this at exactly zero on the real-only fast path; tests assert
+    /// it).
     pub fn max_imaginary_part(&self) -> f64 {
-        vec_ops::max_imaginary_part(&self.amps)
+        if self.real_only {
+            0.0
+        } else {
+            self.planes.im.iter().map(|x| x.abs()).fold(0.0, f64::max)
+        }
     }
 
     /// Inner product `⟨self|other⟩`.
     pub fn inner_product(&self, other: &StateVector) -> Complex64 {
-        vec_ops::inner_product(&self.amps, &other.amps)
+        assert_eq!(self.len(), other.len(), "inner_product: dimension mismatch");
+        soa::inner_product(
+            &self.planes.re,
+            &self.planes.im,
+            &other.planes.re,
+            &other.planes.im,
+        )
     }
 
     /// Fidelity `|⟨self|other⟩|²`.
@@ -181,23 +286,40 @@ impl StateVector {
         self.inner_product(other).norm_sqr()
     }
 
-    /// Applies `f(index, &mut amplitude)` to every amplitude, in parallel for
-    /// large states.
+    /// Angular distance `arccos |⟨self|other⟩|` (the Appendix-B metric the
+    /// lower-bound audits integrate along hybrid paths).
+    pub fn angular_distance(&self, other: &StateVector) -> f64 {
+        psq_math::approx::safe_acos(self.inner_product(other).abs())
+    }
+
+    /// Applies `f(index, &mut amplitude)` to every amplitude, in parallel
+    /// for large states (gather/scatter across the planes).
+    ///
+    /// The state stays flagged as real only if every written amplitude has a
+    /// zero imaginary part.
     pub fn for_each_amplitude<F>(&mut self, f: F)
     where
         F: Fn(usize, &mut Complex64) + Sync,
     {
-        if self.len() >= PARALLEL_THRESHOLD {
-            par_chunks_mut(&mut self.amps, |offset, chunk| {
-                for (i, z) in chunk.iter_mut().enumerate() {
-                    f(offset + i, z);
-                }
-            });
-        } else {
-            for (i, z) in self.amps.iter_mut().enumerate() {
-                f(i, z);
+        let sweep = |offset: usize, re: &mut [f64], im: &mut [f64]| -> bool {
+            let mut all_real = true;
+            for i in 0..re.len() {
+                let mut z = Complex64::new(re[i], im[i]);
+                f(offset + i, &mut z);
+                re[i] = z.re;
+                im[i] = z.im;
+                all_real &= z.im == 0.0;
             }
-        }
+            all_real
+        };
+        let stayed_real = if self.len() >= PARALLEL_THRESHOLD {
+            par_zip_chunks_fixed(&mut self.planes.re, &mut self.planes.im, FIXED_CHUNK, sweep)
+                .into_iter()
+                .all(|real| real)
+        } else {
+            sweep(0, &mut self.planes.re, &mut self.planes.im)
+        };
+        self.real_only = self.real_only && stayed_real;
     }
 
     // ------------------------------------------------------------------
@@ -217,8 +339,7 @@ impl StateVector {
             "database size must match state dimension"
         );
         db.charge_quantum_queries(1);
-        let t = db.target() as usize;
-        self.amps[t] = -self.amps[t];
+        self.phase_flip_unchecked(db.target() as usize);
     }
 
     /// Applies the phase flip at an explicit index **without** charging a
@@ -226,7 +347,8 @@ impl StateVector {
     /// lower-bound hybrid argument (where the "oracle replaced by identity"
     /// runs need controllable substitutes).
     pub fn phase_flip_unchecked(&mut self, index: usize) {
-        self.amps[index] = -self.amps[index];
+        self.planes.re[index] = -self.planes.re[index];
+        self.planes.im[index] = -self.planes.im[index];
     }
 
     /// Generalised oracle phase rotation `R_t(φ) = I + (e^{iφ} − 1)|t⟩⟨t|`,
@@ -244,7 +366,8 @@ impl StateVector {
         );
         db.charge_quantum_queries(1);
         let t = db.target() as usize;
-        self.amps[t] *= Complex64::cis(phi);
+        let rotated = self.planes.get(t) * Complex64::cis(phi);
+        self.set_amplitude(t, rotated);
     }
 
     /// Generalised diffusion `D(φ) = I + (e^{iφ} − 1)|ψ0⟩⟨ψ0|`, the phase
@@ -258,7 +381,15 @@ impl StateVector {
         // (e^{iφ} − 1)·⟨ψ0|ψ⟩·(1/√N) to every amplitude.
         let overlap = self.amplitude_sum() / n.sqrt();
         let delta = (Complex64::cis(phi) - Complex64::ONE) * overlap / n.sqrt();
-        self.for_each_amplitude(|_, z| *z += delta);
+        if delta.im != 0.0 {
+            self.real_only = false;
+        }
+        self.plane_sweep(|plane, is_re| {
+            let shift = if is_re { delta.re } else { delta.im };
+            for x in plane.iter_mut() {
+                *x += shift;
+            }
+        });
     }
 
     // ------------------------------------------------------------------
@@ -267,39 +398,63 @@ impl StateVector {
 
     /// The global diffusion `I_0 = 2|ψ0⟩⟨ψ0| − I`: inversion about the mean
     /// amplitude of the whole register.
+    ///
+    /// This is the unfused reference form (one pass to sum, one to apply);
+    /// iteration runs use the fused [`StateVector::grover_iterations`].
     pub fn invert_about_mean(&mut self) {
-        let n = self.len();
-        let mean = self.amplitude_sum() / n as f64;
-        let twice = mean * 2.0;
-        self.for_each_amplitude(|_, z| *z = twice - *z);
+        let n = self.len() as f64;
+        let skip_im = self.real_only;
+        let parallel = self.len() >= PARALLEL_THRESHOLD;
+        for (plane, active) in [(&mut self.planes.re, true), (&mut self.planes.im, !skip_im)] {
+            if !active {
+                continue;
+            }
+            let two_mean = if parallel {
+                2.0 * par_map_chunks_fixed(plane, FIXED_CHUNK, |_, c| soa::sum(c))
+                    .into_iter()
+                    .sum::<f64>()
+                    / n
+            } else {
+                2.0 * soa::sum(plane) / n
+            };
+            if parallel {
+                par_chunks_fixed(plane, FIXED_CHUNK, |_, c| soa::invert_resum(c, two_mean));
+            } else {
+                soa::invert_resum(plane, two_mean);
+            }
+        }
     }
 
     /// The per-block diffusion `I_{[K]} ⊗ I_{0,[N/K]}`: inversion about the
     /// mean within each block of the partition, applied to every block in
-    /// parallel (Section 2.2).
+    /// parallel (Section 2.2).  Unfused reference form; iteration runs use
+    /// the fused [`StateVector::block_grover_iterations`].
     pub fn invert_about_mean_per_block(&mut self, partition: &Partition) {
         assert_eq!(
             partition.size() as usize,
             self.len(),
             "partition size must match state dimension"
         );
-        let block_size = partition.block_size() as usize;
-        if self.len() >= PARALLEL_THRESHOLD && block_size >= 2 {
-            // Chunk boundaries are forced onto block boundaries so every
-            // block's inversion sees exactly its own amplitudes.
-            psq_parallel::par_chunks_aligned_mut(
-                &mut self.amps,
-                block_size,
-                psq_parallel::DEFAULT_MIN_CHUNK,
-                |_, chunk| {
-                    for block_chunk in chunk.chunks_mut(block_size) {
-                        vec_ops::invert_about_average(block_chunk);
+        let block = partition.block_size() as usize;
+        let skip_im = self.real_only;
+        let parallel = self.len() >= PARALLEL_THRESHOLD && block >= 2;
+        // Chunk boundaries land on block boundaries so every block's
+        // inversion sees exactly its own amplitudes.
+        let chunk = FIXED_CHUNK.div_ceil(block) * block;
+        for (plane, active) in [(&mut self.planes.re, true), (&mut self.planes.im, !skip_im)] {
+            if !active {
+                continue;
+            }
+            if parallel {
+                par_chunks_fixed(plane, chunk, |_, c| {
+                    for block_chunk in c.chunks_mut(block) {
+                        soa::invert_about_average(block_chunk);
                     }
-                },
-            );
-        } else {
-            for block_chunk in self.amps.chunks_mut(block_size) {
-                vec_ops::invert_about_average(block_chunk);
+                });
+            } else {
+                for block_chunk in plane.chunks_mut(block) {
+                    soa::invert_about_average(block_chunk);
+                }
             }
         }
     }
@@ -329,18 +484,36 @@ impl StateVector {
         db.charge_quantum_queries(1);
         let t = db.target() as usize;
         let n = self.len() as f64;
-        let mean = (self.amplitude_sum() - self.amps[t]) / (n - 1.0);
-        let twice = mean * 2.0;
-        self.for_each_amplitude(|i, z| {
-            if i != t {
-                *z = twice - *z;
+        let skip_im = self.real_only;
+        let parallel = self.len() >= PARALLEL_THRESHOLD;
+        for (plane, active) in [(&mut self.planes.re, true), (&mut self.planes.im, !skip_im)] {
+            if !active {
+                continue;
             }
-        });
+            let target_amp = plane[t];
+            let sum = if parallel {
+                par_map_chunks_fixed(plane, FIXED_CHUNK, |_, c| soa::sum(c))
+                    .into_iter()
+                    .sum::<f64>()
+            } else {
+                soa::sum(plane)
+            };
+            let two_mean = 2.0 * (sum - target_amp) / (n - 1.0);
+            // Sweep every element, then restore the untouched target —
+            // cheaper than a branch per element.
+            if parallel {
+                par_chunks_fixed(plane, FIXED_CHUNK, |_, c| soa::invert_resum(c, two_mean));
+            } else {
+                soa::invert_resum(plane, two_mean);
+            }
+            plane[t] = target_amp;
+        }
     }
 
     /// One standard Grover iteration `A = I_0 · I_t` (Section 2.1): oracle
     /// phase flip followed by global inversion about the mean.  Charges one
-    /// query.
+    /// query.  Unfused reference path; see
+    /// [`StateVector::grover_iterations`] for iteration runs.
     pub fn grover_iteration(&mut self, db: &Database) {
         self.apply_oracle_phase_flip(db);
         self.invert_about_mean();
@@ -348,43 +521,207 @@ impl StateVector {
 
     /// One per-block iteration `A_{[N/K]} = (I_{[K]} ⊗ I_{0,[N/K]}) · I_t`
     /// (Section 2.2): oracle phase flip followed by inversion about the mean
-    /// inside every block.  Charges one query.
+    /// inside every block.  Charges one query.  Unfused reference path; see
+    /// [`StateVector::block_grover_iterations`].
     pub fn block_grover_iteration(&mut self, db: &Database, partition: &Partition) {
         self.apply_oracle_phase_flip(db);
         self.invert_about_mean_per_block(partition);
     }
 
     // ------------------------------------------------------------------
+    // Fused iteration runs (the simulation hot path)
+    // ------------------------------------------------------------------
+
+    /// Runs `count` standard Grover iterations `(I_0 · I_t)^count`, charging
+    /// `count` queries, with the oracle flip and the diffusion **fused into
+    /// one sweep per plane per iteration**.
+    ///
+    /// The sweep applies `x ← 2·mean − x` while summing the values it
+    /// writes; since the inversion preserves the plane sum exactly and the
+    /// oracle flip changes it by the O(1) target delta, the next iteration's
+    /// mean is ready without a separate pass.  Total cost: `count + 1`
+    /// sweeps instead of `2·count`.  Matches the unfused reference within
+    /// `1e-12` (property-tested).
+    pub fn grover_iterations(&mut self, db: &Database, count: u64) {
+        assert_eq!(
+            db.size() as usize,
+            self.len(),
+            "database size must match state dimension"
+        );
+        if count == 0 {
+            return;
+        }
+        db.charge_quantum_queries(count);
+        let t = db.target() as usize;
+        let n = self.len() as f64;
+        let parallel = self.len() >= PARALLEL_THRESHOLD;
+        self.plane_sweep(|plane, _| {
+            let mut sum = if parallel {
+                par_map_chunks_fixed(plane, FIXED_CHUNK, |_, c| soa::sum(c))
+                    .into_iter()
+                    .sum::<f64>()
+            } else {
+                soa::sum(plane)
+            };
+            for _ in 0..count {
+                // Oracle flip: O(1) on the amplitude, O(1) on the sum.
+                let flipped = -plane[t];
+                plane[t] = flipped;
+                sum += 2.0 * flipped;
+                let two_mean = 2.0 * sum / n;
+                sum = if parallel {
+                    par_chunks_fixed(plane, FIXED_CHUNK, |_, c| soa::invert_resum(c, two_mean))
+                        .into_iter()
+                        .sum::<f64>()
+                } else {
+                    soa::invert_resum(plane, two_mean)
+                };
+            }
+        });
+    }
+
+    /// Runs `count` per-block Grover iterations
+    /// `((I_{[K]} ⊗ I_{0,[N/K]}) · I_t)^count`, charging `count` queries,
+    /// with the oracle flip and the per-block diffusion fused into one sweep
+    /// per plane per iteration (the sweep computes the next iteration's
+    /// block sums while applying the current inversion).
+    pub fn block_grover_iterations(&mut self, db: &Database, partition: &Partition, count: u64) {
+        assert_eq!(
+            db.size() as usize,
+            self.len(),
+            "database size must match state dimension"
+        );
+        assert_eq!(
+            partition.size() as usize,
+            self.len(),
+            "partition size must match state dimension"
+        );
+        if count == 0 {
+            return;
+        }
+        db.charge_quantum_queries(count);
+        let t = db.target() as usize;
+        let block = partition.block_size() as usize;
+        let target_block = (t / block) * block; // start offset of t's block
+        let blocks = self.len() / block;
+        let parallel = self.len() >= PARALLEL_THRESHOLD && block >= 2;
+        let chunk = FIXED_CHUNK.div_ceil(block) * block;
+        self.plane_sweep(|plane, _| {
+            let mut sums = vec![0.0f64; blocks];
+            let mut next = vec![0.0f64; blocks];
+            if parallel {
+                let partials = par_map_chunks_fixed(plane, chunk, |offset, c| {
+                    per_chunk_block_sums(c, block, offset)
+                });
+                splice_block_sums(&mut sums, partials);
+            } else {
+                soa::block_sums(plane, block, &mut sums);
+            }
+            for _ in 0..count {
+                let flipped = -plane[t];
+                plane[t] = flipped;
+                sums[target_block / block] += 2.0 * flipped;
+                if parallel {
+                    let sums_ref = &sums;
+                    let partials = par_chunks_fixed(plane, chunk, |offset, c| {
+                        let first = offset / block;
+                        let mut out = vec![0.0f64; c.len() / block];
+                        soa::blocks_invert_resum(
+                            c,
+                            block,
+                            &sums_ref[first..first + out.len()],
+                            &mut out,
+                        );
+                        out
+                    });
+                    splice_block_sums(&mut next, partials);
+                } else {
+                    soa::blocks_invert_resum(plane, block, &sums, &mut next);
+                }
+                std::mem::swap(&mut sums, &mut next);
+            }
+        });
+    }
+
+    // ------------------------------------------------------------------
     // Helpers
     // ------------------------------------------------------------------
 
+    /// Runs `f` over the real plane, and over the imaginary plane too unless
+    /// the state is known to be real (the real-coefficient operators act on
+    /// the planes independently).  `f` receives whether it is on the real
+    /// plane.
+    fn plane_sweep<F>(&mut self, f: F)
+    where
+        F: Fn(&mut [f64], bool),
+    {
+        f(&mut self.planes.re, true);
+        if !self.real_only {
+            f(&mut self.planes.im, false);
+        }
+    }
+
+    /// Sum-style fold over one plane with the deterministic fixed-chunk
+    /// layout for large states.
+    fn fold_plane_sum(&self, plane: &[f64], map: fn(&[f64]) -> f64) -> f64 {
+        if plane.len() >= PARALLEL_THRESHOLD {
+            par_map_chunks_fixed(plane, FIXED_CHUNK, |_, c| map(c))
+                .into_iter()
+                .sum()
+        } else {
+            map(plane)
+        }
+    }
+
     /// Sum of all amplitudes (used by the diffusion kernels).
     pub fn amplitude_sum(&self) -> Complex64 {
-        if self.len() >= PARALLEL_THRESHOLD {
-            let (re, im) = par_map_reduce(
-                &self.amps,
-                (0.0f64, 0.0f64),
-                |_, chunk| {
-                    let s: Complex64 = chunk.iter().copied().sum();
-                    (s.re, s.im)
-                },
-                |a, b| (a.0 + b.0, a.1 + b.1),
-            );
-            Complex64::new(re, im)
+        let re = self.fold_plane_sum(&self.planes.re, soa::sum);
+        let im = if self.real_only {
+            0.0
         } else {
-            vec_ops::amplitude_sum(&self.amps)
-        }
+            self.fold_plane_sum(&self.planes.im, soa::sum)
+        };
+        Complex64::new(re, im)
     }
 
     /// The index with the highest measurement probability.
     pub fn most_likely_index(&self) -> usize {
-        vec_ops::argmax_probability(&self.amps)
+        let mut best = 0usize;
+        let mut best_p = f64::NEG_INFINITY;
+        for i in 0..self.len() {
+            let p = self.probability(i);
+            if p > best_p {
+                best_p = p;
+                best = i;
+            }
+        }
+        best
     }
 
     /// Real parts of all amplitudes (for figure generation).
     pub fn real_amplitudes(&self) -> Vec<f64> {
-        vec_ops::real_parts(&self.amps)
+        self.planes.re.clone()
     }
+}
+
+/// Per-block sums of one fixed chunk (whole blocks only; `offset` is the
+/// chunk's start in the plane and must be block-aligned).
+fn per_chunk_block_sums(chunk: &[f64], block: usize, offset: usize) -> Vec<f64> {
+    debug_assert_eq!(offset % block, 0);
+    let mut out = vec![0.0f64; chunk.len() / block];
+    soa::block_sums(chunk, block, &mut out);
+    out
+}
+
+/// Reassembles per-chunk block-sum vectors (in chunk order, from the fixed
+/// layout) into the global block-sum array.
+fn splice_block_sums(sums: &mut [f64], partials: Vec<Vec<f64>>) {
+    let mut at = 0usize;
+    for part in partials {
+        sums[at..at + part.len()].copy_from_slice(&part);
+        at += part.len();
+    }
+    debug_assert_eq!(at, sums.len());
 }
 
 #[cfg(test)]
@@ -399,6 +736,7 @@ mod tests {
         assert_close(psi.amplitude(3).re, 1.0 / 12f64.sqrt(), 1e-12);
         assert_eq!(psi.len(), 12);
         assert!(!psi.is_empty());
+        assert!(psi.is_real_only());
     }
 
     #[test]
@@ -443,6 +781,60 @@ mod tests {
         assert_close(psi.probability(17), predicted, 1e-9);
         assert_eq!(db.queries(), iters);
         assert!(psi.probability(17) > 0.999);
+    }
+
+    #[test]
+    fn fused_grover_run_matches_stepped_iterations() {
+        let n = 300; // deliberately not a power of two
+        let db_fused = Database::new(n as u64, 123);
+        let db_step = Database::new(n as u64, 123);
+        let mut fused = StateVector::uniform(n);
+        let mut stepped = StateVector::uniform(n);
+        fused.grover_iterations(&db_fused, 9);
+        for _ in 0..9 {
+            stepped.grover_iteration(&db_step);
+        }
+        assert_eq!(db_fused.queries(), db_step.queries());
+        for i in 0..n {
+            assert!((fused.amplitude(i) - stepped.amplitude(i)).abs() < 1e-12);
+        }
+        assert!(fused.is_real_only());
+    }
+
+    #[test]
+    fn fused_block_run_matches_stepped_iterations() {
+        let n = 240u64;
+        let k = 6u64;
+        let db_fused = Database::new(n, 77);
+        let db_step = Database::new(n, 77);
+        let partition = Partition::new(n, k);
+        let mut fused = StateVector::uniform(n as usize);
+        let mut stepped = StateVector::uniform(n as usize);
+        // Move off the uniform fixed point first.
+        fused.grover_iterations(&db_fused, 2);
+        for _ in 0..2 {
+            stepped.grover_iteration(&db_step);
+        }
+        fused.block_grover_iterations(&db_fused, &partition, 7);
+        for _ in 0..7 {
+            stepped.block_grover_iteration(&db_step, &partition);
+        }
+        assert_eq!(db_fused.queries(), db_step.queries());
+        for i in 0..n as usize {
+            assert!((fused.amplitude(i) - stepped.amplitude(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fused_runs_of_zero_iterations_are_identity_and_free() {
+        let db = Database::new(64, 5);
+        let partition = Partition::new(64, 4);
+        let mut psi = StateVector::uniform(64);
+        let before = psi.clone();
+        psi.grover_iterations(&db, 0);
+        psi.block_grover_iterations(&db, &partition, 0);
+        assert_eq!(psi, before);
+        assert_eq!(db.queries(), 0);
     }
 
     #[test]
@@ -510,6 +902,8 @@ mod tests {
         assert_close(a.fidelity(&a), 1.0, 1e-15);
         let u = StateVector::uniform(4);
         assert_close(u.fidelity(&a), 0.25, 1e-12);
+        assert_close(u.angular_distance(&u), 0.0, 1e-12);
+        assert_close(a.angular_distance(&b), std::f64::consts::FRAC_PI_2, 1e-12);
     }
 
     #[test]
@@ -529,6 +923,25 @@ mod tests {
     }
 
     #[test]
+    fn fused_parallel_run_matches_serial_chunk_fold() {
+        // Above the parallel threshold the fused run still matches the
+        // stepped reference (which itself uses the fixed-chunk folds).
+        let n = PARALLEL_THRESHOLD + 1024; // ragged final chunk
+        let db_fused = Database::new(n as u64, 60_000);
+        let db_step = Database::new(n as u64, 60_000);
+        let mut fused = StateVector::uniform(n);
+        let mut stepped = StateVector::uniform(n);
+        fused.grover_iterations(&db_fused, 3);
+        for _ in 0..3 {
+            stepped.grover_iteration(&db_step);
+        }
+        for i in (0..n).step_by(997) {
+            assert!((fused.amplitude(i) - stepped.amplitude(i)).abs() < 1e-12);
+        }
+        assert_close(fused.norm_sqr(), 1.0, 1e-9);
+    }
+
+    #[test]
     fn dynamics_stay_real() {
         let db = Database::new(64, 10);
         let partition = Partition::new(64, 8);
@@ -537,8 +950,53 @@ mod tests {
             psi.grover_iteration(&db);
             psi.block_grover_iteration(&db, &partition);
         }
+        assert!(psi.is_real_only(), "reflections keep the state real");
         assert!(psi.max_imaginary_part() < 1e-12);
         assert_close(psi.norm_sqr(), 1.0, 1e-10);
+    }
+
+    #[test]
+    fn real_only_flag_clears_on_complex_writes_and_planes_mut() {
+        let mut psi = StateVector::uniform(8);
+        psi.set_amplitude(2, Complex64::from_real(0.5));
+        assert!(psi.is_real_only(), "real writes keep the flag");
+        psi.set_amplitude(2, Complex64::new(0.0, 0.5));
+        assert!(!psi.is_real_only());
+        let mut psi = StateVector::uniform(8);
+        let _ = psi.planes_mut();
+        assert!(!psi.is_real_only(), "raw plane access is conservative");
+        // The amplitudes are unchanged, so dynamics remain identical.
+        let reference = StateVector::uniform(8);
+        assert_eq!(psi, reference);
+    }
+
+    #[test]
+    fn complex_states_run_both_planes_through_the_fused_kernels() {
+        // A genuinely complex state: fused vs stepped must still agree on
+        // both planes.
+        let n = 96usize;
+        let mut amps: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        psq_math::vec_ops::normalize(&mut amps);
+        let db_fused = Database::new(n as u64, 31);
+        let db_step = Database::new(n as u64, 31);
+        let partition = Partition::new(n as u64, 4);
+        let mut fused = StateVector::from_amplitudes(amps.clone());
+        let mut stepped = StateVector::from_amplitudes(amps);
+        assert!(!fused.is_real_only());
+        fused.grover_iterations(&db_fused, 4);
+        fused.block_grover_iterations(&db_fused, &partition, 3);
+        for _ in 0..4 {
+            stepped.grover_iteration(&db_step);
+        }
+        for _ in 0..3 {
+            stepped.block_grover_iteration(&db_step, &partition);
+        }
+        for i in 0..n {
+            assert!((fused.amplitude(i) - stepped.amplitude(i)).abs() < 1e-12);
+        }
+        assert!(fused.max_imaginary_part() > 1e-3, "state stayed complex");
     }
 
     #[test]
@@ -589,5 +1047,21 @@ mod tests {
         assert_close(psi.norm_sqr(), 1.0, 1e-12);
         // A non-π phase leaves the state genuinely complex.
         assert!(psi.max_imaginary_part() > 1e-3);
+        assert!(!psi.is_real_only());
+    }
+
+    #[test]
+    fn amplitude_round_trip_through_planes() {
+        let amps = vec![
+            Complex64::new(0.5, 0.1),
+            Complex64::new(-0.5, 0.0),
+            Complex64::new(0.0, -0.7),
+        ];
+        let psi = StateVector::from_amplitudes(amps.clone());
+        assert_eq!(psi.to_amplitudes(), amps);
+        let (re, im) = psi.planes();
+        assert_eq!(re, &[0.5, -0.5, 0.0]);
+        assert_eq!(im, &[0.1, 0.0, -0.7]);
+        assert_eq!(psi.real_amplitudes(), vec![0.5, -0.5, 0.0]);
     }
 }

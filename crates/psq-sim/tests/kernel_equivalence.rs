@@ -1,0 +1,257 @@
+//! Property tests pinning the fused structure-of-arrays sweeps to an
+//! independent unfused reference.
+//!
+//! The hot kernels (`StateVector::grover_iterations`,
+//! `StateVector::block_grover_iterations`, the Step-3 inversion, and the
+//! FWHT Hadamard walls) are rewritten forms of textbook operators. Each
+//! property here rebuilds the operator in plain `Vec<Complex64>` arithmetic
+//! (`psq_math::vec_ops`, array-of-structs, no fusion, no plane skipping)
+//! and requires the fused path to agree within `1e-12` on every amplitude,
+//! for random complex inputs, dimensions (including non-powers-of-two where
+//! the kernel supports them), targets and iteration counts.
+
+use proptest::prelude::*;
+use psq_math::complex::Complex64;
+use psq_math::vec_ops;
+use psq_sim::gates::{hadamard_matrix, QubitRegister};
+use psq_sim::oracle::{Database, Partition};
+use psq_sim::statevector::StateVector;
+
+/// A random normalised complex amplitude vector of dimension `n`.
+fn arb_state(n: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n).prop_map(|pairs| {
+        let mut amps: Vec<Complex64> = pairs
+            .into_iter()
+            .map(|(re, im)| Complex64::new(re, im))
+            .collect();
+        // Guarantee a non-zero vector before normalising.
+        amps[0] += Complex64::new(1.5, 0.0);
+        vec_ops::normalize(&mut amps);
+        amps
+    })
+}
+
+/// Unfused reference: oracle phase flip at `t`.
+fn ref_oracle_flip(amps: &mut [Complex64], t: usize) {
+    amps[t] = -amps[t];
+}
+
+/// Unfused reference: Step-3 inversion about the mean of the non-target
+/// amplitudes, target untouched.
+fn ref_step3(amps: &mut [Complex64], t: usize) {
+    let n = amps.len() as f64;
+    let mean = (vec_ops::amplitude_sum(amps) - amps[t]) / (n - 1.0);
+    let target = amps[t];
+    vec_ops::invert_about_value(amps, mean);
+    amps[t] = target;
+}
+
+fn assert_amps_close(fused: &StateVector, reference: &[Complex64], tol: f64) {
+    for (i, want) in reference.iter().enumerate() {
+        let got = fused.amplitude(i);
+        assert!(
+            (got - *want).abs() < tol,
+            "amplitude {i}: fused {got:?} vs reference {want:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Oracle reflection: the O(1) fused flip equals the reference flip.
+    #[test]
+    fn prop_oracle_flip_matches_reference(
+        n in 2usize..200,
+        target_frac in 0.0f64..1.0,
+        amps in (2usize..200).prop_flat_map(arb_state),
+    ) {
+        let n = n.min(amps.len());
+        let amps = amps[..n].to_vec();
+        let t = (((n - 1) as f64) * target_frac).round() as usize;
+        let db = Database::new(n as u64, t as u64);
+        let mut fused = StateVector::from_amplitudes(amps.clone());
+        fused.apply_oracle_phase_flip(&db);
+        let mut reference = amps;
+        ref_oracle_flip(&mut reference, t);
+        assert_amps_close(&fused, &reference, 1e-15);
+    }
+
+    /// Global diffusion runs: fused `grover_iterations` vs the unfused
+    /// complex-vector reference, iterated.
+    #[test]
+    fn prop_fused_global_run_matches_unfused_reference(
+        n in 2usize..160,
+        target_frac in 0.0f64..1.0,
+        count in 1u64..9,
+        seed_amps in (2usize..160).prop_flat_map(arb_state),
+    ) {
+        let n = n.min(seed_amps.len());
+        let amps = {
+            let mut a = seed_amps[..n].to_vec();
+            vec_ops::normalize(&mut a);
+            a
+        };
+        let t = (((n - 1) as f64) * target_frac).round() as usize;
+        let db = Database::new(n as u64, t as u64);
+        let mut fused = StateVector::from_amplitudes(amps.clone());
+        fused.grover_iterations(&db, count);
+        prop_assert_eq!(db.queries(), count);
+        let mut reference = amps;
+        for _ in 0..count {
+            ref_oracle_flip(&mut reference, t);
+            vec_ops::invert_about_average(&mut reference);
+        }
+        assert_amps_close(&fused, &reference, 1e-12);
+    }
+
+    /// Per-block diffusion runs: fused `block_grover_iterations` vs the
+    /// unfused reference applied block by block.
+    #[test]
+    fn prop_fused_block_run_matches_unfused_reference(
+        k in 2u64..9,
+        block in 2u64..24,
+        target_frac in 0.0f64..1.0,
+        count in 1u64..9,
+        seed_amps in (4usize..256).prop_flat_map(arb_state),
+    ) {
+        let n = (k * block) as usize;
+        prop_assume!(n >= 4);
+        let amps = {
+            let mut a: Vec<Complex64> = (0..n)
+                .map(|i| seed_amps[i % seed_amps.len()] + Complex64::from_real(0.01 * (i as f64)))
+                .collect();
+            vec_ops::normalize(&mut a);
+            a
+        };
+        let t = (((n - 1) as f64) * target_frac).round() as usize;
+        let db = Database::new(n as u64, t as u64);
+        let partition = Partition::new(n as u64, k);
+        let mut fused = StateVector::from_amplitudes(amps.clone());
+        fused.block_grover_iterations(&db, &partition, count);
+        prop_assert_eq!(db.queries(), count);
+        let mut reference = amps;
+        for _ in 0..count {
+            ref_oracle_flip(&mut reference, t);
+            for chunk in reference.chunks_mut(block as usize) {
+                vec_ops::invert_about_average(chunk);
+            }
+        }
+        assert_amps_close(&fused, &reference, 1e-12);
+    }
+
+    /// Step-3 inversion about the non-target mean vs the reference.
+    #[test]
+    fn prop_step3_inversion_matches_reference(
+        n in 3usize..200,
+        target_frac in 0.0f64..1.0,
+        amps in (3usize..200).prop_flat_map(arb_state),
+    ) {
+        let n = n.min(amps.len());
+        let amps = {
+            let mut a = amps[..n].to_vec();
+            vec_ops::normalize(&mut a);
+            a
+        };
+        let t = (((n - 1) as f64) * target_frac).round() as usize;
+        let db = Database::new(n as u64, t as u64);
+        let mut fused = StateVector::from_amplitudes(amps.clone());
+        fused.invert_about_mean_excluding_target(&db);
+        prop_assert_eq!(db.queries(), 1);
+        let mut reference = amps;
+        ref_step3(&mut reference, t);
+        assert_amps_close(&fused, &reference, 1e-12);
+    }
+
+    /// The FWHT Hadamard wall vs `n` sequential per-gate sweeps (the kept
+    /// reference path), on random complex states.
+    #[test]
+    fn prop_fwht_wall_matches_n_hadamard_sweeps(
+        qubits in 1u32..9,
+        seed_amps in (2usize..256).prop_flat_map(arb_state),
+    ) {
+        let n = 1usize << qubits;
+        let amps = {
+            let mut a: Vec<Complex64> = (0..n)
+                .map(|i| seed_amps[i % seed_amps.len()])
+                .collect();
+            a[0] += Complex64::from_real(0.5);
+            vec_ops::normalize(&mut a);
+            a
+        };
+        let mut fast = QubitRegister::from_state(StateVector::from_amplitudes(amps.clone()));
+        let mut slow = QubitRegister::from_state(StateVector::from_amplitudes(amps));
+        fast.hadamard_all();
+        let h = hadamard_matrix();
+        for q in 0..qubits {
+            slow.apply_single_qubit(q, &h);
+        }
+        for x in 0..n {
+            prop_assert!(
+                (fast.state().amplitude(x) - slow.state().amplitude(x)).abs() < 1e-12,
+                "index {}", x
+            );
+        }
+    }
+
+    /// The blocked FWHT (offset-register wall) vs per-gate sweeps on the low
+    /// qubits only.
+    #[test]
+    fn prop_blocked_fwht_matches_low_qubit_sweeps(
+        qubits in 2u32..9,
+        low_frac in 0.0f64..1.0,
+        seed_amps in (2usize..256).prop_flat_map(arb_state),
+    ) {
+        let n = 1usize << qubits;
+        let low = (qubits as f64 * low_frac).round() as u32;
+        let amps = {
+            let mut a: Vec<Complex64> = (0..n)
+                .map(|i| seed_amps[i % seed_amps.len()])
+                .collect();
+            a[0] += Complex64::from_real(0.5);
+            vec_ops::normalize(&mut a);
+            a
+        };
+        let mut fast = QubitRegister::from_state(StateVector::from_amplitudes(amps.clone()));
+        let mut slow = QubitRegister::from_state(StateVector::from_amplitudes(amps));
+        fast.hadamard_low_qubits(low);
+        let h = hadamard_matrix();
+        for q in qubits - low..qubits {
+            slow.apply_single_qubit(q, &h);
+        }
+        for x in 0..n {
+            prop_assert!(
+                (fast.state().amplitude(x) - slow.state().amplitude(x)).abs() < 1e-12,
+                "low {}, index {}", low, x
+            );
+        }
+    }
+}
+
+/// Above the parallel threshold the fused kernels dispatch over the fixed
+/// chunk layout; the layout is a pure function of the problem size, so the
+/// full partial-search pipeline must be bit-identical to the same pipeline
+/// on a one-chunk-at-a-time schedule. This exercises the real dispatch path
+/// end to end (`psq-parallel`'s own tests cover the primitive).
+#[test]
+fn large_state_pipeline_is_reproducible_run_to_run() {
+    let n = 1usize << 17; // above the 2 * FIXED_CHUNK threshold
+    let k = 8u64;
+    let t = 99_000u64;
+    let partition = Partition::new(n as u64, k);
+    let run = || {
+        let db = Database::new(n as u64, t);
+        let mut psi = StateVector::uniform(n);
+        psi.grover_iterations(&db, 40);
+        psi.block_grover_iterations(&db, &partition, 20);
+        psi.invert_about_mean_excluding_target(&db);
+        psi
+    };
+    let a = run();
+    let b = run();
+    let (a_re, a_im) = a.planes();
+    let (b_re, b_im) = b.planes();
+    assert_eq!(a_re, b_re, "real plane must be bit-identical");
+    assert_eq!(a_im, b_im, "imaginary plane must be bit-identical");
+    assert!((a.norm_sqr() - 1.0).abs() < 1e-9);
+}

@@ -71,6 +71,9 @@ fn uniform_batch(hint: BackendHint, count: u64) -> Vec<SearchJob> {
                 BackendHint::Reduced => (1u64 << (20 + id % 12), 1u64 << (1 + id % 5)),
                 BackendHint::StateVector => (1u64 << (8 + id % 4), 4),
                 BackendHint::Circuit => (1u64 << (6 + id % 3), 2),
+                // Full-address: sizes spanning reduced-only descents up to
+                // ones whose lower levels run the exact kernels.
+                BackendHint::Recursive => (1u64 << (12 + id % 9), 1u64 << (1 + id % 2)),
                 _ => (1024 + 4 * (id % 512), 4),
             };
             SearchJob::new(id, n, k, (id * 2654435761) % n).with_backend(hint)
@@ -129,13 +132,18 @@ fn run_scenario(
     scenario
 }
 
-/// Streams `count` mixed jobs through a `psq-serve` pipe session per timed
-/// iteration (see the call site for scenario semantics). Asserts every
-/// iteration answered every job with a result.
-fn run_serve_stream_scenario(count: usize, min_seconds: f64, max_iters: u64) -> Scenario {
+/// Streams `jobs` through a `psq-serve` pipe session per timed iteration
+/// (see the call sites for scenario semantics). Asserts every iteration
+/// answered every job with a result.
+fn run_serve_stream_scenario(
+    name: &str,
+    jobs: &[SearchJob],
+    min_seconds: f64,
+    max_iters: u64,
+) -> Scenario {
     use psq_serve::testio::SharedSink;
     use psq_serve::{ServeConfig, Server};
-    let jobs = generate_mixed_batch(count, 42);
+    let count = jobs.len();
     let input: String = jobs
         .iter()
         .map(|job| serde_json::to_string(job).expect("jobs serialise") + "\n")
@@ -169,7 +177,7 @@ fn run_serve_stream_scenario(count: usize, min_seconds: f64, max_iters: u64) -> 
     let total_seconds = started.elapsed().as_secs_f64();
     let metrics = server.metrics();
     let scenario = Scenario {
-        name: format!("serve_stream/{count}"),
+        name: name.to_string(),
         jobs_per_batch: count as u64,
         iterations,
         total_seconds,
@@ -302,6 +310,7 @@ fn main() {
         ("statevector", BackendHint::StateVector, 64),
         ("circuit", BackendHint::Circuit, 32),
         ("classical_randomized", BackendHint::ClassicalRandomized, 64),
+        ("recursive", BackendHint::Recursive, 64),
     ] {
         let name = format!("cold_uniform_batch/{label}");
         if !wanted(&name, &filters) {
@@ -332,7 +341,26 @@ fn main() {
     // One persistent server (result cache off, like the cold scenarios) so
     // the plan cache is warm after the warmup, matching batch semantics.
     if wanted("serve_stream/512", &filters) {
-        scenarios.push(run_serve_stream_scenario(512, min_seconds, max_iters));
+        let jobs = generate_mixed_batch(512, 42);
+        scenarios.push(run_serve_stream_scenario(
+            "serve_stream/512",
+            &jobs,
+            min_seconds,
+            max_iters,
+        ));
+    }
+
+    // Full-address serving end to end: a pure stream of recursive jobs
+    // through the same pipe path (each answer resolves an entire address,
+    // so per-job cost is a whole multi-level descent).
+    if wanted("full_address_stream/64", &filters) {
+        let jobs = uniform_batch(BackendHint::Recursive, 64);
+        scenarios.push(run_serve_stream_scenario(
+            "full_address_stream/64",
+            &jobs,
+            min_seconds,
+            max_iters,
+        ));
     }
 
     if scenarios.is_empty() {

@@ -22,17 +22,24 @@ fn main() {
 
     let mut table = Table::new(
         format!("Section 4: full search via repeated partial search (N = 2^16, K = {k})"),
-        &["level", "sub-database size", "queries", "mode"],
+        &[
+            "level",
+            "sub-database size",
+            "queries",
+            "cumulative",
+            "mode",
+        ],
     );
     for (i, level) in report.levels.iter().enumerate() {
         table.push_row(vec![
             i.to_string(),
             level.size.to_string(),
             level.queries.to_string(),
-            if level.brute_force {
-                "brute force".into()
-            } else {
-                "partial search".to_string()
+            level.cumulative_queries.to_string(),
+            match level.kind {
+                recursive::LevelKind::Reduced => "partial search (reduced)".to_string(),
+                recursive::LevelKind::StateVector => "partial search (state vector)".to_string(),
+                recursive::LevelKind::BruteForce => "brute force".to_string(),
             },
         ]);
     }

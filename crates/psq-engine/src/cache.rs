@@ -332,6 +332,8 @@ mod tests {
             block_found: 2,
             true_block: 2,
             correct: true,
+            address_found: None,
+            levels: 0,
             queries: 123,
             success_estimate: 0.99,
             trials: job.trials,

@@ -11,7 +11,12 @@
 //!   each job's error target (block-symmetric reduced simulator, full state
 //!   vector, gate-level circuit, or the classical zero-error scans), with a
 //!   memoised `(N, K, ε) → (ℓ1, ℓ2)` schedule cache shared across workers;
-//! * [`backends`] — bit-reproducible single-job runners for each backend;
+//!   for recursive full-address jobs it walks the descent's level sizes
+//!   through that cache and picks the per-level backend cutoff;
+//! * [`backends`] — bit-reproducible single-job runners for each backend,
+//!   including the recursive full-address descent (`Backend::Recursive`,
+//!   requested via [`SearchJob::full_address`] or the serving layer's
+//!   `"full_address": true` field);
 //! * [`cache`] — a sharded memoised result cache: repeated jobs (within a
 //!   batch or across batches) skip execution entirely;
 //! * [`executor`] — the [`Engine`]: batch fan-out over

@@ -19,6 +19,8 @@ pub struct BackendTally {
     pub classical_deterministic: u64,
     /// Jobs on the randomized classical scan.
     pub classical_randomized: u64,
+    /// Full-address jobs on the recursive descent.
+    pub recursive: u64,
 }
 
 impl BackendTally {
@@ -30,6 +32,7 @@ impl BackendTally {
             Backend::Circuit => self.circuit += 1,
             Backend::ClassicalDeterministic => self.classical_deterministic += 1,
             Backend::ClassicalRandomized => self.classical_randomized += 1,
+            Backend::Recursive => self.recursive += 1,
         }
     }
 
@@ -40,6 +43,7 @@ impl BackendTally {
             + self.circuit
             + self.classical_deterministic
             + self.classical_randomized
+            + self.recursive
     }
 
     /// How many distinct backends saw at least one job.
@@ -50,6 +54,7 @@ impl BackendTally {
             self.circuit,
             self.classical_deterministic,
             self.classical_randomized,
+            self.recursive,
         ]
         .iter()
         .filter(|&&c| c > 0)
@@ -84,6 +89,14 @@ pub struct BatchMetrics {
     pub latency_us_p99: f64,
     /// Slowest per-job latency in microseconds.
     pub latency_us_max: f64,
+    /// Partial-search levels run by recursive full-address jobs (every
+    /// level is one partial search on a database `K` times smaller than the
+    /// last; `O(log N)` per trial).
+    pub recursive_levels: u64,
+    /// Oracle queries charged by recursive full-address jobs (so
+    /// `recursive_queries / recursive_levels` tracks the geometric decay of
+    /// per-level cost down the descent).
+    pub recursive_queries: u64,
     /// Jobs per backend.
     pub backend_jobs: BackendTally,
     /// Plan-cache behaviour during the batch.
@@ -118,6 +131,8 @@ impl BatchMetrics {
         let mut total_trials = 0u64;
         let mut jobs_correct = 0u64;
         let mut success_sum = 0.0;
+        let mut recursive_levels = 0u64;
+        let mut recursive_queries = 0u64;
         let mut latencies: Vec<f64> = Vec::with_capacity(results.len());
         for r in results {
             tally.record(r.backend);
@@ -125,6 +140,10 @@ impl BatchMetrics {
             total_trials += u64::from(r.trials);
             jobs_correct += u64::from(r.correct);
             success_sum += r.success_estimate;
+            if r.backend == Backend::Recursive {
+                recursive_levels += u64::from(r.levels);
+                recursive_queries += r.queries;
+            }
             latencies.push(r.wall_time_us);
         }
         latencies.sort_by(f64::total_cmp);
@@ -146,6 +165,8 @@ impl BatchMetrics {
             } else {
                 0.0
             },
+            recursive_levels,
+            recursive_queries,
             latency_us_p50: percentile(&latencies, 0.50),
             latency_us_p90: percentile(&latencies, 0.90),
             latency_us_p99: percentile(&latencies, 0.99),
@@ -168,6 +189,8 @@ mod tests {
             block_found: 0,
             true_block: if correct { 0 } else { 1 },
             correct,
+            address_found: (backend == Backend::Recursive).then_some(0),
+            levels: if backend == Backend::Recursive { 4 } else { 0 },
             queries,
             success_estimate: if correct { 1.0 } else { 0.0 },
             trials: 2,
@@ -200,6 +223,26 @@ mod tests {
         assert_eq!(m.latency_us_max, 100.0);
         assert_eq!(m.backend_jobs.reduced, 100);
         assert_eq!(m.backend_jobs.backends_used(), 1);
+    }
+
+    #[test]
+    fn recursive_counters_aggregate_levels_and_queries() {
+        let results = vec![
+            result(Backend::Recursive, 100, true, 1.0),
+            result(Backend::Recursive, 60, true, 1.0),
+            result(Backend::Reduced, 40, true, 1.0),
+        ];
+        let m = BatchMetrics::aggregate(
+            &results,
+            0,
+            1.0,
+            PlanCacheStats::default(),
+            ResultCacheStats::default(),
+        );
+        assert_eq!(m.backend_jobs.recursive, 2);
+        assert_eq!(m.recursive_levels, 8, "4 levels per recursive result");
+        assert_eq!(m.recursive_queries, 160, "block queries not counted");
+        assert_eq!(m.total_queries, 200);
     }
 
     #[test]

@@ -49,6 +49,15 @@ pub const CIRCUIT_BUTTERFLY_WEIGHT: f64 = 1.4;
 /// See [`REDUCED_ITER_WEIGHT`].
 pub const CLASSICAL_PROBE_WEIGHT: f64 = 8.0;
 
+/// Ops budget for one exact state-vector level of a recursive full-address
+/// descent. The planner walks the descent's level sizes and sets the
+/// state-vector cutoff at the largest level whose fused-sweep cost
+/// (`queries × size ×` [`STATEVECTOR_AMP_WEIGHT`]) stays inside this budget;
+/// larger levels run the O(1) reduced rotation form instead. At the
+/// calibrated ~0.5 ns/op this bounds exact simulation to ~125 µs per level
+/// (in practice: levels of ≤ ~2^12 amplitudes at K = 4).
+pub const RECURSIVE_SV_LEVEL_BUDGET: f64 = 250_000.0;
+
 /// A memoised schedule for one `(N, K, error_target)` key.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PlannedSchedule {
@@ -212,6 +221,22 @@ impl CostModel {
                 true,
                 true,
             ),
+            // Closed-form approximation of the recursive descent: per-level
+            // query counts form the geometric series `q·√K/(√K − 1)`, every
+            // level charged at the reduced-form weight, plus the `O(N^{1/3})`
+            // brute-force tail. [`Planner::plan`] replaces this with the
+            // precise cache-backed walk ([`Planner::estimate_recursive`]),
+            // which also prices the exact state-vector levels below the
+            // cutoff; this arm keeps the pure `CostModel` total.
+            Backend::Recursive => {
+                let series = kf.sqrt() / (kf.sqrt() - 1.0);
+                let tail = nf.cbrt().max(kf);
+                (
+                    (queries * series * REDUCED_ITER_WEIGHT + tail * CLASSICAL_PROBE_WEIGHT) * t,
+                    true,
+                    schedule.meets_error_target,
+                )
+            }
         };
         CostEstimate {
             backend,
@@ -232,6 +257,12 @@ pub struct ExecutionPlan {
     pub schedule: PlannedSchedule,
     /// The cost model's score for the chosen backend.
     pub estimated_ops: f64,
+    /// For [`Backend::Recursive`]: descent levels at or below this size run
+    /// the exact state-vector kernels, larger ones the reduced rotation
+    /// form (chosen by [`Planner::estimate_recursive`] from the memoised
+    /// per-level schedules and [`RECURSIVE_SV_LEVEL_BUDGET`]). `0` on every
+    /// other backend.
+    pub sv_cutoff: u64,
 }
 
 /// Resolves jobs to execution plans through the shared [`PlanCache`].
@@ -252,8 +283,11 @@ impl Planner {
         &self.cache
     }
 
-    /// Scores every backend for `job` (the `Auto` candidate list, in the
-    /// order considered). Exposed for tests and the binary's `--explain`.
+    /// Scores every backend for `job`, in the order the planner considers
+    /// them (the `Auto` candidates followed by the explicit-only recursive
+    /// backend). Exposed for tests and the binary's `--explain`. The
+    /// recursive row uses the precise cache-backed walk, not the cost
+    /// model's closed-form approximation.
     ///
     /// Validates the job first: schedule construction asserts its inputs,
     /// so an unvalidated malformed job would panic rather than err.
@@ -262,11 +296,61 @@ impl Planner {
         let schedule = self.cache.schedule(job.n, job.k, job.error_target);
         Ok(Backend::ALL
             .iter()
-            .map(|&b| {
-                self.cost_model
-                    .estimate(b, job.n, job.k, job.trials, &schedule)
+            .map(|&b| match b {
+                Backend::Recursive => self.estimate_recursive(job).0,
+                _ => self
+                    .cost_model
+                    .estimate(b, job.n, job.k, job.trials, &schedule),
             })
             .collect())
+    }
+
+    /// Prices the recursive full-address descent for `job` and chooses its
+    /// state-vector cutoff.
+    ///
+    /// Walks the actual level sizes (`N, N/K, N/K², …` down to the
+    /// `max(K, ⌈N^{1/3}⌉)` brute-force cutoff), pulling each level's
+    /// `(size, K, ε)` schedule from the memoised [`PlanCache`] with the
+    /// error budget split evenly across levels. A level runs the exact
+    /// state-vector kernels when its fused-sweep cost fits
+    /// [`RECURSIVE_SV_LEVEL_BUDGET`] (and the state fits in memory), the
+    /// O(1) reduced rotation form otherwise; the returned cutoff is the
+    /// largest exact-simulation level size. `meets_error_target` reflects
+    /// the *accumulated* error `1 − Π p_level` of the whole descent, the
+    /// quantity Section 4's error-accumulation argument bounds.
+    pub fn estimate_recursive(&self, job: &SearchJob) -> (CostEstimate, u64) {
+        let mut sizes = Vec::new();
+        let brute_cutoff = ((job.n as f64).cbrt().ceil() as u64).max(job.k);
+        let mut len = job.n;
+        while len > brute_cutoff && len.is_multiple_of(job.k) && len / job.k >= 2 {
+            sizes.push(len);
+            len /= job.k;
+        }
+        let per_level_target = job.error_target / sizes.len().max(1) as f64;
+        let mut ops = 0.0;
+        let mut success = 1.0;
+        let mut sv_cutoff = 0u64;
+        for &size in &sizes {
+            let schedule = self.cache.schedule(size, job.k, per_level_target);
+            let queries = schedule.plan.total_queries as f64;
+            let sv_ops = queries * size as f64 * STATEVECTOR_AMP_WEIGHT;
+            if size <= MAX_STATEVECTOR_N && sv_ops <= RECURSIVE_SV_LEVEL_BUDGET {
+                sv_cutoff = sv_cutoff.max(size);
+                ops += sv_ops;
+            } else {
+                ops += queries * REDUCED_ITER_WEIGHT;
+            }
+            success *= schedule.plan.predicted_success_probability;
+        }
+        // The brute-force tail probes all but one surviving address.
+        ops += len.saturating_sub(1) as f64 * CLASSICAL_PROBE_WEIGHT;
+        let estimate = CostEstimate {
+            backend: Backend::Recursive,
+            ops: ops * f64::from(job.trials),
+            feasible: true,
+            meets_error_target: (1.0 - success) <= job.error_target,
+        };
+        (estimate, sv_cutoff)
     }
 
     /// Resolves `job` to an execution plan, or explains why it cannot run.
@@ -288,6 +372,7 @@ impl Planner {
                 backend,
                 schedule,
                 estimated_ops: est.ops,
+                sv_cutoff: 0,
             })
         };
         match job.backend {
@@ -296,8 +381,20 @@ impl Planner {
             BackendHint::Circuit => resolve(Backend::Circuit),
             BackendHint::ClassicalDeterministic => resolve(Backend::ClassicalDeterministic),
             BackendHint::ClassicalRandomized => resolve(Backend::ClassicalRandomized),
+            BackendHint::Recursive => {
+                let (est, sv_cutoff) = self.estimate_recursive(job);
+                Ok(ExecutionPlan {
+                    backend: Backend::Recursive,
+                    schedule,
+                    estimated_ops: est.ops,
+                    sv_cutoff,
+                })
+            }
             BackendHint::Auto => {
-                let best = Backend::ALL
+                // `Auto` only considers the block-resolution backends:
+                // recursive full-address search answers a different (and
+                // strictly costlier) question, so it must be asked for.
+                let best = Backend::AUTO_CANDIDATES
                     .iter()
                     .map(|&b| {
                         self.cost_model
@@ -310,6 +407,7 @@ impl Planner {
                         backend: est.backend,
                         schedule,
                         estimated_ops: est.ops,
+                        sv_cutoff: 0,
                     }),
                     // Always reachable: the classical backends are feasible
                     // for every valid job and have zero error.
@@ -421,6 +519,71 @@ mod tests {
         assert_eq!(first, second);
         let fresh = Planner::new().plan(&job).unwrap();
         assert_eq!(first, fresh);
+    }
+
+    #[test]
+    fn recursive_hint_plans_with_a_sensible_sv_cutoff() {
+        let planner = Planner::new();
+        let job = SearchJob::new(0, 1 << 20, 4, 12345).with_backend(BackendHint::Recursive);
+        let plan = planner.plan(&job).expect("plans");
+        assert_eq!(plan.backend, Backend::Recursive);
+        // The cutoff admits small exact levels but never a level whose
+        // fused-sweep cost blows the per-level budget.
+        assert!(plan.sv_cutoff >= 1 << 10, "cutoff {}", plan.sv_cutoff);
+        assert!(plan.sv_cutoff <= 1 << 14, "cutoff {}", plan.sv_cutoff);
+        assert!(plan.estimated_ops > 0.0);
+        // Non-recursive plans carry no cutoff.
+        let block = planner.plan(&SearchJob::new(1, 1 << 20, 4, 12345)).unwrap();
+        assert_eq!(block.sv_cutoff, 0);
+    }
+
+    #[test]
+    fn auto_never_routes_to_the_recursive_backend() {
+        let planner = Planner::new();
+        for n_exp in [10u32, 16, 24, 30] {
+            let job = SearchJob::new(0, 1u64 << n_exp, 4, 7);
+            let plan = planner.plan(&job).expect("plans");
+            assert_ne!(
+                plan.backend,
+                Backend::Recursive,
+                "full-address search must be explicit (n = 2^{n_exp})"
+            );
+        }
+    }
+
+    #[test]
+    fn recursive_estimate_accumulates_per_level_error() {
+        let planner = Planner::new();
+        // A generous budget is met even accumulated over O(log N) levels...
+        let generous = SearchJob::new(0, 1 << 18, 4, 5)
+            .with_backend(BackendHint::Recursive)
+            .with_error_target(0.2);
+        assert!(planner.estimate_recursive(&generous).0.meets_error_target);
+        // ...an impossible one is not (quantum levels keep a residual).
+        let strict = generous.with_error_target(0.0);
+        assert!(!planner.estimate_recursive(&strict).0.meets_error_target);
+    }
+
+    #[test]
+    fn explain_includes_the_recursive_row() {
+        let planner = Planner::new();
+        let costs = planner
+            .explain(&SearchJob::new(0, 1 << 16, 4, 3))
+            .expect("valid job");
+        assert_eq!(costs.len(), Backend::ALL.len());
+        let recursive = costs
+            .iter()
+            .find(|e| e.backend == Backend::Recursive)
+            .expect("recursive row present");
+        assert!(recursive.feasible);
+        let reduced = costs
+            .iter()
+            .find(|e| e.backend == Backend::Reduced)
+            .unwrap();
+        assert!(
+            recursive.ops > reduced.ops,
+            "resolving the full address costs more than one block query"
+        );
     }
 
     #[test]

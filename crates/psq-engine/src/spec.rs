@@ -26,6 +26,12 @@ pub enum BackendHint {
     ClassicalDeterministic,
     /// Classical randomized block-exclusion scan (zero error).
     ClassicalRandomized,
+    /// Recursive full-address search (`psq_partial::recursive`): iterated
+    /// partial search resolves the *entire* address, one block of bits per
+    /// level, rather than just the top-level block. A full-address job; the
+    /// result carries `address_found`. Never chosen by `Auto` — it answers
+    /// a different question than a block query.
+    Recursive,
 }
 
 /// The backend a job actually *ran on* (the planner's resolution of the
@@ -43,11 +49,29 @@ pub enum Backend {
     ClassicalDeterministic,
     /// Randomized classical scan: zero error, `N/2·(1 − 1/K²)` expected.
     ClassicalRandomized,
+    /// Recursive full-address search: `O(log N)` partial-search levels, each
+    /// on a database `K` times smaller, totalling `α_K·√N·√K/(√K − 1)`
+    /// queries plus an `O(N^{1/3})` brute-force tail. Resolves the exact
+    /// address, not just the block.
+    Recursive,
 }
 
 impl Backend {
     /// All backends, in the order the planner considers them.
-    pub const ALL: [Backend; 5] = [
+    pub const ALL: [Backend; 6] = [
+        Backend::Reduced,
+        Backend::StateVector,
+        Backend::Circuit,
+        Backend::ClassicalDeterministic,
+        Backend::ClassicalRandomized,
+        Backend::Recursive,
+    ];
+
+    /// The backends `Auto` chooses between: every backend that answers the
+    /// *block* question. [`Backend::Recursive`] is excluded — it resolves
+    /// the full address, a strictly more expensive (and semantically
+    /// different) request that clients must ask for explicitly.
+    pub const AUTO_CANDIDATES: [Backend; 5] = [
         Backend::Reduced,
         Backend::StateVector,
         Backend::Circuit,
@@ -63,6 +87,7 @@ impl Backend {
             Backend::Circuit => "circuit",
             Backend::ClassicalDeterministic => "classical_deterministic",
             Backend::ClassicalRandomized => "classical_randomized",
+            Backend::Recursive => "recursive",
         }
     }
 }
@@ -106,6 +131,15 @@ impl SearchJob {
             seed: id.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
             backend: BackendHint::Auto,
         }
+    }
+
+    /// A full-address job: like [`SearchJob::new`], but asking the engine to
+    /// resolve the *entire* address by recursive partial search (one block
+    /// of `log2 K` bits per level) instead of just the top-level block.
+    /// Equivalent to `SearchJob::new(..).with_backend(BackendHint::Recursive)`
+    /// and to posting `"full_address": true` on the NDJSON serving protocol.
+    pub fn full_address(id: u64, n: u64, k: u64, target: u64) -> Self {
+        Self::new(id, n, k, target).with_backend(BackendHint::Recursive)
     }
 
     /// Sets the backend hint.
@@ -179,12 +213,24 @@ pub struct SearchResult {
     /// Backend the planner resolved and the executor ran.
     pub backend: Backend,
     /// The block the engine reports (majority vote over trials; ties go to
-    /// the lowest block index).
+    /// the lowest block index). On [`Backend::Recursive`] this is the block
+    /// containing `address_found` — the top `log2 K` bits of the answer.
     pub block_found: u64,
     /// The block that actually contains the marked item.
     pub true_block: u64,
-    /// Whether `block_found == true_block`.
+    /// Whether the job was answered correctly: `block_found == true_block`
+    /// for block queries, *exact address equality* on
+    /// [`Backend::Recursive`] (the stricter full-address criterion).
     pub correct: bool,
+    /// The full address the recursion resolved (majority vote over trials);
+    /// `None` on every block-resolution backend. This is what
+    /// distinguishes a full-address result from a block result on the wire.
+    pub address_found: Option<u64>,
+    /// Partial-search levels run across all trials (`0` on non-recursive
+    /// backends); per-level query detail is available through
+    /// `psq_partial::recursive::LevelReport` when driving the runner
+    /// directly.
+    pub levels: u32,
     /// Oracle queries charged across all trials.
     pub queries: u64,
     /// Estimated probability that one trial reports the right block:
@@ -204,13 +250,30 @@ pub struct SearchResult {
 impl SearchResult {
     /// The deterministic portion of the result (everything but wall time),
     /// as a tuple suitable for equality assertions in tests.
-    pub fn deterministic_fields(&self) -> (u64, Backend, u64, u64, bool, u64, f64, u32, u32) {
+    #[allow(clippy::type_complexity)]
+    pub fn deterministic_fields(
+        &self,
+    ) -> (
+        u64,
+        Backend,
+        u64,
+        u64,
+        bool,
+        Option<u64>,
+        u32,
+        u64,
+        f64,
+        u32,
+        u32,
+    ) {
         (
             self.job_id,
             self.backend,
             self.block_found,
             self.true_block,
             self.correct,
+            self.address_found,
+            self.levels,
             self.queries,
             self.success_estimate,
             self.trials,
@@ -231,16 +294,17 @@ pub struct RejectedJob {
 /// Deterministically generates a mixed batch exercising every backend.
 ///
 /// Jobs cycle through backend hints (including `Auto` at several error
-/// targets) with sizes appropriate to each backend: huge databases for the
-/// reduced simulator, power-of-two mid-size ones for the state-vector and
-/// circuit paths, small ones for the classical scans.
+/// targets and recursive full-address requests) with sizes appropriate to
+/// each backend: huge databases for the reduced simulator, power-of-two
+/// mid-size ones for the state-vector and circuit paths, small ones for the
+/// classical scans.
 pub fn generate_mixed_batch(count: usize, seed: u64) -> Vec<SearchJob> {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);
     let mut jobs = Vec::with_capacity(count);
     for id in 0..count as u64 {
-        let job = match id % 8 {
+        let job = match id % 9 {
             // Reduced: sizes far beyond any state vector.
             0 => {
                 let exp = rng.gen_range(20u32..40);
@@ -285,10 +349,19 @@ pub fn generate_mixed_batch(count: usize, seed: u64) -> Vec<SearchJob> {
                 SearchJob::new(id, n, k, rng.gen_range(0..n))
             }
             // Auto demanding zero error → planner must go classical.
-            _ => {
+            7 => {
                 let n = rng.gen_range(32u64..512) * 4;
                 let k = [2u64, 4][rng.gen_range(0..2usize)];
                 SearchJob::new(id, n, k, rng.gen_range(0..n)).with_error_target(0.0)
+            }
+            // Full-address: recursive descent over power-of-two levels
+            // (reduced rotation form at the top, exact state-vector kernels
+            // below the planner's cutoff).
+            _ => {
+                let exp = rng.gen_range(12u32..22);
+                let n = 1u64 << exp;
+                let k = 1u64 << rng.gen_range(1u32..3);
+                SearchJob::full_address(id, n, k, rng.gen_range(0..n))
             }
         };
         jobs.push(job.with_trials(rng.gen_range(1u32..4)).with_seed(rng.gen()));
@@ -318,6 +391,8 @@ mod tests {
             block_found: 3,
             true_block: 3,
             correct: true,
+            address_found: None,
+            levels: 0,
             queries: 41,
             success_estimate: 0.9991,
             trials: 2,
@@ -327,6 +402,16 @@ mod tests {
         let json = serde_json::to_string(&result).expect("serialise");
         let back: SearchResult = serde_json::from_str(&json).expect("deserialise");
         assert_eq!(result, back);
+        // A full-address result round-trips its resolved address.
+        let full = SearchResult {
+            backend: Backend::Recursive,
+            address_found: Some(777),
+            levels: 5,
+            ..result
+        };
+        let json = serde_json::to_string(&full).expect("serialise");
+        let back: SearchResult = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(full, back);
     }
 
     #[test]
@@ -376,9 +461,21 @@ mod tests {
             BackendHint::Circuit,
             BackendHint::ClassicalDeterministic,
             BackendHint::ClassicalRandomized,
+            BackendHint::Recursive,
             BackendHint::Auto,
         ] {
             assert!(a.iter().any(|j| j.backend == hint), "missing {hint:?}");
         }
+    }
+
+    #[test]
+    fn full_address_constructor_sets_the_recursive_hint() {
+        let job = SearchJob::full_address(3, 1 << 12, 4, 99);
+        assert_eq!(job.backend, BackendHint::Recursive);
+        assert_eq!(
+            SearchJob::new(3, 1 << 12, 4, 99).with_backend(BackendHint::Recursive),
+            job
+        );
+        job.validate().expect("full-address jobs validate normally");
     }
 }

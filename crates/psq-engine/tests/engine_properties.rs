@@ -7,8 +7,10 @@
 
 use proptest::prelude::*;
 use psq_engine::{BackendHint, Engine, EngineConfig, Planner, SearchJob};
-use psq_partial::PartialSearch;
+use psq_partial::recursive::derive_seed;
+use psq_partial::{PartialSearch, RecursiveSearch};
 use psq_sim::oracle::{Database, Partition};
+use psq_sim::scratch::AmplitudeScratch;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -130,6 +132,42 @@ proptest! {
     }
 
     #[test]
+    fn recursive_one_level_cutoff_matches_flat_partial_search((n, k, target, seed) in job_shape()) {
+        // With the brute-force cutoff raised to the block size, the descent
+        // degenerates to exactly one partial-search level plus the tail —
+        // and that level must be *bit-identical* to a flat single-level
+        // PartialSearch run with the same derived seed (the recursion adds
+        // bookkeeping, never different dynamics).
+        let search = RecursiveSearch {
+            k,
+            brute_force_cutoff: n / k,
+            statevector_cutoff: n, // keep the single level on the exact kernels
+            partial: PartialSearch::tuned(),
+        };
+        let mut scratch = AmplitudeScratch::new();
+        let run = search.run_seeded(n, target, seed, &mut scratch);
+        prop_assert_eq!(run.levels.len(), 2, "one quantum level + the tail");
+
+        let db = Database::new(n, target);
+        let partition = Partition::new(n, k);
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0));
+        let flat = PartialSearch::tuned().run_statevector(&db, &partition, &mut rng);
+        prop_assert_eq!(run.levels[0].block_found, flat.outcome.reported_block);
+        prop_assert_eq!(run.levels[0].queries, flat.outcome.queries);
+        prop_assert_eq!(
+            run.levels[0].success_probability.to_bits(),
+            flat.success_probability.to_bits()
+        );
+        // The tail brute-forces the block the flat search reported.
+        let block_range = partition.block_range(flat.outcome.reported_block);
+        prop_assert!(block_range.contains(&run.outcome.reported_target));
+        prop_assert_eq!(
+            run.outcome.queries,
+            flat.outcome.queries + run.levels[1].queries
+        );
+    }
+
+    #[test]
     fn plans_are_cached_deterministically((n, k, target, _seed) in job_shape(), err in 0.001f64..0.2) {
         let job = SearchJob::new(0, n, k, target).with_error_target(err);
         let planner = Planner::new();
@@ -143,6 +181,43 @@ proptest! {
         // A fresh planner computes the identical schedule from scratch.
         let fresh = Planner::new().plan(&job).expect("fresh plan");
         prop_assert_eq!(first, fresh);
+    }
+}
+
+/// Recursive full-address jobs are pure functions of their spec: a
+/// multi-trial job spanning reduced and state-vector levels must come back
+/// bit-identical from 1-, 2- and 4-thread engines (per-level and per-trial
+/// seeding leaves the scheduler no influence over the descent).
+#[test]
+fn recursive_jobs_are_bit_identical_across_engine_thread_counts() {
+    let job = SearchJob::full_address(0, 1 << 18, 4, 201_773)
+        .with_seed(424_242)
+        .with_trials(2);
+    let reference = Engine::new(EngineConfig {
+        threads: Some(1),
+        result_cache: false,
+        ..EngineConfig::default()
+    })
+    .run_job(&job)
+    .expect("single-threaded run");
+    assert_eq!(reference.address_found, Some(201_773));
+    assert!(reference.levels > 0);
+    for threads in [2usize, 4] {
+        let engine = Engine::new(EngineConfig {
+            threads: Some(threads),
+            result_cache: false,
+            ..EngineConfig::default()
+        });
+        let result = engine.run_job(&job).expect("multi-threaded run");
+        assert_eq!(
+            reference.deterministic_fields(),
+            result.deterministic_fields(),
+            "{threads}-thread engine diverged on a full-address job"
+        );
+        assert_eq!(
+            reference.success_estimate.to_bits(),
+            result.success_estimate.to_bits()
+        );
     }
 }
 

@@ -155,6 +155,26 @@ impl PartialSearch {
         partition: &Partition,
         rng: &mut R,
     ) -> PartialRun {
+        let mut scratch = psq_sim::scratch::AmplitudeScratch::new();
+        self.run_statevector_in(db, partition, rng, &mut scratch)
+    }
+
+    /// As [`PartialSearch::run_statevector`], but materialising the state
+    /// inside a recycled [`AmplitudeScratch`] buffer and returning the
+    /// planes to it afterwards. Callers that run many state-vector searches
+    /// in sequence — the recursive full-address runner descends through
+    /// `O(log N)` levels, and the engine repeats trials — reuse one scratch
+    /// and perform O(1) allocations overall; results are bit-identical to
+    /// the allocating entry point.
+    ///
+    /// [`AmplitudeScratch`]: psq_sim::scratch::AmplitudeScratch
+    pub fn run_statevector_in<R: Rng + ?Sized>(
+        &self,
+        db: &Database,
+        partition: &Partition,
+        rng: &mut R,
+        scratch: &mut psq_sim::scratch::AmplitudeScratch,
+    ) -> PartialRun {
         assert_eq!(
             db.size(),
             partition.size(),
@@ -166,7 +186,7 @@ impl PartialSearch {
         let span = db.counter().span();
         let mut trace = self.record_trace.then(StageTrace::new);
 
-        let mut psi = StateVector::uniform(db.size() as usize);
+        let mut psi = StateVector::uniform_in(db.size() as usize, scratch);
         if let Some(t) = trace.as_mut() {
             t.record_state("initial uniform superposition", &psi, db, partition);
         }
@@ -199,6 +219,7 @@ impl PartialSearch {
         let true_block = partition.block_of(db.target());
         let success_probability = psi.block_probability(partition, true_block);
         let reported_block = measure::sample_block(&psi, partition, rng);
+        psi.recycle_into(scratch);
         PartialRun {
             outcome: PartialSearchOutcome {
                 reported_block,

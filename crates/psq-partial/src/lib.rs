@@ -20,8 +20,10 @@
 //!   state-vector simulator and on the block-symmetric reduced simulator;
 //! * [`baseline`] — the naive block-elimination baseline of Section 1.2
 //!   (savings of only `O(1/K)`);
-//! * [`recursive`] — full search from repeated partial search, the reduction
-//!   behind Theorem 2's lower bound;
+//! * [`recursive`] — full-address search from repeated partial search: the
+//!   reduction behind Theorem 2's lower bound, promoted to a production
+//!   runner with per-level backend selection, deterministic per-level
+//!   seeding and scratch-buffer reuse (the engine's `Recursive` backend);
 //! * [`example12`] — the twelve-item, three-block worked example of Figure 1,
 //!   stage by stage;
 //! * [`robustness`] — an extension beyond the paper: how the algorithm
@@ -41,4 +43,7 @@ pub use baseline::{naive_coefficient, naive_partial_search, naive_queries};
 pub use model::{full_search_coefficient, Model, ModelPoint};
 pub use optimizer::{optimal_epsilon, table1, EpsilonOptimum, TableRow};
 pub use plan::SearchPlan;
-pub use recursive::{reduction_query_model, RecursiveOutcome, RecursiveSearch};
+pub use recursive::{
+    derive_seed, reduction_levels, reduction_query_model, theorem2_lower_bound, LevelKind,
+    LevelReport, RecursiveOutcome, RecursiveSearch,
+};

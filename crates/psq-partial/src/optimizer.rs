@@ -10,6 +10,8 @@
 use crate::model::Model;
 use psq_math::optimize::minimize;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
 
 /// The optimiser's answer for one block count `K`.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -49,8 +51,28 @@ pub const PAPER_UPPER_COEFFICIENTS: [f64; 6] = [0.555, 0.592, 0.615, 0.633, 0.66
 /// [`PAPER_TABLE_KS`].
 pub const PAPER_LOWER_COEFFICIENTS: [f64; 6] = [0.23, 0.332, 0.393, 0.434, 0.508, 0.647];
 
-/// Minimises the asymptotic query coefficient over `ε` for block count `k`.
+/// Memoised `K → EpsilonOptimum` results: the minimisation costs ~10⁵
+/// closed-form evaluations (~100 µs), and hot callers re-ask for the same
+/// handful of `K` values constantly — every level of a recursive
+/// full-address descent re-plans, and the engine's tuned schedules call
+/// through here per candidate. The computation is a deterministic pure
+/// function of `k`, so a racing duplicate insert is harmless.
+fn optimum_cache() -> &'static RwLock<HashMap<u64, EpsilonOptimum>> {
+    static CACHE: OnceLock<RwLock<HashMap<u64, EpsilonOptimum>>> = OnceLock::new();
+    CACHE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Minimises the asymptotic query coefficient over `ε` for block count `k`
+/// (memoised per `k`; see `optimum_cache` above).
 pub fn optimal_epsilon(k: f64) -> EpsilonOptimum {
+    let key = k.to_bits();
+    if let Some(hit) = optimum_cache()
+        .read()
+        .expect("optimum cache poisoned")
+        .get(&key)
+    {
+        return *hit;
+    }
     let model = Model::new(k);
     // For large K the feasible region shrinks like ~1.3/√K, so the coarse
     // grid must be fine enough to land inside it before the golden-section
@@ -62,12 +84,17 @@ pub fn optimal_epsilon(k: f64) -> EpsilonOptimum {
         2000,
         1e-12,
     );
-    EpsilonOptimum {
+    let optimum = EpsilonOptimum {
         k,
         epsilon: min.x,
         coefficient: min.value,
         savings_constant: Model::savings_constant(min.value),
-    }
+    };
+    optimum_cache()
+        .write()
+        .expect("optimum cache poisoned")
+        .insert(key, optimum);
+    optimum
 }
 
 /// Builds one table row for block count `k`.

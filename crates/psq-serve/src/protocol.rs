@@ -6,7 +6,12 @@
 //!   (`{"id":…,"n":…,"k":…,"target":…,"error_target":…,"trials":…,
 //!   "seed":…,"backend":…}`). The `id` is client-assigned and echoed on the
 //!   matching response; responses may arrive in any order, so clients
-//!   correlate by id, never by position.
+//!   correlate by id, never by position. An optional `"full_address": true`
+//!   field asks for *full-address* resolution: the job routes to the
+//!   engine's recursive backend (equivalent to `"backend":"Recursive"`;
+//!   combining the flag with a different explicit backend is rejected as a
+//!   parse error) and the result line carries the resolved `address_found`
+//!   instead of just a block.
 //! * a control command — `{"cmd":"metrics"}` (snapshot the serving metrics)
 //!   or `{"cmd":"shutdown"}` (drain in-flight work and stop the server).
 //!
@@ -119,9 +124,28 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
         };
         return Ok(Some(Request::Command(command)));
     }
-    SearchJob::deserialize(&value)
-        .map(|job| Some(Request::Job(Box::new(job))))
-        .map_err(|e| format!("invalid job: {e}"))
+    let mut job = SearchJob::deserialize(&value).map_err(|e| format!("invalid job: {e}"))?;
+    if let Some(flag) = object.get("full_address") {
+        use psq_engine::BackendHint;
+        let full_address = flag
+            .as_bool()
+            .ok_or_else(|| "\"full_address\" must be a boolean".to_string())?;
+        if full_address {
+            // The convenience spelling of `"backend":"Recursive"`: resolve
+            // the whole address by recursive partial search. An explicit
+            // *other* backend contradicts the flag — reject rather than
+            // silently override the client's request.
+            if !matches!(job.backend, BackendHint::Auto | BackendHint::Recursive) {
+                return Err(format!(
+                    "\"full_address\": true conflicts with explicit backend {:?} \
+                     (full-address resolution runs on the Recursive backend)",
+                    job.backend
+                ));
+            }
+            job.backend = BackendHint::Recursive;
+        }
+    }
+    Ok(Some(Request::Job(Box::new(job))))
 }
 
 /// One response line.
@@ -268,6 +292,51 @@ mod tests {
     }
 
     #[test]
+    fn full_address_field_routes_to_the_recursive_backend() {
+        let job = SearchJob::new(9, 1 << 12, 4, 77);
+        let line = serde_json::to_string(&job).expect("serialises");
+        // Splice the flag into the object (the serialised job has no
+        // full_address key of its own).
+        let flagged = format!("{},\"full_address\":true}}", &line[..line.len() - 1]);
+        match parse_request(&flagged).expect("parses") {
+            Some(Request::Job(parsed)) => {
+                assert_eq!(parsed.backend, BackendHint::Recursive);
+                assert_eq!(*parsed, job.with_backend(BackendHint::Recursive));
+            }
+            other => panic!("expected a job request, got {other:?}"),
+        }
+        // `false` leaves the job's own backend hint alone.
+        let unflagged = format!("{},\"full_address\":false}}", &line[..line.len() - 1]);
+        match parse_request(&unflagged).expect("parses") {
+            Some(Request::Job(parsed)) => assert_eq!(parsed.backend, BackendHint::Auto),
+            other => panic!("expected a job request, got {other:?}"),
+        }
+        // A malformed flag is a parse error, not a silent default.
+        let bad = format!("{},\"full_address\":\"yes\"}}", &line[..line.len() - 1]);
+        assert!(parse_request(&bad).is_err());
+        // A contradictory explicit backend is rejected, never overridden.
+        let conflicted =
+            serde_json::to_string(&job.with_backend(BackendHint::Reduced)).expect("serialises");
+        let conflicted = format!(
+            "{},\"full_address\":true}}",
+            &conflicted[..conflicted.len() - 1]
+        );
+        let err = parse_request(&conflicted).expect_err("conflict is an error");
+        assert!(err.contains("conflicts"), "reason explains: {err}");
+        // Redundant spelling (explicit Recursive + flag) stays accepted.
+        let redundant =
+            serde_json::to_string(&job.with_backend(BackendHint::Recursive)).expect("serialises");
+        let redundant = format!(
+            "{},\"full_address\":true}}",
+            &redundant[..redundant.len() - 1]
+        );
+        match parse_request(&redundant).expect("parses") {
+            Some(Request::Job(parsed)) => assert_eq!(parsed.backend, BackendHint::Recursive),
+            other => panic!("expected a job request, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn command_lines_parse_and_blank_lines_skip() {
         assert_eq!(
             parse_request("{\"cmd\":\"metrics\"}").expect("parses"),
@@ -292,6 +361,8 @@ mod tests {
             block_found: 1,
             true_block: 1,
             correct: true,
+            address_found: None,
+            levels: 0,
             queries: 77,
             success_estimate: 0.993,
             trials: 2,
@@ -344,6 +415,8 @@ mod tests {
             block_found: 0,
             true_block: 0,
             correct: true,
+            address_found: None,
+            levels: 0,
             queries: 1,
             success_estimate: 1.0,
             trials: 1,

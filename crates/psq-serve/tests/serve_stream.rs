@@ -14,11 +14,14 @@ use std::io::{BufRead, BufReader, Write};
 
 /// The fields a streamed result must share with direct batch execution
 /// (everything deterministic except the client-rewritten `job_id`).
-fn comparable(result: &SearchResult) -> (u64, u64, bool, u64, f64, u32, u32) {
+#[allow(clippy::type_complexity)]
+fn comparable(result: &SearchResult) -> (u64, u64, bool, Option<u64>, u32, u64, f64, u32, u32) {
     (
         result.block_found,
         result.true_block,
         result.correct,
+        result.address_found,
+        result.levels,
         result.queries,
         result.success_estimate,
         result.trials,
@@ -338,4 +341,72 @@ fn selftest_smoke_passes() {
         .status()
         .expect("spawn psq-serve");
     assert!(status.success(), "selftest exits 0 (got {status})");
+}
+
+/// A full-address job round-trips the pipe transport: the `full_address`
+/// NDJSON field routes it to the recursive backend, it coalesces with
+/// ordinary block jobs, and the tagged result carries the resolved address —
+/// bit-identical to running the same job through the engine directly.
+#[test]
+fn full_address_jobs_round_trip_the_pipe_transport() {
+    let server = Server::start(ServeConfig {
+        engine: EngineConfig {
+            threads: Some(2),
+            ..EngineConfig::default()
+        },
+        ..ServeConfig::default()
+    });
+    let target = 190_321u64;
+    let full = SearchJob::full_address(7, 1 << 18, 4, target).with_seed(99);
+    // One explicit-backend spelling, one `full_address` flag spelling, and
+    // an ordinary block job riding in the same stream.
+    let flagged = {
+        let line = serde_json::to_string(&SearchJob::new(8, 1 << 18, 4, target).with_seed(99))
+            .expect("serialises");
+        format!("{},\"full_address\":true}}", &line[..line.len() - 1])
+    };
+    let input = format!(
+        "{}\n{flagged}\n{}\n",
+        serde_json::to_string(&full).expect("serialises"),
+        serde_json::to_string(&SearchJob::new(9, 1 << 18, 4, target)).expect("serialises"),
+    );
+    let sink = psq_serve::testio::SharedSink::default();
+    let summary = server
+        .serve_pipe(input.as_bytes(), sink.clone())
+        .expect("pipe session");
+    assert_eq!(summary.lines_in, 3);
+
+    let mut by_id: HashMap<u64, SearchResult> = HashMap::new();
+    for line in sink.lines().iter() {
+        match parse_response(line).expect("well-formed response line") {
+            Response::Result(result) => {
+                by_id.insert(result.job_id, *result);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(by_id.len(), 3, "every line answered once");
+
+    // Both full-address spellings resolved the exact address...
+    for id in [7u64, 8] {
+        let result = &by_id[&id];
+        assert_eq!(result.backend, psq_engine::Backend::Recursive, "job {id}");
+        assert_eq!(result.address_found, Some(target), "job {id}");
+        assert!(result.levels > 0, "job {id} descended levels");
+        assert!(result.correct, "job {id}");
+    }
+    // ...and identically to direct engine execution (the two spellings are
+    // the same deterministic spec, so they also dedup to one execution).
+    let direct = Engine::new(EngineConfig {
+        threads: Some(1),
+        ..EngineConfig::default()
+    })
+    .run_job(&full)
+    .expect("direct run");
+    assert_eq!(comparable(&by_id[&7]), comparable(&direct));
+    assert_eq!(comparable(&by_id[&8]), comparable(&direct));
+    // The block job in the same stream stayed a block result.
+    assert_eq!(by_id[&9].address_found, None);
+    assert_eq!(by_id[&9].levels, 0);
+    server.finish();
 }

@@ -50,6 +50,14 @@ impl AmplitudeScratch {
         buffer
     }
 
+    /// Takes the raw buffer without filling it, for callers that overwrite
+    /// every element themselves (e.g. [`StateVector::uniform_in`], which
+    /// resizes the planes to the level it is about to simulate). The buffer
+    /// may be empty on the first take; it keeps its allocation afterwards.
+    pub(crate) fn take_raw(&mut self) -> SoaVec {
+        std::mem::take(&mut self.buffer)
+    }
+
     /// Returns a buffer to the scratch (the swap-in half). Keeps whichever
     /// of the current and returned allocations is larger.
     pub fn recycle(&mut self, buffer: SoaVec) {

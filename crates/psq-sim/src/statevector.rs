@@ -72,6 +72,37 @@ impl StateVector {
         }
     }
 
+    /// The uniform superposition over `n` addresses, built inside a
+    /// recycled [`AmplitudeScratch`] buffer instead of a fresh allocation.
+    ///
+    /// This is the constructor for callers that materialise many states of
+    /// varying dimension in sequence — the recursive full-address runner
+    /// builds one state per level, each `K` times smaller than the last, so
+    /// after the top level every take fits the recycled allocation and the
+    /// whole descent performs O(1) allocations. Pair with
+    /// [`StateVector::recycle_into`] when the state is no longer needed.
+    ///
+    /// [`AmplitudeScratch`]: crate::scratch::AmplitudeScratch
+    pub fn uniform_in(n: usize, scratch: &mut crate::scratch::AmplitudeScratch) -> Self {
+        assert!(n > 0, "state vector needs at least one basis state");
+        let amp = 1.0 / (n as f64).sqrt();
+        let mut planes = scratch.take_raw();
+        planes.re.clear();
+        planes.re.resize(n, amp);
+        planes.im.clear();
+        planes.im.resize(n, 0.0);
+        Self {
+            planes,
+            real_only: true,
+        }
+    }
+
+    /// Hands this state's plane buffers back to a scratch for reuse (the
+    /// counterpart of [`StateVector::uniform_in`]).
+    pub fn recycle_into(self, scratch: &mut crate::scratch::AmplitudeScratch) {
+        scratch.recycle(self.planes);
+    }
+
     /// The computational basis state `|index⟩`.
     pub fn basis(n: usize, index: usize) -> Self {
         assert!(

@@ -28,13 +28,15 @@ fn main() {
     );
     for (i, level) in report.levels.iter().enumerate() {
         println!(
-            "  level {i}: sub-database of {:>6} items, {:>4} queries ({})",
+            "  level {i}: sub-database of {:>6} items, {:>4} queries, {:>5} cumulative ({})",
             level.size,
             level.queries,
-            if level.brute_force {
-                "classical brute force"
-            } else {
-                "quantum partial search"
+            level.cumulative_queries,
+            match level.kind {
+                partial_quantum_search::partial::LevelKind::Reduced => "reduced rotation form",
+                partial_quantum_search::partial::LevelKind::StateVector =>
+                    "exact state-vector kernels",
+                partial_quantum_search::partial::LevelKind::BruteForce => "classical brute force",
             }
         );
     }

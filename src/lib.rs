@@ -30,8 +30,8 @@
 //! | [`classical`] | classical full/partial search and the Appendix-A bound (`psq-classical`) |
 //! | [`partial`] | the GRK partial-search algorithm, its query model, optimiser, baselines (`psq-partial`) |
 //! | [`bounds`] | Theorem 2, Theorem 3 and the Appendix-B hybrid-argument audit (`psq-bounds`) |
-//! | [`engine`] | batched multi-backend execution engine: job specs, cost-model planner with a memoised plan cache, worker-pool executor, metrics (`psq-engine`) |
-//! | [`serve`] | streaming multi-client serving layer: NDJSON protocol, micro-batching coalescer, pipe + TCP transports, admission control (`psq-serve`) |
+//! | [`engine`] | batched multi-backend execution engine: job specs, cost-model planner with a memoised plan cache, worker-pool executor, recursive full-address backend, metrics (`psq-engine`) |
+//! | [`serve`] | streaming multi-client serving layer: NDJSON protocol (including `full_address` requests), micro-batching coalescer, pipe + TCP transports, admission control (`psq-serve`) |
 //!
 //! ## Quickstart
 //!
@@ -78,7 +78,8 @@ pub mod prelude {
     };
     pub use psq_grover::{ExactPlan, MarkedSet, Schedule};
     pub use psq_partial::{
-        EpsilonChoice, Model, PartialRun, PartialSearch, RecursiveSearch, SearchPlan,
+        EpsilonChoice, LevelKind, LevelReport, Model, PartialRun, PartialSearch, RecursiveOutcome,
+        RecursiveSearch, SearchPlan,
     };
     pub use psq_serve::{CoalescerConfig, ServeConfig, ServeMetrics, Server};
     pub use psq_sim::{

@@ -23,8 +23,13 @@ fn json_batch_of_mixed_jobs_serves_end_to_end() {
     assert!(report.rejected.is_empty());
     assert_eq!(
         report.metrics.backend_jobs.backends_used(),
-        5,
-        "mix spans all backends"
+        6,
+        "mix spans all backends, including recursive full-address"
+    );
+    assert!(
+        report.metrics.backend_jobs.recursive > 0
+            && report.metrics.recursive_levels > report.metrics.backend_jobs.recursive,
+        "full-address jobs descend through multiple partial-search levels"
     );
     assert!(
         report.metrics.jobs_correct >= 118,

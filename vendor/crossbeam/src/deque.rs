@@ -382,7 +382,7 @@ impl<T> Injector<T> {
 
     /// Steals a batch of elements, moving all but the first into `dest`'s
     /// local deque and returning the first. Takes at most half the queue
-    /// (rounded up) and at most [`MAX_BATCH`] elements, like upstream.
+    /// (rounded up) and at most `MAX_BATCH` (32) elements, like upstream.
     pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
         // The batch is moved out under the lock into stack space and pushed
         // into `dest` only after the guard drops: `Worker::push` may grow

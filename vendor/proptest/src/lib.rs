@@ -240,7 +240,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Length specification for [`vec`]: a range or an exact size.
+    /// Length specification for [`vec()`]: a range or an exact size.
     pub trait SizeRange {
         /// Draws a length.
         fn pick(&self, rng: &mut StdRng) -> usize;
@@ -270,7 +270,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S, R> {
         element: S,
         size: R,

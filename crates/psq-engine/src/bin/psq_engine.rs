@@ -144,6 +144,11 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Err(message) = options.engine.install_trace() {
+        eprintln!("psq-engine: {message}");
+        return ExitCode::FAILURE;
+    }
+
     let engine = Engine::new(options.engine.engine_config());
 
     if options.explain {
@@ -170,6 +175,42 @@ fn main() -> ExitCode {
     }
 
     let report = engine.run_batch(&jobs);
+
+    if options.explain {
+        // The pre-run table above is the cost *model*; this is what the
+        // batch actually measured, from the psq-obs histograms.
+        eprintln!("observed per-backend execution latency (us):");
+        for (backend, hist) in &report.metrics.backend_latency {
+            eprintln!(
+                "  {:<24} jobs {:>6}  p50 {:>10.1}  p90 {:>10.1}  p99 {:>10.1}  max {:>10.1}",
+                backend.label(),
+                hist.count,
+                hist.p50(),
+                hist.p90(),
+                hist.p99(),
+                hist.max_us
+            );
+        }
+        let obs = engine.obs_snapshot();
+        eprintln!(
+            "  {:<24} jobs {:>6}  p50 {:>10.1}  p90 {:>10.1}  p99 {:>10.1}  max {:>10.1}",
+            "plan",
+            obs.plan_us.count,
+            obs.plan_us.p50(),
+            obs.plan_us.p90(),
+            obs.plan_us.p99(),
+            obs.plan_us.max_us
+        );
+        eprintln!(
+            "  {:<24} jobs {:>6}  p50 {:>10.1}  p90 {:>10.1}  p99 {:>10.1}  max {:>10.1}",
+            "cache-lookup",
+            obs.cache_lookup_us.count,
+            obs.cache_lookup_us.p50(),
+            obs.cache_lookup_us.p90(),
+            obs.cache_lookup_us.p99(),
+            obs.cache_lookup_us.max_us
+        );
+    }
 
     let json = if options.metrics_only {
         if options.pretty {

@@ -19,10 +19,12 @@ pub const ENGINE_FLAGS_HELP: &str = "  \
   --result-cache-capacity N    approximate bound on cached results before
                                second-chance eviction kicks in (default 65536)
   --result-cache-ttl-ms N      expire cached results N milliseconds after
-                               insertion (default: keep until evicted)";
+                               insertion (default: keep until evicted)
+  --trace[=stderr|FILE]        emit per-stage NDJSON trace events
+                               ({\"type\":\"trace\",...}) to stderr or FILE";
 
 /// Engine-construction flags shared by every engine-backed binary.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EngineFlags {
     /// `--threads N`; `None` sizes the pool to the machine.
     pub threads: Option<usize>,
@@ -32,6 +34,9 @@ pub struct EngineFlags {
     pub result_cache_capacity: usize,
     /// `--result-cache-ttl-ms N`; `None` keeps results until evicted.
     pub result_cache_ttl_ms: Option<u64>,
+    /// `--trace[=stderr|FILE]`: where the NDJSON trace stream goes
+    /// (`"stderr"` or a file path); `None` leaves tracing disabled.
+    pub trace: Option<String>,
 }
 
 impl Default for EngineFlags {
@@ -41,6 +46,7 @@ impl Default for EngineFlags {
             result_cache: true,
             result_cache_capacity: DEFAULT_RESULT_CACHE_CAPACITY,
             result_cache_ttl_ms: None,
+            trace: None,
         }
     }
 }
@@ -72,7 +78,27 @@ impl EngineFlags {
                 self.result_cache_ttl_ms = Some(require_value(arg, args)?);
                 Ok(true)
             }
-            _ => Ok(false),
+            "--trace" => {
+                self.trace = Some("stderr".to_string());
+                Ok(true)
+            }
+            _ => match arg.strip_prefix("--trace=") {
+                Some("") => Err("--trace= needs a target (stderr or a file path)".to_string()),
+                Some(target) => {
+                    self.trace = Some(target.to_string());
+                    Ok(true)
+                }
+                None => Ok(false),
+            },
+        }
+    }
+
+    /// Installs the NDJSON trace sink these flags ask for (a no-op without
+    /// `--trace`). Call once at binary start-up, before serving jobs.
+    pub fn install_trace(&self) -> Result<(), String> {
+        match &self.trace {
+            Some(target) => psq_obs::trace::install_target(Some(target)),
+            None => Ok(()),
         }
     }
 
@@ -151,6 +177,26 @@ mod tests {
     }
 
     #[test]
+    fn parses_the_trace_flag_forms() {
+        assert_eq!(parse(&[]).expect("no flags").trace, None);
+        assert_eq!(
+            parse(&["--trace"]).expect("bare form").trace,
+            Some("stderr".to_string())
+        );
+        assert_eq!(
+            parse(&["--trace=stderr"]).expect("explicit stderr").trace,
+            Some("stderr".to_string())
+        );
+        assert_eq!(
+            parse(&["--trace=/tmp/out.ndjson"])
+                .expect("file form")
+                .trace,
+            Some("/tmp/out.ndjson".to_string())
+        );
+        assert!(parse(&["--trace="]).is_err(), "empty target rejected");
+    }
+
+    #[test]
     fn leaves_unknown_flags_to_the_caller() {
         assert!(parse(&["--explain"]).is_err(), "not a shared flag");
         let mut flags = EngineFlags::default();
@@ -178,6 +224,7 @@ mod tests {
             "--no-result-cache",
             "--result-cache-capacity",
             "--result-cache-ttl-ms",
+            "--trace",
         ] {
             assert!(ENGINE_FLAGS_HELP.contains(flag), "help must cover {flag}");
         }

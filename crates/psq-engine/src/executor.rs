@@ -19,9 +19,10 @@
 
 use crate::backends;
 use crate::cache::{CacheKey, ResultCache, ResultCacheStats, DEFAULT_RESULT_CACHE_CAPACITY};
-use crate::metrics::BatchMetrics;
+use crate::metrics::{BatchMetrics, EngineObs, EngineObsSnapshot};
 use crate::planner::{ExecutionPlan, Planner};
 use crate::spec::{RejectedJob, SearchJob, SearchResult};
+use psq_obs::{clock, trace, LocalHistogram, Span};
 use psq_parallel::WorkerPool;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -72,6 +73,9 @@ pub struct Engine {
     pool: WorkerPool,
     /// `None` when disabled through [`EngineConfig::result_cache`].
     result_cache: Option<Arc<ResultCache>>,
+    /// Always-on per-stage latency histograms (plan, cache lookup, execute
+    /// per backend), shared with the pool workers.
+    obs: Arc<EngineObs>,
 }
 
 impl Default for Engine {
@@ -96,6 +100,7 @@ impl Engine {
                     config.result_cache_ttl,
                 ))
             }),
+            obs: Arc::new(EngineObs::new()),
         }
     }
 
@@ -117,20 +122,41 @@ impl Engine {
             .unwrap_or_default()
     }
 
+    /// The engine's observability registry (per-stage latency histograms,
+    /// cumulative over the engine's lifetime).
+    pub fn obs(&self) -> &EngineObs {
+        &self.obs
+    }
+
+    /// A serialisable snapshot of the per-stage latency histograms.
+    pub fn obs_snapshot(&self) -> EngineObsSnapshot {
+        self.obs.snapshot()
+    }
+
     /// Executes one job synchronously on the calling thread (the single-job
     /// serving path), going through the result cache like the batch path.
     pub fn run_job(&self, job: &SearchJob) -> Result<SearchResult, String> {
-        let plan = self.planner.plan(job)?;
+        let plan_span = Span::enter_always(trace::stage::PLAN);
+        let planned = self.planner.plan(job);
+        self.obs
+            .plan
+            .record(plan_span.finish(job.id).expect("always timed"));
+        let plan = planned?;
         let key = self
             .result_cache
             .as_ref()
             .map(|_| CacheKey::new(job, plan.backend));
         if let (Some(cache), Some(key)) = (&self.result_cache, &key) {
-            if let Some(hit) = cache.lookup_with_key(key, job.id) {
+            let cache_span = Span::enter_always(trace::stage::CACHE);
+            let hit = cache.lookup_with_key(key, job.id);
+            self.obs
+                .cache_lookup
+                .record(cache_span.finish(job.id).expect("always timed"));
+            if let Some(hit) = hit {
                 return Ok(hit);
             }
         }
-        let result = execute_planned(job, &plan);
+        let result = execute_planned(job, &plan, &self.obs);
         if let (Some(cache), Some(key)) = (&self.result_cache, key) {
             cache.insert_with_key(key, result);
         }
@@ -157,8 +183,25 @@ impl Engine {
         let mut duplicates: Vec<(usize, usize, u64)> = Vec::new();
         let mut pending_keys: std::collections::HashMap<CacheKey, usize> =
             std::collections::HashMap::new();
+        // This loop serves a result-cache hit in a few hundred ns, so its
+        // timing chains coarse clock stamps (the plan end stamp starts the
+        // cache lookup) and records into unsynchronised scratch histograms
+        // flushed once after the loop — per-stage trace events still go out
+        // per job when tracing is on.
+        let mut plan_scratch = LocalHistogram::new();
+        let mut cache_scratch = LocalHistogram::new();
+        // `cursor` is the last stamp taken; each stage is measured from it,
+        // so per-job slot bookkeeping is charged to the next job's plan —
+        // tens of ns, invisible at log2-bucket resolution.
+        let mut cursor = clock::now();
         for job in jobs {
-            match self.planner.plan(job) {
+            let planned = self.planner.plan(job);
+            let plan_done = clock::now();
+            let plan_us = clock::us_between(cursor, plan_done);
+            cursor = plan_done;
+            plan_scratch.record(plan_us);
+            trace::event(job.id, trace::stage::PLAN, plan_us);
+            match planned {
                 Ok(plan) => {
                     let slot = results.len();
                     results.push(None);
@@ -172,11 +215,22 @@ impl Engine {
                             let key = CacheKey::new(job, plan.backend);
                             if let Some(&origin) = pending_keys.get(&key) {
                                 duplicates.push((slot, origin, job.id));
-                            } else if let Some(hit) = cache.lookup_with_key(&key, job.id) {
-                                results[slot] = Some(hit);
                             } else {
-                                pending_keys.insert(key, slot);
-                                pending.push((slot, *job, plan, Some(key)));
+                                let hit = cache.lookup_with_key(&key, job.id);
+                                // Charges key construction and the repeat
+                                // check to the lookup — both are part of
+                                // serving from cache.
+                                let lookup_done = clock::now();
+                                let cache_us = clock::us_between(cursor, lookup_done);
+                                cursor = lookup_done;
+                                cache_scratch.record(cache_us);
+                                trace::event(job.id, trace::stage::CACHE, cache_us);
+                                if let Some(hit) = hit {
+                                    results[slot] = Some(hit);
+                                } else {
+                                    pending_keys.insert(key, slot);
+                                    pending.push((slot, *job, plan, Some(key)));
+                                }
                             }
                         }
                         None => pending.push((slot, *job, plan, None)),
@@ -188,13 +242,18 @@ impl Engine {
                 }),
             }
         }
+        plan_scratch.flush_into(&self.obs.plan);
+        cache_scratch.flush_into(&self.obs.cache_lookup);
         let slots_and_keys: Vec<(usize, Option<CacheKey>)> = pending
             .iter()
             .map(|(slot, _, _, key)| (*slot, *key))
             .collect();
         let tasks: Vec<_> = pending
             .into_iter()
-            .map(|(_, job, plan, _)| move || execute_planned(&job, &plan))
+            .map(|(_, job, plan, _)| {
+                let obs = Arc::clone(&self.obs);
+                move || execute_planned(&job, &plan, &obs)
+            })
             .collect();
         // `map` returns in submission order, which is exactly `slots` order.
         for ((slot, key), result) in slots_and_keys.into_iter().zip(self.pool.map(tasks)) {
@@ -279,11 +338,16 @@ impl Engine {
     }
 }
 
-/// Executes an already-planned job, stamping its wall time.
-fn execute_planned(job: &SearchJob, plan: &ExecutionPlan) -> SearchResult {
-    let started = Instant::now();
+/// Executes an already-planned job, stamping its wall time. The execution
+/// span subsumes the wall-time `Instant` the stamp always needed, feeds the
+/// per-backend latency histogram, and emits an `execute:<backend>` trace
+/// event when tracing is on.
+fn execute_planned(job: &SearchJob, plan: &ExecutionPlan, obs: &EngineObs) -> SearchResult {
+    let span = Span::enter_always(plan.backend.stage_label());
     let mut result = backends::execute(job, plan);
-    result.wall_time_us = started.elapsed().as_secs_f64() * 1e6;
+    let us = span.finish(job.id).expect("always timed");
+    result.wall_time_us = us;
+    obs.record_execute(plan.backend, us);
     result
 }
 

@@ -22,7 +22,10 @@
 //! * [`executor`] — the [`Engine`]: batch fan-out over
 //!   `psq_parallel::WorkerPool` (work-stealing per-worker deques) with
 //!   per-job seeding and submission-order results;
-//! * [`metrics`] — throughput/latency/accuracy aggregation per batch.
+//! * [`metrics`] — throughput/latency/accuracy aggregation per batch, plus
+//!   the always-on [`EngineObs`] registry: lock-free per-stage latency
+//!   histograms (plan, cache lookup, execute per backend) from `psq-obs`,
+//!   with per-stage NDJSON trace events behind `--trace[=stderr|FILE]`.
 //!
 //! The `psq-engine` binary wraps [`Engine`] in a JSON-in/JSON-out pipe:
 //!
@@ -42,7 +45,7 @@ pub mod spec;
 pub use cache::{ResultCache, ResultCacheStats};
 pub use cli::EngineFlags;
 pub use executor::{BatchReport, Engine, EngineConfig, EngineHandle};
-pub use metrics::{BackendTally, BatchMetrics};
+pub use metrics::{percentile, BackendTally, BatchMetrics, EngineObs, EngineObsSnapshot};
 pub use planner::{
     CostEstimate, CostModel, ExecutionPlan, PlanCache, PlanCacheStats, PlannedSchedule, Planner,
 };

@@ -1,10 +1,84 @@
 //! Batch-level aggregation: throughput, latency percentiles, accuracy and
-//! per-backend tallies, all serialisable for the engine's JSON output.
+//! per-backend tallies, all serialisable for the engine's JSON output —
+//! plus the engine's always-on observability registry ([`EngineObs`]), the
+//! lock-free per-stage histograms the future self-calibrating planner will
+//! read.
 
 use crate::cache::ResultCacheStats;
 use crate::planner::PlanCacheStats;
 use crate::spec::{Backend, SearchResult};
+use psq_obs::{Histogram, HistogramSnapshot};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+// The single nearest-rank percentile implementation now lives in `psq-obs`;
+// re-exported here because this path was public before the promotion.
+pub use psq_obs::percentile;
+
+/// The engine's always-on observability registry: one lock-free histogram
+/// per pipeline stage, recorded from the hot paths (planning, result-cache
+/// lookup, and per-backend execution) and cheap enough to leave enabled at
+/// full throughput (a few relaxed atomic adds per job).
+#[derive(Debug, Default)]
+pub struct EngineObs {
+    /// Planner time per job (memoised plan-cache path included).
+    pub plan: Histogram,
+    /// Result-cache lookup time per job (hits and misses alike).
+    pub cache_lookup: Histogram,
+    /// Execution wall time per backend, indexed by [`Backend::index`].
+    execute: [Histogram; Backend::ALL.len()],
+}
+
+impl EngineObs {
+    /// An empty registry. Calibrates the coarse span clock as a side
+    /// effect, so the one-off cost lands at engine construction rather
+    /// than inside the first job's plan span.
+    pub fn new() -> Self {
+        psq_obs::clock::calibrate();
+        Self::default()
+    }
+
+    /// Records one execution wall time for `backend`, in microseconds.
+    #[inline]
+    pub fn record_execute(&self, backend: Backend, us: f64) {
+        self.execute[backend.index()].record(us);
+    }
+
+    /// The execution-latency histogram for `backend`.
+    pub fn execute_histogram(&self, backend: Backend) -> &Histogram {
+        &self.execute[backend.index()]
+    }
+
+    /// A serialisable point-in-time view (backends that never executed are
+    /// omitted, so idle engines serialise compactly).
+    pub fn snapshot(&self) -> EngineObsSnapshot {
+        let mut backend_latency = BTreeMap::new();
+        for backend in Backend::ALL {
+            let snap = self.execute[backend.index()].snapshot();
+            if !snap.is_empty() {
+                backend_latency.insert(backend, snap);
+            }
+        }
+        EngineObsSnapshot {
+            plan_us: self.plan.snapshot(),
+            cache_lookup_us: self.cache_lookup.snapshot(),
+            backend_latency,
+        }
+    }
+}
+
+/// A serialisable snapshot of [`EngineObs`], cumulative over the engine's
+/// lifetime. Shard snapshots merge per-field via
+/// [`HistogramSnapshot::merge`] for the planned multi-worker tier.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EngineObsSnapshot {
+    /// Planner time per job, microseconds.
+    pub plan_us: HistogramSnapshot,
+    /// Result-cache lookup time per job, microseconds.
+    pub cache_lookup_us: HistogramSnapshot,
+    /// Execution wall time per backend (only backends that ran).
+    pub backend_latency: BTreeMap<Backend, HistogramSnapshot>,
+}
 
 /// Jobs executed per backend.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -63,7 +137,7 @@ impl BackendTally {
 }
 
 /// Aggregated statistics for one executed batch.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct BatchMetrics {
     /// Jobs executed successfully.
     pub jobs: u64,
@@ -99,21 +173,17 @@ pub struct BatchMetrics {
     pub recursive_queries: u64,
     /// Jobs per backend.
     pub backend_jobs: BackendTally,
+    /// Execution-latency histogram per backend over this batch's *executed*
+    /// jobs (cache-served repeats, which report `wall_time_us == 0`, are
+    /// excluded so the histograms reflect true backend cost — what the
+    /// self-calibrating planner will read). Percentile semantics are
+    /// [`HistogramSnapshot::percentile`]'s.
+    pub backend_latency: BTreeMap<Backend, HistogramSnapshot>,
     /// Plan-cache behaviour during the batch.
     pub plan_cache: PlanCacheStats,
     /// Result-cache behaviour (cumulative over the engine's lifetime; all
     /// zeros when the cache is disabled).
     pub result_cache: ResultCacheStats,
-}
-
-/// Nearest-rank percentile of a latency sample sorted ascending (`q` in
-/// `[0, 1]`). Shared with the serving layer's end-to-end latency metrics.
-pub fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
 }
 
 impl BatchMetrics {
@@ -134,6 +204,7 @@ impl BatchMetrics {
         let mut recursive_levels = 0u64;
         let mut recursive_queries = 0u64;
         let mut latencies: Vec<f64> = Vec::with_capacity(results.len());
+        let backend_histograms: [Histogram; Backend::ALL.len()] = Default::default();
         for r in results {
             tally.record(r.backend);
             total_queries += r.queries;
@@ -145,6 +216,18 @@ impl BatchMetrics {
                 recursive_queries += r.queries;
             }
             latencies.push(r.wall_time_us);
+            // Cache-served repeats carry wall_time_us == 0: skip them so the
+            // per-backend histograms measure execution, not lookups.
+            if r.wall_time_us > 0.0 {
+                backend_histograms[r.backend.index()].record(r.wall_time_us);
+            }
+        }
+        let mut backend_latency = BTreeMap::new();
+        for backend in Backend::ALL {
+            let snap = backend_histograms[backend.index()].snapshot();
+            if !snap.is_empty() {
+                backend_latency.insert(backend, snap);
+            }
         }
         latencies.sort_by(f64::total_cmp);
         let jobs = results.len() as u64;
@@ -172,6 +255,7 @@ impl BatchMetrics {
             latency_us_p99: percentile(&latencies, 0.99),
             latency_us_max: latencies.last().copied().unwrap_or(0.0),
             backend_jobs: tally,
+            backend_latency,
             plan_cache,
             result_cache,
         }
@@ -257,6 +341,61 @@ mod tests {
         assert_eq!(m.jobs, 0);
         assert_eq!(m.throughput_jobs_per_s, 0.0);
         assert_eq!(m.latency_us_p50, 0.0);
+    }
+
+    #[test]
+    fn backend_latency_histograms_cover_executed_jobs_only() {
+        let results = vec![
+            result(Backend::Reduced, 10, true, 100.0),
+            result(Backend::Reduced, 10, true, 200.0),
+            result(Backend::Reduced, 10, true, 0.0), // cache-served repeat
+            result(Backend::Recursive, 50, true, 900.0),
+        ];
+        let m = BatchMetrics::aggregate(
+            &results,
+            0,
+            1.0,
+            PlanCacheStats::default(),
+            ResultCacheStats::default(),
+        );
+        let reduced = &m.backend_latency[&Backend::Reduced];
+        assert_eq!(reduced.count, 2, "the wall_time_us == 0 hit is excluded");
+        assert_eq!(reduced.max_us, 200.0);
+        let recursive = &m.backend_latency[&Backend::Recursive];
+        assert_eq!(recursive.count, 1);
+        assert_eq!(recursive.p99(), 900.0);
+        assert!(
+            !m.backend_latency.contains_key(&Backend::Circuit),
+            "idle backends are omitted"
+        );
+        let json = serde_json::to_string(&m).unwrap();
+        let back: BatchMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn engine_obs_snapshots_round_trip_and_merge() {
+        let obs = EngineObs::new();
+        obs.plan.record(3.0);
+        obs.plan.record(5.0);
+        obs.cache_lookup.record(0.4);
+        obs.record_execute(Backend::StateVector, 450.0);
+        obs.record_execute(Backend::StateVector, 900.0);
+        let snap = obs.snapshot();
+        assert_eq!(snap.plan_us.count, 2);
+        assert_eq!(snap.cache_lookup_us.count, 1);
+        assert_eq!(snap.backend_latency[&Backend::StateVector].count, 2);
+        assert_eq!(snap.backend_latency.len(), 1, "idle backends omitted");
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: EngineObsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+        // Shard merging: two engines' snapshots fold into the union.
+        let other = EngineObs::new();
+        other.record_execute(Backend::StateVector, 100.0);
+        let mut merged = snap.backend_latency[&Backend::StateVector].clone();
+        merged.merge(&other.snapshot().backend_latency[&Backend::StateVector]);
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.max_us, 900.0);
     }
 
     #[test]

@@ -35,8 +35,9 @@ pub enum BackendHint {
 }
 
 /// The backend a job actually *ran on* (the planner's resolution of the
-/// hint).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// hint). Ordered in planner-consideration order so per-backend maps (e.g.
+/// `BatchMetrics::backend_latency`) iterate and serialise stably.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Backend {
     /// Block-symmetric reduced simulator: `O(√N)` work for any `N`.
     Reduced,
@@ -88,6 +89,32 @@ impl Backend {
             Backend::ClassicalDeterministic => "classical_deterministic",
             Backend::ClassicalRandomized => "classical_randomized",
             Backend::Recursive => "recursive",
+        }
+    }
+
+    /// This backend's position in [`Backend::ALL`] (dense indexing for
+    /// per-backend arrays such as the engine's latency histograms).
+    pub fn index(self) -> usize {
+        match self {
+            Backend::Reduced => 0,
+            Backend::StateVector => 1,
+            Backend::Circuit => 2,
+            Backend::ClassicalDeterministic => 3,
+            Backend::ClassicalRandomized => 4,
+            Backend::Recursive => 5,
+        }
+    }
+
+    /// The `execute:<backend>` stage label this backend's execution spans
+    /// carry on the NDJSON trace stream.
+    pub fn stage_label(self) -> &'static str {
+        match self {
+            Backend::Reduced => "execute:reduced",
+            Backend::StateVector => "execute:statevector",
+            Backend::Circuit => "execute:circuit",
+            Backend::ClassicalDeterministic => "execute:classical_deterministic",
+            Backend::ClassicalRandomized => "execute:classical_randomized",
+            Backend::Recursive => "execute:recursive",
         }
     }
 }

@@ -1,0 +1,30 @@
+//! # psq-obs — the observability substrate
+//!
+//! Shared measurement infrastructure for the partial-search workspace:
+//!
+//! - [`hist`] — lock-free log2-bucketed latency [`Histogram`]s (atomic u64
+//!   buckets, safe to hammer from every worker thread), mergeable
+//!   [`HistogramSnapshot`]s with p50/p90/p99/max, the promoted nearest-rank
+//!   [`percentile`] helper, the bounded exact-sample [`SampleRing`], and
+//!   the unsynchronised [`LocalHistogram`] scratch tight loops flush into
+//!   a shared histogram once per batch.
+//! - [`trace`] — the per-job span/event layer: [`Span::enter`] stage timing
+//!   with ~ns overhead when disabled (one relaxed atomic load), emitting
+//!   structured NDJSON `{"type":"trace",...}` lines behind
+//!   `--trace[=stderr|FILE]`.
+//! - [`clock`] — the coarse stamp clock spans time with: raw TSC reads on
+//!   x86-64 (~5–10 ns, calibrated once against `Instant`), an `Instant`
+//!   fallback elsewhere.
+//!
+//! Histograms are *always on*: the hot paths feed them from measurements
+//! they already take (backend wall time) or from cheap extra stamp reads
+//! (plan / cache-lookup / coalesce dwell). Only the NDJSON trace stream is
+//! gated by the global trace level. Observability reads clocks, never RNG
+//! state, so the engine's deterministic-results contract is untouched.
+
+pub mod clock;
+pub mod hist;
+pub mod trace;
+
+pub use hist::{percentile, Histogram, HistogramSnapshot, LocalHistogram, SampleRing};
+pub use trace::{event, stage, Span};

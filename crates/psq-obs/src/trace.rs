@@ -1,0 +1,262 @@
+//! The per-job span/event layer: structured NDJSON trace output.
+//!
+//! Tracing is a process-global switch read with one relaxed atomic load,
+//! so the disabled hot path costs ~a nanosecond: [`Span::enter`] does not
+//! even read the clock unless tracing is on, and [`event`] returns after
+//! the load. When enabled (via `--trace[=stderr|FILE]` on the binaries,
+//! [`install_stderr`] / [`install_file`] / [`install_writer`] in code),
+//! every finished span and emitted event becomes one line of NDJSON:
+//!
+//! ```text
+//! {"type":"trace","job":17,"stage":"plan","us":3.210}
+//! {"type":"trace","job":17,"stage":"execute:reduced","us":412.907}
+//! ```
+//!
+//! `job` is the id the enclosing layer uses (the engine's batch index, the
+//! serving layer's client-assigned id), `stage` is a stable label —
+//! `plan`, `cache`, `execute:<backend>` and `coalesce` across this
+//! workspace — and `us` is the stage's wall time in microseconds. Lines are
+//! flushed as they are written, so a crashing process loses at most the
+//! line being formatted.
+
+use crate::clock;
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Stable stage labels shared by the engine and serving layers. Backend
+/// execution stages extend the set with `execute:<backend label>`.
+pub mod stage {
+    /// Planning a job (cost model + schedule cache).
+    pub const PLAN: &str = "plan";
+    /// Result-cache lookup.
+    pub const CACHE: &str = "cache";
+    /// Time a job waited in the coalescer for batch company.
+    pub const COALESCE: &str = "coalesce";
+}
+
+/// 0 = disabled, 1 = enabled. Relaxed everywhere: tracing is diagnostic
+/// and a racing enable/disable only gains or loses a line or two.
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+/// The installed sink. Separate from `LEVEL` so the hot path never touches
+/// the mutex while disabled.
+static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+
+/// Whether trace emission is on (one relaxed atomic load).
+#[inline]
+pub fn enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) != 0
+}
+
+/// Routes trace lines to stderr and enables emission.
+pub fn install_stderr() {
+    install_writer(Box::new(std::io::stderr()));
+}
+
+/// Routes trace lines to (a fresh) `path` and enables emission.
+pub fn install_file(path: &str) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    install_writer(Box::new(std::io::BufWriter::new(file)));
+    Ok(())
+}
+
+/// Routes trace lines into `writer` and enables emission (tests and
+/// in-process capture).
+pub fn install_writer(writer: Box<dyn Write + Send>) {
+    let mut sink = SINK.lock().expect("trace sink lock");
+    *sink = Some(writer);
+    LEVEL.store(1, Ordering::Relaxed);
+}
+
+/// Disables emission and drops (flushing) any installed sink.
+pub fn disable() {
+    LEVEL.store(0, Ordering::Relaxed);
+    let mut sink = SINK.lock().expect("trace sink lock");
+    if let Some(writer) = sink.as_mut() {
+        let _ = writer.flush();
+    }
+    *sink = None;
+}
+
+/// Parses a `--trace[=stderr|FILE]` flag value (`None` and `"stderr"` mean
+/// stderr, anything else is a file path) and installs the sink.
+pub fn install_target(target: Option<&str>) -> Result<(), String> {
+    match target {
+        None | Some("stderr") => {
+            install_stderr();
+            Ok(())
+        }
+        Some(path) => {
+            install_file(path).map_err(|e| format!("cannot open trace file `{path}`: {e}"))
+        }
+    }
+}
+
+/// Emits one already-measured trace event (the span shortcut for stages
+/// whose duration the caller measured anyway). A single relaxed load when
+/// tracing is off.
+#[inline]
+pub fn event(job: u64, stage_label: &str, us: f64) {
+    if enabled() {
+        write_line(job, stage_label, us);
+    }
+}
+
+#[cold]
+fn write_line(job: u64, stage_label: &str, us: f64) {
+    let line = format!(
+        "{{\"type\":\"trace\",\"job\":{job},\"stage\":\"{stage_label}\",\"us\":{us:.3}}}\n"
+    );
+    let mut sink = SINK.lock().expect("trace sink lock");
+    if let Some(writer) = sink.as_mut() {
+        let _ = writer.write_all(line.as_bytes());
+        let _ = writer.flush();
+    }
+}
+
+/// One timed stage of one job.
+///
+/// [`Span::enter`] starts the clock only when tracing is enabled — the
+/// disabled cost is the single atomic load behind [`enabled`] — while
+/// [`Span::enter_always`] times unconditionally, for stages whose duration
+/// feeds an always-on histogram (the measured value is returned either
+/// way, and the trace line is emitted only when tracing is on). Timing
+/// reads the cheap coarse clock in [`crate::clock`] (TSC stamps on
+/// x86-64), not `Instant`, so an always-on span costs ~10–20 ns.
+#[must_use = "a span measures nothing until finished"]
+pub struct Span {
+    stage_label: &'static str,
+    start: Option<clock::Stamp>,
+}
+
+impl Span {
+    /// Starts a stage span when tracing is enabled; otherwise a no-op span
+    /// whose construction cost is one relaxed atomic load.
+    #[inline]
+    pub fn enter(stage_label: &'static str) -> Self {
+        Self {
+            stage_label,
+            start: enabled().then(clock::now),
+        }
+    }
+
+    /// Starts a stage span unconditionally (the caller wants the duration
+    /// regardless of tracing — e.g. to feed a histogram).
+    #[inline]
+    pub fn enter_always(stage_label: &'static str) -> Self {
+        Self {
+            stage_label,
+            start: Some(clock::now()),
+        }
+    }
+
+    /// Whether this span is actually reading the clock.
+    pub fn is_timing(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// Ends the stage for `job`: emits the trace event when tracing is on
+    /// and returns the elapsed microseconds (`None` for a no-op span).
+    #[inline]
+    pub fn finish(self, job: u64) -> Option<f64> {
+        let us = clock::elapsed_us(self.start?);
+        event(job, self.stage_label, us);
+        Some(us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex, OnceLock};
+
+    /// Trace state is process-global; serialise the tests that touch it.
+    fn test_lock() -> &'static StdMutex<()> {
+        static LOCK: OnceLock<StdMutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| StdMutex::new(()))
+    }
+
+    /// A cloneable in-memory sink for capturing emitted lines.
+    #[derive(Clone, Default)]
+    struct Capture(Arc<StdMutex<Vec<u8>>>);
+
+    impl Capture {
+        fn lines(&self) -> Vec<String> {
+            String::from_utf8(self.0.lock().unwrap().clone())
+                .expect("trace output is UTF-8")
+                .lines()
+                .map(str::to_string)
+                .collect()
+        }
+    }
+
+    impl Write for Capture {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(data);
+            Ok(data.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn disabled_spans_do_not_touch_the_clock_and_emit_nothing() {
+        let _guard = test_lock().lock().unwrap();
+        disable();
+        let span = Span::enter(stage::PLAN);
+        assert!(!span.is_timing());
+        assert_eq!(span.finish(1), None);
+        event(1, stage::PLAN, 10.0); // must be a no-op, not a panic
+    }
+
+    #[test]
+    fn enabled_spans_emit_one_wellformed_line_per_finish() {
+        let _guard = test_lock().lock().unwrap();
+        let capture = Capture::default();
+        install_writer(Box::new(capture.clone()));
+        let span = Span::enter(stage::CACHE);
+        assert!(span.is_timing());
+        let us = span.finish(42).expect("timed");
+        assert!(us >= 0.0);
+        event(7, stage::COALESCE, 1234.5);
+        disable();
+        let lines = capture.lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"job\":42"));
+        assert!(lines[0].contains("\"stage\":\"cache\""));
+        assert!(lines[1].contains("\"stage\":\"coalesce\""));
+        assert!(lines[1].contains("\"us\":1234.500"));
+        // Emission stops once disabled.
+        event(9, stage::PLAN, 1.0);
+        assert_eq!(capture.lines().len(), 2);
+    }
+
+    #[test]
+    fn enter_always_times_even_when_disabled() {
+        let _guard = test_lock().lock().unwrap();
+        disable();
+        let span = Span::enter_always(stage::PLAN);
+        assert!(span.is_timing());
+        assert!(span.finish(0).expect("timed") >= 0.0);
+    }
+
+    #[test]
+    fn install_target_understands_stderr_and_files() {
+        let _guard = test_lock().lock().unwrap();
+        install_target(Some("stderr")).expect("stderr target");
+        assert!(enabled());
+        disable();
+        let path = std::env::temp_dir().join("psq-obs-trace-test.ndjson");
+        let path = path.to_str().expect("utf-8 temp path");
+        install_target(Some(path)).expect("file target");
+        event(3, stage::PLAN, 2.0);
+        disable();
+        let text = std::fs::read_to_string(path).expect("trace file written");
+        assert!(text.contains("\"stage\":\"plan\""));
+        let _ = std::fs::remove_file(path);
+        assert!(install_target(Some("/nonexistent-dir/x/y.ndjson")).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the observability substrate.
+//!
+//! The histogram must behave like one shared collector however its samples
+//! are sharded, and every line the trace layer emits must parse back
+//! through the vendored JSON tree with the fields the schema promises.
+
+use proptest::prelude::*;
+use psq_obs::{percentile, trace, Histogram, HistogramSnapshot};
+use std::io::Write;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Trace state is process-global; serialise the tests that install sinks.
+fn trace_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+#[derive(Clone, Default)]
+struct Capture(Arc<Mutex<Vec<u8>>>);
+
+impl Capture {
+    fn lines(&self) -> Vec<String> {
+        String::from_utf8(self.0.lock().unwrap().clone())
+            .expect("trace output is UTF-8")
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+}
+
+impl Write for Capture {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Latency samples in microseconds, spanning sub-µs noise to minute-scale
+/// outliers.
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..120_000_000.0, 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merged_shards_equal_the_union_histogram(
+        shard_a in samples(),
+        shard_b in samples(),
+        shard_c in samples(),
+    ) {
+        let union = Histogram::new();
+        let mut merged = HistogramSnapshot::default();
+        for shard in [&shard_a, &shard_b, &shard_c] {
+            let hist = Histogram::new();
+            for &sample in shard.iter() {
+                hist.record(sample);
+                union.record(sample);
+            }
+            merged.merge(&hist.snapshot());
+        }
+        prop_assert_eq!(merged, union.snapshot());
+    }
+
+    #[test]
+    fn snapshot_percentiles_bound_the_exact_order_statistics(samples in samples()) {
+        let hist = Histogram::new();
+        for &sample in samples.iter() {
+            hist.record(sample);
+        }
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        let mut sorted: Vec<f64> = samples.iter().map(|s| s.floor()).collect();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let exact = percentile(&sorted, q);
+            let reported = snap.percentile(q);
+            // Upper bound, within one power-of-two bucket of the truth.
+            prop_assert!(reported >= exact, "q={} reported {} < exact {}", q, reported, exact);
+            prop_assert!(
+                reported <= (2.0 * exact).max(2.0).min(snap.max_us.max(2.0)),
+                "q={} reported {} too far above exact {}",
+                q,
+                reported,
+                exact
+            );
+        }
+        // Monotone in q.
+        prop_assert!(snap.p50() <= snap.p90() && snap.p90() <= snap.p99());
+    }
+
+    #[test]
+    fn snapshots_round_trip_through_the_vendored_json_tree(samples in samples()) {
+        let hist = Histogram::new();
+        for &sample in samples.iter() {
+            hist.record(sample);
+        }
+        let snap = hist.snapshot();
+        let json = serde_json::to_string(&snap).expect("snapshot serialises");
+        let back: HistogramSnapshot = serde_json::from_str(&json).expect("snapshot parses");
+        prop_assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn every_trace_line_parses_with_the_promised_fields(
+        jobs in prop::collection::vec((0u64..1 << 48, 0.0f64..10_000_000.0), 1..40),
+        stage_pick in prop::collection::vec(0usize..4, 40),
+    ) {
+        let _guard = trace_lock().lock().unwrap();
+        let stages = [
+            trace::stage::PLAN,
+            trace::stage::CACHE,
+            "execute:statevector",
+            trace::stage::COALESCE,
+        ];
+        let capture = Capture::default();
+        trace::install_writer(Box::new(capture.clone()));
+        for (index, &(job, us)) in jobs.iter().enumerate() {
+            trace::event(job, stages[stage_pick[index]], us);
+        }
+        trace::disable();
+        let lines = capture.lines();
+        prop_assert_eq!(lines.len(), jobs.len());
+        for (index, line) in lines.iter().enumerate() {
+            let value: serde_json::Value = serde_json::from_str(line).expect("trace line is JSON");
+            let object = value.as_object().expect("trace line is an object");
+            prop_assert_eq!(object.get("type").and_then(|v| v.as_str()), Some("trace"));
+            prop_assert_eq!(object.get("job").and_then(|v| v.as_u64()), Some(jobs[index].0));
+            prop_assert_eq!(
+                object.get("stage").and_then(|v| v.as_str()),
+                Some(stages[stage_pick[index]])
+            );
+            let us = object.get("us").and_then(|v| v.as_f64()).expect("us is a number");
+            prop_assert!((us - jobs[index].1).abs() <= 0.0005 + 1e-9 * jobs[index].1.abs());
+        }
+    }
+}

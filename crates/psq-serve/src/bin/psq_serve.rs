@@ -189,6 +189,10 @@ fn main() -> ExitCode {
         generate(count, options.gen_seed);
         return ExitCode::SUCCESS;
     }
+    if let Err(message) = options.engine.install_trace() {
+        eprintln!("psq-serve: {message}");
+        return ExitCode::FAILURE;
+    }
     if let Some(count) = options.selftest {
         return selftest(count, &options);
     }

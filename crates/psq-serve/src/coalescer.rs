@@ -209,6 +209,14 @@ fn execute_batch(engine: &EngineHandle, mut tickets: Vec<JobTicket>, stats: &Ser
         return;
     }
     stats.record_batch(tickets.len() as u64);
+    // Dwell: how long each job waited for batch company, measured at the
+    // moment the batch dispatches. Feeds the always-on dwell histogram and
+    // (when tracing is on) a "coalesce" trace event under the client's id.
+    for ticket in &tickets {
+        let dwell_us = ticket.enqueued.elapsed().as_secs_f64() * 1e6;
+        stats.record_dwell(dwell_us);
+        psq_obs::trace::event(ticket.job.id, psq_obs::trace::stage::COALESCE, dwell_us);
+    }
     // Renumber to batch indices: ids must be unique within the engine
     // submission, and client ids may collide across clients. The index maps
     // results and rejections back to their tickets unambiguously.
@@ -294,7 +302,14 @@ mod tests {
             .collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..40).collect::<Vec<_>>());
-        let m = stats.snapshot(Vec::new(), 0, 1, Default::default(), Default::default());
+        let m = stats.snapshot(
+            Vec::new(),
+            0,
+            1,
+            Default::default(),
+            Default::default(),
+            Default::default(),
+        );
         assert_eq!(m.jobs_completed, 40);
         assert!(m.batches >= 3, "40 jobs over max_batch 16 need ≥ 3 batches");
         assert!(m.batch_jobs_max <= 16);
@@ -399,7 +414,14 @@ mod tests {
         }
         // Slot released and books balanced.
         assert!(session.try_admit(), "admission slot was freed by Drop");
-        let m = stats.snapshot(Vec::new(), 0, 1, Default::default(), Default::default());
+        let m = stats.snapshot(
+            Vec::new(),
+            0,
+            1,
+            Default::default(),
+            Default::default(),
+            Default::default(),
+        );
         assert_eq!(m.jobs_errored, 1);
         assert_eq!(m.queue_depth, 0);
     }

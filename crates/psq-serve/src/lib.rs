@@ -18,7 +18,11 @@
 //!   the scheduler thread, and the two transports (stdin/stdout pipe and
 //!   multi-client `std::net` TCP), with graceful drain-on-shutdown;
 //! * [`metrics`] — [`ServeMetrics`]: queue depth, coalesced batch sizes,
-//!   per-client counters and end-to-end latency percentiles.
+//!   per-client counters, and lock-free `psq-obs` latency histograms —
+//!   end-to-end latency, coalescer dwell, and the shared engine's
+//!   per-stage/per-backend histograms, all in one `{"cmd":"metrics"}`
+//!   answer. `--trace[=stderr|FILE]` adds per-stage NDJSON trace events
+//!   (`plan`, `cache`, `execute:<backend>`, `coalesce`).
 //!
 //! The `psq-serve` binary wraps it all:
 //!

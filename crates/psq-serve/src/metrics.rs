@@ -4,18 +4,19 @@
 //! threads write into; [`ServeMetrics`] is the serialisable snapshot a
 //! `{"cmd":"metrics"}` request gets back. End-to-end latency is measured
 //! per job from the moment its line parsed on the reader thread to the
-//! moment its response line was handed to the client's writer, and the
-//! percentiles reuse `psq_engine::metrics::percentile` over a bounded ring
-//! of the most recent samples.
+//! moment its response line was handed to the client's writer, and is
+//! recorded into a lock-free `psq_obs::Histogram` (log2 buckets, exact
+//! max) — cheap enough for every answer, cumulative over the server's
+//! lifetime. Coalescer dwell (how long a job waited for batch company) gets
+//! its own histogram, and the snapshot carries the shared engine's
+//! per-stage histograms (`EngineObsSnapshot`) so one `{"cmd":"metrics"}`
+//! answer covers the whole pipeline.
 
-use parking_lot::Mutex;
-use psq_engine::metrics::percentile;
+use psq_engine::EngineObsSnapshot;
 use psq_engine::{PlanCacheStats, ResultCacheStats};
+use psq_obs::{Histogram, HistogramSnapshot};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-
-/// Most recent end-to-end latency samples retained for the percentiles.
-const LATENCY_RING_CAPACITY: usize = 1 << 16;
 
 /// One client's lifetime counters, as reported in [`ServeMetrics`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -56,13 +57,22 @@ pub struct ServeMetrics {
     /// Clients attached over the server's lifetime.
     pub clients_total: u64,
     /// Median end-to-end latency (parse → response handoff), microseconds.
+    /// Derived from `latency` with `HistogramSnapshot::percentile`
+    /// semantics (bucket upper edge clamped to the exact maximum).
     pub latency_us_p50: f64,
     /// 90th-percentile end-to-end latency, microseconds.
     pub latency_us_p90: f64,
     /// 99th-percentile end-to-end latency, microseconds.
     pub latency_us_p99: f64,
-    /// Slowest end-to-end latency in the retained sample window.
+    /// Slowest end-to-end latency ever answered (exact).
     pub latency_us_max: f64,
+    /// The full end-to-end latency histogram behind the scalars above.
+    pub latency: HistogramSnapshot,
+    /// Coalescer dwell per job (admission → batch dispatch), microseconds.
+    pub coalesce_dwell: HistogramSnapshot,
+    /// The shared engine's per-stage histograms: planner time, result-cache
+    /// lookup time, and execution wall time per backend.
+    pub engine_obs: EngineObsSnapshot,
     /// Per-client counters for currently attached clients.
     pub clients: Vec<ClientCounters>,
     /// The shared engine's result-cache counters (hits span clients).
@@ -71,14 +81,8 @@ pub struct ServeMetrics {
     pub plan_cache: PlanCacheStats,
 }
 
-/// Latency ring buffer: keeps the most recent `LATENCY_RING_CAPACITY`
-/// samples so long-lived servers report current, bounded-memory percentiles.
-struct LatencyRing {
-    samples: Vec<f64>,
-    next: usize,
-}
-
 /// The live collector. All methods are safe to call from any thread.
+#[derive(Default)]
 pub struct ServeStats {
     jobs_submitted: AtomicU64,
     jobs_completed: AtomicU64,
@@ -88,26 +92,10 @@ pub struct ServeStats {
     batches: AtomicU64,
     batch_jobs: AtomicU64,
     batch_jobs_max: AtomicU64,
-    latencies: Mutex<LatencyRing>,
-}
-
-impl Default for ServeStats {
-    fn default() -> Self {
-        Self {
-            jobs_submitted: AtomicU64::new(0),
-            jobs_completed: AtomicU64::new(0),
-            jobs_errored: AtomicU64::new(0),
-            jobs_overloaded: AtomicU64::new(0),
-            queue_depth: AtomicUsize::new(0),
-            batches: AtomicU64::new(0),
-            batch_jobs: AtomicU64::new(0),
-            batch_jobs_max: AtomicU64::new(0),
-            latencies: Mutex::new(LatencyRing {
-                samples: Vec::new(),
-                next: 0,
-            }),
-        }
-    }
+    /// End-to-end latency (parse → response handoff).
+    latency: Histogram,
+    /// Coalescer dwell (admission → batch dispatch).
+    dwell: Histogram,
 }
 
 impl ServeStats {
@@ -122,7 +110,7 @@ impl ServeStats {
     pub fn record_completed(&self, latency_us: f64) {
         self.jobs_completed.fetch_add(1, Ordering::Relaxed);
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        self.record_latency(latency_us);
+        self.latency.record(latency_us);
     }
 
     /// An admitted job left the queue with an error.
@@ -148,25 +136,19 @@ impl ServeStats {
         self.batch_jobs_max.fetch_max(jobs, Ordering::Relaxed);
     }
 
+    /// A job spent `dwell_us` in the coalescer waiting for batch company.
+    pub fn record_dwell(&self, dwell_us: f64) {
+        self.dwell.record(dwell_us);
+    }
+
     /// Jobs currently queued or executing.
     pub fn queue_depth(&self) -> u64 {
         self.queue_depth.load(Ordering::Relaxed) as u64
     }
 
-    fn record_latency(&self, latency_us: f64) {
-        let mut ring = self.latencies.lock();
-        if ring.samples.len() < LATENCY_RING_CAPACITY {
-            ring.samples.push(latency_us);
-        } else {
-            let slot = ring.next;
-            ring.samples[slot] = latency_us;
-        }
-        ring.next = (ring.next + 1) % LATENCY_RING_CAPACITY;
-    }
-
     /// Builds a snapshot. `clients` carries the per-client counters and
-    /// connection tallies from the session registry; the cache stats come
-    /// from the shared engine.
+    /// connection tallies from the session registry; the cache stats and
+    /// the per-stage engine histograms come from the shared engine.
     pub fn snapshot(
         &self,
         clients: Vec<ClientCounters>,
@@ -174,9 +156,9 @@ impl ServeStats {
         clients_total: u64,
         result_cache: ResultCacheStats,
         plan_cache: PlanCacheStats,
+        engine_obs: EngineObsSnapshot,
     ) -> ServeMetrics {
-        let mut sorted = self.latencies.lock().samples.clone();
-        sorted.sort_by(f64::total_cmp);
+        let latency = self.latency.snapshot();
         let batches = self.batches.load(Ordering::Relaxed);
         let batch_jobs = self.batch_jobs.load(Ordering::Relaxed);
         ServeMetrics {
@@ -194,10 +176,13 @@ impl ServeStats {
             batch_jobs_max: self.batch_jobs_max.load(Ordering::Relaxed),
             clients_connected,
             clients_total,
-            latency_us_p50: percentile(&sorted, 0.50),
-            latency_us_p90: percentile(&sorted, 0.90),
-            latency_us_p99: percentile(&sorted, 0.99),
-            latency_us_max: sorted.last().copied().unwrap_or(0.0),
+            latency_us_p50: latency.p50(),
+            latency_us_p90: latency.p90(),
+            latency_us_p99: latency.p99(),
+            latency_us_max: latency.max_us,
+            latency,
+            coalesce_dwell: self.dwell.snapshot(),
+            engine_obs,
             clients,
             result_cache,
             plan_cache,
@@ -208,6 +193,17 @@ impl ServeStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn snapshot(stats: &ServeStats) -> ServeMetrics {
+        stats.snapshot(
+            Vec::new(),
+            1,
+            3,
+            ResultCacheStats::default(),
+            PlanCacheStats::default(),
+            EngineObsSnapshot::default(),
+        )
+    }
 
     #[test]
     fn counters_flow_into_the_snapshot() {
@@ -222,13 +218,7 @@ mod tests {
         stats.record_rejected_at_intake();
         stats.record_batch(8);
         stats.record_batch(4);
-        let m = stats.snapshot(
-            Vec::new(),
-            1,
-            3,
-            ResultCacheStats::default(),
-            PlanCacheStats::default(),
-        );
+        let m = snapshot(&stats);
         assert_eq!(m.jobs_submitted, 11);
         assert_eq!(m.jobs_completed, 10);
         assert_eq!(m.jobs_errored, 2);
@@ -239,31 +229,43 @@ mod tests {
         assert_eq!(m.batch_jobs_max, 8);
         assert_eq!(m.clients_connected, 1);
         assert_eq!(m.clients_total, 3);
-        assert_eq!(m.latency_us_p50, 500.0);
+        // Histogram percentile semantics: the rank-5 sample (500) lives in
+        // bucket [256, 512) → reported as the 512 upper edge; p99 and max
+        // land on the exact maximum.
+        assert_eq!(m.latency_us_p50, 512.0);
         assert_eq!(m.latency_us_p99, 1000.0);
         assert_eq!(m.latency_us_max, 1000.0);
+        assert_eq!(m.latency.count, 10);
+        assert_eq!(m.latency.p50(), m.latency_us_p50);
     }
 
     #[test]
-    fn latency_ring_retains_only_recent_samples() {
+    fn dwell_histogram_is_independent_of_latency() {
         let stats = ServeStats::default();
-        // Overfill the ring: early (slow) samples must age out.
-        for _ in 0..LATENCY_RING_CAPACITY {
-            stats.record_submitted();
-            stats.record_completed(1_000_000.0);
-        }
-        for _ in 0..LATENCY_RING_CAPACITY {
+        stats.record_submitted();
+        stats.record_completed(800.0);
+        stats.record_dwell(40.0);
+        stats.record_dwell(90.0);
+        let m = snapshot(&stats);
+        assert_eq!(m.coalesce_dwell.count, 2);
+        assert_eq!(m.coalesce_dwell.max_us, 90.0);
+        assert_eq!(m.latency.count, 1);
+    }
+
+    #[test]
+    fn latency_histogram_is_cumulative_and_bounded() {
+        let stats = ServeStats::default();
+        // The histogram keeps constant memory however many samples arrive —
+        // every sample still counts (unlike the old bounded ring, which
+        // aged samples out; `psq_obs::SampleRing` remains for windowed use).
+        for _ in 0..100_000 {
             stats.record_submitted();
             stats.record_completed(5.0);
         }
-        let m = stats.snapshot(
-            Vec::new(),
-            0,
-            0,
-            ResultCacheStats::default(),
-            PlanCacheStats::default(),
-        );
-        assert_eq!(m.latency_us_max, 5.0, "old samples were overwritten");
+        let m = snapshot(&stats);
+        assert_eq!(m.latency.count, 100_000);
+        assert_eq!(m.latency_us_max, 5.0);
+        assert!(m.latency.buckets.len() <= 3, "5us lives in bucket [4, 8)");
     }
 
     #[test]
@@ -272,6 +274,13 @@ mod tests {
         stats.record_submitted();
         stats.record_completed(42.0);
         stats.record_batch(1);
+        stats.record_dwell(7.0);
+        let mut engine_obs = EngineObsSnapshot::default();
+        engine_obs.plan_us.merge(&{
+            let h = Histogram::new();
+            h.record(3.0);
+            h.snapshot()
+        });
         let m = stats.snapshot(
             vec![ClientCounters {
                 client: 1,
@@ -284,9 +293,11 @@ mod tests {
             1,
             ResultCacheStats::default(),
             PlanCacheStats::default(),
+            engine_obs,
         );
         let json = serde_json::to_string(&m).expect("serialise");
         let back: ServeMetrics = serde_json::from_str(&json).expect("deserialise");
         assert_eq!(m, back);
+        assert_eq!(back.engine_obs.plan_us.count, 1);
     }
 }

@@ -85,6 +85,7 @@ impl ServerShared {
             total,
             self.engine.result_cache_stats(),
             self.engine.planner().cache().stats(),
+            self.engine.obs_snapshot(),
         )
     }
 }

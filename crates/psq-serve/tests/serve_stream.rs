@@ -6,10 +6,11 @@
 //! produce (wall times aside) — and overload never loses a job silently.
 
 use proptest::prelude::*;
-use psq_engine::{Engine, EngineConfig, SearchJob, SearchResult};
+use psq_engine::{Engine, EngineConfig, EngineObsSnapshot, SearchJob, SearchResult};
 use psq_serve::protocol::{parse_response, ErrorKind, Response};
-use psq_serve::{CoalescerConfig, LineOutcome, ServeConfig, Server};
-use std::collections::HashMap;
+use psq_serve::{ClientCounters, CoalescerConfig, LineOutcome, ServeConfig, ServeMetrics, Server};
+use serde::Value;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, BufReader, Write};
 
 /// The fields a streamed result must share with direct batch execution
@@ -409,4 +410,237 @@ fn full_address_jobs_round_trip_the_pipe_transport() {
     assert_eq!(by_id[&9].address_found, None);
     assert_eq!(by_id[&9].levels, 0);
     server.finish();
+}
+
+/// Regression: the `queue_depth` gauge drains back to zero after an
+/// overload burst — overloaded submissions never leak a depth increment,
+/// and freed slots admit (and fully drain) a follow-up wave.
+#[test]
+fn queue_depth_returns_to_zero_after_an_overload_burst() {
+    let server = Server::start(ServeConfig {
+        engine: EngineConfig {
+            threads: Some(1),
+            ..EngineConfig::default()
+        },
+        // Long dwell: the whole flood lands before the first fan-out, so
+        // admissions beyond the bound deterministically overload.
+        coalescer: CoalescerConfig {
+            max_batch: 256,
+            max_delay_us: 100_000,
+        },
+        max_inflight: 8,
+    });
+    let (client, responses) = server.attach();
+    let total = 96u64;
+    for id in 0..total {
+        let job = SearchJob::new(id, 1 << 10, 4, (id * 17) % (1 << 10));
+        client.submit_line(&serde_json::to_string(&job).expect("serialises"));
+    }
+    // Only admitted jobs count toward depth, so the gauge is bounded by the
+    // in-flight cap even mid-burst.
+    assert!(server.metrics().queue_depth <= 8, "overloads never admit");
+    for _ in 0..total {
+        responses.recv().expect("every submission is answered");
+    }
+    let metrics = server.metrics();
+    assert_eq!(
+        metrics.queue_depth, 0,
+        "depth drains to zero after the burst"
+    );
+    assert_eq!(metrics.jobs_completed + metrics.jobs_overloaded, total);
+    assert_eq!(metrics.jobs_overloaded, total - 8);
+    // Slots are free again: a second, in-bound wave admits and drains.
+    for id in 0..8u64 {
+        let job = SearchJob::new(1000 + id, 1 << 10, 4, id);
+        client.submit_line(&serde_json::to_string(&job).expect("serialises"));
+    }
+    for _ in 0..8 {
+        responses.recv().expect("second wave answered");
+    }
+    assert_eq!(server.metrics().queue_depth, 0, "depth re-drains to zero");
+    drop(client);
+    server.finish();
+}
+
+/// Regression: `{"cmd":"shutdown"}` drains every admitted job (each gets a
+/// real result) and leaves `queue_depth` at zero; jobs refused during the
+/// drain never touch the gauge.
+#[test]
+fn queue_depth_returns_to_zero_after_a_shutdown_drain() {
+    let server = Server::start(ServeConfig {
+        engine: EngineConfig {
+            threads: Some(1),
+            ..EngineConfig::default()
+        },
+        // Long dwell again: the jobs are still queued when shutdown lands,
+        // so the drain — not ordinary completion — empties the gauge.
+        coalescer: CoalescerConfig {
+            max_batch: 256,
+            max_delay_us: 200_000,
+        },
+        ..ServeConfig::default()
+    });
+    let (client, responses) = server.attach();
+    let total = 24u64;
+    for id in 0..total {
+        let job = SearchJob::new(id, 1 << 10, 4, (id * 13) % (1 << 10));
+        client.submit_line(&serde_json::to_string(&job).expect("serialises"));
+    }
+    assert_eq!(
+        server.metrics().queue_depth,
+        total,
+        "every job admitted and still pending"
+    );
+    assert_eq!(
+        client.submit_line("{\"cmd\":\"shutdown\"}"),
+        LineOutcome::Stop
+    );
+    // A straggler after the command is refused at intake — it must not
+    // increment (or decrement) the gauge.
+    client.submit_job(SearchJob::new(999, 1 << 10, 4, 1));
+    drop(client);
+    let mut results = 0u64;
+    let mut acks = 0u64;
+    let mut refused = 0u64;
+    for line in responses.iter() {
+        match parse_response(&line).expect("well-formed response") {
+            Response::Result(_) => results += 1,
+            Response::Ack { cmd } => {
+                assert_eq!(cmd, "shutdown");
+                acks += 1;
+            }
+            Response::Error { id, kind, .. } => {
+                assert_eq!(kind, ErrorKind::ShuttingDown);
+                assert_eq!(id, Some(999));
+                refused += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(results, total, "the drain answers every admitted job");
+    assert_eq!(acks, 1);
+    assert_eq!(refused, 1);
+    let metrics = server.metrics();
+    assert_eq!(metrics.queue_depth, 0, "depth is zero after the drain");
+    assert_eq!(metrics.jobs_completed, total);
+    assert_eq!(metrics.jobs_errored, 1);
+    server.finish();
+}
+
+/// `--trace=stderr` on the serve binary emits well-formed NDJSON trace
+/// events covering every pipeline stage (the CI smoke asserts the same).
+#[test]
+fn selftest_with_trace_emits_well_formed_stage_lines() {
+    use std::process::Command;
+    let output = Command::new(env!("CARGO_BIN_EXE_psq-serve"))
+        .args(["--selftest", "24", "--threads", "2", "--trace=stderr"])
+        .output()
+        .expect("spawn psq-serve");
+    assert!(output.status.success(), "selftest exits 0");
+    let stderr = String::from_utf8(output.stderr).expect("UTF-8 stderr");
+    let mut stages: HashMap<String, u64> = HashMap::new();
+    for line in stderr.lines().filter(|line| line.starts_with('{')) {
+        let value = serde_json::parse_value(line).expect("trace lines are valid JSON");
+        let object = value.as_object().expect("trace lines are objects");
+        assert_eq!(object.get("type").and_then(Value::as_str), Some("trace"));
+        object
+            .get("job")
+            .and_then(Value::as_u64)
+            .expect("trace lines carry the job id");
+        let us = object
+            .get("us")
+            .and_then(Value::as_f64)
+            .expect("trace lines carry the stage time");
+        assert!(us >= 0.0, "stage time is non-negative");
+        let stage = object
+            .get("stage")
+            .and_then(Value::as_str)
+            .expect("trace lines carry the stage label");
+        *stages.entry(stage.to_string()).or_default() += 1;
+    }
+    for stage in ["plan", "cache", "coalesce"] {
+        assert!(
+            stages.get(stage).copied().unwrap_or(0) >= 1,
+            "at least one `{stage}` trace line (saw {stages:?})"
+        );
+    }
+    assert!(
+        stages.keys().any(|stage| stage.starts_with("execute:")),
+        "at least one execute:<backend> trace line (saw {stages:?})"
+    );
+}
+
+/// Builds a histogram snapshot over the given samples.
+fn snapshot_of(samples: &[f64]) -> psq_obs::HistogramSnapshot {
+    let histogram = psq_obs::Histogram::new();
+    for &sample in samples {
+        histogram.record(sample);
+    }
+    histogram.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The extended `{"type":"metrics"}` line — end-to-end latency,
+    /// coalescer dwell, and per-stage engine histograms included — survives
+    /// `Response::to_line` → `parse_response` bit-for-bit.
+    #[test]
+    fn extended_metrics_lines_round_trip_the_wire(
+        latency in prop::collection::vec(0.0f64..10_000_000.0, 0..48),
+        dwell in prop::collection::vec(0.0f64..1_000_000.0, 0..48),
+        plan in prop::collection::vec(0.0f64..100_000.0, 0..32),
+        cache in prop::collection::vec(0.0f64..100_000.0, 0..32),
+        executions in prop::collection::vec((0usize..6usize, 0.0f64..10_000_000.0), 0..32),
+        completed in 0u64..10_000,
+    ) {
+        let mut per_backend: [Vec<f64>; 6] = Default::default();
+        for (index, us) in executions {
+            per_backend[index].push(us);
+        }
+        let mut backend_latency = BTreeMap::new();
+        for (index, samples) in per_backend.iter().enumerate() {
+            if !samples.is_empty() {
+                backend_latency.insert(psq_engine::Backend::ALL[index], snapshot_of(samples));
+            }
+        }
+        let latency_hist = snapshot_of(&latency);
+        let metrics = ServeMetrics {
+            jobs_submitted: completed + 3,
+            jobs_completed: completed,
+            jobs_errored: 2,
+            jobs_overloaded: 1,
+            queue_depth: 0,
+            batches: 5,
+            batch_jobs_mean: 3.25,
+            batch_jobs_max: 9,
+            clients_connected: 1,
+            clients_total: 4,
+            latency_us_p50: latency_hist.p50(),
+            latency_us_p90: latency_hist.p90(),
+            latency_us_p99: latency_hist.p99(),
+            latency_us_max: latency_hist.max_us,
+            latency: latency_hist,
+            coalesce_dwell: snapshot_of(&dwell),
+            engine_obs: EngineObsSnapshot {
+                plan_us: snapshot_of(&plan),
+                cache_lookup_us: snapshot_of(&cache),
+                backend_latency,
+            },
+            clients: vec![ClientCounters {
+                client: 1,
+                submitted: completed + 3,
+                completed,
+                errors: 2,
+                overloaded: 1,
+            }],
+            result_cache: Default::default(),
+            plan_cache: Default::default(),
+        };
+        let response = Response::Metrics(Box::new(metrics));
+        let line = response.to_line();
+        prop_assert!(!line.contains('\n'), "one line per response");
+        let back = parse_response(&line).expect("extended metrics lines stay parsable");
+        prop_assert_eq!(back, response);
+    }
 }

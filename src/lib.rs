@@ -32,6 +32,7 @@
 //! | [`bounds`] | Theorem 2, Theorem 3 and the Appendix-B hybrid-argument audit (`psq-bounds`) |
 //! | [`engine`] | batched multi-backend execution engine: job specs, cost-model planner with a memoised plan cache, worker-pool executor, recursive full-address backend, metrics (`psq-engine`) |
 //! | [`serve`] | streaming multi-client serving layer: NDJSON protocol (including `full_address` requests), micro-batching coalescer, pipe + TCP transports, admission control (`psq-serve`) |
+//! | [`obs`] | observability primitives: lock-free latency histograms with mergeable snapshots, per-stage spans, the `--trace` NDJSON trace stream (`psq-obs`) |
 //!
 //! ## Quickstart
 //!
@@ -64,6 +65,7 @@ pub use psq_classical as classical;
 pub use psq_engine as engine;
 pub use psq_grover as grover;
 pub use psq_math as math;
+pub use psq_obs as obs;
 pub use psq_parallel as parallel;
 pub use psq_partial as partial;
 pub use psq_serve as serve;

@@ -422,6 +422,69 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+/// Maps serialise as JSON objects. Keys are serialised through their own
+/// [`Serialize`] impl and then flattened to the object-key string: string
+/// keys (including derived fieldless enums, which serialise as their
+/// variant name) pass through verbatim, numeric and boolean keys use their
+/// JSON text. Composite keys have no JSON-object spelling and fall back to
+/// their value-tree debug text — round-trippable only for the simple shapes
+/// above, which are the only shapes this workspace uses.
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        let mut map = Map::new();
+        for (key, value) in self {
+            let key = match key.serialize() {
+                Value::String(s) => s,
+                Value::Number(Number::PosInt(x)) => x.to_string(),
+                Value::Number(Number::NegInt(x)) => x.to_string(),
+                Value::Number(Number::Float(x)) => format!("{x}"),
+                Value::Bool(b) => b.to_string(),
+                other => format!("{other:?}"),
+            };
+            map.insert(key, value.serialize());
+        }
+        Value::Object(map)
+    }
+}
+
+/// The inverse of the map serialisation above: each object key is offered
+/// to `K::deserialize` as a string first, then re-parsed as a number when
+/// the key type rejects strings (numeric keys were stringified on the way
+/// out).
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let object = value
+            .as_object()
+            .ok_or_else(|| Error::custom("expected object for map"))?;
+        let mut map = std::collections::BTreeMap::new();
+        for (key, item) in object.iter() {
+            let parsed_key = K::deserialize(&Value::String(key.clone())).or_else(|string_err| {
+                let numeric = key
+                    .parse::<u64>()
+                    .map(|x| Value::Number(Number::PosInt(x)))
+                    .ok()
+                    .or_else(|| {
+                        key.parse::<i64>()
+                            .ok()
+                            .map(|x| Value::Number(Number::from(x)))
+                    })
+                    .or_else(|| {
+                        key.parse::<f64>()
+                            .ok()
+                            .map(|x| Value::Number(Number::Float(x)))
+                    });
+                match numeric {
+                    Some(value) => K::deserialize(&value),
+                    None => Err(string_err),
+                }
+            })?;
+            let parsed_value = V::deserialize(item).map_err(|e| e.in_field(key))?;
+            map.insert(parsed_key, parsed_value);
+        }
+        Ok(map)
+    }
+}
+
 impl Serialize for Value {
     fn serialize(&self) -> Value {
         self.clone()
@@ -457,6 +520,36 @@ mod tests {
         assert_eq!(
             Option::<f64>::deserialize(&Value::Number(Number::from(2.5))),
             Ok(Some(2.5))
+        );
+    }
+
+    #[test]
+    fn btree_maps_round_trip_as_objects() {
+        use std::collections::BTreeMap;
+        let mut by_name: BTreeMap<String, u64> = BTreeMap::new();
+        by_name.insert("reduced".into(), 3);
+        by_name.insert("circuit".into(), 7);
+        let tree = by_name.serialize();
+        let object = tree.as_object().expect("maps are objects");
+        assert_eq!(
+            object.get("circuit"),
+            Some(&Value::Number(Number::from(7u64)))
+        );
+        assert_eq!(BTreeMap::<String, u64>::deserialize(&tree), Ok(by_name));
+
+        // Numeric keys stringify on the way out and re-parse on the way in.
+        let mut by_size: BTreeMap<u64, f64> = BTreeMap::new();
+        by_size.insert(1024, 0.5);
+        by_size.insert(2048, 0.25);
+        let tree = by_size.serialize();
+        assert!(tree.as_object().expect("object").get("1024").is_some());
+        assert_eq!(BTreeMap::<u64, f64>::deserialize(&tree), Ok(by_size));
+
+        assert!(BTreeMap::<String, u64>::deserialize(&Value::Null).is_err());
+        assert!(
+            BTreeMap::<u64, u64>::deserialize(&Value::Object(Map::new()))
+                .expect("empty object")
+                .is_empty()
         );
     }
 

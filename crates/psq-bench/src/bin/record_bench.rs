@@ -229,6 +229,86 @@ fn run_serve_stream_scenario(
     scenario
 }
 
+/// Streams `jobs` through a `psq-router` pipe session per timed iteration:
+/// the full front tier — rendezvous routing, supervised `psq-serve` worker
+/// processes, pipe transport both ways. Workers run single-threaded with
+/// the result cache off, so what the 1/2/4-worker spread measures is shard
+/// scaling of honest execution (plus the router's own overhead).
+fn run_router_stream_scenario(
+    name: &str,
+    workers: usize,
+    jobs: &[SearchJob],
+    min_seconds: f64,
+    max_iters: u64,
+) -> Scenario {
+    use psq_router::{resolve_worker_cmd, Router, RouterConfig};
+    use psq_serve::testio::SharedSink;
+    let count = jobs.len();
+    let input: String = jobs
+        .iter()
+        .map(|job| serde_json::to_string(job).expect("jobs serialise") + "\n")
+        .collect();
+    let mut worker_cmd = resolve_worker_cmd(None);
+    worker_cmd.extend(
+        ["--no-result-cache", "--threads", "1"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
+    let router = Router::start(RouterConfig {
+        workers,
+        worker_cmd,
+        ..RouterConfig::default()
+    });
+    let stream_once = |router: &Router| {
+        let sink = SharedSink::default();
+        let summary = router
+            .serve_pipe(input.as_bytes(), sink.clone())
+            .expect("router pipe session");
+        assert_eq!(summary.lines_in, count as u64);
+        let answered = sink.lines().len();
+        assert_eq!(answered, count, "every job answered with one line");
+    };
+    stream_once(&router); // warmup (worker plan caches, like the batch scenarios)
+    let mut iterations = 0u64;
+    let started = Instant::now();
+    while iterations < max_iters {
+        stream_once(&router);
+        iterations += 1;
+        if started.elapsed().as_secs_f64() >= min_seconds {
+            break;
+        }
+    }
+    let total_seconds = started.elapsed().as_secs_f64();
+    let metrics = router.finish();
+    assert_eq!(metrics.respawns, 0, "{name}: no worker may die mid-bench");
+    let scenario = Scenario {
+        name: name.to_string(),
+        jobs_per_batch: count as u64,
+        iterations,
+        total_seconds,
+        jobs_per_s: (count as u64 * iterations) as f64 / total_seconds,
+        // The workers own the (disabled) result caches; the router has no
+        // visibility into them.
+        result_cache_hits: 0,
+        result_cache_misses: 0,
+        latency_us_p50: Some(metrics.route.p50()),
+        latency_us_p99: Some(metrics.route.p99()),
+    };
+    eprintln!(
+        "{:<32} {:>5} jobs x {:>3} iters in {:>8.3} s  ->  {:>10.1} jobs/s  \
+         ({} workers, p50/p99 latency {:.0}/{:.0} µs)",
+        scenario.name,
+        scenario.jobs_per_batch,
+        scenario.iterations,
+        scenario.total_seconds,
+        scenario.jobs_per_s,
+        workers,
+        metrics.route.p50(),
+        metrics.route.p99(),
+    );
+    scenario
+}
+
 /// Whether a scenario name passes the `--scenario` filters (no filters:
 /// everything runs).
 fn wanted(name: &str, filters: &[String]) -> bool {
@@ -389,6 +469,26 @@ fn main() {
         let jobs = uniform_batch(BackendHint::Recursive, 64);
         scenarios.push(run_serve_stream_scenario(
             "full_address_stream/64",
+            &jobs,
+            min_seconds,
+            max_iters,
+        ));
+    }
+
+    // The sharded front tier end to end: the same mixed 512 batch through a
+    // `psq-router` pipe session over 1, 2 and 4 supervised worker
+    // processes. Real process boundaries, real pipes; the worker binary is
+    // resolved like production (PSQ_ROUTER_WORKER_CMD, then a sibling
+    // `psq-serve`, then PATH), so build the workspace binaries first.
+    for workers in [1usize, 2, 4] {
+        let name = format!("router_stream/{workers}");
+        if !wanted(&name, &filters) {
+            continue;
+        }
+        let jobs = generate_mixed_batch(512, 42);
+        scenarios.push(run_router_stream_scenario(
+            &name,
+            workers,
             &jobs,
             min_seconds,
             max_iters,

@@ -193,6 +193,46 @@ impl SearchJob {
         self
     }
 
+    /// A stable 64-bit hash of the job's deterministic spec — everything
+    /// that decides what the job *computes* (`n`, `k`, `target`,
+    /// `error_target`, `trials`, `seed`, backend hint) and nothing that
+    /// doesn't (the client-assigned `id` is excluded). Two jobs with equal
+    /// route keys execute identically, so a sharded front tier that routes
+    /// by this key lands every repeat of a spec on the same worker and its
+    /// warm result cache. The hash is FNV-1a over the packed fields —
+    /// deliberately independent of `std`'s randomised `DefaultHasher`, so
+    /// the key is stable across processes, runs, and rust versions (a
+    /// router and its workers may be different builds).
+    pub fn route_key(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let backend_tag: u64 = match self.backend {
+            BackendHint::Auto => 0,
+            BackendHint::Reduced => 1,
+            BackendHint::StateVector => 2,
+            BackendHint::Circuit => 3,
+            BackendHint::ClassicalDeterministic => 4,
+            BackendHint::ClassicalRandomized => 5,
+            BackendHint::Recursive => 6,
+        };
+        let mut hash = OFFSET;
+        for word in [
+            self.n,
+            self.k,
+            self.target,
+            self.error_target.to_bits(),
+            self.trials as u64,
+            self.seed,
+            backend_tag,
+        ] {
+            for byte in word.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(PRIME);
+            }
+        }
+        hash
+    }
+
     /// Checks the structural invariants every backend relies on.
     pub fn validate(&self) -> Result<(), String> {
         if self.k < 2 {
@@ -493,6 +533,36 @@ mod tests {
         ] {
             assert!(a.iter().any(|j| j.backend == hint), "missing {hint:?}");
         }
+    }
+
+    #[test]
+    fn route_key_depends_on_spec_not_id() {
+        let job = SearchJob::new(1, 1 << 12, 4, 99);
+        let mut renamed = job;
+        renamed.id = 777;
+        assert_eq!(
+            job.route_key(),
+            renamed.route_key(),
+            "the client-assigned id must not affect routing"
+        );
+        // Every deterministic field must affect the key.
+        assert_ne!(job.route_key(), SearchJob { n: 1 << 13, ..job }.route_key());
+        assert_ne!(job.route_key(), SearchJob { k: 8, ..job }.route_key());
+        assert_ne!(job.route_key(), SearchJob { target: 98, ..job }.route_key());
+        assert_ne!(job.route_key(), job.with_error_target(0.25).route_key());
+        assert_ne!(job.route_key(), job.with_trials(2).route_key());
+        assert_ne!(job.route_key(), job.with_seed(job.seed ^ 1).route_key());
+        assert_ne!(
+            job.route_key(),
+            job.with_backend(BackendHint::Reduced).route_key()
+        );
+        // Pinned value: the key is part of the router's stability contract
+        // (a router and its workers may be different builds), so a change
+        // here is a breaking change, not a refactor.
+        assert_eq!(
+            SearchJob::new(0, 1 << 10, 4, 7).route_key(),
+            0x56aa_10a9_19a8_e8e3
+        );
     }
 
     #[test]

@@ -14,8 +14,9 @@
 //!
 //! `job` is the id the enclosing layer uses (the engine's batch index, the
 //! serving layer's client-assigned id), `stage` is a stable label —
-//! `plan`, `cache`, `execute:<backend>` and `coalesce` across this
-//! workspace — and `us` is the stage's wall time in microseconds. Lines are
+//! `plan`, `cache`, `execute:<backend>`, `coalesce` and the front-tier
+//! router's `route`/`retry`/`respawn` across this workspace — and `us` is
+//! the stage's wall time in microseconds. Lines are
 //! flushed as they are written, so a crashing process loses at most the
 //! line being formatted.
 
@@ -33,6 +34,16 @@ pub mod stage {
     pub const CACHE: &str = "cache";
     /// Time a job waited in the coalescer for batch company.
     pub const COALESCE: &str = "coalesce";
+    /// End-to-end time a job spent inside the front-tier router
+    /// (admission → answer forwarded to the client).
+    pub const ROUTE: &str = "route";
+    /// A job re-dispatched to another worker after a deadline expiry or a
+    /// worker failure; the value is how long the failed attempt had been
+    /// outstanding.
+    pub const RETRY: &str = "retry";
+    /// A worker respawn; the value is the slot's downtime (failure
+    /// detection → replacement process up).
+    pub const RESPAWN: &str = "respawn";
 }
 
 /// 0 = disabled, 1 = enabled. Relaxed everywhere: tracing is diagnostic

@@ -1,0 +1,246 @@
+//! Deterministic fault injection for worker processes.
+//!
+//! A [`FaultPlan`] describes one misbehaviour of one worker, keyed to a
+//! reply count so tests are reproducible: "crash after the 64th reply
+//! line" happens at exactly the same point every run. The plan travels to
+//! the worker through the `PSQ_ROUTER_FAULT` environment variable and is
+//! applied by wrapping the worker's stdout in a [`FaultWriter`], so the
+//! serving stack under test is the real one — only the wire misbehaves.
+//!
+//! Plan syntax (the `--fault SLOT:SPEC` flag carries the `SPEC` part):
+//!
+//! * `kill@J`    — abort the process after writing J reply lines (a crash
+//!   mid-stream: no flush, no goodbye, like SIGKILL);
+//! * `freeze@J`  — keep reading but silently drop every reply line after
+//!   the Jth (a hung worker: liveness detection territory);
+//! * `corrupt@J` — replace the Jth reply line with non-JSON garbage (a
+//!   torn or overwritten buffer);
+//! * `delay=MS`  — sleep MS milliseconds before each reply line (a slow
+//!   worker: deadline territory).
+
+use std::io::Write;
+
+/// The environment variable a worker reads its fault plan from.
+pub const FAULT_ENV: &str = "PSQ_ROUTER_FAULT";
+
+/// What goes wrong.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Abort the process (exit without flushing) after N reply lines.
+    Kill,
+    /// Silently swallow every reply line after the first N.
+    Freeze,
+    /// Replace reply line N (1-based) with garbage bytes.
+    Corrupt,
+    /// Sleep this many milliseconds before every reply line.
+    Delay(u64),
+}
+
+/// One worker's deterministic misbehaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The failure mode.
+    pub kind: FaultKind,
+    /// The reply-line count that triggers it (`Delay` ignores it).
+    pub after_lines: u64,
+}
+
+impl FaultPlan {
+    /// Parses a plan spec (`kill@J`, `freeze@J`, `corrupt@J`, `delay=MS`).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        if let Some(ms) = spec.strip_prefix("delay=") {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| format!("invalid delay milliseconds in `{spec}`"))?;
+            return Ok(Self {
+                kind: FaultKind::Delay(ms),
+                after_lines: 0,
+            });
+        }
+        let (kind, count) = spec.split_once('@').ok_or_else(|| {
+            format!("invalid fault spec `{spec}` (want kill@J, freeze@J, corrupt@J or delay=MS)")
+        })?;
+        let after_lines: u64 = count
+            .parse()
+            .map_err(|_| format!("invalid line count in `{spec}`"))?;
+        let kind = match kind {
+            "kill" => FaultKind::Kill,
+            "freeze" => FaultKind::Freeze,
+            "corrupt" => FaultKind::Corrupt,
+            other => return Err(format!("unknown fault kind `{other}` in `{spec}`")),
+        };
+        Ok(Self { kind, after_lines })
+    }
+
+    /// The wire spelling [`FaultPlan::parse`] accepts.
+    pub fn spec(&self) -> String {
+        match self.kind {
+            FaultKind::Kill => format!("kill@{}", self.after_lines),
+            FaultKind::Freeze => format!("freeze@{}", self.after_lines),
+            FaultKind::Corrupt => format!("corrupt@{}", self.after_lines),
+            FaultKind::Delay(ms) => format!("delay={ms}"),
+        }
+    }
+
+    /// Reads a plan from [`FAULT_ENV`], if one is set.
+    pub fn from_env() -> Result<Option<Self>, String> {
+        match std::env::var(FAULT_ENV) {
+            Ok(spec) if !spec.is_empty() => Self::parse(&spec).map(Some),
+            _ => Ok(None),
+        }
+    }
+}
+
+/// Wraps a worker's stdout and misbehaves according to the plan.
+///
+/// The writer buffers bytes until it has a full line, so the trigger
+/// counts *reply lines*, not write calls — the serving layer's flush
+/// pattern does not change when a fault fires.
+pub struct FaultWriter<W: Write> {
+    inner: W,
+    plan: FaultPlan,
+    buffered: Vec<u8>,
+    lines_out: u64,
+    frozen: bool,
+}
+
+impl<W: Write> FaultWriter<W> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: W, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            buffered: Vec::new(),
+            lines_out: 0,
+            frozen: false,
+        }
+    }
+
+    fn emit_line(&mut self, line: &[u8]) -> std::io::Result<()> {
+        self.lines_out += 1;
+        match self.plan.kind {
+            FaultKind::Delay(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                self.inner.write_all(line)
+            }
+            FaultKind::Freeze => {
+                if self.frozen || self.lines_out > self.plan.after_lines {
+                    self.frozen = true;
+                    Ok(()) // swallowed: the worker looks alive but answers nothing
+                } else {
+                    self.inner.write_all(line)
+                }
+            }
+            FaultKind::Corrupt => {
+                if self.lines_out == self.plan.after_lines {
+                    self.inner.write_all(b"\x7fgarbage not a response line\n")
+                } else {
+                    self.inner.write_all(line)
+                }
+            }
+            FaultKind::Kill => {
+                self.inner.write_all(line)?;
+                if self.lines_out >= self.plan.after_lines {
+                    // A crash, not an exit: no flush, no drop glue, the
+                    // pipe just breaks — exactly what SIGKILL looks like
+                    // from the router's side.
+                    let _ = self.inner.flush();
+                    std::process::abort();
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl<W: Write> Write for FaultWriter<W> {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buffered.extend_from_slice(data);
+        while let Some(newline) = self.buffered.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.buffered.drain(..=newline).collect();
+            self.emit_line(&line)?;
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_round_trip_and_bad_specs_fail() {
+        for spec in ["kill@64", "freeze@1", "corrupt@7", "delay=3"] {
+            let plan = FaultPlan::parse(spec).expect("parses");
+            assert_eq!(plan.spec(), spec);
+        }
+        assert!(FaultPlan::parse("kill").is_err());
+        assert!(FaultPlan::parse("kill@x").is_err());
+        assert!(FaultPlan::parse("melt@3").is_err());
+        assert!(FaultPlan::parse("delay=soon").is_err());
+    }
+
+    #[test]
+    fn freeze_swallows_lines_after_the_trigger() {
+        let mut out = Vec::new();
+        {
+            let mut writer = FaultWriter::new(
+                &mut out,
+                FaultPlan {
+                    kind: FaultKind::Freeze,
+                    after_lines: 2,
+                },
+            );
+            for i in 0..5 {
+                writeln!(writer, "line {i}").expect("writes");
+            }
+        }
+        assert_eq!(String::from_utf8(out).expect("utf8"), "line 0\nline 1\n");
+    }
+
+    #[test]
+    fn corrupt_replaces_exactly_one_line() {
+        let mut out = Vec::new();
+        {
+            let mut writer = FaultWriter::new(
+                &mut out,
+                FaultPlan {
+                    kind: FaultKind::Corrupt,
+                    after_lines: 2,
+                },
+            );
+            for i in 0..3 {
+                writeln!(writer, "{{\"i\":{i}}}").expect("writes");
+            }
+        }
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "{\"i\":0}");
+        assert!(lines[1].contains("garbage"));
+        assert_eq!(lines[2], "{\"i\":2}");
+    }
+
+    #[test]
+    fn partial_writes_still_count_whole_lines() {
+        let mut out = Vec::new();
+        {
+            let mut writer = FaultWriter::new(
+                &mut out,
+                FaultPlan {
+                    kind: FaultKind::Freeze,
+                    after_lines: 1,
+                },
+            );
+            // One line split across three write calls, then one more line.
+            writer.write_all(b"he").expect("writes");
+            writer.write_all(b"llo").expect("writes");
+            writer.write_all(b"\nworld\n").expect("writes");
+        }
+        assert_eq!(String::from_utf8(out).expect("utf8"), "hello\n");
+    }
+}

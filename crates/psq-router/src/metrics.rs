@@ -1,0 +1,175 @@
+//! Router-level observability: counters, per-worker status, and the
+//! route/retry/respawn latency histograms (lock-free `psq-obs` shards).
+
+use psq_obs::{Histogram, HistogramSnapshot};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Always-on router counters and histograms (atomics; snapshot on demand).
+#[derive(Default)]
+pub struct RouterObs {
+    /// Jobs accepted from clients (admitted and routed, or shed).
+    pub jobs_submitted: AtomicU64,
+    /// Jobs answered with a result.
+    pub jobs_completed: AtomicU64,
+    /// Jobs answered with an error (any kind).
+    pub jobs_errored: AtomicU64,
+    /// Jobs shed with an `overload` error because every worker was full.
+    pub jobs_overloaded: AtomicU64,
+    /// Re-dispatches after a worker death or deadline expiry.
+    pub retries: AtomicU64,
+    /// Jobs that exhausted their deadline budget (answered `deadline`).
+    pub deadline_expired: AtomicU64,
+    /// Worker processes replaced after a crash, hang or drain.
+    pub respawns: AtomicU64,
+    /// Late or duplicate worker replies dropped (the job was already
+    /// answered, usually by a retry racing the original).
+    pub duplicates_dropped: AtomicU64,
+    /// Unparsable worker stdout lines (the worker gets recycled).
+    pub corrupt_lines: AtomicU64,
+    /// Health probes sent to workers.
+    pub probes_sent: AtomicU64,
+    /// End-to-end in-router latency per answered job, microseconds.
+    pub route_us: Histogram,
+    /// How long a failed attempt was outstanding before its retry.
+    pub retry_us: Histogram,
+    /// Slot downtime per respawn (failure detection to replacement up).
+    pub respawn_us: Histogram,
+}
+
+impl RouterObs {
+    /// Bumps a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One worker slot's externally visible state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkerStatus {
+    /// The slot index.
+    pub slot: u64,
+    /// `"up"`, `"draining"`, `"down"`, or `"broken"` (circuit open).
+    pub state: String,
+    /// How many processes have occupied the slot (1 = the original).
+    pub generation: u64,
+    /// Jobs currently assigned to the slot and unanswered.
+    pub inflight: u64,
+    /// Jobs this slot answered over its lifetime (all generations).
+    pub completed: u64,
+}
+
+/// A serialisable snapshot of the router's counters and worker states.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RouterMetrics {
+    /// Jobs accepted from clients.
+    pub jobs_submitted: u64,
+    /// Jobs answered with a result.
+    pub jobs_completed: u64,
+    /// Jobs answered with an error (any kind).
+    pub jobs_errored: u64,
+    /// Jobs shed with an `overload` error.
+    pub jobs_overloaded: u64,
+    /// Jobs admitted and not yet answered.
+    pub queue_depth: u64,
+    /// Re-dispatches after a worker death or deadline expiry.
+    pub retries: u64,
+    /// Jobs that exhausted their deadline budget.
+    pub deadline_expired: u64,
+    /// Worker processes replaced.
+    pub respawns: u64,
+    /// Late or duplicate worker replies dropped.
+    pub duplicates_dropped: u64,
+    /// Unparsable worker stdout lines.
+    pub corrupt_lines: u64,
+    /// Health probes sent.
+    pub probes_sent: u64,
+    /// End-to-end in-router latency per answered job.
+    pub route: HistogramSnapshot,
+    /// Outstanding time of failed attempts at retry.
+    pub retry: HistogramSnapshot,
+    /// Slot downtime per respawn.
+    pub respawn: HistogramSnapshot,
+    /// Per-slot status.
+    pub workers: Vec<WorkerStatus>,
+}
+
+impl RouterMetrics {
+    /// Collects the counter/histogram half of the snapshot (the caller
+    /// fills in `queue_depth` and `workers` from routing state).
+    pub fn from_obs(obs: &RouterObs) -> Self {
+        Self {
+            jobs_submitted: obs.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: obs.jobs_completed.load(Ordering::Relaxed),
+            jobs_errored: obs.jobs_errored.load(Ordering::Relaxed),
+            jobs_overloaded: obs.jobs_overloaded.load(Ordering::Relaxed),
+            queue_depth: 0,
+            retries: obs.retries.load(Ordering::Relaxed),
+            deadline_expired: obs.deadline_expired.load(Ordering::Relaxed),
+            respawns: obs.respawns.load(Ordering::Relaxed),
+            duplicates_dropped: obs.duplicates_dropped.load(Ordering::Relaxed),
+            corrupt_lines: obs.corrupt_lines.load(Ordering::Relaxed),
+            probes_sent: obs.probes_sent.load(Ordering::Relaxed),
+            route: obs.route_us.snapshot(),
+            retry: obs.retry_us.snapshot(),
+            respawn: obs.respawn_us.snapshot(),
+            workers: Vec::new(),
+        }
+    }
+
+    /// Serialises to the router's tagged metrics line
+    /// (`{"type":"router_metrics","metrics":{…}}`).
+    pub fn to_line(&self) -> String {
+        format!(
+            "{{\"type\":\"router_metrics\",\"metrics\":{}}}",
+            serde_json::to_string(self).expect("router metrics serialise")
+        )
+    }
+
+    /// Parses a line produced by [`RouterMetrics::to_line`].
+    pub fn parse_line(line: &str) -> Result<Self, String> {
+        use serde::Value;
+        let value = serde_json::parse_value(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        let object = value
+            .as_object()
+            .ok_or_else(|| "expected a JSON object".to_string())?;
+        if object.get("type").and_then(Value::as_str) != Some("router_metrics") {
+            return Err("not a router_metrics line".to_string());
+        }
+        let metrics = object
+            .get("metrics")
+            .ok_or_else(|| "router_metrics line without \"metrics\"".to_string())?;
+        Self::deserialize(metrics).map_err(|e| format!("invalid metrics payload: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_lines_round_trip() {
+        let obs = RouterObs::default();
+        RouterObs::bump(&obs.jobs_submitted);
+        RouterObs::bump(&obs.jobs_completed);
+        RouterObs::bump(&obs.respawns);
+        obs.route_us.record(120.0);
+        obs.route_us.record(480.0);
+        let mut metrics = RouterMetrics::from_obs(&obs);
+        metrics.queue_depth = 3;
+        metrics.workers.push(WorkerStatus {
+            slot: 0,
+            state: "up".into(),
+            generation: 2,
+            inflight: 3,
+            completed: 1,
+        });
+        let line = metrics.to_line();
+        assert!(!line.contains('\n'));
+        let back = RouterMetrics::parse_line(&line).expect("round trips");
+        assert_eq!(back, metrics);
+        assert_eq!(back.respawns, 1);
+        assert!(back.route.p99() >= back.route.p50());
+        assert!(RouterMetrics::parse_line("{\"type\":\"metrics\"}").is_err());
+    }
+}

@@ -1,0 +1,1261 @@
+//! The router core: sharded routing, supervision, deadlines, retries.
+//!
+//! One [`Router`] owns N worker slots, each running a child process that
+//! speaks the psq-serve NDJSON protocol over its pipes. Clients attach to
+//! the router exactly as they would to a single `psq-serve` — same
+//! requests, same tagged responses — and the router:
+//!
+//! * routes each job by **rendezvous hash** of its spec key
+//!   ([`psq_engine::SearchJob::route_key`]), so identical specs land on
+//!   the same worker and its warm result cache, and losing a worker only
+//!   remaps that worker's share of the keyspace;
+//! * rewrites client job ids to router-global ids on the way down and back
+//!   again on the way up, so id collisions across clients cannot collide
+//!   inside a worker;
+//! * supervises every worker: periodic `{"cmd":"health"}` probes, a
+//!   liveness deadline for hung processes, crash detection at pipe EOF,
+//!   automatic respawn with exponential backoff, and a circuit breaker
+//!   that parks a slot after too many consecutive failures;
+//! * enforces a per-request deadline with bounded retry on another worker
+//!   — every job is a pure function of its seeded spec, so a replay is
+//!   bit-identical and retries are safe (first answer wins, late
+//!   duplicates are counted and dropped);
+//! * sheds work as structured `overload` errors when every routable
+//!   worker is at its in-flight bound, and
+//! * supports drain-aware rolling restarts: `{"cmd":"restart"}` drains
+//!   each worker in turn (stop routing → flush in-flight → respawn) with
+//!   zero lost or duplicated answers.
+
+use crate::fault::FaultPlan;
+use crate::metrics::{RouterMetrics, RouterObs, WorkerStatus};
+use crate::worker::{WorkerEvent, WorkerLink};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use psq_engine::SearchJob;
+use psq_obs::{stage, trace};
+use psq_serve::protocol::{parse_request, parse_response, Command, ErrorKind, Request, Response};
+use psq_serve::session::{OutLine, Session, SessionRegistry};
+use psq_serve::LineOutcome;
+use serde::Value;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Front-tier configuration.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Worker slots to spawn and supervise.
+    pub workers: usize,
+    /// Worker argv (program + args). See [`resolve_worker_cmd`].
+    pub worker_cmd: Vec<String>,
+    /// Per-attempt answer budget; an expired attempt retries elsewhere.
+    pub deadline: Duration,
+    /// Extra attempts after the first before a job fails as `deadline`.
+    pub max_retries: u32,
+    /// How often each worker gets a `{"cmd":"health"}` probe.
+    pub probe_interval: Duration,
+    /// An unanswered probe older than this declares the worker hung.
+    pub liveness_timeout: Duration,
+    /// Per-worker in-flight bound (backpressure; jobs spill to the next
+    /// rendezvous choice, then shed as `overload`).
+    pub worker_inflight: u32,
+    /// Per-client in-flight bound on the router's own front sessions.
+    pub max_inflight: u32,
+    /// Respawn backoff base (doubles per consecutive failure).
+    pub backoff: Duration,
+    /// Consecutive spawn-or-crash failures that open a slot's circuit
+    /// breaker (the slot stops respawning until the router restarts).
+    pub circuit_breaker: u32,
+    /// Deterministic fault plans by slot index, applied to each slot's
+    /// *first* process generation only (respawned workers run clean).
+    pub faults: Vec<Option<FaultPlan>>,
+    /// Idle read timeout for the router's own TCP sessions.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            worker_cmd: Vec::new(),
+            deadline: Duration::from_secs(10),
+            max_retries: 2,
+            probe_interval: Duration::from_millis(200),
+            liveness_timeout: Duration::from_secs(2),
+            worker_inflight: 256,
+            max_inflight: 1024,
+            backoff: Duration::from_millis(50),
+            circuit_breaker: 5,
+            faults: Vec::new(),
+            idle_timeout: Some(Duration::from_secs(60)),
+        }
+    }
+}
+
+/// Resolves the worker argv: an explicit command wins, then the
+/// `PSQ_ROUTER_WORKER_CMD` environment variable (whitespace-split), then a
+/// `psq-serve` binary next to the current executable, then `psq-serve` on
+/// `PATH`.
+pub fn resolve_worker_cmd(explicit: Option<Vec<String>>) -> Vec<String> {
+    if let Some(cmd) = explicit {
+        if !cmd.is_empty() {
+            return cmd;
+        }
+    }
+    if let Ok(spec) = std::env::var("PSQ_ROUTER_WORKER_CMD") {
+        let cmd: Vec<String> = spec.split_whitespace().map(str::to_string).collect();
+        if !cmd.is_empty() {
+            return cmd;
+        }
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        if let Some(dir) = exe.parent() {
+            let sibling = dir.join("psq-serve");
+            if sibling.exists() {
+                return vec![sibling.to_string_lossy().into_owned()];
+            }
+        }
+    }
+    vec!["psq-serve".to_string()]
+}
+
+/// Rendezvous (highest-random-weight) score of `key` on `slot`: each live
+/// worker scores every key independently, the highest score wins, and
+/// removing a worker only remaps the keys it was winning.
+pub(crate) fn rendezvous_score(key: u64, slot: usize) -> u64 {
+    let mut x = key ^ (slot as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// A slot's lifecycle phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Routable: process up, probes answered.
+    Up,
+    /// Flushing in-flight work before a planned exit; not routable.
+    Draining,
+    /// Process dead; waiting out the respawn backoff.
+    Down,
+    /// Circuit open after too many consecutive failures; stays down.
+    Broken,
+}
+
+impl Phase {
+    fn label(self) -> &'static str {
+        match self {
+            Phase::Up => "up",
+            Phase::Draining => "draining",
+            Phase::Down => "down",
+            Phase::Broken => "broken",
+        }
+    }
+}
+
+/// One worker slot's supervision state.
+struct Slot {
+    link: Option<WorkerLink>,
+    phase: Phase,
+    /// Process generation (1 = the original spawn).
+    generation: u64,
+    inflight: u32,
+    completed: u64,
+    consecutive_failures: u32,
+    /// When the outstanding probe was sent, if one is unanswered. *Any*
+    /// output from the current generation clears it — a worker that keeps
+    /// producing lines is alive, whatever order it answers in.
+    probe_sent: Option<Instant>,
+    next_probe_at: Instant,
+    /// When the current outage began (failure detection time).
+    down_since: Option<Instant>,
+    /// When the supervisor may respawn a Down slot.
+    respawn_at: Instant,
+    /// The current outage is a planned drain: respawn without penalty.
+    draining_exit: bool,
+}
+
+impl Slot {
+    fn new(now: Instant) -> Self {
+        Self {
+            link: None,
+            phase: Phase::Down,
+            generation: 0,
+            inflight: 0,
+            completed: 0,
+            consecutive_failures: 0,
+            probe_sent: None,
+            next_probe_at: now,
+            down_since: None,
+            respawn_at: now,
+            draining_exit: false,
+        }
+    }
+
+    fn routable(&self, worker_inflight: u32) -> bool {
+        self.phase == Phase::Up && self.link.is_some() && self.inflight < worker_inflight
+    }
+}
+
+/// One admitted, not-yet-answered job.
+struct Pending {
+    client_id: u64,
+    session: Arc<Session>,
+    /// The job serialised with its router-global id (replay-ready).
+    line: String,
+    route_key: u64,
+    /// Current worker assignment (`None` = parked, waiting for a worker).
+    slot: Option<usize>,
+    attempts: u32,
+    deadline: Instant,
+    dispatched: Instant,
+    started: Instant,
+}
+
+/// Mutable routing state behind one mutex (submit path, dispatcher and
+/// supervisor all take it briefly; no I/O happens under it except channel
+/// sends, which never block).
+struct State {
+    slots: Vec<Slot>,
+    pending: HashMap<u64, Pending>,
+}
+
+struct Shared {
+    config: RouterConfig,
+    obs: RouterObs,
+    state: Mutex<State>,
+    registry: SessionRegistry,
+    shutdown: AtomicBool,
+    restart_running: AtomicBool,
+    started: Instant,
+    next_router_id: AtomicU64,
+    events: Sender<WorkerEvent>,
+}
+
+impl Shared {
+    // ----- routing -------------------------------------------------------
+
+    /// Best routable slot for `key`, avoiding `not` when any other
+    /// candidate exists (retries prefer a different worker, but a
+    /// single-worker router may only retry in place).
+    fn choose_slot(&self, state: &State, key: u64, not: Option<usize>) -> Option<usize> {
+        let pick = |exclude: Option<usize>| {
+            state
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(index, slot)| {
+                    Some(*index) != exclude && slot.routable(self.config.worker_inflight)
+                })
+                .max_by_key(|(index, _)| rendezvous_score(key, *index))
+                .map(|(index, _)| index)
+        };
+        pick(not).or_else(|| if not.is_some() { pick(None) } else { None })
+    }
+
+    /// Assigns (or parks) `router_id`'s pending job. Must hold no lock.
+    fn dispatch(&self, router_id: u64) {
+        let mut state = self.state.lock();
+        let Some(pending) = state.pending.get(&router_id) else {
+            return;
+        };
+        let not = pending.slot;
+        let key = pending.route_key;
+        let Some(slot_index) = self.choose_slot(&state, key, not) else {
+            let pending = state.pending.get_mut(&router_id).expect("checked above");
+            pending.slot = None; // parked: the supervisor re-dispatches
+            return;
+        };
+        let now = Instant::now();
+        let line = {
+            let pending = state.pending.get_mut(&router_id).expect("checked above");
+            pending.slot = Some(slot_index);
+            pending.deadline = now + self.config.deadline;
+            pending.dispatched = now;
+            pending.line.clone()
+        };
+        let slot = &mut state.slots[slot_index];
+        slot.inflight += 1;
+        if let Some(link) = &slot.link {
+            // A send failure means the process just died; the reader's EOF
+            // event re-routes this job, so nothing more to do here.
+            let _ = link.send_line(line);
+        }
+    }
+
+    /// Re-dispatches a failed attempt or fails the job once its bounded
+    /// retries are spent. `expired` marks a deadline expiry (as opposed to
+    /// a worker loss) in the counters.
+    fn retry_or_fail(&self, router_id: u64, expired: bool) {
+        let outstanding_us;
+        let exhausted;
+        {
+            let mut guard = self.state.lock();
+            let state = &mut *guard;
+            let Some(pending) = state.pending.get_mut(&router_id) else {
+                return; // answered while we decided
+            };
+            outstanding_us = pending.dispatched.elapsed().as_micros() as f64;
+            // Release the failed assignment: the old worker no longer owns
+            // this job (its late answer, if any, is still accepted — first
+            // answer wins — but no longer counts against its slot).
+            if let Some(old) = pending.slot.take() {
+                state.slots[old].inflight = state.slots[old].inflight.saturating_sub(1);
+            }
+            pending.attempts += 1;
+            exhausted = pending.attempts > 1 + self.config.max_retries;
+            if exhausted {
+                let pending = state.pending.remove(&router_id).expect("checked above");
+                let reason = format!(
+                    "deadline budget exhausted after {} attempt(s)",
+                    pending.attempts - 1
+                );
+                self.answer_error(&pending, ErrorKind::Deadline, &reason);
+            }
+        }
+        if expired {
+            RouterObs::bump(&self.obs.deadline_expired);
+        }
+        if exhausted {
+            return;
+        }
+        RouterObs::bump(&self.obs.retries);
+        self.obs.retry_us.record(outstanding_us);
+        trace::event(router_id, stage::RETRY, outstanding_us);
+        self.dispatch(router_id);
+    }
+
+    /// Sends `pending` an error response and balances its session slot.
+    fn answer_error(&self, pending: &Pending, kind: ErrorKind, reason: &str) {
+        let response = Response::Error {
+            id: Some(pending.client_id),
+            kind,
+            reason: reason.to_string(),
+        };
+        pending.session.send(response.to_line());
+        pending.session.fail();
+        RouterObs::bump(&self.obs.jobs_errored);
+    }
+
+    // ----- worker lifecycle ----------------------------------------------
+
+    /// Marks `slot_index` dead (crash, hang enforcement, or drain exit),
+    /// schedules its respawn, and re-dispatches every job it still owed.
+    /// Returns the dead link for the caller to reap outside the lock.
+    fn worker_down(&self, slot_index: usize) -> Option<WorkerLink> {
+        let link;
+        let owed: Vec<u64>;
+        {
+            let mut state = self.state.lock();
+            let slot = &mut state.slots[slot_index];
+            if slot.phase == Phase::Down || slot.phase == Phase::Broken {
+                return None;
+            }
+            let drained = slot.phase == Phase::Draining && slot.draining_exit;
+            link = slot.link.take();
+            slot.phase = Phase::Down;
+            slot.probe_sent = None;
+            slot.inflight = 0;
+            slot.down_since.get_or_insert_with(Instant::now);
+            let now = Instant::now();
+            if drained {
+                // A planned exit respawns immediately and carries no
+                // failure penalty.
+                slot.respawn_at = now;
+            } else {
+                slot.consecutive_failures += 1;
+                if slot.consecutive_failures >= self.config.circuit_breaker {
+                    slot.phase = Phase::Broken;
+                } else {
+                    let exponent = slot.consecutive_failures.saturating_sub(1).min(8);
+                    slot.respawn_at = now + self.config.backoff * (1u32 << exponent);
+                }
+            }
+            owed = state
+                .pending
+                .iter()
+                .filter(|(_, p)| p.slot == Some(slot_index))
+                .map(|(&id, _)| id)
+                .collect();
+        }
+        for router_id in owed {
+            self.retry_or_fail(router_id, false);
+        }
+        link
+    }
+
+    /// Kills a worker that breached the protocol (corrupt line) or its
+    /// liveness deadline; the pipe EOF then flows through the normal
+    /// [`Shared::worker_down`] path.
+    fn enforce_kill(&self, slot_index: usize) {
+        let state = self.state.lock();
+        let slot = &state.slots[slot_index];
+        if let Some(link) = &slot.link {
+            link.kill();
+        }
+    }
+
+    /// Spawns `slot_index`'s next process generation.
+    fn respawn(&self, slot_index: usize) {
+        let generation;
+        let fault_spec;
+        {
+            let mut state = self.state.lock();
+            let slot = &mut state.slots[slot_index];
+            if slot.phase != Phase::Down {
+                return;
+            }
+            generation = slot.generation + 1;
+            fault_spec = (generation == 1)
+                .then(|| self.config.faults.get(slot_index).copied().flatten())
+                .flatten()
+                .map(|plan| plan.spec());
+        }
+        let spawned = WorkerLink::spawn(
+            &self.config.worker_cmd,
+            slot_index,
+            generation,
+            fault_spec.as_deref(),
+            self.events.clone(),
+        );
+        let mut state = self.state.lock();
+        let slot = &mut state.slots[slot_index];
+        let now = Instant::now();
+        match spawned {
+            Ok(link) => {
+                slot.link = Some(link);
+                slot.phase = Phase::Up;
+                slot.generation = generation;
+                slot.inflight = 0;
+                slot.probe_sent = None;
+                slot.next_probe_at = now + self.config.probe_interval;
+                slot.draining_exit = false;
+                if generation > 1 {
+                    RouterObs::bump(&self.obs.respawns);
+                    if let Some(since) = slot.down_since.take() {
+                        let downtime_us = since.elapsed().as_micros() as f64;
+                        self.obs.respawn_us.record(downtime_us);
+                        trace::event(slot_index as u64, stage::RESPAWN, downtime_us);
+                    }
+                } else {
+                    slot.down_since = None;
+                }
+            }
+            Err(_) => {
+                slot.consecutive_failures += 1;
+                if slot.consecutive_failures >= self.config.circuit_breaker {
+                    slot.phase = Phase::Broken;
+                } else {
+                    let exponent = slot.consecutive_failures.saturating_sub(1).min(8);
+                    slot.respawn_at = now + self.config.backoff * (1u32 << exponent);
+                }
+            }
+        }
+    }
+
+    /// Drains one worker: stop routing to it, ask it to flush and exit.
+    /// The exit EOF triggers an immediate, penalty-free respawn.
+    fn drain_worker(&self, slot_index: usize) {
+        let state = self.state.lock();
+        let slot = &state.slots[slot_index];
+        if slot.phase != Phase::Up {
+            return;
+        }
+        if let Some(link) = &slot.link {
+            // Order matters on the worker's single reader: every job line
+            // already queued lands before the drain, so the worker answers
+            // all of them before acking and exiting.
+            let _ = link.send_line("{\"cmd\":\"drain\"}".to_string());
+        }
+        drop(state);
+        let mut state = self.state.lock();
+        let slot = &mut state.slots[slot_index];
+        if slot.phase == Phase::Up {
+            slot.phase = Phase::Draining;
+            slot.draining_exit = true;
+            slot.down_since = Some(Instant::now());
+        }
+    }
+
+    /// Rolling restart: drain and respawn every slot, one at a time, so
+    /// capacity never drops by more than one worker.
+    fn rolling_restart(&self) {
+        if self.restart_running.swap(true, Ordering::SeqCst) {
+            return; // one restart at a time
+        }
+        let workers = self.state.lock().slots.len();
+        for slot_index in 0..workers {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let target_generation = {
+                let state = self.state.lock();
+                if state.slots[slot_index].phase != Phase::Up {
+                    continue; // down or broken slots have nothing to drain
+                }
+                state.slots[slot_index].generation + 1
+            };
+            self.drain_worker(slot_index);
+            let wait_until = Instant::now() + Duration::from_secs(30);
+            while Instant::now() < wait_until && !self.shutdown.load(Ordering::SeqCst) {
+                let state = self.state.lock();
+                let slot = &state.slots[slot_index];
+                if slot.phase == Phase::Up && slot.generation >= target_generation {
+                    break;
+                }
+                if slot.phase == Phase::Broken {
+                    break;
+                }
+                drop(state);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        self.restart_running.store(false, Ordering::SeqCst);
+    }
+
+    // ----- worker events -------------------------------------------------
+
+    /// Handles one worker stdout line.
+    fn on_worker_line(&self, slot_index: usize, generation: u64, line: &str) {
+        {
+            let mut state = self.state.lock();
+            let slot = &mut state.slots[slot_index];
+            if slot.generation == generation {
+                slot.probe_sent = None; // any output proves liveness
+            }
+        }
+        match parse_response(line) {
+            Err(_) => {
+                // A garbled line cannot be attributed to a job; treat it as
+                // a protocol breach: count it and recycle the worker (its
+                // in-flight jobs re-run elsewhere, preserving exactly-once).
+                RouterObs::bump(&self.obs.corrupt_lines);
+                let current = self.state.lock().slots[slot_index].generation == generation;
+                if current {
+                    self.enforce_kill(slot_index);
+                }
+            }
+            Ok(Response::Result(mut result)) => {
+                let router_id = result.job_id;
+                let answered = {
+                    let mut state = self.state.lock();
+                    match state.pending.remove(&router_id) {
+                        Some(pending) => {
+                            if let Some(assigned) = pending.slot {
+                                let slot = &mut state.slots[assigned];
+                                slot.inflight = slot.inflight.saturating_sub(1);
+                            }
+                            state.slots[slot_index].completed += 1;
+                            Some(pending)
+                        }
+                        None => None,
+                    }
+                };
+                match answered {
+                    Some(pending) => {
+                        result.job_id = pending.client_id;
+                        pending.session.send(Response::Result(result).to_line());
+                        pending.session.complete();
+                        RouterObs::bump(&self.obs.jobs_completed);
+                        let us = pending.started.elapsed().as_micros() as f64;
+                        self.obs.route_us.record(us);
+                        trace::event(pending.client_id, stage::ROUTE, us);
+                    }
+                    None => RouterObs::bump(&self.obs.duplicates_dropped),
+                }
+            }
+            Ok(Response::Error {
+                id: Some(router_id),
+                kind,
+                reason,
+            }) => {
+                let answered = {
+                    let mut state = self.state.lock();
+                    match state.pending.remove(&router_id) {
+                        Some(pending) => {
+                            if let Some(assigned) = pending.slot {
+                                let slot = &mut state.slots[assigned];
+                                slot.inflight = slot.inflight.saturating_sub(1);
+                            }
+                            Some(pending)
+                        }
+                        None => None,
+                    }
+                };
+                match answered {
+                    Some(pending) => self.answer_error(&pending, kind, &reason),
+                    None => RouterObs::bump(&self.obs.duplicates_dropped),
+                }
+            }
+            Ok(Response::Health { .. }) => {
+                let mut state = self.state.lock();
+                let slot = &mut state.slots[slot_index];
+                if slot.generation == generation {
+                    slot.probe_sent = None;
+                    slot.consecutive_failures = 0;
+                }
+            }
+            // Acks (drain) and un-attributable errors carry no job; the
+            // activity stamp above is all the signal they hold.
+            Ok(Response::Ack { .. })
+            | Ok(Response::Metrics(_))
+            | Ok(Response::Error { id: None, .. }) => {}
+        }
+    }
+
+    /// One supervisor tick: probes, liveness, deadlines, respawns, parked
+    /// job dispatch.
+    fn tick(&self) {
+        let now = Instant::now();
+        let mut kills: Vec<usize> = Vec::new();
+        let mut respawns: Vec<usize> = Vec::new();
+        let mut expired: Vec<u64> = Vec::new();
+        let mut parked: Vec<u64> = Vec::new();
+        {
+            let mut state = self.state.lock();
+            let worker_count = state.slots.len();
+            for slot_index in 0..worker_count {
+                let probe_interval = self.config.probe_interval;
+                let slot = &mut state.slots[slot_index];
+                match slot.phase {
+                    Phase::Up => {
+                        if let Some(sent) = slot.probe_sent {
+                            if now.duration_since(sent) > self.config.liveness_timeout {
+                                // Hung: reads but never answers. Enforce
+                                // with SIGKILL; EOF handles the rest.
+                                slot.down_since.get_or_insert(sent);
+                                kills.push(slot_index);
+                                continue;
+                            }
+                        } else if now >= slot.next_probe_at {
+                            slot.probe_sent = Some(now);
+                            slot.next_probe_at = now + probe_interval;
+                            if let Some(link) = &slot.link {
+                                let _ = link.send_line("{\"cmd\":\"health\"}".to_string());
+                            }
+                            RouterObs::bump(&self.obs.probes_sent);
+                        }
+                    }
+                    Phase::Down => {
+                        if now >= slot.respawn_at {
+                            respawns.push(slot_index);
+                        }
+                    }
+                    Phase::Draining | Phase::Broken => {}
+                }
+            }
+            // Parked jobs wait out a fleet outage without burning their
+            // retry budget — unless every slot's circuit is open, in which
+            // case nothing will ever serve them and they must fail now.
+            let all_broken = state.slots.iter().all(|slot| slot.phase == Phase::Broken);
+            for (&router_id, pending) in &state.pending {
+                if pending.slot.is_none() {
+                    if all_broken {
+                        expired.push(router_id);
+                    } else {
+                        parked.push(router_id);
+                    }
+                } else if now >= pending.deadline {
+                    expired.push(router_id);
+                }
+            }
+        }
+        for slot_index in kills {
+            self.enforce_kill(slot_index);
+        }
+        if !self.shutdown.load(Ordering::SeqCst) {
+            for slot_index in respawns {
+                self.respawn(slot_index);
+            }
+        }
+        for router_id in expired {
+            self.retry_or_fail(router_id, true);
+        }
+        for router_id in parked {
+            self.dispatch(router_id);
+        }
+    }
+
+    // ----- front-tier ----------------------------------------------------
+
+    /// Router-level health (status, queue depth, uptime) from atomics.
+    fn health(&self) -> Response {
+        Response::Health {
+            status: if self.shutdown.load(Ordering::SeqCst) {
+                "draining".to_string()
+            } else {
+                "ok".to_string()
+            },
+            queue_depth: self.state.lock().pending.len() as u64,
+            uptime_us: self.started.elapsed().as_micros() as u64,
+        }
+    }
+
+    /// Snapshot of the router's counters and worker states.
+    fn metrics(&self) -> RouterMetrics {
+        let mut metrics = RouterMetrics::from_obs(&self.obs);
+        let state = self.state.lock();
+        metrics.queue_depth = state.pending.len() as u64;
+        metrics.workers = state
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(index, slot)| WorkerStatus {
+                slot: index as u64,
+                state: slot.phase.label().to_string(),
+                generation: slot.generation,
+                inflight: slot.inflight as u64,
+                completed: slot.completed,
+            })
+            .collect();
+        metrics
+    }
+
+    /// Admits and routes one job from `session`.
+    fn submit_job(&self, session: &Arc<Session>, job: SearchJob) {
+        RouterObs::bump(&self.obs.jobs_submitted);
+        if let Err(reason) = job.validate() {
+            session.count_intake_error();
+            session.send(
+                Response::Error {
+                    id: Some(job.id),
+                    kind: ErrorKind::Invalid,
+                    reason,
+                }
+                .to_line(),
+            );
+            RouterObs::bump(&self.obs.jobs_errored);
+            return;
+        }
+        if self.shutdown.load(Ordering::SeqCst) {
+            session.count_intake_error();
+            session.send(
+                Response::Error {
+                    id: Some(job.id),
+                    kind: ErrorKind::ShuttingDown,
+                    reason: "router is draining".to_string(),
+                }
+                .to_line(),
+            );
+            RouterObs::bump(&self.obs.jobs_errored);
+            return;
+        }
+        if !session.try_admit() {
+            session.send(
+                Response::Error {
+                    id: Some(job.id),
+                    kind: ErrorKind::Overload,
+                    reason: format!(
+                        "client has {} jobs in flight (the per-client bound)",
+                        self.config.max_inflight
+                    ),
+                }
+                .to_line(),
+            );
+            RouterObs::bump(&self.obs.jobs_overloaded);
+            return;
+        }
+        let route_key = job.route_key();
+        let client_id = job.id;
+        let router_id = self.next_router_id.fetch_add(1, Ordering::Relaxed);
+        let mut wire_job = job;
+        wire_job.id = router_id;
+        let line = serde_json::to_string(&wire_job).expect("jobs serialise");
+        let now = Instant::now();
+        let routable = {
+            let mut state = self.state.lock();
+            // Admit when a worker can take the job now, or when the whole
+            // fleet is momentarily down but recovering (the job parks and
+            // dispatches at respawn). A *full* fleet sheds instead: that is
+            // backpressure, and queueing would only hide it.
+            let any_up = state.slots.iter().any(|slot| slot.phase == Phase::Up);
+            let any_recovering = state
+                .slots
+                .iter()
+                .any(|slot| matches!(slot.phase, Phase::Down | Phase::Draining));
+            let routable =
+                self.choose_slot(&state, route_key, None).is_some() || (!any_up && any_recovering);
+            if routable {
+                state.pending.insert(
+                    router_id,
+                    Pending {
+                        client_id,
+                        session: Arc::clone(session),
+                        line,
+                        route_key,
+                        slot: None,
+                        attempts: 1,
+                        deadline: now + self.config.deadline,
+                        dispatched: now,
+                        started: now,
+                    },
+                );
+            }
+            routable
+        };
+        if !routable {
+            // Every worker is saturated or broken: shed instead of queueing
+            // unbounded work the fleet cannot absorb.
+            session.send(
+                Response::Error {
+                    id: Some(client_id),
+                    kind: ErrorKind::Overload,
+                    reason: "every worker is at its in-flight bound".to_string(),
+                }
+                .to_line(),
+            );
+            session.fail();
+            RouterObs::bump(&self.obs.jobs_overloaded);
+            RouterObs::bump(&self.obs.jobs_errored);
+            return;
+        }
+        self.dispatch(router_id);
+    }
+}
+
+/// A client handle onto the router (mirrors [`psq_serve::Client`]).
+pub struct RouterClient {
+    session: Arc<Session>,
+    shared: Arc<Shared>,
+}
+
+impl RouterClient {
+    /// This client's session (for transports installing kick hooks).
+    pub fn session(&self) -> &Arc<Session> {
+        &self.session
+    }
+
+    /// Feeds one request line; the answer arrives on the response channel.
+    pub fn submit_line(&self, line: &str) -> LineOutcome {
+        // `restart` is router-only vocabulary (workers never see it), so it
+        // is handled before the shared protocol parser.
+        if let Ok(value) = serde_json::parse_value(line) {
+            if value
+                .as_object()
+                .and_then(|object| object.get("cmd"))
+                .and_then(Value::as_str)
+                == Some("restart")
+            {
+                let shared = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name("psq-router-restart".to_string())
+                    .spawn(move || shared.rolling_restart())
+                    .expect("failed to spawn the restart thread");
+                self.session.send(
+                    Response::Ack {
+                        cmd: "restart".to_string(),
+                    }
+                    .to_line(),
+                );
+                return LineOutcome::Continue;
+            }
+        }
+        match parse_request(line) {
+            Err(reason) => {
+                self.session.count_intake_error();
+                self.session.send(
+                    Response::Error {
+                        id: None,
+                        kind: ErrorKind::Parse,
+                        reason,
+                    }
+                    .to_line(),
+                );
+                RouterObs::bump(&self.shared.obs.jobs_errored);
+                LineOutcome::Continue
+            }
+            Ok(None) => LineOutcome::Continue,
+            Ok(Some(Request::Command(Command::Metrics))) => {
+                self.session.send(self.shared.metrics().to_line());
+                LineOutcome::Continue
+            }
+            Ok(Some(Request::Command(Command::Health))) => {
+                self.session.send(self.shared.health().to_line());
+                LineOutcome::Continue
+            }
+            Ok(Some(Request::Command(command @ (Command::Drain | Command::Shutdown)))) => {
+                self.shared.shutdown.store(true, Ordering::SeqCst);
+                self.session.send(
+                    Response::Ack {
+                        cmd: command.label().to_string(),
+                    }
+                    .to_line(),
+                );
+                self.shared.registry.kick_all();
+                LineOutcome::Stop
+            }
+            Ok(Some(Request::Job(job))) => {
+                self.shared.submit_job(&self.session, *job);
+                LineOutcome::Continue
+            }
+        }
+    }
+}
+
+/// The fault-tolerant sharded front tier (see the module docs).
+pub struct Router {
+    shared: Arc<Shared>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Router {
+    /// Spawns the worker fleet and the supervision threads.
+    pub fn start(mut config: RouterConfig) -> Self {
+        config.worker_cmd = resolve_worker_cmd(Some(std::mem::take(&mut config.worker_cmd)));
+        config.workers = config.workers.max(1);
+        let (events, events_rx): (Sender<WorkerEvent>, Receiver<WorkerEvent>) = unbounded();
+        let now = Instant::now();
+        let worker_count = config.workers;
+        let shared = Arc::new(Shared {
+            config,
+            obs: RouterObs::default(),
+            state: Mutex::new(State {
+                slots: (0..worker_count).map(|_| Slot::new(now)).collect(),
+                pending: HashMap::new(),
+            }),
+            registry: SessionRegistry::default(),
+            shutdown: AtomicBool::new(false),
+            restart_running: AtomicBool::new(false),
+            started: now,
+            next_router_id: AtomicU64::new(1),
+            events,
+        });
+        for slot_index in 0..worker_count {
+            shared.respawn(slot_index);
+        }
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("psq-router-dispatch".to_string())
+                .spawn(move || loop {
+                    match events_rx.recv_timeout(Duration::from_millis(50)) {
+                        Ok(WorkerEvent::Line {
+                            slot,
+                            generation,
+                            line,
+                        }) => shared.on_worker_line(slot, generation, &line),
+                        Ok(WorkerEvent::Gone { slot, generation }) => {
+                            let stale = shared.state.lock().slots[slot].generation != generation;
+                            if !stale {
+                                if let Some(link) = shared.worker_down(slot) {
+                                    link.reap();
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            if shared.shutdown.load(Ordering::SeqCst) {
+                                break;
+                            }
+                        }
+                    }
+                })
+                .expect("failed to spawn the router dispatcher")
+        };
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("psq-router-supervise".to_string())
+                .spawn(move || {
+                    while !shared.shutdown.load(Ordering::SeqCst) {
+                        shared.tick();
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                })
+                .expect("failed to spawn the router supervisor")
+        };
+        Self {
+            shared,
+            dispatcher: Some(dispatcher),
+            supervisor: Some(supervisor),
+        }
+    }
+
+    /// Attaches a front-tier client; drain the receiver from a writer
+    /// thread (or directly, in process).
+    pub fn attach(&self) -> (RouterClient, Receiver<OutLine>) {
+        let (tx, rx) = unbounded();
+        let session = self
+            .shared
+            .registry
+            .attach(tx, self.shared.config.max_inflight);
+        (
+            RouterClient {
+                session,
+                shared: Arc::clone(&self.shared),
+            },
+            rx,
+        )
+    }
+
+    /// A metrics snapshot (the same data a `{"cmd":"metrics"}` line gets).
+    pub fn metrics(&self) -> RouterMetrics {
+        self.shared.metrics()
+    }
+
+    /// Whether a drain/shutdown command has been observed.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The slot a job would route to right now (tests and diagnostics).
+    pub fn preferred_worker(&self, job: &SearchJob) -> Option<usize> {
+        let state = self.shared.state.lock();
+        self.shared.choose_slot(&state, job.route_key(), None)
+    }
+
+    /// The OS pid of the process currently occupying `slot` (tests: pick a
+    /// victim for SIGKILL).
+    pub fn worker_pid(&self, slot: usize) -> Option<u32> {
+        let state = self.shared.state.lock();
+        state.slots.get(slot)?.link.as_ref().map(WorkerLink::pid)
+    }
+
+    /// SIGKILLs the process occupying `slot` (crash injection in tests;
+    /// supervision notices via pipe EOF and re-routes its jobs).
+    pub fn kill_worker(&self, slot: usize) {
+        self.shared.enforce_kill(slot);
+    }
+
+    /// Drains `slot` (stop routing → flush in-flight → exit → respawn).
+    pub fn drain_worker(&self, slot: usize) {
+        self.shared.drain_worker(slot);
+    }
+
+    /// Drains and respawns every worker, one slot at a time (blocks until
+    /// done; the wire spelling is `{"cmd":"restart"}`).
+    pub fn rolling_restart(&self) {
+        self.shared.rolling_restart();
+    }
+
+    /// Serves one client over a reader/writer pair until EOF or a
+    /// drain/shutdown command (mirrors [`psq_serve::Server::serve_pipe`]).
+    pub fn serve_pipe<R, W>(&self, reader: R, writer: W) -> std::io::Result<psq_serve::PipeSummary>
+    where
+        R: BufRead,
+        W: Write + Send + 'static,
+    {
+        let (client, responses) = self.attach();
+        let writer_thread = spawn_writer("psq-router-pipe-writer", responses, writer);
+        let mut summary = psq_serve::PipeSummary::default();
+        for line in reader.lines() {
+            let line = line?;
+            summary.lines_in += 1;
+            if client.submit_line(&line) == LineOutcome::Stop {
+                summary.shutdown_requested = true;
+                break;
+            }
+        }
+        drop(client); // the writer exits once every in-flight job is answered
+        writer_thread
+            .join()
+            .map_err(|_| std::io::Error::other("router pipe writer panicked"))??;
+        Ok(summary)
+    }
+
+    /// Accepts TCP clients until a drain/shutdown command arrives (mirrors
+    /// [`psq_serve::Server::serve_tcp`], idle timeout included).
+    pub fn serve_tcp(&self, listener: std::net::TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shutdown_requested() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false)?;
+                    stream.set_read_timeout(self.shared.config.idle_timeout)?;
+                    let (client, responses) = self.attach();
+                    let write_half = stream.try_clone()?;
+                    let kick_half = stream.try_clone()?;
+                    client.session().set_kick(Box::new(move || {
+                        let _ = kick_half.shutdown(std::net::Shutdown::Read);
+                    }));
+                    connections.push(
+                        std::thread::Builder::new()
+                            .name("psq-router-tcp-conn".to_string())
+                            .spawn(move || {
+                                let writer_thread =
+                                    spawn_writer("psq-router-tcp-writer", responses, write_half);
+                                let mut reader = BufReader::new(&stream);
+                                let mut line = String::new();
+                                loop {
+                                    line.clear();
+                                    match reader.read_line(&mut line) {
+                                        Ok(0) => break,
+                                        Ok(_) => {
+                                            let trimmed = line.trim_end_matches(['\n', '\r']);
+                                            if client.submit_line(trimmed) == LineOutcome::Stop {
+                                                break;
+                                            }
+                                        }
+                                        Err(e)
+                                            if matches!(
+                                                e.kind(),
+                                                std::io::ErrorKind::WouldBlock
+                                                    | std::io::ErrorKind::TimedOut
+                                            ) =>
+                                        {
+                                            break; // idle client: clean close
+                                        }
+                                        Err(_) => break,
+                                    }
+                                }
+                                drop(client);
+                                let _ = writer_thread.join();
+                                let _ = stream.shutdown(std::net::Shutdown::Both);
+                            })
+                            .map_err(std::io::Error::other)?,
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    connections.retain(|connection| !connection.is_finished());
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for connection in connections {
+            let _ = connection.join();
+        }
+        Ok(())
+    }
+
+    /// Waits (bounded) for in-flight work to drain, then shuts the fleet
+    /// down (same as dropping the router, made explicit) and returns the
+    /// final metrics snapshot.
+    pub fn finish(self) -> RouterMetrics {
+        let per_attempt = self.shared.config.deadline + Duration::from_secs(1);
+        let budget = per_attempt * (self.shared.config.max_retries + 2);
+        let wait_until = Instant::now() + budget;
+        while Instant::now() < wait_until {
+            if self.shared.state.lock().pending.is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.metrics()
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
+        // Any still-unanswered job gets a structured goodbye — never
+        // silence — before its worker goes away.
+        let (stragglers, links) = {
+            let mut state = self.shared.state.lock();
+            let stragglers: Vec<Pending> =
+                state.pending.drain().map(|(_, pending)| pending).collect();
+            let links: Vec<WorkerLink> = state
+                .slots
+                .iter_mut()
+                .filter_map(|slot| slot.link.take())
+                .collect();
+            (stragglers, links)
+        };
+        for pending in stragglers {
+            self.shared
+                .answer_error(&pending, ErrorKind::ShuttingDown, "router shut down");
+        }
+        for link in links {
+            link.reap();
+        }
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+        self.shared.registry.kick_all();
+    }
+}
+
+/// Drains response lines onto the wire, flushing whenever the channel
+/// momentarily empties (same amortised-flush policy as psq-serve).
+fn spawn_writer<W: Write + Send + 'static>(
+    name: &str,
+    responses: Receiver<OutLine>,
+    mut writer: W,
+) -> std::thread::JoinHandle<std::io::Result<()>> {
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(move || {
+            loop {
+                match responses.try_recv() {
+                    Some(line) => {
+                        writer.write_all(line.as_bytes())?;
+                        writer.write_all(b"\n")?;
+                    }
+                    None => {
+                        writer.flush()?;
+                        match responses.recv() {
+                            Ok(line) => {
+                                writer.write_all(line.as_bytes())?;
+                                writer.write_all(b"\n")?;
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                }
+            }
+            writer.flush()
+        })
+        .expect("failed to spawn a writer thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendezvous_is_deterministic_and_minimally_disruptive() {
+        // Same key, same candidate set → same winner, every time.
+        for key in [0u64, 1, 0xdead_beef, u64::MAX] {
+            let a: Vec<u64> = (0..4).map(|slot| rendezvous_score(key, slot)).collect();
+            let b: Vec<u64> = (0..4).map(|slot| rendezvous_score(key, slot)).collect();
+            assert_eq!(a, b);
+        }
+        // Removing one slot only remaps keys that slot was winning.
+        let keys: Vec<u64> = (0..512u64).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+        let winner = |key: u64, slots: &[usize]| -> usize {
+            *slots
+                .iter()
+                .max_by_key(|&&slot| rendezvous_score(key, slot))
+                .expect("non-empty")
+        };
+        let full: Vec<usize> = vec![0, 1, 2, 3];
+        let without_2: Vec<usize> = vec![0, 1, 3];
+        let mut moved = 0usize;
+        for &key in &keys {
+            let before = winner(key, &full);
+            let after = winner(key, &without_2);
+            if before != 2 {
+                assert_eq!(
+                    before, after,
+                    "key not owned by the lost slot must not move"
+                );
+            } else {
+                moved += 1;
+            }
+        }
+        // The lost slot owned roughly a quarter of the keyspace.
+        assert!(
+            moved > 64 && moved < 192,
+            "lost slot owned {moved}/512 keys"
+        );
+    }
+
+    #[test]
+    fn default_worker_cmd_resolution_prefers_explicit_then_env() {
+        let explicit = vec!["my-worker".to_string(), "--flag".to_string()];
+        assert_eq!(resolve_worker_cmd(Some(explicit.clone())), explicit);
+        // Empty explicit falls through to the defaults, which always
+        // produce *some* non-empty argv.
+        assert!(!resolve_worker_cmd(Some(Vec::new())).is_empty());
+        assert!(!resolve_worker_cmd(None).is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! One supervised worker process: spawn, feed, read, kill, reap.
+//!
+//! A [`WorkerLink`] owns a child process speaking the psq-serve NDJSON
+//! protocol on its stdin/stdout. Requests go through an unbounded channel
+//! into a dedicated writer thread (so the router never blocks on a slow or
+//! dead child's pipe); every stdout line comes back as a [`WorkerEvent`]
+//! on the router's shared event channel, tagged with the worker's slot and
+//! generation so replies from a replaced process are recognised as stale.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+
+/// What a worker's reader thread reports back to the router.
+#[derive(Debug)]
+pub enum WorkerEvent {
+    /// One raw stdout line from the worker (not yet parsed).
+    Line {
+        /// The worker slot that produced it.
+        slot: usize,
+        /// The process generation that produced it.
+        generation: u64,
+        /// The line, newline stripped.
+        line: String,
+    },
+    /// The worker's stdout reached EOF: the process exited or crashed.
+    Gone {
+        /// The worker slot whose process ended.
+        slot: usize,
+        /// The generation that ended.
+        generation: u64,
+    },
+}
+
+/// A live (or recently dead) worker process.
+pub struct WorkerLink {
+    child: Mutex<Child>,
+    tx: Sender<String>,
+    writer: Option<std::thread::JoinHandle<()>>,
+    /// The generation this process was spawned as.
+    pub generation: u64,
+}
+
+impl WorkerLink {
+    /// Spawns `argv` with piped stdin/stdout (stderr inherited), wiring its
+    /// stdout into `events` tagged `(slot, generation)`. `fault` is placed
+    /// in the child's [`crate::fault::FAULT_ENV`] when set.
+    pub fn spawn(
+        argv: &[String],
+        slot: usize,
+        generation: u64,
+        fault: Option<&str>,
+        events: Sender<WorkerEvent>,
+    ) -> std::io::Result<Self> {
+        let (program, args) = argv
+            .split_first()
+            .ok_or_else(|| std::io::Error::other("empty worker command"))?;
+        let mut command = Command::new(program);
+        command
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped());
+        match fault {
+            Some(spec) => command.env(crate::fault::FAULT_ENV, spec),
+            None => command.env_remove(crate::fault::FAULT_ENV),
+        };
+        let mut child = command.spawn()?;
+        let stdin = child.stdin.take().expect("stdin piped");
+        let stdout = child.stdout.take().expect("stdout piped");
+
+        let (tx, rx): (Sender<String>, Receiver<String>) = unbounded();
+        let writer = std::thread::Builder::new()
+            .name(format!("psq-router-w{slot}-writer"))
+            .spawn(move || {
+                let mut stdin = stdin;
+                while let Ok(line) = rx.recv() {
+                    if stdin.write_all(line.as_bytes()).is_err()
+                        || stdin.write_all(b"\n").is_err()
+                        || stdin.flush().is_err()
+                    {
+                        break; // dead child: the reader's EOF reports it
+                    }
+                }
+                // Channel disconnected: dropping stdin EOFs the worker so a
+                // healthy child drains and exits on its own.
+            })
+            .expect("failed to spawn a worker writer thread");
+
+        std::thread::Builder::new()
+            .name(format!("psq-router-w{slot}-reader"))
+            .spawn(move || {
+                let reader = BufReader::new(stdout);
+                for line in reader.lines() {
+                    let Ok(line) = line else { break };
+                    if events
+                        .send(WorkerEvent::Line {
+                            slot,
+                            generation,
+                            line,
+                        })
+                        .is_err()
+                    {
+                        return; // router gone: nothing left to report to
+                    }
+                }
+                let _ = events.send(WorkerEvent::Gone { slot, generation });
+            })
+            .expect("failed to spawn a worker reader thread");
+
+        Ok(Self {
+            child: Mutex::new(child),
+            tx,
+            writer: Some(writer),
+            generation,
+        })
+    }
+
+    /// Queues one request line for the worker. `false` means the writer is
+    /// gone (the process is dead and EOF is on its way through events).
+    pub fn send_line(&self, line: String) -> bool {
+        self.tx.send(line).is_ok()
+    }
+
+    /// SIGKILLs the process (crash simulation and supervisor enforcement;
+    /// reaping still happens in [`WorkerLink::reap`]).
+    pub fn kill(&self) {
+        let _ = self.child.lock().kill();
+    }
+
+    /// The child's OS pid (for logs and tests).
+    pub fn pid(&self) -> u32 {
+        self.child.lock().id()
+    }
+
+    /// Kills (idempotent) and reaps the process, joining the writer thread.
+    /// Call when the slot is done with this generation; without it the dead
+    /// child would linger as a zombie.
+    pub fn reap(self) {
+        let Self {
+            child, tx, writer, ..
+        } = self;
+        {
+            let mut child = child.lock();
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        // The writer blocks on its channel when idle; dropping the sender
+        // is what lets it exit, so it must happen before the join.
+        drop(tx);
+        if let Some(writer) = writer {
+            let _ = writer.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `/bin/cat` is a perfectly protocol-free echo worker: whatever we
+    /// write to stdin comes back as stdout lines.
+    #[test]
+    fn spawn_feed_read_and_reap_round_trips_lines() {
+        let (events, rx) = unbounded();
+        let link =
+            WorkerLink::spawn(&["/bin/cat".to_string()], 3, 7, None, events).expect("spawn cat");
+        assert!(link.send_line("hello".into()));
+        assert!(link.send_line("world".into()));
+        for expected in ["hello", "world"] {
+            match rx.recv_timeout(std::time::Duration::from_secs(5)) {
+                Ok(WorkerEvent::Line {
+                    slot,
+                    generation,
+                    line,
+                }) => {
+                    assert_eq!((slot, generation), (3, 7));
+                    assert_eq!(line, expected);
+                }
+                other => panic!("expected an echoed line, got {other:?}"),
+            }
+        }
+        link.kill();
+        match rx.recv_timeout(std::time::Duration::from_secs(5)) {
+            Ok(WorkerEvent::Gone { slot, generation }) => {
+                assert_eq!((slot, generation), (3, 7));
+            }
+            other => panic!("expected EOF after kill, got {other:?}"),
+        }
+        link.reap();
+    }
+
+    #[test]
+    fn empty_command_is_an_error_not_a_panic() {
+        let (events, _rx) = unbounded();
+        assert!(WorkerLink::spawn(&[], 0, 0, None, events).is_err());
+    }
+}

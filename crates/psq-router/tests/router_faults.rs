@@ -1,0 +1,358 @@
+//! End-to-end robustness tests for the sharded front tier: real worker
+//! processes (this crate's own binary in `--worker` mode), real pipes, real
+//! SIGKILLs. The invariant under every fault is the same — each submitted
+//! id is answered exactly once, and results are bit-identical to a direct
+//! single-engine run of the same jobs, because jobs are pure functions of
+//! their seeded specs.
+
+use psq_engine::{generate_mixed_batch, Backend, Engine, EngineConfig, SearchJob, SearchResult};
+use psq_router::{FaultPlan, Router, RouterConfig, RouterMetrics};
+use psq_serve::protocol::{parse_response, ErrorKind, Response};
+use psq_serve::testio::SharedSink;
+use psq_serve::LineOutcome;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// The worker fleet runs this very test binary's sibling: the `psq-router`
+/// binary in its internal `--worker` mode (a single-process psq-serve
+/// session), pinned to one thread so a 1-vCPU machine isn't oversubscribed.
+fn worker_cmd() -> Vec<String> {
+    vec![
+        env!("CARGO_BIN_EXE_psq-router").to_string(),
+        "--worker".to_string(),
+        "--threads".to_string(),
+        "1".to_string(),
+    ]
+}
+
+fn test_config(workers: usize) -> RouterConfig {
+    RouterConfig {
+        workers,
+        worker_cmd: worker_cmd(),
+        deadline: Duration::from_secs(30),
+        probe_interval: Duration::from_millis(50),
+        liveness_timeout: Duration::from_millis(800),
+        backoff: Duration::from_millis(20),
+        ..RouterConfig::default()
+    }
+}
+
+/// The same jobs through one in-process engine: the bit-identity reference.
+fn direct_reference(jobs: &[SearchJob]) -> HashMap<u64, SearchResult> {
+    let engine = Engine::new(EngineConfig {
+        threads: Some(1),
+        ..EngineConfig::default()
+    });
+    let report = engine.run_batch(jobs);
+    report
+        .results
+        .into_iter()
+        .map(|result| (result.job_id, result))
+        .collect()
+}
+
+/// Every deterministic field of a result (everything except wall time).
+type Comparable = (
+    Backend,
+    u64,
+    u64,
+    bool,
+    Option<u64>,
+    u32,
+    u64,
+    f64,
+    u32,
+    u32,
+);
+
+fn comparable(result: &SearchResult) -> Comparable {
+    (
+        result.backend,
+        result.block_found,
+        result.true_block,
+        result.correct,
+        result.address_found,
+        result.levels,
+        result.queries,
+        result.success_estimate,
+        result.trials,
+        result.trials_correct,
+    )
+}
+
+/// Runs `jobs` through a fresh router as one pipe session and returns the
+/// answered results keyed by id (panicking on duplicates or error replies)
+/// plus the final metrics.
+/// `min_respawns` > 0 additionally waits (bounded) for the supervisor to
+/// bring replacements up: the jobs themselves can drain through retries
+/// before a faulted slot's respawn backoff elapses.
+fn route_jobs(
+    config: RouterConfig,
+    jobs: &[SearchJob],
+    min_respawns: u64,
+) -> (HashMap<u64, SearchResult>, RouterMetrics) {
+    let input: String = jobs
+        .iter()
+        .map(|job| serde_json::to_string(job).expect("jobs serialise") + "\n")
+        .collect();
+    let router = Router::start(config);
+    let sink = SharedSink::default();
+    router
+        .serve_pipe(input.as_bytes(), sink.clone())
+        .expect("pipe session");
+    let healed = Instant::now() + Duration::from_secs(30);
+    while router.metrics().respawns < min_respawns {
+        assert!(
+            Instant::now() < healed,
+            "fleet did not heal to {min_respawns} respawn(s) in time"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let metrics = router.finish();
+    let mut results = HashMap::new();
+    for line in sink.lines() {
+        match parse_response(&line).expect("well-formed response line") {
+            Response::Result(result) => {
+                let id = result.job_id;
+                assert!(
+                    results.insert(id, *result).is_none(),
+                    "id {id} was answered twice"
+                );
+            }
+            other => panic!("expected only results, got {other:?}"),
+        }
+    }
+    (results, metrics)
+}
+
+fn assert_bit_identical(routed: &HashMap<u64, SearchResult>, jobs: &[SearchJob]) {
+    let reference = direct_reference(jobs);
+    assert_eq!(routed.len(), jobs.len(), "every id answered exactly once");
+    for job in jobs {
+        let routed = routed.get(&job.id).expect("routed answer for every id");
+        let direct = reference.get(&job.id).expect("direct answer for every id");
+        assert_eq!(
+            comparable(routed),
+            comparable(direct),
+            "id {} must be bit-identical to the direct run",
+            job.id
+        );
+    }
+}
+
+#[test]
+fn routing_is_bit_identical_to_a_direct_single_engine_run() {
+    let jobs = generate_mixed_batch(48, 11);
+    let (routed, metrics) = route_jobs(test_config(3), &jobs, 0);
+    assert_bit_identical(&routed, &jobs);
+    assert_eq!(metrics.jobs_completed, 48);
+    assert_eq!(metrics.respawns, 0, "no faults, no respawns");
+    assert_eq!(metrics.duplicates_dropped, 0);
+}
+
+/// Satellite: a worker SIGKILLed mid-batch with jobs in flight. The owed
+/// jobs are re-run on surviving workers, answers stay bit-identical, and no
+/// id is ever answered twice.
+#[test]
+fn sigkill_mid_batch_reruns_owed_jobs_elsewhere() {
+    let jobs = generate_mixed_batch(64, 23);
+    let router = Router::start(test_config(2));
+    let (client, responses) = router.attach();
+    for job in &jobs {
+        let line = serde_json::to_string(job).expect("jobs serialise");
+        assert_eq!(client.submit_line(&line), LineOutcome::Continue);
+    }
+    // The whole batch is now queued or in flight; kill one worker under it.
+    let victim = router.preferred_worker(&jobs[0]).expect("a routable slot");
+    assert!(router.worker_pid(victim).is_some(), "victim has a live pid");
+    router.kill_worker(victim);
+
+    let mut routed: HashMap<u64, SearchResult> = HashMap::new();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while routed.len() < jobs.len() {
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .expect("batch must finish within the test budget");
+        let line = responses
+            .recv_timeout(remaining)
+            .expect("responses keep flowing after the kill");
+        match parse_response(&line).expect("well-formed response line") {
+            Response::Result(result) => {
+                let id = result.job_id;
+                assert!(
+                    routed.insert(id, *result).is_none(),
+                    "id {id} was answered twice"
+                );
+            }
+            other => panic!("expected only results, got {other:?}"),
+        }
+    }
+    // Catch any late duplicate a raced retry might have produced.
+    assert!(
+        responses.recv_timeout(Duration::from_millis(300)).is_err(),
+        "no extra responses after every id was answered"
+    );
+    let metrics = router.finish();
+    assert_bit_identical(&routed, &jobs);
+    assert!(metrics.respawns >= 1, "the killed worker was replaced");
+    assert!(
+        metrics.workers.iter().any(|worker| worker.generation >= 2),
+        "the killed slot runs a later generation"
+    );
+    assert_eq!(metrics.jobs_completed, 64);
+}
+
+/// A frozen worker (stdout wedged, process alive) is detected through the
+/// unanswered health probe and replaced; its jobs land elsewhere.
+#[test]
+fn frozen_worker_is_detected_and_replaced() {
+    let jobs = generate_mixed_batch(24, 37);
+    let mut config = test_config(2);
+    config.faults = vec![Some(FaultPlan::parse("freeze@2").expect("valid spec"))];
+    let (routed, metrics) = route_jobs(config, &jobs, 1);
+    assert_bit_identical(&routed, &jobs);
+    assert!(
+        metrics.respawns >= 1,
+        "liveness enforcement must replace the frozen worker"
+    );
+    assert!(metrics.probes_sent >= 1);
+}
+
+/// A worker that emits garbage on its reply pipe is a protocol breach: the
+/// line is counted, the worker is recycled, and the jobs it owed are still
+/// answered exactly once.
+#[test]
+fn corrupt_reply_recycles_the_worker_exactly_once() {
+    let jobs = generate_mixed_batch(32, 41);
+    let mut config = test_config(2);
+    config.faults = vec![
+        None,
+        Some(FaultPlan::parse("corrupt@3").expect("valid spec")),
+    ];
+    let (routed, metrics) = route_jobs(config, &jobs, 1);
+    assert_bit_identical(&routed, &jobs);
+    assert!(metrics.corrupt_lines >= 1, "the garbage line was counted");
+    assert!(metrics.respawns >= 1, "the corrupt worker was recycled");
+}
+
+/// A drain-aware rolling restart mid-stream: every worker moves to a new
+/// generation, and ids submitted before, during and after the restart are
+/// all answered exactly once.
+#[test]
+fn rolling_restart_mid_stream_loses_nothing() {
+    let jobs = generate_mixed_batch(48, 53);
+    let (before, after) = jobs.split_at(32);
+    let router = Router::start(test_config(2));
+    let (client, responses) = router.attach();
+    for job in before {
+        let line = serde_json::to_string(job).expect("jobs serialise");
+        assert_eq!(client.submit_line(&line), LineOutcome::Continue);
+    }
+    router.rolling_restart();
+    for job in after {
+        let line = serde_json::to_string(job).expect("jobs serialise");
+        assert_eq!(client.submit_line(&line), LineOutcome::Continue);
+    }
+    let mut routed: HashMap<u64, SearchResult> = HashMap::new();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while routed.len() < jobs.len() {
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .expect("batch must finish within the test budget");
+        let line = responses
+            .recv_timeout(remaining)
+            .expect("responses keep flowing across the restart");
+        match parse_response(&line).expect("well-formed response line") {
+            Response::Result(result) => {
+                let id = result.job_id;
+                assert!(
+                    routed.insert(id, *result).is_none(),
+                    "id {id} was answered twice"
+                );
+            }
+            other => panic!("expected only results, got {other:?}"),
+        }
+    }
+    let metrics = router.metrics();
+    router.finish();
+    assert_bit_identical(&routed, &jobs);
+    for worker in &metrics.workers {
+        assert!(
+            worker.generation >= 2,
+            "slot {} still on generation {} after the rolling restart",
+            worker.slot,
+            worker.generation
+        );
+        assert_eq!(worker.state, "up");
+    }
+}
+
+/// When every worker is saturated, new jobs are shed with a structured
+/// `overload` error — never queued unboundedly, never silently dropped.
+#[test]
+fn saturated_fleet_sheds_jobs_as_structured_overload_errors() {
+    let mut config = test_config(1);
+    config.worker_inflight = 1;
+    let router = Router::start(config);
+    let (client, responses) = router.attach();
+    // Heavy enough that later submissions arrive while the first is still
+    // in flight on the single one-deep worker.
+    let jobs: Vec<SearchJob> = (0..8)
+        .map(|i| SearchJob {
+            trials: 40,
+            seed: 97 + i,
+            ..SearchJob::new(i, 1 << 14, 16, 5)
+        })
+        .collect();
+    for job in &jobs {
+        let line = serde_json::to_string(job).expect("jobs serialise");
+        assert_eq!(client.submit_line(&line), LineOutcome::Continue);
+    }
+    let mut completed = 0u64;
+    let mut shed = 0u64;
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..jobs.len() {
+        let line = responses
+            .recv_timeout(Duration::from_secs(120))
+            .expect("every id gets an answer");
+        match parse_response(&line).expect("well-formed response line") {
+            Response::Result(result) => {
+                assert!(seen.insert(result.job_id), "duplicate result id");
+                completed += 1;
+            }
+            Response::Error {
+                id: Some(id),
+                kind: ErrorKind::Overload,
+                ..
+            } => {
+                assert!(seen.insert(id), "duplicate error id");
+                shed += 1;
+            }
+            other => panic!("expected results or overload errors, got {other:?}"),
+        }
+    }
+    let metrics = router.finish();
+    assert_eq!(completed + shed, 8, "every id answered exactly once");
+    assert!(shed >= 1, "a one-deep worker cannot absorb 8 queued jobs");
+    assert_eq!(metrics.jobs_overloaded, shed);
+}
+
+/// The CI smoke in binary form: `--selftest` with a kill fault must verify
+/// exactly-once + bit-identity itself and exit zero.
+#[test]
+fn selftest_binary_survives_a_kill_fault() {
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_psq-router"))
+        .args([
+            "--selftest",
+            "64",
+            "--workers",
+            "2",
+            "--fault",
+            "0:kill@10",
+            "--worker-args",
+            "--threads 1",
+        ])
+        .status()
+        .expect("selftest binary runs");
+    assert!(status.success(), "selftest must exit zero");
+}

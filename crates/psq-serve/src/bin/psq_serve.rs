@@ -20,6 +20,7 @@ struct Options {
     engine: EngineFlags,
     coalescer: CoalescerConfig,
     max_inflight: u32,
+    idle_timeout_ms: u64,
     tcp: Option<String>,
     metrics: bool,
     gen_count: Option<usize>,
@@ -37,8 +38,9 @@ fn help() -> String {
          \x20                                          a pipe session and verify every id\n\
          \n\
          Protocol: one JSON value per line. Requests are SearchJob objects or\n\
-         {{\"cmd\":\"metrics\"}} / {{\"cmd\":\"shutdown\"}}; responses are tagged with\n\
-         \"type\": \"result\" | \"error\" | \"metrics\" | \"ack\". Results stream back as\n\
+         {{\"cmd\":\"metrics\"}} / {{\"cmd\":\"health\"}} / {{\"cmd\":\"drain\"}} /\n\
+         {{\"cmd\":\"shutdown\"}}; responses are tagged with \"type\": \"result\" |\n\
+         \"error\" | \"metrics\" | \"health\" | \"ack\". Results stream back as\n\
          they complete and clients correlate by their own job ids.\n\
          \n\
          Engine options (shared with psq-engine):\n\
@@ -52,6 +54,8 @@ fn help() -> String {
          \x20                              microseconds (default 2000)\n\
          \x20 --max-inflight N             per-client bound on unanswered jobs; beyond\n\
          \x20                              it submissions get overload errors (default 1024)\n\
+         \x20 --idle-timeout-ms MS         close a TCP session after MS ms without a\n\
+         \x20                              request line; 0 disables (default 60000)\n\
          \x20 --metrics                    print a final ServeMetrics JSON line on stderr\n\
          \x20                              when the session ends\n\
          \x20 --gen N                      generate N demo jobs instead of serving\n\
@@ -73,6 +77,7 @@ fn parse_options() -> Options {
         engine: EngineFlags::default(),
         coalescer: CoalescerConfig::default(),
         max_inflight: 1024,
+        idle_timeout_ms: 60_000,
         tcp: None,
         metrics: false,
         gen_count: None,
@@ -96,6 +101,9 @@ fn parse_options() -> Options {
             }
             "--max-inflight" => {
                 cli::require_value(&arg, &mut args).map(|v| options.max_inflight = v)
+            }
+            "--idle-timeout-ms" => {
+                cli::require_value(&arg, &mut args).map(|v| options.idle_timeout_ms = v)
             }
             "--gen" => cli::require_value(&arg, &mut args).map(|v| options.gen_count = Some(v)),
             "--seed" => cli::require_value(&arg, &mut args).map(|v| options.gen_seed = v),
@@ -129,6 +137,8 @@ fn serve_config(options: &Options) -> ServeConfig {
         engine: options.engine.engine_config(),
         coalescer: options.coalescer,
         max_inflight: options.max_inflight,
+        idle_timeout: (options.idle_timeout_ms > 0)
+            .then(|| std::time::Duration::from_millis(options.idle_timeout_ms)),
     }
 }
 

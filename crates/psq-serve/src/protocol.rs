@@ -12,8 +12,11 @@
 //!   combining the flag with a different explicit backend is rejected as a
 //!   parse error) and the result line carries the resolved `address_found`
 //!   instead of just a block.
-//! * a control command — `{"cmd":"metrics"}` (snapshot the serving metrics)
-//!   or `{"cmd":"shutdown"}` (drain in-flight work and stop the server).
+//! * a control command — `{"cmd":"metrics"}` (snapshot the serving
+//!   metrics), `{"cmd":"health"}` (a cheap liveness probe),
+//!   `{"cmd":"drain"}` (stop accepting work, flush in-flight jobs, end the
+//!   session — the rolling-restart hook) or `{"cmd":"shutdown"}` (drain
+//!   in-flight work and stop the server).
 //!
 //! **Responses** (server → client), one per line, each tagged with a
 //! `"type"` discriminant:
@@ -25,8 +28,15 @@
 //!   enough to recover one. `kind` is one of `"parse"`, `"invalid"`
 //!   (failed [`SearchJob::validate`]), `"overload"` (per-client in-flight
 //!   bound hit — resubmit later; the connection stays open), `"rejected"`
-//!   (the engine's planner refused it), `"shutting_down"`.
+//!   (the engine's planner refused it), `"deadline"` (the front-tier
+//!   router's per-request budget ran out before any worker answered),
+//!   `"shutting_down"`.
 //! * `{"type":"metrics","metrics":{…ServeMetrics…}}`.
+//! * `{"type":"health","status":"…","queue_depth":…,"uptime_us":…}` — the
+//!   reply to `{"cmd":"health"}`: `status` is `"ok"` or `"draining"`,
+//!   `queue_depth` counts admitted-but-unanswered jobs, `uptime_us` is the
+//!   server's age. Served entirely from atomics — no engine lock — so a
+//!   supervisor can probe as often as it likes.
 //! * `{"type":"ack","cmd":"…"}` — a control command was accepted.
 //!
 //! The enums carry payloads, which the vendored `serde_derive` subset does
@@ -47,6 +57,9 @@ pub enum ErrorKind {
     Overload,
     /// The engine's planner refused the job (e.g. infeasible backend hint).
     Rejected,
+    /// The front-tier router's per-request deadline budget (including its
+    /// bounded retries on other workers) ran out before a worker answered.
+    Deadline,
     /// The server is draining and no longer accepts work.
     ShuttingDown,
 }
@@ -59,6 +72,7 @@ impl ErrorKind {
             ErrorKind::Invalid => "invalid",
             ErrorKind::Overload => "overload",
             ErrorKind::Rejected => "rejected",
+            ErrorKind::Deadline => "deadline",
             ErrorKind::ShuttingDown => "shutting_down",
         }
     }
@@ -69,6 +83,7 @@ impl ErrorKind {
             "invalid" => ErrorKind::Invalid,
             "overload" => ErrorKind::Overload,
             "rejected" => ErrorKind::Rejected,
+            "deadline" => ErrorKind::Deadline,
             "shutting_down" => ErrorKind::ShuttingDown,
             _ => return None,
         })
@@ -80,6 +95,13 @@ impl ErrorKind {
 pub enum Command {
     /// Snapshot the serving metrics back to this client.
     Metrics,
+    /// Cheap liveness probe: status, queue depth and uptime from atomics,
+    /// no engine lock taken.
+    Health,
+    /// Stop accepting new work, flush every in-flight job, answer this
+    /// client an ack and end the session — the drain half of a rolling
+    /// restart (a supervisor respawns the process afterwards).
+    Drain,
     /// Drain in-flight work across all clients and stop the server.
     Shutdown,
 }
@@ -89,6 +111,8 @@ impl Command {
     pub fn label(self) -> &'static str {
         match self {
             Command::Metrics => "metrics",
+            Command::Health => "health",
+            Command::Drain => "drain",
             Command::Shutdown => "shutdown",
         }
     }
@@ -119,6 +143,8 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             .ok_or_else(|| "\"cmd\" must be a string".to_string())?;
         let command = match name {
             "metrics" => Command::Metrics,
+            "health" => Command::Health,
+            "drain" => Command::Drain,
             "shutdown" => Command::Shutdown,
             other => return Err(format!("unknown command `{other}`")),
         };
@@ -164,6 +190,17 @@ pub enum Response {
     },
     /// A metrics snapshot (reply to `{"cmd":"metrics"}`).
     Metrics(Box<ServeMetrics>),
+    /// A liveness probe reply (reply to `{"cmd":"health"}`) — served from
+    /// atomics, never from behind the engine lock.
+    Health {
+        /// `"ok"` while serving, `"draining"` once a drain or shutdown has
+        /// been observed.
+        status: String,
+        /// Jobs admitted but not yet answered, across all clients.
+        queue_depth: u64,
+        /// Microseconds since the server started.
+        uptime_us: u64,
+    },
     /// Acknowledges a control command.
     Ack {
         /// The command's wire label.
@@ -195,6 +232,22 @@ impl Response {
             Response::Metrics(metrics) => {
                 map.insert("type".into(), Value::String("metrics".into()));
                 map.insert("metrics".into(), metrics.serialize());
+            }
+            Response::Health {
+                status,
+                queue_depth,
+                uptime_us,
+            } => {
+                map.insert("type".into(), Value::String("health".into()));
+                map.insert("status".into(), Value::String(status.clone()));
+                map.insert(
+                    "queue_depth".into(),
+                    Value::Number(Number::PosInt(*queue_depth)),
+                );
+                map.insert(
+                    "uptime_us".into(),
+                    Value::Number(Number::PosInt(*uptime_us)),
+                );
             }
             Response::Ack { cmd } => {
                 map.insert("type".into(), Value::String("ack".into()));
@@ -263,6 +316,26 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
             ServeMetrics::deserialize(metrics)
                 .map(|m| Response::Metrics(Box::new(m)))
                 .map_err(|e: Error| format!("invalid metrics payload: {e}"))
+        }
+        "health" => {
+            let status = object
+                .get("status")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "health response without \"status\"".to_string())?
+                .to_string();
+            let queue_depth = object
+                .get("queue_depth")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| "health response without \"queue_depth\"".to_string())?;
+            let uptime_us = object
+                .get("uptime_us")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| "health response without \"uptime_us\"".to_string())?;
+            Ok(Response::Health {
+                status,
+                queue_depth,
+                uptime_us,
+            })
         }
         "ack" => {
             let cmd = object
@@ -346,6 +419,14 @@ mod tests {
             parse_request(" {\"cmd\": \"shutdown\"} ").expect("parses"),
             Some(Request::Command(Command::Shutdown))
         );
+        assert_eq!(
+            parse_request("{\"cmd\":\"health\"}").expect("parses"),
+            Some(Request::Command(Command::Health))
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"drain\"}").expect("parses"),
+            Some(Request::Command(Command::Drain))
+        );
         assert_eq!(parse_request("").expect("blank"), None);
         assert_eq!(parse_request("   ").expect("blank"), None);
         assert!(parse_request("{\"cmd\":\"dance\"}").is_err());
@@ -381,8 +462,21 @@ mod tests {
                 kind: ErrorKind::Parse,
                 reason: "invalid JSON: trailing characters at byte 2".into(),
             },
+            Response::Error {
+                id: Some(12),
+                kind: ErrorKind::Deadline,
+                reason: "deadline exceeded after 2 attempts".into(),
+            },
+            Response::Health {
+                status: "ok".into(),
+                queue_depth: 3,
+                uptime_us: 1_234_567,
+            },
             Response::Ack {
                 cmd: "shutdown".into(),
+            },
+            Response::Ack {
+                cmd: "drain".into(),
             },
         ];
         for response in cases {
@@ -400,6 +494,7 @@ mod tests {
             ErrorKind::Invalid,
             ErrorKind::Overload,
             ErrorKind::Rejected,
+            ErrorKind::Deadline,
             ErrorKind::ShuttingDown,
         ] {
             assert_eq!(ErrorKind::from_label(kind.label()), Some(kind));

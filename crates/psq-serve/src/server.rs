@@ -34,6 +34,7 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Server construction options.
 #[derive(Clone, Copy, Debug)]
@@ -45,6 +46,13 @@ pub struct ServeConfig {
     /// Per-client bound on admitted-but-unanswered jobs; submissions over
     /// the bound get `overload` errors (the connection stays open).
     pub max_inflight: u32,
+    /// How long a TCP reader waits for the next request line before closing
+    /// the session. A silent client used to pin its reader thread (and any
+    /// in-flight admission slots) forever; with the timeout the session
+    /// drains cleanly — in-flight jobs are still answered and flushed by
+    /// the writer before the connection closes. `None` disables the
+    /// timeout. Pipe sessions are unaffected (EOF already bounds them).
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +61,7 @@ impl Default for ServeConfig {
             engine: EngineConfig::default(),
             coalescer: CoalescerConfig::default(),
             max_inflight: 1024,
+            idle_timeout: Some(Duration::from_secs(60)),
         }
     }
 }
@@ -74,6 +83,8 @@ struct ServerShared {
     registry: SessionRegistry,
     shutdown: AtomicBool,
     max_inflight: u32,
+    idle_timeout: Option<Duration>,
+    started: Instant,
 }
 
 impl ServerShared {
@@ -87,6 +98,20 @@ impl ServerShared {
             self.engine.planner().cache().stats(),
             self.engine.obs_snapshot(),
         )
+    }
+
+    /// The `{"cmd":"health"}` answer: atomics and a clock read only, never
+    /// the engine lock — safe to probe at any frequency.
+    fn health(&self) -> Response {
+        Response::Health {
+            status: if self.shutdown.load(Ordering::SeqCst) {
+                "draining".to_string()
+            } else {
+                "ok".to_string()
+            },
+            queue_depth: self.stats.queue_depth(),
+            uptime_us: self.started.elapsed().as_micros() as u64,
+        }
     }
 }
 
@@ -135,14 +160,23 @@ impl Client {
                     .send(Response::Metrics(Box::new(self.shared.metrics())).to_line());
                 LineOutcome::Continue
             }
-            Request::Command(Command::Shutdown) => {
+            Request::Command(Command::Health) => {
+                self.session.send(self.shared.health().to_line());
+                LineOutcome::Continue
+            }
+            // Drain and shutdown share the stop machinery: intake closes,
+            // the coalescer flushes every admitted job, writers drain, and
+            // the session (drain) / server (shutdown) winds down. The
+            // distinct ack label lets a supervisor tell its own rolling
+            // restart from an operator shutdown.
+            Request::Command(command @ (Command::Drain | Command::Shutdown)) => {
                 self.shared.shutdown.store(true, Ordering::SeqCst);
                 // The marker makes the coalescer drain and stop even though
                 // other clients still hold intake senders.
                 let _ = self.intake.send(Submission::Shutdown);
                 self.session.send(
                     Response::Ack {
-                        cmd: Command::Shutdown.label().to_string(),
+                        cmd: command.label().to_string(),
                     }
                     .to_line(),
                 );
@@ -241,6 +275,8 @@ impl Server {
             registry: SessionRegistry::default(),
             shutdown: AtomicBool::new(false),
             max_inflight: config.max_inflight.max(1),
+            idle_timeout: config.idle_timeout,
+            started: Instant::now(),
         });
         let (intake, intake_rx): (Sender<Submission>, Receiver<Submission>) = unbounded();
         let scheduler = {
@@ -327,7 +363,12 @@ impl Server {
                 Ok((stream, _peer)) => {
                     stream.set_nonblocking(false)?;
                     let (client, responses) = self.attach();
-                    connections.push(spawn_connection(client, responses, stream)?);
+                    connections.push(spawn_connection(
+                        client,
+                        responses,
+                        stream,
+                        self.shared.idle_timeout,
+                    )?);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     // Reap finished connections so a long-lived server's
@@ -398,12 +439,17 @@ fn spawn_writer<W: Write + Send + 'static>(
 
 /// Spawns the reader+writer pair for one TCP connection. The reader runs on
 /// the spawned thread; the writer gets its own. The session's shutdown kick
-/// closes the stream so an idle reader unblocks when the server drains.
+/// closes the stream so an idle reader unblocks when the server drains, and
+/// `idle_timeout` bounds how long a silent client can pin the reader thread:
+/// when no line arrives within the window the session closes cleanly (every
+/// in-flight job is still answered before the writer exits).
 fn spawn_connection(
     client: Client,
     responses: Receiver<OutLine>,
     stream: TcpStream,
+    idle_timeout: Option<Duration>,
 ) -> std::io::Result<JoinHandle<()>> {
+    stream.set_read_timeout(idle_timeout)?;
     let write_half = stream.try_clone()?;
     let kick_half = stream.try_clone()?;
     client.session().set_kick(Box::new(move || {
@@ -413,11 +459,30 @@ fn spawn_connection(
         .name("psq-serve-tcp-conn".to_string())
         .spawn(move || {
             let writer_thread = spawn_writer("psq-serve-tcp-writer", responses, write_half);
-            let reader = BufReader::new(&stream);
-            for line in reader.lines() {
-                let Ok(line) = line else { break };
-                if client.submit_line(&line) == LineOutcome::Stop {
-                    break;
+            let mut reader = BufReader::new(&stream);
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) => break, // EOF
+                    Ok(_) => {
+                        let trimmed = line.trim_end_matches(['\n', '\r']);
+                        if client.submit_line(trimmed) == LineOutcome::Stop {
+                            break;
+                        }
+                    }
+                    // A read timeout (reported as WouldBlock on Unix,
+                    // TimedOut on Windows) means the client went silent:
+                    // close the session instead of pinning the thread.
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        break;
+                    }
+                    Err(_) => break,
                 }
             }
             drop(client);
@@ -578,6 +643,116 @@ mod tests {
             .iter()
             .any(|r| matches!(r, Response::Ack { cmd } if cmd == "shutdown")));
         assert!(server.shutdown_requested());
+        server.finish();
+    }
+
+    #[test]
+    fn health_command_is_cheap_and_reflects_drain_state() {
+        let server = Server::start(tiny_config());
+        let (client, responses) = server.attach();
+        assert_eq!(
+            client.submit_line("{\"cmd\":\"health\"}"),
+            LineOutcome::Continue
+        );
+        match parse_response(&responses.recv().expect("health answered")).expect("well-formed") {
+            Response::Health {
+                status,
+                queue_depth,
+                uptime_us: _,
+            } => {
+                assert_eq!(status, "ok");
+                assert_eq!(queue_depth, 0);
+            }
+            other => panic!("expected health, got {other:?}"),
+        }
+        // After a drain command the status flips to `draining`.
+        assert_eq!(client.submit_line("{\"cmd\":\"drain\"}"), LineOutcome::Stop);
+        let (probe, probe_responses) = server.attach();
+        probe.submit_line("{\"cmd\":\"health\"}");
+        match parse_response(&probe_responses.recv().expect("health answered"))
+            .expect("well-formed")
+        {
+            Response::Health { status, .. } => assert_eq!(status, "draining"),
+            other => panic!("expected health, got {other:?}"),
+        }
+        drop(client);
+        drop(probe);
+        server.finish();
+    }
+
+    #[test]
+    fn drain_command_stops_the_pipe_session_with_its_own_ack() {
+        let server = Server::start(tiny_config());
+        let job = serde_json::to_string(&SearchJob::new(2, 1 << 10, 4, 5)).expect("serialises");
+        let input = format!("{job}\n{{\"cmd\":\"drain\"}}\n{job}\n");
+        let sink = crate::testio::SharedSink::default();
+        let summary = server
+            .serve_pipe(input.as_bytes(), sink.clone())
+            .expect("pipe session");
+        assert!(summary.shutdown_requested);
+        assert_eq!(summary.lines_in, 2, "reading stops at the command");
+        let parsed: Vec<Response> = sink
+            .lines()
+            .iter()
+            .map(|l| parse_response(l).expect("well-formed"))
+            .collect();
+        assert!(parsed.iter().any(|r| matches!(r, Response::Result(_))));
+        assert!(parsed
+            .iter()
+            .any(|r| matches!(r, Response::Ack { cmd } if cmd == "drain")));
+        assert!(server.shutdown_requested());
+        server.finish();
+    }
+
+    #[test]
+    fn tcp_idle_timeout_closes_a_silent_session_after_answering_inflight() {
+        use std::io::{BufRead as _, Write as _};
+        let server = Server::start(ServeConfig {
+            idle_timeout: Some(Duration::from_millis(150)),
+            ..tiny_config()
+        });
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = listener.local_addr().expect("bound address");
+        std::thread::scope(|scope| {
+            let serve = scope.spawn(|| server.serve_tcp(listener));
+            let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let job =
+                serde_json::to_string(&SearchJob::new(3, 1 << 10, 4, 11)).expect("serialises");
+            stream
+                .write_all((job + "\n").as_bytes())
+                .expect("write job");
+            stream.flush().expect("flush");
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).expect("read result") > 0);
+            assert!(matches!(
+                parse_response(line.trim_end()).expect("well-formed"),
+                Response::Result(_)
+            ));
+            // Go silent: the in-flight job was answered, and within the idle
+            // window the server must close the connection (EOF on our read)
+            // rather than pin its reader thread forever.
+            line.clear();
+            let closed_at = Instant::now();
+            assert_eq!(
+                reader.read_line(&mut line).expect("clean close"),
+                0,
+                "idle session is closed, not left hanging"
+            );
+            assert!(
+                closed_at.elapsed() < Duration::from_secs(10),
+                "close came from the idle timeout, not a test timeout"
+            );
+            // The server itself survives the idle close: a fresh connection
+            // still gets answers, then shuts the listener down.
+            let mut closer = std::net::TcpStream::connect(addr).expect("connect closer");
+            closer
+                .write_all(b"{\"cmd\":\"shutdown\"}\n")
+                .expect("write shutdown");
+            closer.flush().expect("flush");
+            serve.join().expect("serve thread").expect("clean exit");
+        });
+        assert_eq!(server.metrics().jobs_completed, 1);
         server.finish();
     }
 }

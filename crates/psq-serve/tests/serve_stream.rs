@@ -125,6 +125,7 @@ fn overload_responses_are_well_formed_and_no_job_is_silently_dropped() {
             max_delay_us: 200_000,
         },
         max_inflight: 4,
+        ..ServeConfig::default()
     });
     let (client, responses) = server.attach();
     let total = 64u64;
@@ -429,6 +430,7 @@ fn queue_depth_returns_to_zero_after_an_overload_burst() {
             max_delay_us: 100_000,
         },
         max_inflight: 8,
+        ..ServeConfig::default()
     });
     let (client, responses) = server.attach();
     let total = 96u64;

@@ -75,7 +75,7 @@ fn main() {
     assert_eq!(m.jobs, 200, "every generated job is accepted");
     assert!(m.jobs_correct >= 198, "partial search almost never misses");
     assert!(
-        tally.backends_used() == 5,
-        "the mix exercises every backend"
+        tally.backends_used() >= 5,
+        "the mix exercises every backend family"
     );
 }

@@ -32,6 +32,7 @@
 //! | [`bounds`] | Theorem 2, Theorem 3 and the Appendix-B hybrid-argument audit (`psq-bounds`) |
 //! | [`engine`] | batched multi-backend execution engine: job specs, cost-model planner with a memoised plan cache, worker-pool executor, recursive full-address backend, metrics (`psq-engine`) |
 //! | [`serve`] | streaming multi-client serving layer: NDJSON protocol (including `full_address` requests), micro-batching coalescer, pipe + TCP transports, admission control (`psq-serve`) |
+//! | [`router`] | fault-tolerant sharded front tier: rendezvous routing over supervised `psq-serve` worker processes, health probes, respawn with backoff, deadline budgets with bit-identical retries, drain-aware rolling restarts, deterministic fault injection (`psq-router`) |
 //! | [`obs`] | observability primitives: lock-free latency histograms with mergeable snapshots, per-stage spans, the `--trace` NDJSON trace stream (`psq-obs`) |
 //!
 //! ## Quickstart
@@ -68,6 +69,7 @@ pub use psq_math as math;
 pub use psq_obs as obs;
 pub use psq_parallel as parallel;
 pub use psq_partial as partial;
+pub use psq_router as router;
 pub use psq_serve as serve;
 pub use psq_sim as sim;
 
@@ -83,6 +85,7 @@ pub mod prelude {
         EpsilonChoice, LevelKind, LevelReport, Model, PartialRun, PartialSearch, RecursiveOutcome,
         RecursiveSearch, SearchPlan,
     };
+    pub use psq_router::{Router, RouterConfig, RouterMetrics};
     pub use psq_serve::{CoalescerConfig, ServeConfig, ServeMetrics, Server};
     pub use psq_sim::{
         Database, FullSearchOutcome, PartialSearchOutcome, Partition, QueryCounter, ReducedState,

@@ -257,6 +257,8 @@ fn run_router_stream_scenario(
     let router = Router::start(RouterConfig {
         workers,
         worker_cmd,
+        // Scrape fast so the post-run fleet view settles promptly.
+        scrape_interval: std::time::Duration::from_millis(50),
         ..RouterConfig::default()
     });
     let stream_once = |router: &Router| {
@@ -279,24 +281,49 @@ fn run_router_stream_scenario(
         }
     }
     let total_seconds = started.elapsed().as_secs_f64();
+    // Let the asynchronous metrics scraper catch up so the fleet-merged
+    // view covers every completion the router forwarded (a saturated
+    // single-worker run sheds part of each batch as overload, so the
+    // router's own completed count is the reference, not jobs × iters).
+    let settled = Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let snapshot = router.metrics();
+        if snapshot
+            .fleet
+            .map(|fleet| fleet.jobs_completed >= snapshot.jobs_completed)
+            == Some(true)
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < settled,
+            "{name}: the fleet view never caught up to {} completions",
+            snapshot.jobs_completed
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
     let metrics = router.finish();
     assert_eq!(metrics.respawns, 0, "{name}: no worker may die mid-bench");
+    let fleet = metrics.fleet.as_ref().expect("the fleet view settled");
     let scenario = Scenario {
         name: name.to_string(),
         jobs_per_batch: count as u64,
         iterations,
         total_seconds,
         jobs_per_s: (count as u64 * iterations) as f64 / total_seconds,
-        // The workers own the (disabled) result caches; the router has no
-        // visibility into them.
-        result_cache_hits: 0,
-        result_cache_misses: 0,
+        // The workers own the (disabled) result caches; the scraped fleet
+        // view is how the router sees into them.
+        result_cache_hits: fleet.result_cache.hits,
+        result_cache_misses: fleet.result_cache.misses,
+        // Front-tier tail latency: the router's aggregated end-to-end route
+        // histogram (first-attempt samples only, so retries cannot smear
+        // the tail — and the respawns assertion above means none happened).
         latency_us_p50: Some(metrics.route.p50()),
         latency_us_p99: Some(metrics.route.p99()),
     };
     eprintln!(
         "{:<32} {:>5} jobs x {:>3} iters in {:>8.3} s  ->  {:>10.1} jobs/s  \
-         ({} workers, p50/p99 latency {:.0}/{:.0} µs)",
+         ({} workers, p50/p99 latency {:.0}/{:.0} µs; in-worker {:.0}/{:.0} µs)",
         scenario.name,
         scenario.jobs_per_batch,
         scenario.iterations,
@@ -305,6 +332,8 @@ fn run_router_stream_scenario(
         workers,
         metrics.route.p50(),
         metrics.route.p99(),
+        fleet.latency_us_p50,
+        fleet.latency_us_p99,
     );
     scenario
 }

@@ -21,7 +21,15 @@ pub const ENGINE_FLAGS_HELP: &str = "  \
   --result-cache-ttl-ms N      expire cached results N milliseconds after
                                insertion (default: keep until evicted)
   --trace[=stderr|FILE]        emit per-stage NDJSON trace events
-                               ({\"type\":\"trace\",...}) to stderr or FILE";
+                               ({\"type\":\"trace\",...}) to stderr or FILE;
+                               the PSQ_TRACE environment variable (same
+                               stderr|FILE values) enables tracing without
+                               the flag — the flag wins when both are set";
+
+/// Environment variable enabling the NDJSON trace stream without a flag
+/// (`stderr` or a file path, like `--trace=`). `--trace` wins when both
+/// are given; an empty value counts as unset.
+pub const PSQ_TRACE_ENV: &str = "PSQ_TRACE";
 
 /// Engine-construction flags shared by every engine-backed binary.
 #[derive(Clone, Debug)]
@@ -93,12 +101,20 @@ impl EngineFlags {
         }
     }
 
-    /// Installs the NDJSON trace sink these flags ask for (a no-op without
-    /// `--trace`). Call once at binary start-up, before serving jobs.
+    /// Installs the NDJSON trace sink these flags ask for. Without
+    /// `--trace`, the `PSQ_TRACE` environment variable (same
+    /// `stderr`/`FILE` values) is consulted, so a supervisor — the
+    /// front-tier router collecting its workers' streams — can switch
+    /// tracing on in spawned processes without CLI plumbing. Precedence:
+    /// the flag wins; an empty `PSQ_TRACE` counts as unset. Call once at
+    /// binary start-up, before serving jobs.
     pub fn install_trace(&self) -> Result<(), String> {
         match &self.trace {
             Some(target) => psq_obs::trace::install_target(Some(target)),
-            None => Ok(()),
+            None => match std::env::var(PSQ_TRACE_ENV) {
+                Ok(target) if !target.is_empty() => psq_obs::trace::install_target(Some(&target)),
+                _ => Ok(()),
+            },
         }
     }
 
@@ -194,6 +210,41 @@ mod tests {
             Some("/tmp/out.ndjson".to_string())
         );
         assert!(parse(&["--trace="]).is_err(), "empty target rejected");
+    }
+
+    #[test]
+    fn psq_trace_env_enables_tracing_and_the_flag_wins() {
+        // Environment state is process-global, so the whole precedence
+        // story lives in one test. Start from a clean slate.
+        psq_obs::trace::disable();
+        std::env::remove_var(PSQ_TRACE_ENV);
+
+        // No flag, no env: tracing stays off.
+        EngineFlags::default().install_trace().expect("no-op");
+        assert!(!psq_obs::trace::enabled());
+
+        // No flag, env set: the env target is installed.
+        std::env::set_var(PSQ_TRACE_ENV, "stderr");
+        EngineFlags::default().install_trace().expect("env target");
+        assert!(psq_obs::trace::enabled());
+        psq_obs::trace::disable();
+
+        // Empty env counts as unset.
+        std::env::set_var(PSQ_TRACE_ENV, "");
+        EngineFlags::default().install_trace().expect("empty env");
+        assert!(!psq_obs::trace::enabled());
+
+        // Flag wins: with the env pointing at an unopenable path, the
+        // flag's stderr target must install without ever consulting it.
+        std::env::set_var(PSQ_TRACE_ENV, "/nonexistent-dir/x/trace.ndjson");
+        let flags = parse(&["--trace"]).expect("flag");
+        flags.install_trace().expect("flag beats env");
+        assert!(psq_obs::trace::enabled());
+        psq_obs::trace::disable();
+
+        // The env alone would have failed on that path.
+        assert!(EngineFlags::default().install_trace().is_err());
+        std::env::remove_var(PSQ_TRACE_ENV);
     }
 
     #[test]

@@ -187,7 +187,10 @@ impl Engine {
         // timing chains coarse clock stamps (the plan end stamp starts the
         // cache lookup) and records into unsynchronised scratch histograms
         // flushed once after the loop — per-stage trace events still go out
-        // per job when tracing is on.
+        // per job when tracing is on. Each event resolves the job's bound
+        // distributed trace id (`psq_obs::trace::bind_trace`, set by the
+        // serving layer on admission), so batch stage spans stitch into the
+        // cross-process chain without threading an id through this loop.
         let mut plan_scratch = LocalHistogram::new();
         let mut cache_scratch = LocalHistogram::new();
         // `cursor` is the last stamp taken; each stage is measured from it,

@@ -1,0 +1,208 @@
+//! Prometheus-style text exposition for the workspace's metrics.
+//!
+//! [`Exposition`] renders counters, gauges and [`HistogramSnapshot`]s into
+//! the Prometheus text format (`# HELP` / `# TYPE` headers, cumulative
+//! `_bucket{le="..."}` series, `_sum`/`_count`), and [`serve_text`] is the
+//! transport both `psq_router` and `psq_serve` put behind `--metrics-addr`:
+//! a plain-TCP listener that writes one freshly rendered page per
+//! connection and closes. Deliberately not HTTP — the serving tier's wire
+//! idiom is line-oriented streams, and a scrape is then just
+//! `cat < /dev/tcp/HOST/PORT` (or `nc HOST PORT`) away; anything that
+//! speaks TCP can collect it.
+//!
+//! Bucket upper edges are the histogram's powers of two (`le="2"`,
+//! `le="4"`, …, `le="+Inf"`), so the exposition is a lossless re-encoding
+//! of the snapshot a `{"cmd":"metrics"}` reply carries.
+
+use crate::hist::HistogramSnapshot;
+use std::collections::HashSet;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener};
+
+/// An in-progress text exposition page.
+///
+/// `# HELP`/`# TYPE` headers are emitted once per metric name however many
+/// labelled series share it (the per-backend histograms), matching what
+/// Prometheus parsers require.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+    declared: HashSet<String>,
+}
+
+impl Exposition {
+    /// An empty page.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn declare(&mut self, name: &str, help: &str, kind: &str) {
+        if self.declared.insert(name.to_string()) {
+            self.out
+                .push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        }
+    }
+
+    /// Renders a label set as `{a="x",b="y"}` (empty string for none).
+    fn label_block(labels: &[(&str, &str)]) -> String {
+        if labels.is_empty() {
+            return String::new();
+        }
+        let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        format!("{{{}}}", body.join(","))
+    }
+
+    /// One monotonically increasing counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.declare(name, help, "counter");
+        self.out.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// One gauge sample, optionally labelled.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.declare(name, help, "gauge");
+        let labels = Self::label_block(labels);
+        // Prometheus accepts any float literal; keep it finite.
+        let value = if value.is_finite() { value } else { 0.0 };
+        self.out.push_str(&format!("{name}{labels} {value}\n"));
+    }
+
+    /// One [`HistogramSnapshot`] as a full Prometheus histogram family:
+    /// cumulative `_bucket{le="2^k"}` series, `_sum` (whole microseconds)
+    /// and `_count`, optionally labelled (e.g. `backend="reduced"`).
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+    ) {
+        self.declare(name, help, "histogram");
+        let mut cumulative = 0u64;
+        for (index, &count) in snap.buckets.iter().enumerate() {
+            cumulative += count;
+            let le = 1u128 << (index + 1);
+            let labels = Self::label_block(&[labels, &[("le", le.to_string().as_str())]].concat());
+            self.out
+                .push_str(&format!("{name}_bucket{labels} {cumulative}\n"));
+        }
+        let inf = Self::label_block(&[labels, &[("le", "+Inf")]].concat());
+        self.out
+            .push_str(&format!("{name}_bucket{inf} {}\n", snap.count));
+        let plain = Self::label_block(labels);
+        self.out
+            .push_str(&format!("{name}_sum{plain} {}\n", snap.sum_us));
+        self.out
+            .push_str(&format!("{name}_count{plain} {}\n", snap.count));
+    }
+
+    /// The finished page.
+    pub fn render(self) -> String {
+        self.out
+    }
+}
+
+/// Binds `addr` and serves `render()`'s output to every connection on a
+/// detached thread: accept → render → write → close, no request parsing.
+/// Returns the bound address (so `addr` may use port 0 in tests).
+pub fn serve_text<F>(addr: &str, render: F) -> std::io::Result<SocketAddr>
+where
+    F: Fn() -> String + Send + 'static,
+{
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("psq-metrics-expo".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut stream) = conn else { continue };
+                let page = render();
+                let _ = stream.write_all(page.as_bytes());
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        })?;
+    Ok(local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use std::io::Read;
+
+    #[test]
+    fn counters_and_gauges_render_with_single_headers() {
+        let mut expo = Exposition::new();
+        expo.counter("psq_jobs_completed", "Jobs answered.", 41);
+        expo.gauge("psq_queue_depth", "Jobs in flight.", &[], 3.0);
+        expo.gauge(
+            "psq_latency_p99_us",
+            "Recent tail latency.",
+            &[("window", "recent")],
+            1250.5,
+        );
+        expo.gauge(
+            "psq_latency_p99_us",
+            "Recent tail latency.",
+            &[("window", "lifetime")],
+            9000.0,
+        );
+        let page = expo.render();
+        assert_eq!(page.matches("# TYPE psq_latency_p99_us gauge").count(), 1);
+        assert!(page.contains("psq_jobs_completed 41\n"));
+        assert!(page.contains("psq_queue_depth 3\n"));
+        assert!(page.contains("psq_latency_p99_us{window=\"recent\"} 1250.5\n"));
+        assert!(page.contains("psq_latency_p99_us{window=\"lifetime\"} 9000\n"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_power_of_two_buckets() {
+        let hist = Histogram::new();
+        for us in [1.0, 3.0, 3.5, 9.0] {
+            hist.record(us);
+        }
+        let mut expo = Exposition::new();
+        expo.histogram(
+            "psq_route_latency_us",
+            "End-to-end route latency.",
+            &[("backend", "reduced")],
+            &hist.snapshot(),
+        );
+        let page = expo.render();
+        assert!(page.contains("# TYPE psq_route_latency_us histogram"));
+        // Buckets: [0,2):1, [2,4):2, [4,8):0, [8,16):1 → cumulative 1,3,3,4.
+        assert!(page.contains("psq_route_latency_us_bucket{backend=\"reduced\",le=\"2\"} 1\n"));
+        assert!(page.contains("psq_route_latency_us_bucket{backend=\"reduced\",le=\"4\"} 3\n"));
+        assert!(page.contains("psq_route_latency_us_bucket{backend=\"reduced\",le=\"8\"} 3\n"));
+        assert!(page.contains("psq_route_latency_us_bucket{backend=\"reduced\",le=\"16\"} 4\n"));
+        assert!(page.contains("psq_route_latency_us_bucket{backend=\"reduced\",le=\"+Inf\"} 4\n"));
+        assert!(page.contains("psq_route_latency_us_sum{backend=\"reduced\"} 16\n"));
+        assert!(page.contains("psq_route_latency_us_count{backend=\"reduced\"} 4\n"));
+    }
+
+    #[test]
+    fn empty_snapshot_still_renders_a_wellformed_family() {
+        let mut expo = Exposition::new();
+        expo.histogram(
+            "psq_idle_us",
+            "Never recorded.",
+            &[],
+            &HistogramSnapshot::default(),
+        );
+        let page = expo.render();
+        assert!(page.contains("psq_idle_us_bucket{le=\"+Inf\"} 0\n"));
+        assert!(page.contains("psq_idle_us_sum 0\n"));
+        assert!(page.contains("psq_idle_us_count 0\n"));
+    }
+
+    #[test]
+    fn serve_text_writes_one_page_per_connection_and_closes() {
+        let addr = serve_text("127.0.0.1:0", || "psq_up 1\n".to_string()).expect("bind exposition");
+        for _ in 0..2 {
+            let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+            let mut page = String::new();
+            stream.read_to_string(&mut page).expect("read page");
+            assert_eq!(page, "psq_up 1\n");
+        }
+    }
+}

@@ -71,6 +71,23 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Resets every counter to zero, as if freshly constructed.
+    ///
+    /// Not atomic as a whole: a `record` racing the reset may land partly
+    /// before and partly after it, skewing one sample. The only caller is
+    /// the windowed rotation in [`crate::window`], where a slice being
+    /// cleared is by construction one no recorder should still target, so
+    /// the race window is the rotation instant itself — acceptable for
+    /// metrics, never used for the engine's deterministic results.
+    pub fn clear(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_us.store(0, Ordering::Relaxed);
+        self.max_us_bits.store(0, Ordering::Relaxed);
+    }
+
     /// A serialisable point-in-time view (trailing empty buckets trimmed).
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets: Vec<u64> = self
@@ -408,6 +425,21 @@ mod tests {
         let mut merged = a.snapshot();
         merged.merge(&b.snapshot());
         assert_eq!(merged, union.snapshot());
+    }
+
+    #[test]
+    fn clear_resets_to_the_freshly_constructed_state() {
+        let hist = Histogram::new();
+        for sample in [3.0, 700.0, 90_000.0] {
+            hist.record(sample);
+        }
+        assert_eq!(hist.count(), 3);
+        hist.clear();
+        assert_eq!(hist.count(), 0);
+        assert_eq!(hist.snapshot(), Histogram::new().snapshot());
+        hist.record(12.0);
+        assert_eq!(hist.snapshot().count, 1);
+        assert_eq!(hist.snapshot().max_us, 12.0);
     }
 
     #[test]

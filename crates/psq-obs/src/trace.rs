@@ -4,26 +4,37 @@
 //! so the disabled hot path costs ~a nanosecond: [`Span::enter`] does not
 //! even read the clock unless tracing is on, and [`event`] returns after
 //! the load. When enabled (via `--trace[=stderr|FILE]` on the binaries,
-//! [`install_stderr`] / [`install_file`] / [`install_writer`] in code),
-//! every finished span and emitted event becomes one line of NDJSON:
+//! the `PSQ_TRACE` environment variable, [`install_stderr`] /
+//! [`install_file`] / [`install_writer`] in code), every finished span and
+//! emitted event becomes one line of NDJSON:
 //!
 //! ```text
-//! {"type":"trace","job":17,"stage":"plan","us":3.210}
-//! {"type":"trace","job":17,"stage":"execute:reduced","us":412.907}
+//! {"type":"trace","job":17,"trace":902,"stage":"plan","us":3.210,"t_us":1754650000123456}
+//! {"type":"trace","job":17,"trace":902,"stage":"execute:reduced","us":412.907,"t_us":1754650000123999}
 //! ```
 //!
 //! `job` is the id the enclosing layer uses (the engine's batch index, the
 //! serving layer's client-assigned id), `stage` is a stable label —
 //! `plan`, `cache`, `execute:<backend>`, `coalesce` and the front-tier
-//! router's `route`/`retry`/`respawn` across this workspace — and `us` is
-//! the stage's wall time in microseconds. Lines are
-//! flushed as they are written, so a crashing process loses at most the
-//! line being formatted.
+//! router's `route`/`queue`/`retry`/`respawn` across this workspace — and
+//! `us` is the stage's wall time in microseconds. `t_us` is the wall-clock
+//! time the stage *ended* (Unix epoch microseconds), comparable across
+//! processes, so a collector can stitch one job's spans from several
+//! processes into a single ordered causal chain. `trace` is the optional
+//! distributed trace id: minted once at the front tier, carried across
+//! process boundaries on the wire, and attached here either explicitly
+//! ([`event_traced`], [`Span::finish_traced`]) or through the process-local
+//! job → trace binding ([`bind_trace`]), which lets deep layers (the
+//! engine's stage spans) stitch into the chain without threading an extra
+//! argument through every call. Lines are flushed as they are written, so
+//! a crashing process loses at most the line being formatted.
 
 use crate::clock;
+use std::collections::HashMap;
 use std::io::Write;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Stable stage labels shared by the engine and serving layers. Backend
 /// execution stages extend the set with `execute:<backend label>`.
@@ -37,6 +48,9 @@ pub mod stage {
     /// End-to-end time a job spent inside the front-tier router
     /// (admission → answer forwarded to the client).
     pub const ROUTE: &str = "route";
+    /// Time a job waited inside the router between admission and being
+    /// written to a worker (slot choice, inflight caps, parking).
+    pub const QUEUE: &str = "queue";
     /// A job re-dispatched to another worker after a deadline expiry or a
     /// worker failure; the value is how long the failed attempt had been
     /// outstanding.
@@ -54,10 +68,25 @@ static LEVEL: AtomicU8 = AtomicU8::new(0);
 /// the mutex while disabled.
 static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
 
+/// Process-local job id → distributed trace id bindings. Touched only when
+/// tracing is enabled (bind/lookup short-circuit on the level atomic), so
+/// the traced-off hot path never takes this lock.
+static BINDINGS: Mutex<Option<HashMap<u64, u64>>> = Mutex::new(None);
+
 /// Whether trace emission is on (one relaxed atomic load).
 #[inline]
 pub fn enabled() -> bool {
     LEVEL.load(Ordering::Relaxed) != 0
+}
+
+/// Wall-clock now in Unix-epoch microseconds — the cross-process `t_us`
+/// axis trace lines carry. (The TSC stamp clock is per-process; epoch time
+/// is what lets a collector order spans from different processes.)
+pub fn epoch_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
 }
 
 /// Routes trace lines to stderr and enables emission.
@@ -80,7 +109,8 @@ pub fn install_writer(writer: Box<dyn Write + Send>) {
     LEVEL.store(1, Ordering::Relaxed);
 }
 
-/// Disables emission and drops (flushing) any installed sink.
+/// Disables emission, drops (flushing) any installed sink, and clears all
+/// job → trace bindings.
 pub fn disable() {
     LEVEL.store(0, Ordering::Relaxed);
     let mut sink = SINK.lock().expect("trace sink lock");
@@ -88,6 +118,7 @@ pub fn disable() {
         let _ = writer.flush();
     }
     *sink = None;
+    *BINDINGS.lock().expect("trace bindings lock") = None;
 }
 
 /// Parses a `--trace[=stderr|FILE]` flag value (`None` and `"stderr"` mean
@@ -104,21 +135,97 @@ pub fn install_target(target: Option<&str>) -> Result<(), String> {
     }
 }
 
+/// Binds `job` to distributed trace id `trace` for this process, so every
+/// subsequent [`event`] / [`Span::finish`] for that job id carries
+/// `"trace":N`. No-op while tracing is disabled. The serving layer binds on
+/// admission and [`unbind_trace`]s when the answer leaves the process.
+pub fn bind_trace(job: u64, trace: u64) {
+    if !enabled() {
+        return;
+    }
+    BINDINGS
+        .lock()
+        .expect("trace bindings lock")
+        .get_or_insert_with(HashMap::new)
+        .insert(job, trace);
+}
+
+/// Removes the binding for `job`, returning the trace id it carried.
+pub fn unbind_trace(job: u64) -> Option<u64> {
+    if !enabled() {
+        return None;
+    }
+    BINDINGS
+        .lock()
+        .expect("trace bindings lock")
+        .as_mut()?
+        .remove(&job)
+}
+
+/// The distributed trace id currently bound to `job`, if any.
+pub fn trace_of(job: u64) -> Option<u64> {
+    if !enabled() {
+        return None;
+    }
+    BINDINGS
+        .lock()
+        .expect("trace bindings lock")
+        .as_ref()?
+        .get(&job)
+        .copied()
+}
+
 /// Emits one already-measured trace event (the span shortcut for stages
-/// whose duration the caller measured anyway). A single relaxed load when
-/// tracing is off.
+/// whose duration the caller measured anyway). The trace id, if the job
+/// has one bound, is resolved from the process-local binding table. A
+/// single relaxed load when tracing is off.
 #[inline]
 pub fn event(job: u64, stage_label: &str, us: f64) {
     if enabled() {
-        write_line(job, stage_label, us);
+        write_line(job, trace_of(job), stage_label, us);
+    }
+}
+
+/// Like [`event`], but with the distributed trace id supplied by the
+/// caller (layers that track it themselves, e.g. the router's pending
+/// table) instead of resolved from the binding table.
+#[inline]
+pub fn event_traced(job: u64, trace: Option<u64>, stage_label: &str, us: f64) {
+    if enabled() {
+        write_line(job, trace, stage_label, us);
+    }
+}
+
+/// Writes one raw, already-formatted NDJSON line into the trace sink (a
+/// trailing newline is added). This is the merge point for trace
+/// *collection*: the router forwards its workers' tagged trace lines here
+/// so the fleet's spans interleave into one ordered stream behind a single
+/// sink lock. No-op while tracing is disabled.
+pub fn forward_line(line: &str) {
+    if !enabled() {
+        return;
+    }
+    let mut sink = SINK.lock().expect("trace sink lock");
+    if let Some(writer) = sink.as_mut() {
+        let _ = writer.write_all(line.as_bytes());
+        let _ = writer.write_all(b"\n");
+        let _ = writer.flush();
     }
 }
 
 #[cold]
-fn write_line(job: u64, stage_label: &str, us: f64) {
-    let line = format!(
-        "{{\"type\":\"trace\",\"job\":{job},\"stage\":\"{stage_label}\",\"us\":{us:.3}}}\n"
-    );
+fn write_line(job: u64, trace: Option<u64>, stage_label: &str, us: f64) {
+    let t_us = epoch_us();
+    let line = match trace {
+        Some(id) => format!(
+            "{{\"type\":\"trace\",\"job\":{job},\"trace\":{id},\"stage\":\"{stage_label}\",\
+             \"us\":{us:.3},\"t_us\":{t_us}}}\n"
+        ),
+        None => format!(
+            "{{\"type\":\"trace\",\"job\":{job},\"stage\":\"{stage_label}\",\
+             \"us\":{us:.3},\"t_us\":{t_us}}}\n"
+        ),
+    };
     let mut sink = SINK.lock().expect("trace sink lock");
     if let Some(writer) = sink.as_mut() {
         let _ = writer.write_all(line.as_bytes());
@@ -168,11 +275,21 @@ impl Span {
     }
 
     /// Ends the stage for `job`: emits the trace event when tracing is on
-    /// and returns the elapsed microseconds (`None` for a no-op span).
+    /// (with the job's bound trace id, if any) and returns the elapsed
+    /// microseconds (`None` for a no-op span).
     #[inline]
     pub fn finish(self, job: u64) -> Option<f64> {
         let us = clock::elapsed_us(self.start?);
         event(job, self.stage_label, us);
+        Some(us)
+    }
+
+    /// Like [`Span::finish`], but with the distributed trace id supplied
+    /// by the caller instead of resolved from the binding table.
+    #[inline]
+    pub fn finish_traced(self, job: u64, trace: Option<u64>) -> Option<f64> {
+        let us = clock::elapsed_us(self.start?);
+        event_traced(job, trace, self.stage_label, us);
         Some(us)
     }
 }
@@ -221,6 +338,9 @@ mod tests {
         assert!(!span.is_timing());
         assert_eq!(span.finish(1), None);
         event(1, stage::PLAN, 10.0); // must be a no-op, not a panic
+        bind_trace(1, 99); // bindings are inert while disabled
+        assert_eq!(trace_of(1), None);
+        forward_line("{\"type\":\"trace\"}"); // dropped, not a panic
     }
 
     #[test]
@@ -238,11 +358,60 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"job\":42"));
         assert!(lines[0].contains("\"stage\":\"cache\""));
+        assert!(lines[0].contains("\"t_us\":"));
+        assert!(!lines[0].contains("\"trace\":"), "no binding → no trace id");
         assert!(lines[1].contains("\"stage\":\"coalesce\""));
         assert!(lines[1].contains("\"us\":1234.500"));
         // Emission stops once disabled.
         event(9, stage::PLAN, 1.0);
         assert_eq!(capture.lines().len(), 2);
+    }
+
+    #[test]
+    fn bound_jobs_carry_their_trace_id_until_unbound() {
+        let _guard = test_lock().lock().unwrap();
+        let capture = Capture::default();
+        install_writer(Box::new(capture.clone()));
+        bind_trace(17, 902);
+        assert_eq!(trace_of(17), Some(902));
+        event(17, stage::PLAN, 3.2);
+        let span = Span::enter(stage::CACHE);
+        span.finish(17);
+        assert_eq!(unbind_trace(17), Some(902));
+        event(17, stage::PLAN, 1.0); // binding gone → no trace id
+        event_traced(21, Some(555), stage::ROUTE, 9.0);
+        disable();
+        let lines = capture.lines();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"trace\":902"));
+        assert!(lines[1].contains("\"trace\":902"));
+        assert!(!lines[2].contains("\"trace\":"));
+        assert!(lines[3].contains("\"trace\":555"));
+        assert!(lines[3].contains("\"stage\":\"route\""));
+    }
+
+    #[test]
+    fn forwarded_lines_pass_through_verbatim_in_order() {
+        let _guard = test_lock().lock().unwrap();
+        let capture = Capture::default();
+        install_writer(Box::new(capture.clone()));
+        forward_line("{\"type\":\"trace\",\"job\":1,\"stage\":\"plan\",\"us\":1.0,\"slot\":0}");
+        event(2, stage::ROUTE, 5.0);
+        forward_line("{\"type\":\"trace\",\"job\":3,\"stage\":\"cache\",\"us\":2.0,\"slot\":1}");
+        disable();
+        let lines = capture.lines();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].ends_with("\"slot\":0}"));
+        assert!(lines[1].contains("\"stage\":\"route\""));
+        assert!(lines[2].ends_with("\"slot\":1}"));
+    }
+
+    #[test]
+    fn epoch_timestamps_are_monotonic_enough_to_order_spans() {
+        let a = epoch_us();
+        let b = epoch_us();
+        assert!(b >= a, "epoch_us must not run backwards within a thread");
+        assert!(a > 1_600_000_000_000_000, "epoch_us is in microseconds");
     }
 
     #[test]

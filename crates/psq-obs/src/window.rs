@@ -1,0 +1,184 @@
+//! Rotating time-windowed histograms: recent p50/p99 alongside lifetime.
+//!
+//! A lifetime [`Histogram`] answers "how has this stage behaved since the
+//! process started" — the wrong question for supervision and for the
+//! planned self-calibrating planner, which need "how is it behaving *now*".
+//! [`WindowedHistogram`] layers N fixed buckets-of-time (slices) over the
+//! same lock-free atomic [`Histogram`]: samples land in the slice covering
+//! the current instant, slices older than the window are cleared as the
+//! clock advances, and [`WindowedHistogram::snapshot`] merges the live
+//! slices into one [`HistogramSnapshot`] covering roughly the last
+//! `slices × slice_ms` milliseconds.
+//!
+//! The hot path stays wait-free in the common case: computing the current
+//! slice is a stamp-clock read, and recording is the underlying histogram's
+//! relaxed atomics. Rotation (clearing expired slices) happens on the first
+//! record or snapshot that observes a new slice, guarded by a CAS on the
+//! current-slice counter so exactly one thread clears. A sample racing the
+//! rotation instant can land in a slice that is being cleared and be lost —
+//! a bounded, metrics-only inaccuracy (never the engine's deterministic
+//! results), traded for keeping locks off the record path.
+
+use crate::clock;
+use crate::hist::{Histogram, HistogramSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// N time slices over an atomic [`Histogram`] each, covering a rolling
+/// window of `slices × slice_ms` milliseconds.
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    slices: Box<[Histogram]>,
+    slice_us: u64,
+    /// Process-local stamp taken at construction; slice numbers are
+    /// elapsed-time divided by the slice width.
+    epoch: clock::Stamp,
+    /// The absolute slice number rotation has caught up to.
+    current: AtomicU64,
+}
+
+impl WindowedHistogram {
+    /// A window of `slices` buckets-of-time, each `slice_ms` wide. Both are
+    /// clamped to at least 1; 8 × 1000 ms (an ~8 s rolling view) is the
+    /// serving tier's default.
+    pub fn new(slices: usize, slice_ms: u64) -> Self {
+        let slices = slices.max(1);
+        Self {
+            slices: (0..slices).map(|_| Histogram::new()).collect(),
+            slice_us: slice_ms.max(1) * 1000,
+            epoch: clock::now(),
+            current: AtomicU64::new(0),
+        }
+    }
+
+    /// The rolling window width in milliseconds.
+    pub fn window_ms(&self) -> u64 {
+        self.slices.len() as u64 * self.slice_us / 1000
+    }
+
+    /// The absolute slice number covering this instant.
+    fn slice_now(&self) -> u64 {
+        let elapsed = clock::us_between(self.epoch, clock::now()).max(0.0) as u64;
+        elapsed / self.slice_us
+    }
+
+    /// Advances rotation to `target`, clearing every slice the window
+    /// passed over. The CAS elects one rotating thread per transition;
+    /// losers proceed straight to recording.
+    fn advance_to(&self, target: u64) {
+        loop {
+            let seen = self.current.load(Ordering::Acquire);
+            if seen >= target {
+                return;
+            }
+            if self
+                .current
+                .compare_exchange(seen, target, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue; // another thread rotated; re-check how far.
+            }
+            // Clear the slices the window slid over. Jumping more than a
+            // full window ahead (idle period) clears everything once.
+            let n = self.slices.len() as u64;
+            let first_stale = seen + 1;
+            let clear_from = first_stale.max(target.saturating_sub(n - 1));
+            for absolute in clear_from..=target {
+                self.slices[(absolute % n) as usize].clear();
+            }
+            return;
+        }
+    }
+
+    /// Records one latency sample (microseconds) into the slice covering
+    /// now, rotating expired slices first.
+    #[inline]
+    pub fn record(&self, us: f64) {
+        let slice = self.slice_now();
+        self.advance_to(slice);
+        self.slices[(slice % self.slices.len() as u64) as usize].record(us);
+    }
+
+    /// A merged snapshot of every live slice — the distribution over
+    /// roughly the last [`window_ms`](Self::window_ms) milliseconds.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.advance_to(self.slice_now());
+        let mut merged = HistogramSnapshot::default();
+        for slice in self.slices.iter() {
+            merged.merge(&slice.snapshot());
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_inside_one_slice_all_survive() {
+        let window = WindowedHistogram::new(4, 60_000); // slices far wider than the test
+        for i in 0..100 {
+            window.record(i as f64 * 10.0);
+        }
+        let snap = window.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.max_us, 990.0);
+    }
+
+    #[test]
+    fn old_slices_age_out_of_the_window() {
+        let window = WindowedHistogram::new(2, 1); // 2 × 1 ms — ages out fast
+        window.record(5000.0);
+        assert_eq!(window.snapshot().count, 1);
+        // Sleep past the full window; the old sample must be gone.
+        std::thread::sleep(std::time::Duration::from_millis(8));
+        assert_eq!(window.snapshot().count, 0, "window slid past the sample");
+        window.record(7.0);
+        let snap = window.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.max_us, 7.0);
+    }
+
+    #[test]
+    fn rotation_after_an_idle_gap_clears_exactly_once() {
+        let window = WindowedHistogram::new(3, 1);
+        window.record(1.0);
+        std::thread::sleep(std::time::Duration::from_millis(20)); // >> window
+                                                                  // First touch after the gap rotates; nothing stale may remain.
+        window.record(2.0);
+        let snap = window.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.max_us, 2.0);
+    }
+
+    #[test]
+    fn concurrent_recorders_do_not_lose_same_slice_samples() {
+        let window = std::sync::Arc::new(WindowedHistogram::new(4, 60_000));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let window = std::sync::Arc::clone(&window);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        window.record((t * 1000 + i) as f64);
+                    }
+                })
+            })
+            .collect();
+        for writer in writers {
+            writer.join().expect("writer thread");
+        }
+        // No rotation can occur inside one 60 s slice, so every sample
+        // must be present despite the concurrency.
+        let snap = window.snapshot();
+        assert_eq!(snap.count, 4000);
+        assert_eq!(snap.max_us, 3999.0);
+    }
+
+    #[test]
+    fn degenerate_construction_clamps() {
+        let window = WindowedHistogram::new(0, 0);
+        assert_eq!(window.window_ms(), 1);
+        window.record(3.0);
+        assert!(window.snapshot().count <= 1);
+    }
+}

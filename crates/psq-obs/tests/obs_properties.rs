@@ -67,6 +67,88 @@ proptest! {
         prop_assert_eq!(merged, union.snapshot());
     }
 
+    // The merge algebra the fleet aggregation relies on: snapshots under
+    // `merge` form a commutative monoid with the empty snapshot as
+    // identity, and folding any sharding of a sample set equals recording
+    // every sample into one histogram (the property above pins the
+    // three-shard instance; these pin the algebra itself).
+
+    #[test]
+    fn merge_is_associative(a in samples(), b in samples(), c in samples()) {
+        let snap = |shard: &Vec<f64>| {
+            let hist = Histogram::new();
+            for &sample in shard.iter() {
+                hist.record(sample);
+            }
+            hist.snapshot()
+        };
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_commutative(a in samples(), b in samples()) {
+        let snap = |shard: &Vec<f64>| {
+            let hist = Histogram::new();
+            for &sample in shard.iter() {
+                hist.record(sample);
+            }
+            hist.snapshot()
+        };
+        let (sa, sb) = (snap(&a), snap(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn empty_snapshot_is_the_merge_identity(a in samples()) {
+        let hist = Histogram::new();
+        for &sample in a.iter() {
+            hist.record(sample);
+        }
+        let snap = hist.snapshot();
+        // left identity: ∅ ⊕ a = a
+        let mut left = HistogramSnapshot::default();
+        left.merge(&snap);
+        prop_assert_eq!(&left, &snap);
+        // right identity: a ⊕ ∅ = a
+        let mut right = snap.clone();
+        right.merge(&HistogramSnapshot::default());
+        prop_assert_eq!(&right, &snap);
+    }
+
+    #[test]
+    fn fleet_merge_equals_one_shared_histogram(
+        shards in prop::collection::vec(samples(), 1..6),
+    ) {
+        // The exact shape of the router's scraper aggregation: per-worker
+        // snapshots folded left-to-right must bit-match the histogram that
+        // saw every worker's samples directly.
+        let shared = Histogram::new();
+        let mut fleet = HistogramSnapshot::default();
+        for shard in shards.iter() {
+            let worker = Histogram::new();
+            for &sample in shard.iter() {
+                worker.record(sample);
+                shared.record(sample);
+            }
+            fleet.merge(&worker.snapshot());
+        }
+        prop_assert_eq!(fleet, shared.snapshot());
+    }
+
     #[test]
     fn snapshot_percentiles_bound_the_exact_order_statistics(samples in samples()) {
         let hist = Histogram::new();
@@ -137,6 +219,8 @@ proptest! {
             );
             let us = object.get("us").and_then(|v| v.as_f64()).expect("us is a number");
             prop_assert!((us - jobs[index].1).abs() <= 0.0005 + 1e-9 * jobs[index].1.abs());
+            let t_us = object.get("t_us").and_then(|v| v.as_u64()).expect("t_us is epoch µs");
+            prop_assert!(t_us > 1_600_000_000_000_000, "t_us is Unix-epoch microseconds");
         }
     }
 }

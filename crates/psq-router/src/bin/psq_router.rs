@@ -28,6 +28,8 @@ struct Options {
     worker_args: Vec<String>,
     tcp: Option<String>,
     metrics: bool,
+    metrics_addr: Option<String>,
+    trace: Option<String>,
     selftest: Option<usize>,
     seed: u64,
 }
@@ -72,6 +74,17 @@ fn help() -> String {
      \x20                              (default 1)\n\
      \x20 --metrics                    print the RouterMetrics JSON line on\n\
      \x20                              stderr when the session ends\n\
+     \x20 --metrics-addr ADDR          serve a Prometheus-style text exposition\n\
+     \x20                              of the router metrics (plus the merged\n\
+     \x20                              fleet serving view) on ADDR; plain TCP,\n\
+     \x20                              one page per connection — scrape with nc\n\
+     \x20                              or cat < /dev/tcp/HOST/PORT\n\
+     \x20 --trace[=stderr|FILE]        trace-collection mode: emit the router's\n\
+     \x20                              own route/queue/retry spans AND every\n\
+     \x20                              worker's stage spans (tagged with slot\n\
+     \x20                              and gen) as one NDJSON stream; the\n\
+     \x20                              PSQ_TRACE env var is the flagless\n\
+     \x20                              equivalent, the flag wins\n\
      \x20 --selftest N                 self-contained smoke test; exit 0 iff\n\
      \x20                              every id was answered exactly once and\n\
      \x20                              matched a direct single-engine run\n\
@@ -136,6 +149,8 @@ fn parse_options(mut args: impl Iterator<Item = String>) -> Options {
         worker_args: Vec::new(),
         tcp: None,
         metrics: false,
+        metrics_addr: None,
+        trace: None,
         selftest: None,
         seed: 1,
     };
@@ -192,11 +207,25 @@ fn parse_options(mut args: impl Iterator<Item = String>) -> Options {
                 options.metrics = true;
                 Ok(())
             }
+            "--metrics-addr" => {
+                cli::require_value(&arg, &mut args).map(|v| options.metrics_addr = Some(v))
+            }
+            "--trace" => {
+                options.trace = Some("stderr".to_string());
+                Ok(())
+            }
             "--help" | "-h" => {
                 println!("{}", help());
                 std::process::exit(0)
             }
-            other => Err(format!("unrecognised argument `{other}`")),
+            other => match other.strip_prefix("--trace=") {
+                Some("") => Err("--trace= needs a target (stderr or a file path)".to_string()),
+                Some(target) => {
+                    options.trace = Some(target.to_string());
+                    Ok(())
+                }
+                None => Err(format!("unrecognised argument `{other}`")),
+            },
         };
         if let Err(message) = outcome {
             usage_error(&message);
@@ -233,6 +262,15 @@ fn selftest(count: usize, options: &Options) -> ExitCode {
         .flatten()
         .any(|plan| !matches!(plan.kind, psq_router::FaultKind::Delay(_)));
     let router = Router::start(options.config.clone());
+    if let Some(addr) = &options.metrics_addr {
+        match router.serve_exposition(addr) {
+            Ok(bound) => eprintln!("psq-router: metrics exposition on {bound}"),
+            Err(e) => {
+                eprintln!("psq-router: cannot serve metrics on {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let sink = SharedSink::default();
     let summary = match router.serve_pipe(input.as_bytes(), sink.clone()) {
         Ok(summary) => summary,
@@ -353,11 +391,31 @@ fn main() -> ExitCode {
         options.config.worker_cmd.extend(extra);
     }
 
+    // Install the trace sink before any worker spawns: the router decides
+    // whether to collect worker traces by whether its own sink is live.
+    let trace_flags = EngineFlags {
+        trace: options.trace.clone(),
+        ..EngineFlags::default()
+    };
+    if let Err(message) = trace_flags.install_trace() {
+        eprintln!("psq-router: {message}");
+        return ExitCode::FAILURE;
+    }
+
     if let Some(count) = options.selftest {
         return selftest(count, &options);
     }
 
     let router = Router::start(options.config.clone());
+    if let Some(addr) = &options.metrics_addr {
+        match router.serve_exposition(addr) {
+            Ok(bound) => eprintln!("psq-router: metrics exposition on {bound}"),
+            Err(e) => {
+                eprintln!("psq-router: cannot serve metrics on {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let outcome = match &options.tcp {
         Some(addr) => {
             let listener = match std::net::TcpListener::bind(addr) {
@@ -405,5 +463,18 @@ fn main() -> ExitCode {
         metrics.route.p50(),
         metrics.route.p99(),
     );
+    if let Some(fleet) = &metrics.fleet {
+        eprintln!(
+            "psq-router: fleet e2e p50/p99 {:.0}/{:.0} µs (recent {:.0}/{:.0}), \
+             {} batch(es), result cache {}/{} hit/miss",
+            fleet.latency_us_p50,
+            fleet.latency_us_p99,
+            fleet.latency_recent_us_p50,
+            fleet.latency_recent_us_p99,
+            fleet.batches,
+            fleet.result_cache.hits,
+            fleet.result_cache.misses,
+        );
+    }
     ExitCode::SUCCESS
 }

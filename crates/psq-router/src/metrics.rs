@@ -1,7 +1,10 @@
-//! Router-level observability: counters, per-worker status, and the
-//! route/retry/respawn latency histograms (lock-free `psq-obs` shards).
+//! Router-level observability: counters, per-worker status, the
+//! route/retry/respawn latency histograms (lock-free `psq-obs` shards),
+//! and the fleet-wide view merged from the workers' scraped
+//! `{"cmd":"metrics"}` snapshots.
 
-use psq_obs::{Histogram, HistogramSnapshot};
+use psq_obs::{Exposition, Histogram, HistogramSnapshot};
+use psq_serve::ServeMetrics;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -25,6 +28,11 @@ pub struct RouterObs {
     /// Late or duplicate worker replies dropped (the job was already
     /// answered, usually by a retry racing the original).
     pub duplicates_dropped: AtomicU64,
+    /// Completions whose winning answer came after at least one retry.
+    /// Counted here and *excluded* from `route_us`: their elapsed time
+    /// spans the failed attempt(s), and folding it in would smear worker
+    /// failures into the routing-latency distribution.
+    pub retried_completions: AtomicU64,
     /// Unparsable worker stdout lines (the worker gets recycled).
     pub corrupt_lines: AtomicU64,
     /// Health probes sent to workers.
@@ -80,6 +88,9 @@ pub struct RouterMetrics {
     pub respawns: u64,
     /// Late or duplicate worker replies dropped.
     pub duplicates_dropped: u64,
+    /// Completions whose winning answer followed a retry (counted, but
+    /// their samples are excluded from the `route` histogram).
+    pub retried_completions: u64,
     /// Unparsable worker stdout lines.
     pub corrupt_lines: u64,
     /// Health probes sent.
@@ -92,6 +103,12 @@ pub struct RouterMetrics {
     pub respawn: HistogramSnapshot,
     /// Per-slot status.
     pub workers: Vec<WorkerStatus>,
+    /// The fleet-wide serving view: every worker's scraped
+    /// `{"cmd":"metrics"}` snapshot merged via
+    /// [`ServeMetrics::merge_from`] — pooled end-to-end latency,
+    /// per-backend execution histograms, cache counters. `None` until the
+    /// first scrape lands.
+    pub fleet: Option<ServeMetrics>,
 }
 
 impl RouterMetrics {
@@ -108,12 +125,111 @@ impl RouterMetrics {
             deadline_expired: obs.deadline_expired.load(Ordering::Relaxed),
             respawns: obs.respawns.load(Ordering::Relaxed),
             duplicates_dropped: obs.duplicates_dropped.load(Ordering::Relaxed),
+            retried_completions: obs.retried_completions.load(Ordering::Relaxed),
             corrupt_lines: obs.corrupt_lines.load(Ordering::Relaxed),
             probes_sent: obs.probes_sent.load(Ordering::Relaxed),
             route: obs.route_us.snapshot(),
             retry: obs.retry_us.snapshot(),
             respawn: obs.respawn_us.snapshot(),
             workers: Vec::new(),
+            fleet: None,
+        }
+    }
+
+    /// Renders the router's own counters and histograms (prefixed
+    /// `psq_router_`) plus, when a scrape has landed, the merged fleet
+    /// serving view (prefixed `psq_fleet_`) onto `expo`.
+    pub fn write_exposition(&self, expo: &mut Exposition) {
+        expo.counter(
+            "psq_router_jobs_submitted_total",
+            "Jobs accepted from clients.",
+            self.jobs_submitted,
+        );
+        expo.counter(
+            "psq_router_jobs_completed_total",
+            "Jobs answered with a result.",
+            self.jobs_completed,
+        );
+        expo.counter(
+            "psq_router_jobs_errored_total",
+            "Jobs answered with an error.",
+            self.jobs_errored,
+        );
+        expo.counter(
+            "psq_router_jobs_overloaded_total",
+            "Jobs shed with an overload error.",
+            self.jobs_overloaded,
+        );
+        expo.counter(
+            "psq_router_retries_total",
+            "Re-dispatches after a worker death or deadline expiry.",
+            self.retries,
+        );
+        expo.counter(
+            "psq_router_deadline_expired_total",
+            "Jobs that exhausted their deadline budget.",
+            self.deadline_expired,
+        );
+        expo.counter(
+            "psq_router_respawns_total",
+            "Worker processes replaced.",
+            self.respawns,
+        );
+        expo.counter(
+            "psq_router_duplicates_dropped_total",
+            "Late or duplicate worker replies dropped.",
+            self.duplicates_dropped,
+        );
+        expo.counter(
+            "psq_router_retried_completions_total",
+            "Completions whose winning answer followed a retry.",
+            self.retried_completions,
+        );
+        expo.counter(
+            "psq_router_corrupt_lines_total",
+            "Unparsable worker stdout lines.",
+            self.corrupt_lines,
+        );
+        expo.gauge(
+            "psq_router_queue_depth",
+            "Jobs admitted and not yet answered.",
+            &[],
+            self.queue_depth as f64,
+        );
+        expo.gauge(
+            "psq_router_workers_up",
+            "Worker slots currently routable.",
+            &[],
+            self.workers.iter().filter(|w| w.state == "up").count() as f64,
+        );
+        for worker in &self.workers {
+            expo.gauge(
+                "psq_router_worker_generation",
+                "Process generation occupying each slot.",
+                &[("slot", worker.slot.to_string().as_str())],
+                worker.generation as f64,
+            );
+        }
+        expo.histogram(
+            "psq_router_route_us",
+            "First-attempt end-to-end in-router latency, microseconds.",
+            &[],
+            &self.route,
+        );
+        expo.histogram(
+            "psq_router_retry_us",
+            "Outstanding time of failed attempts at retry.",
+            &[],
+            &self.retry,
+        );
+        expo.histogram(
+            "psq_router_respawn_us",
+            "Slot downtime per respawn.",
+            &[],
+            &self.respawn,
+        );
+        if let Some(fleet) = &self.fleet {
+            fleet.write_exposition(expo, "psq_fleet");
         }
     }
 

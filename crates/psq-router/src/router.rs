@@ -73,6 +73,9 @@ pub struct RouterConfig {
     pub faults: Vec<Option<FaultPlan>>,
     /// Idle read timeout for the router's own TCP sessions.
     pub idle_timeout: Option<Duration>,
+    /// How often each Up worker gets a `{"cmd":"metrics"}` scrape; the
+    /// replies feed the fleet-merged view in [`RouterMetrics::fleet`].
+    pub scrape_interval: Duration,
 }
 
 impl Default for RouterConfig {
@@ -90,6 +93,7 @@ impl Default for RouterConfig {
             circuit_breaker: 5,
             faults: Vec::new(),
             idle_timeout: Some(Duration::from_secs(60)),
+            scrape_interval: Duration::from_millis(500),
         }
     }
 }
@@ -178,6 +182,11 @@ struct Slot {
     respawn_at: Instant,
     /// The current outage is a planned drain: respawn without penalty.
     draining_exit: bool,
+    /// When the supervisor next scrapes this slot's `{"cmd":"metrics"}`.
+    next_scrape_at: Instant,
+    /// The slot's latest scraped serving snapshot (cleared on respawn so a
+    /// dead process's numbers never linger in the fleet view).
+    serve_metrics: Option<psq_serve::ServeMetrics>,
 }
 
 impl Slot {
@@ -194,6 +203,8 @@ impl Slot {
             down_since: None,
             respawn_at: now,
             draining_exit: false,
+            next_scrape_at: now,
+            serve_metrics: None,
         }
     }
 
@@ -209,6 +220,9 @@ struct Pending {
     /// The job serialised with its router-global id (replay-ready).
     line: String,
     route_key: u64,
+    /// The job's cross-process trace id (client-supplied or router-minted;
+    /// it rides the wire line, so workers tag their stage events with it).
+    trace: u64,
     /// Current worker assignment (`None` = parked, waiting for a worker).
     slot: Option<usize>,
     attempts: u32,
@@ -234,6 +248,9 @@ struct Shared {
     restart_running: AtomicBool,
     started: Instant,
     next_router_id: AtomicU64,
+    /// Seed folded into minted trace ids so distinct router instances
+    /// (and restarts) mint distinct id streams.
+    trace_seed: u64,
     events: Sender<WorkerEvent>,
 }
 
@@ -260,31 +277,46 @@ impl Shared {
 
     /// Assigns (or parks) `router_id`'s pending job. Must hold no lock.
     fn dispatch(&self, router_id: u64) {
-        let mut state = self.state.lock();
-        let Some(pending) = state.pending.get(&router_id) else {
-            return;
-        };
-        let not = pending.slot;
-        let key = pending.route_key;
-        let Some(slot_index) = self.choose_slot(&state, key, not) else {
-            let pending = state.pending.get_mut(&router_id).expect("checked above");
-            pending.slot = None; // parked: the supervisor re-dispatches
-            return;
-        };
-        let now = Instant::now();
-        let line = {
-            let pending = state.pending.get_mut(&router_id).expect("checked above");
-            pending.slot = Some(slot_index);
-            pending.deadline = now + self.config.deadline;
-            pending.dispatched = now;
-            pending.line.clone()
-        };
-        let slot = &mut state.slots[slot_index];
-        slot.inflight += 1;
-        if let Some(link) = &slot.link {
-            // A send failure means the process just died; the reader's EOF
-            // event re-routes this job, so nothing more to do here.
-            let _ = link.send_line(line);
+        let queued;
+        {
+            let mut state = self.state.lock();
+            let Some(pending) = state.pending.get(&router_id) else {
+                return;
+            };
+            let not = pending.slot;
+            let key = pending.route_key;
+            let Some(slot_index) = self.choose_slot(&state, key, not) else {
+                let pending = state.pending.get_mut(&router_id).expect("checked above");
+                pending.slot = None; // parked: the supervisor re-dispatches
+                return;
+            };
+            let now = Instant::now();
+            let line = {
+                let pending = state.pending.get_mut(&router_id).expect("checked above");
+                pending.slot = Some(slot_index);
+                pending.deadline = now + self.config.deadline;
+                pending.dispatched = now;
+                // The "queue" span — admission to first dispatch — closes
+                // here. Retries get their own "retry" span instead.
+                queued = (pending.attempts == 1).then(|| {
+                    (
+                        pending.client_id,
+                        pending.trace,
+                        now.duration_since(pending.started).as_micros() as f64,
+                    )
+                });
+                pending.line.clone()
+            };
+            let slot = &mut state.slots[slot_index];
+            slot.inflight += 1;
+            if let Some(link) = &slot.link {
+                // A send failure means the process just died; the reader's
+                // EOF event re-routes this job, so nothing more to do here.
+                let _ = link.send_line(line);
+            }
+        }
+        if let Some((client_id, trace_id, us)) = queued {
+            trace::event_traced(client_id, Some(trace_id), stage::QUEUE, us);
         }
     }
 
@@ -294,6 +326,7 @@ impl Shared {
     fn retry_or_fail(&self, router_id: u64, expired: bool) {
         let outstanding_us;
         let exhausted;
+        let trace_id;
         {
             let mut guard = self.state.lock();
             let state = &mut *guard;
@@ -301,6 +334,7 @@ impl Shared {
                 return; // answered while we decided
             };
             outstanding_us = pending.dispatched.elapsed().as_micros() as f64;
+            trace_id = pending.trace;
             // Release the failed assignment: the old worker no longer owns
             // this job (its late answer, if any, is still accepted — first
             // answer wins — but no longer counts against its slot).
@@ -326,7 +360,7 @@ impl Shared {
         }
         RouterObs::bump(&self.obs.retries);
         self.obs.retry_us.record(outstanding_us);
-        trace::event(router_id, stage::RETRY, outstanding_us);
+        trace::event_traced(router_id, Some(trace_id), stage::RETRY, outstanding_us);
         self.dispatch(router_id);
     }
 
@@ -421,6 +455,9 @@ impl Shared {
             slot_index,
             generation,
             fault_spec.as_deref(),
+            // Trace-collection mode follows the router's own sink: when the
+            // router traces, its workers trace too and their streams merge.
+            trace::enabled(),
             self.events.clone(),
         );
         let mut state = self.state.lock();
@@ -434,6 +471,8 @@ impl Shared {
                 slot.inflight = 0;
                 slot.probe_sent = None;
                 slot.next_probe_at = now + self.config.probe_interval;
+                slot.next_scrape_at = now + self.config.scrape_interval;
+                slot.serve_metrics = None; // the dead process's numbers die with it
                 slot.draining_exit = false;
                 if generation > 1 {
                     RouterObs::bump(&self.obs.respawns);
@@ -563,8 +602,22 @@ impl Shared {
                         pending.session.complete();
                         RouterObs::bump(&self.obs.jobs_completed);
                         let us = pending.started.elapsed().as_micros() as f64;
-                        self.obs.route_us.record(us);
-                        trace::event(pending.client_id, stage::ROUTE, us);
+                        if pending.attempts == 1 {
+                            // Only clean first-attempt completions sample the
+                            // route histogram: a retried job's elapsed time
+                            // spans its failed attempt(s) and would smear
+                            // worker failures into routing latency. Retried
+                            // wins are still counted, just not sampled.
+                            self.obs.route_us.record(us);
+                        } else {
+                            RouterObs::bump(&self.obs.retried_completions);
+                        }
+                        trace::event_traced(
+                            pending.client_id,
+                            Some(pending.trace),
+                            stage::ROUTE,
+                            us,
+                        );
                     }
                     None => RouterObs::bump(&self.obs.duplicates_dropped),
                 }
@@ -600,11 +653,18 @@ impl Shared {
                     slot.consecutive_failures = 0;
                 }
             }
+            // A metrics line is the worker answering the supervisor's
+            // periodic scrape: keep the snapshot for the fleet-merged view.
+            Ok(Response::Metrics(metrics)) => {
+                let mut state = self.state.lock();
+                let slot = &mut state.slots[slot_index];
+                if slot.generation == generation {
+                    slot.serve_metrics = Some(*metrics);
+                }
+            }
             // Acks (drain) and un-attributable errors carry no job; the
             // activity stamp above is all the signal they hold.
-            Ok(Response::Ack { .. })
-            | Ok(Response::Metrics(_))
-            | Ok(Response::Error { id: None, .. }) => {}
+            Ok(Response::Ack { .. }) | Ok(Response::Error { id: None, .. }) => {}
         }
     }
 
@@ -639,6 +699,14 @@ impl Shared {
                                 let _ = link.send_line("{\"cmd\":\"health\"}".to_string());
                             }
                             RouterObs::bump(&self.obs.probes_sent);
+                        }
+                        if now >= slot.next_scrape_at {
+                            // Metrics scrape: the reply lands through
+                            // on_worker_line and refreshes the fleet view.
+                            slot.next_scrape_at = now + self.config.scrape_interval;
+                            if let Some(link) = &slot.link {
+                                let _ = link.send_line("{\"cmd\":\"metrics\"}".to_string());
+                            }
                         }
                     }
                     Phase::Down => {
@@ -696,7 +764,8 @@ impl Shared {
         }
     }
 
-    /// Snapshot of the router's counters and worker states.
+    /// Snapshot of the router's counters and worker states, with the
+    /// fleet-merged serving view folded from each slot's latest scrape.
     fn metrics(&self) -> RouterMetrics {
         let mut metrics = RouterMetrics::from_obs(&self.obs);
         let state = self.state.lock();
@@ -713,11 +782,24 @@ impl Shared {
                 completed: slot.completed,
             })
             .collect();
+        metrics.fleet = state
+            .slots
+            .iter()
+            .filter_map(|slot| slot.serve_metrics.as_ref())
+            .fold(None, |fleet, snapshot| match fleet {
+                None => Some(snapshot.clone()),
+                Some(mut merged) => {
+                    merged.merge_from(snapshot);
+                    Some(merged)
+                }
+            });
         metrics
     }
 
-    /// Admits and routes one job from `session`.
-    fn submit_job(&self, session: &Arc<Session>, job: SearchJob) {
+    /// Admits and routes one job from `session`. `trace` is the trace id
+    /// the client's line carried; absent one, the router mints its own, so
+    /// every routed job has a fleet-wide causal chain.
+    fn submit_job(&self, session: &Arc<Session>, job: SearchJob, trace: Option<u64>) {
         RouterObs::bump(&self.obs.jobs_submitted);
         if let Err(reason) = job.validate() {
             session.count_intake_error();
@@ -763,9 +845,21 @@ impl Shared {
         let route_key = job.route_key();
         let client_id = job.id;
         let router_id = self.next_router_id.fetch_add(1, Ordering::Relaxed);
+        // Mint a trace id when the client did not supply one: the router's
+        // per-instance seed mixed with the router-global id through a
+        // splitmix-style finaliser, so concurrent routers (and restarts)
+        // mint disjoint streams without coordination.
+        let trace_id = trace.unwrap_or_else(|| {
+            let mut x = self.trace_seed.wrapping_add(router_id);
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        });
         let mut wire_job = job;
         wire_job.id = router_id;
-        let line = serde_json::to_string(&wire_job).expect("jobs serialise");
+        let line = psq_serve::protocol::job_line(&wire_job, Some(trace_id));
         let now = Instant::now();
         let routable = {
             let mut state = self.state.lock();
@@ -788,6 +882,7 @@ impl Shared {
                         session: Arc::clone(session),
                         line,
                         route_key,
+                        trace: trace_id,
                         slot: None,
                         attempts: 1,
                         deadline: now + self.config.deadline,
@@ -889,8 +984,8 @@ impl RouterClient {
                 self.shared.registry.kick_all();
                 LineOutcome::Stop
             }
-            Ok(Some(Request::Job(job))) => {
-                self.shared.submit_job(&self.session, *job);
+            Ok(Some(Request::Job { job, trace })) => {
+                self.shared.submit_job(&self.session, *job, trace);
                 LineOutcome::Continue
             }
         }
@@ -924,6 +1019,7 @@ impl Router {
             restart_running: AtomicBool::new(false),
             started: now,
             next_router_id: AtomicU64::new(1),
+            trace_seed: trace::epoch_us(),
             events,
         });
         for slot_index in 0..worker_count {
@@ -996,6 +1092,31 @@ impl Router {
     /// A metrics snapshot (the same data a `{"cmd":"metrics"}` line gets).
     pub fn metrics(&self) -> RouterMetrics {
         self.shared.metrics()
+    }
+
+    /// Each slot's latest scraped serving snapshot (`None` until a scrape
+    /// lands): the parts [`RouterMetrics::fleet`] is merged from, exposed
+    /// so tests and diagnostics can check the merge against its inputs.
+    pub fn worker_metrics(&self) -> Vec<Option<psq_serve::ServeMetrics>> {
+        let state = self.shared.state.lock();
+        state
+            .slots
+            .iter()
+            .map(|slot| slot.serve_metrics.clone())
+            .collect()
+    }
+
+    /// Serves a Prometheus-style text exposition of the router's metrics —
+    /// including the fleet-merged serving view once scrapes land — on
+    /// `addr` (plain TCP, one page per connection). Returns the bound
+    /// address; the acceptor thread is detached and lives for the process.
+    pub fn serve_exposition(&self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
+        let shared = Arc::clone(&self.shared);
+        psq_obs::expo::serve_text(addr, move || {
+            let mut expo = psq_obs::Exposition::new();
+            shared.metrics().write_exposition(&mut expo);
+            expo.render()
+        })
     }
 
     /// Whether a drain/shutdown command has been observed.

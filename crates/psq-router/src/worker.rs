@@ -6,6 +6,15 @@
 //! dead child's pipe); every stdout line comes back as a [`WorkerEvent`]
 //! on the router's shared event channel, tagged with the worker's slot and
 //! generation so replies from a replaced process are recognised as stale.
+//!
+//! When the router itself is tracing, workers are spawned in
+//! **trace-collection mode**: the child gets `PSQ_TRACE=stderr`, its
+//! stderr is piped instead of inherited, and a dedicated reader merges the
+//! child's trace stream into the router's own sink — each
+//! `{"type":"trace",...}` line re-tagged with the worker's `slot` and
+//! `gen` so one NDJSON stream carries the whole fleet's causal chains.
+//! Non-trace stderr lines (the worker's human log) are passed through to
+//! the router's stderr unchanged.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -43,14 +52,17 @@ pub struct WorkerLink {
 }
 
 impl WorkerLink {
-    /// Spawns `argv` with piped stdin/stdout (stderr inherited), wiring its
-    /// stdout into `events` tagged `(slot, generation)`. `fault` is placed
-    /// in the child's [`crate::fault::FAULT_ENV`] when set.
+    /// Spawns `argv` with piped stdin/stdout, wiring its stdout into
+    /// `events` tagged `(slot, generation)`. `fault` is placed in the
+    /// child's [`crate::fault::FAULT_ENV`] when set. With `collect_trace`
+    /// the child is switched into trace-collection mode (see the module
+    /// docs); without it stderr is inherited as before.
     pub fn spawn(
         argv: &[String],
         slot: usize,
         generation: u64,
         fault: Option<&str>,
+        collect_trace: bool,
         events: Sender<WorkerEvent>,
     ) -> std::io::Result<Self> {
         let (program, args) = argv
@@ -65,9 +77,19 @@ impl WorkerLink {
             Some(spec) => command.env(crate::fault::FAULT_ENV, spec),
             None => command.env_remove(crate::fault::FAULT_ENV),
         };
+        if collect_trace {
+            command
+                .env(psq_engine::cli::PSQ_TRACE_ENV, "stderr")
+                .stderr(Stdio::piped());
+        } else {
+            command.env_remove(psq_engine::cli::PSQ_TRACE_ENV);
+        }
         let mut child = command.spawn()?;
         let stdin = child.stdin.take().expect("stdin piped");
         let stdout = child.stdout.take().expect("stdout piped");
+        if let Some(stderr) = child.stderr.take() {
+            spawn_trace_collector(stderr, slot, generation);
+        }
 
         let (tx, rx): (Sender<String>, Receiver<String>) = unbounded();
         let writer = std::thread::Builder::new()
@@ -116,6 +138,17 @@ impl WorkerLink {
         })
     }
 
+    /// Tags one of the child's trace lines with its origin: splices
+    /// `"slot":N,"gen":G` into the object so the merged stream says which
+    /// worker (and which process generation) produced each span. Returns
+    /// `None` for lines that are not trace events.
+    pub(crate) fn tag_trace_line(line: &str, slot: usize, generation: u64) -> Option<String> {
+        let body = line.strip_prefix("{\"type\":\"trace\",")?;
+        Some(format!(
+            "{{\"type\":\"trace\",\"slot\":{slot},\"gen\":{generation},{body}"
+        ))
+    }
+
     /// Queues one request line for the worker. `false` means the writer is
     /// gone (the process is dead and EOF is on its way through events).
     pub fn send_line(&self, line: String) -> bool {
@@ -154,6 +187,27 @@ impl WorkerLink {
     }
 }
 
+/// The trace-collection half of a worker: reads the child's piped stderr,
+/// merges tagged trace lines into the router's sink ([`psq_obs::trace`]'s
+/// `forward_line` keeps whole lines atomic and arrival-ordered), and passes
+/// everything else through to the router's own stderr so the worker's log
+/// stays visible.
+fn spawn_trace_collector(stderr: std::process::ChildStderr, slot: usize, generation: u64) {
+    std::thread::Builder::new()
+        .name(format!("psq-router-w{slot}-trace"))
+        .spawn(move || {
+            let reader = BufReader::new(stderr);
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                match WorkerLink::tag_trace_line(&line, slot, generation) {
+                    Some(tagged) => psq_obs::trace::forward_line(&tagged),
+                    None => eprintln!("{line}"),
+                }
+            }
+        })
+        .expect("failed to spawn a worker trace collector");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,8 +217,8 @@ mod tests {
     #[test]
     fn spawn_feed_read_and_reap_round_trips_lines() {
         let (events, rx) = unbounded();
-        let link =
-            WorkerLink::spawn(&["/bin/cat".to_string()], 3, 7, None, events).expect("spawn cat");
+        let link = WorkerLink::spawn(&["/bin/cat".to_string()], 3, 7, None, false, events)
+            .expect("spawn cat");
         assert!(link.send_line("hello".into()));
         assert!(link.send_line("world".into()));
         for expected in ["hello", "world"] {
@@ -193,6 +247,26 @@ mod tests {
     #[test]
     fn empty_command_is_an_error_not_a_panic() {
         let (events, _rx) = unbounded();
-        assert!(WorkerLink::spawn(&[], 0, 0, None, events).is_err());
+        assert!(WorkerLink::spawn(&[], 0, 0, None, false, events).is_err());
+    }
+
+    #[test]
+    fn trace_lines_are_tagged_with_slot_and_generation() {
+        let line =
+            "{\"type\":\"trace\",\"job\":4,\"trace\":9,\"stage\":\"plan\",\"us\":1.5,\"t_us\":1}";
+        let tagged = WorkerLink::tag_trace_line(line, 2, 3).expect("trace line tags");
+        assert_eq!(
+            tagged,
+            "{\"type\":\"trace\",\"slot\":2,\"gen\":3,\"job\":4,\"trace\":9,\
+             \"stage\":\"plan\",\"us\":1.5,\"t_us\":1}"
+        );
+        // The tagged line is still one valid JSON object.
+        let value = serde_json::parse_value(&tagged).expect("valid JSON");
+        let object = value.as_object().expect("object");
+        assert_eq!(object.get("slot").and_then(serde::Value::as_u64), Some(2));
+        assert_eq!(object.get("gen").and_then(serde::Value::as_u64), Some(3));
+        // Human log lines pass through untouched.
+        assert!(WorkerLink::tag_trace_line("psq-serve: listening", 0, 1).is_none());
+        assert!(WorkerLink::tag_trace_line("{\"type\":\"result\"}", 0, 1).is_none());
     }
 }

@@ -1,0 +1,275 @@
+//! Cross-process trace propagation, end to end: a router over real worker
+//! processes in trace-collection mode must stitch every stage a job passes
+//! through — router `queue`/`route`, worker `coalesce`/`plan`/`cache`/
+//! `execute:<backend>` — into one causal chain under a single trace id,
+//! ordered by the shared epoch-microsecond axis.
+//!
+//! Trace state is process-global, so this file holds exactly one test: it
+//! installs the in-memory sink before the fleet spawns (worker collection
+//! is decided at spawn time) and tears it down at the end.
+
+use psq_engine::generate_mixed_batch;
+use psq_router::{Router, RouterConfig};
+use psq_serve::protocol::{parse_response, Response};
+use psq_serve::LineOutcome;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The trace id the test supplies on the client line, as a client that is
+/// itself part of a larger traced system would.
+const CLIENT_TRACE: u64 = 777_000_111;
+
+/// A cloneable in-memory trace sink (the capture side stays readable while
+/// the router owns the writer side).
+#[derive(Clone, Default)]
+struct Capture(Arc<Mutex<Vec<u8>>>);
+
+impl Capture {
+    fn lines(&self) -> Vec<String> {
+        String::from_utf8(self.0.lock().unwrap().clone())
+            .expect("trace output is UTF-8")
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+}
+
+impl Write for Capture {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// One parsed trace line (only the fields the assertions need).
+#[derive(Debug, Clone)]
+struct Event {
+    trace: Option<u64>,
+    stage: String,
+    us: f64,
+    t_us: u64,
+    slot: Option<u64>,
+    generation: Option<u64>,
+}
+
+fn parse_events(lines: &[String]) -> Vec<Event> {
+    lines
+        .iter()
+        .filter_map(|line| {
+            let value = serde_json::parse_value(line).expect("trace lines are valid JSON");
+            let object = value.as_object()?;
+            if object.get("type").and_then(serde::Value::as_str) != Some("trace") {
+                return None;
+            }
+            Some(Event {
+                trace: object.get("trace").and_then(serde::Value::as_u64),
+                stage: object
+                    .get("stage")
+                    .and_then(serde::Value::as_str)
+                    .expect("trace lines carry a stage")
+                    .to_string(),
+                us: object
+                    .get("us")
+                    .and_then(serde::Value::as_f64)
+                    .expect("trace lines carry a duration"),
+                t_us: object
+                    .get("t_us")
+                    .and_then(serde::Value::as_u64)
+                    .expect("trace lines carry the epoch axis"),
+                slot: object.get("slot").and_then(serde::Value::as_u64),
+                generation: object.get("gen").and_then(serde::Value::as_u64),
+            })
+        })
+        .collect()
+}
+
+/// The chain for one trace id, ordered by the cross-process time axis.
+fn chain_of(events: &[Event], trace: u64) -> Vec<Event> {
+    let mut chain: Vec<Event> = events
+        .iter()
+        .filter(|event| event.trace == Some(trace))
+        .cloned()
+        .collect();
+    chain.sort_by_key(|event| event.t_us);
+    chain
+}
+
+fn assert_stitched_chain(chain: &[Event], trace: u64) {
+    let stages: Vec<&str> = chain.iter().map(|event| event.stage.as_str()).collect();
+    for required in ["queue", "coalesce", "route"] {
+        assert!(
+            stages.contains(&required),
+            "trace {trace} is missing the `{required}` stage: {stages:?}"
+        );
+    }
+    assert!(
+        stages.iter().any(|stage| stage.starts_with("execute:")),
+        "trace {trace} is missing an execute stage: {stages:?}"
+    );
+    // The causal order on the shared epoch axis: admission → batch →
+    // backend → answer. (`chain` is already t_us-sorted; assert the
+    // stage positions respect it, i.e. timestamps are monotonic in the
+    // direction the job actually flowed.)
+    let end_of = |label: &str| {
+        chain
+            .iter()
+            .filter(|event| event.stage == label)
+            .map(|event| event.t_us)
+            .max()
+            .unwrap()
+    };
+    let queue_end = chain
+        .iter()
+        .filter(|event| event.stage == "queue")
+        .map(|event| event.t_us)
+        .min()
+        .unwrap();
+    let execute_end = chain
+        .iter()
+        .filter(|event| event.stage.starts_with("execute:"))
+        .map(|event| event.t_us)
+        .max()
+        .unwrap();
+    assert!(
+        queue_end <= end_of("coalesce"),
+        "queue must end before the batch flushes"
+    );
+    assert!(
+        end_of("coalesce") <= execute_end,
+        "the batch flushes before its backends finish"
+    );
+    assert!(
+        execute_end <= end_of("route"),
+        "the router answers after the backend work is done"
+    );
+    assert_eq!(
+        chain.last().map(|event| event.stage.as_str()),
+        Some("route"),
+        "the router's end-to-end span closes the chain"
+    );
+    // The stages do not overlap: each began no earlier than the previous
+    // stage of the flow ended (spans end at `t_us` and ran for `us`; the
+    // 1 ms slack absorbs TSC-vs-epoch rounding across the two processes).
+    let flow: Vec<&Event> = ["queue", "coalesce"]
+        .iter()
+        .filter_map(|label| chain.iter().find(|event| &event.stage == label))
+        .collect();
+    for pair in flow.windows(2) {
+        let started = pair[1].t_us.saturating_sub(pair[1].us as u64);
+        assert!(
+            started + 1_000 >= pair[0].t_us,
+            "stage `{}` must not start before `{}` ended",
+            pair[1].stage,
+            pair[0].stage
+        );
+    }
+    // Worker-side stages arrived through collection and say where they ran;
+    // router-side stages are local and untagged.
+    for event in chain {
+        if event.stage == "coalesce" || event.stage.starts_with("execute:") {
+            assert!(
+                event.slot.is_some() && event.generation.is_some(),
+                "collected worker stage `{}` must carry slot and gen",
+                event.stage
+            );
+        }
+        if event.stage == "queue" || event.stage == "route" {
+            assert!(
+                event.slot.is_none(),
+                "router stage `{}` is not a collected line",
+                event.stage
+            );
+        }
+    }
+}
+
+#[test]
+fn one_trace_id_stitches_router_and_worker_stages_across_processes() {
+    let capture = Capture::default();
+    // Before the fleet spawns: workers only run in trace-collection mode
+    // when the router's own sink is live at spawn time.
+    psq_obs::trace::install_writer(Box::new(capture.clone()));
+
+    let config = RouterConfig {
+        workers: 2,
+        worker_cmd: vec![
+            env!("CARGO_BIN_EXE_psq-router").to_string(),
+            "--worker".to_string(),
+            "--threads".to_string(),
+            "1".to_string(),
+        ],
+        deadline: Duration::from_secs(30),
+        ..RouterConfig::default()
+    };
+    let router = Router::start(config);
+    let (client, responses) = router.attach();
+
+    let jobs = generate_mixed_batch(2, 7);
+    // Job 0 arrives with a client-supplied trace id (an upstream system's),
+    // job 1 arrives bare and gets one minted by the router.
+    let traced = psq_serve::protocol::job_line(&jobs[0], Some(CLIENT_TRACE));
+    let bare = serde_json::to_string(&jobs[1]).expect("jobs serialise");
+    assert_eq!(client.submit_line(&traced), LineOutcome::Continue);
+    assert_eq!(client.submit_line(&bare), LineOutcome::Continue);
+
+    for _ in 0..jobs.len() {
+        let line = responses
+            .recv_timeout(Duration::from_secs(120))
+            .expect("both jobs are answered");
+        match parse_response(&line).expect("well-formed response line") {
+            Response::Result(_) => {}
+            other => panic!("expected results, got {other:?}"),
+        }
+    }
+
+    // The workers' trace lines travel on a side channel (collected stderr)
+    // and may land after the results; wait until both chains are whole.
+    let complete = |events: &[Event], trace: u64| {
+        let stages: Vec<String> = chain_of(events, trace)
+            .iter()
+            .map(|event| event.stage.clone())
+            .collect();
+        ["queue", "coalesce", "route"]
+            .iter()
+            .all(|s| stages.iter().any(|stage| stage == s))
+            && stages.iter().any(|stage| stage.starts_with("execute:"))
+    };
+    let minted_trace;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let events = parse_events(&capture.lines());
+        // The minted id is whatever the router stamped on the bare job's
+        // route span (the only route span that isn't the client's).
+        let minted = events
+            .iter()
+            .filter(|event| event.stage == "route")
+            .filter_map(|event| event.trace)
+            .find(|&id| id != CLIENT_TRACE);
+        if complete(&events, CLIENT_TRACE) {
+            if let Some(minted) = minted {
+                if complete(&events, minted) {
+                    minted_trace = minted;
+                    break;
+                }
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "trace chains never completed; events so far: {events:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    router.finish();
+    psq_obs::trace::disable();
+
+    let events = parse_events(&capture.lines());
+    assert_ne!(minted_trace, 0, "minted ids are non-trivial");
+    assert_stitched_chain(&chain_of(&events, CLIENT_TRACE), CLIENT_TRACE);
+    assert_stitched_chain(&chain_of(&events, minted_trace), minted_trace);
+}

@@ -23,6 +23,7 @@ struct Options {
     idle_timeout_ms: u64,
     tcp: Option<String>,
     metrics: bool,
+    metrics_addr: Option<String>,
     gen_count: Option<usize>,
     gen_seed: u64,
     selftest: Option<usize>,
@@ -58,6 +59,10 @@ fn help() -> String {
          \x20                              request line; 0 disables (default 60000)\n\
          \x20 --metrics                    print a final ServeMetrics JSON line on stderr\n\
          \x20                              when the session ends\n\
+         \x20 --metrics-addr ADDR          serve a Prometheus-style text exposition of\n\
+         \x20                              the live metrics on ADDR (plain TCP: one page\n\
+         \x20                              per connection; scrape with nc or\n\
+         \x20                              cat < /dev/tcp/HOST/PORT)\n\
          \x20 --gen N                      generate N demo jobs instead of serving\n\
          \x20 --seed S                     seed for --gen (default 1)\n\
          \x20 --selftest N                 self-contained smoke test; exit 0 iff every\n\
@@ -80,6 +85,7 @@ fn parse_options() -> Options {
         idle_timeout_ms: 60_000,
         tcp: None,
         metrics: false,
+        metrics_addr: None,
         gen_count: None,
         gen_seed: 1,
         selftest: None,
@@ -111,6 +117,9 @@ fn parse_options() -> Options {
             "--metrics" => {
                 options.metrics = true;
                 Ok(())
+            }
+            "--metrics-addr" => {
+                cli::require_value(&arg, &mut args).map(|v| options.metrics_addr = Some(v))
             }
             "--help" | "-h" => {
                 println!("{}", help());
@@ -208,6 +217,15 @@ fn main() -> ExitCode {
     }
 
     let server = Server::start(serve_config(&options));
+    if let Some(addr) = &options.metrics_addr {
+        match server.serve_exposition(addr) {
+            Ok(bound) => eprintln!("psq-serve: metrics exposition on {bound}"),
+            Err(e) => {
+                eprintln!("psq-serve: cannot serve metrics on {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let outcome = match &options.tcp {
         Some(addr) => {
             let listener = match std::net::TcpListener::bind(addr) {

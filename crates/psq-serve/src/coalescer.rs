@@ -59,17 +59,27 @@ pub struct JobTicket {
     /// When the reader finished parsing the line (end-to-end clock start).
     enqueued: Instant,
     stats: Arc<ServeStats>,
+    /// Cross-process trace id the job line carried (minted by the router or
+    /// the client); stage events for this job are tagged with it.
+    trace: Option<u64>,
     answered: bool,
 }
 
 impl JobTicket {
     /// Wraps an admitted job; the end-to-end latency clock starts now.
-    pub fn new(session: Arc<Session>, job: SearchJob, stats: Arc<ServeStats>) -> Self {
+    /// `trace` is the trace id the job line carried, if any.
+    pub fn new(
+        session: Arc<Session>,
+        job: SearchJob,
+        stats: Arc<ServeStats>,
+        trace: Option<u64>,
+    ) -> Self {
         Self {
             session,
             job,
             enqueued: Instant::now(),
             stats,
+            trace,
             answered: false,
         }
     }
@@ -215,7 +225,12 @@ fn execute_batch(engine: &EngineHandle, mut tickets: Vec<JobTicket>, stats: &Ser
     for ticket in &tickets {
         let dwell_us = ticket.enqueued.elapsed().as_secs_f64() * 1e6;
         stats.record_dwell(dwell_us);
-        psq_obs::trace::event(ticket.job.id, psq_obs::trace::stage::COALESCE, dwell_us);
+        psq_obs::trace::event_traced(
+            ticket.job.id,
+            ticket.trace,
+            psq_obs::trace::stage::COALESCE,
+            dwell_us,
+        );
     }
     // Renumber to batch indices: ids must be unique within the engine
     // submission, and client ids may collide across clients. The index maps
@@ -229,7 +244,21 @@ fn execute_batch(engine: &EngineHandle, mut tickets: Vec<JobTicket>, stats: &Ser
             job
         })
         .collect();
+    // The engine's stage events speak batch indices (the renumbered ids),
+    // so bind index → trace id for the duration of the submission. Safe
+    // because this is the only scheduler thread: indices are unique per
+    // in-flight batch.
+    for (index, ticket) in tickets.iter().enumerate() {
+        if let Some(trace) = ticket.trace {
+            psq_obs::trace::bind_trace(index as u64, trace);
+        }
+    }
     let report = engine.run_batch(&jobs);
+    for (index, ticket) in tickets.iter().enumerate() {
+        if ticket.trace.is_some() {
+            psq_obs::trace::unbind_trace(index as u64);
+        }
+    }
     for result in report.results {
         tickets[result.job_id as usize].serve_result(result);
     }
@@ -275,6 +304,7 @@ mod tests {
                 Arc::clone(&session),
                 SearchJob::new(id, 1 << 10, 4, (id * 13) % (1 << 10)),
                 Arc::clone(&stats),
+                None,
             )))
             .unwrap();
         }
@@ -335,6 +365,7 @@ mod tests {
             Arc::clone(&session),
             bad,
             Arc::clone(&stats),
+            None,
         )))
         .unwrap();
         drop(tx);
@@ -370,6 +401,7 @@ mod tests {
                 Arc::clone(&session),
                 SearchJob::new(id, 1 << 10, 4, id),
                 Arc::clone(&stats),
+                None,
             )))
             .unwrap();
         }
@@ -399,6 +431,7 @@ mod tests {
             Arc::clone(&session),
             SearchJob::new(21, 1 << 10, 4, 3),
             Arc::clone(&stats),
+            None,
         )))
         .unwrap();
         drop(rx); // scheduler gone with the ticket still queued

@@ -14,9 +14,18 @@
 
 use psq_engine::EngineObsSnapshot;
 use psq_engine::{PlanCacheStats, ResultCacheStats};
-use psq_obs::{Histogram, HistogramSnapshot};
+use psq_obs::{Histogram, HistogramSnapshot, WindowedHistogram};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// The rolling-window shape behind the `latency_recent` view: 8 slices of
+/// 1 s — an ~8-second "how is the server behaving *now*" window, wide
+/// enough to smooth batch boundaries, narrow enough that supervision (and
+/// the planned self-calibrating planner) reacts to the present, not the
+/// process's whole history.
+pub const RECENT_WINDOW_SLICES: usize = 8;
+/// Width of one rolling-window slice, milliseconds.
+pub const RECENT_WINDOW_SLICE_MS: u64 = 1000;
 
 /// One client's lifetime counters, as reported in [`ServeMetrics`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -66,8 +75,16 @@ pub struct ServeMetrics {
     pub latency_us_p99: f64,
     /// Slowest end-to-end latency ever answered (exact).
     pub latency_us_max: f64,
+    /// Median end-to-end latency over the recent rolling window only
+    /// (see [`RECENT_WINDOW_SLICES`]), microseconds.
+    pub latency_recent_us_p50: f64,
+    /// 99th-percentile end-to-end latency over the recent rolling window.
+    pub latency_recent_us_p99: f64,
     /// The full end-to-end latency histogram behind the scalars above.
     pub latency: HistogramSnapshot,
+    /// End-to-end latency over the recent rolling window only — what the
+    /// server looks like *now*, not averaged over its lifetime.
+    pub latency_recent: HistogramSnapshot,
     /// Coalescer dwell per job (admission → batch dispatch), microseconds.
     pub coalesce_dwell: HistogramSnapshot,
     /// The shared engine's per-stage histograms: planner time, result-cache
@@ -81,8 +98,187 @@ pub struct ServeMetrics {
     pub plan_cache: PlanCacheStats,
 }
 
+impl ServeMetrics {
+    /// Folds another snapshot into this one — the fleet-aggregation step a
+    /// supervising router runs over its workers' `{"cmd":"metrics"}`
+    /// replies. Counters add, histograms merge bucket-by-bucket
+    /// ([`HistogramSnapshot::merge`]), maxima take the max, and the
+    /// percentile scalars are recomputed from the merged histograms (so
+    /// fleet percentiles come from pooled samples, not averaged scalars).
+    pub fn merge_from(&mut self, other: &ServeMetrics) {
+        let batch_jobs = self.batch_jobs_mean * self.batches as f64
+            + other.batch_jobs_mean * other.batches as f64;
+        self.jobs_submitted += other.jobs_submitted;
+        self.jobs_completed += other.jobs_completed;
+        self.jobs_errored += other.jobs_errored;
+        self.jobs_overloaded += other.jobs_overloaded;
+        self.queue_depth += other.queue_depth;
+        self.batches += other.batches;
+        self.batch_jobs_mean = if self.batches > 0 {
+            batch_jobs / self.batches as f64
+        } else {
+            0.0
+        };
+        self.batch_jobs_max = self.batch_jobs_max.max(other.batch_jobs_max);
+        self.clients_connected += other.clients_connected;
+        self.clients_total += other.clients_total;
+        self.latency.merge(&other.latency);
+        self.latency_recent.merge(&other.latency_recent);
+        self.coalesce_dwell.merge(&other.coalesce_dwell);
+        self.latency_us_p50 = self.latency.p50();
+        self.latency_us_p90 = self.latency.p90();
+        self.latency_us_p99 = self.latency.p99();
+        self.latency_us_max = self.latency.max_us;
+        self.latency_recent_us_p50 = self.latency_recent.p50();
+        self.latency_recent_us_p99 = self.latency_recent.p99();
+        self.engine_obs.plan_us.merge(&other.engine_obs.plan_us);
+        self.engine_obs
+            .cache_lookup_us
+            .merge(&other.engine_obs.cache_lookup_us);
+        for (backend, snap) in &other.engine_obs.backend_latency {
+            self.engine_obs
+                .backend_latency
+                .entry(*backend)
+                .or_default()
+                .merge(snap);
+        }
+        self.clients.extend(other.clients.iter().copied());
+        self.result_cache.hits += other.result_cache.hits;
+        self.result_cache.misses += other.result_cache.misses;
+        self.result_cache.entries += other.result_cache.entries;
+        self.result_cache.evictions += other.result_cache.evictions;
+        self.result_cache.expired += other.result_cache.expired;
+        self.plan_cache.hits += other.plan_cache.hits;
+        self.plan_cache.misses += other.plan_cache.misses;
+        self.plan_cache.entries += other.plan_cache.entries;
+    }
+
+    /// Renders this snapshot onto `expo` with metric names prefixed
+    /// `{prefix}_` — `psq_serve` for one process's own endpoint,
+    /// `psq_fleet` for a router's merged view. Lifetime and recent
+    /// end-to-end latency render as two `window`-labelled series of one
+    /// histogram family; per-backend execution latency is labelled
+    /// `backend="..."`.
+    pub fn write_exposition(&self, expo: &mut psq_obs::Exposition, prefix: &str) {
+        let name = |suffix: &str| format!("{prefix}_{suffix}");
+        expo.counter(
+            &name("jobs_submitted_total"),
+            "Jobs admitted into the intake queue.",
+            self.jobs_submitted,
+        );
+        expo.counter(
+            &name("jobs_completed_total"),
+            "Jobs answered with a result.",
+            self.jobs_completed,
+        );
+        expo.counter(
+            &name("jobs_errored_total"),
+            "Jobs answered with an error.",
+            self.jobs_errored,
+        );
+        expo.counter(
+            &name("jobs_overloaded_total"),
+            "Jobs refused by admission control.",
+            self.jobs_overloaded,
+        );
+        expo.counter(
+            &name("batches_total"),
+            "Coalesced engine batches dispatched.",
+            self.batches,
+        );
+        expo.gauge(
+            &name("queue_depth"),
+            "Jobs admitted but not yet answered.",
+            &[],
+            self.queue_depth as f64,
+        );
+        expo.gauge(
+            &name("batch_jobs_max"),
+            "Largest coalesced batch so far.",
+            &[],
+            self.batch_jobs_max as f64,
+        );
+        expo.gauge(
+            &name("clients_connected"),
+            "Clients currently attached.",
+            &[],
+            self.clients_connected as f64,
+        );
+        expo.gauge(
+            &name("latency_recent_p50_us"),
+            "Median end-to-end latency over the recent rolling window.",
+            &[],
+            self.latency_recent_us_p50,
+        );
+        expo.gauge(
+            &name("latency_recent_p99_us"),
+            "Tail end-to-end latency over the recent rolling window.",
+            &[],
+            self.latency_recent_us_p99,
+        );
+        let latency = name("latency_us");
+        expo.histogram(
+            &latency,
+            "End-to-end latency (parse to response handoff), microseconds.",
+            &[("window", "lifetime")],
+            &self.latency,
+        );
+        expo.histogram(
+            &latency,
+            "End-to-end latency (parse to response handoff), microseconds.",
+            &[("window", "recent")],
+            &self.latency_recent,
+        );
+        expo.histogram(
+            &name("coalesce_dwell_us"),
+            "Coalescer dwell per job (admission to batch dispatch).",
+            &[],
+            &self.coalesce_dwell,
+        );
+        expo.histogram(
+            &name("plan_us"),
+            "Planner time per job, microseconds.",
+            &[],
+            &self.engine_obs.plan_us,
+        );
+        expo.histogram(
+            &name("cache_lookup_us"),
+            "Result-cache lookup time per job, microseconds.",
+            &[],
+            &self.engine_obs.cache_lookup_us,
+        );
+        for (backend, snap) in &self.engine_obs.backend_latency {
+            expo.histogram(
+                &name("execute_us"),
+                "Execution wall time per backend, microseconds.",
+                &[("backend", backend.label())],
+                snap,
+            );
+        }
+        expo.counter(
+            &name("result_cache_hits_total"),
+            "Result-cache lookups served from the cache.",
+            self.result_cache.hits,
+        );
+        expo.counter(
+            &name("result_cache_misses_total"),
+            "Result-cache lookups that fell through to execution.",
+            self.result_cache.misses,
+        );
+        expo.counter(
+            &name("plan_cache_hits_total"),
+            "Schedule-cache lookups served from the cache.",
+            self.plan_cache.hits,
+        );
+        expo.counter(
+            &name("plan_cache_misses_total"),
+            "Schedule-cache lookups that computed a fresh schedule.",
+            self.plan_cache.misses,
+        );
+    }
+}
+
 /// The live collector. All methods are safe to call from any thread.
-#[derive(Default)]
 pub struct ServeStats {
     jobs_submitted: AtomicU64,
     jobs_completed: AtomicU64,
@@ -92,10 +288,30 @@ pub struct ServeStats {
     batches: AtomicU64,
     batch_jobs: AtomicU64,
     batch_jobs_max: AtomicU64,
-    /// End-to-end latency (parse → response handoff).
+    /// End-to-end latency (parse → response handoff), lifetime.
     latency: Histogram,
+    /// End-to-end latency over the recent rolling window.
+    latency_recent: WindowedHistogram,
     /// Coalescer dwell (admission → batch dispatch).
     dwell: Histogram,
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        Self {
+            jobs_submitted: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_errored: AtomicU64::new(0),
+            jobs_overloaded: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            batches: AtomicU64::new(0),
+            batch_jobs: AtomicU64::new(0),
+            batch_jobs_max: AtomicU64::new(0),
+            latency: Histogram::new(),
+            latency_recent: WindowedHistogram::new(RECENT_WINDOW_SLICES, RECENT_WINDOW_SLICE_MS),
+            dwell: Histogram::new(),
+        }
+    }
 }
 
 impl ServeStats {
@@ -111,6 +327,7 @@ impl ServeStats {
         self.jobs_completed.fetch_add(1, Ordering::Relaxed);
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
         self.latency.record(latency_us);
+        self.latency_recent.record(latency_us);
     }
 
     /// An admitted job left the queue with an error.
@@ -159,6 +376,7 @@ impl ServeStats {
         engine_obs: EngineObsSnapshot,
     ) -> ServeMetrics {
         let latency = self.latency.snapshot();
+        let latency_recent = self.latency_recent.snapshot();
         let batches = self.batches.load(Ordering::Relaxed);
         let batch_jobs = self.batch_jobs.load(Ordering::Relaxed);
         ServeMetrics {
@@ -180,7 +398,10 @@ impl ServeStats {
             latency_us_p90: latency.p90(),
             latency_us_p99: latency.p99(),
             latency_us_max: latency.max_us,
+            latency_recent_us_p50: latency_recent.p50(),
+            latency_recent_us_p99: latency_recent.p99(),
             latency,
+            latency_recent,
             coalesce_dwell: self.dwell.snapshot(),
             engine_obs,
             clients,
@@ -240,6 +461,21 @@ mod tests {
     }
 
     #[test]
+    fn recent_window_mirrors_lifetime_while_samples_are_fresh() {
+        let stats = ServeStats::default();
+        for i in 0..10 {
+            stats.record_submitted();
+            stats.record_completed((i + 1) as f64 * 100.0);
+        }
+        // All samples landed inside the rolling window just now, so the
+        // recent view bit-matches the lifetime view.
+        let m = snapshot(&stats);
+        assert_eq!(m.latency_recent, m.latency);
+        assert_eq!(m.latency_recent_us_p50, m.latency_us_p50);
+        assert_eq!(m.latency_recent_us_p99, m.latency_us_p99);
+    }
+
+    #[test]
     fn dwell_histogram_is_independent_of_latency() {
         let stats = ServeStats::default();
         stats.record_submitted();
@@ -266,6 +502,67 @@ mod tests {
         assert_eq!(m.latency.count, 100_000);
         assert_eq!(m.latency_us_max, 5.0);
         assert!(m.latency.buckets.len() <= 3, "5us lives in bucket [4, 8)");
+    }
+
+    #[test]
+    fn fleet_merge_pools_samples_and_recomputes_percentiles() {
+        let a = ServeStats::default();
+        let b = ServeStats::default();
+        for i in 0..8 {
+            a.record_submitted();
+            a.record_completed((i + 1) as f64 * 10.0);
+            b.record_submitted();
+            b.record_completed((i + 1) as f64 * 1000.0);
+        }
+        a.record_batch(4);
+        b.record_batch(8);
+        b.record_overloaded();
+        let mut merged = snapshot(&a);
+        merged.merge_from(&snapshot(&b));
+        assert_eq!(merged.jobs_completed, 16);
+        assert_eq!(merged.jobs_overloaded, 1);
+        assert_eq!(merged.batches, 2);
+        assert_eq!(merged.batch_jobs_mean, 6.0);
+        assert_eq!(merged.batch_jobs_max, 8);
+        // The merged histogram carries both shards' samples, and the
+        // scalars are recomputed from it — the fleet p99 is b's tail, not
+        // an average of the two p99s.
+        assert_eq!(merged.latency.count, 16);
+        assert_eq!(merged.latency_us_max, 8000.0);
+        assert_eq!(merged.latency_us_p99, 8000.0);
+        // Bit-match: merging the shard snapshots equals one histogram that
+        // saw every sample.
+        let pooled = Histogram::new();
+        for i in 0..8 {
+            pooled.record((i + 1) as f64 * 10.0);
+            pooled.record((i + 1) as f64 * 1000.0);
+        }
+        assert_eq!(merged.latency, pooled.snapshot());
+    }
+
+    #[test]
+    fn exposition_page_covers_the_headline_series() {
+        let stats = ServeStats::default();
+        stats.record_submitted();
+        stats.record_completed(300.0);
+        stats.record_batch(1);
+        stats.record_dwell(25.0);
+        let m = snapshot(&stats);
+        let mut expo = psq_obs::Exposition::new();
+        m.write_exposition(&mut expo, "psq_serve");
+        let page = expo.render();
+        assert!(page.contains("# TYPE psq_serve_jobs_completed_total counter"));
+        assert!(page.contains("psq_serve_jobs_completed_total 1\n"));
+        assert!(page.contains("# TYPE psq_serve_latency_us histogram"));
+        assert!(page.contains("psq_serve_latency_us_count{window=\"lifetime\"} 1\n"));
+        assert!(page.contains("psq_serve_latency_us_count{window=\"recent\"} 1\n"));
+        assert!(page.contains("psq_serve_coalesce_dwell_us_count 1\n"));
+        assert_eq!(
+            page.matches("# TYPE psq_serve_latency_us histogram")
+                .count(),
+            1,
+            "one header however many windows"
+        );
     }
 
     #[test]

@@ -11,7 +11,14 @@
 //!   engine's recursive backend (equivalent to `"backend":"Recursive"`;
 //!   combining the flag with a different explicit backend is rejected as a
 //!   parse error) and the result line carries the resolved `address_found`
-//!   instead of just a block.
+//!   instead of just a block. An optional `"trace": <u64>` field carries a
+//!   distributed trace id (minted by the front-tier router, or supplied by
+//!   any client): the server binds it to the job for the job's lifetime,
+//!   so every stage span this process emits on the NDJSON trace stream —
+//!   `coalesce`, `plan`, `cache`, `execute:<backend>` — carries the same
+//!   `"trace":N` as the router's `route`/`queue` spans, stitching one
+//!   cross-process causal chain per request. The id rides the request
+//!   only; responses stay unchanged (the sender correlates by job id).
 //! * a control command — `{"cmd":"metrics"}` (snapshot the serving
 //!   metrics), `{"cmd":"health"}` (a cheap liveness probe),
 //!   `{"cmd":"drain"}` (stop accepting work, flush in-flight jobs, end the
@@ -122,9 +129,28 @@ impl Command {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// A partial-search job to coalesce and execute.
-    Job(Box<SearchJob>),
+    Job {
+        /// The job itself.
+        job: Box<SearchJob>,
+        /// The distributed trace id the line carried (`"trace": <u64>`),
+        /// if any — bound to the job so this process's stage spans stitch
+        /// into the cross-process chain.
+        trace: Option<u64>,
+    },
     /// A control command.
     Command(Command),
+}
+
+/// Serialises a job (plus an optional distributed trace id) as one request
+/// line — the inverse of [`parse_request`] for job lines. The front-tier
+/// router uses this to forward jobs to workers with the trace context
+/// spliced on.
+pub fn job_line(job: &SearchJob, trace: Option<u64>) -> String {
+    let mut value = job.serialize();
+    if let (Some(object), Some(trace)) = (value.as_object_mut(), trace) {
+        object.insert("trace".into(), Value::Number(Number::PosInt(trace)));
+    }
+    serde_json::to_string(&value).expect("jobs serialise")
 }
 
 /// Parses one request line. Blank lines are `Ok(None)` (skipped, so piped
@@ -171,7 +197,18 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             job.backend = BackendHint::Recursive;
         }
     }
-    Ok(Some(Request::Job(Box::new(job))))
+    let trace = match object.get("trace") {
+        None | Some(Value::Null) => None,
+        Some(value) => Some(
+            value
+                .as_u64()
+                .ok_or_else(|| "\"trace\" must be a u64 trace id".to_string())?,
+        ),
+    };
+    Ok(Some(Request::Job {
+        job: Box::new(job),
+        trace,
+    }))
 }
 
 /// One response line.
@@ -359,9 +396,40 @@ mod tests {
         let job = SearchJob::new(7, 1 << 10, 4, 99).with_backend(BackendHint::StateVector);
         let line = serde_json::to_string(&job).expect("job serialises");
         match parse_request(&line).expect("parses") {
-            Some(Request::Job(parsed)) => assert_eq!(*parsed, job),
+            Some(Request::Job { job: parsed, trace }) => {
+                assert_eq!(*parsed, job);
+                assert_eq!(trace, None, "no trace field → no trace id");
+            }
             other => panic!("expected a job request, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn trace_ids_ride_job_lines_and_round_trip_through_job_line() {
+        let job = SearchJob::new(11, 1 << 10, 4, 5);
+        // job_line with a trace id parses back to the same job + id.
+        let line = job_line(&job, Some(902));
+        assert!(line.contains("\"trace\":902"));
+        match parse_request(&line).expect("parses") {
+            Some(Request::Job { job: parsed, trace }) => {
+                assert_eq!(*parsed, job);
+                assert_eq!(trace, Some(902));
+            }
+            other => panic!("expected a job request, got {other:?}"),
+        }
+        // Without a trace id, job_line is the plain serialised job.
+        let plain = job_line(&job, None);
+        assert!(!plain.contains("\"trace\""));
+        assert_eq!(plain, serde_json::to_string(&job).expect("serialises"));
+        // An explicit null is tolerated (treated as absent); non-integers
+        // are parse errors, not silent drops.
+        let null = format!("{},\"trace\":null}}", &plain[..plain.len() - 1]);
+        match parse_request(&null).expect("parses") {
+            Some(Request::Job { trace, .. }) => assert_eq!(trace, None),
+            other => panic!("expected a job request, got {other:?}"),
+        }
+        let bad = format!("{},\"trace\":\"abc\"}}", &plain[..plain.len() - 1]);
+        assert!(parse_request(&bad).is_err());
     }
 
     #[test]
@@ -372,7 +440,7 @@ mod tests {
         // full_address key of its own).
         let flagged = format!("{},\"full_address\":true}}", &line[..line.len() - 1]);
         match parse_request(&flagged).expect("parses") {
-            Some(Request::Job(parsed)) => {
+            Some(Request::Job { job: parsed, .. }) => {
                 assert_eq!(parsed.backend, BackendHint::Recursive);
                 assert_eq!(*parsed, job.with_backend(BackendHint::Recursive));
             }
@@ -381,7 +449,7 @@ mod tests {
         // `false` leaves the job's own backend hint alone.
         let unflagged = format!("{},\"full_address\":false}}", &line[..line.len() - 1]);
         match parse_request(&unflagged).expect("parses") {
-            Some(Request::Job(parsed)) => assert_eq!(parsed.backend, BackendHint::Auto),
+            Some(Request::Job { job: parsed, .. }) => assert_eq!(parsed.backend, BackendHint::Auto),
             other => panic!("expected a job request, got {other:?}"),
         }
         // A malformed flag is a parse error, not a silent default.
@@ -404,7 +472,9 @@ mod tests {
             &redundant[..redundant.len() - 1]
         );
         match parse_request(&redundant).expect("parses") {
-            Some(Request::Job(parsed)) => assert_eq!(parsed.backend, BackendHint::Recursive),
+            Some(Request::Job { job: parsed, .. }) => {
+                assert_eq!(parsed.backend, BackendHint::Recursive)
+            }
             other => panic!("expected a job request, got {other:?}"),
         }
     }

@@ -183,15 +183,23 @@ impl Client {
                 self.shared.registry.kick_all();
                 LineOutcome::Stop
             }
-            Request::Job(job) => {
-                self.submit_job(*job);
+            Request::Job { job, trace } => {
+                self.submit_job_traced(*job, trace);
                 LineOutcome::Continue
             }
         }
     }
 
-    /// Submits one already-parsed job (admission control applies).
+    /// Submits one already-parsed job (admission control applies) with no
+    /// trace id.
     pub fn submit_job(&self, job: psq_engine::SearchJob) {
+        self.submit_job_traced(job, None);
+    }
+
+    /// Submits one already-parsed job (admission control applies). `trace`
+    /// is the cross-process trace id the job line carried, if any; stage
+    /// events for the job are tagged with it all the way down the engine.
+    pub fn submit_job_traced(&self, job: psq_engine::SearchJob, trace: Option<u64>) {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             self.session.count_intake_error();
             self.shared.stats.record_rejected_at_intake();
@@ -239,6 +247,7 @@ impl Client {
             Arc::clone(&self.session),
             job,
             Arc::clone(&self.shared.stats),
+            trace,
         );
         // If the scheduler already stopped, the send hands the submission
         // back and the ticket's answer-on-drop serves the `shutting_down`
@@ -324,6 +333,21 @@ impl Server {
     /// Whether a shutdown command has been observed.
     pub fn shutdown_requested(&self) -> bool {
         self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Binds `addr` (the `--metrics-addr` flag) and serves a freshly
+    /// rendered Prometheus-style text exposition of the live metrics to
+    /// every connection, on a detached thread. Plain TCP, one page per
+    /// connection — scrape with `nc HOST PORT` or
+    /// `cat < /dev/tcp/HOST/PORT`. Returns the bound address so callers
+    /// may pass port 0.
+    pub fn serve_exposition(&self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
+        let shared = Arc::clone(&self.shared);
+        psq_obs::expo::serve_text(addr, move || {
+            let mut expo = psq_obs::Exposition::new();
+            shared.metrics().write_exposition(&mut expo, "psq_serve");
+            expo.render()
+        })
     }
 
     /// Serves one client over a reader/writer pair until EOF or a shutdown

@@ -622,6 +622,9 @@ proptest! {
             latency_us_p90: latency_hist.p90(),
             latency_us_p99: latency_hist.p99(),
             latency_us_max: latency_hist.max_us,
+            latency_recent_us_p50: latency_hist.p50(),
+            latency_recent_us_p99: latency_hist.p99(),
+            latency_recent: latency_hist.clone(),
             latency: latency_hist,
             coalesce_dwell: snapshot_of(&dwell),
             engine_obs: EngineObsSnapshot {

@@ -169,6 +169,15 @@ impl Value {
         }
     }
 
+    /// The object map, mutably, if this is an object (for callers that
+    /// splice extra fields onto a serialised value before encoding).
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
     /// The array items, if this is an array.
     pub fn as_array(&self) -> Option<&Vec<Value>> {
         match self {

@@ -26,7 +26,7 @@
 //! scenario — each iteration honestly executes every job — and enabled only
 //! for the `warm_result_cache` scenario, which measures the hit path.
 
-use psq_engine::{generate_mixed_batch, BackendHint, Engine, EngineConfig, SearchJob};
+use psq_engine::{generate_mixed_batch, BackendHint, Engine, EngineConfig, SearchJob, SweepSpec};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -154,6 +154,72 @@ fn run_scenario(
         } else {
             String::new()
         }
+    );
+    scenario
+}
+
+/// Runs one noise-sweep scenario: the whole sweep path per timed iteration
+/// — grid expansion, per-point noisy state-vector execution through the
+/// shared batch machinery, and degradation-threshold fitting. Throughput is
+/// grid points per second.
+fn run_sweep_scenario(
+    name: &str,
+    base: &SearchJob,
+    spec: &SweepSpec,
+    min_seconds: f64,
+    max_iters: u64,
+) -> Scenario {
+    let engine = Engine::new(EngineConfig {
+        result_cache: false,
+        ..EngineConfig::default()
+    });
+    let points = spec.point_count() as u64;
+    let warmup = engine.run_sweep(base, spec).expect("sweep runs");
+    assert!(
+        warmup.rejected.is_empty(),
+        "{name}: benchmark sweeps must be fully feasible"
+    );
+    let mut iterations = 0u64;
+    let mut last_report = None;
+    let started = Instant::now();
+    while iterations < max_iters {
+        let report = engine.run_sweep(base, spec).expect("sweep runs");
+        std::hint::black_box(&report);
+        last_report = Some(report);
+        iterations += 1;
+        if started.elapsed().as_secs_f64() >= min_seconds {
+            break;
+        }
+    }
+    let total_seconds = started.elapsed().as_secs_f64();
+    let latency = psq_obs::Histogram::new();
+    if let Some(report) = &last_report {
+        for point in &report.points {
+            latency.record(point.result.wall_time_us);
+        }
+    }
+    let latency = latency.snapshot();
+    let scenario = Scenario {
+        name: name.to_string(),
+        jobs_per_batch: points,
+        iterations,
+        total_seconds,
+        jobs_per_s: (points * iterations) as f64 / total_seconds,
+        result_cache_hits: 0,
+        result_cache_misses: 0,
+        latency_us_p50: Some(latency.p50()),
+        latency_us_p99: Some(latency.p99()),
+    };
+    eprintln!(
+        "{:<32} {:>5} jobs x {:>3} iters in {:>8.3} s  ->  {:>10.1} jobs/s  \
+         (p50/p99 {:.0}/{:.0} µs)",
+        scenario.name,
+        scenario.jobs_per_batch,
+        scenario.iterations,
+        scenario.total_seconds,
+        scenario.jobs_per_s,
+        latency.p50(),
+        latency.p99(),
     );
     scenario
 }
@@ -471,6 +537,31 @@ fn main() {
             "warm_result_cache/512",
             &engine,
             &jobs,
+            min_seconds,
+            max_iters,
+        ));
+    }
+
+    // The robustness workload: a depolarizing (p, K) grid expanded and
+    // executed end to end — noisy trajectory sampling on the state-vector
+    // backend plus degradation-threshold fitting. Throughput counts grid
+    // points, so the row gates the whole sweep path, not just one job.
+    if wanted("noisy_sweep/48", &filters) {
+        let base = SearchJob::new(0, 1 << 10, 4, 333)
+            .with_backend(BackendHint::StateVector)
+            .with_seed(9)
+            .with_trials(4);
+        let spec = SweepSpec {
+            p: vec![
+                0.0, 0.01, 0.02, 0.04, 0.06, 0.08, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5,
+            ],
+            k: vec![2, 4, 8, 16],
+            ..SweepSpec::default()
+        };
+        scenarios.push(run_sweep_scenario(
+            "noisy_sweep/48",
+            &base,
+            &spec,
             min_seconds,
             max_iters,
         ));

@@ -1,0 +1,120 @@
+//! Success under noise, checked against the ideal baseline and the paper's
+//! bound machinery: the serving layer's p-sweep must (a) agree bit-for-bit
+//! with the ideal backend at p = 0, (b) degrade monotonically (up to
+//! sampling slack) as the depolarizing rate grows, and (c) stay consistent
+//! with Theorem 2 — the ideal point achieves its near-certain success at a
+//! query count no cheaper than the partial-search lower bound allows.
+
+use psq_bounds::theorem2;
+use psq_engine::{BackendHint, Engine, EngineConfig, SearchJob, SweepSpec};
+
+const N: u64 = 1 << 10;
+const K: u64 = 4;
+
+fn swept_report() -> (SearchJob, psq_engine::SweepReport) {
+    let base = SearchJob::new(0, N, K, 333)
+        .with_backend(BackendHint::StateVector)
+        .with_seed(9)
+        .with_trials(16);
+    let spec = SweepSpec {
+        p: vec![0.0, 0.05, 0.1, 0.2, 0.35, 0.5],
+        ..SweepSpec::default()
+    };
+    let engine = Engine::new(EngineConfig {
+        threads: Some(2),
+        result_cache: false,
+        ..EngineConfig::default()
+    });
+    let report = engine.run_sweep(&base, &spec).expect("sweep runs");
+    (base, report)
+}
+
+#[test]
+fn the_zero_noise_point_bit_matches_the_ideal_backend() {
+    let (base, report) = swept_report();
+    assert_eq!(report.points.len(), 6);
+    assert!(report.rejected.is_empty());
+    let engine = Engine::new(EngineConfig {
+        threads: Some(1),
+        result_cache: false,
+        ..EngineConfig::default()
+    });
+    let ideal = engine.run_job(&base).expect("ideal run");
+    let p0 = &report.points[0];
+    assert_eq!(p0.p, 0.0);
+    assert_eq!(
+        p0.result.deterministic_fields(),
+        ideal.deterministic_fields(),
+        "the p = 0 grid point must be indistinguishable from the ideal backend"
+    );
+    assert_eq!(
+        p0.result.success_estimate.to_bits(),
+        ideal.success_estimate.to_bits()
+    );
+}
+
+#[test]
+fn success_degrades_monotonically_and_crosses_its_fitted_threshold() {
+    let (_, report) = swept_report();
+    let success: Vec<f64> = report
+        .points
+        .iter()
+        .map(|point| point.result.success_estimate)
+        .collect();
+    // Near-certain at p = 0 (the schedule targets a small ε)…
+    assert!(
+        success[0] > 0.8,
+        "ideal success {:.3} should be near certain",
+        success[0]
+    );
+    // …decaying as the rate grows. Trajectories are sampled, so adjacent
+    // points get a little slack; the trend over the whole axis must be
+    // unambiguous.
+    for window in success.windows(2) {
+        assert!(
+            window[1] <= window[0] + 0.08,
+            "success went up with noise: {:?}",
+            success
+        );
+    }
+    assert!(
+        success[success.len() - 1] < 0.5 * success[0],
+        "heavy depolarizing should at least halve the success: {success:?}"
+    );
+    // The fitted degradation threshold sits inside the swept range, on the
+    // one (K, ε) slice this sweep has.
+    assert_eq!(report.thresholds.len(), 1);
+    let p_half = report.thresholds[0]
+        .p_half
+        .expect("success crosses 1/2 inside the swept range");
+    assert!(
+        p_half > 0.0 && p_half < 0.5,
+        "interpolated half-success rate {p_half} outside the axis"
+    );
+}
+
+#[test]
+fn the_ideal_point_respects_the_theorem_2_lower_bound() {
+    let (base, report) = swept_report();
+    let p0 = &report.points[0];
+    // Theorem 2: any partial search that succeeds with probability ≥ 1 − ε
+    // spends at least α_K √N queries (α_K the lower-bound coefficient).
+    // The served ideal point succeeds near-certainly, so its per-trial
+    // query count must clear the bound — a noisy layer that *under*-spent
+    // here would be claiming a search the paper proves impossible.
+    let lower = theorem2::partial_search_lower_bound_coefficient(K as f64);
+    let per_trial = p0.result.queries as f64 / f64::from(base.trials);
+    assert!(
+        per_trial >= lower * (N as f64).sqrt(),
+        "ideal point spends {per_trial:.1} queries/trial, below the \
+         Theorem-2 floor {:.1}",
+        lower * (N as f64).sqrt()
+    );
+    // Noisy points are charged the same schedule (faulty oracles still
+    // cost a query), so the bound holds across the sweep while success
+    // only falls — noise never manufactures a cheaper search.
+    for point in &report.points {
+        assert_eq!(point.result.queries, p0.result.queries);
+        assert!(point.result.success_estimate <= p0.result.success_estimate + 1e-12);
+    }
+}

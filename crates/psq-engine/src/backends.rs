@@ -11,9 +11,9 @@
 //! sums them.
 
 use crate::planner::ExecutionPlan;
-use crate::spec::{Backend, SearchJob, SearchResult};
+use crate::spec::{Backend, NoiseSpec, SearchJob, SearchResult};
 use psq_partial::recursive::{derive_seed, sample_symmetric_block};
-use psq_partial::{PartialSearch, RecursiveSearch};
+use psq_partial::{partial_search_noisy_in, PartialSearch, RecursiveSearch};
 use psq_sim::circuit::{block_iteration_via_circuit, grover_iteration_via_circuit, Step3Circuit};
 use psq_sim::gates::QubitRegister;
 use psq_sim::oracle::{Database, Partition};
@@ -27,7 +27,13 @@ pub fn execute(job: &SearchJob, plan: &ExecutionPlan) -> SearchResult {
     let mut rng = StdRng::seed_from_u64(job.seed);
     match plan.backend {
         Backend::Reduced => run_reduced(job, plan, &mut rng),
-        Backend::StateVector => run_statevector(job, plan, &mut rng),
+        // Non-ideal noise runs the trajectory variant of the state-vector
+        // path; an explicit all-zero spec falls through to the untouched
+        // ideal runner, which is what makes p = 0 bit-identical to ideal.
+        Backend::StateVector => match job.effective_noise() {
+            Some(spec) => run_noisy(job, plan, spec),
+            None => run_statevector(job, plan, &mut rng),
+        },
         Backend::Circuit => run_circuit(job, plan, &mut rng),
         Backend::ClassicalDeterministic => run_classical(job, false, &mut rng),
         Backend::ClassicalRandomized => run_classical(job, true, &mut rng),
@@ -76,13 +82,51 @@ fn finish(
 }
 
 thread_local! {
-    /// Worker-held plane buffers for the recursive runner: executor workers
-    /// are persistent threads, so the scratch is reused across every level,
-    /// trial *and job* a worker executes — steady-state batch serving
-    /// performs O(1) allocations per worker. Scratch contents never affect
-    /// results (pinned by the cross-thread bit-identity tests).
-    static RECURSIVE_SCRATCH: std::cell::RefCell<AmplitudeScratch> =
+    /// Worker-held plane buffers for the recursive and noisy runners:
+    /// executor workers are persistent threads, so the scratch is reused
+    /// across every level, trial *and job* a worker executes — steady-state
+    /// batch serving performs O(1) allocations per worker. Scratch contents
+    /// never affect results (pinned by the cross-thread bit-identity tests).
+    static WORKER_SCRATCH: std::cell::RefCell<AmplitudeScratch> =
         std::cell::RefCell::new(AmplitudeScratch::new());
+}
+
+/// The noisy state-vector runner: each trial replays the three-step
+/// algorithm as one quantum trajectory under the job's per-query channels
+/// ([`psq_partial::robustness`]). Trial `t` draws everything — noise events
+/// *and* the final block measurement — from a private
+/// `StdRng::seed_from_u64(derive_seed(job.seed, t))` stream, so the result
+/// is a pure function of `(spec, seed)` no matter which worker thread, batch
+/// chunk or sweep expansion the job arrived through.
+fn run_noisy(job: &SearchJob, plan: &ExecutionPlan, spec: NoiseSpec) -> SearchResult {
+    let partition = Partition::new(job.n, job.k);
+    let true_block = partition.block_of(job.target);
+    let search = PartialSearch::with_epsilon(plan.schedule.plan.epsilon);
+    let mut reported = Vec::with_capacity(job.trials as usize);
+    let mut queries = 0u64;
+    let mut success_sum = 0.0;
+    WORKER_SCRATCH.with(|cell| {
+        let scratch = &mut cell.borrow_mut();
+        for trial in 0..job.trials {
+            let mut rng = StdRng::seed_from_u64(derive_seed(job.seed, u64::from(trial)));
+            let db = Database::new(job.n, job.target);
+            let run = partial_search_noisy_in(&db, &partition, &search, spec, &mut rng, scratch);
+            queries += run.queries;
+            // Mean over trials: unlike the ideal path, each trajectory has
+            // its own pre-measurement block probability (noise events moved
+            // the state), so the estimate is the empirical mean.
+            success_sum += run.success_probability;
+            reported.push(run.reported_block);
+        }
+    });
+    finish(
+        job,
+        Backend::StateVector,
+        reported,
+        true_block,
+        queries,
+        success_sum / f64::from(job.trials),
+    )
 }
 
 /// The recursive full-address runner: iterated partial search resolves one
@@ -105,7 +149,7 @@ fn run_recursive(job: &SearchJob, plan: &ExecutionPlan) -> SearchResult {
     let mut queries = 0u64;
     let mut levels = 0u32;
     let mut success_sum = 0.0;
-    RECURSIVE_SCRATCH.with(|cell| {
+    WORKER_SCRATCH.with(|cell| {
         let scratch = &mut cell.borrow_mut();
         for trial in 0..job.trials {
             // Per-trial seeds derive from the job seed exactly as per-level
@@ -378,6 +422,45 @@ mod tests {
         assert!((circuit.success_estimate - sv.success_estimate).abs() < 5e-3);
         assert_eq!(reduced.queries, sv.queries);
         assert_eq!(sv.queries, circuit.queries);
+    }
+
+    #[test]
+    fn noisy_execution_is_deterministic_and_degrades_with_rate() {
+        let base = SearchJob::new(11, 1 << 9, 4, 42).with_trials(8);
+        let gentle = run(base.with_noise(NoiseSpec {
+            depolarizing: 0.02,
+            dephasing: 0.02,
+            oracle_fault: 0.02,
+        }));
+        assert_eq!(gentle.backend, Backend::StateVector);
+        assert_eq!(gentle, run(base.with_noise(gentle_spec())));
+        // Heavy depolarizing scrambles most trajectories: mean success drops
+        // well below the gentle run's.
+        let heavy = run(base.with_noise(NoiseSpec {
+            depolarizing: 0.9,
+            dephasing: 0.0,
+            oracle_fault: 0.0,
+        }));
+        assert!(
+            heavy.success_estimate < gentle.success_estimate,
+            "heavy {} vs gentle {}",
+            heavy.success_estimate,
+            gentle.success_estimate
+        );
+        // An all-zero spec is byte-for-byte the ideal state-vector run.
+        let ideal = run(base.with_backend(BackendHint::StateVector));
+        let zero = run(base
+            .with_backend(BackendHint::StateVector)
+            .with_noise(NoiseSpec::ideal()));
+        assert_eq!(ideal, zero);
+    }
+
+    fn gentle_spec() -> NoiseSpec {
+        NoiseSpec {
+            depolarizing: 0.02,
+            dephasing: 0.02,
+            oracle_fault: 0.02,
+        }
     }
 
     #[test]

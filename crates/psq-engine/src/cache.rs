@@ -70,6 +70,10 @@ pub(crate) struct CacheKey {
     trials: u32,
     seed: u64,
     backend: Backend,
+    /// Bit patterns of the job's effective noise rates, `None` for the ideal
+    /// dynamics — so an explicit all-zero spec shares its entry with the
+    /// noiseless twin, and any non-ideal spec keys separately.
+    noise: Option<[u64; 3]>,
 }
 
 impl CacheKey {
@@ -87,6 +91,7 @@ impl CacheKey {
             trials: job.trials,
             seed: job.seed,
             backend,
+            noise: job.effective_noise().map(|spec| spec.key_words()),
         }
     }
 
@@ -391,6 +396,39 @@ mod tests {
         let mut moved = job;
         moved.target = 101;
         assert!(cache.lookup(&moved, Backend::StateVector).is_none());
+    }
+
+    #[test]
+    fn noise_joins_the_key_only_when_non_ideal() {
+        use crate::spec::NoiseSpec;
+        let cache = ResultCache::default();
+        let job = SearchJob::new(0, 1 << 10, 4, 100);
+        cache.insert(
+            &job,
+            Backend::StateVector,
+            result_for(&job, Backend::StateVector),
+        );
+        // An explicit all-zero spec is the same dynamics: shares the entry.
+        assert!(cache
+            .lookup(&job.with_noise(NoiseSpec::ideal()), Backend::StateVector)
+            .is_some());
+        // Any non-zero rate keys separately, and distinct rates do not
+        // collide with each other.
+        let faulty = job.with_noise(NoiseSpec::oracle_only(0.05));
+        assert!(cache.lookup(&faulty, Backend::StateVector).is_none());
+        cache.insert(
+            &faulty,
+            Backend::StateVector,
+            result_for(&faulty, Backend::StateVector),
+        );
+        assert!(cache.lookup(&faulty, Backend::StateVector).is_some());
+        assert!(cache
+            .lookup(
+                &job.with_noise(NoiseSpec::oracle_only(0.1)),
+                Backend::StateVector
+            )
+            .is_none());
+        assert!(cache.lookup(&job, Backend::StateVector).is_some());
     }
 
     #[test]

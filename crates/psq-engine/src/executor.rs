@@ -346,7 +346,15 @@ impl Engine {
 /// per-backend latency histogram, and emits an `execute:<backend>` trace
 /// event when tracing is on.
 fn execute_planned(job: &SearchJob, plan: &ExecutionPlan, obs: &EngineObs) -> SearchResult {
-    let span = Span::enter_always(plan.backend.stage_label());
+    // Noisy state-vector runs carry their own stage label so the trace
+    // stream separates trajectory executions from ideal ones; their latency
+    // still lands in the state-vector histogram (same substrate, and the
+    // snapshot shape stays one histogram per backend).
+    let label = match job.effective_noise() {
+        Some(_) => trace::stage::EXECUTE_NOISY,
+        None => plan.backend.stage_label(),
+    };
+    let span = Span::enter_always(label);
     let mut result = backends::execute(job, plan);
     let us = span.finish(job.id).expect("always timed");
     result.wall_time_us = us;

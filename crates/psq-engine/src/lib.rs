@@ -22,6 +22,9 @@
 //! * [`executor`] — the [`Engine`]: batch fan-out over
 //!   `psq_parallel::WorkerPool` (work-stealing per-worker deques) with
 //!   per-job seeding and submission-order results;
+//! * [`sweep`] — noise-sweep jobs: a grid over `(p, K, ε)` expanded into
+//!   ordinary per-point jobs (planner, pool, scratch and result cache all
+//!   reused) with a fitted degradation threshold per `(K, ε)` slice;
 //! * [`metrics`] — throughput/latency/accuracy aggregation per batch, plus
 //!   the always-on [`EngineObs`] registry: lock-free per-stage latency
 //!   histograms (plan, cache lookup, execute per backend) from `psq-obs`,
@@ -41,6 +44,7 @@ pub mod executor;
 pub mod metrics;
 pub mod planner;
 pub mod spec;
+pub mod sweep;
 
 pub use cache::{ResultCache, ResultCacheStats};
 pub use cli::EngineFlags;
@@ -49,4 +53,9 @@ pub use metrics::{percentile, BackendTally, BatchMetrics, EngineObs, EngineObsSn
 pub use planner::{
     CostEstimate, CostModel, ExecutionPlan, PlanCache, PlanCacheStats, PlannedSchedule, Planner,
 };
-pub use spec::{generate_mixed_batch, Backend, BackendHint, RejectedJob, SearchJob, SearchResult};
+pub use spec::{
+    generate_mixed_batch, Backend, BackendHint, NoiseSpec, RejectedJob, SearchJob, SearchResult,
+};
+pub use sweep::{
+    DegradationThreshold, SweepPoint, SweepReport, SweepSpec, DEFAULT_MAX_SWEEP_POINTS,
+};

@@ -375,6 +375,23 @@ impl Planner {
                 sv_cutoff: 0,
             })
         };
+        // Non-ideal noise runs as per-query trajectories on the full state
+        // vector — the only substrate where the channels act on amplitudes.
+        // The reduced three-amplitude form cannot represent a depolarizing
+        // collapse or a phase kick, the circuit path has no channel hooks,
+        // and the classical scans have no quantum state at all; routing any
+        // of them would silently answer the noiseless question. An explicit
+        // all-zero spec is the ideal dynamics and plans as if absent.
+        if job.effective_noise().is_some() {
+            return match job.backend {
+                BackendHint::Auto | BackendHint::StateVector => resolve(Backend::StateVector),
+                other => Err(format!(
+                    "job {}: noise channels require the state-vector backend \
+                     (hint {other:?} cannot apply per-query channels)",
+                    job.id
+                )),
+            };
+        }
         match job.backend {
             BackendHint::Reduced => resolve(Backend::Reduced),
             BackendHint::StateVector => resolve(Backend::StateVector),
@@ -584,6 +601,46 @@ mod tests {
             recursive.ops > reduced.ops,
             "resolving the full address costs more than one block query"
         );
+    }
+
+    #[test]
+    fn noise_forces_the_statevector_backend() {
+        use crate::spec::NoiseSpec;
+        let planner = Planner::new();
+        let noisy = NoiseSpec {
+            depolarizing: 0.01,
+            dephasing: 0.02,
+            oracle_fault: 0.0,
+        };
+        // Auto routes to the state vector instead of the (cheaper) reduced
+        // simulator.
+        let job = SearchJob::new(0, 1 << 12, 4, 7).with_noise(noisy);
+        assert_eq!(planner.plan(&job).unwrap().backend, Backend::StateVector);
+        // An explicit state-vector hint still works; every other hint is a
+        // structured rejection, not a silent noiseless run.
+        assert_eq!(
+            planner
+                .plan(&job.with_backend(BackendHint::StateVector))
+                .unwrap()
+                .backend,
+            Backend::StateVector
+        );
+        for hint in [
+            BackendHint::Reduced,
+            BackendHint::Circuit,
+            BackendHint::ClassicalDeterministic,
+            BackendHint::ClassicalRandomized,
+            BackendHint::Recursive,
+        ] {
+            let err = planner.plan(&job.with_backend(hint)).unwrap_err();
+            assert!(err.contains("noise"), "hint {hint:?}: {err}");
+        }
+        // Too large to materialise: feasibility still applies.
+        let huge = SearchJob::new(0, MAX_STATEVECTOR_N * 2, 4, 7).with_noise(noisy);
+        assert!(planner.plan(&huge).is_err());
+        // An all-zero spec plans exactly like no spec at all.
+        let ideal = SearchJob::new(0, 1 << 20, 8, 12345).with_noise(NoiseSpec::ideal());
+        assert_eq!(planner.plan(&ideal).unwrap().backend, Backend::Reduced);
     }
 
     #[test]

@@ -10,6 +10,11 @@
 
 use serde::{Deserialize, Serialize};
 
+// The one noise-configuration type for the whole stack (defined in
+// `psq_sim::noise`, unified with the Monte-Carlo runner in
+// `psq_partial::robustness`, carried on the wire by [`SearchJob`]).
+pub use psq_partial::NoiseSpec;
+
 /// Which execution backend a job *asks* for. [`BackendHint::Auto`] delegates
 /// the choice to the planner's cost model.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -142,6 +147,11 @@ pub struct SearchJob {
     pub seed: u64,
     /// Requested backend.
     pub backend: BackendHint,
+    /// Per-query noise channels to run under ([`NoiseSpec`]). `None` — the
+    /// wire default, so every pre-noise client line still parses — and an
+    /// explicit all-zero spec both mean the ideal dynamics and share one
+    /// identity everywhere (route key, result cache, planner).
+    pub noise: Option<NoiseSpec>,
 }
 
 impl SearchJob {
@@ -157,6 +167,7 @@ impl SearchJob {
             trials: 1,
             seed: id.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
             backend: BackendHint::Auto,
+            noise: None,
         }
     }
 
@@ -193,6 +204,20 @@ impl SearchJob {
         self
     }
 
+    /// Sets the noise channels this job runs under.
+    pub fn with_noise(mut self, noise: NoiseSpec) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// The noise spec this job *effectively* runs under: `None`, a missing
+    /// wire field and an explicit all-zero spec all normalise to `None`
+    /// (ideal), so every consumer — route key, cache key, planner, executor
+    /// — sees one identity for "no noise".
+    pub fn effective_noise(&self) -> Option<NoiseSpec> {
+        self.noise.filter(|spec| !spec.is_ideal())
+    }
+
     /// A stable 64-bit hash of the job's deterministic spec — everything
     /// that decides what the job *computes* (`n`, `k`, `target`,
     /// `error_target`, `trials`, `seed`, backend hint) and nothing that
@@ -215,6 +240,12 @@ impl SearchJob {
             BackendHint::ClassicalRandomized => 5,
             BackendHint::Recursive => 6,
         };
+        fn mix(hash: &mut u64, word: u64) {
+            for byte in word.to_le_bytes() {
+                *hash ^= byte as u64;
+                *hash = hash.wrapping_mul(PRIME);
+            }
+        }
         let mut hash = OFFSET;
         for word in [
             self.n,
@@ -225,9 +256,15 @@ impl SearchJob {
             self.seed,
             backend_tag,
         ] {
-            for byte in word.to_le_bytes() {
-                hash ^= byte as u64;
-                hash = hash.wrapping_mul(PRIME);
+            mix(&mut hash, word);
+        }
+        // Noise joins the hash only when it actually changes the dynamics:
+        // `None`, a missing field and an all-zero spec all hash identically
+        // to a pre-noise job, preserving the pinned key below (and landing
+        // p = 0 grid points on the same worker as their ideal twins).
+        if let Some(noise) = self.effective_noise() {
+            for word in noise.key_words() {
+                mix(&mut hash, word);
             }
         }
         hash
@@ -267,6 +304,11 @@ impl SearchJob {
         }
         if self.trials == 0 {
             return Err(format!("job {}: trials must be at least 1", self.id));
+        }
+        if let Some(noise) = self.noise {
+            noise
+                .validate()
+                .map_err(|e| format!("job {}: {e}", self.id))?;
         }
         Ok(())
     }
@@ -563,6 +605,49 @@ mod tests {
             SearchJob::new(0, 1 << 10, 4, 7).route_key(),
             0x56aa_10a9_19a8_e8e3
         );
+    }
+
+    #[test]
+    fn noise_field_round_trips_and_normalises_to_one_identity() {
+        let job = SearchJob::new(7, 4096, 8, 1234);
+        // Wire compatibility: pre-noise lines (no "noise" key) parse to None.
+        let legacy: SearchJob = serde_json::from_str(
+            &serde_json::to_string(&job)
+                .unwrap()
+                .replace(",\"noise\":null", ""),
+        )
+        .expect("pre-noise line parses");
+        assert_eq!(legacy, job);
+        // A non-ideal spec round-trips.
+        let noisy = job.with_noise(NoiseSpec {
+            depolarizing: 0.01,
+            dephasing: 0.0,
+            oracle_fault: 0.05,
+        });
+        let back: SearchJob =
+            serde_json::from_str(&serde_json::to_string(&noisy).unwrap()).unwrap();
+        assert_eq!(back, noisy);
+        // None, missing and all-zero collapse to the same effective noise...
+        assert_eq!(job.effective_noise(), None);
+        assert_eq!(job.with_noise(NoiseSpec::ideal()).effective_noise(), None);
+        assert_eq!(noisy.effective_noise(), Some(noisy.noise.unwrap()));
+        // ...so the route key is untouched by an ideal spec and moved by a
+        // real one.
+        assert_eq!(
+            job.route_key(),
+            job.with_noise(NoiseSpec::ideal()).route_key()
+        );
+        assert_ne!(job.route_key(), noisy.route_key());
+        assert_ne!(
+            noisy.route_key(),
+            job.with_noise(NoiseSpec::oracle_only(0.05)).route_key()
+        );
+        // Out-of-range rates are rejected at validation.
+        assert!(job
+            .with_noise(NoiseSpec::oracle_only(1.5))
+            .validate()
+            .is_err());
+        assert!(noisy.validate().is_ok());
     }
 
     #[test]

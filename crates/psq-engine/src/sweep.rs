@@ -1,0 +1,578 @@
+//! Noise-sweep jobs: "success under noise" as one batched workload.
+//!
+//! A sweep takes one base job and a [`SweepSpec`] — value lists for the
+//! noise rate `p`, the block count `K` and the error target `ε` — and
+//! expands the cross product into ordinary [`SearchJob`]s, one per grid
+//! point. Expansion is the whole trick: every point then flows through the
+//! machinery that already exists for single jobs (planner and its schedule
+//! cache, worker pool, scratch recycling, result cache, per-job seeding),
+//! so a ten-thousand-point sweep costs no new execution code and inherits
+//! every determinism guarantee. In particular:
+//!
+//! * point `i` gets id `base.id + i`, keeps the base seed, and is a pure
+//!   function of `(base spec, grid values)` — the same sweep re-run, run on
+//!   a different thread count, or chopped into arbitrary chunks by a front
+//!   tier produces bit-identical per-point results;
+//! * `p = 0` points carry an ideal effective spec and therefore plan,
+//!   execute and cache exactly like their noiseless twins (the ideal-limit
+//!   agreement the integration tests pin);
+//! * sweeps sharing grid points — across requests or within one sweep after
+//!   `K`/`ε` deduplication — share result-cache entries, since the cache
+//!   key is the per-point job spec.
+//!
+//! [`Engine::run_sweep`] executes the expansion as one batch and fits, per
+//! `(K, ε)` slice, the **degradation threshold**: the noise rate where the
+//! success estimate first crosses 1/2 (linear interpolation between the
+//! bracketing grid points), the single number that summarises "how much
+//! noise this configuration tolerates".
+
+use crate::executor::Engine;
+use crate::metrics::BatchMetrics;
+use crate::spec::{NoiseSpec, RejectedJob, SearchJob, SearchResult};
+use serde::{Deserialize, Serialize};
+
+/// Default cap on grid points per sweep at the serving layers (`psq-serve`
+/// and `psq-router` admission): large enough for a dense 3-axis scan, small
+/// enough that one request line cannot monopolise a worker for minutes.
+pub const DEFAULT_MAX_SWEEP_POINTS: usize = 4096;
+
+/// The grid of a sweep request: per-axis value lists. An empty axis means
+/// "inherit the base job's value" (a singleton axis), so `{"p": [0.0,
+/// 0.1]}` alone is a valid two-point sweep.
+///
+/// The swept rate `p` drives the noise channel named by `channel`
+/// (`"depolarizing"` — the default — `"dephasing"`, `"oracle_fault"`, or
+/// `"all"` for all three at once); channels the sweep does not drive keep
+/// the base job's rates, so a sweep can scan dephasing on top of a fixed
+/// oracle-fault floor.
+///
+/// `Deserialize` is hand-written: omitted axes mean "unswept" (the vendored
+/// derive would demand every key), and unknown keys are rejected so a typo
+/// like `"eps"` fails loudly instead of silently sweeping nothing.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct SweepSpec {
+    /// Noise rates to scan (fastest-varying axis). Empty: the base job's
+    /// own noise, unscanned.
+    pub p: Vec<f64>,
+    /// Block counts `K` to scan. Empty: the base job's `k`.
+    pub k: Vec<u64>,
+    /// Error targets `ε` to scan (slowest-varying axis). Empty: the base
+    /// job's `error_target`.
+    pub error: Vec<f64>,
+    /// Which channel(s) the `p` axis drives; `None` means depolarizing.
+    pub channel: Option<String>,
+}
+
+/// The channels a sweep's `p` axis can drive.
+const CHANNELS: [&str; 4] = ["depolarizing", "dephasing", "oracle_fault", "all"];
+
+impl serde::Deserialize for SweepSpec {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let object = value
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected object for SweepSpec"))?;
+        fn axis<T: serde::Deserialize>(
+            object: &serde::Map,
+            key: &'static str,
+        ) -> Result<Vec<T>, serde::Error> {
+            match object.get(key) {
+                None | Some(serde::Value::Null) => Ok(Vec::new()),
+                Some(value) => Vec::deserialize(value).map_err(|e| e.in_field(key)),
+            }
+        }
+        for (key, _) in object.iter() {
+            if !matches!(key.as_str(), "p" | "k" | "error" | "channel") {
+                return Err(serde::Error::custom(format!(
+                    "sweep: unknown field {key:?} (expected p, k, error, channel)"
+                )));
+            }
+        }
+        Ok(Self {
+            p: axis(object, "p")?,
+            k: axis(object, "k")?,
+            error: axis(object, "error")?,
+            channel: Option::deserialize(object.get("channel").unwrap_or(&serde::Value::Null))
+                .map_err(|e: serde::Error| e.in_field("channel"))?,
+        })
+    }
+}
+
+impl SweepSpec {
+    /// Grid size: the product of the axis lengths, empty axes counting as
+    /// singletons. Never zero.
+    pub fn point_count(&self) -> usize {
+        self.p.len().max(1) * self.k.len().max(1) * self.error.len().max(1)
+    }
+
+    /// Checks the axes before expansion: every `p` must be a valid channel
+    /// rate, the channel name must be known. Per-point `K`/`ε` validity is
+    /// left to [`SearchJob::validate`] on the expanded jobs (it owns those
+    /// rules).
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(channel) = &self.channel {
+            if !CHANNELS.contains(&channel.as_str()) {
+                return Err(format!(
+                    "sweep: unknown channel {channel:?} (expected one of {CHANNELS:?})"
+                ));
+            }
+        }
+        for &p in &self.p {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("sweep: rate p = {p} outside [0, 1]"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The per-point noise spec: the base spec with the driven channel(s)
+    /// set to `rate`.
+    fn apply_rate(&self, base: NoiseSpec, rate: f64) -> NoiseSpec {
+        let mut spec = base;
+        match self.channel.as_deref() {
+            None | Some("depolarizing") => spec.depolarizing = rate,
+            Some("dephasing") => spec.dephasing = rate,
+            Some("oracle_fault") => spec.oracle_fault = rate,
+            Some("all") => {
+                spec.depolarizing = rate;
+                spec.dephasing = rate;
+                spec.oracle_fault = rate;
+            }
+            Some(other) => unreachable!("validate() rejects channel {other:?}"),
+        }
+        spec
+    }
+
+    /// Expands the grid over `base` into one job per point, ids
+    /// `base.id + index`, `p` varying fastest. The expansion is deliberately
+    /// *just data* — callers decide where the jobs run — and deterministic:
+    /// chunk the returned vector anywhere and the per-point jobs (hence
+    /// results) are unchanged.
+    pub fn expand(&self, base: &SearchJob) -> Result<Vec<SearchJob>, String> {
+        self.validate()?;
+        let base_noise = base.noise.unwrap_or_default();
+        let ks: &[u64] = if self.k.is_empty() {
+            &[base.k]
+        } else {
+            &self.k
+        };
+        let errors: &[f64] = if self.error.is_empty() {
+            &[base.error_target]
+        } else {
+            &self.error
+        };
+        let mut jobs = Vec::with_capacity(self.point_count());
+        for &error in errors {
+            for &k in ks {
+                let rates: &[f64] = if self.p.is_empty() {
+                    &[f64::NAN] // sentinel: keep the base noise untouched
+                } else {
+                    &self.p
+                };
+                for &p in rates {
+                    let mut job = *base;
+                    job.id = base.id + jobs.len() as u64;
+                    job.k = k;
+                    job.error_target = error;
+                    if !p.is_nan() {
+                        job.noise = Some(self.apply_rate(base_noise, p));
+                    }
+                    jobs.push(job);
+                }
+            }
+        }
+        Ok(jobs)
+    }
+}
+
+/// One executed grid point: the coordinates plus the full per-job result.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept rate (the base job's driven-channel rate when the `p` axis
+    /// was empty).
+    pub p: f64,
+    /// Block count of this point.
+    pub k: u64,
+    /// Error target of this point.
+    pub error_target: f64,
+    /// The point's execution result (id `base.id + index`).
+    pub result: SearchResult,
+}
+
+/// The fitted noise tolerance of one `(K, ε)` slice: where the success
+/// estimate crosses 1/2 along the `p` axis.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DegradationThreshold {
+    /// Block count of the slice.
+    pub k: u64,
+    /// Error target of the slice.
+    pub error_target: f64,
+    /// Interpolated `p` where success first drops through 1/2; `None` when
+    /// the slice never crosses (still above 1/2 at the largest scanned `p`,
+    /// or already below at the smallest).
+    pub p_half: Option<f64>,
+}
+
+/// A fully executed sweep: per-point results in grid order, per-slice
+/// fitted thresholds, and the underlying batch metrics.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// One entry per grid point, `p` varying fastest (expansion order).
+    pub points: Vec<SweepPoint>,
+    /// Grid points whose expanded job failed validation or planning.
+    pub rejected: Vec<RejectedJob>,
+    /// One fitted threshold per `(K, ε)` slice, in slice order.
+    pub thresholds: Vec<DegradationThreshold>,
+    /// Batch metrics of the expansion's execution (cache hits across
+    /// deduplicated points show up here).
+    pub metrics: BatchMetrics,
+}
+
+impl Engine {
+    /// Expands `spec` over `base` and executes the whole grid as one batch
+    /// (planner, pool, scratch and result cache all shared), returning
+    /// per-point results and the fitted degradation threshold of every
+    /// `(K, ε)` slice. Pure function of `(base, spec)` up to wall times.
+    pub fn run_sweep(&self, base: &SearchJob, spec: &SweepSpec) -> Result<SweepReport, String> {
+        let jobs = spec.expand(base)?;
+        let report = self.run_batch(&jobs);
+        // Rejections skip result slots, so match results back to their grid
+        // points by id (ids are base.id + index by construction).
+        let mut results = report.results.iter().peekable();
+        let mut points = Vec::with_capacity(jobs.len());
+        for (index, job) in jobs.iter().enumerate() {
+            let id = base.id + index as u64;
+            debug_assert_eq!(job.id, id);
+            if results.peek().is_some_and(|r| r.job_id == id) {
+                let result = *results.next().expect("peeked");
+                points.push(SweepPoint {
+                    p: swept_rate(spec, job),
+                    k: job.k,
+                    error_target: job.error_target,
+                    result,
+                });
+            }
+        }
+        let thresholds = fit_thresholds(&points);
+        Ok(SweepReport {
+            points,
+            rejected: report.rejected,
+            thresholds,
+            metrics: report.metrics,
+        })
+    }
+}
+
+/// The `p` coordinate of an expanded job: the driven channel's rate (for
+/// `"all"`, the shared rate).
+fn swept_rate(spec: &SweepSpec, job: &SearchJob) -> f64 {
+    let noise = job.noise.unwrap_or_default();
+    match spec.channel.as_deref() {
+        None | Some("depolarizing") | Some("all") => noise.depolarizing,
+        Some("dephasing") => noise.dephasing,
+        _ => noise.oracle_fault,
+    }
+}
+
+/// Fits the 1/2-crossing of each `(K, ε)` slice by linear interpolation
+/// between the bracketing grid points (points arrive in expansion order, so
+/// each slice's points are contiguous and `p`-sorted iff the request's `p`
+/// axis was sorted; the fit walks adjacent pairs either way).
+fn fit_thresholds(points: &[SweepPoint]) -> Vec<DegradationThreshold> {
+    let mut thresholds: Vec<DegradationThreshold> = Vec::new();
+    let mut slice_start = 0;
+    while slice_start < points.len() {
+        let (k, error_target) = (points[slice_start].k, points[slice_start].error_target);
+        let slice_end = points[slice_start..]
+            .iter()
+            .position(|pt| pt.k != k || pt.error_target != error_target)
+            .map_or(points.len(), |offset| slice_start + offset);
+        let slice = &points[slice_start..slice_end];
+        let mut p_half = None;
+        for pair in slice.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            let (sa, sb) = (a.result.success_estimate, b.result.success_estimate);
+            if sa >= 0.5 && sb < 0.5 {
+                // Linear interpolation; degenerate (vertical) brackets pin
+                // to the left point.
+                let t = if (sa - sb).abs() > f64::EPSILON {
+                    (sa - 0.5) / (sa - sb)
+                } else {
+                    0.0
+                };
+                p_half = Some(a.p + t * (b.p - a.p));
+                break;
+            }
+        }
+        thresholds.push(DegradationThreshold {
+            k,
+            error_target,
+            p_half,
+        });
+        slice_start = slice_end;
+    }
+    thresholds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::EngineConfig;
+    use crate::spec::BackendHint;
+
+    fn base_job() -> SearchJob {
+        SearchJob::new(100, 1 << 9, 4, 77).with_trials(4)
+    }
+
+    #[test]
+    fn expansion_covers_the_cross_product_in_order() {
+        let spec = SweepSpec {
+            p: vec![0.0, 0.1, 0.2],
+            k: vec![4, 8],
+            error: vec![0.05, 0.2],
+            channel: None,
+        };
+        assert_eq!(spec.point_count(), 12);
+        let jobs = spec.expand(&base_job()).expect("expands");
+        assert_eq!(jobs.len(), 12);
+        for (index, job) in jobs.iter().enumerate() {
+            assert_eq!(job.id, 100 + index as u64);
+        }
+        // p varies fastest, then k, then error.
+        assert_eq!(jobs[1].noise.unwrap().depolarizing, 0.1);
+        assert_eq!(jobs[0].k, jobs[2].k);
+        assert_eq!(jobs[3].k, 8);
+        assert_eq!(jobs[6].error_target, 0.2);
+        // p = 0 points are effectively ideal (shared identity with the
+        // noiseless twin at every layer).
+        assert_eq!(jobs[0].effective_noise(), None);
+        assert!(jobs[1].effective_noise().is_some());
+    }
+
+    #[test]
+    fn empty_axes_inherit_the_base_job() {
+        let base = base_job().with_error_target(0.07);
+        let spec = SweepSpec {
+            p: vec![0.0, 0.3],
+            ..SweepSpec::default()
+        };
+        let jobs = spec.expand(&base).expect("expands");
+        assert_eq!(jobs.len(), 2);
+        assert!(jobs.iter().all(|j| j.k == base.k));
+        assert!(jobs.iter().all(|j| j.error_target == 0.07));
+        // No axes at all: one point, the base job itself (id included).
+        let identity = SweepSpec::default().expand(&base).expect("expands");
+        assert_eq!(identity, vec![base]);
+    }
+
+    #[test]
+    fn channels_route_the_swept_rate() {
+        let base = base_job();
+        let pick = |channel: &str| SweepSpec {
+            p: vec![0.25],
+            channel: Some(channel.into()),
+            ..SweepSpec::default()
+        };
+        let dephased = pick("dephasing").expand(&base).unwrap()[0].noise.unwrap();
+        assert_eq!(dephased.dephasing, 0.25);
+        assert_eq!(dephased.depolarizing, 0.0);
+        let faulty = pick("oracle_fault").expand(&base).unwrap()[0]
+            .noise
+            .unwrap();
+        assert_eq!(faulty.oracle_fault, 0.25);
+        let all = pick("all").expand(&base).unwrap()[0].noise.unwrap();
+        assert_eq!(
+            all,
+            NoiseSpec {
+                depolarizing: 0.25,
+                dephasing: 0.25,
+                oracle_fault: 0.25
+            }
+        );
+        // Undriven channels keep the base job's rates.
+        let layered = pick("dephasing")
+            .expand(&base.with_noise(NoiseSpec::oracle_only(0.1)))
+            .unwrap()[0]
+            .noise
+            .unwrap();
+        assert_eq!(layered.oracle_fault, 0.1);
+        assert_eq!(layered.dephasing, 0.25);
+        // Unknown channels and out-of-range rates are structured errors.
+        assert!(pick("amplitude_damping").expand(&base).is_err());
+        assert!(SweepSpec {
+            p: vec![1.5],
+            ..SweepSpec::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn run_sweep_is_deterministic_and_chunking_invariant() {
+        let engine = Engine::new(EngineConfig {
+            threads: Some(4),
+            ..EngineConfig::default()
+        });
+        let base = base_job();
+        let spec = SweepSpec {
+            p: vec![0.0, 0.05, 0.4],
+            k: vec![4, 8],
+            channel: Some("all".into()),
+            ..SweepSpec::default()
+        };
+        let report = engine.run_sweep(&base, &spec).expect("sweeps");
+        assert_eq!(report.points.len(), 6);
+        assert!(report.rejected.is_empty());
+        // Re-running (warm cache, same threads) and running on a fresh
+        // single-threaded engine both reproduce every deterministic field.
+        let again = engine.run_sweep(&base, &spec).expect("sweeps");
+        let solo = Engine::new(EngineConfig {
+            threads: Some(1),
+            ..EngineConfig::default()
+        })
+        .run_sweep(&base, &spec)
+        .expect("sweeps");
+        for ((a, b), c) in report.points.iter().zip(&again.points).zip(&solo.points) {
+            assert_eq!(
+                a.result.deterministic_fields(),
+                b.result.deterministic_fields()
+            );
+            assert_eq!(
+                a.result.deterministic_fields(),
+                c.result.deterministic_fields()
+            );
+        }
+        // Chunking invariance: running the expansion in arbitrary pieces
+        // through run_batch gives the same per-point results.
+        let jobs = spec.expand(&base).unwrap();
+        let chunked = Engine::new(EngineConfig {
+            threads: Some(2),
+            ..EngineConfig::default()
+        });
+        let mut chunk_results = Vec::new();
+        for chunk in jobs.chunks(4) {
+            chunk_results.extend(chunked.run_batch(chunk).results);
+        }
+        for (point, chunk) in report.points.iter().zip(&chunk_results) {
+            assert_eq!(
+                point.result.deterministic_fields(),
+                chunk.deterministic_fields()
+            );
+        }
+    }
+
+    #[test]
+    fn p_zero_points_bit_match_the_ideal_backend() {
+        let engine = Engine::default();
+        let base = base_job();
+        let spec = SweepSpec {
+            p: vec![0.0, 0.2],
+            ..SweepSpec::default()
+        };
+        let report = engine.run_sweep(&base, &spec).expect("sweeps");
+        let ideal = engine.run_job(&base).expect("ideal twin runs");
+        let p0 = &report.points[0].result;
+        let mut expected = ideal;
+        expected.job_id = p0.job_id;
+        assert_eq!(
+            p0.deterministic_fields(),
+            expected.deterministic_fields(),
+            "p = 0 grid point must be the ideal backend's answer"
+        );
+    }
+
+    #[test]
+    fn thresholds_interpolate_the_half_crossing() {
+        let engine = Engine::default();
+        let base = base_job().with_trials(16);
+        let spec = SweepSpec {
+            p: vec![0.0, 0.2, 0.4, 0.6, 0.8, 0.95],
+            channel: Some("all".into()),
+            ..SweepSpec::default()
+        };
+        let report = engine.run_sweep(&base, &spec).expect("sweeps");
+        assert_eq!(report.thresholds.len(), 1);
+        let fit = report.thresholds[0];
+        assert_eq!(fit.k, base.k);
+        let p_half = fit.p_half.expect("heavy noise must cross 1/2");
+        assert!(
+            (0.0..=0.95).contains(&p_half),
+            "crossing inside the scanned range, got {p_half}"
+        );
+        // The success profile the fit ran on starts near ideal and ends
+        // scrambled.
+        let first = report.points.first().unwrap().result.success_estimate;
+        let last = report.points.last().unwrap().result.success_estimate;
+        assert!(first > 0.9, "p = 0 success {first}");
+        assert!(last < 0.5, "p = 0.95 success {last}");
+        // A sweep that never degrades fits no crossing.
+        let gentle = engine
+            .run_sweep(
+                &base,
+                &SweepSpec {
+                    p: vec![0.0, 0.01],
+                    ..SweepSpec::default()
+                },
+            )
+            .expect("sweeps");
+        assert_eq!(gentle.thresholds[0].p_half, None);
+    }
+
+    #[test]
+    fn infeasible_points_reject_without_sinking_the_sweep() {
+        let engine = Engine::default();
+        // k = 3 does not divide 512: those grid points reject, the rest run.
+        let spec = SweepSpec {
+            p: vec![0.0, 0.1],
+            k: vec![4, 3],
+            ..SweepSpec::default()
+        };
+        let report = engine.run_sweep(&base_job(), &spec).expect("sweeps");
+        assert_eq!(report.points.len(), 2);
+        assert_eq!(report.rejected.len(), 2);
+        assert!(report.points.iter().all(|pt| pt.k == 4));
+        // Backends that cannot host noise reject the noisy points but keep
+        // the p = 0 ones.
+        let hinted = engine
+            .run_sweep(
+                &base_job().with_backend(BackendHint::Reduced),
+                &SweepSpec {
+                    p: vec![0.0, 0.1],
+                    ..SweepSpec::default()
+                },
+            )
+            .expect("sweeps");
+        assert_eq!(hinted.points.len(), 1);
+        assert_eq!(hinted.rejected.len(), 1);
+    }
+
+    #[test]
+    fn wire_sweeps_may_omit_axes_but_not_misspell_them() {
+        let spec: SweepSpec = serde_json::from_str(r#"{"p":[0.0,0.1],"k":[4,8]}"#).expect("parses");
+        assert_eq!(spec.p, vec![0.0, 0.1]);
+        assert_eq!(spec.k, vec![4, 8]);
+        assert!(spec.error.is_empty());
+        assert_eq!(spec.channel, None);
+        assert_eq!(spec.point_count(), 4);
+        let empty: SweepSpec = serde_json::from_str("{}").expect("parses");
+        assert_eq!(empty, SweepSpec::default());
+        // Typos fail loudly instead of silently sweeping nothing.
+        assert!(serde_json::from_str::<SweepSpec>(r#"{"eps":[0.1]}"#).is_err());
+        assert!(serde_json::from_str::<SweepSpec>(r#"{"p":0.1}"#).is_err());
+    }
+
+    #[test]
+    fn sweep_report_round_trips_through_json() {
+        let engine = Engine::default();
+        let spec = SweepSpec {
+            p: vec![0.0, 0.3],
+            ..SweepSpec::default()
+        };
+        let report = engine.run_sweep(&base_job(), &spec).expect("sweeps");
+        let json = serde_json::to_string(&report).expect("serialise");
+        let back: SweepReport = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(report, back);
+        let spec_json = serde_json::to_string(&spec).expect("serialise");
+        let spec_back: SweepSpec = serde_json::from_str(&spec_json).expect("deserialise");
+        assert_eq!(spec, spec_back);
+    }
+}

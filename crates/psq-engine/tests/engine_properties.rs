@@ -6,7 +6,7 @@
 //! directly (with the schedule's ε and the job's seed) would produce.
 
 use proptest::prelude::*;
-use psq_engine::{BackendHint, Engine, EngineConfig, Planner, SearchJob};
+use psq_engine::{BackendHint, Engine, EngineConfig, NoiseSpec, Planner, SearchJob, SweepSpec};
 use psq_partial::recursive::derive_seed;
 use psq_partial::{PartialSearch, RecursiveSearch};
 use psq_sim::oracle::{Database, Partition};
@@ -181,6 +181,120 @@ proptest! {
         // A fresh planner computes the identical schedule from scratch.
         let fresh = Planner::new().plan(&job).expect("fresh plan");
         prop_assert_eq!(first, fresh);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// An explicit all-zero noise spec is the identity: at every thread
+    /// count, the noisy path with `p = 0` must return bit-for-bit what the
+    /// ideal state-vector backend returns for the same job (the all-zero
+    /// spec routes to the untouched ideal runner, so nothing — not the
+    /// cache key, not the planner, not the kernels — may tell them apart).
+    #[test]
+    fn zero_rate_noise_is_bit_identical_to_ideal_at_any_thread_count(
+        (n, k, target, seed) in job_shape(),
+    ) {
+        let ideal_job = SearchJob::new(0, n, k, target)
+            .with_backend(BackendHint::StateVector)
+            .with_seed(seed);
+        let noisy_job = ideal_job.with_noise(NoiseSpec::ideal());
+        let config = EngineConfig { result_cache: false, ..EngineConfig::default() };
+        let reference = Engine::new(EngineConfig { threads: Some(1), ..config })
+            .run_job(&ideal_job)
+            .expect("ideal run");
+        for threads in [1usize, 2, 4] {
+            let engine = Engine::new(EngineConfig { threads: Some(threads), ..config });
+            let result = engine.run_job(&noisy_job).expect("zero-noise run");
+            prop_assert_eq!(
+                reference.deterministic_fields(),
+                result.deterministic_fields(),
+                "{}-thread zero-noise run diverged from ideal",
+                threads
+            );
+            prop_assert_eq!(
+                reference.success_estimate.to_bits(),
+                result.success_estimate.to_bits()
+            );
+        }
+    }
+
+    /// A fixed-seed depolarizing job is a pure function of its spec: every
+    /// run, at every thread count, reproduces the same bits (per-trial
+    /// seeds derive from the job seed, so neither the scheduler nor the
+    /// trial loop order can leak in).
+    #[test]
+    fn fixed_seed_depolarizing_jobs_are_bit_identical_across_runs(
+        (n, k, target, seed) in job_shape(),
+        rate in 0.005f64..0.2,
+    ) {
+        let job = SearchJob::new(0, n, k, target)
+            .with_seed(seed)
+            .with_trials(3)
+            .with_noise(NoiseSpec { depolarizing: rate, ..NoiseSpec::ideal() });
+        let config = EngineConfig { result_cache: false, ..EngineConfig::default() };
+        let reference = Engine::new(EngineConfig { threads: Some(1), ..config })
+            .run_job(&job)
+            .expect("noisy run");
+        for threads in [1usize, 2, 4] {
+            let engine = Engine::new(EngineConfig { threads: Some(threads), ..config });
+            let result = engine.run_job(&job).expect("repeat run");
+            prop_assert_eq!(
+                reference.deterministic_fields(),
+                result.deterministic_fields(),
+                "{}-thread repeat diverged",
+                threads
+            );
+            prop_assert_eq!(
+                reference.success_estimate.to_bits(),
+                result.success_estimate.to_bits()
+            );
+        }
+    }
+
+    /// A sweep report is a pure function of `(base spec, sweep spec)`:
+    /// however the expanded grid is chunked into batches — one batch, one
+    /// point at a time, or uneven pieces — the per-point results and the
+    /// fitted thresholds are identical.
+    #[test]
+    fn sweeps_are_pure_functions_of_spec_and_seed_regardless_of_chunking(
+        seed in 0u64..10_000,
+        chunk in 1usize..5,
+    ) {
+        let base = SearchJob::new(0, 1 << 9, 4, 17).with_seed(seed).with_trials(2);
+        let spec = SweepSpec {
+            p: vec![0.0, 0.05, 0.1, 0.2],
+            k: vec![4, 8],
+            ..SweepSpec::default()
+        };
+        let config = EngineConfig {
+            threads: Some(2),
+            result_cache: false,
+            ..EngineConfig::default()
+        };
+        let whole = Engine::new(config)
+            .run_sweep(&base, &spec)
+            .expect("sweep runs");
+        // Re-run the same grid through a fresh engine in `chunk`-sized
+        // batches; every point must come back bit-identical.
+        let jobs = spec.expand(&base).expect("valid sweep");
+        let engine = Engine::new(config);
+        let mut chunked = Vec::new();
+        for piece in jobs.chunks(chunk) {
+            chunked.extend(engine.run_batch(piece).results);
+        }
+        prop_assert_eq!(whole.points.len(), chunked.len());
+        for (point, rerun) in whole.points.iter().zip(&chunked) {
+            prop_assert_eq!(
+                point.result.deterministic_fields(),
+                rerun.deterministic_fields()
+            );
+            prop_assert_eq!(
+                point.result.success_estimate.to_bits(),
+                rerun.success_estimate.to_bits()
+            );
+        }
     }
 }
 

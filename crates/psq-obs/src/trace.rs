@@ -58,6 +58,13 @@ pub mod stage {
     /// A worker respawn; the value is the slot's downtime (failure
     /// detection → replacement process up).
     pub const RESPAWN: &str = "respawn";
+    /// State-vector execution running per-query noise channels (the noisy
+    /// trajectory runner, distinguishable from the ideal
+    /// `execute:statevector` spans on the same stream).
+    pub const EXECUTE_NOISY: &str = "execute:noisy";
+    /// Expanding one sweep request into its grid of per-point sub-jobs at
+    /// the serving layer; the value is the expansion's wall time.
+    pub const SWEEP_EXPAND: &str = "sweep_expand";
 }
 
 /// 0 = disabled, 1 = enabled. Relaxed everywhere: tracing is diagnostic

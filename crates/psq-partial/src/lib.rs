@@ -27,7 +27,8 @@
 //! * [`example12`] — the twelve-item, three-block worked example of Figure 1,
 //!   stage by stage;
 //! * [`robustness`] — an extension beyond the paper: how the algorithm
-//!   degrades when oracle calls silently fail.
+//!   degrades under the unified per-query noise channels (oracle faults,
+//!   depolarizing, dephasing) of [`psq_sim::noise`].
 
 pub mod algorithm;
 pub mod baseline;
@@ -47,3 +48,4 @@ pub use recursive::{
     derive_seed, reduction_levels, reduction_query_model, theorem2_lower_bound, LevelKind,
     LevelReport, RecursiveOutcome, RecursiveSearch,
 };
+pub use robustness::{partial_search_noisy_in, NoiseModel, NoiseSpec, NoisyRun};

@@ -1,26 +1,67 @@
-//! Robustness of partial search to oracle faults (an extension beyond the
-//! paper).
+//! Partial search under noise (an extension beyond the paper).
 //!
-//! The paper's model assumes every oracle call works.  A natural question for
-//! anyone implementing the algorithm is how gracefully it degrades when calls
-//! occasionally fail — the query-model analogue of gate noise.  This module
-//! injects the simplest such fault: each oracle application *silently does
-//! nothing* with probability `p` (it is still charged, as the algorithm
-//! cannot tell).  Because a skipped reflection leaves the state unchanged,
-//! the rotation simply falls behind schedule, and the measured success
-//! probability quantifies how much of Theorem 1's guarantee survives.
+//! The paper's model assumes every oracle call works and every operator is
+//! perfect. This module runs the three-step algorithm under the unified
+//! per-query noise channels of [`psq_sim::noise`] — silent oracle faults,
+//! depolarizing collapses and dephasing phase kicks, one [`NoiseSpec`] for
+//! the whole stack — and reports how much of Theorem 1's guarantee
+//! survives.
 //!
-//! Full Grover search under the same fault model is provided for comparison:
-//! partial search is *more* robust per query simply because it makes fewer of
-//! them, which the sweep in `psq-bench --bin ablation_robustness` shows.
+//! The runner is built for Monte-Carlo volume: states materialise inside a
+//! caller-provided [`AmplitudeScratch`] (O(1) allocations across repeated
+//! trials), and **clean stretches of queries run the fused SoA kernels**
+//! ([`StateVector::grover_iterations`] /
+//! [`StateVector::block_grover_iterations`]); only queries that fault or
+//! are followed by a channel event fall back to the unfused single-step
+//! operators. An exactly-ideal spec routes to the untouched ideal runner
+//! ([`PartialSearch::run_statevector_in`]), so `p = 0` is **bit-identical**
+//! to a run that never heard of noise. Oracle-only faults and depolarizing
+//! collapses are real-preserving, so the known-real plane skipping stays
+//! on; a dephasing spec degrades gracefully to two-plane sweeps from the
+//! first kick.
+//!
+//! Full Grover search under the same fault model is provided for
+//! comparison: partial search is *more* robust per query simply because it
+//! makes fewer of them, which the sweep in
+//! `psq-bench --bin ablation_robustness` shows.
 
 use crate::algorithm::PartialSearch;
 use crate::plan::SearchPlan;
+use psq_sim::measure;
+use psq_sim::noise::{apply_channels, QueryNoise};
 use psq_sim::oracle::{Database, Partition};
+use psq_sim::scratch::AmplitudeScratch;
 use psq_sim::statevector::StateVector;
 use rand::Rng;
 
-/// Outcome of one faulty-oracle run.
+pub use psq_sim::noise::{NoiseModel, NoiseSpec};
+
+/// Outcome of one noisy partial-search run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoisyRun {
+    /// The plan that was executed.
+    pub plan: SearchPlan,
+    /// Oracle calls charged (identical to the noise-free count: faults are
+    /// silent and channel events are not queries).
+    pub queries: u64,
+    /// Oracle calls that actually failed.
+    pub faults: u64,
+    /// Depolarizing collapses applied.
+    pub depolarize_events: u64,
+    /// Dephasing kicks applied.
+    pub dephase_events: u64,
+    /// Exact probability that the final block measurement is correct,
+    /// computed from the final amplitudes of this trajectory.
+    pub success_probability: f64,
+    /// The sampled block measurement.
+    pub reported_block: u64,
+    /// The block actually containing the target.
+    pub true_block: u64,
+}
+
+/// Outcome of one faulty-oracle run (the pre-[`NoiseSpec`] shape, kept for
+/// the ablation binary and existing callers; produced by the same unified
+/// runner with an oracle-only spec).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultyRun {
     /// The plan that was executed.
@@ -34,89 +75,217 @@ pub struct FaultyRun {
     pub success_probability: f64,
 }
 
-/// Runs the three-step partial-search algorithm where every oracle reflection
-/// independently fails (acts as the identity) with probability
-/// `fault_probability`.  The diffusion operators are assumed perfect — they
+/// Event counters accumulated by one noisy run.
+#[derive(Default)]
+struct NoiseTally {
+    faults: u64,
+    depolarize: u64,
+    dephase: u64,
+}
+
+impl NoiseTally {
+    fn record(&mut self, noise: &QueryNoise) {
+        self.faults += u64::from(noise.faulty);
+        self.depolarize += u64::from(noise.depolarize.is_some());
+        self.dephase += u64::from(noise.dephase.is_some());
+    }
+}
+
+/// One noisy phase of `count` iterations: global Grover when `partition`
+/// is `None`, per-block otherwise. Clean stretches run the fused kernels;
+/// a query that faults or is followed by a channel event runs unfused, the
+/// channel events applying after that iteration's diffusion.
+fn run_noisy_phase<R: Rng + ?Sized>(
+    psi: &mut StateVector,
+    db: &Database,
+    partition: Option<&Partition>,
+    count: u64,
+    spec: &NoiseSpec,
+    rng: &mut R,
+    tally: &mut NoiseTally,
+) {
+    let n = db.size();
+    // Pre-draw the phase's per-query events (fixed draw order, documented
+    // in `psq_sim::noise`) so clean stretches are visible ahead of time.
+    let events: Vec<QueryNoise> = (0..count).map(|_| spec.draw_query(n, rng)).collect();
+    let mut i = 0usize;
+    while i < events.len() {
+        let start = i;
+        while i < events.len() && events[i].is_clean() {
+            i += 1;
+        }
+        let fused = (i - start) as u64;
+        if fused > 0 {
+            match partition {
+                None => psi.grover_iterations(db, fused),
+                Some(p) => psi.block_grover_iterations(db, p, fused),
+            }
+        }
+        if let Some(event) = events.get(i) {
+            tally.record(event);
+            if event.faulty {
+                // The call is made (and charged) but has no effect.
+                db.charge_quantum_queries(1);
+            } else {
+                psi.apply_oracle_phase_flip(db);
+            }
+            match partition {
+                None => psi.invert_about_mean(),
+                Some(p) => psi.invert_about_mean_per_block(p),
+            }
+            apply_channels(psi, event);
+            i += 1;
+        }
+    }
+}
+
+/// Runs the three-step partial-search algorithm under `spec`, drawing all
+/// noise randomness (and the final block-measurement sample) from `rng`
+/// and materialising the state inside `scratch`.
+///
+/// An exactly-ideal spec takes the untouched ideal fused path, so its
+/// result is bit-identical to [`PartialSearch::run_statevector_in`] on the
+/// same RNG stream.
+pub fn partial_search_noisy_in<R: Rng + ?Sized>(
+    db: &Database,
+    partition: &Partition,
+    search: &PartialSearch,
+    spec: NoiseSpec,
+    rng: &mut R,
+    scratch: &mut AmplitudeScratch,
+) -> NoisyRun {
+    spec.validate().expect("noise rates must be probabilities");
+    assert_eq!(db.size(), partition.size(), "database/partition mismatch");
+    if spec.is_ideal() {
+        let run = search.run_statevector_in(db, partition, rng, scratch);
+        return NoisyRun {
+            plan: run.plan,
+            queries: run.outcome.queries,
+            faults: 0,
+            depolarize_events: 0,
+            dephase_events: 0,
+            success_probability: run.success_probability,
+            reported_block: run.outcome.reported_block,
+            true_block: run.outcome.true_block,
+        };
+    }
+    let n = db.size();
+    let plan = search.plan(n as f64, partition.blocks() as f64);
+    let span = db.counter().span();
+    let mut tally = NoiseTally::default();
+
+    let mut psi = StateVector::uniform_in(n as usize, scratch);
+    // Steps 1 and 2: noisy global then per-block amplification.
+    run_noisy_phase(&mut psi, db, None, plan.l1, &spec, rng, &mut tally);
+    run_noisy_phase(
+        &mut psi,
+        db,
+        Some(partition),
+        plan.l2,
+        &spec,
+        rng,
+        &mut tally,
+    );
+    // Step 3's marking operation: if it fails, the reflection hits the
+    // target amplitude too (the ancilla was never flipped), i.e. a plain
+    // global inversion about the mean.
+    let step3 = spec.draw_query(n, rng);
+    tally.record(&step3);
+    if step3.faulty {
+        db.charge_quantum_queries(1);
+        psi.invert_about_mean();
+    } else {
+        psi.invert_about_mean_excluding_target(db);
+    }
+    apply_channels(&mut psi, &step3);
+
+    let true_block = partition.block_of(db.target());
+    let success_probability = psi.block_probability(partition, true_block);
+    let reported_block = measure::sample_block(&psi, partition, rng);
+    psi.recycle_into(scratch);
+    NoisyRun {
+        plan,
+        queries: span.elapsed(),
+        faults: tally.faults,
+        depolarize_events: tally.depolarize,
+        dephase_events: tally.dephase,
+        success_probability,
+        reported_block,
+        true_block,
+    }
+}
+
+/// Runs the three-step partial-search algorithm where every oracle
+/// reflection independently fails (acts as the identity) with probability
+/// `fault_probability`. The diffusion operators are assumed perfect — they
 /// are oracle-independent bookkeeping in the query model.
+///
+/// Kept as the oracle-only convenience entry point; it is the unified
+/// [`partial_search_noisy_in`] with [`NoiseSpec::oracle_only`] and a
+/// fresh scratch. Monte-Carlo loops should hold a scratch and call
+/// [`partial_search_with_faulty_oracle_in`].
 pub fn partial_search_with_faulty_oracle<R: Rng + ?Sized>(
     db: &Database,
     partition: &Partition,
     fault_probability: f64,
     rng: &mut R,
 ) -> FaultyRun {
+    let mut scratch = AmplitudeScratch::new();
+    partial_search_with_faulty_oracle_in(db, partition, fault_probability, rng, &mut scratch)
+}
+
+/// As [`partial_search_with_faulty_oracle`], reusing a caller-held scratch
+/// (the repeated-trial hot path).
+pub fn partial_search_with_faulty_oracle_in<R: Rng + ?Sized>(
+    db: &Database,
+    partition: &Partition,
+    fault_probability: f64,
+    rng: &mut R,
+    scratch: &mut AmplitudeScratch,
+) -> FaultyRun {
     assert!(
         (0.0..=1.0).contains(&fault_probability),
         "fault probability must be in [0, 1]"
     );
-    assert_eq!(db.size(), partition.size(), "database/partition mismatch");
-    let n = db.size() as f64;
-    let k = partition.blocks() as f64;
-    let plan = PartialSearch::new().plan(n, k);
-    let span = db.counter().span();
-    let mut faults = 0u64;
-
-    let mut flip = |psi: &mut StateVector, rng: &mut R| {
-        if rng.gen_bool(fault_probability) {
-            // The call is made (and charged) but has no effect.
-            db.charge_quantum_queries(1);
-            faults += 1;
-        } else {
-            psi.apply_oracle_phase_flip(db);
-        }
-    };
-
-    let mut psi = StateVector::uniform(db.size() as usize);
-    for _ in 0..plan.l1 {
-        flip(&mut psi, rng);
-        psi.invert_about_mean();
-    }
-    for _ in 0..plan.l2 {
-        flip(&mut psi, rng);
-        psi.invert_about_mean_per_block(partition);
-    }
-    // Step 3's marking operation: if it fails, the reflection hits the target
-    // amplitude too (the ancilla was never flipped), i.e. a plain global
-    // inversion about the mean.
-    if rng.gen_bool(fault_probability) {
-        db.charge_quantum_queries(1);
-        faults += 1;
-        psi.invert_about_mean();
-    } else {
-        psi.invert_about_mean_excluding_target(db);
-    }
-
-    let true_block = partition.block_of(db.target());
+    let run = partial_search_noisy_in(
+        db,
+        partition,
+        &PartialSearch::new(),
+        NoiseSpec::oracle_only(fault_probability),
+        rng,
+        scratch,
+    );
     FaultyRun {
-        plan,
-        queries: span.elapsed(),
-        faults,
-        success_probability: psi.block_probability(partition, true_block),
+        plan: run.plan,
+        queries: run.queries,
+        faults: run.faults,
+        success_probability: run.success_probability,
     }
 }
 
-/// Full Grover search under the same fault model; returns the probability of
-/// measuring the target after the optimal (fault-free) schedule.
+/// Full Grover search under the same fault model; returns the probability
+/// of measuring the target after the optimal (fault-free) schedule.
 pub fn full_search_with_faulty_oracle<R: Rng + ?Sized>(
     db: &Database,
     fault_probability: f64,
     rng: &mut R,
 ) -> f64 {
     assert!((0.0..=1.0).contains(&fault_probability));
+    let spec = NoiseSpec::oracle_only(fault_probability);
     let iters = psq_math::angle::optimal_grover_iterations(db.size() as f64);
     let mut psi = StateVector::uniform(db.size() as usize);
-    for _ in 0..iters {
-        if rng.gen_bool(fault_probability) {
-            db.charge_quantum_queries(1);
-        } else {
-            psi.apply_oracle_phase_flip(db);
-        }
-        psi.invert_about_mean();
+    if spec.is_ideal() {
+        psi.grover_iterations(db, iters);
+        return psi.probability(db.target() as usize);
     }
+    let mut tally = NoiseTally::default();
+    run_noisy_phase(&mut psi, db, None, iters, &spec, rng, &mut tally);
     psi.probability(db.target() as usize)
 }
 
 /// Average success probability of faulty-oracle partial search over
-/// `trials` independent runs (targets fixed, faults random).
+/// `trials` independent runs (targets fixed, faults random), sharing one
+/// scratch across all trials.
 pub fn mean_success_under_faults<R: Rng + ?Sized>(
     n: u64,
     k: u64,
@@ -125,11 +294,18 @@ pub fn mean_success_under_faults<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> f64 {
     let partition = Partition::new(n, k);
+    let mut scratch = AmplitudeScratch::new();
     let mut total = 0.0;
     for t in 0..trials {
         let db = Database::new(n, (u64::from(t) * 7919) % n);
-        total += partial_search_with_faulty_oracle(&db, &partition, fault_probability, rng)
-            .success_probability;
+        total += partial_search_with_faulty_oracle_in(
+            &db,
+            &partition,
+            fault_probability,
+            rng,
+            &mut scratch,
+        )
+        .success_probability;
     }
     total / f64::from(trials)
 }
@@ -141,7 +317,7 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
-    fn zero_fault_probability_reproduces_the_clean_run() {
+    fn zero_fault_probability_reproduces_the_clean_run_bit_for_bit() {
         let mut rng = StdRng::seed_from_u64(1);
         let n = 1u64 << 10;
         let db = Database::new(n, 123);
@@ -149,9 +325,12 @@ mod tests {
         let faulty = partial_search_with_faulty_oracle(&db, &partition, 0.0, &mut rng);
         assert_eq!(faulty.faults, 0);
         db.reset_queries();
+        let mut rng = StdRng::seed_from_u64(1);
         let clean = PartialSearch::new().run_statevector(&db, &partition, &mut rng);
         assert_eq!(faulty.queries, clean.outcome.queries);
-        assert!((faulty.success_probability - clean.success_probability).abs() < 1e-12);
+        // An ideal spec routes to the identical fused path on the identical
+        // RNG stream: exact equality, not a tolerance.
+        assert_eq!(faulty.success_probability, clean.success_probability);
     }
 
     #[test]
@@ -202,6 +381,95 @@ mod tests {
     }
 
     #[test]
+    fn oracle_only_faults_keep_the_real_plane_fast_path() {
+        // The fault channel skips reflections; nothing can materialise an
+        // imaginary component, so the trajectory stays on the real-only
+        // path end to end. Indirect check: a heavy-fault run still reports
+        // exactly zero imaginary amplitude (the real-only flag zeroes it
+        // by construction) and a sane distribution.
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 1u64 << 9;
+        let db = Database::new(n, 77);
+        let partition = Partition::new(n, 4);
+        let mut scratch = AmplitudeScratch::new();
+        let run = partial_search_noisy_in(
+            &db,
+            &partition,
+            &PartialSearch::new(),
+            NoiseSpec::oracle_only(0.4),
+            &mut rng,
+            &mut scratch,
+        );
+        assert!(run.faults > 0);
+        assert_eq!(run.dephase_events, 0);
+        assert!(run.success_probability >= 0.0 && run.success_probability <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn dephasing_and_depolarizing_events_are_counted_and_degrade_success() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 1u64 << 10;
+        let db = Database::new(n, 321);
+        let partition = Partition::new(n, 4);
+        let mut scratch = AmplitudeScratch::new();
+        let spec = NoiseSpec {
+            depolarizing: 0.15,
+            dephasing: 0.15,
+            oracle_fault: 0.0,
+        };
+        let mut degraded = 0.0;
+        let trials = 8;
+        for _ in 0..trials {
+            let run = partial_search_noisy_in(
+                &db,
+                &partition,
+                &PartialSearch::new(),
+                spec,
+                &mut rng,
+                &mut scratch,
+            );
+            assert_eq!(run.queries, run.plan.total_queries);
+            assert!(run.depolarize_events + run.dephase_events > 0);
+            degraded += run.success_probability / trials as f64;
+        }
+        db.reset_queries();
+        let clean = PartialSearch::new()
+            .run_statevector(&db, &partition, &mut rng)
+            .success_probability;
+        assert!(
+            degraded < clean - 0.05,
+            "channel events must cost success probability ({degraded} vs {clean})"
+        );
+    }
+
+    #[test]
+    fn noisy_run_is_a_pure_function_of_spec_and_seed() {
+        let n = 1u64 << 9;
+        let db = Database::new(n, 100);
+        let partition = Partition::new(n, 8);
+        let spec = NoiseSpec {
+            depolarizing: 0.1,
+            dephasing: 0.1,
+            oracle_fault: 0.1,
+        };
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            db.reset_queries();
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut scratch = AmplitudeScratch::new();
+            runs.push(partial_search_noisy_in(
+                &db,
+                &partition,
+                &PartialSearch::new(),
+                spec,
+                &mut rng,
+                &mut scratch,
+            ));
+        }
+        assert_eq!(runs[0], runs[1]);
+    }
+
+    #[test]
     fn full_search_is_hit_harder_than_partial_search_by_the_same_fault_rate() {
         // Not a theorem — just the empirical observation the ablation makes
         // quantitative: fewer queries means fewer chances to be derailed.
@@ -211,6 +479,7 @@ mod tests {
         let mut full_total = 0.0;
         let mut partial_total = 0.0;
         let mut partial_total_16 = 0.0;
+        let mut scratch = AmplitudeScratch::new();
         // Enough trials that the comparison reflects the fault-rate effect
         // rather than the luck of one particular random stream.
         let trials = 40;
@@ -223,14 +492,16 @@ mod tests {
             // means are within ~0.01 of each other).
             let partition = Partition::new(n, 4);
             partial_total +=
-                partial_search_with_faulty_oracle(&db, &partition, p, &mut rng).success_probability;
+                partial_search_with_faulty_oracle_in(&db, &partition, p, &mut rng, &mut scratch)
+                    .success_probability;
             // K = 16 as well (the seed's original regime), held to a looser
             // non-inferiority bound: its true margin over full search is
             // ~0.01, below the 40-trial noise floor.
             let db = Database::new(n, (t * 331) % n);
             let partition_16 = Partition::new(n, 16);
-            partial_total_16 += partial_search_with_faulty_oracle(&db, &partition_16, p, &mut rng)
-                .success_probability;
+            partial_total_16 +=
+                partial_search_with_faulty_oracle_in(&db, &partition_16, p, &mut rng, &mut scratch)
+                    .success_probability;
         }
         let full_mean = full_total / trials as f64;
         assert!(partial_total / trials as f64 > full_mean - 0.05);

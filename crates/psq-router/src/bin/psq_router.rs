@@ -60,6 +60,8 @@ fn help() -> String {
      \x20                              declared hung and replaced (default 2000)\n\
      \x20 --worker-inflight N          per-worker in-flight bound (default 256)\n\
      \x20 --max-inflight N             per-client in-flight bound (default 1024)\n\
+     \x20 --max-sweep-points N         refuse \"sweep\" requests expanding to\n\
+     \x20                              more than N grid points (default 4096)\n\
      \x20 --backoff-ms MS              respawn backoff base, doubled per\n\
      \x20                              consecutive failure (default 50)\n\
      \x20 --circuit-breaker N          consecutive failures that park a slot\n\
@@ -177,6 +179,9 @@ fn parse_options(mut args: impl Iterator<Item = String>) -> Options {
             }
             "--max-inflight" => {
                 cli::require_value(&arg, &mut args).map(|v| options.config.max_inflight = v)
+            }
+            "--max-sweep-points" => {
+                cli::require_value(&arg, &mut args).map(|v| options.config.max_sweep_points = v)
             }
             "--backoff-ms" => cli::require_value(&arg, &mut args)
                 .map(|v: u64| options.config.backoff = Duration::from_millis(v)),

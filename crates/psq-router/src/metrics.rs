@@ -19,6 +19,13 @@ pub struct RouterObs {
     pub jobs_errored: AtomicU64,
     /// Jobs shed with an `overload` error because every worker was full.
     pub jobs_overloaded: AtomicU64,
+    /// Sweep requests expanded into per-point sub-jobs at the front tier.
+    pub sweeps_expanded: AtomicU64,
+    /// Grid points those expansions routed (each also counts once in
+    /// `jobs_submitted`).
+    pub sweep_points: AtomicU64,
+    /// Sweep requests refused for exceeding the point cap.
+    pub sweeps_rejected: AtomicU64,
     /// Re-dispatches after a worker death or deadline expiry.
     pub retries: AtomicU64,
     /// Jobs that exhausted their deadline budget (answered `deadline`).
@@ -80,6 +87,12 @@ pub struct RouterMetrics {
     pub jobs_overloaded: u64,
     /// Jobs admitted and not yet answered.
     pub queue_depth: u64,
+    /// Sweep requests expanded into per-point sub-jobs.
+    pub sweeps_expanded: u64,
+    /// Grid points routed by those expansions.
+    pub sweep_points: u64,
+    /// Sweep requests refused for exceeding the point cap.
+    pub sweeps_rejected: u64,
     /// Re-dispatches after a worker death or deadline expiry.
     pub retries: u64,
     /// Jobs that exhausted their deadline budget.
@@ -121,6 +134,9 @@ impl RouterMetrics {
             jobs_errored: obs.jobs_errored.load(Ordering::Relaxed),
             jobs_overloaded: obs.jobs_overloaded.load(Ordering::Relaxed),
             queue_depth: 0,
+            sweeps_expanded: obs.sweeps_expanded.load(Ordering::Relaxed),
+            sweep_points: obs.sweep_points.load(Ordering::Relaxed),
+            sweeps_rejected: obs.sweeps_rejected.load(Ordering::Relaxed),
             retries: obs.retries.load(Ordering::Relaxed),
             deadline_expired: obs.deadline_expired.load(Ordering::Relaxed),
             respawns: obs.respawns.load(Ordering::Relaxed),
@@ -159,6 +175,21 @@ impl RouterMetrics {
             "psq_router_jobs_overloaded_total",
             "Jobs shed with an overload error.",
             self.jobs_overloaded,
+        );
+        expo.counter(
+            "psq_router_sweeps_expanded_total",
+            "Sweep requests expanded into per-point sub-jobs.",
+            self.sweeps_expanded,
+        );
+        expo.counter(
+            "psq_router_sweep_points_total",
+            "Grid points routed by sweep expansion.",
+            self.sweep_points,
+        );
+        expo.counter(
+            "psq_router_sweeps_rejected_total",
+            "Sweep requests refused for exceeding the point cap.",
+            self.sweeps_rejected,
         );
         expo.counter(
             "psq_router_retries_total",

@@ -31,7 +31,7 @@ use crate::metrics::{RouterMetrics, RouterObs, WorkerStatus};
 use crate::worker::{WorkerEvent, WorkerLink};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use psq_engine::SearchJob;
+use psq_engine::{SearchJob, SweepSpec};
 use psq_obs::{stage, trace};
 use psq_serve::protocol::{parse_request, parse_response, Command, ErrorKind, Request, Response};
 use psq_serve::session::{OutLine, Session, SessionRegistry};
@@ -76,6 +76,11 @@ pub struct RouterConfig {
     /// How often each Up worker gets a `{"cmd":"metrics"}` scrape; the
     /// replies feed the fleet-merged view in [`RouterMetrics::fleet`].
     pub scrape_interval: Duration,
+    /// Largest grid a single `"sweep"` request may expand into. The router
+    /// expands sweeps itself — each grid point routes, counts against its
+    /// worker's in-flight bound, and retries independently — so the cap
+    /// bounds how much pending state one request line can create.
+    pub max_sweep_points: usize,
 }
 
 impl Default for RouterConfig {
@@ -94,6 +99,7 @@ impl Default for RouterConfig {
             faults: Vec::new(),
             idle_timeout: Some(Duration::from_secs(60)),
             scrape_interval: Duration::from_millis(500),
+            max_sweep_points: psq_engine::DEFAULT_MAX_SWEEP_POINTS,
         }
     }
 }
@@ -911,6 +917,66 @@ impl Shared {
         }
         self.dispatch(router_id);
     }
+
+    /// Expands one sweep request and routes every grid point through
+    /// [`Shared::submit_job`]: each point is admitted on its own, counted
+    /// against its worker's in-flight bound, given its own deadline budget,
+    /// and — because every point is a pure function of its seeded spec —
+    /// retried bit-identically on another worker if its worker dies. An
+    /// oversized grid is refused whole, before any point is admitted.
+    fn submit_sweep(
+        &self,
+        session: &Arc<Session>,
+        base: SearchJob,
+        spec: &SweepSpec,
+        trace: Option<u64>,
+    ) {
+        let points = spec.point_count();
+        if points > self.config.max_sweep_points {
+            RouterObs::bump(&self.obs.sweeps_rejected);
+            RouterObs::bump(&self.obs.jobs_errored);
+            session.count_intake_error();
+            session.send(
+                Response::Error {
+                    id: Some(base.id),
+                    kind: ErrorKind::SweepTooLarge,
+                    reason: format!(
+                        "sweep expands to {points} grid points (cap {}); \
+                         split the grid across requests",
+                        self.config.max_sweep_points
+                    ),
+                }
+                .to_line(),
+            );
+            return;
+        }
+        let span = trace::Span::enter_always(stage::SWEEP_EXPAND);
+        let expanded = spec.expand(&base);
+        span.finish_traced(base.id, trace);
+        let jobs = match expanded {
+            Ok(jobs) => jobs,
+            Err(reason) => {
+                RouterObs::bump(&self.obs.jobs_errored);
+                session.count_intake_error();
+                session.send(
+                    Response::Error {
+                        id: Some(base.id),
+                        kind: ErrorKind::Invalid,
+                        reason,
+                    }
+                    .to_line(),
+                );
+                return;
+            }
+        };
+        RouterObs::bump(&self.obs.sweeps_expanded);
+        self.obs
+            .sweep_points
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        for job in jobs {
+            self.submit_job(session, job, trace);
+        }
+    }
 }
 
 /// A client handle onto the router (mirrors [`psq_serve::Client`]).
@@ -986,6 +1052,10 @@ impl RouterClient {
             }
             Ok(Some(Request::Job { job, trace })) => {
                 self.shared.submit_job(&self.session, *job, trace);
+                LineOutcome::Continue
+            }
+            Ok(Some(Request::Sweep { base, spec, trace })) => {
+                self.shared.submit_sweep(&self.session, *base, &spec, trace);
                 LineOutcome::Continue
             }
         }

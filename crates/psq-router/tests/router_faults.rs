@@ -5,7 +5,9 @@
 //! single-engine run of the same jobs, because jobs are pure functions of
 //! their seeded specs.
 
-use psq_engine::{generate_mixed_batch, Backend, Engine, EngineConfig, SearchJob, SearchResult};
+use psq_engine::{
+    generate_mixed_batch, Backend, Engine, EngineConfig, SearchJob, SearchResult, SweepSpec,
+};
 use psq_router::{FaultPlan, Router, RouterConfig, RouterMetrics};
 use psq_serve::protocol::{parse_response, ErrorKind, Response};
 use psq_serve::testio::SharedSink;
@@ -335,6 +337,158 @@ fn saturated_fleet_sheds_jobs_as_structured_overload_errors() {
     assert_eq!(completed + shed, 8, "every id answered exactly once");
     assert!(shed >= 1, "a one-deep worker cannot absorb 8 queued jobs");
     assert_eq!(metrics.jobs_overloaded, shed);
+}
+
+/// Splices a `"sweep"` field into a serialised base job, the same way a
+/// wire client writes a sweep request line.
+fn sweep_line(base: &SearchJob, sweep: &str) -> String {
+    let job = serde_json::to_string(base).expect("job serialises");
+    format!("{},\"sweep\":{sweep}}}", &job[..job.len() - 1])
+}
+
+/// Satellite: a sweep expanded at the router is just independent grid
+/// points under faults. A worker SIGKILLed mid-sweep loses nothing — every
+/// point is retried elsewhere and answered exactly once, bit-identical to
+/// a direct single-engine run of the same expansion (noisy points are pure
+/// functions of their seeded specs, so replays reproduce them exactly).
+#[test]
+fn sweep_survives_a_worker_kill_with_no_lost_or_duplicate_points() {
+    let base = SearchJob {
+        trials: 12,
+        ..SearchJob::new(500, 1 << 12, 8, 7)
+    };
+    let spec = SweepSpec {
+        p: vec![0.0, 0.02, 0.04, 0.06, 0.08, 0.1],
+        k: vec![8, 16],
+        ..SweepSpec::default()
+    };
+    let expanded = spec.expand(&base).expect("valid sweep");
+    assert_eq!(expanded.len(), 12);
+    let router = Router::start(test_config(2));
+    let (client, responses) = router.attach();
+    let line = sweep_line(&base, "{\"p\":[0.0,0.02,0.04,0.06,0.08,0.1],\"k\":[8,16]}");
+    assert_eq!(client.submit_line(&line), LineOutcome::Continue);
+    // All twelve points are now queued or in flight; kill a worker under
+    // them.
+    let victim = router
+        .preferred_worker(&expanded[0])
+        .expect("a routable slot");
+    router.kill_worker(victim);
+
+    let mut routed: HashMap<u64, SearchResult> = HashMap::new();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while routed.len() < expanded.len() {
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .expect("sweep must finish within the test budget");
+        let line = responses
+            .recv_timeout(remaining)
+            .expect("responses keep flowing after the kill");
+        match parse_response(&line).expect("well-formed response line") {
+            Response::Result(result) => {
+                let id = result.job_id;
+                assert!(
+                    routed.insert(id, *result).is_none(),
+                    "grid point {id} was answered twice"
+                );
+            }
+            other => panic!("expected only results, got {other:?}"),
+        }
+    }
+    // Catch any late duplicate a raced retry might have produced.
+    assert!(
+        responses.recv_timeout(Duration::from_millis(300)).is_err(),
+        "no extra responses after every grid point was answered"
+    );
+    let metrics = router.finish();
+    assert_bit_identical(&routed, &expanded);
+    let mut ids: Vec<u64> = routed.keys().copied().collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (500..512).collect::<Vec<_>>(), "contiguous point ids");
+    assert!(metrics.respawns >= 1, "the killed worker was replaced");
+    assert_eq!(metrics.sweeps_expanded, 1);
+    assert_eq!(metrics.sweep_points, 12);
+    assert_eq!(metrics.jobs_completed, 12);
+}
+
+/// Satellite: sweep *points* — not request lines — count against the
+/// per-worker in-flight bound. One sweep into a one-deep single worker must
+/// shed its excess points as structured overload errors instead of queueing
+/// the whole grid behind one admission slot.
+#[test]
+fn sweep_points_count_against_the_worker_inflight_bound() {
+    let mut config = test_config(1);
+    config.worker_inflight = 2;
+    let router = Router::start(config);
+    let (client, responses) = router.attach();
+    let base = SearchJob {
+        trials: 40,
+        ..SearchJob::new(0, 1 << 14, 16, 5)
+    };
+    let line = sweep_line(&base, "{\"p\":[0.0,0.02,0.04,0.06,0.08,0.1,0.12,0.15]}");
+    assert_eq!(client.submit_line(&line), LineOutcome::Continue);
+    let mut completed = 0u64;
+    let mut shed = 0u64;
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..8 {
+        let line = responses
+            .recv_timeout(Duration::from_secs(120))
+            .expect("every grid point gets an answer");
+        match parse_response(&line).expect("well-formed response line") {
+            Response::Result(result) => {
+                assert!(seen.insert(result.job_id), "duplicate result id");
+                completed += 1;
+            }
+            Response::Error {
+                id: Some(id),
+                kind: ErrorKind::Overload,
+                ..
+            } => {
+                assert!(seen.insert(id), "duplicate error id");
+                shed += 1;
+            }
+            other => panic!("expected results or overload errors, got {other:?}"),
+        }
+    }
+    let metrics = router.finish();
+    assert_eq!(
+        completed + shed,
+        8,
+        "every grid point answered exactly once"
+    );
+    assert!(
+        shed >= 1,
+        "a two-deep worker cannot absorb an eight-point sweep at once"
+    );
+    assert_eq!(metrics.sweep_points, 8);
+    assert_eq!(metrics.jobs_overloaded, shed);
+}
+
+/// An oversized sweep is refused whole with a structured error — no point
+/// is admitted, routed, or half-answered.
+#[test]
+fn oversized_sweeps_are_refused_before_any_point_routes() {
+    let mut config = test_config(1);
+    config.max_sweep_points = 4;
+    let router = Router::start(config);
+    let (client, responses) = router.attach();
+    let base = SearchJob::new(9, 1 << 10, 4, 3);
+    let line = sweep_line(&base, "{\"p\":[0.0,0.01,0.02],\"k\":[4,8]}");
+    assert_eq!(client.submit_line(&line), LineOutcome::Continue);
+    let answer = responses
+        .recv_timeout(Duration::from_secs(30))
+        .expect("the refusal arrives");
+    match parse_response(&answer).expect("well-formed response line") {
+        Response::Error { id, kind, reason } => {
+            assert_eq!(id, Some(9));
+            assert_eq!(kind, ErrorKind::SweepTooLarge);
+            assert!(reason.contains("6 grid points"), "reason: {reason}");
+        }
+        other => panic!("expected sweep_too_large, got {other:?}"),
+    }
+    let metrics = router.finish();
+    assert_eq!(metrics.sweeps_rejected, 1);
+    assert_eq!(metrics.jobs_submitted, 0, "no point was admitted");
 }
 
 /// The CI smoke in binary form: `--selftest` with a kill fault must verify

@@ -21,6 +21,7 @@ struct Options {
     coalescer: CoalescerConfig,
     max_inflight: u32,
     idle_timeout_ms: u64,
+    max_sweep_points: usize,
     tcp: Option<String>,
     metrics: bool,
     metrics_addr: Option<String>,
@@ -57,6 +58,8 @@ fn help() -> String {
          \x20                              it submissions get overload errors (default 1024)\n\
          \x20 --idle-timeout-ms MS         close a TCP session after MS ms without a\n\
          \x20                              request line; 0 disables (default 60000)\n\
+         \x20 --max-sweep-points N         refuse \"sweep\" requests expanding to more\n\
+         \x20                              than N grid points (default 4096)\n\
          \x20 --metrics                    print a final ServeMetrics JSON line on stderr\n\
          \x20                              when the session ends\n\
          \x20 --metrics-addr ADDR          serve a Prometheus-style text exposition of\n\
@@ -83,6 +86,7 @@ fn parse_options() -> Options {
         coalescer: CoalescerConfig::default(),
         max_inflight: 1024,
         idle_timeout_ms: 60_000,
+        max_sweep_points: psq_engine::DEFAULT_MAX_SWEEP_POINTS,
         tcp: None,
         metrics: false,
         metrics_addr: None,
@@ -110,6 +114,9 @@ fn parse_options() -> Options {
             }
             "--idle-timeout-ms" => {
                 cli::require_value(&arg, &mut args).map(|v| options.idle_timeout_ms = v)
+            }
+            "--max-sweep-points" => {
+                cli::require_value(&arg, &mut args).map(|v| options.max_sweep_points = v)
             }
             "--gen" => cli::require_value(&arg, &mut args).map(|v| options.gen_count = Some(v)),
             "--seed" => cli::require_value(&arg, &mut args).map(|v| options.gen_seed = v),
@@ -148,6 +155,7 @@ fn serve_config(options: &Options) -> ServeConfig {
         max_inflight: options.max_inflight,
         idle_timeout: (options.idle_timeout_ms > 0)
             .then(|| std::time::Duration::from_millis(options.idle_timeout_ms)),
+        max_sweep_points: options.max_sweep_points,
     }
 }
 

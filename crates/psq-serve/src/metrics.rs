@@ -53,6 +53,13 @@ pub struct ServeMetrics {
     pub jobs_errored: u64,
     /// Jobs refused by per-client admission control.
     pub jobs_overloaded: u64,
+    /// Sweep requests expanded into per-point sub-jobs.
+    pub sweeps_expanded: u64,
+    /// Grid points produced by those expansions (each also counts in
+    /// `jobs_submitted` once admitted).
+    pub sweep_points: u64,
+    /// Sweep requests refused for exceeding the point cap.
+    pub sweeps_rejected: u64,
     /// Jobs currently queued or executing (admitted, not yet answered).
     pub queue_depth: u64,
     /// Engine batches the coalescer has dispatched.
@@ -112,6 +119,9 @@ impl ServeMetrics {
         self.jobs_completed += other.jobs_completed;
         self.jobs_errored += other.jobs_errored;
         self.jobs_overloaded += other.jobs_overloaded;
+        self.sweeps_expanded += other.sweeps_expanded;
+        self.sweep_points += other.sweep_points;
+        self.sweeps_rejected += other.sweeps_rejected;
         self.queue_depth += other.queue_depth;
         self.batches += other.batches;
         self.batch_jobs_mean = if self.batches > 0 {
@@ -180,6 +190,21 @@ impl ServeMetrics {
             &name("jobs_overloaded_total"),
             "Jobs refused by admission control.",
             self.jobs_overloaded,
+        );
+        expo.counter(
+            &name("sweeps_expanded_total"),
+            "Sweep requests expanded into per-point sub-jobs.",
+            self.sweeps_expanded,
+        );
+        expo.counter(
+            &name("sweep_points_total"),
+            "Grid points produced by sweep expansion.",
+            self.sweep_points,
+        );
+        expo.counter(
+            &name("sweeps_rejected_total"),
+            "Sweep requests refused for exceeding the point cap.",
+            self.sweeps_rejected,
         );
         expo.counter(
             &name("batches_total"),
@@ -284,6 +309,9 @@ pub struct ServeStats {
     jobs_completed: AtomicU64,
     jobs_errored: AtomicU64,
     jobs_overloaded: AtomicU64,
+    sweeps_expanded: AtomicU64,
+    sweep_points: AtomicU64,
+    sweeps_rejected: AtomicU64,
     queue_depth: AtomicUsize,
     batches: AtomicU64,
     batch_jobs: AtomicU64,
@@ -303,6 +331,9 @@ impl Default for ServeStats {
             jobs_completed: AtomicU64::new(0),
             jobs_errored: AtomicU64::new(0),
             jobs_overloaded: AtomicU64::new(0),
+            sweeps_expanded: AtomicU64::new(0),
+            sweep_points: AtomicU64::new(0),
+            sweeps_rejected: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             batches: AtomicU64::new(0),
             batch_jobs: AtomicU64::new(0),
@@ -346,6 +377,17 @@ impl ServeStats {
         self.jobs_overloaded.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A sweep request was expanded into `points` per-point sub-jobs.
+    pub fn record_sweep(&self, points: u64) {
+        self.sweeps_expanded.fetch_add(1, Ordering::Relaxed);
+        self.sweep_points.fetch_add(points, Ordering::Relaxed);
+    }
+
+    /// A sweep request was refused for exceeding the point cap.
+    pub fn record_sweep_rejected(&self) {
+        self.sweeps_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The coalescer dispatched one engine batch of `jobs` jobs.
     pub fn record_batch(&self, jobs: u64) {
         self.batches.fetch_add(1, Ordering::Relaxed);
@@ -384,6 +426,9 @@ impl ServeStats {
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             jobs_errored: self.jobs_errored.load(Ordering::Relaxed),
             jobs_overloaded: self.jobs_overloaded.load(Ordering::Relaxed),
+            sweeps_expanded: self.sweeps_expanded.load(Ordering::Relaxed),
+            sweep_points: self.sweep_points.load(Ordering::Relaxed),
+            sweeps_rejected: self.sweeps_rejected.load(Ordering::Relaxed),
             queue_depth: self.queue_depth(),
             batches,
             batch_jobs_mean: if batches > 0 {
@@ -439,7 +484,13 @@ mod tests {
         stats.record_rejected_at_intake();
         stats.record_batch(8);
         stats.record_batch(4);
+        stats.record_sweep(6);
+        stats.record_sweep(2);
+        stats.record_sweep_rejected();
         let m = snapshot(&stats);
+        assert_eq!(m.sweeps_expanded, 2);
+        assert_eq!(m.sweep_points, 8);
+        assert_eq!(m.sweeps_rejected, 1);
         assert_eq!(m.jobs_submitted, 11);
         assert_eq!(m.jobs_completed, 10);
         assert_eq!(m.jobs_errored, 2);

@@ -19,6 +19,12 @@
 //!   `"trace":N` as the router's `route`/`queue` spans, stitching one
 //!   cross-process causal chain per request. The id rides the request
 //!   only; responses stay unchanged (the sender correlates by job id).
+//!   An optional `"sweep": {"p":[…],"k":[…],"error":[…],"channel":"…"}`
+//!   object turns the line into a *sweep request*: the server expands the
+//!   grid's cross product over the base job (`psq_engine::SweepSpec`) and
+//!   answers one result line per grid point, point `i` under id
+//!   `base.id + i`. Grids over the configured `--max-sweep-points` cap are
+//!   refused with a `"sweep_too_large"` error before any point runs.
 //! * a control command — `{"cmd":"metrics"}` (snapshot the serving
 //!   metrics), `{"cmd":"health"}` (a cheap liveness probe),
 //!   `{"cmd":"drain"}` (stop accepting work, flush in-flight jobs, end the
@@ -50,7 +56,7 @@
 //! not handle, so serialisation is hand-written over the `serde` value tree.
 
 use crate::metrics::ServeMetrics;
-use psq_engine::{SearchJob, SearchResult};
+use psq_engine::{SearchJob, SearchResult, SweepSpec};
 use serde::{Deserialize, Error, Map, Number, Serialize, Value};
 
 /// Why a job line got an error response instead of a result.
@@ -67,6 +73,9 @@ pub enum ErrorKind {
     /// The front-tier router's per-request deadline budget (including its
     /// bounded retries on other workers) ran out before a worker answered.
     Deadline,
+    /// A sweep request's grid exceeds the configured point cap
+    /// (`--max-sweep-points`); split it into smaller sweeps and resubmit.
+    SweepTooLarge,
     /// The server is draining and no longer accepts work.
     ShuttingDown,
 }
@@ -80,6 +89,7 @@ impl ErrorKind {
             ErrorKind::Overload => "overload",
             ErrorKind::Rejected => "rejected",
             ErrorKind::Deadline => "deadline",
+            ErrorKind::SweepTooLarge => "sweep_too_large",
             ErrorKind::ShuttingDown => "shutting_down",
         }
     }
@@ -91,6 +101,7 @@ impl ErrorKind {
             "overload" => ErrorKind::Overload,
             "rejected" => ErrorKind::Rejected,
             "deadline" => ErrorKind::Deadline,
+            "sweep_too_large" => ErrorKind::SweepTooLarge,
             "shutting_down" => ErrorKind::ShuttingDown,
             _ => return None,
         })
@@ -135,6 +146,18 @@ pub enum Request {
         /// The distributed trace id the line carried (`"trace": <u64>`),
         /// if any — bound to the job so this process's stage spans stitch
         /// into the cross-process chain.
+        trace: Option<u64>,
+    },
+    /// A sweep request: a base job plus a `"sweep"` grid object, expanded
+    /// by the server into one sub-job per grid point (point `i` answers
+    /// with id `base.id + i`).
+    Sweep {
+        /// The base job every grid point derives from.
+        base: Box<SearchJob>,
+        /// The grid axes (`p` / `k` / `error`, plus the driven channel).
+        spec: SweepSpec,
+        /// The distributed trace id the line carried, shared by every
+        /// expanded point.
         trace: Option<u64>,
     },
     /// A control command.
@@ -205,6 +228,16 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
                 .ok_or_else(|| "\"trace\" must be a u64 trace id".to_string())?,
         ),
     };
+    if let Some(sweep) = object.get("sweep") {
+        if !matches!(sweep, Value::Null) {
+            let spec = SweepSpec::deserialize(sweep).map_err(|e| format!("invalid sweep: {e}"))?;
+            return Ok(Some(Request::Sweep {
+                base: Box::new(job),
+                spec,
+                trace,
+            }));
+        }
+    }
     Ok(Some(Request::Job {
         job: Box::new(job),
         trace,
@@ -480,6 +513,36 @@ mod tests {
     }
 
     #[test]
+    fn sweep_lines_parse_to_sweep_requests() {
+        let job = SearchJob::new(100, 1 << 10, 4, 99);
+        let line = serde_json::to_string(&job).expect("serialises");
+        let swept = format!(
+            "{},\"sweep\":{{\"p\":[0.0,0.1],\"k\":[4,8]}},\"trace\":7}}",
+            &line[..line.len() - 1]
+        );
+        match parse_request(&swept).expect("parses") {
+            Some(Request::Sweep { base, spec, trace }) => {
+                assert_eq!(*base, job);
+                assert_eq!(spec.p, vec![0.0, 0.1]);
+                assert_eq!(spec.k, vec![4, 8]);
+                assert!(spec.error.is_empty());
+                assert_eq!(spec.point_count(), 4);
+                assert_eq!(trace, Some(7));
+            }
+            other => panic!("expected a sweep request, got {other:?}"),
+        }
+        // A null sweep is a plain job; a malformed grid is a parse error.
+        let null = format!("{},\"sweep\":null}}", &line[..line.len() - 1]);
+        assert!(matches!(
+            parse_request(&null).expect("parses"),
+            Some(Request::Job { .. })
+        ));
+        let bad = format!("{},\"sweep\":{{\"eps\":[0.1]}}}}", &line[..line.len() - 1]);
+        let err = parse_request(&bad).expect_err("typos fail loudly");
+        assert!(err.contains("unknown field"), "reason: {err}");
+    }
+
+    #[test]
     fn command_lines_parse_and_blank_lines_skip() {
         assert_eq!(
             parse_request("{\"cmd\":\"metrics\"}").expect("parses"),
@@ -565,6 +628,7 @@ mod tests {
             ErrorKind::Overload,
             ErrorKind::Rejected,
             ErrorKind::Deadline,
+            ErrorKind::SweepTooLarge,
             ErrorKind::ShuttingDown,
         ] {
             assert_eq!(ErrorKind::from_label(kind.label()), Some(kind));

@@ -28,7 +28,8 @@ use crate::metrics::{ServeMetrics, ServeStats};
 use crate::protocol::{parse_request, Command, ErrorKind, Request, Response};
 use crate::session::{OutLine, Session, SessionRegistry};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use psq_engine::{EngineConfig, EngineHandle};
+use psq_engine::{EngineConfig, EngineHandle, SweepSpec};
+use psq_obs::trace::Span;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -53,6 +54,10 @@ pub struct ServeConfig {
     /// the writer before the connection closes. `None` disables the
     /// timeout. Pipe sessions are unaffected (EOF already bounds them).
     pub idle_timeout: Option<Duration>,
+    /// Largest grid a single `"sweep"` request may expand into. Oversized
+    /// sweeps are refused with a `sweep_too_large` error before any point
+    /// is admitted, so one request line cannot monopolise the engine.
+    pub max_sweep_points: usize,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +67,7 @@ impl Default for ServeConfig {
             coalescer: CoalescerConfig::default(),
             max_inflight: 1024,
             idle_timeout: Some(Duration::from_secs(60)),
+            max_sweep_points: psq_engine::DEFAULT_MAX_SWEEP_POINTS,
         }
     }
 }
@@ -84,6 +90,7 @@ struct ServerShared {
     shutdown: AtomicBool,
     max_inflight: u32,
     idle_timeout: Option<Duration>,
+    max_sweep_points: usize,
     started: Instant,
 }
 
@@ -187,6 +194,10 @@ impl Client {
                 self.submit_job_traced(*job, trace);
                 LineOutcome::Continue
             }
+            Request::Sweep { base, spec, trace } => {
+                self.submit_sweep(*base, &spec, trace);
+                LineOutcome::Continue
+            }
         }
     }
 
@@ -256,6 +267,55 @@ impl Client {
         let _ = self.intake.send(Submission::Job(ticket));
     }
 
+    /// Expands one sweep request into per-point sub-jobs and submits each
+    /// through the ordinary job path, so every grid point is individually
+    /// subject to validation, admission control and inflight accounting. A
+    /// grid larger than the configured cap is refused whole — no partial
+    /// expansion — with a `sweep_too_large` error naming both sizes.
+    pub fn submit_sweep(&self, base: psq_engine::SearchJob, spec: &SweepSpec, trace: Option<u64>) {
+        let points = spec.point_count();
+        if points > self.shared.max_sweep_points {
+            self.session.count_intake_error();
+            self.shared.stats.record_sweep_rejected();
+            self.session.send(
+                Response::Error {
+                    id: Some(base.id),
+                    kind: ErrorKind::SweepTooLarge,
+                    reason: format!(
+                        "sweep expands to {points} grid points (cap {}); \
+                         split the grid across requests",
+                        self.shared.max_sweep_points
+                    ),
+                }
+                .to_line(),
+            );
+            return;
+        }
+        let span = Span::enter_always(psq_obs::trace::stage::SWEEP_EXPAND);
+        let expanded = spec.expand(&base);
+        span.finish_traced(base.id, trace);
+        let jobs = match expanded {
+            Ok(jobs) => jobs,
+            Err(reason) => {
+                self.session.count_intake_error();
+                self.shared.stats.record_rejected_at_intake();
+                self.session.send(
+                    Response::Error {
+                        id: Some(base.id),
+                        kind: ErrorKind::Invalid,
+                        reason,
+                    }
+                    .to_line(),
+                );
+                return;
+            }
+        };
+        self.shared.stats.record_sweep(jobs.len() as u64);
+        for job in jobs {
+            self.submit_job_traced(job, trace);
+        }
+    }
+
     /// This client's session (for counters and shutdown hooks).
     pub fn session(&self) -> &Arc<Session> {
         &self.session
@@ -285,6 +345,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             max_inflight: config.max_inflight.max(1),
             idle_timeout: config.idle_timeout,
+            max_sweep_points: config.max_sweep_points.max(1),
             started: Instant::now(),
         });
         let (intake, intake_rx): (Sender<Submission>, Receiver<Submission>) = unbounded();
@@ -555,6 +616,62 @@ mod tests {
         let metrics = server.metrics();
         assert_eq!(metrics.jobs_completed, 12);
         assert_eq!(metrics.queue_depth, 0);
+        server.finish();
+    }
+
+    /// Splices serving-layer fields into a serialised base job, the same
+    /// way a wire client writes a sweep line.
+    fn sweep_line(base: &SearchJob, sweep: &str) -> String {
+        let job = serde_json::to_string(base).expect("job serialises");
+        format!("{},\"sweep\":{sweep}}}", &job[..job.len() - 1])
+    }
+
+    #[test]
+    fn sweep_lines_expand_to_one_result_per_grid_point() {
+        let server = Server::start(tiny_config());
+        let (client, responses) = server.attach();
+        let base = SearchJob::new(100, 1 << 10, 4, 7);
+        let line = sweep_line(&base, "{\"p\":[0.0,0.02],\"k\":[4,8]}");
+        assert_eq!(client.submit_line(&line), LineOutcome::Continue);
+        drop(client);
+        let mut ids: Vec<u64> = responses
+            .iter()
+            .map(|line| match parse_response(&line).expect("well-formed") {
+                Response::Result(result) => result.job_id,
+                other => panic!("expected a result, got {other:?}"),
+            })
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![100, 101, 102, 103]);
+        let metrics = server.metrics();
+        assert_eq!(metrics.sweeps_expanded, 1);
+        assert_eq!(metrics.sweep_points, 4);
+        assert_eq!(metrics.jobs_completed, 4);
+        server.finish();
+    }
+
+    #[test]
+    fn oversized_sweeps_are_refused_whole() {
+        let server = Server::start(ServeConfig {
+            max_sweep_points: 3,
+            ..tiny_config()
+        });
+        let (client, responses) = server.attach();
+        let base = SearchJob::new(5, 1 << 10, 4, 7);
+        client.submit_line(&sweep_line(&base, "{\"p\":[0.0,0.01],\"k\":[4,8]}"));
+        drop(client);
+        let lines: Vec<String> = responses.iter().collect();
+        assert_eq!(lines.len(), 1, "no point is admitted");
+        match parse_response(&lines[0]).expect("well-formed") {
+            Response::Error { id, kind, reason } => {
+                assert_eq!(id, Some(5));
+                assert_eq!(kind, ErrorKind::SweepTooLarge);
+                assert!(reason.contains("4 grid points"), "reason: {reason}");
+            }
+            other => panic!("expected sweep_too_large, got {other:?}"),
+        }
+        assert_eq!(server.metrics().sweeps_rejected, 1);
+        assert_eq!(server.metrics().jobs_submitted, 0);
         server.finish();
     }
 

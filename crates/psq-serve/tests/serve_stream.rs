@@ -612,6 +612,9 @@ proptest! {
             jobs_completed: completed,
             jobs_errored: 2,
             jobs_overloaded: 1,
+            sweeps_expanded: 2,
+            sweep_points: 12,
+            sweeps_rejected: 1,
             queue_depth: 0,
             batches: 5,
             batch_jobs_mean: 3.25,

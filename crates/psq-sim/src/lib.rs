@@ -21,6 +21,8 @@
 //!   the three amplitudes `(a_t, a_tb, a_nb)` and therefore handles
 //!   arbitrarily large `N` in `O(#iterations)` time;
 //! * [`measure`] — standard-basis and block measurements;
+//! * [`noise`] — per-query depolarizing / dephasing / faulty-oracle
+//!   channels as deterministic quantum trajectories on the SoA planes;
 //! * [`scratch`] — reusable amplitude buffers that keep the simulation hot
 //!   path allocation-free across repeated trials;
 //! * [`trace`] — labelled amplitude snapshots for regenerating the paper's
@@ -51,6 +53,7 @@
 pub mod circuit;
 pub mod gates;
 pub mod measure;
+pub mod noise;
 pub mod oracle;
 pub mod query_counter;
 pub mod reduced;
@@ -58,6 +61,7 @@ pub mod scratch;
 pub mod statevector;
 pub mod trace;
 
+pub use noise::{NoiseModel, NoiseSpec, QueryNoise};
 pub use oracle::{Database, FullSearchOutcome, PartialSearchOutcome, Partition};
 pub use query_counter::{QueryCounter, QuerySpan};
 pub use reduced::ReducedState;

@@ -82,6 +82,9 @@ fn uniform_batch(hint: BackendHint, count: u64) -> Vec<SearchJob> {
                 // Full-address: sizes spanning reduced-only descents up to
                 // ones whose lower levels run the exact kernels.
                 BackendHint::Recursive => (1u64 << (12 + id % 9), 1u64 << (1 + id % 2)),
+                // Sparse value classes: sizes from the dense ceiling up to
+                // 2^33 — work scales with K, not N, so the spread is free.
+                BackendHint::Sparse => (1u64 << (22 + id % 12), 1u64 << (1 + id % 5)),
                 _ => (1024 + 4 * (id % 512), 4),
             };
             SearchJob::new(id, n, k, (id * 2654435761) % n).with_backend(hint)
@@ -518,6 +521,7 @@ fn main() {
         ("circuit", BackendHint::Circuit, 32),
         ("classical_randomized", BackendHint::ClassicalRandomized, 64),
         ("recursive", BackendHint::Recursive, 64),
+        ("sparse", BackendHint::Sparse, 128),
     ] {
         let name = format!("cold_uniform_batch/{label}");
         if !wanted(&name, &filters) {
@@ -526,6 +530,39 @@ fn main() {
         let engine = Engine::new(cold);
         let jobs = uniform_batch(hint, count);
         scenarios.push(run_scenario(&name, &engine, &jobs, min_seconds, max_iters));
+    }
+
+    // Huge-N exact search at a fixed N = 2^30: a mix the dense backends
+    // cannot touch — ideal sparse block jobs across the K spread, sparse
+    // depolarizing trajectories (the collapse path rebuilds the canonical
+    // class set every event), and full-address recursive descents.
+    if wanted("huge_n_exact/2^30", &filters) {
+        let n = 1u64 << 30;
+        let jobs: Vec<SearchJob> = (0..64u64)
+            .map(|id| {
+                let target = (id * 2654435761) % n;
+                match id % 8 {
+                    6 => SearchJob::new(id, n, 1 << (1 + id % 5), target)
+                        .with_backend(BackendHint::Sparse)
+                        .with_noise(psq_engine::NoiseSpec {
+                            depolarizing: 0.002,
+                            dephasing: 0.0,
+                            oracle_fault: 0.0,
+                        }),
+                    7 => SearchJob::full_address(id, n, 4, target),
+                    _ => SearchJob::new(id, n, 1 << (1 + id % 5), target)
+                        .with_backend(BackendHint::Sparse),
+                }
+            })
+            .collect();
+        let engine = Engine::new(cold);
+        scenarios.push(run_scenario(
+            "huge_n_exact/2^30",
+            &engine,
+            &jobs,
+            min_seconds,
+            max_iters,
+        ));
     }
 
     // The result-cache hit path: identical repeated batch on a caching

@@ -13,7 +13,9 @@
 use crate::planner::ExecutionPlan;
 use crate::spec::{Backend, NoiseSpec, SearchJob, SearchResult};
 use psq_partial::recursive::{derive_seed, sample_symmetric_block};
-use psq_partial::{partial_search_noisy_in, PartialSearch, RecursiveSearch};
+use psq_partial::{
+    partial_search_noisy_in, partial_search_noisy_sparse, PartialSearch, RecursiveSearch,
+};
 use psq_sim::circuit::{block_iteration_via_circuit, grover_iteration_via_circuit, Step3Circuit};
 use psq_sim::gates::QubitRegister;
 use psq_sim::oracle::{Database, Partition};
@@ -38,6 +40,13 @@ pub fn execute(job: &SearchJob, plan: &ExecutionPlan) -> SearchResult {
         Backend::ClassicalDeterministic => run_classical(job, false, &mut rng),
         Backend::ClassicalRandomized => run_classical(job, true, &mut rng),
         Backend::Recursive => run_recursive(job, plan),
+        // Same noise split as the state-vector arm: non-ideal specs run the
+        // per-query sparse trajectories, an explicit all-zero spec is the
+        // ideal closed-form evolution.
+        Backend::Sparse => match job.effective_noise() {
+            Some(spec) => run_sparse_noisy(job, plan, spec),
+            None => run_sparse(job, plan, &mut rng),
+        },
     }
 }
 
@@ -206,6 +215,57 @@ fn run_reduced(job: &SearchJob, plan: &ExecutionPlan, rng: &mut StdRng) -> Searc
     )
 }
 
+/// The ideal sparse runner. The class dynamics are block-symmetric — ideal
+/// evolution never leaves the three-amplitude symmetric representation — so,
+/// exactly as in [`run_reduced`], one evolution serves every trial and the
+/// per-trial block samples draw from the job-seed stream. All deterministic
+/// result fields are therefore bit-identical to the reduced backend's; only
+/// the backend tag differs.
+fn run_sparse(job: &SearchJob, plan: &ExecutionPlan, rng: &mut StdRng) -> SearchResult {
+    let true_block = job.target / (job.n / job.k);
+    let search = PartialSearch::with_epsilon(plan.schedule.plan.epsilon);
+    let run = search.run_sparse(job.n, job.k, job.target);
+    let reported: Vec<u64> = (0..job.trials)
+        .map(|_| sample_symmetric_block(run.success_probability, true_block, job.k, rng))
+        .collect();
+    finish(
+        job,
+        Backend::Sparse,
+        reported,
+        true_block,
+        run.queries * u64::from(job.trials),
+        run.success_probability,
+    )
+}
+
+/// The noisy sparse runner: per-trial trajectories seeded exactly like
+/// [`run_noisy`]'s (`derive_seed(job.seed, trial)`), and the sparse
+/// trajectory runner mirrors the dense one's draw order event for event —
+/// so on any `n` both backends can serve, the reported blocks and query
+/// counts agree exactly and the success estimates agree to rounding.
+fn run_sparse_noisy(job: &SearchJob, plan: &ExecutionPlan, spec: NoiseSpec) -> SearchResult {
+    let true_block = job.target / (job.n / job.k);
+    let search = PartialSearch::with_epsilon(plan.schedule.plan.epsilon);
+    let mut reported = Vec::with_capacity(job.trials as usize);
+    let mut queries = 0u64;
+    let mut success_sum = 0.0;
+    for trial in 0..job.trials {
+        let mut rng = StdRng::seed_from_u64(derive_seed(job.seed, u64::from(trial)));
+        let run = partial_search_noisy_sparse(job.n, job.k, job.target, &search, spec, &mut rng);
+        queries += run.queries;
+        success_sum += run.success_probability;
+        reported.push(run.reported_block);
+    }
+    finish(
+        job,
+        Backend::Sparse,
+        reported,
+        true_block,
+        queries,
+        success_sum / f64::from(job.trials),
+    )
+}
+
 fn run_statevector(job: &SearchJob, plan: &ExecutionPlan, rng: &mut StdRng) -> SearchResult {
     let partition = Partition::new(job.n, job.k);
     let search = PartialSearch::with_epsilon(plan.schedule.plan.epsilon);
@@ -337,6 +397,7 @@ mod tests {
             BackendHint::ClassicalDeterministic,
             BackendHint::ClassicalRandomized,
             BackendHint::Recursive,
+            BackendHint::Sparse,
         ] {
             let result = run(SearchJob::new(0, 1 << 9, 4, 100).with_backend(hint));
             assert!(result.correct, "{hint:?} failed: {result:?}");
@@ -387,6 +448,7 @@ mod tests {
             BackendHint::Circuit,
             BackendHint::ClassicalRandomized,
             BackendHint::Recursive,
+            BackendHint::Sparse,
         ] {
             let job = SearchJob::new(3, 1 << 8, 4, 77)
                 .with_backend(hint)
@@ -461,6 +523,84 @@ mod tests {
             dephasing: 0.02,
             oracle_fault: 0.02,
         }
+    }
+
+    #[test]
+    fn sparse_mirrors_reduced_on_every_deterministic_field() {
+        let base = SearchJob::new(0, 1 << 12, 4, 777).with_trials(5);
+        let reduced = run(base.with_backend(BackendHint::Reduced));
+        let sparse = run(base.with_backend(BackendHint::Sparse));
+        assert_eq!(sparse.backend, Backend::Sparse);
+        // Same evolution (by delegation), same job-seed sample stream: every
+        // field but the backend tag is bit-identical.
+        assert_eq!(sparse.block_found, reduced.block_found);
+        assert_eq!(sparse.true_block, reduced.true_block);
+        assert_eq!(sparse.queries, reduced.queries);
+        assert_eq!(sparse.trials_correct, reduced.trials_correct);
+        assert_eq!(
+            sparse.success_estimate.to_bits(),
+            reduced.success_estimate.to_bits()
+        );
+    }
+
+    #[test]
+    fn sparse_serves_ideal_jobs_far_beyond_the_dense_ceiling() {
+        let n = 1u64 << 30;
+        let job = SearchJob::new(7, n, 64, n - 5).with_backend(BackendHint::Sparse);
+        let result = run(job);
+        assert_eq!(result.backend, Backend::Sparse);
+        assert!(result.correct, "{result:?}");
+        assert_eq!(result.true_block, 63);
+        assert!(result.success_estimate > 0.9);
+        // Queries scale as O(√N·(1 − 1/√K)-ish savings), far below N.
+        assert!(result.queries < 1 << 16);
+    }
+
+    #[test]
+    fn sparse_noisy_execution_matches_the_dense_trajectories() {
+        let spec = NoiseSpec {
+            depolarizing: 0.05,
+            dephasing: 0.05,
+            oracle_fault: 0.05,
+        };
+        let base = SearchJob::new(9, 1 << 9, 4, 300)
+            .with_trials(6)
+            .with_noise(spec);
+        let dense = run(base.with_backend(BackendHint::StateVector));
+        let sparse = run(base.with_backend(BackendHint::Sparse));
+        assert_eq!(dense.backend, Backend::StateVector);
+        assert_eq!(sparse.backend, Backend::Sparse);
+        // Identical per-trial seed streams and draw orders: decisions and
+        // query counts agree exactly, probabilities to summation rounding.
+        assert_eq!(sparse.block_found, dense.block_found);
+        assert_eq!(sparse.queries, dense.queries);
+        assert_eq!(sparse.trials_correct, dense.trials_correct);
+        assert!(
+            (sparse.success_estimate - dense.success_estimate).abs() < 1e-12,
+            "sparse {} vs dense {}",
+            sparse.success_estimate,
+            dense.success_estimate
+        );
+        // And the noisy sparse path is bit-stable under re-execution.
+        assert_eq!(sparse, run(base.with_backend(BackendHint::Sparse)));
+    }
+
+    #[test]
+    fn sparse_noisy_execution_runs_where_dense_cannot() {
+        let spec = NoiseSpec {
+            depolarizing: 0.01,
+            dephasing: 0.0,
+            oracle_fault: 0.01,
+        };
+        let n = 1u64 << 26; // 16× the dense ceiling
+        let job = SearchJob::new(4, n, 16, 12_345)
+            .with_trials(3)
+            .with_noise(spec);
+        let result = run(job); // Auto routes to sparse above the ceiling
+        assert_eq!(result.backend, Backend::Sparse);
+        assert!(result.queries > 0);
+        assert!(result.success_estimate > 0.0);
+        assert_eq!(result, run(job));
     }
 
     #[test]

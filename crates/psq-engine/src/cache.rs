@@ -81,6 +81,12 @@ impl CacheKey {
         let target_key = match backend {
             // One entry serves every target in the block.
             Backend::Reduced => job.target / (job.n / job.k),
+            // The ideal sparse dynamics are block-symmetric too (the class
+            // evolution and the block sampler only see the block), but noisy
+            // sparse trajectories pin exact addresses on depolarizing
+            // collapses, so they key on the full address like the dense
+            // trajectories do.
+            Backend::Sparse if job.effective_noise().is_none() => job.target / (job.n / job.k),
             _ => job.target,
         };
         Self {
@@ -454,6 +460,33 @@ mod tests {
         assert!(cache
             .lookup(&classical_moved, Backend::ClassicalDeterministic)
             .is_none());
+    }
+
+    #[test]
+    fn sparse_entries_are_distinct_from_dense_and_block_keyed_when_ideal() {
+        use crate::spec::NoiseSpec;
+        let cache = ResultCache::default();
+        let job = SearchJob::new(0, 1 << 10, 4, 0).with_backend(BackendHint::Sparse);
+        cache.insert(&job, Backend::Sparse, result_for(&job, Backend::Sparse));
+        // The backend field keeps sparse results apart from every dense
+        // backend's, even though ideal sparse and reduced runs agree on all
+        // deterministic fields.
+        assert!(cache.lookup(&job, Backend::Reduced).is_none());
+        assert!(cache.lookup(&job, Backend::StateVector).is_none());
+        // Ideal sparse shares entries within a block, like reduced...
+        let mut same_block = job;
+        same_block.target = 255;
+        assert!(cache.lookup(&same_block, Backend::Sparse).is_some());
+        let mut other_block = job;
+        other_block.target = 256;
+        assert!(cache.lookup(&other_block, Backend::Sparse).is_none());
+        // ...but noisy sparse trajectories key on the exact address.
+        let noisy = job.with_noise(NoiseSpec::oracle_only(0.05));
+        cache.insert(&noisy, Backend::Sparse, result_for(&noisy, Backend::Sparse));
+        let mut noisy_moved = noisy;
+        noisy_moved.target = 255;
+        assert!(cache.lookup(&noisy_moved, Backend::Sparse).is_none());
+        assert!(cache.lookup(&noisy, Backend::Sparse).is_some());
     }
 
     #[test]

@@ -440,9 +440,19 @@ mod tests {
         assert!(m.throughput_jobs_per_s > 0.0);
         assert!(m.total_queries > 0);
         assert!(m.latency_us_max >= m.latency_us_p50);
+        // Noisy trajectories at √N-scale query counts legitimately miss
+        // (one depolarizing collapse scrambles the rotation), so the
+        // near-perfect correctness floor applies to the ideal jobs only.
+        let noisy = jobs
+            .iter()
+            .filter(|j| j.effective_noise().is_some())
+            .count() as u64;
+        assert!(noisy > 0, "mixed batch includes noisy sparse jobs");
         assert!(
-            m.jobs_correct >= 30,
-            "partial search should almost never miss"
+            m.jobs_correct + noisy + 2 >= 32,
+            "ideal partial search should almost never miss \
+             ({} correct, {noisy} noisy)",
+            m.jobs_correct
         );
         // Mixed batches repeat (n, k, ε) shapes: the cache must be hitting.
         assert!(m.plan_cache.hits > 0);

@@ -95,6 +95,8 @@ pub struct BackendTally {
     pub classical_randomized: u64,
     /// Full-address jobs on the recursive descent.
     pub recursive: u64,
+    /// Jobs on the sparse amplitude-class simulator.
+    pub sparse: u64,
 }
 
 impl BackendTally {
@@ -107,6 +109,7 @@ impl BackendTally {
             Backend::ClassicalDeterministic => self.classical_deterministic += 1,
             Backend::ClassicalRandomized => self.classical_randomized += 1,
             Backend::Recursive => self.recursive += 1,
+            Backend::Sparse => self.sparse += 1,
         }
     }
 
@@ -118,6 +121,7 @@ impl BackendTally {
             + self.classical_deterministic
             + self.classical_randomized
             + self.recursive
+            + self.sparse
     }
 
     /// How many distinct backends saw at least one job.
@@ -129,6 +133,7 @@ impl BackendTally {
             self.classical_deterministic,
             self.classical_randomized,
             self.recursive,
+            self.sparse,
         ]
         .iter()
         .filter(|&&c| c > 0)

@@ -49,6 +49,21 @@ pub const CIRCUIT_BUTTERFLY_WEIGHT: f64 = 1.4;
 /// See [`REDUCED_ITER_WEIGHT`].
 pub const CLASSICAL_PROBE_WEIGHT: f64 = 8.0;
 
+/// Largest database the sparse backend accepts when the job's noise spec
+/// includes dephasing. Phase kicks split amplitude-equivalence classes, and
+/// once the class budget is exhausted the sparse state degrades to an exact
+/// hash-map of basis states — which only fits below
+/// [`psq_sim::sparse::SPARSE_MAP_CEILING`]. Depolarizing and oracle-fault
+/// channels never split classes (collapses *rebuild* the canonical `K + 2`
+/// classes), so they carry no size ceiling at all.
+pub const MAX_SPARSE_DEPHASING_N: u64 = psq_sim::sparse::SPARSE_MAP_CEILING;
+
+/// Cost-model weight for one sparse class update, per class per iteration.
+/// The sparse kernels are the reduced simulator's closed-form rotations
+/// generalised to `O(class_count)` entries, so the per-class cost matches
+/// [`REDUCED_ITER_WEIGHT`]'s per-amplitude cost.
+pub const SPARSE_CLASS_WEIGHT: f64 = 0.4;
+
 /// Ops budget for one exact state-vector level of a recursive full-address
 /// descent. The planner walks the descent's level sizes and sets the
 /// state-vector cutoff at the largest level whose fused-sweep cost
@@ -237,6 +252,17 @@ impl CostModel {
                     schedule.meets_error_target,
                 )
             }
+            // The work term is the *class count*, not `N`: the canonical
+            // sparse state never holds more than `K + 2` amplitude classes
+            // (target, pinned survivor, and the per-block slices), so the
+            // per-iteration cost is `O(K)` no matter how large the database.
+            // Ideal feasibility is unconditional — noise-shape ceilings are
+            // applied by [`Planner::plan`], which knows the job's spec.
+            Backend::Sparse => (
+                queries * (kf + 2.0) * t * SPARSE_CLASS_WEIGHT,
+                true,
+                schedule.meets_error_target,
+            ),
         };
         CostEstimate {
             backend,
@@ -375,19 +401,48 @@ impl Planner {
                 sv_cutoff: 0,
             })
         };
-        // Non-ideal noise runs as per-query trajectories on the full state
-        // vector — the only substrate where the channels act on amplitudes.
+        // Non-ideal noise runs as per-query trajectories on a substrate
+        // where the channels act on amplitudes: the full state vector, or
+        // the sparse class simulator when its class growth stays bounded.
         // The reduced three-amplitude form cannot represent a depolarizing
         // collapse or a phase kick, the circuit path has no channel hooks,
         // and the classical scans have no quantum state at all; routing any
         // of them would silently answer the noiseless question. An explicit
         // all-zero spec is the ideal dynamics and plans as if absent.
-        if job.effective_noise().is_some() {
+        if let Some(spec) = job.effective_noise() {
+            // Dephasing phase-kicks split amplitude classes, so the sparse
+            // state must be able to degrade to an exact map if the class
+            // budget runs out — which caps `n`. Collapse-only channels
+            // (depolarizing, oracle faults) rebuild the canonical `K + 2`
+            // classes instead, so they only need the class budget itself.
+            let sparse_ok = if spec.forces_complex() {
+                job.n <= MAX_SPARSE_DEPHASING_N
+            } else {
+                job.k + 2 <= psq_sim::sparse::DEFAULT_MAX_CLASSES as u64
+                    || job.n <= MAX_SPARSE_DEPHASING_N
+            };
             return match job.backend {
-                BackendHint::Auto | BackendHint::StateVector => resolve(Backend::StateVector),
+                BackendHint::StateVector => resolve(Backend::StateVector),
+                BackendHint::Sparse if sparse_ok => resolve(Backend::Sparse),
+                BackendHint::Sparse => Err(format!(
+                    "job {}: sparse backend cannot bound class growth under this \
+                     noise shape at n = {} (dephasing requires n <= {})",
+                    job.id, job.n, MAX_SPARSE_DEPHASING_N
+                )),
+                // Auto keeps the dense trajectories wherever they fit (every
+                // pre-sparse noisy job planned this way, and the channels
+                // there act on raw amplitudes with no class bookkeeping);
+                // above the dense ceiling the sparse trajectories take over.
+                BackendHint::Auto if job.n <= MAX_STATEVECTOR_N => resolve(Backend::StateVector),
+                BackendHint::Auto if sparse_ok => resolve(Backend::Sparse),
+                BackendHint::Auto => Err(format!(
+                    "job {}: no backend can apply noise channels at n = {} \
+                     (dense ceiling {}, sparse dephasing ceiling {})",
+                    job.id, job.n, MAX_STATEVECTOR_N, MAX_SPARSE_DEPHASING_N
+                )),
                 other => Err(format!(
-                    "job {}: noise channels require the state-vector backend \
-                     (hint {other:?} cannot apply per-query channels)",
+                    "job {}: noise channels require the state-vector or sparse \
+                     backend (hint {other:?} cannot apply per-query channels)",
                     job.id
                 )),
             };
@@ -396,6 +451,11 @@ impl Planner {
             BackendHint::Reduced => resolve(Backend::Reduced),
             BackendHint::StateVector => resolve(Backend::StateVector),
             BackendHint::Circuit => resolve(Backend::Circuit),
+            // Ideal dynamics never split classes, so the sparse simulator
+            // runs at any `n` — it is the only exact-amplitude backend with
+            // no size ceiling (`MAX_STATEVECTOR_N` and `MAX_CIRCUIT_N` do
+            // not apply).
+            BackendHint::Sparse => resolve(Backend::Sparse),
             BackendHint::ClassicalDeterministic => resolve(Backend::ClassicalDeterministic),
             BackendHint::ClassicalRandomized => resolve(Backend::ClassicalRandomized),
             BackendHint::Recursive => {
@@ -641,6 +701,101 @@ mod tests {
         // An all-zero spec plans exactly like no spec at all.
         let ideal = SearchJob::new(0, 1 << 20, 8, 12345).with_noise(NoiseSpec::ideal());
         assert_eq!(planner.plan(&ideal).unwrap().backend, Backend::Reduced);
+    }
+
+    #[test]
+    fn sparse_hint_runs_ideal_jobs_at_any_scale() {
+        let planner = Planner::new();
+        // Far beyond every dense ceiling: the sparse simulator has none.
+        let huge = SearchJob::new(0, 1 << 40, 64, 7).with_backend(BackendHint::Sparse);
+        let plan = planner.plan(&huge).expect("plans");
+        assert_eq!(plan.backend, Backend::Sparse);
+        // Auto never chooses it on ideal jobs: the reduced rotation form is
+        // strictly cheaper (1 closed-form amplitude triple vs K + 2 classes).
+        for n_exp in [10u32, 20, 30, 40] {
+            let auto = planner
+                .plan(&SearchJob::new(0, 1u64 << n_exp, 4, 7))
+                .unwrap();
+            assert_eq!(auto.backend, Backend::Reduced, "n = 2^{n_exp}");
+        }
+    }
+
+    #[test]
+    fn auto_selects_sparse_above_the_dense_ceiling_under_collapse_noise() {
+        use crate::spec::NoiseSpec;
+        let planner = Planner::new();
+        let depol = NoiseSpec {
+            depolarizing: 0.01,
+            dephasing: 0.0,
+            oracle_fault: 0.0,
+        };
+        // Below the dense ceiling Auto keeps the dense trajectories...
+        let small = SearchJob::new(0, 1 << 12, 4, 7).with_noise(depol);
+        assert_eq!(planner.plan(&small).unwrap().backend, Backend::StateVector);
+        // ...above it, collapse-only noise routes to the sparse simulator
+        // (this was a hard rejection before the sparse backend existed).
+        let huge = SearchJob::new(0, 1 << 30, 64, 7).with_noise(depol);
+        assert_eq!(planner.plan(&huge).unwrap().backend, Backend::Sparse);
+        // An explicit sparse hint works there too.
+        assert_eq!(
+            planner
+                .plan(&huge.with_backend(BackendHint::Sparse))
+                .unwrap()
+                .backend,
+            Backend::Sparse
+        );
+        // Dephasing splits classes, so its map-degrade ceiling applies: Auto
+        // and the explicit hint both reject above MAX_SPARSE_DEPHASING_N.
+        let dephasing = NoiseSpec {
+            depolarizing: 0.0,
+            dephasing: 0.01,
+            oracle_fault: 0.0,
+        };
+        let huge_dephasing = SearchJob::new(0, 1 << 30, 64, 7).with_noise(dephasing);
+        assert!(planner.plan(&huge_dephasing).is_err());
+        assert!(planner
+            .plan(&huge_dephasing.with_backend(BackendHint::Sparse))
+            .is_err());
+        // At or below the ceiling the sparse hint carries dephasing fine.
+        let capped = SearchJob::new(0, MAX_SPARSE_DEPHASING_N, 64, 7)
+            .with_noise(dephasing)
+            .with_backend(BackendHint::Sparse);
+        assert_eq!(planner.plan(&capped).unwrap().backend, Backend::Sparse);
+    }
+
+    #[test]
+    fn sparse_explain_row_charges_class_count_not_database_size() {
+        let planner = Planner::new();
+        let job = SearchJob::new(0, 1 << 20, 4, 3);
+        let costs = planner.explain(&job).expect("valid job");
+        let sparse = costs
+            .iter()
+            .find(|e| e.backend == Backend::Sparse)
+            .expect("sparse row present");
+        assert!(sparse.feasible);
+        let schedule = planner.cache().schedule(job.n, job.k, job.error_target);
+        let queries = schedule.plan.total_queries as f64;
+        // Work term is the K + 2 canonical class bound...
+        assert_eq!(
+            sparse.ops,
+            queries * (job.k as f64 + 2.0) * f64::from(job.trials) * SPARSE_CLASS_WEIGHT
+        );
+        // ...so blowing the database up by 2^10 at fixed K only moves the
+        // score through the schedule's query count, not through N.
+        let bigger = planner.explain(&SearchJob::new(0, 1 << 30, 4, 3)).unwrap();
+        let sparse_bigger = bigger
+            .iter()
+            .find(|e| e.backend == Backend::Sparse)
+            .unwrap();
+        assert!(
+            sparse_bigger.ops < sparse.ops * 64.0,
+            "O(K) per query, not O(N)"
+        );
+        let sv = costs
+            .iter()
+            .find(|e| e.backend == Backend::StateVector)
+            .unwrap();
+        assert!(sparse.ops * 1e4 < sv.ops, "class work term is N-free");
     }
 
     #[test]

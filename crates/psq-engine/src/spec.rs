@@ -37,6 +37,10 @@ pub enum BackendHint {
     /// result carries `address_found`. Never chosen by `Auto` — it answers
     /// a different question than a block query.
     Recursive,
+    /// The sparse value-class simulator (`psq-sim::sparse`): exact huge-`N`
+    /// dynamics in `O(#classes)` per iteration, including noisy
+    /// trajectories the reduced form cannot express.
+    Sparse,
 }
 
 /// The backend a job actually *ran on* (the planner's resolution of the
@@ -60,29 +64,38 @@ pub enum Backend {
     /// queries plus an `O(N^{1/3})` brute-force tail. Resolves the exact
     /// address, not just the block.
     Recursive,
+    /// Sparse value-class simulator: one `(value, population)` entry per
+    /// amplitude-equivalence class, `O(#classes)` work per iteration at any
+    /// `N` — the exact backend for huge-`N` jobs, with or without
+    /// (class-splitting) noise. Appended after [`Backend::Recursive`] so
+    /// existing per-backend indices, orderings and serialisations are
+    /// untouched.
+    Sparse,
 }
 
 impl Backend {
     /// All backends, in the order the planner considers them.
-    pub const ALL: [Backend; 6] = [
+    pub const ALL: [Backend; 7] = [
         Backend::Reduced,
         Backend::StateVector,
         Backend::Circuit,
         Backend::ClassicalDeterministic,
         Backend::ClassicalRandomized,
         Backend::Recursive,
+        Backend::Sparse,
     ];
 
     /// The backends `Auto` chooses between: every backend that answers the
     /// *block* question. [`Backend::Recursive`] is excluded — it resolves
     /// the full address, a strictly more expensive (and semantically
     /// different) request that clients must ask for explicitly.
-    pub const AUTO_CANDIDATES: [Backend; 5] = [
+    pub const AUTO_CANDIDATES: [Backend; 6] = [
         Backend::Reduced,
         Backend::StateVector,
         Backend::Circuit,
         Backend::ClassicalDeterministic,
         Backend::ClassicalRandomized,
+        Backend::Sparse,
     ];
 
     /// Stable lower-case label used in metrics tallies.
@@ -94,6 +107,7 @@ impl Backend {
             Backend::ClassicalDeterministic => "classical_deterministic",
             Backend::ClassicalRandomized => "classical_randomized",
             Backend::Recursive => "recursive",
+            Backend::Sparse => "sparse",
         }
     }
 
@@ -107,6 +121,7 @@ impl Backend {
             Backend::ClassicalDeterministic => 3,
             Backend::ClassicalRandomized => 4,
             Backend::Recursive => 5,
+            Backend::Sparse => 6,
         }
     }
 
@@ -120,6 +135,7 @@ impl Backend {
             Backend::ClassicalDeterministic => "execute:classical_deterministic",
             Backend::ClassicalRandomized => "execute:classical_randomized",
             Backend::Recursive => "execute:recursive",
+            Backend::Sparse => "execute:sparse",
         }
     }
 }
@@ -239,6 +255,9 @@ impl SearchJob {
             BackendHint::ClassicalDeterministic => 4,
             BackendHint::ClassicalRandomized => 5,
             BackendHint::Recursive => 6,
+            // Appended (not inserted) so every pre-sparse key — including
+            // the pinned value below — is preserved.
+            BackendHint::Sparse => 7,
         };
         fn mix(hash: &mut u64, word: u64) {
             for byte in word.to_le_bytes() {
@@ -413,7 +432,7 @@ pub fn generate_mixed_batch(count: usize, seed: u64) -> Vec<SearchJob> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut jobs = Vec::with_capacity(count);
     for id in 0..count as u64 {
-        let job = match id % 9 {
+        let job = match id % 10 {
             // Reduced: sizes far beyond any state vector.
             0 => {
                 let exp = rng.gen_range(20u32..40);
@@ -466,11 +485,32 @@ pub fn generate_mixed_batch(count: usize, seed: u64) -> Vec<SearchJob> {
             // Full-address: recursive descent over power-of-two levels
             // (reduced rotation form at the top, exact state-vector kernels
             // below the planner's cutoff).
-            _ => {
+            8 => {
                 let exp = rng.gen_range(12u32..22);
                 let n = 1u64 << exp;
                 let k = 1u64 << rng.gen_range(1u32..3);
                 SearchJob::full_address(id, n, k, rng.gen_range(0..n))
+            }
+            // Huge-N exact on the sparse value-class backend, half of them
+            // under depolarizing noise (collapses exercise the canonical
+            // `K + 2`-class rebuild at sizes no dense backend can touch).
+            // At √N-scale query counts even a tiny per-query rate scrambles
+            // most trajectories — faithful physics, so batch-level
+            // correctness floors must exempt the noisy jobs.
+            _ => {
+                let exp = rng.gen_range(24u32..34);
+                let n = 1u64 << exp;
+                let k = 1u64 << rng.gen_range(1u32..6);
+                let job =
+                    SearchJob::new(id, n, k, rng.gen_range(0..n)).with_backend(BackendHint::Sparse);
+                if rng.gen_bool(0.5) {
+                    job.with_noise(NoiseSpec {
+                        depolarizing: 0.002,
+                        ..NoiseSpec::ideal()
+                    })
+                } else {
+                    job
+                }
             }
         };
         jobs.push(job.with_trials(rng.gen_range(1u32..4)).with_seed(rng.gen()));
@@ -571,10 +611,19 @@ mod tests {
             BackendHint::ClassicalDeterministic,
             BackendHint::ClassicalRandomized,
             BackendHint::Recursive,
+            BackendHint::Sparse,
             BackendHint::Auto,
         ] {
             assert!(a.iter().any(|j| j.backend == hint), "missing {hint:?}");
         }
+        // The huge-N sparse arm covers both ideal and noisy jobs.
+        let sparse: Vec<_> = a
+            .iter()
+            .filter(|j| j.backend == BackendHint::Sparse)
+            .collect();
+        assert!(sparse.iter().any(|j| j.effective_noise().is_some()));
+        assert!(sparse.iter().any(|j| j.effective_noise().is_none()));
+        assert!(sparse.iter().all(|j| j.n >= 1 << 24), "huge-N arm");
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Engine-level differential harness: the served counterpart of
+//! `psq-sim`'s `backend_differential.rs`.
+//!
+//! The sim-level harness proves the four simulators implement the same
+//! operators; this layer proves the *engine* preserves that equivalence
+//! end to end — planner, schedule cache, executor pool, per-trial seeding —
+//! and that nothing about worker count leaks into results:
+//!
+//! * sparse vs. reduced: **bit-identical** deterministic fields (except the
+//!   backend tag) for every `K | N` shape up to `2^20`, at 1, 2 and 4
+//!   executor threads;
+//! * sparse vs. dense state vector: success estimates within `1e-12` and
+//!   exact query/decision agreement on the dense-reachable domain;
+//! * circuit: same query counts, success within its `O(1/N)` Step-3
+//!   deviation;
+//! * noisy jobs (each channel): sparse and dense trajectory runners agree
+//!   on every decision field for identical `(spec, seed)`;
+//! * any batch containing sparse jobs executes bit-identically at 1, 2 and
+//!   4 threads.
+
+use proptest::prelude::*;
+use psq_engine::{
+    generate_mixed_batch, Backend, BackendHint, Engine, EngineConfig, NoiseSpec, SearchJob,
+};
+
+fn engine_with_threads(threads: usize) -> Engine {
+    Engine::new(EngineConfig {
+        threads: Some(threads),
+        ..EngineConfig::default()
+    })
+}
+
+/// Runs `job` at 1, 2 and 4 executor threads, asserts the three runs are
+/// bit-identical, and returns the single agreed result.
+fn run_at_every_thread_count(job: &SearchJob) -> psq_engine::SearchResult {
+    let one = engine_with_threads(1)
+        .run_job(job)
+        .expect("plans at 1 thread");
+    for threads in [2usize, 4] {
+        let other = engine_with_threads(threads)
+            .run_job(job)
+            .expect("plans at n threads");
+        assert_eq!(
+            one.deterministic_fields(),
+            other.deterministic_fields(),
+            "thread count {threads} changed the result of {job:?}"
+        );
+    }
+    one
+}
+
+/// Satellite: sparse vs. reduced closed-rotation bit-parity for ideal block
+/// search at every `K | N` up to `2^20`, at 1/2/4 engine threads.
+///
+/// Shapes sweep every power-of-two `K` dividing each power-of-two `N` (with
+/// at least two items per block — the validation floor). Sparse delegates
+/// its symmetric representation to the same `ReducedState` rotation and its
+/// trials to the same job-seed sample stream, so *every* deterministic
+/// field except the backend tag must agree bit-for-bit.
+#[test]
+fn sparse_and_reduced_are_bit_identical_at_every_dividing_k() {
+    let mut shapes = 0usize;
+    for n_exp in [4u32, 6, 10, 13, 16, 18, 20] {
+        let n = 1u64 << n_exp;
+        for k_exp in 1..n_exp {
+            let k = 1u64 << k_exp;
+            if n / k < 2 {
+                continue;
+            }
+            // A target in the last block, off the block boundary when the
+            // block has room.
+            let target = n - 1 - (n / k).min(3) / 2;
+            let base = SearchJob::new(shapes as u64, n, k, target)
+                .with_seed(0xBEEF ^ (n + k))
+                .with_trials(3);
+            let sparse = run_at_every_thread_count(&base.with_backend(BackendHint::Sparse));
+            let reduced = run_at_every_thread_count(&base.with_backend(BackendHint::Reduced));
+            assert_eq!(sparse.backend, Backend::Sparse);
+            assert_eq!(reduced.backend, Backend::Reduced);
+            assert_eq!(
+                sparse.block_found, reduced.block_found,
+                "n=2^{n_exp} k=2^{k_exp}"
+            );
+            assert_eq!(sparse.true_block, reduced.true_block);
+            assert_eq!(sparse.correct, reduced.correct);
+            assert_eq!(sparse.queries, reduced.queries);
+            assert_eq!(sparse.trials_correct, reduced.trials_correct);
+            assert_eq!(
+                sparse.success_estimate.to_bits(),
+                reduced.success_estimate.to_bits(),
+                "n=2^{n_exp} k=2^{k_exp}: sparse and reduced must be bit-identical"
+            );
+            shapes += 1;
+        }
+    }
+    assert!(shapes >= 80, "swept {shapes} (N, K) shapes");
+}
+
+/// Tentpole: batches containing sparse jobs (ideal and noisy, huge-N
+/// included via the mixed generator's `huge_n` arm) are bit-identical at
+/// 1, 2 and 4 executor threads.
+#[test]
+fn batches_with_sparse_jobs_are_bit_identical_across_thread_counts() {
+    let jobs = generate_mixed_batch(30, 11);
+    assert!(
+        jobs.iter().any(|j| j.backend == BackendHint::Sparse),
+        "mixed batch exercises the sparse arm"
+    );
+    let reference = engine_with_threads(1).run_batch(&jobs);
+    assert_eq!(reference.results.len(), jobs.len());
+    for threads in [2usize, 4] {
+        let other = engine_with_threads(threads).run_batch(&jobs);
+        for (a, b) in reference.results.iter().zip(&other.results) {
+            assert_eq!(
+                a.deterministic_fields(),
+                b.deterministic_fields(),
+                "job {} diverged at {threads} threads",
+                a.job_id
+            );
+        }
+    }
+}
+
+/// `(n, k, target, seed)` over the dense-reachable power-of-two domain.
+fn job_shape() -> impl Strategy<Value = (u64, u64, u64, u64)> {
+    (5u32..12, 1u32..4, 0u64..1 << 20, 0u64..u64::MAX / 2).prop_filter_map(
+        "k must leave at least two items per block",
+        |(n_exp, k_exp, target, seed)| {
+            let n = 1u64 << n_exp;
+            let k = 1u64 << k_exp;
+            if n < 2 * k {
+                return None;
+            }
+            Some((n, k, target % n, seed))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every backend pair on the overlap domain, served: query counts agree
+    /// exactly across all four quantum backends; success estimates agree to
+    /// ≤ 1e-12 among the exact three and to O(1/N) against the circuit.
+    #[test]
+    fn prop_served_backend_pairs_agree((n, k, target, seed) in job_shape()) {
+        let base = SearchJob::new(0, n, k, target).with_seed(seed);
+        let sv = run_at_every_thread_count(&base.with_backend(BackendHint::StateVector));
+        let circuit = run_at_every_thread_count(&base.with_backend(BackendHint::Circuit));
+        let reduced = run_at_every_thread_count(&base.with_backend(BackendHint::Reduced));
+        let sparse = run_at_every_thread_count(&base.with_backend(BackendHint::Sparse));
+        // Query counts are schedule properties, identical on all pairs.
+        prop_assert_eq!(sv.queries, circuit.queries);
+        prop_assert_eq!(sv.queries, reduced.queries);
+        prop_assert_eq!(sv.queries, sparse.queries);
+        // Exact backends pairwise ≤ 1e-12; sparse ≡ reduced bitwise.
+        prop_assert!((sv.success_estimate - reduced.success_estimate).abs() < 1e-12);
+        prop_assert!((sv.success_estimate - sparse.success_estimate).abs() < 1e-12);
+        prop_assert_eq!(
+            sparse.success_estimate.to_bits(),
+            reduced.success_estimate.to_bits()
+        );
+        // The circuit's Step 3 deviates by O(1/N) within the target block.
+        prop_assert!(
+            (sv.success_estimate - circuit.success_estimate).abs() < 64.0 / n as f64,
+            "circuit deviated: {} vs {}", circuit.success_estimate, sv.success_estimate
+        );
+    }
+
+    /// Noisy differential, served: for each channel, sparse and dense
+    /// trajectory backends agree on every decision field for identical
+    /// `(spec, seed)` jobs, at every thread count.
+    #[test]
+    fn prop_served_noisy_sparse_matches_dense((n, k, target, seed) in job_shape()) {
+        let spec = match seed % 4 {
+            0 => NoiseSpec { depolarizing: 0.1, dephasing: 0.0, oracle_fault: 0.0 },
+            1 => NoiseSpec { depolarizing: 0.0, dephasing: 0.1, oracle_fault: 0.0 },
+            2 => NoiseSpec { depolarizing: 0.0, dephasing: 0.0, oracle_fault: 0.1 },
+            _ => NoiseSpec { depolarizing: 0.05, dephasing: 0.05, oracle_fault: 0.05 },
+        };
+        let base = SearchJob::new(0, n, k, target)
+            .with_seed(seed)
+            .with_trials(2)
+            .with_noise(spec);
+        let dense = run_at_every_thread_count(&base.with_backend(BackendHint::StateVector));
+        let sparse = run_at_every_thread_count(&base.with_backend(BackendHint::Sparse));
+        prop_assert_eq!(dense.backend, Backend::StateVector);
+        prop_assert_eq!(sparse.backend, Backend::Sparse);
+        prop_assert_eq!(sparse.block_found, dense.block_found);
+        prop_assert_eq!(sparse.true_block, dense.true_block);
+        prop_assert_eq!(sparse.queries, dense.queries);
+        prop_assert_eq!(sparse.trials_correct, dense.trials_correct);
+        prop_assert!(
+            (sparse.success_estimate - dense.success_estimate).abs() < 1e-12,
+            "sparse {} vs dense {}", sparse.success_estimate, dense.success_estimate
+        );
+    }
+}

@@ -26,6 +26,7 @@ use crate::plan::SearchPlan;
 use psq_sim::measure;
 use psq_sim::oracle::{Database, PartialSearchOutcome, Partition};
 use psq_sim::reduced::ReducedState;
+use psq_sim::sparse::SparseState;
 use psq_sim::statevector::StateVector;
 use psq_sim::trace::StageTrace;
 use rand::Rng;
@@ -93,6 +94,23 @@ pub struct ReducedPartialRun {
     pub success_probability: f64,
     /// Exact probability of measuring the target item itself.
     pub target_probability: f64,
+}
+
+/// The result of an ideal run on the sparse value-class simulator (no
+/// sampling — the exact distribution is reported, as for the reduced run).
+#[derive(Clone, Copy, Debug)]
+pub struct SparsePartialRun {
+    /// The plan that was executed.
+    pub plan: SearchPlan,
+    /// Oracle queries charged by the sparse simulator.
+    pub queries: u64,
+    /// Exact probability of measuring a state in the target block.
+    pub success_probability: f64,
+    /// Exact probability of measuring the target item itself.
+    pub target_probability: f64,
+    /// Amplitude classes tracked when the run finished (3 for an ideal run,
+    /// which never leaves the symmetric rung).
+    pub class_count: usize,
 }
 
 impl PartialSearch {
@@ -249,6 +267,31 @@ impl PartialSearch {
         }
     }
 
+    /// Runs the algorithm on the sparse value-class simulator.
+    ///
+    /// An ideal run never leaves the symmetric rung, where every bulk
+    /// operator delegates to the [`ReducedState`] closed forms — the
+    /// success probability, target probability, and query count are
+    /// **bit-identical** to [`PartialSearch::run_reduced`] on the same
+    /// `(n, k)`.  What the sparse runner adds over the reduced one is the
+    /// concrete target geometry (so noisy trajectories, which break the
+    /// block symmetry, can continue from the same state type) and exactness
+    /// at any integral `n` the reduced `f64` description also covers.
+    pub fn run_sparse(&self, n: u64, k: u64, target: u64) -> SparsePartialRun {
+        let plan = self.plan(n as f64, k as f64);
+        let mut state = SparseState::uniform(n, k, target);
+        state.grover_iterations(plan.l1);
+        state.block_grover_iterations(plan.l2);
+        state.invert_about_mean_excluding_target();
+        SparsePartialRun {
+            plan,
+            queries: state.queries(),
+            success_probability: state.block_probability(state.target_block()),
+            target_probability: state.target_probability(),
+            class_count: state.class_count(),
+        }
+    }
+
     /// Runs the algorithm on the reduced simulator and also returns the full
     /// stage trace (for figure generation at sizes where the state vector
     /// cannot be materialised).
@@ -389,6 +432,26 @@ mod tests {
         assert_close(paper, 0.25, 1e-12);
         assert_close(fixed, 0.3, 1e-12);
         assert!(optimal > 0.0 && optimal < 1.0);
+    }
+
+    #[test]
+    fn sparse_run_is_bitwise_identical_to_reduced() {
+        for &(n, k) in &[(1u64 << 12, 4u64), (1 << 20, 64), (1 << 30, 1024)] {
+            let search = PartialSearch::new();
+            let sparse = search.run_sparse(n, k, n - 3);
+            let reduced = search.run_reduced(n as f64, k as f64);
+            assert_eq!(sparse.queries, reduced.queries);
+            assert_eq!(
+                sparse.success_probability.to_bits(),
+                reduced.success_probability.to_bits(),
+                "n = {n}, k = {k}: symmetric-rung delegation must be exact"
+            );
+            assert_eq!(
+                sparse.target_probability.to_bits(),
+                reduced.target_probability.to_bits()
+            );
+            assert_eq!(sparse.class_count, 3, "ideal runs stay symmetric");
+        }
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub mod plan;
 pub mod recursive;
 pub mod robustness;
 
-pub use algorithm::{EpsilonChoice, PartialRun, PartialSearch, ReducedPartialRun};
+pub use algorithm::{
+    EpsilonChoice, PartialRun, PartialSearch, ReducedPartialRun, SparsePartialRun,
+};
 pub use baseline::{naive_coefficient, naive_partial_search, naive_queries};
 pub use model::{full_search_coefficient, Model, ModelPoint};
 pub use optimizer::{optimal_epsilon, table1, EpsilonOptimum, TableRow};
@@ -48,4 +50,7 @@ pub use recursive::{
     derive_seed, reduction_levels, reduction_query_model, theorem2_lower_bound, LevelKind,
     LevelReport, RecursiveOutcome, RecursiveSearch,
 };
-pub use robustness::{partial_search_noisy_in, NoiseModel, NoiseSpec, NoisyRun};
+pub use robustness::{
+    partial_search_noisy_in, partial_search_noisy_sparse, NoiseModel, NoiseSpec, NoisyRun,
+    SparseNoisyRun,
+};

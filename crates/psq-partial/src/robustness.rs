@@ -31,6 +31,7 @@ use psq_sim::measure;
 use psq_sim::noise::{apply_channels, QueryNoise};
 use psq_sim::oracle::{Database, Partition};
 use psq_sim::scratch::AmplitudeScratch;
+use psq_sim::sparse::SparseState;
 use psq_sim::statevector::StateVector;
 use rand::Rng;
 
@@ -57,6 +58,35 @@ pub struct NoisyRun {
     pub reported_block: u64,
     /// The block actually containing the target.
     pub true_block: u64,
+}
+
+/// Outcome of one noisy partial-search run on the sparse value-class
+/// simulator: the [`NoisyRun`] fields plus the sparse-specific diagnostics
+/// (how much structure the trajectory's noise events destroyed).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SparseNoisyRun {
+    /// The plan that was executed.
+    pub plan: SearchPlan,
+    /// Oracle calls charged (identical to the noise-free count).
+    pub queries: u64,
+    /// Oracle calls that actually failed.
+    pub faults: u64,
+    /// Depolarizing collapses applied.
+    pub depolarize_events: u64,
+    /// Dephasing kicks applied.
+    pub dephase_events: u64,
+    /// Exact probability that the final block measurement is correct.
+    pub success_probability: f64,
+    /// The sampled block measurement.
+    pub reported_block: u64,
+    /// The block actually containing the target.
+    pub true_block: u64,
+    /// Amplitude classes tracked when the run finished.
+    pub class_count: usize,
+    /// Classes split by dephasing kicks over the whole trajectory.
+    pub split_events: u64,
+    /// Whether the state ever fell to the degraded basis-map rung.
+    pub degraded: bool,
 }
 
 /// Outcome of one faulty-oracle run (the pre-[`NoiseSpec`] shape, kept for
@@ -212,6 +242,114 @@ pub fn partial_search_noisy_in<R: Rng + ?Sized>(
         success_probability,
         reported_block,
         true_block,
+    }
+}
+
+/// One noisy phase on the sparse simulator: the exact mirror of
+/// [`run_noisy_phase`], consuming the identical randomness in the identical
+/// order (pre-drawn per-query events, fused clean stretches, unfused event
+/// queries).  On the symmetric rung the fused stretches delegate to the
+/// reduced closed forms, so an oracle-fault-only trajectory costs `O(1)`
+/// arithmetic per stretch even at `N = 2^34`.
+fn run_noisy_phase_sparse<R: Rng + ?Sized>(
+    psi: &mut SparseState,
+    per_block: bool,
+    count: u64,
+    spec: &NoiseSpec,
+    rng: &mut R,
+    tally: &mut NoiseTally,
+) {
+    let n = psi.n();
+    let events: Vec<QueryNoise> = (0..count).map(|_| spec.draw_query(n, rng)).collect();
+    let mut i = 0usize;
+    while i < events.len() {
+        let start = i;
+        while i < events.len() && events[i].is_clean() {
+            i += 1;
+        }
+        let fused = (i - start) as u64;
+        if fused > 0 {
+            if per_block {
+                psi.block_grover_iterations(fused);
+            } else {
+                psi.grover_iterations(fused);
+            }
+        }
+        if let Some(event) = events.get(i) {
+            tally.record(event);
+            if event.faulty {
+                // The call is made (and charged) but has no effect.
+                psi.charge_queries(1);
+            } else {
+                psi.oracle_flip();
+            }
+            if per_block {
+                psi.invert_about_mean_per_block();
+            } else {
+                psi.invert_about_mean();
+            }
+            psi.apply_channels(event);
+            i += 1;
+        }
+    }
+}
+
+/// Runs the three-step partial-search algorithm under `spec` on the sparse
+/// value-class simulator, drawing all noise randomness (and the final
+/// block-measurement sample) from `rng`.
+///
+/// The structure, query accounting, and randomness consumption mirror
+/// [`partial_search_noisy_in`] exactly: the same pre-drawn event sequence,
+/// the same fused/unfused split, the same Step-3 fault semantics, and one
+/// final `f64` draw for the block sample.  For a fixed `(spec, seed)` the
+/// two runners therefore see identical noise trajectories, which is what
+/// the cross-backend differential harness pins.  An ideal spec needs no
+/// special-casing here: every query is clean, so the whole phase is one
+/// fused closed-form stretch — the same arithmetic as
+/// [`PartialSearch::run_sparse`].
+pub fn partial_search_noisy_sparse<R: Rng + ?Sized>(
+    n: u64,
+    k: u64,
+    target: u64,
+    search: &PartialSearch,
+    spec: NoiseSpec,
+    rng: &mut R,
+) -> SparseNoisyRun {
+    spec.validate().expect("noise rates must be probabilities");
+    let plan = search.plan(n as f64, k as f64);
+    let mut tally = NoiseTally::default();
+    let mut psi = SparseState::uniform(n, k, target);
+
+    // Steps 1 and 2: noisy global then per-block amplification.
+    run_noisy_phase_sparse(&mut psi, false, plan.l1, &spec, rng, &mut tally);
+    run_noisy_phase_sparse(&mut psi, true, plan.l2, &spec, rng, &mut tally);
+    // Step 3's marking operation: a failed marking reflects the target
+    // amplitude too — a plain global inversion about the mean.
+    let step3 = spec.draw_query(n, rng);
+    tally.record(&step3);
+    if step3.faulty {
+        psi.charge_queries(1);
+        psi.invert_about_mean();
+    } else {
+        psi.invert_about_mean_excluding_target();
+    }
+    psi.apply_channels(&step3);
+
+    let true_block = psi.target_block();
+    let success_probability = psi.block_probability(true_block);
+    let reported_block = psi.sample_block(rng);
+    SparseNoisyRun {
+        plan,
+        queries: psi.queries(),
+        faults: tally.faults,
+        depolarize_events: tally.depolarize,
+        dephase_events: tally.dephase,
+        success_probability,
+        reported_block,
+        true_block,
+        class_count: psi.class_count(),
+        split_events: psi.split_events(),
+        degraded: psi.ever_degraded(),
     }
 }
 
@@ -467,6 +605,104 @@ mod tests {
             ));
         }
         assert_eq!(runs[0], runs[1]);
+    }
+
+    /// Dense and sparse noisy runners on the identical `(spec, seed)`:
+    /// every integer/decision field must agree exactly, and the exact
+    /// trajectory success probabilities to ≤ 1e-12.
+    fn assert_sparse_matches_dense(n: u64, k: u64, target: u64, spec: NoiseSpec, seed: u64) {
+        let db = Database::new(n, target);
+        let partition = Partition::new(n, k);
+        let mut scratch = AmplitudeScratch::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dense = partial_search_noisy_in(
+            &db,
+            &partition,
+            &PartialSearch::new(),
+            spec,
+            &mut rng,
+            &mut scratch,
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sparse =
+            partial_search_noisy_sparse(n, k, target, &PartialSearch::new(), spec, &mut rng);
+        assert_eq!(sparse.queries, dense.queries, "seed {seed}");
+        assert_eq!(sparse.faults, dense.faults, "seed {seed}");
+        assert_eq!(sparse.depolarize_events, dense.depolarize_events);
+        assert_eq!(sparse.dephase_events, dense.dephase_events);
+        assert_eq!(sparse.true_block, dense.true_block);
+        assert_eq!(sparse.reported_block, dense.reported_block, "seed {seed}");
+        assert!(
+            (sparse.success_probability - dense.success_probability).abs() <= 1e-12,
+            "seed {seed}: {} vs {}",
+            sparse.success_probability,
+            dense.success_probability
+        );
+    }
+
+    #[test]
+    fn sparse_noisy_runner_matches_dense_under_every_channel() {
+        let (n, k, target) = (1u64 << 9, 4u64, 300u64);
+        for seed in 0..4 {
+            assert_sparse_matches_dense(n, k, target, NoiseSpec::oracle_only(0.2), seed);
+            assert_sparse_matches_dense(
+                n,
+                k,
+                target,
+                NoiseSpec {
+                    depolarizing: 0.1,
+                    ..NoiseSpec::ideal()
+                },
+                seed,
+            );
+            assert_sparse_matches_dense(
+                n,
+                k,
+                target,
+                NoiseSpec {
+                    depolarizing: 0.05,
+                    dephasing: 0.05,
+                    oracle_fault: 0.05,
+                },
+                seed,
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_noisy_run_is_a_pure_function_of_spec_and_seed() {
+        let spec = NoiseSpec {
+            depolarizing: 0.1,
+            dephasing: 0.1,
+            oracle_fault: 0.1,
+        };
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            partial_search_noisy_sparse(1 << 9, 8, 100, &PartialSearch::new(), spec, &mut rng)
+        };
+        assert_eq!(run(99), run(99));
+        assert_eq!(run(99).queries, run(7).queries, "queries are noise-free");
+    }
+
+    #[test]
+    fn sparse_fault_only_trajectories_stay_symmetric_at_huge_n() {
+        // The payoff of the symmetric rung: a noisy trajectory at N = 2^30
+        // that only ever faults keeps the three-class form end to end.
+        let mut rng = StdRng::seed_from_u64(12);
+        let run = partial_search_noisy_sparse(
+            1u64 << 30,
+            64,
+            123_456_789,
+            &PartialSearch::new(),
+            NoiseSpec::oracle_only(0.01),
+            &mut rng,
+        );
+        assert!(run.faults > 0, "p = 0.01 over ~2^15 queries");
+        assert_eq!(run.class_count, 3);
+        assert_eq!(run.split_events, 0);
+        assert!(!run.degraded);
+        assert_eq!(run.queries, run.plan.total_queries);
+        assert!(run.success_probability > 0.0 && run.success_probability <= 1.0 + 1e-12);
     }
 
     #[test]

@@ -676,6 +676,60 @@ mod tests {
     }
 
     #[test]
+    fn sparse_sweeps_expand_points_at_huge_n_and_respect_the_cap() {
+        use psq_engine::spec::{Backend, BackendHint};
+        let server = Server::start(ServeConfig {
+            max_sweep_points: 4,
+            ..tiny_config()
+        });
+        let (client, responses) = server.attach();
+        let n = 1u64 << 30; // 256× beyond the dense state-vector ceiling
+        let base = SearchJob::new(200, n, 4, 12_345).with_backend(BackendHint::Sparse);
+        // A 2 × 2 grid fits the cap exactly: every point — ideal (p = 0)
+        // and depolarizing alike — is admitted and answers on the sparse
+        // backend, since no dense backend exists at this size.
+        let line = sweep_line(
+            &base,
+            "{\"channel\":\"depolarizing\",\"p\":[0.0,0.01],\"k\":[4,8]}",
+        );
+        assert_eq!(client.submit_line(&line), LineOutcome::Continue);
+        // A 3 × 2 grid of the same sparse points is refused whole, the
+        // reason counting all six (one per grid point, nothing doubled or
+        // dropped for the sparse hint).
+        let too_big = sweep_line(
+            &SearchJob::new(300, n, 4, 12_345).with_backend(BackendHint::Sparse),
+            "{\"channel\":\"depolarizing\",\"p\":[0.0,0.01,0.02],\"k\":[4,8]}",
+        );
+        client.submit_line(&too_big);
+        drop(client);
+        let mut results = Vec::new();
+        let mut errors = Vec::new();
+        for line in responses.iter() {
+            match parse_response(&line).expect("well-formed") {
+                Response::Result(result) => results.push(*result),
+                Response::Error { id, kind, reason } => errors.push((id, kind, reason)),
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        let mut ids: Vec<u64> = results.iter().map(|r| r.job_id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![200, 201, 202, 203]);
+        for result in &results {
+            assert_eq!(result.backend, Backend::Sparse, "{result:?}");
+            assert!(result.queries > 0);
+        }
+        assert_eq!(errors.len(), 1);
+        let (id, kind, reason) = &errors[0];
+        assert_eq!(*id, Some(300));
+        assert_eq!(*kind, ErrorKind::SweepTooLarge);
+        assert!(reason.contains("6 grid points"), "reason: {reason}");
+        let metrics = server.metrics();
+        assert_eq!(metrics.sweep_points, 4);
+        assert_eq!(metrics.sweeps_rejected, 1);
+        server.finish();
+    }
+
+    #[test]
     fn malformed_and_invalid_lines_get_tagged_errors() {
         let server = Server::start(tiny_config());
         let (client, responses) = server.attach();

@@ -593,10 +593,10 @@ proptest! {
         dwell in prop::collection::vec(0.0f64..1_000_000.0, 0..48),
         plan in prop::collection::vec(0.0f64..100_000.0, 0..32),
         cache in prop::collection::vec(0.0f64..100_000.0, 0..32),
-        executions in prop::collection::vec((0usize..6usize, 0.0f64..10_000_000.0), 0..32),
+        executions in prop::collection::vec((0usize..7usize, 0.0f64..10_000_000.0), 0..32),
         completed in 0u64..10_000,
     ) {
-        let mut per_backend: [Vec<f64>; 6] = Default::default();
+        let mut per_backend: [Vec<f64>; 7] = Default::default();
         for (index, us) in executions {
             per_backend[index].push(us);
         }

@@ -20,6 +20,10 @@
 //! * [`reduced`] — the exact block-symmetric reduced simulator, which evolves
 //!   the three amplitudes `(a_t, a_tb, a_nb)` and therefore handles
 //!   arbitrarily large `N` in `O(#iterations)` time;
+//! * [`sparse`] — the value-class sparse simulator: one `(value,
+//!   population)` entry per amplitude-equivalence class, exact huge-`N`
+//!   dynamics in `O(#classes)` per operator, with a class-splitting ladder
+//!   for noise channels the symmetric form cannot express;
 //! * [`measure`] — standard-basis and block measurements;
 //! * [`noise`] — per-query depolarizing / dephasing / faulty-oracle
 //!   channels as deterministic quantum trajectories on the SoA planes;
@@ -58,6 +62,7 @@ pub mod oracle;
 pub mod query_counter;
 pub mod reduced;
 pub mod scratch;
+pub mod sparse;
 pub mod statevector;
 pub mod trace;
 
@@ -66,5 +71,6 @@ pub use oracle::{Database, FullSearchOutcome, PartialSearchOutcome, Partition};
 pub use query_counter::{QueryCounter, QuerySpan};
 pub use reduced::ReducedState;
 pub use scratch::AmplitudeScratch;
+pub use sparse::SparseState;
 pub use statevector::StateVector;
 pub use trace::{AmplitudeSummary, StageTrace};

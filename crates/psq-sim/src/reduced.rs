@@ -61,6 +61,36 @@ impl ReducedState {
         }
     }
 
+    /// A block-symmetric state with explicit amplitudes and a zeroed query
+    /// counter.
+    ///
+    /// This is the re-entry point for simulators that carry a symmetric
+    /// state in another representation (the sparse value-class simulator
+    /// promotes its canonical three-class form to a `ReducedState` so bulk
+    /// rotations run the *identical* closed-form arithmetic — bit-parity
+    /// between the two backends is by construction, not by tolerance).
+    pub fn from_amplitudes(
+        n: f64,
+        k: f64,
+        amp_target: f64,
+        amp_target_block: f64,
+        amp_nontarget: f64,
+    ) -> Self {
+        assert!(n >= 2.0, "database must have at least two items");
+        assert!(
+            k >= 1.0 && k <= n,
+            "block count {k} out of range for n = {n}"
+        );
+        Self {
+            n,
+            k,
+            amp_target,
+            amp_target_block,
+            amp_nontarget,
+            queries: 0,
+        }
+    }
+
     /// Database size `N`.
     pub fn n(&self) -> f64 {
         self.n

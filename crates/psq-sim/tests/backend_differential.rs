@@ -1,0 +1,307 @@
+//! The cross-backend differential harness: every simulator this crate
+//! ships — dense structure-of-arrays state vector, gate-level circuit,
+//! block-symmetric reduced form, and the sparse amplitude-class simulator —
+//! is driven through *identical* `(N, K, ℓ1, ℓ2, target)` three-step
+//! schedules (and, for the two channel-capable backends, identical
+//! pre-drawn noise event streams), and the outcomes are compared pairwise:
+//!
+//! * **query counts** must agree exactly across all four backends — the
+//!   schedule fixes them, so any drift is an accounting bug;
+//! * **success probabilities** must agree to `≤ 1e-12` between the three
+//!   exact-operator backends (state vector, reduced, sparse), with sparse
+//!   vs. reduced additionally *bit-identical* (the sparse simulator's
+//!   symmetric representation delegates to the same closed rotation);
+//! * the **circuit** backend implements Step 3 as a physical circuit whose
+//!   operator differs from the exact non-target inversion by `O(1/N)`
+//!   within the target block, so its pair tolerance scales as `C/N`;
+//! * under **noise**, the sparse trajectory must track the dense one
+//!   amplitude-for-amplitude at every step of the schedule, for every
+//!   channel (the overlap domain is `n ≤ 2^10` here; the engine-level
+//!   harness extends the same contract to served jobs at 1/2/4 threads).
+
+use proptest::prelude::*;
+use psq_sim::circuit::{block_iteration_via_circuit, grover_iteration_via_circuit, Step3Circuit};
+use psq_sim::gates::QubitRegister;
+use psq_sim::noise::{NoiseSpec, QueryNoise};
+use psq_sim::oracle::{Database, Partition};
+use psq_sim::reduced::ReducedState;
+use psq_sim::sparse::SparseState;
+use psq_sim::statevector::StateVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One backend's answer to a schedule: the probability that measuring the
+/// address register reports the target's block, and the oracle queries
+/// charged along the way.
+#[derive(Clone, Copy, Debug)]
+struct Outcome {
+    success: f64,
+    queries: u64,
+}
+
+/// The dense reference: fused SoA kernels plus the exact Step-3 inversion.
+fn drive_statevector(n: u64, k: u64, target: u64, l1: u64, l2: u64) -> Outcome {
+    let db = Database::new(n, target);
+    let partition = Partition::new(n, k);
+    let mut psi = StateVector::uniform(n as usize);
+    psi.grover_iterations(&db, l1);
+    psi.block_grover_iterations(&db, &partition, l2);
+    psi.invert_about_mean_excluding_target(&db);
+    Outcome {
+        success: psi.block_probability(&partition, partition.block_of(target)),
+        queries: db.queries(),
+    }
+}
+
+/// The gate-level circuit path (power-of-two dimensions only).
+fn drive_circuit(n: u64, k: u64, target: u64, l1: u64, l2: u64) -> Outcome {
+    let db = Database::new(n, target);
+    let partition = Partition::new(n, k);
+    let mut register = QubitRegister::uniform(psq_math::bits::log2_exact(n));
+    for _ in 0..l1 {
+        grover_iteration_via_circuit(&mut register, &db);
+    }
+    for _ in 0..l2 {
+        block_iteration_via_circuit(&mut register, &db, &partition);
+    }
+    let step3 = Step3Circuit::apply(register.state(), &db);
+    Outcome {
+        success: step3.block_probability(&partition, partition.block_of(target)),
+        queries: db.queries(),
+    }
+}
+
+/// The three-amplitude block-symmetric closed form.
+fn drive_reduced(n: u64, k: u64, l1: u64, l2: u64) -> Outcome {
+    let mut state = ReducedState::uniform(n as f64, k as f64);
+    state.grover_iterations(l1);
+    state.block_grover_iterations(l2);
+    state.diffusion_excluding_target();
+    Outcome {
+        success: state.target_block_probability(),
+        queries: state.queries(),
+    }
+}
+
+/// The sparse amplitude-class simulator.
+fn drive_sparse(n: u64, k: u64, target: u64, l1: u64, l2: u64) -> Outcome {
+    let mut state = SparseState::uniform(n, k, target);
+    state.grover_iterations(l1);
+    state.block_grover_iterations(l2);
+    state.invert_about_mean_excluding_target();
+    Outcome {
+        success: state.block_probability(state.target_block()),
+        queries: state.queries(),
+    }
+}
+
+/// Drives the dense and sparse simulators through the schedule under one
+/// shared pre-drawn noise event stream (the identical stream a seeded
+/// trajectory runner would draw), comparing every amplitude after every
+/// event, and returns the pair of final block-success probabilities.
+fn drive_noisy_pair(
+    n: u64,
+    k: u64,
+    target: u64,
+    l1: u64,
+    l2: u64,
+    spec: NoiseSpec,
+    seed: u64,
+) -> (f64, f64, SparseState) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let events: Vec<QueryNoise> = (0..l1 + l2 + 1)
+        .map(|_| spec.draw_query(n, &mut rng))
+        .collect();
+    let db = Database::new(n, target);
+    let partition = Partition::new(n, k);
+    let mut dense = StateVector::uniform(n as usize);
+    let mut sparse = SparseState::uniform(n, k, target);
+    for (step, noise) in events.iter().enumerate() {
+        let per_block = (step as u64) >= l1 && (step as u64) < l1 + l2;
+        let step3 = step as u64 == l1 + l2;
+        if step3 {
+            if noise.faulty {
+                // A faulty Step-3 query charges the oracle but reflects
+                // about the plain mean (no target information reached it).
+                db.charge_quantum_queries(1);
+                sparse.charge_queries(1);
+                dense.invert_about_mean();
+                sparse.invert_about_mean();
+            } else {
+                dense.invert_about_mean_excluding_target(&db);
+                sparse.invert_about_mean_excluding_target();
+            }
+        } else {
+            if noise.faulty {
+                // Faulty query: charged, but the flip never happens; the
+                // diffusion below still runs.
+                db.charge_quantum_queries(1);
+                sparse.charge_queries(1);
+            } else {
+                dense.apply_oracle_phase_flip(&db);
+                sparse.oracle_flip();
+            }
+            if per_block {
+                dense.invert_about_mean_per_block(&partition);
+                sparse.invert_about_mean_per_block();
+            } else {
+                dense.invert_about_mean();
+                sparse.invert_about_mean();
+            }
+        }
+        psq_sim::noise::apply_channels(&mut dense, noise);
+        sparse.apply_channels(noise);
+        assert_states_match(&dense, &sparse, 1e-12, step);
+    }
+    assert_eq!(db.queries(), sparse.queries(), "query accounting diverged");
+    let true_block = partition.block_of(target);
+    (
+        dense.block_probability(&partition, true_block),
+        sparse.block_probability(true_block),
+        sparse,
+    )
+}
+
+fn assert_states_match(dense: &StateVector, sparse: &SparseState, tol: f64, step: usize) {
+    for x in 0..dense.len() as u64 {
+        let d = dense.amplitude(x as usize);
+        let s = sparse.amplitude(x);
+        assert!(
+            (d - s).abs() < tol,
+            "step {step}, amplitude {x}: dense {d:?} vs sparse {s:?} \
+             (class_count {})",
+            sparse.class_count()
+        );
+    }
+}
+
+fn assert_close(a: f64, b: f64, tol: f64, what: &str) {
+    assert!((a - b).abs() <= tol, "{what}: {a} vs {b} (tol {tol})");
+}
+
+/// One full four-backend comparison at a schedule point.
+fn differential_at(n: u64, k: u64, target: u64, l1: u64, l2: u64) {
+    let sv = drive_statevector(n, k, target, l1, l2);
+    let circuit = drive_circuit(n, k, target, l1, l2);
+    let reduced = drive_reduced(n, k, l1, l2);
+    let sparse = drive_sparse(n, k, target, l1, l2);
+    // Query counts are schedule properties: exact across all four.
+    assert_eq!(sv.queries, circuit.queries, "sv vs circuit queries");
+    assert_eq!(sv.queries, reduced.queries, "sv vs reduced queries");
+    assert_eq!(sv.queries, sparse.queries, "sv vs sparse queries");
+    // Exact-operator backends: ≤ 1e-12 pairwise, sparse ≡ reduced bitwise.
+    assert_close(sv.success, reduced.success, 1e-12, "sv vs reduced");
+    assert_close(sv.success, sparse.success, 1e-12, "sv vs sparse");
+    assert_eq!(
+        sparse.success.to_bits(),
+        reduced.success.to_bits(),
+        "sparse vs reduced must be bit-identical"
+    );
+    // The circuit's Step 3 deviates by O(1/N) within the target block.
+    let circuit_tol = 64.0 / n as f64;
+    assert_close(sv.success, circuit.success, circuit_tol, "sv vs circuit");
+}
+
+#[test]
+fn all_four_backends_agree_on_representative_schedules() {
+    // Hand-picked points covering k = 2 (two blocks), deep schedules, a
+    // non-trivial target position, and the smallest valid dimensions.
+    for &(n, k, target, l1, l2) in &[
+        (16u64, 2u64, 5u64, 1u64, 1u64),
+        (64, 4, 63, 3, 2),
+        (256, 4, 100, 8, 3),
+        (1024, 8, 777, 18, 4),
+        (1024, 2, 0, 12, 9),
+        (512, 16, 300, 10, 2),
+    ] {
+        differential_at(n, k, target, l1, l2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The tentpole property: any power-of-two `(N, K)` shape on the
+    /// circuit-reachable overlap domain, any target, any schedule — all
+    /// four backends agree per the per-pair tolerances.
+    #[test]
+    fn prop_backend_pairs_agree_on_the_overlap_domain(
+        n_exp in 4u32..11,
+        k_exp in 1u32..4,
+        target_frac in 0.0f64..1.0,
+        l1 in 0u64..12,
+        l2 in 0u64..6,
+    ) {
+        prop_assume!(k_exp < n_exp);
+        let n = 1u64 << n_exp;
+        let k = 1u64 << k_exp;
+        prop_assume!(n / k >= 2);
+        let target = ((n - 1) as f64 * target_frac).round() as u64;
+        differential_at(n, k, target, l1, l2);
+    }
+
+    /// Noisy differential: under each of the three channels (and their
+    /// union), the sparse trajectory tracks the dense one per amplitude to
+    /// ≤ 1e-12 through the whole schedule, for any seed.
+    #[test]
+    fn prop_sparse_tracks_dense_under_every_noise_channel(
+        n_exp in 4u32..10,
+        k_exp in 1u32..4,
+        target_frac in 0.0f64..1.0,
+        l1 in 1u64..8,
+        l2 in 0u64..4,
+        seed in 0u64..1_000_000,
+    ) {
+        prop_assume!(k_exp < n_exp);
+        let n = 1u64 << n_exp;
+        let k = 1u64 << k_exp;
+        prop_assume!(n / k >= 2);
+        let target = ((n - 1) as f64 * target_frac).round() as u64;
+        // The channel under test rides on the seed (the vendored proptest
+        // caps strategy tuples at six entries).
+        let spec = match seed % 4 {
+            0 => NoiseSpec { depolarizing: 0.3, dephasing: 0.0, oracle_fault: 0.0 },
+            1 => NoiseSpec { depolarizing: 0.0, dephasing: 0.3, oracle_fault: 0.0 },
+            2 => NoiseSpec { depolarizing: 0.0, dephasing: 0.0, oracle_fault: 0.3 },
+            _ => NoiseSpec { depolarizing: 0.15, dephasing: 0.15, oracle_fault: 0.15 },
+        };
+        let (dense_p, sparse_p, sparse) = drive_noisy_pair(n, k, target, l1, l2, spec, seed);
+        prop_assert!((dense_p - sparse_p).abs() < 1e-12,
+            "final block probability: dense {dense_p} vs sparse {sparse_p}");
+        // Class-splitting correctness: however many kicks landed, the class
+        // partition stays within its structural bound (every class holds at
+        // least one address, plus the target and at most one pinned entry),
+        // unless the state legitimately degraded to the exact map.
+        if !sparse.is_degraded() {
+            prop_assert!(sparse.class_count() as u64 <= n + 2,
+                "class count {} leaked past the n + 2 bound", sparse.class_count());
+        }
+    }
+}
+
+/// Dephasing is the one channel that *splits* classes. Drive a long
+/// schedule under pure dephasing and check the split path runs (split
+/// events observed), never panics, and never leaks classes.
+#[test]
+fn dephasing_splits_classes_without_leaking() {
+    let spec = NoiseSpec {
+        depolarizing: 0.0,
+        dephasing: 0.8,
+        oracle_fault: 0.0,
+    };
+    let mut total_splits = 0u64;
+    for seed in 0..8u64 {
+        let (dense_p, sparse_p, sparse) = drive_noisy_pair(256, 4, 99, 10, 4, spec, seed);
+        assert!((dense_p - sparse_p).abs() < 1e-12);
+        total_splits += sparse.split_events();
+        assert!(
+            sparse.class_count() as u64 <= 256 + 2,
+            "class count {} exceeds the structural bound",
+            sparse.class_count()
+        );
+    }
+    assert!(
+        total_splits > 0,
+        "a 0.8 dephasing rate must exercise the split path"
+    );
+}

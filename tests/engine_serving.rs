@@ -23,8 +23,8 @@ fn json_batch_of_mixed_jobs_serves_end_to_end() {
     assert!(report.rejected.is_empty());
     assert_eq!(
         report.metrics.backend_jobs.backends_used(),
-        6,
-        "mix spans all backends, including recursive full-address"
+        7,
+        "mix spans all backends, including recursive full-address and sparse"
     );
     assert!(
         report.metrics.backend_jobs.recursive > 0
@@ -32,8 +32,20 @@ fn json_batch_of_mixed_jobs_serves_end_to_end() {
         "full-address jobs descend through multiple partial-search levels"
     );
     assert!(
-        report.metrics.jobs_correct >= 118,
-        "partial search almost never misses (got {}/120)",
+        report.metrics.backend_jobs.sparse > 0,
+        "huge-N sparse arm ran"
+    );
+    // The mix includes noisy huge-N sparse trajectories; at √N-scale query
+    // counts even a tiny per-query rate scrambles most of them (faithful
+    // physics), so the near-certainty floor applies to the ideal jobs only.
+    let noisy = parsed
+        .iter()
+        .filter(|job| job.effective_noise().is_some())
+        .count() as u64;
+    assert!(noisy > 0, "the mix exercises noisy jobs");
+    assert!(
+        report.metrics.jobs_correct + noisy >= 118,
+        "ideal partial search almost never misses (got {}/120 with {noisy} noisy)",
         report.metrics.jobs_correct
     );
     assert!(report.metrics.throughput_jobs_per_s > 0.0);

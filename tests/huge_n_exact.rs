@@ -1,0 +1,159 @@
+//! Huge-`N` exact search end to end: a `N = 2^30` full-address recursive job
+//! and sparse block jobs round-trip the engine and the serve pipe, and the
+//! per-level query counts of the recursive descent clear the Theorem-2
+//! `α_K·√N` floor computed by `psq-bounds`.
+//!
+//! This is the facade-level half of the sparse-backend proof: the crate-level
+//! differential harnesses (`psq-sim` and `psq-engine`
+//! `tests/backend_differential.rs`) establish that the backends agree; this
+//! file establishes that the *served* huge-`N` path — NDJSON in, NDJSON out —
+//! is the same computation, and that its cost sits where the paper's lower
+//! bound says it must.
+
+use partial_quantum_search::bounds::theorem2;
+use partial_quantum_search::partial::{derive_seed, RecursiveSearch};
+use partial_quantum_search::prelude::*;
+use partial_quantum_search::serve::protocol::{parse_response, Response};
+use partial_quantum_search::serve::testio::SharedSink;
+use partial_quantum_search::sim::scratch::AmplitudeScratch;
+use std::collections::HashMap;
+
+const HUGE_N: u64 = 1 << 30;
+
+fn engine() -> Engine {
+    Engine::new(EngineConfig {
+        threads: Some(2),
+        ..EngineConfig::default()
+    })
+}
+
+/// Streams `jobs` through a pipe serving session and returns the parsed
+/// results keyed by job id.
+fn round_trip_pipe(jobs: &[SearchJob]) -> HashMap<u64, SearchResult> {
+    let server = Server::start(ServeConfig {
+        engine: EngineConfig {
+            threads: Some(2),
+            ..EngineConfig::default()
+        },
+        ..ServeConfig::default()
+    });
+    let input: String = jobs
+        .iter()
+        .map(|job| serde_json::to_string(job).expect("jobs serialise") + "\n")
+        .collect();
+    let sink = SharedSink::default();
+    let summary = server
+        .serve_pipe(input.as_bytes(), sink.clone())
+        .expect("pipe session");
+    assert_eq!(summary.lines_in, jobs.len() as u64);
+    let mut by_id = HashMap::new();
+    for line in sink.lines().iter() {
+        match parse_response(line).expect("well-formed response line") {
+            Response::Result(result) => {
+                assert!(by_id.insert(result.job_id, *result).is_none(), "id twice");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(by_id.len(), jobs.len(), "every line answered once");
+    server.finish();
+    by_id
+}
+
+/// `N = 2^30` full-address recursive job: engine and pipe agree bit for bit,
+/// the exact address comes back, and every quantum level of the descent
+/// spends at least the Theorem-2 lower bound `α_K·√(level size)` queries.
+#[test]
+fn huge_n_recursive_round_trip_clears_the_theorem2_floor_per_level() {
+    let target = 0x2345_6789u64; // < 2^30
+    let job = SearchJob::full_address(1, HUGE_N, 4, target).with_seed(424_242);
+    let engine = engine();
+    let direct = engine.run_job(&job).expect("huge-N recursive job plans");
+    assert_eq!(direct.backend, Backend::Recursive);
+    assert_eq!(direct.address_found, Some(target), "exact address resolved");
+    assert!(direct.correct);
+    // 2^30 shrinking by K = 4 per level down to the ~N^{1/3} brute-force
+    // cutoff: ~10 quantum levels.
+    assert!(direct.levels >= 9, "descended {} levels", direct.levels);
+
+    // The same NDJSON line through the serve pipe is the same computation.
+    let streamed = round_trip_pipe(std::slice::from_ref(&job));
+    assert_eq!(
+        streamed[&1].deterministic_fields(),
+        direct.deterministic_fields(),
+        "pipe round trip diverged from direct execution"
+    );
+
+    // Rebuild the descent exactly as the engine ran it (same plan cutoff,
+    // same per-trial seed derivation) to audit the per-level query counts
+    // the summed engine result cannot show.
+    let plan = engine.planner().plan(&job).expect("plans");
+    let search = RecursiveSearch::new(job.n, job.k).with_statevector_cutoff(plan.sv_cutoff);
+    let mut scratch = AmplitudeScratch::new();
+    let outcome = search.run_seeded(job.n, job.target, derive_seed(job.seed, 0), &mut scratch);
+    assert_eq!(
+        outcome.outcome.queries, direct.queries,
+        "rebuilt descent is the served execution"
+    );
+    assert_eq!(outcome.quantum_levels(), direct.levels);
+
+    let k = job.k as f64;
+    for level in outcome.levels.iter().filter(|l| !l.is_brute_force()) {
+        let floor = theorem2::partial_search_lower_bound_queries(level.size as f64, k);
+        assert!(
+            level.queries as f64 >= floor,
+            "level of size {} spent {} queries, below the α_K·√N floor {:.1}",
+            level.size,
+            level.queries,
+            floor
+        );
+    }
+    // And in aggregate the whole descent costs at least one full-size
+    // partial search — the floor the reduction argument charges.
+    assert!(
+        direct.queries as f64 >= theorem2::partial_search_lower_bound_queries(HUGE_N as f64, k)
+    );
+}
+
+/// Sparse huge-`N` block jobs — ideal and noisy, hint and `Auto` — stream
+/// through the pipe next to the recursive job, come back tagged
+/// `"backend":"sparse"`, and match direct engine execution bit for bit.
+#[test]
+fn huge_n_sparse_jobs_round_trip_the_pipe_next_to_a_recursive_job() {
+    let noise = partial_quantum_search::engine::NoiseSpec {
+        depolarizing: 0.005,
+        dephasing: 0.0,
+        oracle_fault: 0.005,
+    };
+    let jobs = vec![
+        SearchJob::new(10, HUGE_N, 64, HUGE_N - 7).with_backend(BackendHint::Sparse),
+        // Auto above the dense ceiling under collapse-shaped noise resolves
+        // to the sparse backend.
+        SearchJob::new(11, HUGE_N, 8, 12_345)
+            .with_noise(noise)
+            .with_trials(3),
+        SearchJob::full_address(12, HUGE_N, 4, 0x0BAD_CAFE).with_seed(7),
+    ];
+    let streamed = round_trip_pipe(&jobs);
+    let engine = engine();
+    for job in &jobs {
+        let direct = engine.run_job(job).expect("direct run");
+        assert_eq!(
+            streamed[&job.id].deterministic_fields(),
+            direct.deterministic_fields(),
+            "job {} diverged between pipe and direct execution",
+            job.id
+        );
+    }
+    assert_eq!(streamed[&10].backend, Backend::Sparse);
+    assert!(streamed[&10].correct, "ideal sparse finds the block");
+    assert_eq!(
+        streamed[&11].backend,
+        Backend::Sparse,
+        "Auto resolves sparse"
+    );
+    assert_eq!(streamed[&12].backend, Backend::Recursive);
+    // The wire really says "Sparse": round-trip the result line itself.
+    let line = serde_json::to_string(&streamed[&10]).expect("results serialise");
+    assert!(line.contains("Sparse"), "backend tag on the wire: {line}");
+}
